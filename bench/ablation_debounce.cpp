@@ -1,0 +1,95 @@
+// Trigger-debouncing extension: require N consecutive positive windows
+// before firing the airbag.  The paper triggers on a single window; this
+// ablation quantifies what one extra confirmation window buys in
+// false-alarm suppression and what it costs in detection/lead time — the
+// next design question a deployment team would ask.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/airbag.hpp"
+#include "quant/quantized_cnn.hpp"
+
+int main() {
+    using namespace fallsense;
+    const core::experiment_scale scale =
+        bench::banner("Extension — trigger debouncing (consecutive windows)");
+    const std::uint64_t seed = util::env_seed();
+
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    eval::kfold_config kf;
+    kf.folds = scale.folds;
+    kf.validation_subjects = scale.validation_subjects;
+    kf.shuffle_seed = util::derive_seed(seed, "kfold");
+    const auto splits = eval::make_subject_folds(merged.subject_ids(), kf);
+    const eval::fold_split& split = splits[0];
+
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    const std::size_t window_samples = wc.segmentation.window_samples;
+    std::vector<data::trial> train_trials, test_trials;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(split.train_subjects.begin(), split.train_subjects.end(),
+                      t.subject_id) != split.train_subjects.end()) {
+            train_trials.push_back(t);
+        } else if (std::find(split.test_subjects.begin(), split.test_subjects.end(),
+                             t.subject_id) != split.test_subjects.end()) {
+            test_trials.push_back(t);
+        }
+    }
+    util::rng aug_gen(util::derive_seed(seed, "augment"));
+    augment::augment_fall_trials(train_trials, scale.augmentation_copies,
+                                 augment::trial_augment_config{}, aug_gen);
+    nn::labeled_data train =
+        core::to_labeled_data(core::extract_windows(train_trials, wc), window_samples);
+    auto cnn = core::build_fallsense_cnn(window_samples, util::derive_seed(seed, "model"));
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.early_stop_patience = scale.early_stop_patience;
+    std::printf("training CNN on %zu windows...\n\n", train.size());
+    nn::fit(*cnn, train, {}, tc);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window_samples);
+    const quant::quantized_cnn qmodel(spec, train.features);
+    const core::segment_scorer scorer = [&](std::span<const float> w) {
+        return qmodel.predict_proba(w);
+    };
+
+    std::printf("%-12s %14s %14s %14s %12s\n", "consecutive", "falls detected",
+                "in time (150ms)", "ADL false al.", "lead (ms)");
+    for (const std::size_t consecutive : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+        core::detector_config dc;
+        dc.window_samples = window_samples;
+        dc.overlap_fraction = 0.75;  // hop = 100 ms: each confirmation costs 100 ms
+        dc.threshold = 0.5;
+        dc.consecutive_required = consecutive;
+
+        std::size_t falls = 0, detected = 0, in_time = 0, adl = 0, false_alarms = 0;
+        double lead_sum = 0.0;
+        for (const data::trial& t : test_trials) {
+            if (t.is_fall_trial()) {
+                ++falls;
+                const core::protection_outcome o =
+                    core::evaluate_protection(t, dc, scorer);
+                if (o.detected) {
+                    ++detected;
+                    in_time += o.protected_in_time ? 1 : 0;
+                    lead_sum += o.trigger_to_impact_ms;
+                }
+            } else {
+                ++adl;
+                core::streaming_detector det(dc, scorer);
+                bool fired = false;
+                for (const data::raw_sample& s : t.samples) {
+                    fired |= det.push(s).has_value();
+                }
+                false_alarms += fired ? 1 : 0;
+            }
+        }
+        std::printf("%-12zu %8zu/%-5zu %8zu/%-5zu %8zu/%-5zu %10.0f\n", consecutive,
+                    detected, falls, in_time, falls, false_alarms, adl,
+                    detected ? lead_sum / static_cast<double>(detected) : 0.0);
+    }
+    std::printf("\nexpected shape: each confirmation window trades ~100 ms of lead time\n"
+                "for a visible drop in ADL false alarms; the single-window trigger (the\n"
+                "paper's choice) maximizes protection margin.\n");
+    return 0;
+}

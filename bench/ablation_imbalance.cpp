@@ -1,0 +1,46 @@
+// Imbalance-handling ablation (Section III-C design choices): the proposed
+// CNN with and without (i) fall-trial augmentation (time/window warping),
+// (ii) class weights, (iii) output-bias initialization — quantifying what
+// each mechanism contributes on the heavily imbalanced segment stream.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/events.hpp"
+
+int main() {
+    using namespace fallsense;
+    core::experiment_scale scale =
+        bench::banner("Ablation — imbalance handling (CNN, 300 ms)");
+    const std::uint64_t seed = util::env_seed();
+    scale.folds_to_run = 1;  // five variants; one fold each keeps this quick
+
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config wc = core::standard_windowing(300.0);
+
+    struct variant {
+        const char* name;
+        core::train_options options;
+    };
+    const variant variants[] = {
+        {"full (paper)", {.augment = true, .class_weights = true, .output_bias_init = true}},
+        {"no augmentation", {.augment = false, .class_weights = true, .output_bias_init = true}},
+        {"no class weights", {.augment = true, .class_weights = false, .output_bias_init = true}},
+        {"no bias init", {.augment = true, .class_weights = true, .output_bias_init = false}},
+        {"none", {.augment = false, .class_weights = false, .output_bias_init = false}},
+    };
+
+    std::printf("%-18s %8s %10s %8s %9s %12s %12s\n", "variant", "acc %", "prec %",
+                "rec %", "f1 %", "falls det.", "ADL false");
+    for (const variant& v : variants) {
+        const core::cross_validation_result cv = core::run_cross_validation(
+            core::model_kind::cnn, merged, wc, scale, seed, v.options);
+        const eval::event_counts events = eval::count_events(cv.all_records);
+        std::printf("%-18s %8.2f %10.2f %8.2f %9.2f %7zu/%-4zu %7zu/%-4zu\n", v.name,
+                    cv.pooled.accuracy * 100.0, cv.pooled.precision * 100.0,
+                    cv.pooled.recall * 100.0, cv.pooled.f1 * 100.0, events.falls_detected,
+                    events.falls_total, events.adl_false_alarms, events.adl_total);
+    }
+    std::printf("\nexpected shape: removing augmentation or class weights drops recall;\n");
+    std::printf("bias init mainly accelerates convergence (small effect at full epochs).\n");
+    return 0;
+}

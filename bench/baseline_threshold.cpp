@@ -1,0 +1,127 @@
+// Threshold-algorithm baseline vs. the proposed CNN (Table I context).
+//
+// The related work the paper positions against includes threshold-based
+// pre-impact detectors (de Sousa 2021, Jung 2020): fast, tiny, but less
+// accurate.  This bench runs both on the same held-out subjects at event
+// level.  Expected shape: the threshold rule catches deep falls with good
+// lead time but false-alarms on ballistic ADLs (jumps) and misses shallow
+// (fainting/sitting) falls, while the trained CNN dominates on both axes.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/threshold.hpp"
+#include "core/airbag.hpp"
+#include "core/threshold_detector.hpp"
+#include "quant/quantized_cnn.hpp"
+
+int main() {
+    using namespace fallsense;
+    const core::experiment_scale scale =
+        bench::banner("Baseline — threshold algorithm vs proposed CNN");
+    const std::uint64_t seed = util::env_seed();
+
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    eval::kfold_config kf;
+    kf.folds = scale.folds;
+    kf.validation_subjects = scale.validation_subjects;
+    kf.shuffle_seed = util::derive_seed(seed, "kfold");
+    const auto splits = eval::make_subject_folds(merged.subject_ids(), kf);
+    const eval::fold_split& split = splits[0];
+
+    std::vector<data::trial> test_trials;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(split.test_subjects.begin(), split.test_subjects.end(),
+                      t.subject_id) != split.test_subjects.end()) {
+            test_trials.push_back(t);
+        }
+    }
+
+    // --- threshold baseline (no training needed) -------------------------
+    const core::threshold_event_counts thr =
+        core::evaluate_threshold_baseline(test_trials);
+
+    // --- proposed CNN, trained on the fold's training subjects -----------
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    const std::size_t window_samples = wc.segmentation.window_samples;
+    std::vector<data::trial> train_trials;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(split.train_subjects.begin(), split.train_subjects.end(),
+                      t.subject_id) != split.train_subjects.end()) {
+            train_trials.push_back(t);
+        }
+    }
+    util::rng aug_gen(util::derive_seed(seed, "augment"));
+    augment::augment_fall_trials(train_trials, scale.augmentation_copies,
+                                 augment::trial_augment_config{}, aug_gen);
+    nn::labeled_data train =
+        core::to_labeled_data(core::extract_windows(train_trials, wc), window_samples);
+    auto cnn = core::build_fallsense_cnn(window_samples, util::derive_seed(seed, "model"));
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.early_stop_patience = scale.early_stop_patience;
+    std::printf("training CNN on %zu windows...\n\n", train.size());
+    nn::fit(*cnn, train, {}, tc);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window_samples);
+    const quant::quantized_cnn qmodel(spec, train.features);
+
+    // Tune the CNN's decision threshold for precision on the TRAINING
+    // windows (the paper configures the model to minimize false positives
+    // before deployment; test subjects stay untouched).
+    std::vector<float> train_probs;
+    train_probs.reserve(train.size());
+    const std::size_t seg_size = window_samples * core::k_feature_channels;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        train_probs.push_back(qmodel.predict_proba(
+            {train.features.data() + i * seg_size, seg_size}));
+    }
+    const auto train_windows = core::extract_windows(train_trials, wc);
+    const auto train_records = core::to_segment_records(train_windows, train_probs);
+    const eval::threshold_selection sel =
+        eval::select_threshold_for_precision(train_records, 0.05);
+    std::printf("CNN threshold tuned on training subjects: %.2f\n\n", sel.threshold);
+
+    core::detector_config dc;
+    dc.window_samples = window_samples;
+    dc.overlap_fraction = 0.75;
+    dc.threshold = sel.threshold;
+    const core::segment_scorer scorer = [&](std::span<const float> w) {
+        return qmodel.predict_proba(w);
+    };
+    std::size_t cnn_falls = 0, cnn_detected = 0, cnn_adl = 0, cnn_false = 0;
+    double cnn_lead_sum = 0.0;
+    for (const data::trial& t : test_trials) {
+        if (t.is_fall_trial()) {
+            ++cnn_falls;
+            const core::protection_outcome o = core::evaluate_protection(t, dc, scorer);
+            if (o.detected) {
+                ++cnn_detected;
+                cnn_lead_sum += o.trigger_to_impact_ms;
+            }
+        } else {
+            ++cnn_adl;
+            core::streaming_detector det(dc, scorer);
+            bool fired = false;
+            for (const data::raw_sample& s : t.samples) fired |= det.push(s).has_value();
+            cnn_false += fired ? 1 : 0;
+        }
+    }
+
+    auto pct = [](std::size_t n, std::size_t d) {
+        return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(d);
+    };
+    std::printf("%-22s %14s %14s %12s\n", "detector", "falls detected", "ADL false al.",
+                "lead (ms)");
+    std::printf("%-22s %6zu/%zu (%4.1f%%) %6zu/%zu (%4.1f%%) %10.0f\n", "threshold baseline",
+                thr.falls_detected, thr.falls_total, pct(thr.falls_detected, thr.falls_total),
+                thr.adl_false_alarms, thr.adl_total, pct(thr.adl_false_alarms, thr.adl_total),
+                thr.mean_lead_time_ms);
+    std::printf("%-22s %6zu/%zu (%4.1f%%) %6zu/%zu (%4.1f%%) %10.0f\n", "CNN (proposed)",
+                cnn_detected, cnn_falls, pct(cnn_detected, cnn_falls), cnn_false, cnn_adl,
+                pct(cnn_false, cnn_adl),
+                cnn_detected ? cnn_lead_sum / static_cast<double>(cnn_detected) : 0.0);
+    std::printf("\nexpected shape (Table I context): the learned model detects far more\n"
+                "falls with longer pre-impact lead at a comparable-or-lower false-alarm\n"
+                "rate; threshold rules trade accuracy for simplicity.\n");
+    return 0;
+}

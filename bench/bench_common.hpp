@@ -1,0 +1,31 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/env.hpp"
+
+namespace fallsense::bench {
+
+/// Print the standard bench banner and return the active scale preset.
+inline core::experiment_scale banner(const char* title) {
+    const util::run_scale scale = util::env_run_scale();
+    std::printf("=== %s ===\n", title);
+    std::printf("scale: %s (set FALLSENSE_SCALE=tiny|quick|full), seed: %llu\n\n",
+                util::run_scale_name(scale),
+                static_cast<unsigned long long>(util::env_seed()));
+    return core::scale_preset(scale);
+}
+
+inline void print_report_row(const char* label, const eval::classification_report& r) {
+    std::printf("%-16s %8.2f %10.2f %8.2f %9.2f\n", label, r.accuracy * 100.0,
+                r.precision * 100.0, r.recall * 100.0, r.f1 * 100.0);
+}
+
+inline void print_report_header() {
+    std::printf("%-16s %8s %10s %8s %9s\n", "Model", "Accuracy", "Precision", "Recall",
+                "F1-Score");
+}
+
+}  // namespace fallsense::bench

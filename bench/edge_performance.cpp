@@ -1,0 +1,73 @@
+// Section IV-C reproduction: on-edge performance of the quantized CNN on
+// the STM32F722 model.
+//
+// Paper figures: model 67.03 KiB flash, 16.87 KiB RAM, inference
+// 4 ms +- 3 ms plus 3 ms sensor fusion, performance unchanged after
+// quantization.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mcu/cost_model.hpp"
+#include "mcu/deployment.hpp"
+#include "mcu/memory_planner.hpp"
+#include "quant/quantized_cnn.hpp"
+
+int main() {
+    using namespace fallsense;
+    core::experiment_scale scale = bench::banner("Section IV-C — on-edge performance");
+    const std::uint64_t seed = util::env_seed();
+    scale.max_epochs = std::min<std::size_t>(scale.max_epochs, 10);
+
+    // Train the 400 ms CNN briefly (footprint/latency do not depend on the
+    // training state; accuracy parity is covered by quantization_parity).
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    const std::size_t window_samples = wc.segmentation.window_samples;
+    nn::labeled_data data =
+        core::to_labeled_data(core::extract_windows(merged.trials, wc), window_samples);
+    auto cnn = core::build_fallsense_cnn(window_samples, seed);
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.early_stop_patience = scale.early_stop_patience;
+    nn::fit(*cnn, data, {}, tc);
+
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window_samples);
+    const quant::quantized_cnn qmodel(spec, data.features);
+    const mcu::device_spec device = mcu::stm32f722();
+
+    std::printf("model: %zu float parameters -> int8\n", spec.parameter_count());
+    const mcu::deployment_plan plan = mcu::plan_deployment(qmodel, device);
+    std::printf("\nfootprint on %s:\n%s\n", device.name, plan.summary().c_str());
+    std::printf("paper reference: 67.03 KiB flash, 16.87 KiB RAM\n");
+
+    const mcu::latency_estimate inference = mcu::estimate_inference(qmodel, device);
+    const mcu::latency_estimate fusion = mcu::estimate_fusion(window_samples, device);
+    util::rng gen(seed);
+    const mcu::latency_stats jitter = mcu::simulate_latency(qmodel, device, 20'000, gen);
+    std::printf("\nlatency on the Cortex-M7 cost model @ %.0f MHz:\n",
+                device.clock_hz / 1e6);
+    std::printf("  inference (deterministic): %.2f ms\n", inference.milliseconds);
+    std::printf("  inference (with jitter):   %.1f ms +- %.1f ms over %zu runs\n",
+                jitter.mean_ms, jitter.stddev_ms, jitter.samples);
+    std::printf("  sensor fusion per window:  %.2f ms\n", fusion.milliseconds);
+    std::printf("paper reference: 4 ms +- 3 ms inference + 3 ms fusion\n");
+
+    const quant::op_counts ops = qmodel.count_ops();
+    std::printf("\nper-inference work: %llu int8 MACs, %llu requantizations, "
+                "%llu pool compares\n",
+                static_cast<unsigned long long>(ops.macs),
+                static_cast<unsigned long long>(ops.requants),
+                static_cast<unsigned long long>(ops.pool_compares));
+
+    const auto blob = mcu::serialize_deployment_blob(qmodel);
+    std::printf("firmware blob: %.2f KiB\n", static_cast<double>(blob.size()) / 1024.0);
+
+    // Real-time budget check: tick period is 10 ms; scoring happens every
+    // hop (200 ms at 50%% overlap), so fusion+inference must fit well inside.
+    const double total = inference.milliseconds + fusion.milliseconds;
+    std::printf("\nreal-time check: fusion + inference = %.2f ms per scored window "
+                "(budget: 200 ms hop) -> %s\n",
+                total, total < 200.0 ? "OK" : "VIOLATION");
+    return 0;
+}

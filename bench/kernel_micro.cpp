@@ -1,0 +1,140 @@
+// Kernel micro-benchmarks (google-benchmark): the hot paths of the
+// preprocessing pipeline, float training layers, and int8 inference — the
+// engineering substrate behind the paper-level numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/models.hpp"
+#include "core/preprocess.hpp"
+#include "data/synthesizer.hpp"
+#include "dsp/biquad.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+nn::tensor random_tensor(nn::shape_t shape, std::uint64_t seed) {
+    util::rng gen(seed);
+    nn::tensor t(std::move(shape));
+    for (float& v : t.values()) v = static_cast<float>(gen.normal());
+    return t;
+}
+
+void BM_ButterworthProcess(benchmark::State& state) {
+    dsp::butterworth_lowpass filter(4, 5.0, 100.0);
+    float x = 0.37f;
+    for (auto _ : state) {
+        x = filter.process(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_ButterworthProcess);
+
+void BM_ComplementaryFilterUpdate(benchmark::State& state) {
+    dsp::complementary_filter fusion;
+    const dsp::vec3 accel{0.1, 0.05, 0.99};
+    const dsp::vec3 gyro{0.01, -0.02, 0.005};
+    for (auto _ : state) {
+        const dsp::euler_angles a = fusion.update(accel, gyro);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ComplementaryFilterUpdate);
+
+void BM_DenseForward(benchmark::State& state) {
+    const auto in_features = static_cast<std::size_t>(state.range(0));
+    util::rng gen(1);
+    nn::dense layer(in_features, 64, gen);
+    const nn::tensor x = random_tensor({32, in_features}, 2);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseForward)->Arg(128)->Arg(512)->Arg(912);
+
+void BM_Conv1dForward(benchmark::State& state) {
+    util::rng gen(3);
+    nn::conv1d layer(3, 16, 3, gen);
+    const nn::tensor x = random_tensor({32, 40, 3}, 4);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_LstmForward(benchmark::State& state) {
+    util::rng gen(5);
+    nn::lstm layer(9, 24, gen);
+    const nn::tensor x = random_tensor({32, 40, 9}, 6);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_CnnFloatInference(benchmark::State& state) {
+    const auto window = static_cast<std::size_t>(state.range(0));
+    auto net = core::build_fallsense_cnn(window, 7);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
+    const nn::tensor seg = random_tensor({window, 9}, 8);
+    for (auto _ : state) {
+        const float logit = spec.forward_logit(seg.values());
+        benchmark::DoNotOptimize(logit);
+    }
+}
+BENCHMARK(BM_CnnFloatInference)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_CnnInt8Inference(benchmark::State& state) {
+    const auto window = static_cast<std::size_t>(state.range(0));
+    auto net = core::build_fallsense_cnn(window, 9);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
+    const nn::tensor calibration = random_tensor({32, window, 9}, 10);
+    const quant::quantized_cnn qmodel(spec, calibration);
+    const nn::tensor seg = random_tensor({window, 9}, 11);
+    for (auto _ : state) {
+        const float logit = qmodel.predict_logit(seg.values());
+        benchmark::DoNotOptimize(logit);
+    }
+}
+BENCHMARK(BM_CnnInt8Inference)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_SynthesizeFallTrial(benchmark::State& state) {
+    data::subject_profile subject;
+    data::motion_tuning tuning;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        util::rng gen(++seed);
+        const data::trial t =
+            data::synthesize_task(30, subject, tuning, data::synthesis_config{}, gen);
+        benchmark::DoNotOptimize(t.sample_count());
+    }
+}
+BENCHMARK(BM_SynthesizeFallTrial);
+
+void BM_PreprocessTrial(benchmark::State& state) {
+    util::rng gen(12);
+    data::subject_profile subject;
+    data::motion_tuning tuning;
+    const data::trial t =
+        data::synthesize_task(6, subject, tuning, data::synthesis_config{}, gen);
+    for (auto _ : state) {
+        const std::vector<float> stream = core::preprocess_trial(t, core::preprocess_config{});
+        benchmark::DoNotOptimize(stream.size());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(t.sample_count()));
+}
+BENCHMARK(BM_PreprocessTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Quantization parity (Section IV-C claim: "the model's performance remains
+// unchanged after quantization"): trains the CNN, evaluates the float and
+// int8 executors on the same held-out fold, and reports the metric deltas
+// plus the size reduction.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/threshold.hpp"
+#include "quant/quantized_cnn.hpp"
+
+int main() {
+    using namespace fallsense;
+    const core::experiment_scale scale = bench::banner("Quantization parity (CNN, 400 ms)");
+    const std::uint64_t seed = util::env_seed();
+
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    const std::size_t window_samples = wc.segmentation.window_samples;
+
+    eval::kfold_config kf;
+    kf.folds = scale.folds;
+    kf.validation_subjects = scale.validation_subjects;
+    kf.shuffle_seed = util::derive_seed(seed, "kfold");
+    const auto splits = eval::make_subject_folds(merged.subject_ids(), kf);
+    const eval::fold_split& split = splits[0];
+
+    // Train on fold 0's training subjects (same procedure as run_fold).
+    std::vector<data::trial> train_trials;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(split.train_subjects.begin(), split.train_subjects.end(),
+                      t.subject_id) != split.train_subjects.end()) {
+            train_trials.push_back(t);
+        }
+    }
+    util::rng aug_gen(util::derive_seed(seed, "augment"));
+    augment::augment_fall_trials(train_trials, scale.augmentation_copies,
+                                 augment::trial_augment_config{}, aug_gen);
+    nn::labeled_data train =
+        core::to_labeled_data(core::extract_windows(train_trials, wc), window_samples);
+    const auto val_w = core::extract_windows(merged.trials, wc, &split.validation_subjects);
+    nn::labeled_data val = core::to_labeled_data(val_w, window_samples);
+
+    auto cnn = core::build_fallsense_cnn(window_samples, util::derive_seed(seed, "model"));
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.early_stop_patience = scale.early_stop_patience;
+    std::printf("training on %zu windows...\n", train.size());
+    nn::fit(*cnn, train, val, tc);
+
+    // Quantize with training data as the calibration set.
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window_samples);
+    const quant::quantized_cnn qmodel(spec, train.features);
+
+    // Evaluate both executors on the held-out fold.
+    const auto test_w = core::extract_windows(merged.trials, wc, &split.test_subjects);
+    std::vector<float> float_probs, int8_probs, labels;
+    double max_logit_err = 0.0;
+    for (const auto& w : test_w) {
+        const float fl = spec.forward_logit(w.features);
+        const float ql = qmodel.predict_logit(w.features);
+        float_probs.push_back(1.0f / (1.0f + std::exp(-fl)));
+        int8_probs.push_back(1.0f / (1.0f + std::exp(-ql)));
+        labels.push_back(w.label);
+        max_logit_err = std::max(max_logit_err, std::abs(static_cast<double>(fl) - ql));
+    }
+    const eval::classification_report float_report = eval::evaluate(float_probs, labels);
+    const eval::classification_report int8_report = eval::evaluate(int8_probs, labels);
+
+    bench::print_report_header();
+    bench::print_report_row("CNN float32", float_report);
+    bench::print_report_row("CNN int8", int8_report);
+    std::printf("\nmax |logit delta| on %zu held-out segments: %.3f\n", test_w.size(),
+                max_logit_err);
+    std::printf("accuracy delta: %+.3f pp, F1 delta: %+.3f pp\n",
+                (int8_report.accuracy - float_report.accuracy) * 100.0,
+                (int8_report.f1 - float_report.f1) * 100.0);
+
+    const std::size_t float_bytes = spec.parameter_count() * sizeof(float);
+    const std::size_t int8_bytes = qmodel.weight_bytes() + qmodel.bias_bytes();
+    std::printf("size: %.2f KiB float -> %.2f KiB int8 (%.1fx reduction)\n",
+                static_cast<double>(float_bytes) / 1024.0,
+                static_cast<double>(int8_bytes) / 1024.0,
+                static_cast<double>(float_bytes) / static_cast<double>(int8_bytes));
+    std::printf("paper claim: performance unchanged after quantization.\n");
+    return 0;
+}

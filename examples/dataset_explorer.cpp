@@ -1,0 +1,66 @@
+// Dataset explorer: synthesizes the merged dataset and prints per-task
+// statistics (Table II coverage): duration, fall annotation timing, peak
+// acceleration — useful for sanity-checking the motion profiles against
+// the biomechanics they imitate.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/experiment.hpp"
+#include "data/taxonomy.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+
+int main() {
+    using namespace fallsense;
+
+    core::experiment_scale scale = core::scale_preset(util::run_scale::tiny);
+    const data::dataset merged = core::make_merged_dataset(scale, util::env_seed());
+
+    struct task_stats {
+        util::running_stats duration_s;
+        util::running_stats falling_ms;
+        util::running_stats peak_g;
+        std::size_t trials = 0;
+    };
+    std::map<int, task_stats> by_task;
+
+    for (const data::trial& t : merged.trials) {
+        task_stats& s = by_task[t.task_id];
+        ++s.trials;
+        s.duration_s.add(t.duration_s());
+        double peak = 0.0;
+        for (const data::raw_sample& sample : t.samples) {
+            const double mag = std::sqrt(static_cast<double>(sample.accel[0]) * sample.accel[0] +
+                                         sample.accel[1] * sample.accel[1] +
+                                         sample.accel[2] * sample.accel[2]);
+            peak = std::max(peak, mag);
+        }
+        s.peak_g.add(peak);
+        if (t.fall) {
+            s.falling_ms.add(static_cast<double>(t.fall->falling_samples()) /
+                             t.sample_rate_hz * 1000.0);
+        }
+    }
+
+    std::printf("%-4s %-6s %-7s %-9s %-9s %-10s  %s\n", "id", "kind", "trials",
+                "dur (s)", "peak (g)", "fall (ms)", "description");
+    for (const data::task_info& info : data::all_tasks()) {
+        const auto it = by_task.find(info.id);
+        if (it == by_task.end()) continue;
+        const task_stats& s = it->second;
+        std::printf("%-4d %-6s %-7zu %-9.2f %-9.2f ", info.id,
+                    info.is_fall() ? "FALL" : "adl", s.trials, s.duration_s.mean(),
+                    s.peak_g.mean());
+        if (s.falling_ms.count() > 0) {
+            std::printf("%-10.0f ", s.falling_ms.mean());
+        } else {
+            std::printf("%-10s ", "-");
+        }
+        std::printf(" %.60s\n", std::string(info.description).c_str());
+    }
+
+    std::printf("\ntotals: %zu trials, %zu falls, %zu subjects\n", merged.trial_count(),
+                merged.fall_trial_count(), merged.subject_ids().size());
+    return 0;
+}

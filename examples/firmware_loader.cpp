@@ -1,0 +1,64 @@
+// Firmware loader demo: the device-side half of deployment.
+//
+// Host side: train briefly, quantize, serialize the flash blob.
+// Device side: parse the blob back with the firmware loader, validate it,
+// and serve inferences from the loaded graph — verifying bit-identical
+// behavior against the host model, plus the loader's rejection of a
+// corrupted image (what a failed OTA update must trigger).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "mcu/deployment.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/env.hpp"
+
+int main() {
+    using namespace fallsense;
+    const std::uint64_t seed = util::env_seed();
+
+    // --- host side -------------------------------------------------------
+    core::experiment_scale scale = core::scale_preset(util::run_scale::tiny);
+    scale.max_epochs = 4;
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config wc = core::standard_windowing(200.0);
+    const std::size_t window = wc.segmentation.window_samples;
+    nn::labeled_data data =
+        core::to_labeled_data(core::extract_windows(merged.trials, wc), window);
+    auto cnn = core::build_fallsense_cnn(window, seed);
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    nn::fit(*cnn, data, {}, tc);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window);
+    const quant::quantized_cnn host_model(spec, data.features);
+    const auto blob = mcu::serialize_deployment_blob(host_model);
+    std::printf("host: serialized %.2f KiB deployment blob\n",
+                static_cast<double>(blob.size()) / 1024.0);
+
+    // --- device side -----------------------------------------------------
+    const quant::quantized_cnn device_model = mcu::deserialize_deployment_blob(blob);
+    std::printf("device: loaded graph — %zu-sample window, %zu channels, "
+                "%zu branches, %zu dense layers\n",
+                device_model.time_steps(), device_model.input_channels(),
+                device_model.branches().size(), device_model.trunk().size());
+
+    std::size_t identical = 0;
+    const std::size_t seg_size = window * core::k_feature_channels;
+    const std::size_t n = std::min<std::size_t>(data.size(), 200);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const float> seg(data.features.data() + i * seg_size, seg_size);
+        identical += (host_model.predict_logit(seg) == device_model.predict_logit(seg)) ? 1 : 0;
+    }
+    std::printf("device vs host logits: %zu/%zu bit-identical\n", identical, n);
+
+    // --- corrupted image -------------------------------------------------
+    auto corrupted = blob;
+    corrupted[10] ^= 0xff;  // flip a header byte
+    try {
+        (void)mcu::deserialize_deployment_blob(corrupted);
+        std::printf("ERROR: corrupted image was accepted!\n");
+        return 1;
+    } catch (const std::exception& e) {
+        std::printf("corrupted image correctly rejected: %s\n", e.what());
+    }
+    return 0;
+}

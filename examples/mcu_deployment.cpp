@@ -1,0 +1,64 @@
+// MCU deployment example: quantize a trained CNN, plan its flash/RAM layout
+// on the STM32F722, estimate inference + fusion latency on the Cortex-M7
+// cost model, and emit the firmware C-array blob — Section IV-C as a
+// runnable program.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/experiment.hpp"
+#include "mcu/cost_model.hpp"
+#include "mcu/deployment.hpp"
+#include "mcu/memory_planner.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/env.hpp"
+
+int main() {
+    using namespace fallsense;
+    const std::uint64_t seed = util::env_seed();
+
+    // Build a 400 ms model (the paper's best configuration) and calibrate
+    // on synthetic windows.  For footprint/latency the weights' training
+    // state is irrelevant, so a short training run suffices.
+    core::experiment_scale scale = core::scale_preset(util::run_scale::tiny);
+    scale.max_epochs = 4;
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config windows = core::standard_windowing(400.0);
+    const std::size_t window_samples = windows.segmentation.window_samples;
+    nn::labeled_data data =
+        core::to_labeled_data(core::extract_windows(merged.trials, windows), window_samples);
+
+    auto cnn = core::build_fallsense_cnn(window_samples, seed);
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    nn::fit(*cnn, data, {}, tc);
+
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window_samples);
+    const quant::quantized_cnn qmodel(spec, data.features);
+
+    const mcu::device_spec device = mcu::stm32f722();
+    std::printf("target: %s @ %.0f MHz\n", device.name, device.clock_hz / 1e6);
+
+    const mcu::deployment_plan plan = mcu::plan_deployment(qmodel, device);
+    std::printf("\n%s\n", plan.summary().c_str());
+
+    const mcu::latency_estimate inference = mcu::estimate_inference(qmodel, device);
+    const mcu::latency_estimate fusion = mcu::estimate_fusion(window_samples, device);
+    std::printf("\nlatency estimates:\n");
+    std::printf("  inference: %.2f ms (%.0f cycles)\n", inference.milliseconds,
+                inference.cycles);
+    std::printf("  fusion:    %.2f ms (%.0f cycles)\n", fusion.milliseconds, fusion.cycles);
+
+    util::rng gen(seed);
+    const mcu::latency_stats jitter = mcu::simulate_latency(qmodel, device, 10'000, gen);
+    std::printf("  with jitter over %zu runs: %.1f ms +- %.1f ms (min %.1f, max %.1f)\n",
+                jitter.samples, jitter.mean_ms, jitter.stddev_ms, jitter.min_ms,
+                jitter.max_ms);
+
+    const auto blob = mcu::serialize_deployment_blob(qmodel);
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_model.c";
+    std::ofstream out(path);
+    out << mcu::render_c_array(blob, "fallsense_model_blob");
+    std::printf("\nfirmware blob: %zu bytes -> %s\n", blob.size(), path.c_str());
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Train → save → reload → quantize → compare: the model-lifecycle example.
+//
+//   1. train the CNN on synthetic data
+//   2. save float weights to disk and reload them into a fresh network
+//   3. post-training int8 quantization with calibration data
+//   4. report float-vs-int8 agreement (the paper: "performance unchanged")
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "nn/serialize.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/env.hpp"
+
+int main() {
+    using namespace fallsense;
+    const std::uint64_t seed = util::env_seed();
+
+    core::experiment_scale scale = core::scale_preset(util::run_scale::tiny);
+    scale.max_epochs = 8;
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+
+    const core::windowing_config windows = core::standard_windowing(200.0);
+    const std::size_t window_samples = windows.segmentation.window_samples;
+    const auto all_windows = core::extract_windows(merged.trials, windows);
+    nn::labeled_data data = core::to_labeled_data(all_windows, window_samples);
+    std::printf("extracted %zu windows (%.1f%% falling)\n", data.size(),
+                100.0 * data.positive_fraction());
+
+    auto cnn = core::build_fallsense_cnn(window_samples, seed);
+    std::printf("model: %zu parameters\n%s\n", cnn->parameter_count(),
+                cnn->summary().c_str());
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.early_stop_patience = scale.early_stop_patience;
+    const nn::train_history history = nn::fit(*cnn, data, {}, tc);
+    std::printf("trained %zu epochs, final loss %.4f (class weights %.2f / %.2f)\n",
+                history.train_loss.size(), history.train_loss.back(),
+                history.weight_positive, history.weight_negative);
+
+    // Save / reload round trip.
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_cnn.fsnn";
+    nn::save_weights_file(*cnn, path);
+    auto reloaded = core::build_fallsense_cnn(window_samples, seed + 1);
+    nn::load_weights_file(*reloaded, path);
+    std::printf("weights saved to %s and reloaded\n", path.c_str());
+
+    // Quantize using the training windows for calibration.
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*reloaded, window_samples);
+    const quant::quantized_cnn qmodel(spec, data.features);
+    std::printf("quantized: %zu weight bytes + %zu bias bytes, arena %zu bytes\n",
+                qmodel.weight_bytes(), qmodel.bias_bytes(),
+                qmodel.activation_arena_bytes());
+
+    // Decision agreement between float and int8 paths.
+    std::size_t agree = 0;
+    const std::size_t n = data.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const float> seg(data.features.data() + i * window_samples * 9,
+                                         window_samples * 9);
+        const bool fd = spec.forward_logit(seg) >= 0.0f;
+        const bool qd = qmodel.predict_logit(seg) >= 0.0f;
+        agree += (fd == qd) ? 1 : 0;
+    }
+    std::printf("float vs int8 decision agreement: %.2f%% over %zu segments\n",
+                100.0 * static_cast<double>(agree) / static_cast<double>(n), n);
+    std::filesystem::remove(path);
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Run every table/figure bench and the micro-benchmarks, teeing the output.
+# Usage: scripts/run_all_benches.sh [build-dir] [scale]
+set -eu
+BUILD_DIR="${1:-build}"
+SCALE="${2:-quick}"
+export FALLSENSE_SCALE="$SCALE"
+
+for b in "$BUILD_DIR"/bench/*; do
+    [ -x "$b" ] || continue
+    echo "================================================================"
+    echo ">>> $b (FALLSENSE_SCALE=$SCALE)"
+    echo "================================================================"
+    "$b"
+    echo
+done

@@ -1,0 +1,68 @@
+#include "augment/trial_augment.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fallsense::augment {
+
+data::trial augment_fall_trial(const data::trial& t, augmentation_kind kind,
+                               const trial_augment_config& config, util::rng& gen) {
+    FS_ARG_CHECK(t.is_fall_trial(), "augment_fall_trial on a non-fall trial");
+    t.validate();
+
+    // Interleave the 6 raw channels.
+    constexpr std::size_t channels = 6;
+    std::vector<float> buf;
+    buf.reserve(t.samples.size() * channels);
+    for (const data::raw_sample& s : t.samples) {
+        buf.insert(buf.end(), {s.accel[0], s.accel[1], s.accel[2], s.gyro[0], s.gyro[1],
+                               s.gyro[2]});
+    }
+    const std::vector<std::size_t> tracked{t.fall->onset_index, t.fall->impact_index};
+
+    warp_result warped;
+    switch (kind) {
+        case augmentation_kind::time_warp:
+            warped = time_warp(buf, channels, config.time_warp, tracked, gen);
+            break;
+        case augmentation_kind::window_warp:
+            warped = window_warp(buf, channels, config.window_warp, tracked, gen);
+            break;
+    }
+
+    data::trial out = t;
+    const std::size_t frames = warped.series.size() / channels;
+    out.samples.resize(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+        const float* row = warped.series.data() + i * channels;
+        out.samples[i].accel = {row[0], row[1], row[2]};
+        out.samples[i].gyro = {row[3], row[4], row[5]};
+    }
+    std::size_t onset = warped.mapped_indices[0];
+    std::size_t impact = warped.mapped_indices[1];
+    // Warping can collapse a short falling phase; keep the annotation sane.
+    impact = std::min(impact, frames - 1);
+    if (onset >= impact) onset = impact > 0 ? impact - 1 : 0;
+    out.fall = data::fall_annotation{onset, impact};
+    out.validate();
+    return out;
+}
+
+void augment_fall_trials(std::vector<data::trial>& trials, int copies_per_trial,
+                         const trial_augment_config& config, util::rng& gen) {
+    FS_ARG_CHECK(copies_per_trial >= 0, "negative augmentation count");
+    std::vector<data::trial> augmented;
+    for (const data::trial& t : trials) {
+        if (!t.is_fall_trial()) continue;
+        for (int copy = 0; copy < copies_per_trial; ++copy) {
+            const augmentation_kind kind = (copy % 2 == 0) ? augmentation_kind::time_warp
+                                                           : augmentation_kind::window_warp;
+            augmented.push_back(augment_fall_trial(t, kind, config, gen));
+        }
+    }
+    trials.insert(trials.end(), std::make_move_iterator(augmented.begin()),
+                  std::make_move_iterator(augmented.end()));
+}
+
+}  // namespace fallsense::augment

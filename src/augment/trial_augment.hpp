@@ -1,0 +1,27 @@
+// Trial-level augmentation: apply time / window warping to a fall trial's
+// raw samples and re-map its frame-accurate annotation.
+#pragma once
+
+#include "augment/warping.hpp"
+#include "data/types.hpp"
+
+namespace fallsense::augment {
+
+enum class augmentation_kind { time_warp, window_warp };
+
+struct trial_augment_config {
+    time_warp_config time_warp;
+    window_warp_config window_warp;
+};
+
+/// Produce an augmented copy of a fall trial; onset/impact indices are
+/// warped along with the signal.  Throws if `t` is not a fall trial.
+data::trial augment_fall_trial(const data::trial& t, augmentation_kind kind,
+                               const trial_augment_config& config, util::rng& gen);
+
+/// Append `copies_per_trial` augmented variants of every fall trial in
+/// `trials` (alternating time/window warping), leaving ADL trials untouched.
+void augment_fall_trials(std::vector<data::trial>& trials, int copies_per_trial,
+                         const trial_augment_config& config, util::rng& gen);
+
+}  // namespace fallsense::augment

@@ -1,0 +1,166 @@
+#include "augment/warping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::augment {
+
+namespace {
+
+std::size_t frame_count(const std::vector<float>& interleaved, std::size_t channels) {
+    FS_ARG_CHECK(channels > 0, "channel count must be positive");
+    FS_ARG_CHECK(interleaved.size() % channels == 0,
+                 "buffer size not a multiple of channel count");
+    return interleaved.size() / channels;
+}
+
+/// Sample the series at fractional frame `pos` (clamped, linear interp).
+void sample_at(const std::vector<float>& in, std::size_t channels, std::size_t frames,
+               double pos, float* out) {
+    pos = std::clamp(pos, 0.0, static_cast<double>(frames - 1));
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, frames - 1);
+    const double frac = pos - static_cast<double>(lo);
+    for (std::size_t c = 0; c < channels; ++c) {
+        const double a = in[lo * channels + c];
+        const double b = in[hi * channels + c];
+        out[c] = static_cast<float>(a + (b - a) * frac);
+    }
+}
+
+}  // namespace
+
+std::vector<float> resample_linear(const std::vector<float>& interleaved, std::size_t channels,
+                                   std::size_t new_frames) {
+    const std::size_t frames = frame_count(interleaved, channels);
+    FS_ARG_CHECK(frames >= 2, "resample needs at least two frames");
+    FS_ARG_CHECK(new_frames >= 2, "resample target needs at least two frames");
+    std::vector<float> out(new_frames * channels);
+    const double step = static_cast<double>(frames - 1) / static_cast<double>(new_frames - 1);
+    for (std::size_t t = 0; t < new_frames; ++t) {
+        sample_at(interleaved, channels, frames, static_cast<double>(t) * step,
+                  out.data() + t * channels);
+    }
+    return out;
+}
+
+warp_result time_warp(const std::vector<float>& interleaved, std::size_t channels,
+                      const time_warp_config& config, const std::vector<std::size_t>& tracked,
+                      util::rng& gen) {
+    const std::size_t frames = frame_count(interleaved, channels);
+    FS_ARG_CHECK(frames >= 2, "time_warp needs at least two frames");
+    FS_ARG_CHECK(config.knots >= 1, "time_warp needs at least one knot");
+    FS_ARG_CHECK(config.sigma >= 0.0, "time_warp sigma must be non-negative");
+
+    // Monotone warp curve w: [0,1] -> [0,1] built from perturbed positive
+    // increments at knots+2 anchor points, then normalized.
+    const std::size_t anchors = config.knots + 2;
+    std::vector<double> increments(anchors - 1);
+    for (double& inc : increments) {
+        inc = std::max(0.05, 1.0 + gen.normal(0.0, config.sigma));
+    }
+    std::vector<double> cum(anchors, 0.0);
+    for (std::size_t i = 1; i < anchors; ++i) cum[i] = cum[i - 1] + increments[i - 1];
+    for (double& v : cum) v /= cum.back();  // w(0)=0, w(1)=1, monotone
+
+    // Piecewise-linear evaluation of w at u in [0,1].
+    auto warp_at = [&](double u) {
+        u = std::clamp(u, 0.0, 1.0);
+        const double pos = u * static_cast<double>(anchors - 1);
+        const auto lo = std::min(static_cast<std::size_t>(pos), anchors - 2);
+        const double frac = pos - static_cast<double>(lo);
+        return cum[lo] + (cum[lo + 1] - cum[lo]) * frac;
+    };
+
+    warp_result result;
+    result.series.resize(frames * channels);
+    for (std::size_t t = 0; t < frames; ++t) {
+        const double u = static_cast<double>(t) / static_cast<double>(frames - 1);
+        const double src = warp_at(u) * static_cast<double>(frames - 1);
+        sample_at(interleaved, channels, frames, src, result.series.data() + t * channels);
+    }
+
+    // Map tracked input frames: find t_out with w(t_out) closest to the
+    // tracked source position (w is monotone — binary search).
+    result.mapped_indices.reserve(tracked.size());
+    for (const std::size_t src_idx : tracked) {
+        FS_ARG_CHECK(src_idx < frames, "tracked index out of range");
+        const double target = static_cast<double>(src_idx) / static_cast<double>(frames - 1);
+        std::size_t lo = 0, hi = frames - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            const double u = static_cast<double>(mid) / static_cast<double>(frames - 1);
+            if (warp_at(u) < target) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        result.mapped_indices.push_back(lo);
+    }
+    return result;
+}
+
+warp_result window_warp(const std::vector<float>& interleaved, std::size_t channels,
+                        const window_warp_config& config,
+                        const std::vector<std::size_t>& tracked, util::rng& gen) {
+    const std::size_t frames = frame_count(interleaved, channels);
+    FS_ARG_CHECK(frames >= 8, "window_warp needs at least eight frames");
+    FS_ARG_CHECK(config.window_fraction > 0.0 && config.window_fraction < 1.0,
+                 "window fraction must be in (0, 1)");
+    FS_ARG_CHECK(config.scale_low > 0.0 && config.scale_high >= config.scale_low,
+                 "invalid window-warp scale range");
+
+    const auto window =
+        std::max<std::size_t>(2, static_cast<std::size_t>(
+                                     std::lround(config.window_fraction *
+                                                 static_cast<double>(frames))));
+    const std::size_t max_start = frames - window;
+    const auto start = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(max_start)));
+    const std::size_t end = start + window;
+    const double scale = gen.uniform(config.scale_low, config.scale_high);
+    const auto new_window = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::lround(scale * static_cast<double>(window))));
+
+    // Resample the window in isolation.
+    std::vector<float> window_buf(interleaved.begin() +
+                                      static_cast<std::ptrdiff_t>(start * channels),
+                                  interleaved.begin() +
+                                      static_cast<std::ptrdiff_t>(end * channels));
+    const std::vector<float> warped_window = resample_linear(window_buf, channels, new_window);
+
+    warp_result result;
+    result.series.reserve((frames - window + new_window) * channels);
+    result.series.insert(result.series.end(), interleaved.begin(),
+                         interleaved.begin() + static_cast<std::ptrdiff_t>(start * channels));
+    result.series.insert(result.series.end(), warped_window.begin(), warped_window.end());
+    result.series.insert(result.series.end(),
+                         interleaved.begin() + static_cast<std::ptrdiff_t>(end * channels),
+                         interleaved.end());
+
+    const double in_window_scale =
+        static_cast<double>(new_window) / static_cast<double>(window);
+    const std::ptrdiff_t shift =
+        static_cast<std::ptrdiff_t>(new_window) - static_cast<std::ptrdiff_t>(window);
+    result.mapped_indices.reserve(tracked.size());
+    for (const std::size_t src_idx : tracked) {
+        FS_ARG_CHECK(src_idx < frames, "tracked index out of range");
+        std::size_t mapped = 0;
+        if (src_idx < start) {
+            mapped = src_idx;
+        } else if (src_idx >= end) {
+            mapped = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(src_idx) + shift);
+        } else {
+            mapped = start + static_cast<std::size_t>(std::lround(
+                                 static_cast<double>(src_idx - start) * in_window_scale));
+        }
+        const std::size_t out_frames = result.series.size() / channels;
+        result.mapped_indices.push_back(std::min(mapped, out_frames - 1));
+    }
+    return result;
+}
+
+}  // namespace fallsense::augment

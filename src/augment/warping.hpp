@@ -1,0 +1,49 @@
+// Time-series augmentation: time warping (Um et al., 2017) and window
+// warping (Rashid & Louis, 2019) — the two techniques the paper applies to
+// fall trials to counter class imbalance (Section III-C).
+//
+// All warps operate on interleaved row-major [frames x channels] buffers
+// and report an index mapping so frame-accurate fall annotations (onset /
+// impact) stay correct after augmentation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fallsense::augment {
+
+/// Linear resampling of a multichannel series to `new_frames` frames.
+std::vector<float> resample_linear(const std::vector<float>& interleaved,
+                                   std::size_t channels, std::size_t new_frames);
+
+struct warp_result {
+    std::vector<float> series;  ///< warped interleaved buffer
+    /// mapped[i] = output frame corresponding to input frame `tracked[i]`.
+    std::vector<std::size_t> mapped_indices;
+};
+
+struct time_warp_config {
+    std::size_t knots = 4;      ///< interior control points of the warp curve
+    double sigma = 0.2;         ///< warp strength (std of knot perturbations)
+};
+
+/// Smooth random time warp; output has the same frame count as the input.
+/// `tracked` lists input frame indices whose warped positions are needed.
+warp_result time_warp(const std::vector<float>& interleaved, std::size_t channels,
+                      const time_warp_config& config,
+                      const std::vector<std::size_t>& tracked, util::rng& gen);
+
+struct window_warp_config {
+    double window_fraction = 0.3;  ///< length of the warped window
+    double scale_low = 0.6;        ///< speed-up bound (window compressed)
+    double scale_high = 1.6;       ///< slow-down bound (window stretched)
+};
+
+/// Warp a random window by a random factor; output length changes.
+warp_result window_warp(const std::vector<float>& interleaved, std::size_t channels,
+                        const window_warp_config& config,
+                        const std::vector<std::size_t>& tracked, util::rng& gen);
+
+}  // namespace fallsense::augment

@@ -1,0 +1,73 @@
+#include "core/airbag.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::core {
+
+airbag_controller::airbag_controller(double inflation_ms, double sample_rate_hz)
+    : inflation_ms_(inflation_ms), sample_rate_hz_(sample_rate_hz) {
+    FS_ARG_CHECK(inflation_ms_ > 0.0, "inflation time must be positive");
+    FS_ARG_CHECK(sample_rate_hz_ > 0.0, "sample rate must be positive");
+}
+
+void airbag_controller::trigger(std::size_t sample_index) {
+    if (state_ != airbag_state::idle) return;
+    state_ = airbag_state::inflating;
+    trigger_index_ = sample_index;
+}
+
+std::optional<std::size_t> airbag_controller::inflated_index() const {
+    if (!trigger_index_) return std::nullopt;
+    const auto inflation_samples = static_cast<std::size_t>(
+        std::lround(inflation_ms_ * sample_rate_hz_ / 1000.0));
+    return *trigger_index_ + inflation_samples;
+}
+
+void airbag_controller::tick(std::size_t sample_index) {
+    if (state_ == airbag_state::inflating && sample_index >= *inflated_index()) {
+        state_ = airbag_state::inflated;
+    }
+}
+
+void airbag_controller::reset() {
+    state_ = airbag_state::idle;
+    trigger_index_.reset();
+}
+
+protection_outcome evaluate_protection(const data::trial& fall_trial,
+                                       const detector_config& config,
+                                       const segment_scorer& scorer, double inflation_ms) {
+    FS_ARG_CHECK(fall_trial.is_fall_trial(), "evaluate_protection needs a fall trial");
+    fall_trial.validate();
+
+    streaming_detector detector(config, scorer);
+    airbag_controller airbag(inflation_ms, config.sample_rate_hz);
+    const std::size_t onset = fall_trial.fall->onset_index;
+    const std::size_t impact = fall_trial.fall->impact_index;
+
+    protection_outcome outcome;
+    for (std::size_t i = 0; i < fall_trial.samples.size() && i <= impact; ++i) {
+        const std::optional<detection> d = detector.push(fall_trial.samples[i]);
+        airbag.tick(i);
+        if (d && !airbag.fired()) {
+            if (d->sample_index < onset) {
+                continue;  // pre-fall false alarm: re-arm (counted elsewhere)
+            }
+            airbag.trigger(d->sample_index);
+            outcome.detected = true;
+            outcome.trigger_sample = d->sample_index;
+        }
+    }
+    if (outcome.detected) {
+        const double ms_per_sample = 1000.0 / config.sample_rate_hz;
+        outcome.trigger_to_impact_ms =
+            static_cast<double>(impact - outcome.trigger_sample) * ms_per_sample;
+        outcome.margin_ms = outcome.trigger_to_impact_ms - inflation_ms;
+        outcome.protected_in_time = outcome.margin_ms >= 0.0;
+    }
+    return outcome;
+}
+
+}  // namespace fallsense::core

@@ -1,0 +1,59 @@
+// Airbag actuation logic and pre-impact timing analysis.
+//
+// The Protechto jacket needs 150 ms from the trigger event to full
+// extension (paper footnote 1).  `airbag_controller` is the small state
+// machine the detector drives; `evaluate_protection` replays an annotated
+// fall trial through a streaming detector and reports whether the airbag
+// was fully inflated before ground contact and with how much margin.
+#pragma once
+
+#include <optional>
+
+#include "core/pipeline.hpp"
+#include "data/types.hpp"
+
+namespace fallsense::core {
+
+enum class airbag_state { idle, inflating, inflated };
+
+class airbag_controller {
+public:
+    explicit airbag_controller(double inflation_ms = 150.0, double sample_rate_hz = 100.0);
+
+    /// Called on the trigger signal (idempotent once fired).
+    void trigger(std::size_t sample_index);
+    /// Advance to a tick; updates inflating -> inflated.
+    void tick(std::size_t sample_index);
+
+    airbag_state state() const { return state_; }
+    bool fired() const { return state_ != airbag_state::idle; }
+    std::optional<std::size_t> trigger_index() const { return trigger_index_; }
+    /// First tick at which the bag is fully extended (trigger + 150 ms).
+    std::optional<std::size_t> inflated_index() const;
+    void reset();
+
+private:
+    double inflation_ms_;
+    double sample_rate_hz_;
+    airbag_state state_ = airbag_state::idle;
+    std::optional<std::size_t> trigger_index_;
+};
+
+struct protection_outcome {
+    bool detected = false;        ///< trigger fired inside the falling phase
+    bool protected_in_time = false;  ///< fully inflated at/before impact
+    double trigger_to_impact_ms = 0.0;  ///< lead time (when detected)
+    double margin_ms = 0.0;       ///< lead time minus inflation time
+    std::size_t trigger_sample = 0;
+};
+
+/// Replay an annotated fall trial through the detector + airbag controller.
+/// Triggers before the fall onset are counted as false alarms and ignored
+/// for timing (the controller is re-armed), matching how the event-level
+/// analysis treats pre-fall activity.
+protection_outcome evaluate_protection(const data::trial& fall_trial,
+                                       const detector_config& config,
+                                       const segment_scorer& scorer,
+                                       double inflation_ms = 150.0);
+
+}  // namespace fallsense::core

@@ -1,0 +1,177 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "data/alignment.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace fallsense::core {
+
+experiment_scale scale_preset(util::run_scale scale) {
+    experiment_scale s;
+    switch (scale) {
+        case util::run_scale::tiny:
+            s.kfall_subjects = 2;
+            s.protechto_subjects = 2;
+            s.folds = 2;
+            s.folds_to_run = 1;
+            s.validation_subjects = 1;
+            s.max_epochs = 4;
+            s.early_stop_patience = 2;
+            s.augmentation_copies = 1;
+            s.tuning.static_hold_s = 1.5;
+            s.tuning.locomotion_s = 2.0;
+            s.tuning.post_fall_hold_s = 1.0;
+            break;
+        case util::run_scale::quick:
+            s.kfall_subjects = 6;
+            s.protechto_subjects = 6;
+            s.folds = 3;
+            s.folds_to_run = 2;
+            s.validation_subjects = 2;
+            s.max_epochs = 24;
+            s.early_stop_patience = 6;
+            s.augmentation_copies = 2;
+            s.tuning.static_hold_s = 3.0;
+            s.tuning.locomotion_s = 3.5;
+            s.tuning.post_fall_hold_s = 1.5;
+            break;
+        case util::run_scale::full:
+            s.kfall_subjects = 32;
+            s.protechto_subjects = 29;
+            s.folds = 5;
+            s.folds_to_run = 5;
+            s.validation_subjects = 4;
+            s.max_epochs = 200;
+            s.early_stop_patience = 20;
+            s.augmentation_copies = 3;
+            s.tuning.static_hold_s = 8.0;
+            s.tuning.locomotion_s = 5.0;
+            s.tuning.post_fall_hold_s = 2.0;
+            break;
+    }
+    return s;
+}
+
+data::dataset make_merged_dataset(const experiment_scale& scale, std::uint64_t seed) {
+    data::dataset_profile kfall = data::kfall_profile();
+    kfall.n_subjects = scale.kfall_subjects;
+    kfall.tuning = scale.tuning;
+    data::dataset_profile protechto = data::protechto_profile();
+    protechto.n_subjects = scale.protechto_subjects;
+    protechto.tuning = scale.tuning;
+
+    const data::dataset raw_kfall = data::generate_dataset(kfall, seed);
+    const data::dataset raw_protechto = data::generate_dataset(protechto, seed);
+    return data::merge_datasets(
+        {data::align_dataset(raw_kfall), data::align_dataset(raw_protechto)},
+        "kfall+protechto");
+}
+
+windowing_config standard_windowing(double window_ms, double overlap,
+                                    double sample_rate_hz) {
+    windowing_config config;
+    config.segmentation = dsp::make_segmentation(window_ms, overlap, sample_rate_hz);
+    config.truncation_ms = 150.0;
+    return config;
+}
+
+namespace {
+
+std::vector<data::trial> trials_for_subjects(const data::dataset& merged,
+                                             const std::vector<int>& subjects) {
+    std::vector<data::trial> out;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(subjects.begin(), subjects.end(), t.subject_id) != subjects.end()) {
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+fold_result run_fold(model_kind kind, const data::dataset& merged,
+                     const eval::fold_split& split, const windowing_config& windows,
+                     const experiment_scale& scale, std::uint64_t seed,
+                     const train_options& options) {
+    const std::size_t window_samples = windows.segmentation.window_samples;
+
+    // Training trials, with trial-level augmentation of the fall minority.
+    std::vector<data::trial> train_trials = trials_for_subjects(merged, split.train_subjects);
+    if (options.augment && scale.augmentation_copies > 0) {
+        util::rng aug_gen(util::derive_seed(seed, "augment"));
+        augment::trial_augment_config aug_cfg;
+        augment::augment_fall_trials(train_trials, scale.augmentation_copies, aug_cfg,
+                                     aug_gen);
+    }
+
+    const std::vector<window_example> train_w = extract_windows(train_trials, windows);
+    const std::vector<window_example> val_w =
+        extract_windows(merged.trials, windows, &split.validation_subjects);
+    const std::vector<window_example> test_w =
+        extract_windows(merged.trials, windows, &split.test_subjects);
+    FS_CHECK(!train_w.empty() && !test_w.empty(), "fold produced no windows");
+
+    nn::labeled_data train = to_labeled_data(train_w, window_samples);
+    nn::labeled_data val = to_labeled_data(val_w, window_samples);
+    nn::labeled_data test = to_labeled_data(test_w, window_samples);
+
+    built_model bm = build_model(kind, window_samples, util::derive_seed(seed, "model"));
+    train.features = bm.adapt_features(train.features);
+    if (val.size() > 0) val.features = bm.adapt_features(val.features);
+    test.features = bm.adapt_features(test.features);
+
+    nn::train_config tc;
+    tc.max_epochs = scale.max_epochs;
+    tc.batch_size = scale.batch_size;
+    tc.learning_rate = scale.learning_rate;
+    tc.early_stop_patience = scale.early_stop_patience;
+    tc.use_class_weights = options.class_weights;
+    tc.init_output_bias = options.output_bias_init;
+    tc.shuffle_seed = util::derive_seed(seed, "shuffle");
+
+    fold_result result;
+    result.history = nn::fit(*bm.network, train, val, tc);
+
+    const std::vector<float> probs = nn::predict_proba(*bm.network, test.features);
+    result.report = eval::evaluate(probs, test.labels);
+    result.test_records = to_segment_records(test_w, probs);
+    return result;
+}
+
+cross_validation_result run_cross_validation(model_kind kind, const data::dataset& merged,
+                                             const windowing_config& windows,
+                                             const experiment_scale& scale,
+                                             std::uint64_t seed,
+                                             const train_options& options) {
+    eval::kfold_config kf;
+    kf.folds = scale.folds;
+    kf.validation_subjects = scale.validation_subjects;
+    kf.shuffle_seed = util::derive_seed(seed, "kfold");
+    const std::vector<eval::fold_split> splits =
+        eval::make_subject_folds(merged.subject_ids(), kf);
+
+    cross_validation_result cv;
+    std::vector<float> all_probs;
+    std::vector<float> all_labels;
+    const std::size_t folds_to_run = std::min(scale.folds_to_run, splits.size());
+    FS_ARG_CHECK(folds_to_run > 0, "no folds to run");
+    for (std::size_t f = 0; f < folds_to_run; ++f) {
+        FS_LOG_INFO("experiment") << model_kind_name(kind) << ": fold " << (f + 1) << '/'
+                                  << folds_to_run;
+        fold_result fr = run_fold(kind, merged, splits[f], windows, scale,
+                                  util::derive_seed(seed, {0xf01dULL, f}), options);
+        for (const eval::segment_record& r : fr.test_records) {
+            all_probs.push_back(r.probability);
+            all_labels.push_back(r.label);
+            cv.all_records.push_back(r);
+        }
+        cv.folds.push_back(std::move(fr));
+    }
+    cv.pooled = eval::evaluate(all_probs, all_labels);
+    return cv;
+}
+
+}  // namespace fallsense::core

@@ -1,0 +1,79 @@
+// Experiment harness shared by the benchmark binaries: dataset generation
+// at a run scale, subject-based cross-validation, per-fold training and
+// evaluation — the full protocol of Sections III-C and IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "augment/trial_augment.hpp"
+#include "core/models.hpp"
+#include "core/windowing.hpp"
+#include "data/generator.hpp"
+#include "eval/kfold.hpp"
+#include "eval/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "util/env.hpp"
+
+namespace fallsense::core {
+
+/// Everything that scales with FALLSENSE_SCALE (DESIGN.md §5).
+struct experiment_scale {
+    int kfall_subjects = 5;
+    int protechto_subjects = 5;
+    std::size_t folds = 2;
+    std::size_t folds_to_run = 1;  ///< benches may evaluate a prefix
+    std::size_t validation_subjects = 2;
+    std::size_t max_epochs = 12;
+    std::size_t early_stop_patience = 4;
+    std::size_t batch_size = 64;
+    double learning_rate = 1e-3;
+    int augmentation_copies = 2;
+    data::motion_tuning tuning;
+};
+
+/// Scale presets: tiny (CI), quick (default), full (paper scale: 61
+/// subjects, 5 folds, 200 epochs / patience 20).
+experiment_scale scale_preset(util::run_scale scale);
+
+/// Generate both datasets, align them (rotation + unit standardization),
+/// and merge — the Section IV-A procedure.
+data::dataset make_merged_dataset(const experiment_scale& scale, std::uint64_t seed);
+
+struct fold_result {
+    eval::classification_report report;                ///< segment level
+    std::vector<eval::segment_record> test_records;    ///< for event analysis
+    nn::train_history history;
+};
+
+struct train_options {
+    bool augment = true;
+    bool class_weights = true;
+    bool output_bias_init = true;
+};
+
+/// Train `kind` on one fold and score its test subjects.
+fold_result run_fold(model_kind kind, const data::dataset& merged,
+                     const eval::fold_split& split, const windowing_config& windows,
+                     const experiment_scale& scale, std::uint64_t seed,
+                     const train_options& options = {});
+
+struct cross_validation_result {
+    eval::classification_report pooled;              ///< all folds' segments
+    std::vector<eval::segment_record> all_records;
+    std::vector<fold_result> folds;
+};
+
+/// Run `scale.folds_to_run` folds and pool the results.
+cross_validation_result run_cross_validation(model_kind kind, const data::dataset& merged,
+                                             const windowing_config& windows,
+                                             const experiment_scale& scale,
+                                             std::uint64_t seed,
+                                             const train_options& options = {});
+
+/// The paper's standard windowing for a given window length in ms
+/// (50 % overlap, 150 ms truncation, 5 Hz Butterworth).
+windowing_config standard_windowing(double window_ms, double overlap = 0.5,
+                                    double sample_rate_hz = 100.0);
+
+}  // namespace fallsense::core

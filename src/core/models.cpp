@@ -1,0 +1,129 @@
+#include "core/models.hpp"
+
+#include "core/preprocess.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/conv_lstm2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/misc_layers.hpp"
+#include "nn/pooling.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::core {
+
+namespace {
+
+nn::tensor identity_adapt(const nn::tensor& features) { return features; }
+
+/// [N, window, 9] -> [N, window, 3, 3, 1]: rows = modality, cols = axis.
+nn::tensor grid_adapt(const nn::tensor& features) {
+    FS_ARG_CHECK(features.rank() == 3 && features.dim(2) == k_feature_channels,
+                 "grid adapter expects [N, window, 9]");
+    return features.reshaped({features.dim(0), features.dim(1), 3, 3, 1});
+}
+
+std::unique_ptr<nn::sequential> make_cnn_branch(std::size_t filters, std::size_t kernel,
+                                                std::size_t pool, util::rng& gen,
+                                                const std::string& name) {
+    auto branch = std::make_unique<nn::sequential>();
+    branch->emplace<nn::conv1d>(3, filters, kernel, gen, name + ".conv");
+    branch->emplace<nn::relu>();
+    branch->emplace<nn::maxpool1d>(pool);
+    branch->emplace<nn::flatten>();
+    return branch;
+}
+
+std::unique_ptr<nn::sequential> make_cnn_trunk(std::size_t concat_width, util::rng& gen) {
+    auto trunk = std::make_unique<nn::sequential>();
+    trunk->emplace<nn::dense>(concat_width, 64, gen, /*relu_fan=*/true, "trunk.dense0");
+    trunk->emplace<nn::relu>();
+    trunk->emplace<nn::dense>(64, 32, gen, /*relu_fan=*/true, "trunk.dense1");
+    trunk->emplace<nn::relu>();
+    trunk->emplace<nn::dense>(32, 1, gen, /*relu_fan=*/false, "trunk.logit");
+    return trunk;
+}
+
+}  // namespace
+
+const char* model_kind_name(model_kind kind) {
+    switch (kind) {
+        case model_kind::mlp: return "MLP";
+        case model_kind::lstm: return "LSTM";
+        case model_kind::conv_lstm2d: return "ConvLSTM2D";
+        case model_kind::cnn: return "CNN (Proposed)";
+    }
+    return "?";
+}
+
+std::unique_ptr<nn::multi_branch_network> build_fallsense_cnn(std::size_t window_samples,
+                                                              std::uint64_t seed,
+                                                              const model_hyperparams& hp) {
+    FS_ARG_CHECK(window_samples >= hp.cnn_kernel, "window shorter than conv kernel");
+    util::rng gen(util::derive_seed(seed, "cnn"));
+    std::vector<std::unique_ptr<nn::sequential>> branches;
+    const char* names[3] = {"accel", "gyro", "euler"};
+    for (const char* name : names) {
+        branches.push_back(make_cnn_branch(hp.cnn_filters, hp.cnn_kernel, hp.cnn_pool, gen,
+                                           name));
+    }
+    const std::size_t conv_time = window_samples - hp.cnn_kernel + 1;
+    const std::size_t concat_width = 3 * (conv_time / hp.cnn_pool) * hp.cnn_filters;
+    return std::make_unique<nn::multi_branch_network>(
+        std::vector<std::size_t>{3, 3, 3}, std::move(branches),
+        make_cnn_trunk(concat_width, gen));
+}
+
+built_model build_model(model_kind kind, std::size_t window_samples, std::uint64_t seed,
+                        const model_hyperparams& hp) {
+    FS_ARG_CHECK(window_samples > 0, "empty window");
+    built_model out;
+    out.adapt_features = identity_adapt;
+
+    switch (kind) {
+        case model_kind::cnn:
+            out.network = build_fallsense_cnn(window_samples, seed, hp);
+            break;
+        case model_kind::mlp: {
+            util::rng gen(util::derive_seed(seed, "mlp"));
+            auto net = std::make_unique<nn::sequential>();
+            net->emplace<nn::flatten>();
+            net->emplace<nn::dense>(window_samples * k_feature_channels, hp.mlp_hidden1, gen,
+                                    true, "mlp.dense0");
+            net->emplace<nn::relu>();
+            net->emplace<nn::dense>(hp.mlp_hidden1, hp.mlp_hidden2, gen, true, "mlp.dense1");
+            net->emplace<nn::relu>();
+            net->emplace<nn::dense>(hp.mlp_hidden2, 1, gen, false, "mlp.logit");
+            out.network = std::move(net);
+            break;
+        }
+        case model_kind::lstm: {
+            util::rng gen(util::derive_seed(seed, "lstm"));
+            auto net = std::make_unique<nn::sequential>();
+            net->emplace<nn::lstm>(k_feature_channels, hp.lstm_hidden, gen, "lstm.cell");
+            net->emplace<nn::dense>(hp.lstm_hidden, hp.dense_head, gen, true, "lstm.dense0");
+            net->emplace<nn::relu>();
+            net->emplace<nn::dense>(hp.dense_head, 1, gen, false, "lstm.logit");
+            out.network = std::move(net);
+            break;
+        }
+        case model_kind::conv_lstm2d: {
+            util::rng gen(util::derive_seed(seed, "conv_lstm2d"));
+            auto net = std::make_unique<nn::sequential>();
+            net->emplace<nn::conv_lstm2d>(1, hp.conv_lstm_filters, hp.conv_lstm_kernel, gen,
+                                          "clstm.cell");
+            net->emplace<nn::flatten>();
+            net->emplace<nn::dense>(3 * 3 * hp.conv_lstm_filters, hp.dense_head, gen, true,
+                                    "clstm.dense0");
+            net->emplace<nn::relu>();
+            net->emplace<nn::dense>(hp.dense_head, 1, gen, false, "clstm.logit");
+            out.network = std::move(net);
+            out.adapt_features = grid_adapt;
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace fallsense::core

@@ -1,0 +1,54 @@
+// Model zoo: the proposed CNN and the paper's three baselines
+// (Section IV-B: MLP, LSTM, ConvLSTM2D) built for a given window length.
+//
+// Proposed CNN (Section III-B): the [n x 9] input splits into three
+// [n x 3] modality matrices (accelerometer / gyroscope / Euler angles);
+// each branch runs Conv1D(16, k=3) -> ReLU -> MaxPool1D(2) -> Flatten;
+// the concatenation feeds Dense(64) -> ReLU -> Dense(32) -> ReLU ->
+// Dense(1) whose sigmoid output is the falling confidence.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/multi_branch.hpp"
+#include "nn/sequential.hpp"
+
+namespace fallsense::core {
+
+enum class model_kind { mlp, lstm, conv_lstm2d, cnn };
+
+const char* model_kind_name(model_kind kind);
+
+struct built_model {
+    std::unique_ptr<nn::model> network;
+    /// Reshape a [N, window, 9] feature tensor into this model's input
+    /// layout (identity for MLP/LSTM/CNN; [N, window, 3, 3, 1] for
+    /// ConvLSTM2D's spatial grid).
+    std::function<nn::tensor(const nn::tensor&)> adapt_features;
+};
+
+struct model_hyperparams {
+    std::size_t cnn_filters = 16;
+    std::size_t cnn_kernel = 3;
+    std::size_t cnn_pool = 2;
+    std::size_t mlp_hidden1 = 64;
+    std::size_t mlp_hidden2 = 32;
+    std::size_t lstm_hidden = 28;
+    std::size_t conv_lstm_filters = 6;
+    std::size_t conv_lstm_kernel = 3;
+    std::size_t dense_head = 32;  ///< head width for the recurrent baselines
+};
+
+/// Build a model for `window_samples`-row segments.
+built_model build_model(model_kind kind, std::size_t window_samples, std::uint64_t seed,
+                        const model_hyperparams& hp = {});
+
+/// The proposed CNN with direct access to the multi-branch network type
+/// (needed by quantization).  Equivalent to build_model(model_kind::cnn, ...).
+std::unique_ptr<nn::multi_branch_network> build_fallsense_cnn(std::size_t window_samples,
+                                                              std::uint64_t seed,
+                                                              const model_hyperparams& hp = {});
+
+}  // namespace fallsense::core

@@ -1,0 +1,96 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace fallsense::core {
+
+streaming_detector::streaming_detector(const detector_config& config, segment_scorer scorer)
+    : config_(config), scorer_(std::move(scorer)), fusion_([&] {
+          dsp::fusion_config fc = config.preprocess.fusion;
+          fc.sample_rate_hz = config.sample_rate_hz;
+          return fc;
+      }()) {
+    FS_ARG_CHECK(config_.window_samples > 0, "detector window must be positive");
+    FS_ARG_CHECK(config_.overlap_fraction >= 0.0 && config_.overlap_fraction < 1.0,
+                 "detector overlap must be in [0, 1)");
+    FS_ARG_CHECK(config_.threshold >= 0.0 && config_.threshold <= 1.0,
+                 "detector threshold must be in [0, 1]");
+    FS_ARG_CHECK(scorer_ != nullptr, "detector needs a scorer");
+    for (std::size_t c = 0; c < 6; ++c) {
+        filters_.emplace_back(config_.preprocess.filter_order, config_.preprocess.cutoff_hz,
+                              config_.sample_rate_hz);
+    }
+    ring_.assign(config_.window_samples * k_feature_channels, 0.0f);
+    const double hop =
+        static_cast<double>(config_.window_samples) * (1.0 - config_.overlap_fraction);
+    hop_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(hop)));
+    last_score_ = std::numeric_limits<float>::quiet_NaN();
+}
+
+std::optional<detection> streaming_detector::push(const data::raw_sample& sample) {
+    // Prime the filters on the very first tick: the wearable streams
+    // continuously, so a cold filter transient is an artifact of starting
+    // mid-signal, not something the deployed firmware sees.
+    if (tick_ == 0) {
+        for (std::size_t c = 0; c < 3; ++c) filters_[c].prime(sample.accel[c]);
+        for (std::size_t c = 0; c < 3; ++c) filters_[3 + c].prime(sample.gyro[c]);
+    }
+    // Streaming filter + fusion (the firmware's 10 ms tick).
+    float filtered[6];
+    for (std::size_t c = 0; c < 3; ++c) filtered[c] = filters_[c].process(sample.accel[c]);
+    for (std::size_t c = 0; c < 3; ++c) {
+        filtered[3 + c] = filters_[3 + c].process(sample.gyro[c]);
+    }
+    const dsp::euler_angles angles = fusion_.update(
+        {filtered[0], filtered[1], filtered[2]}, {filtered[3], filtered[4], filtered[5]});
+
+    const std::size_t slot = tick_ % config_.window_samples;
+    float* row = ring_.data() + slot * k_feature_channels;
+    row[0] = filtered[0];
+    row[1] = filtered[1];
+    row[2] = filtered[2];
+    row[3] = filtered[3];
+    row[4] = filtered[4];
+    row[5] = filtered[5];
+    row[6] = static_cast<float>(angles.pitch);
+    row[7] = static_cast<float>(angles.roll);
+    row[8] = static_cast<float>(angles.yaw);
+    ++tick_;
+
+    // Score once the buffer is full, every hop ticks thereafter.
+    if (tick_ < config_.window_samples || (tick_ - config_.window_samples) % hop_ != 0) {
+        return std::nullopt;
+    }
+    // Unroll the ring into chronological order.
+    std::vector<float> window(config_.window_samples * k_feature_channels);
+    for (std::size_t i = 0; i < config_.window_samples; ++i) {
+        const std::size_t src = (tick_ + i) % config_.window_samples;
+        std::copy(ring_.begin() + static_cast<std::ptrdiff_t>(src * k_feature_channels),
+                  ring_.begin() + static_cast<std::ptrdiff_t>((src + 1) * k_feature_channels),
+                  window.begin() + static_cast<std::ptrdiff_t>(i * k_feature_channels));
+    }
+    last_score_ = scorer_(window);
+    if (last_score_ >= config_.threshold) {
+        ++positive_run_;
+        if (positive_run_ >= std::max<std::size_t>(config_.consecutive_required, 1)) {
+            return detection{tick_ - 1, last_score_};
+        }
+    } else {
+        positive_run_ = 0;
+    }
+    return std::nullopt;
+}
+
+void streaming_detector::reset() {
+    for (auto& f : filters_) f.reset();
+    fusion_.reset();
+    std::fill(ring_.begin(), ring_.end(), 0.0f);
+    tick_ = 0;
+    positive_run_ = 0;
+    last_score_ = std::numeric_limits<float>::quiet_NaN();
+}
+
+}  // namespace fallsense::core

@@ -1,0 +1,72 @@
+// Real-time pre-impact fall detection pipeline (Figure 2).
+//
+// `streaming_detector` mirrors the firmware structure: every 10 ms tick it
+// filters the raw sample (streaming Butterworth), updates the sensor-fusion
+// attitude, appends the 9-feature row to a ring buffer, and every hop
+// (window * (1 - overlap)) scores the current window with the deployed
+// classifier.  A score above the decision threshold raises the trigger —
+// the signal that would fire the airbag squib.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "core/windowing.hpp"
+#include "data/types.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/fusion.hpp"
+
+namespace fallsense::core {
+
+/// Scores one preprocessed segment (row-major [window x 9]) -> probability.
+using segment_scorer = std::function<float(std::span<const float>)>;
+
+struct detector_config {
+    std::size_t window_samples = 40;
+    double overlap_fraction = 0.5;
+    double threshold = 0.5;
+    /// Debouncing (extension beyond the paper): require this many
+    /// CONSECUTIVE windows above threshold before raising the trigger.
+    /// 1 reproduces the paper's single-window trigger; 2 suppresses
+    /// one-off false alarms at the cost of one hop (~window/2) of latency.
+    std::size_t consecutive_required = 1;
+    preprocess_config preprocess{};
+    double sample_rate_hz = 100.0;
+};
+
+/// One positive window during streaming.
+struct detection {
+    std::size_t sample_index = 0;  ///< tick at which the window was scored
+    float probability = 0.0f;
+};
+
+class streaming_detector {
+public:
+    streaming_detector(const detector_config& config, segment_scorer scorer);
+
+    /// Process one tick; returns a detection when a window was scored at
+    /// this tick and crossed the threshold.
+    std::optional<detection> push(const data::raw_sample& sample);
+
+    /// Score emitted at the last scoring tick (NaN before the first one).
+    float last_score() const { return last_score_; }
+    std::size_t samples_seen() const { return tick_; }
+    void reset();
+
+private:
+    detector_config config_;
+    segment_scorer scorer_;
+    std::vector<dsp::butterworth_lowpass> filters_;  ///< 6 raw channels
+    dsp::complementary_filter fusion_;
+    std::vector<float> ring_;  ///< [window x 9] circular feature buffer
+    std::size_t tick_ = 0;
+    std::size_t hop_ = 1;
+    float last_score_ = 0.0f;
+    std::size_t positive_run_ = 0;  ///< consecutive above-threshold windows
+};
+
+}  // namespace fallsense::core

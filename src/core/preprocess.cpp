@@ -1,0 +1,55 @@
+#include "core/preprocess.hpp"
+
+#include "dsp/biquad.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::core {
+
+std::vector<float> preprocess_trial(const data::trial& t, const preprocess_config& config) {
+    t.validate();
+    FS_ARG_CHECK(t.accel_units == data::accel_unit::g &&
+                     t.gyro_units == data::gyro_unit::rad_per_s,
+                 "trial must be aligned to g / rad/s before preprocessing");
+    const std::size_t n = t.samples.size();
+
+    // Filter the six raw channels with independent streaming filters, as the
+    // firmware does on each 10 ms tick.
+    std::vector<float> raw(n * 6);
+    for (std::size_t i = 0; i < n; ++i) {
+        const data::raw_sample& s = t.samples[i];
+        float* row = raw.data() + i * 6;
+        row[0] = s.accel[0];
+        row[1] = s.accel[1];
+        row[2] = s.accel[2];
+        row[3] = s.gyro[0];
+        row[4] = s.gyro[1];
+        row[5] = s.gyro[2];
+    }
+    dsp::filter_channels_inplace(raw, 6, config.filter_order, config.cutoff_hz,
+                                 t.sample_rate_hz);
+
+    // Fuse Euler angles from the filtered stream.
+    dsp::fusion_config fusion_cfg = config.fusion;
+    fusion_cfg.sample_rate_hz = t.sample_rate_hz;
+    dsp::complementary_filter fusion(fusion_cfg);
+
+    std::vector<float> out(n * k_feature_channels);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = raw.data() + i * 6;
+        const dsp::euler_angles angles =
+            fusion.update({row[0], row[1], row[2]}, {row[3], row[4], row[5]});
+        float* dst = out.data() + i * k_feature_channels;
+        dst[0] = row[0];
+        dst[1] = row[1];
+        dst[2] = row[2];
+        dst[3] = row[3];
+        dst[4] = row[4];
+        dst[5] = row[5];
+        dst[6] = static_cast<float>(angles.pitch);
+        dst[7] = static_cast<float>(angles.roll);
+        dst[8] = static_cast<float>(angles.yaw);
+    }
+    return out;
+}
+
+}  // namespace fallsense::core

@@ -1,0 +1,27 @@
+// Trial preprocessing (Section III-A + on-edge fusion of Section II-A):
+// 4th-order Butterworth low-pass (5 Hz) on the six raw channels, then
+// complementary-filter sensor fusion appending Euler pitch/roll/yaw —
+// producing the 9-feature stream the models consume.
+#pragma once
+
+#include <vector>
+
+#include "data/types.hpp"
+#include "dsp/fusion.hpp"
+
+namespace fallsense::core {
+
+inline constexpr std::size_t k_feature_channels = 9;
+
+struct preprocess_config {
+    std::size_t filter_order = 4;
+    double cutoff_hz = 5.0;
+    dsp::fusion_config fusion;
+};
+
+/// Returns an interleaved row-major [samples x 9] buffer:
+/// ax, ay, az (g), gx, gy, gz (rad/s), pitch, roll, yaw (rad).
+/// The trial must already be aligned (g / rad/s units).
+std::vector<float> preprocess_trial(const data::trial& t, const preprocess_config& config);
+
+}  // namespace fallsense::core

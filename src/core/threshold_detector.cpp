@@ -1,0 +1,106 @@
+#include "core/threshold_detector.hpp"
+
+#include <cmath>
+
+#include "dsp/units.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::core {
+
+threshold_detector::threshold_detector(const threshold_config& config) : config_(config) {
+    FS_ARG_CHECK(config_.sample_rate_hz > 0.0, "sample rate must be positive");
+    FS_ARG_CHECK(config_.freefall_threshold_g > 0.0 && config_.freefall_threshold_g < 1.0,
+                 "free-fall threshold must be inside (0, 1) g");
+    FS_ARG_CHECK(config_.sustain_ms >= 0.0, "sustain time must be non-negative");
+    FS_ARG_CHECK(config_.velocity_threshold_ms < 0.0,
+                 "velocity threshold must be downward (negative)");
+    FS_ARG_CHECK(config_.velocity_leak_per_tick > 0.0 && config_.velocity_leak_per_tick <= 1.0,
+                 "velocity leak must be in (0, 1]");
+}
+
+std::optional<detection> threshold_detector::push(const data::raw_sample& sample) {
+    const double dt = 1.0 / config_.sample_rate_hz;
+    const double mag_g = std::sqrt(static_cast<double>(sample.accel[0]) * sample.accel[0] +
+                                   sample.accel[1] * sample.accel[1] +
+                                   sample.accel[2] * sample.accel[2]);
+
+    // Leaky integration of the acceleration deficit: in free fall the body
+    // gains downward speed at (1 - |a|) g.
+    velocity_ms_ = velocity_ms_ * config_.velocity_leak_per_tick -
+                   (1.0 - mag_g) * dsp::k_standard_gravity_ms2 * dt;
+
+    if (mag_g < config_.freefall_threshold_g) {
+        ++freefall_run_;
+    } else {
+        freefall_run_ = 0;
+    }
+
+    const std::size_t current = tick_++;
+    if (current < refractory_until_) return std::nullopt;
+
+    const auto sustain_ticks = static_cast<std::size_t>(
+        std::lround(config_.sustain_ms * config_.sample_rate_hz / 1000.0));
+    const bool freefall_ok = freefall_run_ >= std::max<std::size_t>(sustain_ticks, 1);
+    const bool velocity_ok = velocity_ms_ <= config_.velocity_threshold_ms;
+    if (freefall_ok && velocity_ok) {
+        refractory_until_ = current + static_cast<std::size_t>(std::lround(
+                                          config_.refractory_ms * config_.sample_rate_hz /
+                                          1000.0));
+        // Confidence proxy: how far past the velocity threshold we are.
+        const float confidence = static_cast<float>(
+            std::min(1.0, velocity_ms_ / (2.0 * config_.velocity_threshold_ms) + 0.5));
+        return detection{current, confidence};
+    }
+    return std::nullopt;
+}
+
+void threshold_detector::reset() {
+    tick_ = 0;
+    freefall_run_ = 0;
+    velocity_ms_ = 0.0;
+    refractory_until_ = 0;
+}
+
+threshold_event_counts evaluate_threshold_baseline(const std::vector<data::trial>& trials,
+                                                   const threshold_config& config) {
+    threshold_event_counts counts;
+    double lead_sum = 0.0;
+    for (const data::trial& t : trials) {
+        t.validate();
+        threshold_config cfg = config;
+        cfg.sample_rate_hz = t.sample_rate_hz;
+        threshold_detector det(cfg);
+        bool fired_in_window = false;
+        bool fired_at_all = false;
+        std::size_t fire_tick = 0;
+        const std::size_t limit =
+            t.fall ? t.fall->impact_index + 1 : t.sample_count();
+        for (std::size_t i = 0; i < limit; ++i) {
+            if (const auto d = det.push(t.samples[i])) {
+                fired_at_all = true;
+                if (t.fall && d->sample_index >= t.fall->onset_index &&
+                    d->sample_index <= t.fall->impact_index && !fired_in_window) {
+                    fired_in_window = true;
+                    fire_tick = d->sample_index;
+                }
+            }
+        }
+        if (t.fall) {
+            ++counts.falls_total;
+            if (fired_in_window) {
+                ++counts.falls_detected;
+                lead_sum += static_cast<double>(t.fall->impact_index - fire_tick) * 1000.0 /
+                            t.sample_rate_hz;
+            }
+        } else {
+            ++counts.adl_total;
+            if (fired_at_all) ++counts.adl_false_alarms;
+        }
+    }
+    if (counts.falls_detected > 0) {
+        counts.mean_lead_time_ms = lead_sum / static_cast<double>(counts.falls_detected);
+    }
+    return counts;
+}
+
+}  // namespace fallsense::core

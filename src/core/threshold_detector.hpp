@@ -1,0 +1,71 @@
+// Threshold-based pre-impact fall detection baseline.
+//
+// The paper's related work (Table I) includes threshold algorithms
+// [de Sousa et al. 2021; Jung et al. 2020] that fire on simple kinematic
+// conditions instead of a learned model: a sustained free-fall signature
+// (acceleration magnitude well below 1 g) combined with a downward
+// vertical-velocity estimate obtained by integrating the acceleration
+// deficit.  They are cheap and fast but markedly less accurate — the
+// trade-off the paper's CNN is designed to beat.  This implementation
+// reproduces that baseline so the comparison can be run on the same data.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/pipeline.hpp"
+#include "data/types.hpp"
+
+namespace fallsense::core {
+
+struct threshold_config {
+    double sample_rate_hz = 100.0;
+    /// Free-fall condition: |a| below this (g)...
+    double freefall_threshold_g = 0.65;
+    /// ...sustained for at least this long.
+    double sustain_ms = 60.0;
+    /// Vertical-velocity trigger (m/s, negative = downward).  The velocity
+    /// estimate integrates (|a| - 1 g) over a sliding horizon, leaking to
+    /// zero so standing still does not accumulate drift.
+    double velocity_threshold_ms = -1.0;
+    double velocity_leak_per_tick = 0.98;
+    /// Refractory period after a trigger before the detector re-arms.
+    double refractory_ms = 1000.0;
+};
+
+class threshold_detector {
+public:
+    explicit threshold_detector(const threshold_config& config = {});
+
+    /// Process one raw sample (g / rad/s); returns a detection when the
+    /// trigger condition is met at this tick.
+    std::optional<detection> push(const data::raw_sample& sample);
+
+    /// Current vertical-velocity estimate (m/s, negative downward).
+    double velocity_estimate() const { return velocity_ms_; }
+    std::size_t samples_seen() const { return tick_; }
+    void reset();
+
+private:
+    threshold_config config_;
+    std::size_t tick_ = 0;
+    std::size_t freefall_run_ = 0;  ///< consecutive ticks below threshold
+    double velocity_ms_ = 0.0;
+    std::size_t refractory_until_ = 0;
+};
+
+/// Event-level evaluation of the threshold baseline over a set of trials:
+/// fall detected = trigger inside [onset, impact]; ADL false alarm = any
+/// trigger during a non-fall trial.  Mirrors eval::count_events semantics.
+struct threshold_event_counts {
+    std::size_t falls_detected = 0;
+    std::size_t falls_total = 0;
+    std::size_t adl_false_alarms = 0;
+    std::size_t adl_total = 0;
+    double mean_lead_time_ms = 0.0;  ///< trigger-to-impact over detected falls
+};
+
+threshold_event_counts evaluate_threshold_baseline(const std::vector<data::trial>& trials,
+                                                   const threshold_config& config = {});
+
+}  // namespace fallsense::core

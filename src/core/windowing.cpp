@@ -1,0 +1,113 @@
+#include "core/windowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace fallsense::core {
+
+std::vector<window_example> extract_windows(const data::trial& t,
+                                            const windowing_config& config) {
+    config.segmentation.validate();
+    const std::vector<float> stream = preprocess_trial(t, config.preprocess);
+    const std::size_t n = t.samples.size();
+    const std::size_t window = config.segmentation.window_samples;
+    const auto to_samples = [&](double ms) {
+        return static_cast<std::size_t>(std::lround(ms * t.sample_rate_hz / 1000.0));
+    };
+    const std::size_t truncation = to_samples(config.truncation_ms);
+    FS_ARG_CHECK(config.min_overlap_fraction > 0.0 && config.min_overlap_fraction <= 1.0,
+                 "min_overlap_fraction must be in (0, 1]");
+    const std::size_t min_overlap = std::max<std::size_t>(
+        {std::size_t{1}, to_samples(config.min_overlap_ms),
+         static_cast<std::size_t>(std::lround(config.min_overlap_fraction *
+                                              static_cast<double>(window)))});
+
+    // Usable falling window [onset, usable_end): the last `truncation`
+    // samples before impact are withheld.
+    std::size_t usable_begin = 0, usable_end = 0, drop_from = n;
+    if (t.fall) {
+        usable_begin = t.fall->onset_index;
+        usable_end = (t.fall->impact_index > truncation)
+                         ? t.fall->impact_index - truncation
+                         : t.fall->onset_index;
+        // Segments reaching into the withheld slice or past impact carry
+        // data the classifier will never see in time — drop them.
+        drop_from = usable_end;
+    }
+
+    std::vector<window_example> out;
+    for (const std::size_t start : dsp::segment_starts(n, config.segmentation)) {
+        const std::size_t end = start + window;  // exclusive
+        if (t.fall && end > drop_from) continue;
+        window_example ex;
+        ex.features.assign(stream.begin() + static_cast<std::ptrdiff_t>(start * k_feature_channels),
+                           stream.begin() + static_cast<std::ptrdiff_t>(end * k_feature_channels));
+        ex.subject_id = t.subject_id;
+        ex.task_id = t.task_id;
+        ex.trial_index = t.trial_index;
+        ex.trial_is_fall = t.is_fall_trial();
+        if (t.fall && usable_end > usable_begin) {
+            const std::size_t ov_begin = std::max(start, usable_begin);
+            const std::size_t ov_end = std::min(end, usable_end);
+            const std::size_t overlap = (ov_end > ov_begin) ? ov_end - ov_begin : 0;
+            ex.label = (overlap >= min_overlap) ? 1.0f : 0.0f;
+        }
+        out.push_back(std::move(ex));
+    }
+    return out;
+}
+
+std::vector<window_example> extract_windows(const std::vector<data::trial>& trials,
+                                            const windowing_config& config,
+                                            const std::vector<int>* subject_filter) {
+    std::set<int> allowed;
+    if (subject_filter) allowed.insert(subject_filter->begin(), subject_filter->end());
+    std::vector<window_example> out;
+    for (const data::trial& t : trials) {
+        if (subject_filter && !allowed.contains(t.subject_id)) continue;
+        std::vector<window_example> w = extract_windows(t, config);
+        out.insert(out.end(), std::make_move_iterator(w.begin()),
+                   std::make_move_iterator(w.end()));
+    }
+    return out;
+}
+
+nn::labeled_data to_labeled_data(const std::vector<window_example>& examples,
+                                 std::size_t window_samples) {
+    nn::labeled_data data;
+    data.features = nn::tensor({examples.size(), window_samples, k_feature_channels});
+    data.labels.reserve(examples.size());
+    const std::size_t row_size = window_samples * k_feature_channels;
+    for (std::size_t i = 0; i < examples.size(); ++i) {
+        FS_ARG_CHECK(examples[i].features.size() == row_size,
+                     "window example size mismatch");
+        std::copy(examples[i].features.begin(), examples[i].features.end(),
+                  data.features.data() + i * row_size);
+        data.labels.push_back(examples[i].label);
+    }
+    return data;
+}
+
+std::vector<eval::segment_record> to_segment_records(
+    const std::vector<window_example>& examples, std::span<const float> probabilities) {
+    FS_ARG_CHECK(examples.size() == probabilities.size(),
+                 "example/probability count mismatch");
+    std::vector<eval::segment_record> records;
+    records.reserve(examples.size());
+    for (std::size_t i = 0; i < examples.size(); ++i) {
+        eval::segment_record r;
+        r.subject_id = examples[i].subject_id;
+        r.task_id = examples[i].task_id;
+        r.trial_index = examples[i].trial_index;
+        r.trial_is_fall = examples[i].trial_is_fall;
+        r.label = examples[i].label;
+        r.probability = probabilities[i];
+        records.push_back(r);
+    }
+    return records;
+}
+
+}  // namespace fallsense::core

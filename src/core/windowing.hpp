@@ -1,0 +1,59 @@
+// Labeled-segment extraction with pre-impact truncation (Sections III-A,
+// III-C): slide a window over the preprocessed 9-channel stream; a segment
+// is a positive ("falling") example when it overlaps the truncated falling
+// window [onset, impact - 150 ms] by at least `min_overlap_ms`.  Segments
+// that reach into the withheld final 150 ms or beyond the impact are
+// dropped entirely — the airbag must already be triggered by then, and the
+// paper removes exactly this data from training.
+#pragma once
+
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "dsp/segmentation.hpp"
+#include "eval/events.hpp"
+#include "nn/trainer.hpp"
+
+namespace fallsense::core {
+
+struct windowing_config {
+    dsp::segmentation_config segmentation{};  ///< window length + overlap
+    double truncation_ms = 150.0;             ///< withheld pre-impact slice
+    /// A segment is labeled "falling" when at least this fraction of the
+    /// window lies inside the usable falling interval (and never less than
+    /// `min_overlap_ms`).  Fraction-based labeling keeps the positive-class
+    /// definition consistent across window sizes.
+    double min_overlap_fraction = 0.35;
+    double min_overlap_ms = 50.0;
+    preprocess_config preprocess{};
+};
+
+/// One extracted segment: features plus the identifiers used for
+/// event-level evaluation.
+struct window_example {
+    std::vector<float> features;  ///< row-major [window_samples x 9]
+    float label = 0.0f;           ///< 1 = falling segment
+    int subject_id = 0;
+    int task_id = 0;
+    int trial_index = 0;
+    bool trial_is_fall = false;
+};
+
+/// Extract segments from one (aligned) trial.
+std::vector<window_example> extract_windows(const data::trial& t,
+                                            const windowing_config& config);
+
+/// Extract from many trials, optionally restricted to given subject ids.
+std::vector<window_example> extract_windows(const std::vector<data::trial>& trials,
+                                            const windowing_config& config,
+                                            const std::vector<int>* subject_filter = nullptr);
+
+/// Pack examples into the nn training format [N, window, 9] (+ labels).
+nn::labeled_data to_labeled_data(const std::vector<window_example>& examples,
+                                 std::size_t window_samples);
+
+/// Pair each example with a probability for event-level analysis.
+std::vector<eval::segment_record> to_segment_records(
+    const std::vector<window_example>& examples, std::span<const float> probabilities);
+
+}  // namespace fallsense::core

@@ -1,0 +1,81 @@
+#include "data/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "dsp/units.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::data {
+
+namespace {
+
+bool is_identity(const dsp::mat3& m, double tol = 1e-9) {
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            const double expected = (r == c) ? 1.0 : 0.0;
+            if (std::abs(m(r, c) - expected) > tol) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+void align_trial(trial& t, const dsp::mat3& r) {
+    const double a_scale =
+        (t.accel_units == accel_unit::meters_per_s2) ? (1.0 / dsp::k_standard_gravity_ms2) : 1.0;
+    const double w_scale =
+        (t.gyro_units == gyro_unit::deg_per_s) ? (std::numbers::pi / 180.0) : 1.0;
+    for (raw_sample& s : t.samples) {
+        const dsp::vec3 a = r.apply({s.accel[0] * a_scale, s.accel[1] * a_scale,
+                                     s.accel[2] * a_scale});
+        const dsp::vec3 w =
+            r.apply({s.gyro[0] * w_scale, s.gyro[1] * w_scale, s.gyro[2] * w_scale});
+        s.accel = {static_cast<float>(a.x), static_cast<float>(a.y), static_cast<float>(a.z)};
+        s.gyro = {static_cast<float>(w.x), static_cast<float>(w.y), static_cast<float>(w.z)};
+    }
+    t.accel_units = accel_unit::g;
+    t.gyro_units = gyro_unit::rad_per_s;
+}
+
+dataset align_dataset(const dataset& d) {
+    FS_ARG_CHECK(dsp::is_rotation_matrix(d.to_reference_frame, 1e-6),
+                 "dataset frame is not a rotation matrix");
+    dataset out;
+    out.name = d.name;
+    out.to_reference_frame = dsp::mat3::identity();
+    out.trials.reserve(d.trials.size());
+    for (const trial& t : d.trials) {
+        trial aligned = t;
+        align_trial(aligned, d.to_reference_frame);
+        out.trials.push_back(std::move(aligned));
+    }
+    return out;
+}
+
+dataset merge_datasets(const std::vector<dataset>& aligned, std::string merged_name) {
+    FS_ARG_CHECK(!aligned.empty(), "nothing to merge");
+    dataset out;
+    out.name = std::move(merged_name);
+    out.to_reference_frame = dsp::mat3::identity();
+    std::set<int> seen_subjects;
+    for (const dataset& d : aligned) {
+        FS_ARG_CHECK(is_identity(d.to_reference_frame),
+                     "dataset '" + d.name + "' is not aligned to the reference frame");
+        for (const trial& t : d.trials) {
+            FS_ARG_CHECK(t.accel_units == accel_unit::g && t.gyro_units == gyro_unit::rad_per_s,
+                         "dataset '" + d.name + "' has non-standard units");
+            out.trials.push_back(t);
+        }
+        for (const int id : d.subject_ids()) {
+            FS_ARG_CHECK(seen_subjects.insert(id).second,
+                         "subject id collision while merging: " + std::to_string(id));
+        }
+    }
+    return out;
+}
+
+}  // namespace fallsense::data

@@ -1,0 +1,27 @@
+// Dataset alignment and merging (Section IV-A).
+//
+// Before merging KFall with the self-collected dataset the paper (i) rotates
+// KFall's sensor frame onto the reference frame with a rotation matrix from
+// Rodrigues' formula and (ii) standardizes units to gravitational
+// acceleration.  `align_dataset` performs both; `merge_datasets` then
+// concatenates aligned datasets, preserving globally unique subject ids.
+#pragma once
+
+#include <vector>
+
+#include "data/types.hpp"
+
+namespace fallsense::data {
+
+/// Convert one trial in place to g / rad/s and rotate its samples by `r`.
+void align_trial(trial& t, const dsp::mat3& r);
+
+/// Return a copy of `d` in the reference frame with standardized units.
+/// The copy's `to_reference_frame` becomes identity.
+dataset align_dataset(const dataset& d);
+
+/// Concatenate aligned datasets.  Throws if any input is not yet aligned
+/// (non-identity frame or non-standard units) or if subject ids collide.
+dataset merge_datasets(const std::vector<dataset>& aligned, std::string merged_name);
+
+}  // namespace fallsense::data

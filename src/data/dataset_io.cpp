@@ -1,0 +1,89 @@
+#include "data/dataset_io.hpp"
+
+#include <sstream>
+
+#include "data/trial_io.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fallsense::data {
+
+namespace {
+
+std::string trial_file_name(const trial& t) {
+    std::ostringstream os;
+    os << "trial_" << t.subject_id << '_' << t.task_id << '_' << t.trial_index << ".csv";
+    return os.str();
+}
+
+accel_unit parse_accel_unit(const std::string& text) {
+    if (text == "g") return accel_unit::g;
+    if (text == "m/s^2") return accel_unit::meters_per_s2;
+    throw std::runtime_error("manifest: unknown accel unit '" + text + "'");
+}
+
+gyro_unit parse_gyro_unit(const std::string& text) {
+    if (text == "rad/s") return gyro_unit::rad_per_s;
+    if (text == "deg/s") return gyro_unit::deg_per_s;
+    throw std::runtime_error("manifest: unknown gyro unit '" + text + "'");
+}
+
+}  // namespace
+
+void write_dataset_dir(const dataset& d, const std::filesystem::path& dir) {
+    std::filesystem::create_directories(dir);
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(d.trials.size());
+    for (const trial& t : d.trials) {
+        t.validate();
+        const std::string file = trial_file_name(t);
+        write_trial_csv(t, dir / file);
+        rows.push_back({file, std::to_string(t.subject_id), std::to_string(t.task_id),
+                        std::to_string(t.trial_index), std::to_string(t.sample_rate_hz),
+                        accel_unit_name(t.accel_units), gyro_unit_name(t.gyro_units),
+                        t.fall ? std::to_string(t.fall->onset_index) : "",
+                        t.fall ? std::to_string(t.fall->impact_index) : ""});
+    }
+    util::write_csv_file(dir / "manifest.csv",
+                         {"file", "subject_id", "task_id", "trial_index", "sample_rate_hz",
+                          "accel_unit", "gyro_unit", "fall_onset", "fall_impact"},
+                         rows);
+}
+
+dataset read_dataset_dir(const std::filesystem::path& dir) {
+    const util::csv_table manifest = util::read_csv_file(dir / "manifest.csv", true);
+    const std::size_t c_file = manifest.column_index("file");
+    const std::size_t c_subject = manifest.column_index("subject_id");
+    const std::size_t c_task = manifest.column_index("task_id");
+    const std::size_t c_rep = manifest.column_index("trial_index");
+    const std::size_t c_rate = manifest.column_index("sample_rate_hz");
+    const std::size_t c_au = manifest.column_index("accel_unit");
+    const std::size_t c_gu = manifest.column_index("gyro_unit");
+    const std::size_t c_onset = manifest.column_index("fall_onset");
+    const std::size_t c_impact = manifest.column_index("fall_impact");
+
+    dataset d;
+    d.name = dir.filename().string();
+    d.trials.reserve(manifest.rows.size());
+    for (std::size_t r = 0; r < manifest.rows.size(); ++r) {
+        const auto& row = manifest.rows[r];
+        FS_CHECK(row.size() >= 9, "manifest row too short");
+        trial t = read_trial_csv(dir / row[c_file], manifest.number_at(r, c_rate));
+        t.subject_id = static_cast<int>(manifest.number_at(r, c_subject));
+        t.task_id = static_cast<int>(manifest.number_at(r, c_task));
+        t.trial_index = static_cast<int>(manifest.number_at(r, c_rep));
+        t.accel_units = parse_accel_unit(row[c_au]);
+        t.gyro_units = parse_gyro_unit(row[c_gu]);
+        if (!row[c_onset].empty()) {
+            fall_annotation fall;
+            fall.onset_index = static_cast<std::size_t>(manifest.number_at(r, c_onset));
+            fall.impact_index = static_cast<std::size_t>(manifest.number_at(r, c_impact));
+            t.fall = fall;
+        }
+        t.validate();
+        d.trials.push_back(std::move(t));
+    }
+    return d;
+}
+
+}  // namespace fallsense::data

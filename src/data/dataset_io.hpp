@@ -1,0 +1,25 @@
+// Dataset directory I/O: persist a whole dataset as one CSV per trial plus
+// a manifest, and load it back.  This is how synthetic datasets generated
+// by the CLI are shared and how user recordings are ingested in bulk.
+//
+// Layout:
+//   <dir>/manifest.csv   — one row per trial:
+//       file,subject_id,task_id,trial_index,sample_rate_hz,accel_unit,
+//       gyro_unit,fall_onset,fall_impact        (onset/impact empty for ADLs)
+//   <dir>/trial_<subject>_<task>_<rep>.csv — sample rows (see trial_io).
+#pragma once
+
+#include <filesystem>
+
+#include "data/types.hpp"
+
+namespace fallsense::data {
+
+/// Write every trial + manifest into `dir` (created if needed).
+void write_dataset_dir(const dataset& d, const std::filesystem::path& dir);
+
+/// Load a dataset directory; throws std::runtime_error on missing files or
+/// malformed manifests.  The dataset name is the directory name.
+dataset read_dataset_dir(const std::filesystem::path& dir);
+
+}  // namespace fallsense::data

@@ -1,0 +1,122 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "data/taxonomy.hpp"
+#include "dsp/units.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::data {
+
+dataset_profile protechto_profile() {
+    dataset_profile p;
+    p.name = "protechto";
+    p.task_ids = self_collected_task_ids();
+    p.n_subjects = 29;
+    p.trials_per_task = 1;
+    p.accel_units = accel_unit::g;
+    p.gyro_units = gyro_unit::rad_per_s;
+    p.to_reference_frame = dsp::mat3::identity();
+    p.subject_id_base = 100;
+    return p;
+}
+
+dataset_profile kfall_profile() {
+    dataset_profile p;
+    p.name = "kfall";
+    p.task_ids = kfall_task_ids();
+    p.n_subjects = 32;
+    p.trials_per_task = 1;
+    p.accel_units = accel_unit::meters_per_s2;
+    p.gyro_units = gyro_unit::deg_per_s;
+    // KFall's sensor is mounted rotated a quarter turn about the body
+    // vertical (z) relative to the reference jacket.
+    p.to_reference_frame = dsp::rodrigues_rotation({0.0, 0.0, 1.0}, -std::numbers::pi / 2.0);
+    p.subject_id_base = 200;
+    return p;
+}
+
+std::vector<subject_profile> sample_subjects(int count, int id_base, std::uint64_t seed) {
+    FS_ARG_CHECK(count > 0, "subject count must be positive");
+    std::vector<subject_profile> subjects;
+    subjects.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        util::rng gen(util::derive_seed(seed, {0x5u, static_cast<std::uint64_t>(id_base + i)}));
+        subject_profile s;
+        s.id = id_base + i;
+        s.height_cm = std::clamp(gen.normal(178.0, 8.0), 150.0, 205.0);
+        s.weight_kg = std::clamp(gen.normal(71.5, 13.2), 45.0, 120.0);
+        s.tempo = std::clamp(gen.normal(1.0, 0.14), 0.70, 1.40);
+        s.vigor = std::clamp(gen.normal(1.0, 0.20), 0.55, 1.60);
+        s.noisiness = std::clamp(gen.normal(1.0, 0.25), 0.45, 2.00);
+        s.mount_pitch_offset = std::clamp(gen.normal(0.0, 0.15), -0.35, 0.35);
+        s.mount_roll_offset = std::clamp(gen.normal(0.0, 0.12), -0.30, 0.30);
+        for (double& g : s.channel_gain) g = std::clamp(gen.normal(1.0, 0.05), 0.85, 1.15);
+        s.gait_harmonic_amp = gen.uniform(0.10, 0.50);
+        s.gait_harmonic_phase = gen.uniform(0.0, 2.0 * std::numbers::pi);
+        subjects.push_back(s);
+    }
+    return subjects;
+}
+
+namespace {
+
+/// Rotate a reference-frame sample into the dataset's own sensor frame and
+/// convert to the dataset's units.  The inverse (alignment) is what
+/// Section IV-A applies before merging.
+raw_sample to_dataset_frame(const raw_sample& reference, const dsp::mat3& from_reference,
+                            accel_unit au, gyro_unit gu) {
+    const dsp::vec3 a = from_reference.apply(
+        {reference.accel[0], reference.accel[1], reference.accel[2]});
+    const dsp::vec3 w = from_reference.apply(
+        {reference.gyro[0], reference.gyro[1], reference.gyro[2]});
+    const double a_scale = (au == accel_unit::meters_per_s2) ? dsp::k_standard_gravity_ms2 : 1.0;
+    const double w_scale = (gu == gyro_unit::deg_per_s) ? (180.0 / std::numbers::pi) : 1.0;
+    raw_sample s;
+    s.accel = {static_cast<float>(a.x * a_scale), static_cast<float>(a.y * a_scale),
+               static_cast<float>(a.z * a_scale)};
+    s.gyro = {static_cast<float>(w.x * w_scale), static_cast<float>(w.y * w_scale),
+              static_cast<float>(w.z * w_scale)};
+    return s;
+}
+
+}  // namespace
+
+dataset generate_dataset(const dataset_profile& profile, std::uint64_t seed) {
+    FS_ARG_CHECK(!profile.task_ids.empty(), "dataset profile with no tasks");
+    FS_ARG_CHECK(profile.trials_per_task > 0, "trials_per_task must be positive");
+    dataset out;
+    out.name = profile.name;
+    out.to_reference_frame = profile.to_reference_frame;
+    const dsp::mat3 from_reference = profile.to_reference_frame.transpose();
+
+    const std::vector<subject_profile> subjects =
+        sample_subjects(profile.n_subjects, profile.subject_id_base,
+                        util::derive_seed(seed, profile.name));
+
+    for (const subject_profile& subject : subjects) {
+        for (const int task_id : profile.task_ids) {
+            for (int rep = 0; rep < profile.trials_per_task; ++rep) {
+                util::rng gen(util::derive_seed(
+                    seed, {static_cast<std::uint64_t>(subject.id),
+                           static_cast<std::uint64_t>(task_id),
+                           static_cast<std::uint64_t>(rep)}));
+                trial t = synthesize_task(task_id, subject, profile.tuning,
+                                          profile.synthesis, gen);
+                t.trial_index = rep;
+                t.accel_units = profile.accel_units;
+                t.gyro_units = profile.gyro_units;
+                for (raw_sample& s : t.samples) {
+                    s = to_dataset_frame(s, from_reference, profile.accel_units,
+                                         profile.gyro_units);
+                }
+                out.trials.push_back(std::move(t));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace fallsense::data

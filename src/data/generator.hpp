@@ -1,0 +1,51 @@
+// Dataset-level generation: subject cohorts and the two dataset profiles
+// the paper merges (KFall-like and the Protechto self-collected set).
+//
+// The KFall-like profile deliberately differs from the reference in sensor
+// mounting orientation and measurement units, so the alignment step
+// (Rodrigues rotation + unit standardization, Section IV-A) is a real
+// transformation rather than a no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/motion_profile.hpp"
+#include "data/synthesizer.hpp"
+#include "data/types.hpp"
+
+namespace fallsense::data {
+
+struct dataset_profile {
+    std::string name;
+    std::vector<int> task_ids;
+    int n_subjects = 29;
+    int trials_per_task = 1;
+    accel_unit accel_units = accel_unit::g;
+    gyro_unit gyro_units = gyro_unit::rad_per_s;
+    /// Rotation from this dataset's sensor frame to the reference frame.
+    dsp::mat3 to_reference_frame;
+    motion_tuning tuning;
+    synthesis_config synthesis;
+    /// Subject-id offset so merged datasets keep globally unique ids.
+    int subject_id_base = 0;
+};
+
+/// The self-collected dataset: 29 subjects, all 44 tasks, g / rad/s,
+/// reference orientation.
+dataset_profile protechto_profile();
+
+/// The KFall-like dataset: 32 subjects, tasks 1-36, m/s^2 / deg/s, and a
+/// sensor frame rotated 90 degrees about the vertical axis.
+dataset_profile kfall_profile();
+
+/// Draw a subject cohort with the paper's anthropometrics
+/// (age 23.5 +- 6.3, height 178 +- 8 cm, weight 71.5 +- 13.2 kg).
+std::vector<subject_profile> sample_subjects(int count, int id_base, std::uint64_t seed);
+
+/// Generate every (subject, task, trial) combination of a profile.
+/// Deterministic in (profile, seed).
+dataset generate_dataset(const dataset_profile& profile, std::uint64_t seed);
+
+}  // namespace fallsense::data

@@ -1,0 +1,392 @@
+#include "data/motion_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace fallsense::data {
+
+namespace {
+
+using phases = std::vector<motion_phase>;
+
+/// Small multiplicative jitter: value * U(1-spread, 1+spread).
+double vary(double value, double spread, util::rng& gen) {
+    return value * gen.uniform(1.0 - spread, 1.0 + spread);
+}
+
+motion_phase hold(double duration_s, double pitch = 0.0, double roll = 0.0) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.pitch_to = pitch;
+    p.roll_to = roll;
+    p.accel_noise_g = 0.012;
+    p.gyro_noise_rad_s = 0.015;
+    return p;
+}
+
+motion_phase locomotion(double duration_s, double bounce_g, double cadence_hz,
+                        double yaw_to = 0.0) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.bounce_amp_g = bounce_g;
+    p.bounce_freq_hz = cadence_hz;
+    p.yaw_to = yaw_to;
+    p.accel_noise_g = 0.035;
+    p.gyro_noise_rad_s = 0.12;
+    return p;
+}
+
+motion_phase transition(double duration_s, double pitch_to, double roll_to = 0.0,
+                        double dip = 0.0, double impact_g = 0.0) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.pitch_to = pitch_to;
+    p.roll_to = roll_to;
+    p.support_to = 1.0 - dip;  // mild unweighting during quick descents
+    p.accel_noise_g = 0.03;
+    p.gyro_noise_rad_s = 0.08;
+    p.impact_g = impact_g;
+    return p;
+}
+
+/// The unrecoverable falling phase.  `attitude_late` delays the attitude
+/// ramp toward the end (falls from height: clean drop first, rotation late).
+motion_phase falling(double duration_s, double pitch_to, double roll_to,
+                     double freefall_depth, double impact_g, bool attitude_late = false) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.pitch_to = attitude_late ? pitch_to * 0.5 : pitch_to;
+    p.roll_to = attitude_late ? roll_to * 0.5 : roll_to;
+    p.support_to = 1.0 - freefall_depth;
+    p.accel_noise_g = 0.09;
+    p.gyro_noise_rad_s = 0.38;
+    p.impact_g = impact_g;
+    p.semantic = phase_semantic::falling;
+    return p;
+}
+
+motion_phase post_fall(double duration_s, double pitch, double roll) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.pitch_to = pitch;
+    p.roll_to = roll;
+    p.accel_noise_g = 0.01;
+    p.gyro_noise_rad_s = 0.012;
+    p.semantic = phase_semantic::post_fall;
+    return p;
+}
+
+/// Ballistic flight (jump) — free fall without loss of recovery.
+motion_phase flight(double duration_s, double landing_impact_g) {
+    motion_phase p;
+    p.duration_s = duration_s;
+    p.support_to = 0.0;
+    p.accel_noise_g = 0.04;
+    p.gyro_noise_rad_s = 0.15;
+    p.impact_g = landing_impact_g;
+    return p;
+}
+
+/// Append a standard fall tail: falling -> post-fall lying.  The impact
+/// impulse rides on the end of the falling phase; annotation marks the
+/// impulse start as the impact frame (see synthesizer).
+void append_fall(phases& script, double fall_s, double pitch_to, double roll_to,
+                 double freefall_depth, double impact_g, double post_s,
+                 bool attitude_late = false) {
+    script.push_back(
+        falling(fall_s, pitch_to, roll_to, freefall_depth, impact_g, attitude_late));
+    // Lying attitude: keep the terminal fall attitude.
+    script.push_back(post_fall(post_s, script.back().pitch_to, script.back().roll_to));
+}
+
+}  // namespace
+
+std::vector<motion_phase> build_task_phases(int task_id, const subject_profile& subject,
+                                            const motion_tuning& tuning, util::rng& gen) {
+    FS_ARG_CHECK(subject.tempo > 0.0 && subject.vigor > 0.0 && subject.noisiness > 0.0,
+                 "subject profile factors must be positive");
+    const double tempo = subject.tempo;
+    const double vigor = subject.vigor;
+    // Taller/heavier subjects fall slightly longer and hit slightly harder.
+    const double stature = subject.height_cm / 178.0;
+    const double mass = subject.weight_kg / 71.5;
+
+    auto T = [&](double s) { return vary(s * tempo, 0.15, gen); };      // duration
+    auto A = [&](double g) { return vary(g * vigor, 0.20, gen); };      // amplitude
+    auto ang = [&](double r) { return vary(r, 0.12, gen); };            // attitude
+    auto fall_T = [&](double s) { return vary(s * stature, 0.18, gen); };
+    auto hit = [&](double g) { return vary(g * mass, 0.20, gen); };
+    // Free-fall depth: how completely the body unloads during the falling
+    // phase.  Pivoting falls (sitting/fainting) unload only partially; clean
+    // drops from height approach full ballistic unloading.  Per-trial
+    // variation keeps the classes from being separable on one feature.
+    auto depth = [&](double d) { return std::clamp(vary(d, 0.20, gen), 0.25, 1.0); };
+
+    const double hold_s = tuning.static_hold_s;
+    const double loco_s = tuning.locomotion_s;
+    const double post_s = tuning.post_fall_hold_s;
+
+    phases script;
+    switch (task_id) {
+        // ---- static ADLs -------------------------------------------------
+        case 1:
+            script.push_back(hold(T(hold_s)));
+            break;
+        case 11:
+            script.push_back(hold(T(hold_s), ang(0.12)));
+            break;
+        case 17:
+            script.push_back(hold(T(hold_s), ang(-1.45)));
+            break;
+
+        // ---- transition ADLs ---------------------------------------------
+        case 2:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(1.5), ang(1.25)));
+            script.push_back(hold(T(1.2), ang(1.25)));
+            script.push_back(transition(T(1.5), 0.0));
+            script.push_back(hold(T(1.0)));
+            break;
+        case 3:
+            script.push_back(hold(T(0.8)));
+            script.push_back(transition(T(1.4), ang(1.10), 0.0, 0.04));
+            script.push_back(transition(T(1.2), 0.0));
+            script.push_back(hold(T(0.8)));
+            break;
+        case 5:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(2.0), ang(0.45), 0.0, 0.12));
+            script.push_back(hold(T(1.5), ang(0.45)));
+            script.push_back(transition(T(2.0), 0.0));
+            script.push_back(hold(T(1.0)));
+            break;
+        case 13:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(1.2), ang(0.18), 0.0, 0.08));
+            script.push_back(hold(T(1.5), ang(0.18)));
+            script.push_back(transition(T(1.2), 0.0));
+            script.push_back(hold(T(1.0)));
+            break;
+        case 14:
+            script.push_back(hold(T(0.8)));
+            script.push_back(transition(T(0.55), ang(0.2), 0.0, 0.30, hit(1.6)));
+            script.push_back(hold(T(1.0), ang(0.2)));
+            script.push_back(transition(T(0.55), 0.0, 0.0, 0.10));
+            script.push_back(hold(T(0.8)));
+            break;
+        case 18:
+            script.push_back(hold(T(1.2), ang(0.15)));
+            script.push_back(transition(T(1.8), ang(-1.35), 0.0, 0.10));
+            script.push_back(hold(T(1.8), ang(-1.35)));
+            script.push_back(transition(T(1.8), ang(0.15)));
+            script.push_back(hold(T(1.0), ang(0.15)));
+            break;
+        case 19:
+            script.push_back(hold(T(1.0), ang(0.15)));
+            script.push_back(transition(T(0.85), ang(-1.35), 0.0, 0.18, hit(1.4)));
+            script.push_back(hold(T(1.4), ang(-1.35)));
+            script.push_back(transition(T(0.8), ang(0.15), 0.0, 0.10));
+            break;
+
+        // ---- locomotion ADLs ----------------------------------------------
+        case 6:
+            script.push_back(locomotion(T(loco_s / 2), A(0.22), vary(1.8, 0.1, gen)));
+            script.push_back(locomotion(T(loco_s / 2), A(0.22), vary(1.8, 0.1, gen), ang(3.1)));
+            break;
+        case 7:
+            script.push_back(locomotion(T(loco_s / 2), A(0.34), vary(2.2, 0.1, gen)));
+            script.push_back(locomotion(T(loco_s / 2), A(0.34), vary(2.2, 0.1, gen), ang(3.1)));
+            break;
+        case 8:
+            script.push_back(locomotion(T(loco_s / 2), A(0.60), vary(2.6, 0.1, gen)));
+            script.push_back(locomotion(T(loco_s / 2), A(0.60), vary(2.6, 0.1, gen), ang(3.1)));
+            break;
+        case 9:
+            script.push_back(locomotion(T(loco_s / 2), A(0.80), vary(2.9, 0.1, gen)));
+            script.push_back(locomotion(T(loco_s / 2), A(0.80), vary(2.9, 0.1, gen), ang(3.1)));
+            break;
+        case 12:
+            script.push_back(locomotion(T(loco_s), A(0.40), vary(2.0, 0.1, gen)));
+            break;
+        case 16:
+            script.push_back(locomotion(T(loco_s * 0.8), A(0.55), vary(2.4, 0.1, gen)));
+            break;
+        case 35:
+            script.push_back(locomotion(T(loco_s), A(0.34), vary(1.9, 0.1, gen)));
+            break;
+        case 36:
+            script.push_back(locomotion(T(loco_s * 0.8), A(0.48), vary(2.3, 0.1, gen)));
+            break;
+        case 43:
+            script.push_back(locomotion(T(loco_s), A(0.38), vary(2.0, 0.1, gen)));
+            script.push_back(hold(T(0.8)));
+            script.push_back(locomotion(T(loco_s), A(0.42), vary(2.0, 0.1, gen)));
+            break;
+
+        // ---- near-fall ADLs ------------------------------------------------
+        case 4: {  // gentle jump: crouch, takeoff, flight, landing
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(0.4), ang(0.3), 0.0, 0.05));
+            motion_phase takeoff = transition(T(0.18), 0.0);
+            takeoff.support_to = 1.0;
+            takeoff.bounce_amp_g = A(1.1);  // push-off surge
+            takeoff.bounce_freq_hz = 2.8;
+            script.push_back(takeoff);
+            script.push_back(flight(vary(0.30, 0.2, gen), hit(2.4)));
+            script.push_back(hold(T(1.0)));
+            break;
+        }
+        case 10: {  // stumble with recovery
+            script.push_back(locomotion(T(2.5), A(0.25), vary(1.9, 0.1, gen)));
+            motion_phase stumble = falling(vary(0.18, 0.2, gen), ang(0.30), ang(0.08),
+                                           depth(0.22), hit(0.9));
+            stumble.semantic = phase_semantic::activity;  // recovered — not a fall
+            script.push_back(stumble);
+            script.push_back(transition(T(0.5), 0.0));
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.9, 0.1, gen)));
+            break;
+        }
+        case 15: {  // collapse into a chair
+            script.push_back(hold(T(1.0), ang(0.15)));
+            script.push_back(transition(T(0.8), ang(-0.1)));
+            motion_phase collapse =
+                falling(vary(0.30, 0.2, gen), ang(0.22), ang(0.1), depth(0.40), hit(1.8));
+            collapse.semantic = phase_semantic::activity;  // lands on the chair
+            script.push_back(collapse);
+            script.push_back(hold(T(1.5), ang(0.2)));
+            break;
+        }
+        case 44: {  // walk + jump over obstacle — the paper's top FP source
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.8, 0.1, gen)));
+            motion_phase takeoff = transition(T(0.15), ang(0.1));
+            takeoff.bounce_amp_g = A(1.3);
+            takeoff.bounce_freq_hz = 3.0;
+            script.push_back(takeoff);
+            script.push_back(flight(vary(0.38, 0.2, gen), hit(3.0)));
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.8, 0.1, gen)));
+            break;
+        }
+
+        // ---- falls when trying to sit / get up (20-24) ---------------------
+        case 20:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(0.5), ang(0.2), 0.0, 0.08));
+            append_fall(script, fall_T(0.55), ang(1.45), ang(0.1), depth(0.45), hit(4.5), post_s);
+            break;
+        case 21:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(0.5), ang(0.2), 0.0, 0.08));
+            append_fall(script, fall_T(0.50), ang(-1.45), ang(-0.1), depth(0.45), hit(4.8), post_s);
+            break;
+        case 22:
+            script.push_back(hold(T(1.0)));
+            script.push_back(transition(T(0.5), ang(0.15), 0.0, 0.08));
+            append_fall(script, fall_T(0.52), ang(0.15), ang(1.40), depth(0.42), hit(4.4), post_s);
+            break;
+        case 23:
+            script.push_back(hold(T(1.5), ang(0.15)));
+            script.push_back(transition(T(0.6), ang(-0.1), 0.0, 0.05));
+            append_fall(script, fall_T(0.50), ang(1.40), ang(0.1), depth(0.42), hit(4.6), post_s);
+            break;
+        case 24:
+            script.push_back(hold(T(1.5), ang(0.15)));
+            script.push_back(transition(T(0.6), ang(-0.1), 0.0, 0.05));
+            append_fall(script, fall_T(0.50), ang(0.1), ang(-1.40), depth(0.42), hit(4.5), post_s);
+            break;
+
+        // ---- fainting falls from sitting (25-27): slower slump -------------
+        case 25:
+            script.push_back(hold(T(2.0), ang(0.15)));
+            script.push_back(transition(T(0.5), ang(0.35)));  // slump forward
+            append_fall(script, fall_T(0.65), ang(1.40), ang(0.05), depth(0.36), hit(3.6), post_s);
+            break;
+        case 26:
+            script.push_back(hold(T(2.0), ang(0.15)));
+            script.push_back(transition(T(0.5), ang(0.2), ang(0.3)));
+            append_fall(script, fall_T(0.62), ang(0.2), ang(1.40), depth(0.36), hit(3.5), post_s);
+            break;
+        case 27:
+            script.push_back(hold(T(2.0), ang(0.15)));
+            script.push_back(transition(T(0.5), ang(-0.15)));
+            append_fall(script, fall_T(0.60), ang(-1.40), 0.0, depth(0.38), hit(3.8), post_s);
+            break;
+
+        // ---- falls while walking / jogging (28-34) --------------------------
+        case 28:
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.8, 0.1, gen)));
+            append_fall(script, fall_T(0.45), ang(1.50), ang(0.1), depth(0.60), hit(5.2), post_s);
+            break;
+        case 29: {
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.8, 0.1, gen)));
+            // Hands dampen the fall: shallower free fall, softer impact.
+            append_fall(script, fall_T(0.50), ang(1.35), ang(0.1), depth(0.42), hit(3.0), post_s);
+            break;
+        }
+        case 30:
+            script.push_back(locomotion(T(2.0), A(0.26), vary(1.9, 0.1, gen)));
+            append_fall(script, fall_T(0.45), ang(1.50), ang(0.12), depth(0.58), hit(5.5), post_s);
+            break;
+        case 31:
+            script.push_back(locomotion(T(2.0), A(0.60), vary(2.6, 0.1, gen)));
+            append_fall(script, fall_T(0.42), ang(1.55), ang(0.15), depth(0.78), hit(6.4), post_s);
+            break;
+        case 32:
+            script.push_back(locomotion(T(2.0), A(0.26), vary(1.9, 0.1, gen)));
+            append_fall(script, fall_T(0.50), ang(1.45), ang(0.1), depth(0.52), hit(5.0), post_s);
+            break;
+        case 33:
+            script.push_back(locomotion(T(2.0), A(0.26), vary(1.9, 0.1, gen)));
+            append_fall(script, fall_T(0.52), ang(0.2), ang(1.45), depth(0.48), hit(4.8), post_s);
+            break;
+        case 34:
+            script.push_back(locomotion(T(2.0), A(0.26), vary(1.9, 0.1, gen)));
+            append_fall(script, fall_T(0.55), ang(-1.45), ang(-0.1), depth(0.48), hit(5.0), post_s);
+            break;
+
+        // ---- backward-walking falls (37-38, self-collected) -----------------
+        case 37:
+            script.push_back(locomotion(T(2.0), A(0.18), vary(1.5, 0.1, gen)));
+            append_fall(script, fall_T(0.60), ang(-1.45), 0.0, depth(0.46), hit(4.6), post_s);
+            break;
+        case 38:
+            script.push_back(locomotion(T(1.5), A(0.30), vary(2.1, 0.1, gen)));
+            append_fall(script, fall_T(0.45), ang(-1.50), 0.0, depth(0.55), hit(5.6), post_s);
+            break;
+
+        // ---- falls from height (39-42): clean drop, late rotation ----------
+        case 39:
+            script.push_back(hold(T(1.5), ang(0.1)));
+            append_fall(script, fall_T(0.75), ang(1.30), ang(0.1), depth(0.95), hit(7.0), post_s,
+                        /*attitude_late=*/true);
+            break;
+        case 40:
+            script.push_back(hold(T(1.5), ang(0.1)));
+            append_fall(script, fall_T(0.72), ang(-1.30), 0.0, depth(0.95), hit(7.2), post_s,
+                        /*attitude_late=*/true);
+            break;
+        case 41: {
+            // Ladder climb: slow cadence with rung impacts.
+            script.push_back(locomotion(T(2.0), A(0.20), vary(1.1, 0.1, gen)));
+            append_fall(script, fall_T(0.65), ang(-1.35), ang(0.1), depth(0.88), hit(6.0), post_s,
+                        /*attitude_late=*/true);
+            break;
+        }
+        case 42: {
+            script.push_back(locomotion(T(2.0), A(0.20), vary(1.1, 0.1, gen)));
+            append_fall(script, fall_T(0.60), ang(-1.35), ang(-0.1), depth(0.88), hit(5.8), post_s,
+                        /*attitude_late=*/true);
+            break;
+        }
+
+        default:
+            throw std::out_of_range("no motion script for task id " + std::to_string(task_id));
+    }
+    FS_CHECK(!script.empty(), "empty motion script");
+    return script;
+}
+
+}  // namespace fallsense::data

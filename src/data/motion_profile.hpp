@@ -1,0 +1,83 @@
+// Parametric motion scripts for every Table II task.
+//
+// Each task is described as a sequence of `motion_phase`s: torso-attitude
+// ramps (pitch/roll/yaw targets), locomotion bounce (amplitude + cadence),
+// support factor (1 = standing on the ground, 0 = free fall), optional
+// terminal impact impulse, and a semantic label (activity / falling /
+// impact / post-fall) used for frame-accurate annotation.
+//
+// The scripts encode the biomechanical structure the evaluation depends on:
+//   - falls: activity -> unrecoverable falling (free-fall + attitude ramp)
+//     -> impact spike -> motionless post-fall;
+//   - near-fall ADLs (stumble, collapse into chair, jumps) contain brief
+//     fall-like signatures but recover — the paper's false-positive sources;
+//   - falls from height develop attitude change late, so their early
+//     falling phase resembles a jump flight — the paper's hardest misses.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fallsense::data {
+
+enum class phase_semantic { activity, falling, impact, post_fall };
+
+struct motion_phase {
+    double duration_s = 1.0;
+    // Attitude targets (rad) reached by smoothstep ramp across the phase.
+    double pitch_to = 0.0;
+    double roll_to = 0.0;
+    double yaw_to = 0.0;
+    // Locomotion bounce along the gravity axis.
+    double bounce_amp_g = 0.0;
+    double bounce_freq_hz = 0.0;
+    // Support factor target: 1 = fully supported (|accel| ~ 1 g at rest),
+    // 0 = ballistic free fall (|accel| ~ 0 g).  Ramped across the phase.
+    double support_to = 1.0;
+    // Sensor noise levels.
+    double accel_noise_g = 0.02;
+    double gyro_noise_rad_s = 0.03;
+    // Impact impulse at the END of this phase (half-sine, ~60 ms), in g.
+    double impact_g = 0.0;
+    phase_semantic semantic = phase_semantic::activity;
+};
+
+/// Per-subject anthropometric/behavioral variation applied to every script.
+struct subject_profile {
+    int id = 0;
+    double height_cm = 178.0;
+    double weight_kg = 71.5;
+    double tempo = 1.0;   ///< multiplies phase durations (slower > 1)
+    double vigor = 1.0;   ///< multiplies bounce/impact amplitudes
+    double noisiness = 1.0;  ///< multiplies sensor/movement noise
+    /// How the jacket sits on this subject: a fixed attitude offset of the
+    /// sensor w.r.t. the torso (rad).  This is the main source of
+    /// cross-subject distribution shift — the reason the paper insists on
+    /// subject-independent evaluation.
+    double mount_pitch_offset = 0.0;
+    double mount_roll_offset = 0.0;
+    /// Per-channel sensor gain errors (calibration spread of the MEMS
+    /// parts): ax, ay, az, gx, gy, gz multipliers.
+    std::array<double, 6> channel_gain{1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    /// Gait idiosyncrasy: relative amplitude and phase of the second
+    /// harmonic riding on the locomotion bounce.
+    double gait_harmonic_amp = 0.25;
+    double gait_harmonic_phase = 0.0;
+};
+
+/// Tuning knobs shared by all scripts (long static holds are shortened at
+/// smaller run scales to bound synthetic-data volume).
+struct motion_tuning {
+    double static_hold_s = 8.0;      ///< nominal "stand/sit/lie 30 s" hold
+    double locomotion_s = 5.0;       ///< nominal walking/jogging stretch
+    double post_fall_hold_s = 2.0;   ///< motionless time after impact
+};
+
+/// Build the phase script for a task (Table II id) as performed by a
+/// subject; `gen` supplies per-trial variation.  Throws for unknown ids.
+std::vector<motion_phase> build_task_phases(int task_id, const subject_profile& subject,
+                                            const motion_tuning& tuning, util::rng& gen);
+
+}  // namespace fallsense::data

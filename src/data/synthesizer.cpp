@@ -1,0 +1,166 @@
+#include "data/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace fallsense::data {
+
+namespace {
+
+double smoothstep(double u) {
+    u = std::clamp(u, 0.0, 1.0);
+    return u * u * (3.0 - 2.0 * u);
+}
+
+struct attitude {
+    double pitch = 0.0, roll = 0.0, yaw = 0.0, support = 1.0;
+};
+
+/// Gravity direction in the sensor frame for a given attitude (unit vector
+/// when upright; matches dsp::complementary_filter::accel_attitude).
+void gravity_direction(double pitch, double roll, double& gx, double& gy, double& gz) {
+    gx = -std::sin(pitch);
+    gy = std::cos(pitch) * std::sin(roll);
+    gz = std::cos(pitch) * std::cos(roll);
+}
+
+}  // namespace
+
+trial synthesize_trial(const std::vector<motion_phase>& script, const subject_profile& subject,
+                       const synthesis_config& config, util::rng& gen) {
+    FS_ARG_CHECK(!script.empty(), "empty motion script");
+    FS_ARG_CHECK(config.sample_rate_hz > 0.0, "sample rate must be positive");
+    const double fs = config.sample_rate_hz;
+    const double dt = 1.0 / fs;
+    const auto impact_samples =
+        static_cast<std::size_t>(std::lround(config.impact_duration_s * fs));
+
+    trial out;
+    out.subject_id = subject.id;
+    out.sample_rate_hz = fs;
+    out.accel_units = accel_unit::g;
+    out.gyro_units = gyro_unit::rad_per_s;
+
+    attitude state;
+    double bounce_phase = gen.uniform(0.0, 2.0 * std::numbers::pi);
+    std::size_t fall_onset = 0;
+    std::size_t fall_impact = 0;
+    bool saw_falling = false;
+    bool saw_impact = false;
+
+    auto emit_sample = [&](double pitch, double roll, double /*yaw*/, double support,
+                           double gyro_x, double gyro_y, double gyro_z, double bounce_g,
+                           double extra_g, double accel_noise, double gyro_noise) {
+        // The jacket's fit shifts the measured attitude for this subject.
+        pitch += subject.mount_pitch_offset;
+        roll += subject.mount_roll_offset;
+        double dir_x = 0.0, dir_y = 0.0, dir_z = 0.0;
+        gravity_direction(pitch, roll, dir_x, dir_y, dir_z);
+        const double axial = support + bounce_g + extra_g;
+        const double noise = accel_noise * subject.noisiness;
+        const std::array<double, 6>& gain = subject.channel_gain;
+        raw_sample s;
+        s.accel[0] = static_cast<float>(
+            std::clamp(gain[0] * (dir_x * axial + gen.normal(0.0, noise)),
+                       -config.accel_clip_g, config.accel_clip_g));
+        s.accel[1] = static_cast<float>(
+            std::clamp(gain[1] * (dir_y * axial + gen.normal(0.0, noise)),
+                       -config.accel_clip_g, config.accel_clip_g));
+        s.accel[2] = static_cast<float>(
+            std::clamp(gain[2] * (dir_z * axial + gen.normal(0.0, noise)),
+                       -config.accel_clip_g, config.accel_clip_g));
+        const double gn = gyro_noise * subject.noisiness;
+        s.gyro[0] = static_cast<float>(std::clamp(gain[3] * (gyro_x + gen.normal(0.0, gn)),
+                                                  -config.gyro_clip_rad_s,
+                                                  config.gyro_clip_rad_s));
+        s.gyro[1] = static_cast<float>(std::clamp(gain[4] * (gyro_y + gen.normal(0.0, gn)),
+                                                  -config.gyro_clip_rad_s,
+                                                  config.gyro_clip_rad_s));
+        s.gyro[2] = static_cast<float>(std::clamp(gain[5] * (gyro_z + gen.normal(0.0, gn)),
+                                                  -config.gyro_clip_rad_s,
+                                                  config.gyro_clip_rad_s));
+        out.samples.push_back(s);
+    };
+
+    for (const motion_phase& phase : script) {
+        const auto n = std::max<std::size_t>(
+            static_cast<std::size_t>(std::lround(phase.duration_s * fs)), 2);
+        const attitude begin = state;
+        if (phase.semantic == phase_semantic::falling && !saw_falling) {
+            saw_falling = true;
+            fall_onset = out.samples.size();
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const double u = static_cast<double>(i + 1) / static_cast<double>(n);
+            const double s = smoothstep(u);
+            const double pitch = begin.pitch + (phase.pitch_to - begin.pitch) * s;
+            const double roll = begin.roll + (phase.roll_to - begin.roll) * s;
+            const double yaw = begin.yaw + (phase.yaw_to - begin.yaw) * s;
+            const double support =
+                begin.support + (phase.support_to - begin.support) * s;
+            // Analytic ramp derivative: d(smoothstep)/dt = 6u(1-u)/T.
+            const double ds_dt =
+                6.0 * u * (1.0 - u) / (static_cast<double>(n) * dt);
+            const double gyro_y = (phase.pitch_to - begin.pitch) * ds_dt;
+            const double gyro_x = (phase.roll_to - begin.roll) * ds_dt;
+            const double gyro_z = (phase.yaw_to - begin.yaw) * ds_dt;
+            double bounce = 0.0;
+            if (phase.bounce_amp_g > 0.0 && phase.bounce_freq_hz > 0.0) {
+                bounce_phase += 2.0 * std::numbers::pi * phase.bounce_freq_hz * dt;
+                // Fundamental plus a subject-specific second harmonic: gait
+                // waveforms differ in shape, not just amplitude/cadence.
+                bounce = phase.bounce_amp_g *
+                         (std::sin(bounce_phase) +
+                          subject.gait_harmonic_amp *
+                              std::sin(2.0 * bounce_phase + subject.gait_harmonic_phase));
+            }
+            emit_sample(pitch, roll, yaw, support, gyro_x, gyro_y, gyro_z, bounce, 0.0,
+                        phase.accel_noise_g, phase.gyro_noise_rad_s);
+            state.pitch = pitch;
+            state.roll = roll;
+            state.yaw = yaw;
+            state.support = support;
+        }
+
+        if (phase.impact_g > 0.0 && impact_samples > 0) {
+            if (phase.semantic == phase_semantic::falling && !saw_impact) {
+                saw_impact = true;
+                fall_impact = out.samples.size();
+            }
+            // Half-sine impulse; gyro rings down simultaneously.
+            for (std::size_t i = 0; i < impact_samples; ++i) {
+                const double u =
+                    static_cast<double>(i) / static_cast<double>(impact_samples);
+                const double pulse = phase.impact_g * std::sin(std::numbers::pi * u);
+                const double ring = (1.0 - u);
+                emit_sample(state.pitch, state.roll, state.yaw,
+                            /*support=*/1.0, gen.normal(0.0, 2.5) * ring,
+                            gen.normal(0.0, 2.5) * ring, gen.normal(0.0, 1.0) * ring,
+                            0.0, pulse, phase.accel_noise_g * 2.0,
+                            phase.gyro_noise_rad_s);
+            }
+            state.support = 1.0;
+        }
+    }
+
+    if (saw_falling) {
+        FS_CHECK(saw_impact, "falling script without an impact impulse");
+        out.fall = fall_annotation{fall_onset, fall_impact};
+    }
+    out.validate();
+    return out;
+}
+
+trial synthesize_task(int task_id, const subject_profile& subject, const motion_tuning& tuning,
+                      const synthesis_config& config, util::rng& gen) {
+    const std::vector<motion_phase> script =
+        build_task_phases(task_id, subject, tuning, gen);
+    trial t = synthesize_trial(script, subject, config, gen);
+    t.task_id = task_id;
+    return t;
+}
+
+}  // namespace fallsense::data

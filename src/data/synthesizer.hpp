@@ -1,0 +1,38 @@
+// Phase-script → IMU-trial synthesis.
+//
+// Integrates a motion script sample-by-sample at the dataset's sampling
+// rate: torso attitude follows smoothstep ramps, the accelerometer measures
+// the supported fraction of gravity plus locomotion bounce, impact
+// impulses, and sensor noise; the gyroscope measures the attitude
+// derivative plus noise.  Because acceleration and angular rate derive from
+// one attitude trajectory, downstream sensor fusion (dsp::complementary_filter)
+// recovers physically consistent Euler angles, as on the real board.
+#pragma once
+
+#include <vector>
+
+#include "data/motion_profile.hpp"
+#include "data/types.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::data {
+
+struct synthesis_config {
+    double sample_rate_hz = 100.0;
+    double impact_duration_s = 0.06;  ///< half-sine impulse width
+    double accel_clip_g = 16.0;       ///< LIS3DH ±16 g range
+    double gyro_clip_rad_s = 35.0;    ///< ~2000 dps gyro range
+};
+
+/// Synthesize one trial in the REFERENCE sensor frame with g / rad/s units.
+/// Fall annotation is attached when the script contains a falling phase.
+trial synthesize_trial(const std::vector<motion_phase>& script,
+                       const subject_profile& subject, const synthesis_config& config,
+                       util::rng& gen);
+
+/// Convenience: build the script for `task_id` and synthesize it.
+trial synthesize_task(int task_id, const subject_profile& subject,
+                      const motion_tuning& tuning, const synthesis_config& config,
+                      util::rng& gen);
+
+}  // namespace fallsense::data

@@ -1,0 +1,116 @@
+#include "data/taxonomy.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace fallsense::data {
+
+namespace {
+
+using tc = task_category;
+using rc = risk_class;
+
+// Table II verbatim.  Falls: 20-34 (KFall) and 37-42 (self-collected only).
+// Red ADLs follow Table IV(b): dynamic tasks with the highest false-positive
+// rates (jump, jog, quick transitions, collapse, obstacle jump).
+constexpr std::array<task_info, 44> k_tasks{{
+    {1, "Stand for 30 seconds", tc::adl_static, rc::green, true},
+    {2, "Stand, slowly bend, tie shoe lace, and get up", tc::adl_transition, rc::green, true},
+    {3, "Pick up an object from the floor", tc::adl_transition, rc::green, true},
+    {4, "Gently jump (try to reach an object)", tc::adl_near_fall, rc::red, true},
+    {5, "Stand, sit to the ground, wait a moment, and get up with normal speed",
+     tc::adl_transition, rc::green, true},
+    {6, "Walk normally with turn", tc::adl_locomotion, rc::green, true},
+    {7, "Walk quickly with turn", tc::adl_locomotion, rc::green, true},
+    {8, "Jog normally with turn", tc::adl_locomotion, rc::red, true},
+    {9, "Jog quickly with turn", tc::adl_locomotion, rc::red, true},
+    {10, "Stumble with obstacle while walking", tc::adl_near_fall, rc::red, true},
+    {11, "Sit on a chair for 30 seconds", tc::adl_static, rc::green, true},
+    {12, "Walk downstairs normally", tc::adl_locomotion, rc::green, true},
+    {13, "Sit down to a chair normally, and get up from a chair normally",
+     tc::adl_transition, rc::green, true},
+    {14, "Sit down to a chair quickly, and get up from a chair quickly",
+     tc::adl_transition, rc::red, true},
+    {15, "Sit a moment, trying to get up, and collapse into a chair",
+     tc::adl_near_fall, rc::red, true},
+    {16, "Walk downstairs quickly", tc::adl_locomotion, rc::red, true},
+    {17, "Lie on the floor for 30 seconds", tc::adl_static, rc::green, true},
+    {18, "Sit a moment, lie down to the floor normally, and get up normally",
+     tc::adl_transition, rc::green, true},
+    {19, "Sit a moment, lie down to the floor quickly, and get up quickly",
+     tc::adl_near_fall, rc::red, true},
+    {20, "Forward fall when trying to sit down", tc::fall_from_standing, rc::fall, true},
+    {21, "Backward fall when trying to sit down", tc::fall_from_standing, rc::fall, true},
+    {22, "Lateral fall when trying to sit down", tc::fall_from_standing, rc::fall, true},
+    {23, "Forward fall when trying to get up", tc::fall_from_sitting, rc::fall, true},
+    {24, "Lateral fall when trying to get up", tc::fall_from_sitting, rc::fall, true},
+    {25, "Forward fall while sitting, caused by fainting", tc::fall_from_sitting, rc::fall, true},
+    {26, "Lateral fall while sitting, caused by fainting", tc::fall_from_sitting, rc::fall, true},
+    {27, "Backward fall while sitting, caused by fainting", tc::fall_from_sitting, rc::fall, true},
+    {28, "Vertical (forward) fall while walking caused by fainting",
+     tc::fall_from_walking, rc::fall, true},
+    {29, "Fall while walking, use of hands to dampen fall, caused by fainting",
+     tc::fall_from_walking, rc::fall, true},
+    {30, "Forward fall while walking caused by a trip", tc::fall_from_walking, rc::fall, true},
+    {31, "Forward fall while jogging caused by a trip", tc::fall_from_walking, rc::fall, true},
+    {32, "Forward fall while walking caused by a slip", tc::fall_from_walking, rc::fall, true},
+    {33, "Lateral fall while walking caused by a slip", tc::fall_from_walking, rc::fall, true},
+    {34, "Backward fall while walking caused by a slip", tc::fall_from_walking, rc::fall, true},
+    {35, "Walk upstairs normally", tc::adl_locomotion, rc::green, true},
+    {36, "Walk upstairs quickly", tc::adl_locomotion, rc::green, true},
+    {37, "Backward fall while slowly moving back", tc::fall_from_walking, rc::fall, false},
+    {38, "Backward fall while quickly moving back", tc::fall_from_walking, rc::fall, false},
+    {39, "Forward fall from height", tc::fall_from_height, rc::fall, false},
+    {40, "Backward fall from height", tc::fall_from_height, rc::fall, false},
+    {41, "Backward fall while trying to climb up the ladder", tc::fall_from_height, rc::fall,
+     false},
+    {42, "Backward fall while trying to climb down the ladder", tc::fall_from_height, rc::fall,
+     false},
+    {43, "Climb up and climb down the stairs", tc::adl_locomotion, rc::green, false},
+    {44, "Walk slowly and jump over the obstacle", tc::adl_near_fall, rc::red, false},
+}};
+
+}  // namespace
+
+std::span<const task_info> all_tasks() { return k_tasks; }
+
+const task_info& task_by_id(int task_id) {
+    if (task_id < 1 || task_id > static_cast<int>(k_tasks.size())) {
+        throw std::out_of_range("unknown task id " + std::to_string(task_id));
+    }
+    return k_tasks[static_cast<std::size_t>(task_id - 1)];
+}
+
+std::vector<int> kfall_task_ids() {
+    std::vector<int> ids;
+    for (const task_info& t : k_tasks) {
+        if (t.in_kfall) ids.push_back(t.id);
+    }
+    return ids;
+}
+
+std::vector<int> self_collected_task_ids() {
+    std::vector<int> ids;
+    ids.reserve(k_tasks.size());
+    for (const task_info& t : k_tasks) ids.push_back(t.id);
+    return ids;
+}
+
+std::vector<int> fall_task_ids() {
+    std::vector<int> ids;
+    for (const task_info& t : k_tasks) {
+        if (t.is_fall()) ids.push_back(t.id);
+    }
+    return ids;
+}
+
+std::vector<int> adl_task_ids() {
+    std::vector<int> ids;
+    for (const task_info& t : k_tasks) {
+        if (!t.is_fall()) ids.push_back(t.id);
+    }
+    return ids;
+}
+
+}  // namespace fallsense::data

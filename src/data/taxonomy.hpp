@@ -1,0 +1,58 @@
+// Activity taxonomy — Table II of the paper: 44 task types, of which 21 end
+// in a fall (tasks 20-34, 37-42) and 23 are ADLs.  The KFall dataset covers
+// the first 36 (21 ADLs / 15 falls); the self-collected dataset adds
+// backward-walking falls, falls from height, and ladder falls (37-42) plus
+// stair climbing (43) and obstacle jumping (44).
+//
+// `risk_class` reflects Table IV(b)'s red/green partition: red ADLs are
+// dynamic activities (jumping, jogging, quick transitions) that elderly
+// people or workers in risky places rarely perform; green ADLs are the
+// everyday movements where false positives would matter most.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fallsense::data {
+
+enum class task_category {
+    adl_static,      ///< standing, sitting, lying still
+    adl_transition,  ///< sit/stand/lie transitions, picking objects
+    adl_locomotion,  ///< walking, jogging, stairs
+    adl_near_fall,   ///< stumble, collapse-into-chair, jump — fall-like ADLs
+    fall_from_sitting,
+    fall_from_standing,
+    fall_from_walking,
+    fall_from_height,  ///< ladder / scaffold falls (self-collected only)
+};
+
+enum class risk_class {
+    green,  ///< common for at-risk users — false positives here are costly
+    red,    ///< rare for at-risk users (dynamic/vigorous ADLs)
+    fall,   ///< not an ADL
+};
+
+struct task_info {
+    int id;  ///< Table II task number, 1-44
+    std::string_view description;
+    task_category category;
+    risk_class risk;
+    bool in_kfall;  ///< present in the KFall protocol (tasks 1-36)
+
+    bool is_fall() const { return risk == risk_class::fall; }
+};
+
+/// All 44 tasks, ordered by id.
+std::span<const task_info> all_tasks();
+
+/// Lookup by Table II id; throws std::out_of_range for unknown ids.
+const task_info& task_by_id(int task_id);
+
+/// Task-id lists for dataset profiles.
+std::vector<int> kfall_task_ids();          ///< 36 tasks (21 ADLs / 15 falls)
+std::vector<int> self_collected_task_ids(); ///< all 44 (23 ADLs / 21 falls)
+std::vector<int> fall_task_ids();           ///< the 21 fall tasks
+std::vector<int> adl_task_ids();            ///< the 23 ADL tasks
+
+}  // namespace fallsense::data

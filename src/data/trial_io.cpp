@@ -1,0 +1,46 @@
+#include "data/trial_io.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fallsense::data {
+
+void write_trial_csv(const trial& t, const std::filesystem::path& path) {
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(t.samples.size());
+    for (const raw_sample& s : t.samples) {
+        rows.push_back({std::to_string(s.accel[0]), std::to_string(s.accel[1]),
+                        std::to_string(s.accel[2]), std::to_string(s.gyro[0]),
+                        std::to_string(s.gyro[1]), std::to_string(s.gyro[2])});
+    }
+    util::write_csv_file(path, {"ax", "ay", "az", "gx", "gy", "gz"}, rows);
+}
+
+trial read_trial_csv(const std::filesystem::path& path, double sample_rate_hz) {
+    FS_ARG_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
+    const util::csv_table table = util::read_csv_file(path, /*has_header=*/true);
+    trial t;
+    t.sample_rate_hz = sample_rate_hz;
+    t.samples.reserve(table.rows.size());
+    const std::size_t ax = table.column_index("ax");
+    const std::size_t ay = table.column_index("ay");
+    const std::size_t az = table.column_index("az");
+    const std::size_t gx = table.column_index("gx");
+    const std::size_t gy = table.column_index("gy");
+    const std::size_t gz = table.column_index("gz");
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        raw_sample s;
+        s.accel = {static_cast<float>(table.number_at(r, ax)),
+                   static_cast<float>(table.number_at(r, ay)),
+                   static_cast<float>(table.number_at(r, az))};
+        s.gyro = {static_cast<float>(table.number_at(r, gx)),
+                  static_cast<float>(table.number_at(r, gy)),
+                  static_cast<float>(table.number_at(r, gz))};
+        t.samples.push_back(s);
+    }
+    return t;
+}
+
+}  // namespace fallsense::data

@@ -1,0 +1,23 @@
+// CSV import/export of trials — the interchange format for users who want
+// to run fallsense on their own recordings.
+//
+// Layout: one row per sample with header
+//   ax,ay,az,gx,gy,gz
+// plus trial metadata carried in the file name or supplied by the caller.
+#pragma once
+
+#include <filesystem>
+
+#include "data/types.hpp"
+
+namespace fallsense::data {
+
+/// Write the samples of a trial (units as stored).
+void write_trial_csv(const trial& t, const std::filesystem::path& path);
+
+/// Read samples into a trial skeleton.  Metadata (subject/task ids, units,
+/// annotation) must be set by the caller; samples/sample_rate come from the
+/// file and the `sample_rate_hz` argument.
+trial read_trial_csv(const std::filesystem::path& path, double sample_rate_hz);
+
+}  // namespace fallsense::data

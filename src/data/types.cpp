@@ -1,0 +1,51 @@
+#include "data/types.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fallsense::data {
+
+const char* accel_unit_name(accel_unit unit) {
+    switch (unit) {
+        case accel_unit::g: return "g";
+        case accel_unit::meters_per_s2: return "m/s^2";
+    }
+    return "?";
+}
+
+const char* gyro_unit_name(gyro_unit unit) {
+    switch (unit) {
+        case gyro_unit::rad_per_s: return "rad/s";
+        case gyro_unit::deg_per_s: return "deg/s";
+    }
+    return "?";
+}
+
+void trial::validate() const {
+    FS_CHECK(sample_rate_hz > 0.0, "trial sample rate must be positive");
+    FS_CHECK(!samples.empty(), "trial has no samples");
+    if (fall) {
+        FS_CHECK(fall->onset_index < fall->impact_index,
+                 "fall onset must precede impact");
+        FS_CHECK(fall->impact_index < samples.size(),
+                 "fall impact index beyond trial end");
+    }
+}
+
+std::size_t dataset::fall_trial_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(trials.begin(), trials.end(),
+                      [](const trial& t) { return t.is_fall_trial(); }));
+}
+
+std::vector<int> dataset::subject_ids() const {
+    std::vector<int> ids;
+    ids.reserve(trials.size());
+    for (const trial& t : trials) ids.push_back(t.subject_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+}  // namespace fallsense::data

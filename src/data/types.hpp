@@ -1,0 +1,72 @@
+// Core dataset types: raw IMU samples, trials, and datasets.
+//
+// A `trial` is one performance of one task (Table II) by one subject: a
+// contiguous 100 Hz stream of accelerometer + gyroscope samples with,
+// for fall tasks, the frame-accurate annotation (fall onset = first frame
+// from which recovery is impossible; impact = first ground contact) the
+// paper obtains from synchronized video.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsp/rotation.hpp"
+
+namespace fallsense::data {
+
+/// One raw IMU reading in the sensor frame.
+struct raw_sample {
+    std::array<float, 3> accel{};  ///< specific force, unit per trial metadata
+    std::array<float, 3> gyro{};   ///< angular rate, unit per trial metadata
+};
+
+enum class accel_unit : std::uint8_t { g, meters_per_s2 };
+enum class gyro_unit : std::uint8_t { rad_per_s, deg_per_s };
+
+const char* accel_unit_name(accel_unit unit);
+const char* gyro_unit_name(gyro_unit unit);
+
+/// Frame-accurate fall annotation (sample indices into the trial stream).
+struct fall_annotation {
+    std::size_t onset_index = 0;   ///< first unrecoverable free-fall frame
+    std::size_t impact_index = 0;  ///< first ground-contact frame
+
+    std::size_t falling_samples() const { return impact_index - onset_index; }
+};
+
+struct trial {
+    int subject_id = 0;
+    int task_id = 0;     ///< Table II id, 1-44
+    int trial_index = 0; ///< repetition number for (subject, task)
+    double sample_rate_hz = 100.0;
+    accel_unit accel_units = accel_unit::g;
+    gyro_unit gyro_units = gyro_unit::rad_per_s;
+    std::vector<raw_sample> samples;
+    std::optional<fall_annotation> fall;  ///< set iff the task ends in a fall
+
+    std::size_t sample_count() const { return samples.size(); }
+    double duration_s() const {
+        return static_cast<double>(samples.size()) / sample_rate_hz;
+    }
+    bool is_fall_trial() const { return fall.has_value(); }
+    void validate() const;  ///< throws on inconsistent annotation/limits
+};
+
+/// A named collection of trials sharing a sensor mounting orientation.
+struct dataset {
+    std::string name;
+    /// Rotation from this dataset's sensor frame to the reference
+    /// (self-collected) frame; identity when already aligned.
+    dsp::mat3 to_reference_frame;
+    std::vector<trial> trials;
+
+    std::size_t trial_count() const { return trials.size(); }
+    std::size_t fall_trial_count() const;
+    std::vector<int> subject_ids() const;  ///< sorted, unique
+};
+
+}  // namespace fallsense::data

@@ -1,0 +1,52 @@
+// On-edge sensor fusion: Euler angles (pitch, roll, yaw) from accelerometer
+// and gyroscope, exactly the computation the paper's firmware performs every
+// 10 ms before feeding the model (Section II-A).
+//
+// A complementary filter blends the gyro-integrated orientation (accurate
+// over short horizons) with the accelerometer gravity estimate (drift-free
+// but noisy during motion).  Yaw has no gravity reference and is pure gyro
+// integration, as on the real board (no magnetometer on the PCB).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/rotation.hpp"
+
+namespace fallsense::dsp {
+
+/// Euler angles in radians.
+struct euler_angles {
+    double pitch = 0.0;
+    double roll = 0.0;
+    double yaw = 0.0;
+};
+
+struct fusion_config {
+    double sample_rate_hz = 100.0;
+    /// Complementary-filter blend: fraction of the gyro path (close to 1).
+    double gyro_weight = 0.98;
+};
+
+class complementary_filter {
+public:
+    explicit complementary_filter(const fusion_config& config = {});
+
+    /// Advance one step.  accel in g (gravity included), gyro in rad/s.
+    /// Returns the fused Euler angles after this step.
+    euler_angles update(const vec3& accel_g, const vec3& gyro_rad_s);
+
+    /// Current estimate without advancing.
+    euler_angles current() const { return state_; }
+    void reset();
+
+    /// Gravity-only attitude from one accelerometer sample (the
+    /// accelerometer path of the filter); exposed for tests.
+    static euler_angles accel_attitude(const vec3& accel_g);
+
+private:
+    fusion_config config_;
+    euler_angles state_;
+    bool initialized_ = false;
+};
+
+}  // namespace fallsense::dsp

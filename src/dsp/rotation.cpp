@@ -1,0 +1,95 @@
+#include "dsp/rotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace fallsense::dsp {
+
+double vec3::norm() const { return std::sqrt(dot(*this)); }
+
+vec3 vec3::normalized() const {
+    const double n = norm();
+    FS_ARG_CHECK(n > 1e-12, "cannot normalize near-zero vector");
+    return {x / n, y / n, z / n};
+}
+
+vec3 mat3::apply(const vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+}
+
+mat3 mat3::multiply(const mat3& o) const {
+    mat3 out;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < 3; ++k) acc += (*this)(r, k) * o(k, c);
+            out(r, c) = acc;
+        }
+    }
+    return out;
+}
+
+mat3 mat3::transpose() const {
+    mat3 out;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) out(r, c) = (*this)(c, r);
+    }
+    return out;
+}
+
+double mat3::determinant() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+}
+
+mat3 rodrigues_rotation(const vec3& axis, double angle_rad) {
+    const vec3 u = axis.normalized();
+    const double c = std::cos(angle_rad);
+    const double s = std::sin(angle_rad);
+    const double t = 1.0 - c;
+    mat3 r;
+    r(0, 0) = c + u.x * u.x * t;
+    r(0, 1) = u.x * u.y * t - u.z * s;
+    r(0, 2) = u.x * u.z * t + u.y * s;
+    r(1, 0) = u.y * u.x * t + u.z * s;
+    r(1, 1) = c + u.y * u.y * t;
+    r(1, 2) = u.y * u.z * t - u.x * s;
+    r(2, 0) = u.z * u.x * t - u.y * s;
+    r(2, 1) = u.z * u.y * t + u.x * s;
+    r(2, 2) = c + u.z * u.z * t;
+    return r;
+}
+
+mat3 rotation_between(const vec3& from, const vec3& to) {
+    const vec3 f = from.normalized();
+    const vec3 t = to.normalized();
+    const double cos_angle = f.dot(t);
+    if (cos_angle > 1.0 - 1e-12) return mat3::identity();
+    if (cos_angle < -1.0 + 1e-12) {
+        // Antiparallel: rotate pi about any axis orthogonal to `from`.
+        vec3 ortho = std::abs(f.x) < 0.9 ? vec3{1, 0, 0} : vec3{0, 1, 0};
+        const vec3 axis = f.cross(ortho).normalized();
+        return rodrigues_rotation(axis, std::numbers::pi);
+    }
+    const vec3 axis = f.cross(t);
+    const double angle = std::acos(std::clamp(cos_angle, -1.0, 1.0));
+    return rodrigues_rotation(axis, angle);
+}
+
+bool is_rotation_matrix(const mat3& r, double tol) {
+    const mat3 should_be_identity = r.transpose().multiply(r);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            const double expected = (i == j) ? 1.0 : 0.0;
+            if (std::abs(should_be_identity(i, j) - expected) > tol) return false;
+        }
+    }
+    return std::abs(r.determinant() - 1.0) <= tol;
+}
+
+}  // namespace fallsense::dsp

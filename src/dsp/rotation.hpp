@@ -1,0 +1,54 @@
+// 3-vector / 3x3-matrix math and Rodrigues' rotation formula.
+//
+// Used by dataset alignment (Section IV-A): the KFall sensor frame is
+// re-oriented onto the self-collected dataset's frame with a rotation
+// matrix computed via Rodrigues' formula, and units are converted to g.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace fallsense::dsp {
+
+struct vec3 {
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    vec3 operator+(const vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    vec3 operator-(const vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+    double dot(const vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+    vec3 cross(const vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    double norm() const;
+    /// Unit vector; throws on (near-)zero input.
+    vec3 normalized() const;
+};
+
+/// Row-major 3x3 matrix.
+struct mat3 {
+    std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+    static mat3 identity() { return {}; }
+    double operator()(std::size_t r, std::size_t c) const { return m[r * 3 + c]; }
+    double& operator()(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+
+    vec3 apply(const vec3& v) const;
+    mat3 multiply(const mat3& o) const;
+    mat3 transpose() const;
+    double determinant() const;
+};
+
+/// Rodrigues' rotation formula: rotation of `angle_rad` about unit `axis`.
+/// R = I + sin(a) K + (1 - cos(a)) K^2, K the cross-product matrix of axis.
+mat3 rodrigues_rotation(const vec3& axis, double angle_rad);
+
+/// Rotation taking direction `from` onto direction `to` (minimal-angle).
+/// Handles the parallel and antiparallel cases.
+mat3 rotation_between(const vec3& from, const vec3& to);
+
+/// True when R^T R == I and det(R) == 1 within `tol`.
+bool is_rotation_matrix(const mat3& r, double tol = 1e-9);
+
+}  // namespace fallsense::dsp

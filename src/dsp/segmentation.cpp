@@ -1,0 +1,48 @@
+#include "dsp/segmentation.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::dsp {
+
+std::size_t segmentation_config::hop_samples() const {
+    const double hop = static_cast<double>(window_samples) * (1.0 - overlap_fraction);
+    const auto rounded = static_cast<std::size_t>(std::lround(hop));
+    return rounded > 0 ? rounded : 1;
+}
+
+void segmentation_config::validate() const {
+    FS_ARG_CHECK(window_samples > 0, "segmentation window must be positive");
+    FS_ARG_CHECK(overlap_fraction >= 0.0 && overlap_fraction < 1.0,
+                 "overlap fraction must be in [0, 1)");
+}
+
+std::vector<std::size_t> segment_starts(std::size_t total_samples,
+                                        const segmentation_config& config) {
+    config.validate();
+    std::vector<std::size_t> starts;
+    if (total_samples < config.window_samples) return starts;
+    const std::size_t hop = config.hop_samples();
+    for (std::size_t s = 0; s + config.window_samples <= total_samples; s += hop) {
+        starts.push_back(s);
+    }
+    return starts;
+}
+
+std::size_t segment_count(std::size_t total_samples, const segmentation_config& config) {
+    return segment_starts(total_samples, config).size();
+}
+
+segmentation_config make_segmentation(double window_ms, double overlap_fraction,
+                                      double sample_rate_hz) {
+    FS_ARG_CHECK(window_ms > 0.0 && sample_rate_hz > 0.0, "nonpositive segmentation timing");
+    segmentation_config config;
+    config.window_samples =
+        static_cast<std::size_t>(std::lround(window_ms * sample_rate_hz / 1000.0));
+    config.overlap_fraction = overlap_fraction;
+    config.validate();
+    return config;
+}
+
+}  // namespace fallsense::dsp

@@ -1,0 +1,32 @@
+// Sliding-window segmentation of multichannel time series.
+//
+// The paper slides a window of 100-400 ms over the filtered 100 Hz stream
+// with 0-75 % overlap; each segment becomes one [n x 9] model input.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fallsense::dsp {
+
+struct segmentation_config {
+    std::size_t window_samples = 40;  ///< n rows per segment (e.g. 40 = 400 ms @ 100 Hz)
+    double overlap_fraction = 0.5;    ///< in [0, 1): 0.5 = 50 % overlap
+
+    /// Samples between consecutive window starts (>= 1).
+    std::size_t hop_samples() const;
+    void validate() const;
+};
+
+/// Start indices of every full window over a stream of `total_samples`.
+std::vector<std::size_t> segment_starts(std::size_t total_samples,
+                                        const segmentation_config& config);
+
+/// Number of full windows over a stream of `total_samples`.
+std::size_t segment_count(std::size_t total_samples, const segmentation_config& config);
+
+/// Milliseconds helper: window/overlap in time units at a sample rate.
+segmentation_config make_segmentation(double window_ms, double overlap_fraction,
+                                      double sample_rate_hz);
+
+}  // namespace fallsense::dsp

@@ -1,0 +1,17 @@
+// Unit conversions used by dataset alignment (Section IV-A): everything is
+// standardized to gravitational acceleration (g) and radians.
+#pragma once
+
+#include <numbers>
+
+namespace fallsense::dsp {
+
+inline constexpr double k_standard_gravity_ms2 = 9.80665;
+
+constexpr double ms2_to_g(double a_ms2) { return a_ms2 / k_standard_gravity_ms2; }
+constexpr double g_to_ms2(double a_g) { return a_g * k_standard_gravity_ms2; }
+
+constexpr double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+
+}  // namespace fallsense::dsp

@@ -1,0 +1,117 @@
+#include "eval/events.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "data/taxonomy.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::eval {
+
+namespace {
+
+struct event_key {
+    int subject_id;
+    int task_id;
+    int trial_index;
+    auto operator<=>(const event_key&) const = default;
+};
+
+struct event_state {
+    bool is_fall = false;
+    bool any_positive = false;         ///< any segment fired
+    bool any_positive_in_window = false;  ///< any falling-window segment fired
+};
+
+std::map<event_key, event_state> group_events(std::span<const segment_record> records,
+                                              double threshold) {
+    std::map<event_key, event_state> events;
+    for (const segment_record& r : records) {
+        event_state& state = events[{r.subject_id, r.task_id, r.trial_index}];
+        state.is_fall = state.is_fall || r.trial_is_fall;
+        const bool fired = r.probability >= threshold;
+        state.any_positive = state.any_positive || fired;
+        if (r.label > 0.5f && fired) state.any_positive_in_window = true;
+    }
+    return events;
+}
+
+}  // namespace
+
+event_analysis analyze_events(std::span<const segment_record> records, double threshold) {
+    const auto events = group_events(records, threshold);
+
+    std::map<int, task_event_stats> fall_stats;
+    std::map<int, task_event_stats> adl_stats;
+    for (const auto& [key, state] : events) {
+        if (state.is_fall) {
+            task_event_stats& s = fall_stats[key.task_id];
+            s.task_id = key.task_id;
+            ++s.events;
+            // A fall is detected iff some segment inside the (truncated)
+            // falling window fired — firings elsewhere are coincidence.
+            if (!state.any_positive_in_window) ++s.misclassified;
+        } else {
+            task_event_stats& s = adl_stats[key.task_id];
+            s.task_id = key.task_id;
+            ++s.events;
+            if (state.any_positive) ++s.misclassified;
+        }
+    }
+
+    event_analysis out;
+    std::size_t fall_events = 0, fall_missed = 0;
+    for (const auto& [task, s] : fall_stats) {
+        out.fall_misses.push_back(s);
+        fall_events += s.events;
+        fall_missed += s.misclassified;
+    }
+    std::size_t adl_events = 0, adl_false = 0;
+    std::size_t red_events = 0, red_false = 0, green_events = 0, green_false = 0;
+    for (const auto& [task, s] : adl_stats) {
+        out.adl_false_alarms.push_back(s);
+        adl_events += s.events;
+        adl_false += s.misclassified;
+        const data::risk_class risk = data::task_by_id(task).risk;
+        if (risk == data::risk_class::red) {
+            red_events += s.events;
+            red_false += s.misclassified;
+        } else if (risk == data::risk_class::green) {
+            green_events += s.events;
+            green_false += s.misclassified;
+        }
+    }
+
+    auto pct = [](std::size_t num, std::size_t den) {
+        return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) / static_cast<double>(den);
+    };
+    out.fall_miss_percent_avg = pct(fall_missed, fall_events);
+    out.adl_false_percent_avg = pct(adl_false, adl_events);
+    out.red_adl_false_percent = pct(red_false, red_events);
+    out.green_adl_false_percent = pct(green_false, green_events);
+
+    const auto by_miss_desc = [](const task_event_stats& a, const task_event_stats& b) {
+        if (a.miss_percent() != b.miss_percent()) return a.miss_percent() > b.miss_percent();
+        return a.task_id < b.task_id;
+    };
+    std::sort(out.fall_misses.begin(), out.fall_misses.end(), by_miss_desc);
+    std::sort(out.adl_false_alarms.begin(), out.adl_false_alarms.end(), by_miss_desc);
+    return out;
+}
+
+event_counts count_events(std::span<const segment_record> records, double threshold) {
+    const auto events = group_events(records, threshold);
+    event_counts counts;
+    for (const auto& [key, state] : events) {
+        if (state.is_fall) {
+            ++counts.falls_total;
+            if (state.any_positive_in_window) ++counts.falls_detected;
+        } else {
+            ++counts.adl_total;
+            if (state.any_positive) ++counts.adl_false_alarms;
+        }
+    }
+    return counts;
+}
+
+}  // namespace fallsense::eval

@@ -1,0 +1,67 @@
+// Event-level evaluation (Section IV-B, Table IV).
+//
+// A fall/ADL *event* spans many segments.  One correctly flagged segment is
+// enough to trigger the airbag, so a fall event counts as detected when ANY
+// of its falling-window segments is predicted positive; conversely an ADL
+// event becomes a false positive when ANY of its segments fires.  Table IV
+// reports, per task, the percentage of fall events missed (a) and of ADL
+// events misclassified as falls (b), plus averages and the red/green ADL
+// split.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace fallsense::eval {
+
+/// One scored segment with the identifiers needed for event grouping.
+struct segment_record {
+    int subject_id = 0;
+    int task_id = 0;
+    int trial_index = 0;
+    bool trial_is_fall = false;
+    float label = 0.0f;  ///< 1 = falling-window segment
+    float probability = 0.0f;
+};
+
+struct task_event_stats {
+    int task_id = 0;
+    std::size_t events = 0;
+    std::size_t misclassified = 0;  ///< missed falls, or ADL false alarms
+
+    double miss_percent() const {
+        return events == 0 ? 0.0
+                           : 100.0 * static_cast<double>(misclassified) /
+                                 static_cast<double>(events);
+    }
+};
+
+struct event_analysis {
+    /// Fall tasks: percentage of fall events with no positive segment.
+    std::vector<task_event_stats> fall_misses;       ///< sorted by miss% desc
+    /// ADL tasks: percentage of ADL events with at least one positive segment.
+    std::vector<task_event_stats> adl_false_alarms;  ///< sorted by miss% desc
+    double fall_miss_percent_avg = 0.0;   ///< paper: 4.17 %
+    double adl_false_percent_avg = 0.0;   ///< paper: 2.04 %
+    double red_adl_false_percent = 0.0;   ///< paper: 3.34 %
+    double green_adl_false_percent = 0.0; ///< paper: 0.46 %
+};
+
+/// Group segments into events by (subject, task, trial) and compute
+/// Table IV.  Red/green classification comes from data::taxonomy.
+event_analysis analyze_events(std::span<const segment_record> records,
+                              double threshold = 0.5);
+
+/// Event-level counts only: (detected falls, total falls, ADL false alarms,
+/// total ADL events) — used by ablation benches.
+struct event_counts {
+    std::size_t falls_detected = 0;
+    std::size_t falls_total = 0;
+    std::size_t adl_false_alarms = 0;
+    std::size_t adl_total = 0;
+};
+event_counts count_events(std::span<const segment_record> records, double threshold = 0.5);
+
+}  // namespace fallsense::eval

@@ -1,0 +1,55 @@
+#include "eval/kfold.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::eval {
+
+std::vector<fold_split> make_subject_folds(std::vector<int> subject_ids,
+                                           const kfold_config& config) {
+    FS_ARG_CHECK(config.folds >= 2, "k-fold needs at least two folds");
+    std::sort(subject_ids.begin(), subject_ids.end());
+    subject_ids.erase(std::unique(subject_ids.begin(), subject_ids.end()), subject_ids.end());
+    FS_ARG_CHECK(subject_ids.size() >= config.folds,
+                 "fewer subjects than folds");
+
+    util::rng gen(config.shuffle_seed);
+    gen.shuffle(subject_ids);
+
+    // Distribute subjects round-robin so fold sizes differ by at most one.
+    std::vector<std::vector<int>> folds(config.folds);
+    for (std::size_t i = 0; i < subject_ids.size(); ++i) {
+        folds[i % config.folds].push_back(subject_ids[i]);
+    }
+
+    std::vector<fold_split> splits;
+    splits.reserve(config.folds);
+    for (std::size_t test_fold = 0; test_fold < config.folds; ++test_fold) {
+        fold_split split;
+        split.test_subjects = folds[test_fold];
+        std::vector<int> remaining;
+        for (std::size_t f = 0; f < config.folds; ++f) {
+            if (f == test_fold) continue;
+            remaining.insert(remaining.end(), folds[f].begin(), folds[f].end());
+        }
+        FS_CHECK(remaining.size() > config.validation_subjects,
+                 "not enough subjects left for train+validation");
+        gen.shuffle(remaining);
+        split.validation_subjects.assign(remaining.begin(),
+                                         remaining.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 config.validation_subjects));
+        split.train_subjects.assign(remaining.begin() + static_cast<std::ptrdiff_t>(
+                                                            config.validation_subjects),
+                                    remaining.end());
+        std::sort(split.test_subjects.begin(), split.test_subjects.end());
+        std::sort(split.validation_subjects.begin(), split.validation_subjects.end());
+        std::sort(split.train_subjects.begin(), split.train_subjects.end());
+        splits.push_back(std::move(split));
+    }
+    return splits;
+}
+
+}  // namespace fallsense::eval

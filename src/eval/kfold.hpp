@@ -1,0 +1,33 @@
+// Subject-based k-fold cross-validation (Section III-C).
+//
+// Subjects — never individual segments — are partitioned into k folds; in
+// each round one fold is the test set, a few subjects drawn from the
+// remaining folds form the validation set (for early stopping), and the
+// rest train.  This guarantees no subject appears on both sides, the
+// subject-independent protocol the paper insists on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fallsense::eval {
+
+struct fold_split {
+    std::vector<int> train_subjects;
+    std::vector<int> validation_subjects;
+    std::vector<int> test_subjects;
+};
+
+struct kfold_config {
+    std::size_t folds = 5;
+    std::size_t validation_subjects = 4;  ///< drawn from the training side
+    std::uint64_t shuffle_seed = 7;
+};
+
+/// Partition `subject_ids` into `config.folds` splits.  Every subject
+/// appears in exactly one test fold across the k splits; train/validation/
+/// test are pairwise disjoint within each split.
+std::vector<fold_split> make_subject_folds(std::vector<int> subject_ids,
+                                           const kfold_config& config);
+
+}  // namespace fallsense::eval

@@ -1,0 +1,102 @@
+#include "eval/metrics.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::eval {
+
+confusion_matrix& confusion_matrix::operator+=(const confusion_matrix& other) {
+    true_positive += other.true_positive;
+    false_positive += other.false_positive;
+    true_negative += other.true_negative;
+    false_negative += other.false_negative;
+    return *this;
+}
+
+confusion_matrix make_confusion(std::span<const float> probabilities,
+                                std::span<const float> labels, double threshold) {
+    FS_ARG_CHECK(probabilities.size() == labels.size(), "probability/label count mismatch");
+    confusion_matrix cm;
+    for (std::size_t i = 0; i < probabilities.size(); ++i) {
+        const bool predicted = probabilities[i] >= threshold;
+        const bool actual = labels[i] > 0.5f;
+        if (predicted && actual) {
+            ++cm.true_positive;
+        } else if (predicted && !actual) {
+            ++cm.false_positive;
+        } else if (!predicted && actual) {
+            ++cm.false_negative;
+        } else {
+            ++cm.true_negative;
+        }
+    }
+    return cm;
+}
+
+namespace {
+
+double safe_ratio(std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+double f1_from(double p, double r) { return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r); }
+
+}  // namespace
+
+double accuracy(const confusion_matrix& cm) {
+    return safe_ratio(cm.true_positive + cm.true_negative, cm.total());
+}
+
+double precision(const confusion_matrix& cm) {
+    return safe_ratio(cm.true_positive, cm.true_positive + cm.false_positive);
+}
+
+double recall(const confusion_matrix& cm) {
+    return safe_ratio(cm.true_positive, cm.true_positive + cm.false_negative);
+}
+
+double f1_score(const confusion_matrix& cm) {
+    return f1_from(precision(cm), recall(cm));
+}
+
+double macro_precision(const confusion_matrix& cm) {
+    const double pos = precision(cm);
+    const double neg = safe_ratio(cm.true_negative, cm.true_negative + cm.false_negative);
+    return 0.5 * (pos + neg);
+}
+
+double macro_recall(const confusion_matrix& cm) {
+    const double pos = recall(cm);
+    const double neg = safe_ratio(cm.true_negative, cm.true_negative + cm.false_positive);
+    return 0.5 * (pos + neg);
+}
+
+double macro_f1(const confusion_matrix& cm) {
+    const double pos = f1_score(cm);
+    const double neg_p = safe_ratio(cm.true_negative, cm.true_negative + cm.false_negative);
+    const double neg_r = safe_ratio(cm.true_negative, cm.true_negative + cm.false_positive);
+    return 0.5 * (pos + f1_from(neg_p, neg_r));
+}
+
+classification_report evaluate(std::span<const float> probabilities,
+                               std::span<const float> labels, double threshold) {
+    classification_report report;
+    report.cm = make_confusion(probabilities, labels, threshold);
+    report.accuracy = accuracy(report.cm);
+    report.precision = macro_precision(report.cm);
+    report.recall = macro_recall(report.cm);
+    report.f1 = macro_f1(report.cm);
+    return report;
+}
+
+std::string to_string(const classification_report& report) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "acc=" << report.accuracy * 100.0 << " prec=" << report.precision * 100.0
+       << " rec=" << report.recall * 100.0 << " f1=" << report.f1 * 100.0;
+    return os.str();
+}
+
+}  // namespace fallsense::eval

@@ -1,0 +1,61 @@
+// Binary-classification metrics: confusion matrix, accuracy, precision,
+// recall, F1 — the segment-level scores of Table III.
+//
+// Convention: the positive class is "falling".  Precision/recall/F1 are
+// reported for the positive class (the paper's usage); `macro_*` variants
+// average over both classes, which is what makes the MLP row's ~50 %
+// precision at ~97 % accuracy meaningful.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace fallsense::eval {
+
+struct confusion_matrix {
+    std::size_t true_positive = 0;
+    std::size_t false_positive = 0;
+    std::size_t true_negative = 0;
+    std::size_t false_negative = 0;
+
+    std::size_t total() const {
+        return true_positive + false_positive + true_negative + false_negative;
+    }
+    std::size_t actual_positive() const { return true_positive + false_negative; }
+    std::size_t actual_negative() const { return true_negative + false_positive; }
+
+    confusion_matrix& operator+=(const confusion_matrix& other);
+};
+
+/// Build from probabilities and 0/1 labels at a decision threshold.
+confusion_matrix make_confusion(std::span<const float> probabilities,
+                                std::span<const float> labels, double threshold = 0.5);
+
+double accuracy(const confusion_matrix& cm);
+/// Positive-class metrics; 0 when undefined (no predicted/actual positives).
+double precision(const confusion_matrix& cm);
+double recall(const confusion_matrix& cm);
+double f1_score(const confusion_matrix& cm);
+
+/// Class-averaged (macro) metrics over {positive, negative}.
+double macro_precision(const confusion_matrix& cm);
+double macro_recall(const confusion_matrix& cm);
+double macro_f1(const confusion_matrix& cm);
+
+struct classification_report {
+    confusion_matrix cm;
+    double accuracy = 0.0;
+    double precision = 0.0;  ///< macro
+    double recall = 0.0;     ///< macro
+    double f1 = 0.0;         ///< macro
+};
+
+/// Full report with macro metrics (Table III convention).
+classification_report evaluate(std::span<const float> probabilities,
+                               std::span<const float> labels, double threshold = 0.5);
+
+/// One-line "acc=.. prec=.. rec=.. f1=.." summary.
+std::string to_string(const classification_report& report);
+
+}  // namespace fallsense::eval

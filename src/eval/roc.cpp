@@ -1,0 +1,104 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace fallsense::eval {
+
+std::vector<roc_point> roc_curve(std::span<const float> probabilities,
+                                 std::span<const float> labels) {
+    FS_ARG_CHECK(probabilities.size() == labels.size(), "probability/label count mismatch");
+    FS_ARG_CHECK(!probabilities.empty(), "empty score set");
+
+    std::size_t positives = 0;
+    for (const float y : labels) positives += (y > 0.5f) ? 1 : 0;
+    const std::size_t negatives = labels.size() - positives;
+    FS_ARG_CHECK(positives > 0 && negatives > 0, "ROC needs both classes");
+
+    // Sort indices by descending score; sweep the threshold down.
+    std::vector<std::size_t> order(labels.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return probabilities[a] > probabilities[b];
+    });
+
+    std::vector<roc_point> curve;
+    curve.push_back({1.0 + 1e-9, 0.0, 0.0});
+    std::size_t tp = 0, fp = 0;
+    for (std::size_t i = 0; i < order.size();) {
+        const float score = probabilities[order[i]];
+        // Consume ties together so the curve is well-defined.
+        while (i < order.size() && probabilities[order[i]] == score) {
+            if (labels[order[i]] > 0.5f) {
+                ++tp;
+            } else {
+                ++fp;
+            }
+            ++i;
+        }
+        curve.push_back({score,
+                         static_cast<double>(tp) / static_cast<double>(positives),
+                         static_cast<double>(fp) / static_cast<double>(negatives)});
+    }
+    return curve;
+}
+
+std::vector<pr_point> pr_curve(std::span<const float> probabilities,
+                               std::span<const float> labels) {
+    FS_ARG_CHECK(probabilities.size() == labels.size(), "probability/label count mismatch");
+    FS_ARG_CHECK(!probabilities.empty(), "empty score set");
+    std::size_t positives = 0;
+    for (const float y : labels) positives += (y > 0.5f) ? 1 : 0;
+    FS_ARG_CHECK(positives > 0, "PR curve needs positive examples");
+
+    std::vector<std::size_t> order(labels.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return probabilities[a] > probabilities[b];
+    });
+
+    std::vector<pr_point> curve;
+    std::size_t tp = 0, fp = 0;
+    for (std::size_t i = 0; i < order.size();) {
+        const float score = probabilities[order[i]];
+        while (i < order.size() && probabilities[order[i]] == score) {
+            if (labels[order[i]] > 0.5f) {
+                ++tp;
+            } else {
+                ++fp;
+            }
+            ++i;
+        }
+        curve.push_back({score, static_cast<double>(tp) / static_cast<double>(tp + fp),
+                         static_cast<double>(tp) / static_cast<double>(positives)});
+    }
+    return curve;
+}
+
+double average_precision(std::span<const float> probabilities,
+                         std::span<const float> labels) {
+    const std::vector<pr_point> curve = pr_curve(probabilities, labels);
+    double ap = 0.0;
+    double prev_recall = 0.0;
+    for (const pr_point& p : curve) {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    return ap;
+}
+
+double roc_auc(std::span<const float> probabilities, std::span<const float> labels) {
+    const std::vector<roc_point> curve = roc_curve(probabilities, labels);
+    double auc = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double dx = curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+        const double avg_y =
+            0.5 * (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+        auc += dx * avg_y;
+    }
+    return auc;
+}
+
+}  // namespace fallsense::eval

@@ -1,0 +1,43 @@
+// ROC analysis over scored segments: the threshold-free view of the
+// detection/false-alarm trade-off that Section IV-B reasons about.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fallsense::eval {
+
+struct roc_point {
+    double threshold = 0.0;
+    double true_positive_rate = 0.0;
+    double false_positive_rate = 0.0;
+};
+
+/// ROC curve from probabilities + 0/1 labels, one point per distinct score
+/// (plus the (0,0) and (1,1) endpoints), ordered by increasing FPR.
+std::vector<roc_point> roc_curve(std::span<const float> probabilities,
+                                 std::span<const float> labels);
+
+/// Area under the ROC curve (trapezoidal).  0.5 = chance, 1 = perfect.
+/// Equals the Mann-Whitney probability that a random positive outscores a
+/// random negative.
+double roc_auc(std::span<const float> probabilities, std::span<const float> labels);
+
+struct pr_point {
+    double threshold = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+};
+
+/// Precision-recall curve, ordered by increasing recall.  On the heavily
+/// imbalanced fall-segment task PR is more informative than ROC: the
+/// negative class is so large that tiny FPR changes dominate precision.
+std::vector<pr_point> pr_curve(std::span<const float> probabilities,
+                               std::span<const float> labels);
+
+/// Average precision (area under the PR curve, step-wise interpolation) —
+/// the single-number summary of minority-class ranking quality.
+double average_precision(std::span<const float> probabilities,
+                         std::span<const float> labels);
+
+}  // namespace fallsense::eval

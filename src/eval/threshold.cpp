@@ -1,0 +1,45 @@
+#include "eval/threshold.hpp"
+
+#include "util/check.hpp"
+
+namespace fallsense::eval {
+
+threshold_selection select_threshold_for_precision(std::span<const segment_record> validation,
+                                                   double max_false_rate, std::size_t steps) {
+    FS_ARG_CHECK(!validation.empty(), "threshold selection on empty validation set");
+    FS_ARG_CHECK(steps >= 1, "threshold scan needs at least one step");
+    FS_ARG_CHECK(max_false_rate >= 0.0 && max_false_rate <= 1.0,
+                 "false-rate budget outside [0, 1]");
+
+    threshold_selection best;
+    bool found_qualifying = false;
+    double fallback_false_rate = 1.1;
+
+    for (std::size_t i = 1; i <= steps; ++i) {
+        const double threshold = static_cast<double>(i) / static_cast<double>(steps + 1);
+        const event_counts counts = count_events(validation, threshold);
+        const double detection =
+            counts.falls_total == 0
+                ? 0.0
+                : static_cast<double>(counts.falls_detected) /
+                      static_cast<double>(counts.falls_total);
+        const double false_rate =
+            counts.adl_total == 0
+                ? 0.0
+                : static_cast<double>(counts.adl_false_alarms) /
+                      static_cast<double>(counts.adl_total);
+
+        if (false_rate <= max_false_rate) {
+            if (!found_qualifying || detection > best.fall_detection_rate) {
+                best = {threshold, detection, false_rate};
+                found_qualifying = true;
+            }
+        } else if (!found_qualifying && false_rate < fallback_false_rate) {
+            best = {threshold, detection, false_rate};
+            fallback_false_rate = false_rate;
+        }
+    }
+    return best;
+}
+
+}  // namespace fallsense::eval

@@ -1,0 +1,31 @@
+// Decision-threshold selection.
+//
+// The paper tunes the model "to minimize false positives, even at the cost
+// of missing the detection of some actual falls" (Section IV-B).
+// `select_threshold_for_precision` scans candidate thresholds on validation
+// scores and returns the lowest threshold whose event-level false-positive
+// rate does not exceed the budget, preferring higher fall detection among
+// qualifying thresholds.
+#pragma once
+
+#include <span>
+
+#include "eval/events.hpp"
+
+namespace fallsense::eval {
+
+struct threshold_selection {
+    double threshold = 0.5;
+    double fall_detection_rate = 0.0;  ///< at the chosen threshold
+    double adl_false_rate = 0.0;
+};
+
+/// Scan thresholds in (0, 1) with `steps` increments on validation segment
+/// records; return the threshold maximizing fall detection subject to
+/// adl_false_rate <= max_false_rate (falls back to the minimum-false-rate
+/// threshold when none qualifies).
+threshold_selection select_threshold_for_precision(std::span<const segment_record> validation,
+                                                   double max_false_rate = 0.02,
+                                                   std::size_t steps = 99);
+
+}  // namespace fallsense::eval

@@ -1,0 +1,81 @@
+#include "mcu/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace fallsense::mcu {
+
+latency_estimate estimate_inference(const quant::quantized_cnn& model,
+                                    const device_spec& device, const cycle_costs& costs) {
+    const quant::op_counts ops = model.count_ops();
+    const std::size_t layers = model.branches().size() * 2 + model.trunk().size();
+    double cycles = costs.cycles_fixed;
+    cycles += static_cast<double>(ops.macs) * costs.cycles_per_mac;
+    cycles += static_cast<double>(ops.requants) * costs.cycles_per_requant;
+    cycles += static_cast<double>(ops.pool_compares) * costs.cycles_per_pool_compare;
+    cycles += static_cast<double>(layers) * costs.cycles_per_layer;
+    cycles += static_cast<double>(model.weight_bytes()) * costs.cycles_per_weight_byte;
+
+    latency_estimate est;
+    est.cycles = cycles;
+    est.milliseconds = cycles / device.clock_hz * 1e3;
+    return est;
+}
+
+latency_estimate estimate_fusion(std::size_t window_samples, const device_spec& device,
+                                 const fusion_costs& costs) {
+    FS_ARG_CHECK(window_samples > 0, "fusion estimate for empty window");
+    const double per_sample =
+        costs.cycles_per_sample_io +
+        costs.cycles_per_biquad_step * static_cast<double>(costs.biquad_sections) *
+            static_cast<double>(costs.raw_channels) +
+        costs.cycles_per_fusion_update;
+    latency_estimate est;
+    est.cycles = per_sample * static_cast<double>(window_samples);
+    est.milliseconds = est.cycles / device.clock_hz * 1e3;
+    return est;
+}
+
+latency_stats simulate_latency(const quant::quantized_cnn& model, const device_spec& device,
+                               std::size_t iterations, util::rng& gen,
+                               const cycle_costs& costs, const jitter_model& jitter) {
+    FS_ARG_CHECK(iterations > 0, "latency simulation needs iterations");
+    const double base_ms = estimate_inference(model, device, costs).milliseconds;
+
+    util::running_stats stats;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        double ms = base_ms;
+        // Poisson-distributed interrupt arrivals (inverse-CDF sampling is
+        // fine at these small means), each with exponential service time.
+        const double mean = jitter.interrupt_rate_per_inference;
+        std::size_t arrivals = 0;
+        double p = std::exp(-mean);
+        double cdf = p;
+        const double u = gen.uniform();
+        while (u > cdf && arrivals < 64) {
+            ++arrivals;
+            p *= mean / static_cast<double>(arrivals);
+            cdf += p;
+        }
+        for (std::size_t a = 0; a < arrivals; ++a) {
+            ms += -jitter.interrupt_service_ms * std::log(std::max(gen.uniform(), 1e-12));
+        }
+        // Cache / bus state: symmetric uniform spread.
+        ms += gen.uniform(-jitter.cache_state_spread_ms, jitter.cache_state_spread_ms);
+        ms = std::max(ms, base_ms * 0.5);
+        stats.add(ms);
+    }
+
+    latency_stats out;
+    out.mean_ms = stats.mean();
+    out.stddev_ms = stats.stddev();
+    out.min_ms = stats.min();
+    out.max_ms = stats.max();
+    out.samples = stats.count();
+    return out;
+}
+
+}  // namespace fallsense::mcu

@@ -1,0 +1,195 @@
+#include "mcu/deployment.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace fallsense::mcu {
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& blob, const T& value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    blob.insert(blob.end(), bytes, bytes + sizeof(T));
+}
+
+void append_qparams(std::vector<std::uint8_t>& blob, const quant::qparams& qp) {
+    append_pod(blob, qp.scale);
+    append_pod(blob, qp.zero_point);
+}
+
+void append_multiplier(std::vector<std::uint8_t>& blob,
+                       const quant::quantized_multiplier& m) {
+    append_pod(blob, m.mantissa);
+    append_pod(blob, static_cast<std::int32_t>(m.right_shift));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_deployment_blob(const quant::quantized_cnn& model) {
+    std::vector<std::uint8_t> blob;
+    blob.insert(blob.end(), {'F', 'S', 'Q', '1'});
+    append_pod(blob, static_cast<std::uint32_t>(model.time_steps()));
+    append_pod(blob, static_cast<std::uint32_t>(model.input_channels()));
+    append_pod(blob, static_cast<std::uint32_t>(model.branches().size()));
+    append_pod(blob, static_cast<std::uint32_t>(model.trunk().size()));
+    append_qparams(blob, model.input_q());
+    append_qparams(blob, model.concat_q());
+
+    for (const quant::q_conv_branch& b : model.branches()) {
+        append_pod(blob, static_cast<std::uint32_t>(b.kernel));
+        append_pod(blob, static_cast<std::uint32_t>(b.in_channels));
+        append_pod(blob, static_cast<std::uint32_t>(b.out_channels));
+        append_pod(blob, static_cast<std::uint32_t>(b.pool));
+        append_qparams(blob, b.weight_q);
+        append_multiplier(blob, b.requant);
+        blob.insert(blob.end(), reinterpret_cast<const std::uint8_t*>(b.weight.data()),
+                    reinterpret_cast<const std::uint8_t*>(b.weight.data() + b.weight.size()));
+        for (const std::int32_t v : b.bias) append_pod(blob, v);
+    }
+    for (const quant::q_dense& d : model.trunk()) {
+        append_pod(blob, static_cast<std::uint32_t>(d.in_features));
+        append_pod(blob, static_cast<std::uint32_t>(d.out_features));
+        append_pod(blob, static_cast<std::uint32_t>(d.relu ? 1 : 0));
+        append_qparams(blob, d.weight_q);
+        append_qparams(blob, d.output_q);
+        append_multiplier(blob, d.requant);
+        blob.insert(blob.end(), reinterpret_cast<const std::uint8_t*>(d.weight.data()),
+                    reinterpret_cast<const std::uint8_t*>(d.weight.data() + d.weight.size()));
+        for (const std::int32_t v : d.bias) append_pod(blob, v);
+    }
+    return blob;
+}
+
+namespace {
+
+/// Bounds-checked sequential reader over a blob.
+class blob_reader {
+public:
+    explicit blob_reader(std::span<const std::uint8_t> blob) : blob_(blob) {}
+
+    template <typename T>
+    T read() {
+        if (offset_ + sizeof(T) > blob_.size()) {
+            throw std::runtime_error("deployment blob truncated");
+        }
+        T value{};
+        std::memcpy(&value, blob_.data() + offset_, sizeof(T));
+        offset_ += sizeof(T);
+        return value;
+    }
+
+    std::vector<std::int8_t> read_i8(std::size_t count) {
+        if (offset_ + count > blob_.size()) {
+            throw std::runtime_error("deployment blob truncated in weights");
+        }
+        std::vector<std::int8_t> out(count);
+        std::memcpy(out.data(), blob_.data() + offset_, count);
+        offset_ += count;
+        return out;
+    }
+
+    std::vector<std::int32_t> read_i32(std::size_t count) {
+        std::vector<std::int32_t> out(count);
+        for (auto& v : out) v = read<std::int32_t>();
+        return out;
+    }
+
+    quant::qparams read_qparams() {
+        quant::qparams qp;
+        qp.scale = read<float>();
+        qp.zero_point = read<std::int32_t>();
+        return qp;
+    }
+
+    quant::quantized_multiplier read_multiplier() {
+        quant::quantized_multiplier m;
+        m.mantissa = read<std::int32_t>();
+        m.right_shift = static_cast<int>(read<std::int32_t>());
+        return m;
+    }
+
+    bool exhausted() const { return offset_ == blob_.size(); }
+
+private:
+    std::span<const std::uint8_t> blob_;
+    std::size_t offset_ = 0;
+};
+
+/// Sanity cap: no deployed dimension exceeds this (a 256 KiB part cannot
+/// hold more) — rejects garbage headers before huge allocations.
+constexpr std::uint32_t k_max_dim = 1u << 20;
+
+std::uint32_t checked_dim(std::uint32_t v, const char* what) {
+    if (v == 0 || v > k_max_dim) {
+        throw std::runtime_error(std::string("deployment blob: implausible ") + what);
+    }
+    return v;
+}
+
+}  // namespace
+
+quant::quantized_cnn deserialize_deployment_blob(std::span<const std::uint8_t> blob) {
+    if (blob.size() < 4 || std::memcmp(blob.data(), "FSQ1", 4) != 0) {
+        throw std::runtime_error("deployment blob: bad magic");
+    }
+    blob_reader reader(blob.subspan(4));
+    quant::quantized_cnn_parts parts;
+    parts.time_steps = checked_dim(reader.read<std::uint32_t>(), "time steps");
+    const std::uint32_t channels = checked_dim(reader.read<std::uint32_t>(), "channels");
+    const std::uint32_t branch_count = checked_dim(reader.read<std::uint32_t>(), "branches");
+    const std::uint32_t trunk_count = checked_dim(reader.read<std::uint32_t>(), "trunk");
+    parts.input_q = reader.read_qparams();
+    parts.concat_q = reader.read_qparams();
+
+    std::size_t channel_sum = 0;
+    for (std::uint32_t bi = 0; bi < branch_count; ++bi) {
+        quant::q_conv_branch b;
+        b.kernel = checked_dim(reader.read<std::uint32_t>(), "kernel");
+        b.in_channels = checked_dim(reader.read<std::uint32_t>(), "in channels");
+        b.out_channels = checked_dim(reader.read<std::uint32_t>(), "out channels");
+        b.pool = checked_dim(reader.read<std::uint32_t>(), "pool");
+        b.weight_q = reader.read_qparams();
+        b.requant = reader.read_multiplier();
+        b.weight = reader.read_i8(b.kernel * b.in_channels * b.out_channels);
+        b.bias = reader.read_i32(b.out_channels);
+        channel_sum += b.in_channels;
+        parts.branches.push_back(std::move(b));
+    }
+    if (channel_sum != channels) {
+        throw std::runtime_error("deployment blob: branch channels disagree with header");
+    }
+    for (std::uint32_t di = 0; di < trunk_count; ++di) {
+        quant::q_dense d;
+        d.in_features = checked_dim(reader.read<std::uint32_t>(), "dense in");
+        d.out_features = checked_dim(reader.read<std::uint32_t>(), "dense out");
+        d.relu = reader.read<std::uint32_t>() != 0;
+        d.weight_q = reader.read_qparams();
+        d.output_q = reader.read_qparams();
+        d.requant = reader.read_multiplier();
+        d.weight = reader.read_i8(d.in_features * d.out_features);
+        d.bias = reader.read_i32(d.out_features);
+        parts.trunk.push_back(std::move(d));
+    }
+    if (!reader.exhausted()) {
+        throw std::runtime_error("deployment blob: trailing bytes");
+    }
+    return quant::quantized_cnn(std::move(parts));
+}
+
+std::string render_c_array(const std::vector<std::uint8_t>& blob, const std::string& name) {
+    std::ostringstream os;
+    os << "/* fallsense deployment blob: " << blob.size() << " bytes */\n";
+    os << "const unsigned char " << name << "[" << blob.size() << "] = {";
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        if (i % 12 == 0) os << "\n    ";
+        os << static_cast<unsigned>(blob[i]);
+        if (i + 1 != blob.size()) os << ", ";
+    }
+    os << "\n};\n";
+    os << "const unsigned int " << name << "_len = " << blob.size() << ";\n";
+    return os.str();
+}
+
+}  // namespace fallsense::mcu

@@ -1,0 +1,32 @@
+// Firmware deployment artifact emission: serialize a quantized model into
+// the flat binary blob the firmware flashes, and render it as a C array for
+// inclusion in an embedded build — the last step of the paper's pipeline.
+//
+// Blob layout (little-endian):
+//   magic "FSQ1" | u32 time_steps | u32 channels | u32 branch_count |
+//   u32 trunk_count | input qparams | concat qparams |
+//   per branch: dims, weight qparams, requant, int8 weights, int32 biases |
+//   per dense:  dims, flags, qparams, requant, int8 weights, int32 biases
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/quantized_cnn.hpp"
+
+namespace fallsense::mcu {
+
+/// Serialize the deployment blob.
+std::vector<std::uint8_t> serialize_deployment_blob(const quant::quantized_cnn& model);
+
+/// The firmware loader: parse a blob back into an executable int8 model.
+/// Throws std::runtime_error on bad magic, truncation, or inconsistent
+/// structure — a corrupted flash image must never run.
+quant::quantized_cnn deserialize_deployment_blob(std::span<const std::uint8_t> blob);
+
+/// Render a blob as a C source snippet: `const unsigned char name[] = {...};`
+std::string render_c_array(const std::vector<std::uint8_t>& blob, const std::string& name);
+
+}  // namespace fallsense::mcu

@@ -1,0 +1,67 @@
+#include "mcu/memory_planner.hpp"
+
+#include <sstream>
+
+namespace fallsense::mcu {
+
+std::size_t deployed_tensor_count(const quant::quantized_cnn& model) {
+    // Per branch: weight, bias, conv output, pool output.  Per dense:
+    // weight, bias, output.  Plus the input tensor.
+    return 1 + model.branches().size() * 4 + model.trunk().size() * 3;
+}
+
+flash_report plan_flash(const quant::quantized_cnn& model, const runtime_constants& rc) {
+    flash_report report;
+    report.weight_bytes = model.weight_bytes();
+    report.bias_bytes = model.bias_bytes();
+    const std::size_t tensors = deployed_tensor_count(model);
+    report.metadata_bytes = rc.model_header_bytes +
+                            tensors * (rc.graph_descriptor_bytes_per_tensor +
+                                       rc.quant_record_bytes_per_tensor);
+    report.total_bytes = report.weight_bytes + report.bias_bytes + report.metadata_bytes;
+    return report;
+}
+
+ram_report plan_ram(const quant::quantized_cnn& model, const runtime_constants& rc) {
+    ram_report report;
+    report.activation_arena_bytes = model.activation_arena_bytes();
+    // Input staging: the float segment handed to the quantizer plus a raw
+    // 6-channel int16 ring buffer covering one window.
+    const std::size_t window = model.time_steps();
+    report.input_staging_bytes = window * model.input_channels() * sizeof(float) +
+                                 window * 6 * sizeof(std::int16_t);
+    report.runtime_bytes =
+        rc.interpreter_ram_bytes + rc.fusion_state_bytes + rc.stack_reserve_bytes;
+    report.total_bytes = report.activation_arena_bytes + report.input_staging_bytes +
+                         report.runtime_bytes;
+    return report;
+}
+
+deployment_plan plan_deployment(const quant::quantized_cnn& model, const device_spec& device,
+                                const runtime_constants& rc) {
+    deployment_plan plan;
+    plan.flash = plan_flash(model, rc);
+    plan.ram = plan_ram(model, rc);
+    plan.fits_flash = plan.flash.total_bytes <= device.flash_budget_bytes;
+    plan.fits_ram = plan.ram.total_bytes <= device.ram_budget_bytes;
+    return plan;
+}
+
+std::string deployment_plan::summary() const {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "flash: " << flash.total_kib() << " KiB (weights "
+       << static_cast<double>(flash.weight_bytes) / 1024.0 << ", biases "
+       << static_cast<double>(flash.bias_bytes) / 1024.0 << ", metadata "
+       << static_cast<double>(flash.metadata_bytes) / 1024.0 << ")"
+       << (fits_flash ? " [fits]" : " [OVER BUDGET]") << '\n';
+    os << "ram:   " << ram.total_kib() << " KiB (arena "
+       << static_cast<double>(ram.activation_arena_bytes) / 1024.0 << ", staging "
+       << static_cast<double>(ram.input_staging_bytes) / 1024.0 << ", runtime "
+       << static_cast<double>(ram.runtime_bytes) / 1024.0 << ")"
+       << (fits_ram ? " [fits]" : " [OVER BUDGET]");
+    return os.str();
+}
+
+}  // namespace fallsense::mcu

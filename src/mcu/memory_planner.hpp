@@ -1,0 +1,67 @@
+// Flash / RAM footprint accounting for a deployed quantized model —
+// the substitute for STM32Cube.AI's allocation report (Section IV-C:
+// model 67.03 KiB flash, 16.87 KiB RAM).
+//
+// Flash = weights (int8) + biases (int32) + per-tensor quantization records
+// + graph/operator descriptors.  RAM = activation arena + input staging
+// (float window + raw ring buffer) + filter/fusion state + runtime
+// bookkeeping.  The runtime-constant terms model the TFLM/Cube.AI
+// interpreter the paper's firmware links.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mcu/stm32_spec.hpp"
+#include "quant/quantized_cnn.hpp"
+
+namespace fallsense::mcu {
+
+struct runtime_constants {
+    std::size_t graph_descriptor_bytes_per_tensor = 64;  ///< op + tensor metadata
+    std::size_t quant_record_bytes_per_tensor = 24;
+    std::size_t model_header_bytes = 512;
+    std::size_t interpreter_ram_bytes = 9 * 1024;  ///< interpreter + op scratch
+    std::size_t fusion_state_bytes = 6 * 2 * 2 * sizeof(float) + 3 * sizeof(float);
+    std::size_t stack_reserve_bytes = 2 * 1024;
+};
+
+struct flash_report {
+    std::size_t weight_bytes = 0;
+    std::size_t bias_bytes = 0;
+    std::size_t metadata_bytes = 0;
+    std::size_t total_bytes = 0;
+
+    double total_kib() const { return static_cast<double>(total_bytes) / 1024.0; }
+};
+
+struct ram_report {
+    std::size_t activation_arena_bytes = 0;
+    std::size_t input_staging_bytes = 0;  ///< float window + raw ring buffer
+    std::size_t runtime_bytes = 0;
+    std::size_t total_bytes = 0;
+
+    double total_kib() const { return static_cast<double>(total_bytes) / 1024.0; }
+};
+
+struct deployment_plan {
+    flash_report flash;
+    ram_report ram;
+    bool fits_flash = false;
+    bool fits_ram = false;
+
+    std::string summary() const;  ///< multi-line human-readable report
+};
+
+/// Count the tensors a deployment graph materializes (weights, biases, and
+/// per-layer activations) — drives metadata sizing.
+std::size_t deployed_tensor_count(const quant::quantized_cnn& model);
+
+flash_report plan_flash(const quant::quantized_cnn& model, const runtime_constants& rc = {});
+ram_report plan_ram(const quant::quantized_cnn& model, const runtime_constants& rc = {});
+
+/// Full plan with capacity checks against the device budget.
+deployment_plan plan_deployment(const quant::quantized_cnn& model, const device_spec& device,
+                                const runtime_constants& rc = {});
+
+}  // namespace fallsense::mcu

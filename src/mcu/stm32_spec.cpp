@@ -1,0 +1,7 @@
+#include "mcu/stm32_spec.hpp"
+
+namespace fallsense::mcu {
+
+device_spec stm32f722() { return device_spec{}; }
+
+}  // namespace fallsense::mcu

@@ -1,0 +1,27 @@
+// Target-device description: the STM32F722RET6 the paper deploys on.
+//
+// ARM Cortex-M7 (dual-issue, 6-stage, DSP extension with SIMD int8/int16
+// MACs, single-precision FPU) at 216 MHz.  The part has 512 KiB flash and
+// 256 KiB SRAM; the paper's footnote budgets 256 KiB of flash for the
+// application (the rest holds the bootloader/telemetry firmware), so the
+// deployment check uses the paper's budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fallsense::mcu {
+
+struct device_spec {
+    const char* name = "STM32F722RET6";
+    double clock_hz = 216e6;
+    std::size_t flash_capacity_bytes = 512 * 1024;
+    std::size_t flash_budget_bytes = 256 * 1024;  ///< paper's app budget
+    std::size_t ram_capacity_bytes = 256 * 1024;
+    std::size_t ram_budget_bytes = 256 * 1024;
+};
+
+/// The paper's board.
+device_spec stm32f722();
+
+}  // namespace fallsense::mcu

@@ -1,0 +1,62 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+float sigmoid_scalar(float x) {
+    // Split by sign for numerical stability at large |x|.
+    if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+}
+
+tensor relu::forward(const tensor& input, bool /*training*/) {
+    mask_ = tensor(input.shape());
+    tensor out(input.shape());
+    const std::span<const float> x = input.values();
+    const std::span<float> m = mask_.values();
+    const std::span<float> y = out.values();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const bool positive = x[i] > 0.0f;
+        m[i] = positive ? 1.0f : 0.0f;
+        y[i] = positive ? x[i] : 0.0f;
+    }
+    return out;
+}
+
+tensor relu::backward(const tensor& grad_output) {
+    FS_CHECK(same_shape(grad_output, mask_), "relu backward shape mismatch");
+    tensor grad_input(grad_output.shape());
+    const std::span<const float> gy = grad_output.values();
+    const std::span<const float> m = mask_.values();
+    const std::span<float> gx = grad_input.values();
+    for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * m[i];
+    return grad_input;
+}
+
+tensor sigmoid::forward(const tensor& input, bool /*training*/) {
+    tensor out(input.shape());
+    const std::span<const float> x = input.values();
+    const std::span<float> y = out.values();
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = sigmoid_scalar(x[i]);
+    output_cache_ = out;
+    return out;
+}
+
+tensor sigmoid::backward(const tensor& grad_output) {
+    FS_CHECK(same_shape(grad_output, output_cache_), "sigmoid backward shape mismatch");
+    tensor grad_input(grad_output.shape());
+    const std::span<const float> gy = grad_output.values();
+    const std::span<const float> y = output_cache_.values();
+    const std::span<float> gx = grad_input.values();
+    for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * y[i] * (1.0f - y[i]);
+    return grad_input;
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,35 @@
+// Elementwise activation layers (shape-preserving): ReLU and sigmoid.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+class relu : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_kind kind() const override { return layer_kind::relu; }
+    std::string describe() const override { return "relu"; }
+    shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+
+private:
+    tensor mask_;  ///< 1 where input > 0
+};
+
+class sigmoid : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_kind kind() const override { return layer_kind::sigmoid; }
+    std::string describe() const override { return "sigmoid"; }
+    shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+
+private:
+    tensor output_cache_;
+};
+
+/// Scalar sigmoid used throughout evaluation and quantization.
+float sigmoid_scalar(float x);
+
+}  // namespace fallsense::nn

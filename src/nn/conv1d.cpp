@@ -1,0 +1,110 @@
+#include "nn/conv1d.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+conv1d::conv1d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
+               util::rng& gen, std::string name)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel_size),
+      weight_(name + ".weight", {kernel_size, in_channels, out_channels}),
+      bias_(name + ".bias", {out_channels}) {
+    FS_ARG_CHECK(in_channels > 0 && out_channels > 0 && kernel_size > 0,
+                 "conv1d with zero-sized configuration");
+    he_normal(weight_.value, kernel_ * in_ch_, gen);
+}
+
+tensor conv1d::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() == 3, "conv1d expects [batch, time, channels], got " +
+                                        shape_to_string(input.shape()));
+    FS_ARG_CHECK(input.dim(2) == in_ch_, "conv1d input channel mismatch");
+    const std::size_t batch = input.dim(0);
+    const std::size_t time = input.dim(1);
+    FS_ARG_CHECK(time >= kernel_, "conv1d input shorter than kernel");
+    const std::size_t out_time = time - kernel_ + 1;
+    input_cache_ = input;
+
+    tensor out({batch, out_time, out_ch_});
+    const float* w = weight_.value.data();
+    const float* b = bias_.value.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = input.data() + n * time * in_ch_;
+        float* yn = out.data() + n * out_time * out_ch_;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            float* yt = yn + t * out_ch_;
+            for (std::size_t o = 0; o < out_ch_; ++o) yt[o] = b[o];
+            for (std::size_t k = 0; k < kernel_; ++k) {
+                const float* xt = xn + (t + k) * in_ch_;
+                const float* wk = w + k * in_ch_ * out_ch_;
+                for (std::size_t c = 0; c < in_ch_; ++c) {
+                    const float xv = xt[c];
+                    const float* wc = wk + c * out_ch_;
+                    for (std::size_t o = 0; o < out_ch_; ++o) yt[o] += xv * wc[o];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+tensor conv1d::backward(const tensor& grad_output) {
+    FS_CHECK(!input_cache_.empty(), "conv1d backward before forward");
+    const std::size_t batch = input_cache_.dim(0);
+    const std::size_t time = input_cache_.dim(1);
+    const std::size_t out_time = time - kernel_ + 1;
+    FS_ARG_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == batch &&
+                     grad_output.dim(1) == out_time && grad_output.dim(2) == out_ch_,
+                 "conv1d grad_output shape mismatch");
+
+    tensor grad_input({batch, time, in_ch_});
+    const float* w = weight_.value.data();
+    float* gw = weight_.grad.data();
+    float* gb = bias_.grad.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = input_cache_.data() + n * time * in_ch_;
+        const float* gyn = grad_output.data() + n * out_time * out_ch_;
+        float* gxn = grad_input.data() + n * time * in_ch_;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            const float* gyt = gyn + t * out_ch_;
+            for (std::size_t o = 0; o < out_ch_; ++o) gb[o] += gyt[o];
+            for (std::size_t k = 0; k < kernel_; ++k) {
+                const float* xt = xn + (t + k) * in_ch_;
+                float* gxt = gxn + (t + k) * in_ch_;
+                const float* wk = w + k * in_ch_ * out_ch_;
+                float* gwk = gw + k * in_ch_ * out_ch_;
+                for (std::size_t c = 0; c < in_ch_; ++c) {
+                    const float xv = xt[c];
+                    const float* wc = wk + c * out_ch_;
+                    float* gwc = gwk + c * out_ch_;
+                    float acc = 0.0f;
+                    for (std::size_t o = 0; o < out_ch_; ++o) {
+                        acc += wc[o] * gyt[o];
+                        gwc[o] += xv * gyt[o];
+                    }
+                    gxt[c] += acc;
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::string conv1d::describe() const {
+    std::ostringstream os;
+    os << "conv1d(" << in_ch_ << " -> " << out_ch_ << ", k=" << kernel_ << ", valid)";
+    return os.str();
+}
+
+shape_t conv1d::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 2, "conv1d output_shape expects [time, channels]");
+    FS_ARG_CHECK(input_shape[1] == in_ch_, "conv1d output_shape channel mismatch");
+    FS_ARG_CHECK(input_shape[0] >= kernel_, "conv1d output_shape: time < kernel");
+    return {input_shape[0] - kernel_ + 1, out_ch_};
+}
+
+}  // namespace fallsense::nn

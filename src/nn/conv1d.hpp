@@ -1,0 +1,40 @@
+// Temporal convolution over [batch, time, channels] with valid padding and
+// stride 1 — the convolution each branch of the paper's CNN applies to its
+// [n x 3] motion-feature matrix.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+class conv1d : public layer {
+public:
+    conv1d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_size,
+           util::rng& gen, std::string name = "conv1d");
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&weight_, &bias_}; }
+    layer_kind kind() const override { return layer_kind::conv1d; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t in_channels() const { return in_ch_; }
+    std::size_t out_channels() const { return out_ch_; }
+    std::size_t kernel_size() const { return kernel_; }
+    parameter& weight() { return weight_; }
+    parameter& bias() { return bias_; }
+    const parameter& weight() const { return weight_; }
+    const parameter& bias() const { return bias_; }
+
+private:
+    std::size_t in_ch_;
+    std::size_t out_ch_;
+    std::size_t kernel_;
+    parameter weight_;  ///< [kernel, in_channels, out_channels]
+    parameter bias_;    ///< [out_channels]
+    tensor input_cache_;
+};
+
+}  // namespace fallsense::nn

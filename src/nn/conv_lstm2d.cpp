@@ -1,0 +1,274 @@
+#include "nn/conv_lstm2d.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+void conv2d_same_accumulate(const tensor& x, const tensor& w, tensor& y) {
+    FS_ARG_CHECK(x.rank() == 4 && w.rank() == 4 && y.rank() == 4,
+                 "conv2d_same_accumulate rank mismatch");
+    const std::size_t batch = x.dim(0);
+    const std::size_t rows = x.dim(1);
+    const std::size_t cols = x.dim(2);
+    const std::size_t cin = x.dim(3);
+    const std::size_t k = w.dim(0);
+    FS_ARG_CHECK(w.dim(1) == k && w.dim(2) == cin, "conv2d weight shape mismatch");
+    const std::size_t cout = w.dim(3);
+    FS_ARG_CHECK(y.dim(0) == batch && y.dim(1) == rows && y.dim(2) == cols && y.dim(3) == cout,
+                 "conv2d output shape mismatch");
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k / 2);
+
+    const float* xd = x.data();
+    const float* wd = w.data();
+    float* yd = y.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                float* yo = yd + ((n * rows + r) * cols + c) * cout;
+                for (std::size_t kr = 0; kr < k; ++kr) {
+                    const std::ptrdiff_t ir = static_cast<std::ptrdiff_t>(r + kr) - pad;
+                    if (ir < 0 || ir >= static_cast<std::ptrdiff_t>(rows)) continue;
+                    for (std::size_t kc = 0; kc < k; ++kc) {
+                        const std::ptrdiff_t ic = static_cast<std::ptrdiff_t>(c + kc) - pad;
+                        if (ic < 0 || ic >= static_cast<std::ptrdiff_t>(cols)) continue;
+                        const float* xi =
+                            xd + ((n * rows + static_cast<std::size_t>(ir)) * cols +
+                                  static_cast<std::size_t>(ic)) *
+                                     cin;
+                        const float* wk = wd + (kr * k + kc) * cin * cout;
+                        for (std::size_t ci = 0; ci < cin; ++ci) {
+                            const float xv = xi[ci];
+                            const float* wc = wk + ci * cout;
+                            for (std::size_t co = 0; co < cout; ++co) yo[co] += xv * wc[co];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void conv2d_same_backward(const tensor& x, const tensor& w, const tensor& grad_y,
+                          tensor& grad_x, tensor& grad_w) {
+    const std::size_t batch = x.dim(0);
+    const std::size_t rows = x.dim(1);
+    const std::size_t cols = x.dim(2);
+    const std::size_t cin = x.dim(3);
+    const std::size_t k = w.dim(0);
+    const std::size_t cout = w.dim(3);
+    FS_ARG_CHECK(same_shape(grad_x, x) && same_shape(grad_w, w), "conv2d backward shape mismatch");
+    FS_ARG_CHECK(grad_y.dim(0) == batch && grad_y.dim(1) == rows && grad_y.dim(2) == cols &&
+                     grad_y.dim(3) == cout,
+                 "conv2d grad_y shape mismatch");
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k / 2);
+
+    const float* xd = x.data();
+    const float* wd = w.data();
+    const float* gyd = grad_y.data();
+    float* gxd = grad_x.data();
+    float* gwd = grad_w.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                const float* gyo = gyd + ((n * rows + r) * cols + c) * cout;
+                for (std::size_t kr = 0; kr < k; ++kr) {
+                    const std::ptrdiff_t ir = static_cast<std::ptrdiff_t>(r + kr) - pad;
+                    if (ir < 0 || ir >= static_cast<std::ptrdiff_t>(rows)) continue;
+                    for (std::size_t kc = 0; kc < k; ++kc) {
+                        const std::ptrdiff_t ic = static_cast<std::ptrdiff_t>(c + kc) - pad;
+                        if (ic < 0 || ic >= static_cast<std::ptrdiff_t>(cols)) continue;
+                        const std::size_t in_off =
+                            ((n * rows + static_cast<std::size_t>(ir)) * cols +
+                             static_cast<std::size_t>(ic)) *
+                            cin;
+                        const float* xi = xd + in_off;
+                        float* gxi = gxd + in_off;
+                        const float* wk = wd + (kr * k + kc) * cin * cout;
+                        float* gwk = gwd + (kr * k + kc) * cin * cout;
+                        for (std::size_t ci = 0; ci < cin; ++ci) {
+                            const float xv = xi[ci];
+                            const float* wc = wk + ci * cout;
+                            float* gwc = gwk + ci * cout;
+                            float acc = 0.0f;
+                            for (std::size_t co = 0; co < cout; ++co) {
+                                acc += wc[co] * gyo[co];
+                                gwc[co] += xv * gyo[co];
+                            }
+                            gxi[ci] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+conv_lstm2d::conv_lstm2d(std::size_t in_channels, std::size_t filters, std::size_t kernel_size,
+                         util::rng& gen, std::string name)
+    : in_ch_(in_channels),
+      filters_(filters),
+      kernel_(kernel_size),
+      w_input_(name + ".w_input", {kernel_size, kernel_size, in_channels, 4 * filters}),
+      w_hidden_(name + ".w_hidden", {kernel_size, kernel_size, filters, 4 * filters}),
+      bias_(name + ".bias", {4 * filters}) {
+    FS_ARG_CHECK(in_channels > 0 && filters > 0 && kernel_size > 0,
+                 "conv_lstm2d with zero-sized configuration");
+    glorot_uniform(w_input_.value, kernel_ * kernel_ * in_ch_, 4 * filters_, gen);
+    recurrent_normal(w_hidden_.value, kernel_ * kernel_ * filters_, gen);
+    for (std::size_t h = filters_; h < 2 * filters_; ++h) bias_.value[h] = 1.0f;
+}
+
+tensor conv_lstm2d::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() == 5, "conv_lstm2d expects [batch, time, rows, cols, channels]");
+    FS_ARG_CHECK(input.dim(4) == in_ch_, "conv_lstm2d input channel mismatch");
+    const std::size_t batch = input.dim(0);
+    const std::size_t time = input.dim(1);
+    const std::size_t rows = input.dim(2);
+    const std::size_t cols = input.dim(3);
+    FS_ARG_CHECK(time > 0, "conv_lstm2d over empty sequence");
+    input_cache_ = input;
+
+    const shape_t state_shape{batch, rows, cols, filters_};
+    hidden_states_.assign(time + 1, tensor(state_shape));
+    cell_states_.assign(time + 1, tensor(state_shape));
+    gate_i_.assign(time, tensor(state_shape));
+    gate_f_.assign(time, tensor(state_shape));
+    gate_g_.assign(time, tensor(state_shape));
+    gate_o_.assign(time, tensor(state_shape));
+    cell_tanh_.assign(time, tensor(state_shape));
+
+    const std::size_t spatial = rows * cols;
+    const float* b = bias_.value.data();
+    for (std::size_t t = 0; t < time; ++t) {
+        // Gather the time slice x_t as a [batch, rows, cols, cin] tensor.
+        tensor x_t({batch, rows, cols, in_ch_});
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = input.data() + ((n * time + t) * spatial) * in_ch_;
+            float* dst = x_t.data() + n * spatial * in_ch_;
+            std::copy(src, src + spatial * in_ch_, dst);
+        }
+
+        tensor preact({batch, rows, cols, 4 * filters_});
+        conv2d_same_accumulate(x_t, w_input_.value, preact);
+        conv2d_same_accumulate(hidden_states_[t], w_hidden_.value, preact);
+
+        const tensor& c_prev = cell_states_[t];
+        tensor& h_next = hidden_states_[t + 1];
+        tensor& c_next = cell_states_[t + 1];
+        for (std::size_t n = 0; n < batch; ++n) {
+            for (std::size_t s = 0; s < spatial; ++s) {
+                const std::size_t cell = n * spatial + s;
+                const float* pre = preact.data() + cell * 4 * filters_;
+                const float* cp = c_prev.data() + cell * filters_;
+                float* gi = gate_i_[t].data() + cell * filters_;
+                float* gf = gate_f_[t].data() + cell * filters_;
+                float* gg = gate_g_[t].data() + cell * filters_;
+                float* go = gate_o_[t].data() + cell * filters_;
+                float* cn = c_next.data() + cell * filters_;
+                float* hn = h_next.data() + cell * filters_;
+                float* ct = cell_tanh_[t].data() + cell * filters_;
+                for (std::size_t f = 0; f < filters_; ++f) {
+                    gi[f] = sigmoid_scalar(pre[f] + b[f]);
+                    gf[f] = sigmoid_scalar(pre[filters_ + f] + b[filters_ + f]);
+                    gg[f] = std::tanh(pre[2 * filters_ + f] + b[2 * filters_ + f]);
+                    go[f] = sigmoid_scalar(pre[3 * filters_ + f] + b[3 * filters_ + f]);
+                    cn[f] = gf[f] * cp[f] + gi[f] * gg[f];
+                    ct[f] = std::tanh(cn[f]);
+                    hn[f] = go[f] * ct[f];
+                }
+            }
+        }
+    }
+    return hidden_states_[time];
+}
+
+tensor conv_lstm2d::backward(const tensor& grad_output) {
+    FS_CHECK(!input_cache_.empty(), "conv_lstm2d backward before forward");
+    const std::size_t batch = input_cache_.dim(0);
+    const std::size_t time = input_cache_.dim(1);
+    const std::size_t rows = input_cache_.dim(2);
+    const std::size_t cols = input_cache_.dim(3);
+    const std::size_t spatial = rows * cols;
+    FS_ARG_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
+                     grad_output.dim(1) == rows && grad_output.dim(2) == cols &&
+                     grad_output.dim(3) == filters_,
+                 "conv_lstm2d grad_output shape mismatch");
+
+    tensor grad_input({batch, time, rows, cols, in_ch_});
+    tensor dh = grad_output;
+    tensor dc({batch, rows, cols, filters_});
+    float* gb = bias_.grad.data();
+
+    for (std::size_t t = time; t-- > 0;) {
+        const tensor& c_prev = cell_states_[t];
+        tensor dpre({batch, rows, cols, 4 * filters_});
+        tensor dc_prev({batch, rows, cols, filters_});
+
+        for (std::size_t cell = 0; cell < batch * spatial; ++cell) {
+            const float* gi = gate_i_[t].data() + cell * filters_;
+            const float* gf = gate_f_[t].data() + cell * filters_;
+            const float* gg = gate_g_[t].data() + cell * filters_;
+            const float* go = gate_o_[t].data() + cell * filters_;
+            const float* ct = cell_tanh_[t].data() + cell * filters_;
+            const float* cp = c_prev.data() + cell * filters_;
+            const float* dhn = dh.data() + cell * filters_;
+            const float* dcn = dc.data() + cell * filters_;
+            float* dcp = dc_prev.data() + cell * filters_;
+            float* dp = dpre.data() + cell * 4 * filters_;
+            for (std::size_t f = 0; f < filters_; ++f) {
+                const float do_pre = dhn[f] * ct[f] * go[f] * (1.0f - go[f]);
+                const float dc_total = dcn[f] + dhn[f] * go[f] * (1.0f - ct[f] * ct[f]);
+                dp[f] = dc_total * gg[f] * gi[f] * (1.0f - gi[f]);
+                dp[filters_ + f] = dc_total * cp[f] * gf[f] * (1.0f - gf[f]);
+                dp[2 * filters_ + f] = dc_total * gi[f] * (1.0f - gg[f] * gg[f]);
+                dp[3 * filters_ + f] = do_pre;
+                dcp[f] = dc_total * gf[f];
+                gb[f] += dp[f];
+                gb[filters_ + f] += dp[filters_ + f];
+                gb[2 * filters_ + f] += dp[2 * filters_ + f];
+                gb[3 * filters_ + f] += dp[3 * filters_ + f];
+            }
+        }
+
+        // Rebuild the x_t slice used in forward.
+        tensor x_t({batch, rows, cols, in_ch_});
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = input_cache_.data() + ((n * time + t) * spatial) * in_ch_;
+            std::copy(src, src + spatial * in_ch_, x_t.data() + n * spatial * in_ch_);
+        }
+
+        tensor dx_t({batch, rows, cols, in_ch_});
+        tensor dh_prev({batch, rows, cols, filters_});
+        conv2d_same_backward(x_t, w_input_.value, dpre, dx_t, w_input_.grad);
+        conv2d_same_backward(hidden_states_[t], w_hidden_.value, dpre, dh_prev, w_hidden_.grad);
+
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = dx_t.data() + n * spatial * in_ch_;
+            float* dst = grad_input.data() + ((n * time + t) * spatial) * in_ch_;
+            std::copy(src, src + spatial * in_ch_, dst);
+        }
+        dh = std::move(dh_prev);
+        dc = std::move(dc_prev);
+    }
+    return grad_input;
+}
+
+std::string conv_lstm2d::describe() const {
+    std::ostringstream os;
+    os << "conv_lstm2d(cin=" << in_ch_ << ", filters=" << filters_ << ", k=" << kernel_
+       << ", same)";
+    return os.str();
+}
+
+shape_t conv_lstm2d::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 4 && input_shape[3] == in_ch_,
+                 "conv_lstm2d output_shape expects [time, rows, cols, channels]");
+    return {input_shape[1], input_shape[2], filters_};
+}
+
+}  // namespace fallsense::nn

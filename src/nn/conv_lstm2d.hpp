@@ -1,0 +1,61 @@
+// ConvLSTM2D over [batch, time, rows, cols, channels], matching the Keras
+// layer the ConvLSTM2D baseline of the paper (and of KFall's benchmark)
+// uses: every LSTM gate's linear map is a 2-D convolution with 'same'
+// padding, gate order [i | f | g | o], and the layer returns the last hidden
+// state [batch, rows, cols, filters].
+//
+// fallsense feeds it IMU windows reshaped to a [3 x 3] grid per timestep
+// (rows = sensor modality, cols = axis), mirroring how IMU segments are
+// commonly gridded for this layer.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+class conv_lstm2d : public layer {
+public:
+    conv_lstm2d(std::size_t in_channels, std::size_t filters, std::size_t kernel_size,
+                util::rng& gen, std::string name = "conv_lstm2d");
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&w_input_, &w_hidden_, &bias_}; }
+    layer_kind kind() const override { return layer_kind::conv_lstm2d; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t in_channels() const { return in_ch_; }
+    std::size_t filters() const { return filters_; }
+    std::size_t kernel_size() const { return kernel_; }
+
+private:
+    std::size_t in_ch_;
+    std::size_t filters_;
+    std::size_t kernel_;
+    parameter w_input_;   ///< [k, k, in_channels, 4*filters]
+    parameter w_hidden_;  ///< [k, k, filters, 4*filters]
+    parameter bias_;      ///< [4*filters]
+
+    tensor input_cache_;
+    std::vector<tensor> hidden_states_;  ///< T+1 tensors [batch, rows, cols, filters]
+    std::vector<tensor> cell_states_;
+    std::vector<tensor> gate_i_;
+    std::vector<tensor> gate_f_;
+    std::vector<tensor> gate_g_;
+    std::vector<tensor> gate_o_;
+    std::vector<tensor> cell_tanh_;
+};
+
+/// y += conv2d_same(x, w): x [batch, rows, cols, cin], w [k, k, cin, cout],
+/// y [batch, rows, cols, cout].  Exposed for testing.
+void conv2d_same_accumulate(const tensor& x, const tensor& w, tensor& y);
+
+/// Given dL/dy, accumulate dL/dx into `grad_x` and dL/dw into `grad_w`.
+void conv2d_same_backward(const tensor& x, const tensor& w, const tensor& grad_y,
+                          tensor& grad_x, tensor& grad_w);
+
+}  // namespace fallsense::nn

@@ -1,0 +1,91 @@
+#include "nn/dense.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+dense::dense(std::size_t in_features, std::size_t out_features, util::rng& gen, bool relu_fan,
+             std::string name)
+    : in_(in_features),
+      out_(out_features),
+      weight_(name + ".weight", {in_features, out_features}),
+      bias_(name + ".bias", {out_features}) {
+    FS_ARG_CHECK(in_features > 0 && out_features > 0, "dense layer with zero features");
+    if (relu_fan) {
+        he_normal(weight_.value, in_, gen);
+    } else {
+        glorot_uniform(weight_.value, in_, out_, gen);
+    }
+}
+
+tensor dense::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() == 2, "dense expects [batch, features], got " +
+                                        shape_to_string(input.shape()));
+    FS_ARG_CHECK(input.dim(1) == in_, "dense input feature mismatch");
+    const std::size_t batch = input.dim(0);
+    input_cache_ = input;
+
+    tensor out({batch, out_});
+    const float* w = weight_.value.data();
+    const float* b = bias_.value.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* x = input.data() + n * in_;
+        float* y = out.data() + n * out_;
+        for (std::size_t o = 0; o < out_; ++o) y[o] = b[o];
+        for (std::size_t i = 0; i < in_; ++i) {
+            const float xi = x[i];
+            if (xi == 0.0f) continue;  // ReLU inputs are often sparse
+            const float* wrow = w + i * out_;
+            for (std::size_t o = 0; o < out_; ++o) y[o] += xi * wrow[o];
+        }
+    }
+    return out;
+}
+
+tensor dense::backward(const tensor& grad_output) {
+    FS_CHECK(!input_cache_.empty(), "dense backward before forward");
+    FS_ARG_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_,
+                 "dense grad_output shape mismatch");
+    const std::size_t batch = grad_output.dim(0);
+    FS_ARG_CHECK(batch == input_cache_.dim(0), "dense grad_output batch mismatch");
+
+    tensor grad_input({batch, in_});
+    const float* w = weight_.value.data();
+    float* gw = weight_.grad.data();
+    float* gb = bias_.grad.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* x = input_cache_.data() + n * in_;
+        const float* gy = grad_output.data() + n * out_;
+        float* gx = grad_input.data() + n * in_;
+        for (std::size_t o = 0; o < out_; ++o) gb[o] += gy[o];
+        for (std::size_t i = 0; i < in_; ++i) {
+            const float* wrow = w + i * out_;
+            float* gwrow = gw + i * out_;
+            const float xi = x[i];
+            float acc = 0.0f;
+            for (std::size_t o = 0; o < out_; ++o) {
+                acc += wrow[o] * gy[o];
+                gwrow[o] += xi * gy[o];
+            }
+            gx[i] = acc;
+        }
+    }
+    return grad_input;
+}
+
+std::string dense::describe() const {
+    std::ostringstream os;
+    os << "dense(" << in_ << " -> " << out_ << ")";
+    return os.str();
+}
+
+shape_t dense::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 1 && input_shape[0] == in_,
+                 "dense output_shape: input mismatch");
+    return {out_};
+}
+
+}  // namespace fallsense::nn

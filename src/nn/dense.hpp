@@ -1,0 +1,37 @@
+// Fully-connected layer: y = x · W + b, input [batch, in], output [batch, out].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+class dense : public layer {
+public:
+    /// `relu_fan` selects He init (true) vs Glorot init (false).
+    dense(std::size_t in_features, std::size_t out_features, util::rng& gen,
+          bool relu_fan = true, std::string name = "dense");
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&weight_, &bias_}; }
+    layer_kind kind() const override { return layer_kind::dense; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t in_features() const { return in_; }
+    std::size_t out_features() const { return out_; }
+    parameter& weight() { return weight_; }
+    parameter& bias() { return bias_; }
+    const parameter& weight() const { return weight_; }
+    const parameter& bias() const { return bias_; }
+
+private:
+    std::size_t in_;
+    std::size_t out_;
+    parameter weight_;  ///< [in, out]
+    parameter bias_;    ///< [out]
+    tensor input_cache_;
+};
+
+}  // namespace fallsense::nn

@@ -1,0 +1,32 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+void glorot_uniform(tensor& weights, std::size_t fan_in, std::size_t fan_out, util::rng& gen) {
+    FS_ARG_CHECK(fan_in + fan_out > 0, "glorot fan sizes are zero");
+    const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (float& w : weights.values()) w = static_cast<float>(gen.uniform(-limit, limit));
+}
+
+void he_normal(tensor& weights, std::size_t fan_in, util::rng& gen) {
+    FS_ARG_CHECK(fan_in > 0, "he fan_in is zero");
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (float& w : weights.values()) {
+        double v = gen.normal(0.0, stddev);
+        // Truncate at two standard deviations, matching Keras' he_normal.
+        while (std::abs(v) > 2.0 * stddev) v = gen.normal(0.0, stddev);
+        w = static_cast<float>(v);
+    }
+}
+
+void recurrent_normal(tensor& weights, std::size_t fan_in, util::rng& gen) {
+    FS_ARG_CHECK(fan_in > 0, "recurrent fan_in is zero");
+    const double stddev = 1.0 / std::sqrt(static_cast<double>(fan_in));
+    for (float& w : weights.values()) w = static_cast<float>(gen.normal(0.0, stddev));
+}
+
+}  // namespace fallsense::nn

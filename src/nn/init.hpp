@@ -1,0 +1,23 @@
+// Weight initialization schemes.
+//
+// Glorot (Xavier) uniform for sigmoid/linear outputs, He normal for
+// ReLU-activated layers — the defaults Keras would have applied to the
+// paper's model.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+/// Uniform in ±sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    util::rng& gen);
+
+/// Normal with stddev sqrt(2 / fan_in), truncated at ±2 stddev.
+void he_normal(tensor& weights, std::size_t fan_in, util::rng& gen);
+
+/// Orthogonal-ish recurrent init: scaled normal (adequate at these sizes).
+void recurrent_normal(tensor& weights, std::size_t fan_in, util::rng& gen);
+
+}  // namespace fallsense::nn

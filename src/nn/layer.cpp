@@ -1,0 +1,26 @@
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+const char* layer_kind_name(layer_kind kind) {
+    switch (kind) {
+        case layer_kind::dense: return "dense";
+        case layer_kind::relu: return "relu";
+        case layer_kind::sigmoid: return "sigmoid";
+        case layer_kind::conv1d: return "conv1d";
+        case layer_kind::maxpool1d: return "maxpool1d";
+        case layer_kind::flatten: return "flatten";
+        case layer_kind::dropout: return "dropout";
+        case layer_kind::lstm: return "lstm";
+        case layer_kind::conv_lstm2d: return "conv_lstm2d";
+    }
+    return "?";
+}
+
+std::size_t model::parameter_count() {
+    std::size_t count = 0;
+    for (const parameter* p : parameters()) count += p->value.size();
+    return count;
+}
+
+}  // namespace fallsense::nn

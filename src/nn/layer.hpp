@@ -1,0 +1,98 @@
+// Layer abstraction for the fallsense training framework.
+//
+// Layers implement explicit forward/backward passes over mini-batches.
+// `forward` caches whatever the matching `backward` needs; a layer instance
+// is therefore stateful between the two calls and must not be shared across
+// concurrent batches.  Parameters are exposed as (value, gradient) pairs so
+// optimizers and weight snapshots stay layer-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace fallsense::nn {
+
+/// A trainable tensor with its accumulated gradient.
+struct parameter {
+    std::string name;  ///< diagnostic label, e.g. "dense0.weight"
+    tensor value;
+    tensor grad;
+
+    explicit parameter(std::string param_name, shape_t shape)
+        : name(std::move(param_name)), value(shape), grad(std::move(shape)) {}
+
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Discriminator for structural introspection (serialization, quantization,
+/// MCU cost modeling) without RTTI scattered through client code.
+enum class layer_kind {
+    dense,
+    relu,
+    sigmoid,
+    conv1d,
+    maxpool1d,
+    flatten,
+    dropout,
+    lstm,
+    conv_lstm2d,
+};
+
+const char* layer_kind_name(layer_kind kind);
+
+class layer {
+public:
+    virtual ~layer() = default;
+
+    /// Compute the layer output for a batch. `training` enables behaviors
+    /// like dropout that differ between fit and predict.
+    virtual tensor forward(const tensor& input, bool training) = 0;
+
+    /// Backpropagate: given dLoss/dOutput for the batch from the most recent
+    /// forward call, accumulate parameter gradients and return dLoss/dInput.
+    virtual tensor backward(const tensor& grad_output) = 0;
+
+    /// Trainable parameters (empty for activations and pooling).
+    virtual std::vector<parameter*> parameters() { return {}; }
+
+    virtual layer_kind kind() const = 0;
+
+    /// Short human-readable description for model summaries.
+    virtual std::string describe() const = 0;
+
+    /// Output shape for a given input shape (both exclude the batch dim).
+    virtual shape_t output_shape(const shape_t& input_shape) const = 0;
+
+    layer() = default;
+    layer(const layer&) = delete;
+    layer& operator=(const layer&) = delete;
+};
+
+using layer_ptr = std::unique_ptr<layer>;
+
+/// Abstract model: a differentiable function from one input batch to one
+/// output batch, plus parameter access.  `sequential` and
+/// `multi_branch_network` implement it.
+class model {
+public:
+    virtual ~model() = default;
+
+    virtual tensor forward(const tensor& input, bool training) = 0;
+    virtual tensor backward(const tensor& grad_output) = 0;
+    virtual std::vector<parameter*> parameters() = 0;
+    virtual std::string summary() const = 0;
+    /// Output shape per sample for the given per-sample input shape.
+    virtual shape_t output_shape(const shape_t& input_shape) const = 0;
+
+    /// Total trainable scalar count.
+    std::size_t parameter_count();
+
+    model() = default;
+    model(const model&) = delete;
+    model& operator=(const model&) = delete;
+};
+
+}  // namespace fallsense::nn

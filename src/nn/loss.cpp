@@ -1,0 +1,65 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+namespace {
+
+void check_args(const tensor& logits, std::span<const float> targets, double wp, double wn) {
+    const bool column = logits.rank() == 2 && logits.dim(1) == 1;
+    const bool flat = logits.rank() == 1;
+    FS_ARG_CHECK(column || flat, "logits must be [batch, 1] or [batch]");
+    FS_ARG_CHECK(logits.size() == targets.size(), "logit/target count mismatch");
+    FS_ARG_CHECK(!targets.empty(), "empty batch");
+    FS_ARG_CHECK(wp > 0.0 && wn > 0.0, "class weights must be positive");
+}
+
+/// Stable BCE-with-logits for one sample:
+///   loss = max(x, 0) - x*y + log(1 + exp(-|x|))
+double sample_loss(float x, float y) {
+    const double xd = x;
+    return std::max(xd, 0.0) - xd * y + std::log1p(std::exp(-std::abs(xd)));
+}
+
+}  // namespace
+
+bce_result weighted_bce_with_logits(const tensor& logits, std::span<const float> targets,
+                                    double weight_positive, double weight_negative) {
+    check_args(logits, targets, weight_positive, weight_negative);
+    const std::size_t n = targets.size();
+    bce_result result;
+    result.grad_logits = tensor(logits.shape());
+    double total = 0.0;
+    const float* x = logits.data();
+    float* g = result.grad_logits.data();
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float y = targets[i];
+        const double w = (y > 0.5f) ? weight_positive : weight_negative;
+        total += w * sample_loss(x[i], y);
+        const double p = sigmoid_scalar(x[i]);
+        g[i] = static_cast<float>(w * (p - y) * inv_n);
+    }
+    result.loss = total * inv_n;
+    return result;
+}
+
+double weighted_bce_loss_only(const tensor& logits, std::span<const float> targets,
+                              double weight_positive, double weight_negative) {
+    check_args(logits, targets, weight_positive, weight_negative);
+    const std::size_t n = targets.size();
+    double total = 0.0;
+    const float* x = logits.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const float y = targets[i];
+        const double w = (y > 0.5f) ? weight_positive : weight_negative;
+        total += w * sample_loss(x[i], y);
+    }
+    return total / static_cast<double>(n);
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,30 @@
+// Weighted binary cross-entropy on logits.
+//
+// Models in fallsense end with a Dense(1) producing a logit; `predict`
+// applies the sigmoid.  Fusing sigmoid + BCE keeps the loss numerically
+// stable at large |logit| (log1p(exp(-|x|)) form) and makes the gradient the
+// familiar (sigmoid(x) - y) scaled by the per-class weight.
+//
+// Class weights implement the paper's imbalance handling (Section III-C):
+// weight_positive multiplies fall samples' loss, weight_negative the ADLs'.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace fallsense::nn {
+
+struct bce_result {
+    double loss = 0.0;   ///< mean weighted loss over the batch
+    tensor grad_logits;  ///< dLoss/dLogits, same shape as the logits
+};
+
+/// logits: [batch, 1] (or [batch]); targets: one 0/1 value per sample.
+/// Weights must be positive.
+bce_result weighted_bce_with_logits(const tensor& logits, std::span<const float> targets,
+                                    double weight_positive, double weight_negative);
+
+/// Loss only, for validation scoring (no gradient allocation).
+double weighted_bce_loss_only(const tensor& logits, std::span<const float> targets,
+                              double weight_positive, double weight_negative);
+
+}  // namespace fallsense::nn

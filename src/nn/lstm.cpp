@@ -1,0 +1,185 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+lstm::lstm(std::size_t in_features, std::size_t hidden_size, util::rng& gen, std::string name)
+    : in_(in_features),
+      hidden_(hidden_size),
+      w_input_(name + ".w_input", {in_features, 4 * hidden_size}),
+      w_hidden_(name + ".w_hidden", {hidden_size, 4 * hidden_size}),
+      bias_(name + ".bias", {4 * hidden_size}) {
+    FS_ARG_CHECK(in_features > 0 && hidden_size > 0, "lstm with zero-sized configuration");
+    glorot_uniform(w_input_.value, in_, 4 * hidden_, gen);
+    recurrent_normal(w_hidden_.value, hidden_, gen);
+    // unit_forget_bias: forget-gate slice [hidden, 2*hidden) starts at 1.
+    for (std::size_t h = hidden_; h < 2 * hidden_; ++h) bias_.value[h] = 1.0f;
+}
+
+tensor lstm::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() == 3, "lstm expects [batch, time, features], got " +
+                                        shape_to_string(input.shape()));
+    FS_ARG_CHECK(input.dim(2) == in_, "lstm input feature mismatch");
+    const std::size_t batch = input.dim(0);
+    const std::size_t time = input.dim(1);
+    FS_ARG_CHECK(time > 0, "lstm over empty sequence");
+    input_cache_ = input;
+
+    hidden_states_.assign(time + 1, tensor({batch, hidden_}));
+    cell_states_.assign(time + 1, tensor({batch, hidden_}));
+    gate_i_.assign(time, tensor({batch, hidden_}));
+    gate_f_.assign(time, tensor({batch, hidden_}));
+    gate_g_.assign(time, tensor({batch, hidden_}));
+    gate_o_.assign(time, tensor({batch, hidden_}));
+    cell_tanh_.assign(time, tensor({batch, hidden_}));
+
+    const float* wx = w_input_.value.data();
+    const float* wh = w_hidden_.value.data();
+    const float* b = bias_.value.data();
+    const std::size_t gates = 4 * hidden_;
+    std::vector<float> preact(gates);
+
+    for (std::size_t t = 0; t < time; ++t) {
+        const tensor& h_prev = hidden_states_[t];
+        const tensor& c_prev = cell_states_[t];
+        tensor& h_next = hidden_states_[t + 1];
+        tensor& c_next = cell_states_[t + 1];
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* x = input.data() + (n * time + t) * in_;
+            const float* hp = h_prev.data() + n * hidden_;
+            const float* cp = c_prev.data() + n * hidden_;
+            for (std::size_t g = 0; g < gates; ++g) preact[g] = b[g];
+            for (std::size_t i = 0; i < in_; ++i) {
+                const float xv = x[i];
+                const float* row = wx + i * gates;
+                for (std::size_t g = 0; g < gates; ++g) preact[g] += xv * row[g];
+            }
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                const float hv = hp[h];
+                if (hv == 0.0f) continue;
+                const float* row = wh + h * gates;
+                for (std::size_t g = 0; g < gates; ++g) preact[g] += hv * row[g];
+            }
+            float* gi = gate_i_[t].data() + n * hidden_;
+            float* gf = gate_f_[t].data() + n * hidden_;
+            float* gg = gate_g_[t].data() + n * hidden_;
+            float* go = gate_o_[t].data() + n * hidden_;
+            float* cn = c_next.data() + n * hidden_;
+            float* hn = h_next.data() + n * hidden_;
+            float* ct = cell_tanh_[t].data() + n * hidden_;
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                gi[h] = sigmoid_scalar(preact[h]);
+                gf[h] = sigmoid_scalar(preact[hidden_ + h]);
+                gg[h] = std::tanh(preact[2 * hidden_ + h]);
+                go[h] = sigmoid_scalar(preact[3 * hidden_ + h]);
+                cn[h] = gf[h] * cp[h] + gi[h] * gg[h];
+                ct[h] = std::tanh(cn[h]);
+                hn[h] = go[h] * ct[h];
+            }
+        }
+    }
+    return hidden_states_[time];
+}
+
+tensor lstm::backward(const tensor& grad_output) {
+    FS_CHECK(!input_cache_.empty(), "lstm backward before forward");
+    const std::size_t batch = input_cache_.dim(0);
+    const std::size_t time = input_cache_.dim(1);
+    FS_ARG_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                     grad_output.dim(1) == hidden_,
+                 "lstm grad_output shape mismatch");
+
+    tensor grad_input({batch, time, in_});
+    tensor dh = grad_output;            // dL/dh_t flowing backwards
+    tensor dc({batch, hidden_});        // dL/dc_t flowing backwards
+
+    const float* wx = w_input_.value.data();
+    const float* wh = w_hidden_.value.data();
+    float* gwx = w_input_.grad.data();
+    float* gwh = w_hidden_.grad.data();
+    float* gb = bias_.grad.data();
+    const std::size_t gates = 4 * hidden_;
+    std::vector<float> dpre(gates);
+
+    for (std::size_t t = time; t-- > 0;) {
+        const tensor& h_prev = hidden_states_[t];
+        const tensor& c_prev = cell_states_[t];
+        tensor dh_prev({batch, hidden_});
+        tensor dc_prev({batch, hidden_});
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* gi = gate_i_[t].data() + n * hidden_;
+            const float* gf = gate_f_[t].data() + n * hidden_;
+            const float* gg = gate_g_[t].data() + n * hidden_;
+            const float* go = gate_o_[t].data() + n * hidden_;
+            const float* ct = cell_tanh_[t].data() + n * hidden_;
+            const float* cp = c_prev.data() + n * hidden_;
+            const float* hp = h_prev.data() + n * hidden_;
+            const float* dhn = dh.data() + n * hidden_;
+            const float* dcn = dc.data() + n * hidden_;
+            float* dcp = dc_prev.data() + n * hidden_;
+
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                const float do_pre = dhn[h] * ct[h] * go[h] * (1.0f - go[h]);
+                const float dc_total = dcn[h] + dhn[h] * go[h] * (1.0f - ct[h] * ct[h]);
+                const float di_pre = dc_total * gg[h] * gi[h] * (1.0f - gi[h]);
+                const float df_pre = dc_total * cp[h] * gf[h] * (1.0f - gf[h]);
+                const float dg_pre = dc_total * gi[h] * (1.0f - gg[h] * gg[h]);
+                dcp[h] = dc_total * gf[h];
+                dpre[h] = di_pre;
+                dpre[hidden_ + h] = df_pre;
+                dpre[2 * hidden_ + h] = dg_pre;
+                dpre[3 * hidden_ + h] = do_pre;
+            }
+            for (std::size_t g = 0; g < gates; ++g) gb[g] += dpre[g];
+
+            const float* x = input_cache_.data() + (n * time + t) * in_;
+            float* gx = grad_input.data() + (n * time + t) * in_;
+            for (std::size_t i = 0; i < in_; ++i) {
+                const float xv = x[i];
+                const float* row = wx + i * gates;
+                float* grow = gwx + i * gates;
+                float acc = 0.0f;
+                for (std::size_t g = 0; g < gates; ++g) {
+                    acc += row[g] * dpre[g];
+                    grow[g] += xv * dpre[g];
+                }
+                gx[i] = acc;
+            }
+            float* dhp = dh_prev.data() + n * hidden_;
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                const float hv = hp[h];
+                const float* row = wh + h * gates;
+                float* grow = gwh + h * gates;
+                float acc = 0.0f;
+                for (std::size_t g = 0; g < gates; ++g) {
+                    acc += row[g] * dpre[g];
+                    grow[g] += hv * dpre[g];
+                }
+                dhp[h] = acc;
+            }
+        }
+        dh = std::move(dh_prev);
+        dc = std::move(dc_prev);
+    }
+    return grad_input;
+}
+
+std::string lstm::describe() const {
+    std::ostringstream os;
+    os << "lstm(" << in_ << " -> " << hidden_ << ")";
+    return os.str();
+}
+
+shape_t lstm::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_,
+                 "lstm output_shape expects [time, features]");
+    return {hidden_};
+}
+
+}  // namespace fallsense::nn

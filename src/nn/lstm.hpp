@@ -1,0 +1,49 @@
+// LSTM over [batch, time, features], returning the last hidden state
+// [batch, hidden] (Keras `return_sequences=False`).  Used by the paper's
+// LSTM baseline and shared by the ConvLSTM2D implementation notes.
+//
+// Gate layout in the packed weight matrices is [i | f | g | o], Keras order,
+// with forget-gate bias initialized to 1 (`unit_forget_bias`).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+class lstm : public layer {
+public:
+    lstm(std::size_t in_features, std::size_t hidden_size, util::rng& gen,
+         std::string name = "lstm");
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&w_input_, &w_hidden_, &bias_}; }
+    layer_kind kind() const override { return layer_kind::lstm; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t in_features() const { return in_; }
+    std::size_t hidden_size() const { return hidden_; }
+
+private:
+    std::size_t in_;
+    std::size_t hidden_;
+    parameter w_input_;   ///< [in, 4*hidden]
+    parameter w_hidden_;  ///< [hidden, 4*hidden]
+    parameter bias_;      ///< [4*hidden]
+
+    // Forward caches for BPTT.
+    tensor input_cache_;                ///< [batch, time, in]
+    std::vector<tensor> hidden_states_; ///< T+1 tensors [batch, hidden] (h_0 .. h_T)
+    std::vector<tensor> cell_states_;   ///< T+1 tensors [batch, hidden]
+    std::vector<tensor> gate_i_;        ///< per step, post-sigmoid
+    std::vector<tensor> gate_f_;
+    std::vector<tensor> gate_g_;        ///< post-tanh candidate
+    std::vector<tensor> gate_o_;
+    std::vector<tensor> cell_tanh_;     ///< tanh(c_t) per step
+};
+
+}  // namespace fallsense::nn

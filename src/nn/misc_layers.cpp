@@ -1,0 +1,64 @@
+#include "nn/misc_layers.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+tensor flatten::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() >= 2, "flatten expects a batched tensor");
+    input_shape_cache_ = input.shape();
+    const std::size_t batch = input.dim(0);
+    const std::size_t features = input.size() / batch;
+    return input.reshaped({batch, features});
+}
+
+tensor flatten::backward(const tensor& grad_output) {
+    FS_CHECK(!input_shape_cache_.empty(), "flatten backward before forward");
+    return grad_output.reshaped(input_shape_cache_);
+}
+
+shape_t flatten::output_shape(const shape_t& input_shape) const {
+    return {shape_volume(input_shape)};
+}
+
+dropout::dropout(double drop_probability, util::rng& gen) : p_(drop_probability), gen_(&gen) {
+    FS_ARG_CHECK(p_ >= 0.0 && p_ < 1.0, "dropout probability must be in [0, 1)");
+}
+
+tensor dropout::forward(const tensor& input, bool training) {
+    last_forward_training_ = training;
+    if (!training || p_ == 0.0) return input;
+    mask_ = tensor(input.shape());
+    tensor out(input.shape());
+    const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+    const std::span<const float> x = input.values();
+    const std::span<float> m = mask_.values();
+    const std::span<float> y = out.values();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float scale = gen_->bernoulli(p_) ? 0.0f : keep_scale;
+        m[i] = scale;
+        y[i] = x[i] * scale;
+    }
+    return out;
+}
+
+tensor dropout::backward(const tensor& grad_output) {
+    if (!last_forward_training_ || p_ == 0.0) return grad_output;
+    FS_CHECK(same_shape(grad_output, mask_), "dropout backward shape mismatch");
+    tensor grad_input(grad_output.shape());
+    const std::span<const float> gy = grad_output.values();
+    const std::span<const float> m = mask_.values();
+    const std::span<float> gx = grad_input.values();
+    for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * m[i];
+    return grad_input;
+}
+
+std::string dropout::describe() const {
+    std::ostringstream os;
+    os << "dropout(p=" << p_ << ")";
+    return os.str();
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,42 @@
+// Structural layers: flatten and dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+/// Collapse all per-sample dimensions: [batch, ...] -> [batch, features].
+class flatten : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_kind kind() const override { return layer_kind::flatten; }
+    std::string describe() const override { return "flatten"; }
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+private:
+    shape_t input_shape_cache_;
+};
+
+/// Inverted dropout: active only when training; scales kept units by 1/(1-p).
+class dropout : public layer {
+public:
+    dropout(double drop_probability, util::rng& gen);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_kind kind() const override { return layer_kind::dropout; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+
+    double drop_probability() const { return p_; }
+
+private:
+    double p_;
+    util::rng* gen_;
+    tensor mask_;  ///< scale factors applied in the last training forward
+    bool last_forward_training_ = false;
+};
+
+}  // namespace fallsense::nn

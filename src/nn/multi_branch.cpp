@@ -1,0 +1,150 @@
+#include "nn/multi_branch.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+multi_branch_network::multi_branch_network(std::vector<std::size_t> group_channels,
+                                           std::vector<std::unique_ptr<sequential>> branches,
+                                           std::unique_ptr<sequential> trunk)
+    : group_channels_(std::move(group_channels)),
+      branches_(std::move(branches)),
+      trunk_(std::move(trunk)) {
+    FS_ARG_CHECK(!branches_.empty(), "multi_branch_network needs at least one branch");
+    FS_ARG_CHECK(branches_.size() == group_channels_.size(),
+                 "multi_branch_network branch/group count mismatch");
+    FS_ARG_CHECK(trunk_ != nullptr, "multi_branch_network needs a trunk");
+    for (const auto& b : branches_) FS_ARG_CHECK(b != nullptr, "null branch");
+    for (const std::size_t g : group_channels_) FS_ARG_CHECK(g > 0, "empty channel group");
+}
+
+tensor multi_branch_network::forward(const tensor& input, bool training) {
+    FS_ARG_CHECK(input.rank() == 3, "multi_branch expects [batch, time, channels], got " +
+                                        shape_to_string(input.shape()));
+    const std::size_t batch = input.dim(0);
+    const std::size_t time = input.dim(1);
+    const std::size_t channels = input.dim(2);
+    const std::size_t total_group =
+        std::accumulate(group_channels_.begin(), group_channels_.end(), std::size_t{0});
+    FS_ARG_CHECK(channels == total_group, "multi_branch channel-group sum mismatch");
+    input_shape_cache_ = input.shape();
+
+    // Split channels, run branches, record flattened widths.
+    std::vector<tensor> branch_outputs;
+    branch_outputs.reserve(branches_.size());
+    branch_widths_.clear();
+    std::size_t channel_base = 0;
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        const std::size_t group = group_channels_[bi];
+        tensor slice({batch, time, group});
+        for (std::size_t n = 0; n < batch; ++n) {
+            for (std::size_t t = 0; t < time; ++t) {
+                const float* src = input.data() + (n * time + t) * channels + channel_base;
+                float* dst = slice.data() + (n * time + t) * group;
+                std::copy(src, src + group, dst);
+            }
+        }
+        channel_base += group;
+        tensor out = branches_[bi]->forward(slice, training);
+        FS_ARG_CHECK(out.rank() == 2 && out.dim(0) == batch,
+                     "branch output must be [batch, features] — add a flatten layer");
+        branch_widths_.push_back(out.dim(1));
+        branch_outputs.push_back(std::move(out));
+    }
+
+    // Concatenate along the feature axis.
+    const std::size_t concat_width =
+        std::accumulate(branch_widths_.begin(), branch_widths_.end(), std::size_t{0});
+    tensor concat({batch, concat_width});
+    std::size_t feature_base = 0;
+    for (std::size_t bi = 0; bi < branch_outputs.size(); ++bi) {
+        const std::size_t width = branch_widths_[bi];
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = branch_outputs[bi].data() + n * width;
+            float* dst = concat.data() + n * concat_width + feature_base;
+            std::copy(src, src + width, dst);
+        }
+        feature_base += width;
+    }
+    return trunk_->forward(concat, training);
+}
+
+tensor multi_branch_network::backward(const tensor& grad_output) {
+    FS_CHECK(!input_shape_cache_.empty(), "multi_branch backward before forward");
+    const std::size_t batch = input_shape_cache_[0];
+    const std::size_t time = input_shape_cache_[1];
+    const std::size_t channels = input_shape_cache_[2];
+
+    const tensor grad_concat = trunk_->backward(grad_output);
+    const std::size_t concat_width = grad_concat.dim(1);
+
+    tensor grad_input({batch, time, channels});
+    std::size_t feature_base = 0;
+    std::size_t channel_base = 0;
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        const std::size_t width = branch_widths_[bi];
+        tensor grad_branch({batch, width});
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = grad_concat.data() + n * concat_width + feature_base;
+            std::copy(src, src + width, grad_branch.data() + n * width);
+        }
+        const tensor grad_slice = branches_[bi]->backward(grad_branch);
+        const std::size_t group = group_channels_[bi];
+        for (std::size_t n = 0; n < batch; ++n) {
+            for (std::size_t t = 0; t < time; ++t) {
+                const float* src = grad_slice.data() + (n * time + t) * group;
+                float* dst = grad_input.data() + (n * time + t) * channels + channel_base;
+                std::copy(src, src + group, dst);
+            }
+        }
+        feature_base += width;
+        channel_base += group;
+    }
+    return grad_input;
+}
+
+sequential& multi_branch_network::branch(std::size_t i) {
+    FS_ARG_CHECK(i < branches_.size(), "branch index out of range");
+    return *branches_[i];
+}
+
+const sequential& multi_branch_network::branch(std::size_t i) const {
+    FS_ARG_CHECK(i < branches_.size(), "branch index out of range");
+    return *branches_[i];
+}
+
+std::vector<parameter*> multi_branch_network::parameters() {
+    std::vector<parameter*> params;
+    for (const auto& b : branches_) {
+        for (parameter* p : b->parameters()) params.push_back(p);
+    }
+    for (parameter* p : trunk_->parameters()) params.push_back(p);
+    return params;
+}
+
+std::string multi_branch_network::summary() const {
+    std::ostringstream os;
+    os << "multi_branch {\n";
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        os << "  branch[" << bi << "] (" << group_channels_[bi] << " ch): "
+           << branches_[bi]->summary() << '\n';
+    }
+    os << "  trunk: " << trunk_->summary() << "\n}";
+    return os.str();
+}
+
+shape_t multi_branch_network::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 2, "multi_branch output_shape expects [time, channels]");
+    std::size_t concat_width = 0;
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        const shape_t branch_out =
+            branches_[bi]->output_shape({input_shape[0], group_channels_[bi]});
+        concat_width += shape_volume(branch_out);
+    }
+    return trunk_->output_shape({concat_width});
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,48 @@
+// The paper's multi-branch topology: split the [batch, time, channels] input
+// into per-modality channel groups, run each group through its own branch,
+// concatenate the flattened branch outputs, and feed a shared trunk.
+//
+// For the fallsense CNN: channels = 9, three groups of 3 (accelerometer,
+// gyroscope, Euler angles); each branch is Conv1D -> ReLU -> MaxPool1D ->
+// Flatten; the trunk is Dense(64) -> ReLU -> Dense(32) -> ReLU -> Dense(1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace fallsense::nn {
+
+class multi_branch_network : public model {
+public:
+    /// `group_channels` — channel count handled by each branch, in input
+    /// channel order; the sum must equal the input's channel dimension.
+    multi_branch_network(std::vector<std::size_t> group_channels,
+                         std::vector<std::unique_ptr<sequential>> branches,
+                         std::unique_ptr<sequential> trunk);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override;
+    std::string summary() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t branch_count() const { return branches_.size(); }
+    sequential& branch(std::size_t i);
+    const sequential& branch(std::size_t i) const;
+    sequential& trunk() { return *trunk_; }
+    const sequential& trunk() const { return *trunk_; }
+    const std::vector<std::size_t>& group_channels() const { return group_channels_; }
+
+private:
+    std::vector<std::size_t> group_channels_;
+    std::vector<std::unique_ptr<sequential>> branches_;
+    std::unique_ptr<sequential> trunk_;
+
+    // Forward caches for backward.
+    shape_t input_shape_cache_;
+    std::vector<std::size_t> branch_widths_;  ///< flattened width of each branch output
+};
+
+}  // namespace fallsense::nn

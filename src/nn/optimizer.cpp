@@ -1,0 +1,76 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+optimizer::optimizer(std::vector<parameter*> params) : params_(std::move(params)) {
+    FS_ARG_CHECK(!params_.empty(), "optimizer with no parameters");
+    for (const parameter* p : params_) FS_ARG_CHECK(p != nullptr, "null parameter");
+}
+
+void optimizer::zero_grad() {
+    for (parameter* p : params_) p->zero_grad();
+}
+
+sgd::sgd(std::vector<parameter*> params, double learning_rate, double momentum)
+    : optimizer(std::move(params)), lr_(learning_rate), momentum_(momentum) {
+    FS_ARG_CHECK(lr_ > 0.0, "learning rate must be positive");
+    FS_ARG_CHECK(momentum_ >= 0.0 && momentum_ < 1.0, "momentum must be in [0, 1)");
+    velocity_.reserve(params_.size());
+    for (const parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void sgd::step() {
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+        parameter& p = *params_[pi];
+        tensor& vel = velocity_[pi];
+        for (std::size_t i = 0; i < p.value.size(); ++i) {
+            vel[i] = static_cast<float>(momentum_ * vel[i] - lr_ * p.grad[i]);
+            p.value[i] += vel[i];
+        }
+        p.zero_grad();
+    }
+}
+
+adam::adam(std::vector<parameter*> params, double learning_rate, double beta1, double beta2,
+           double epsilon)
+    : optimizer(std::move(params)),
+      lr_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+    FS_ARG_CHECK(lr_ > 0.0, "learning rate must be positive");
+    FS_ARG_CHECK(beta1_ >= 0.0 && beta1_ < 1.0, "beta1 must be in [0, 1)");
+    FS_ARG_CHECK(beta2_ >= 0.0 && beta2_ < 1.0, "beta2 must be in [0, 1)");
+    FS_ARG_CHECK(epsilon_ > 0.0, "epsilon must be positive");
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const parameter* p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void adam::step() {
+    ++t_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    const double alpha = lr_ * std::sqrt(bias2) / bias1;
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+        parameter& p = *params_[pi];
+        tensor& m = m_[pi];
+        tensor& v = v_[pi];
+        for (std::size_t i = 0; i < p.value.size(); ++i) {
+            const double g = p.grad[i];
+            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+            v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+            p.value[i] -= static_cast<float>(alpha * m[i] / (std::sqrt(static_cast<double>(v[i])) + epsilon_));
+        }
+        p.zero_grad();
+    }
+}
+
+}  // namespace fallsense::nn

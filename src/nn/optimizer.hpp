@@ -1,0 +1,56 @@
+// Gradient-descent optimizers over a fixed parameter set.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+class optimizer {
+public:
+    explicit optimizer(std::vector<parameter*> params);
+    virtual ~optimizer() = default;
+    optimizer(const optimizer&) = delete;
+    optimizer& operator=(const optimizer&) = delete;
+
+    /// Apply one update from the accumulated gradients, then clear them.
+    virtual void step() = 0;
+
+    void zero_grad();
+
+protected:
+    std::vector<parameter*> params_;
+};
+
+/// SGD with classical momentum.
+class sgd : public optimizer {
+public:
+    sgd(std::vector<parameter*> params, double learning_rate, double momentum = 0.0);
+    void step() override;
+
+private:
+    double lr_;
+    double momentum_;
+    std::vector<tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the Keras default the paper's
+/// training would have used.
+class adam : public optimizer {
+public:
+    adam(std::vector<parameter*> params, double learning_rate = 1e-3, double beta1 = 0.9,
+         double beta2 = 0.999, double epsilon = 1e-7);
+    void step() override;
+
+private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double epsilon_;
+    std::size_t t_ = 0;
+    std::vector<tensor> m_;
+    std::vector<tensor> v_;
+};
+
+}  // namespace fallsense::nn

@@ -1,0 +1,68 @@
+#include "nn/pooling.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+maxpool1d::maxpool1d(std::size_t pool_size) : pool_(pool_size) {
+    FS_ARG_CHECK(pool_size > 0, "maxpool1d pool size must be positive");
+}
+
+tensor maxpool1d::forward(const tensor& input, bool /*training*/) {
+    FS_ARG_CHECK(input.rank() == 3, "maxpool1d expects [batch, time, channels], got " +
+                                        shape_to_string(input.shape()));
+    const std::size_t batch = input.dim(0);
+    const std::size_t time = input.dim(1);
+    const std::size_t channels = input.dim(2);
+    FS_ARG_CHECK(time >= pool_, "maxpool1d input shorter than pool window");
+    const std::size_t out_time = time / pool_;
+    input_shape_cache_ = input.shape();
+
+    tensor out({batch, out_time, channels});
+    argmax_.assign(out.size(), 0);
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = input.data() + n * time * channels;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            for (std::size_t c = 0; c < channels; ++c) {
+                std::size_t best_idx = (t * pool_) * channels + c;
+                float best = xn[best_idx];
+                for (std::size_t k = 1; k < pool_; ++k) {
+                    const std::size_t idx = (t * pool_ + k) * channels + c;
+                    if (xn[idx] > best) {
+                        best = xn[idx];
+                        best_idx = idx;
+                    }
+                }
+                const std::size_t out_idx = (n * out_time + t) * channels + c;
+                out[out_idx] = best;
+                argmax_[out_idx] = n * time * channels + best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+tensor maxpool1d::backward(const tensor& grad_output) {
+    FS_CHECK(!input_shape_cache_.empty(), "maxpool1d backward before forward");
+    FS_ARG_CHECK(grad_output.size() == argmax_.size(), "maxpool1d grad_output size mismatch");
+    tensor grad_input(input_shape_cache_);
+    const std::span<const float> gy = grad_output.values();
+    for (std::size_t i = 0; i < gy.size(); ++i) grad_input[argmax_[i]] += gy[i];
+    return grad_input;
+}
+
+std::string maxpool1d::describe() const {
+    std::ostringstream os;
+    os << "maxpool1d(pool=" << pool_ << ")";
+    return os.str();
+}
+
+shape_t maxpool1d::output_shape(const shape_t& input_shape) const {
+    FS_ARG_CHECK(input_shape.size() == 2, "maxpool1d output_shape expects [time, channels]");
+    FS_ARG_CHECK(input_shape[0] >= pool_, "maxpool1d output_shape: time < pool");
+    return {input_shape[0] / pool_, input_shape[1]};
+}
+
+}  // namespace fallsense::nn

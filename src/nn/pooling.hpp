@@ -1,0 +1,31 @@
+// Temporal max pooling over [batch, time, channels].
+//
+// Pool size == stride (non-overlapping), trailing remainder dropped —
+// matching Keras MaxPooling1D defaults used by the paper's model.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+class maxpool1d : public layer {
+public:
+    explicit maxpool1d(std::size_t pool_size);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_kind kind() const override { return layer_kind::maxpool1d; }
+    std::string describe() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t pool_size() const { return pool_; }
+
+private:
+    std::size_t pool_;
+    shape_t input_shape_cache_;
+    std::vector<std::size_t> argmax_;  ///< flat input index of each output element
+};
+
+}  // namespace fallsense::nn

@@ -1,0 +1,59 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+sequential& sequential::add(layer_ptr new_layer) {
+    FS_ARG_CHECK(new_layer != nullptr, "sequential::add(nullptr)");
+    layers_.push_back(std::move(new_layer));
+    return *this;
+}
+
+tensor sequential::forward(const tensor& input, bool training) {
+    tensor current = input;
+    for (const auto& l : layers_) current = l->forward(current, training);
+    return current;
+}
+
+tensor sequential::backward(const tensor& grad_output) {
+    tensor grad = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+    return grad;
+}
+
+std::vector<parameter*> sequential::parameters() {
+    std::vector<parameter*> params;
+    for (const auto& l : layers_) {
+        for (parameter* p : l->parameters()) params.push_back(p);
+    }
+    return params;
+}
+
+std::string sequential::summary() const {
+    std::ostringstream os;
+    os << "sequential {\n";
+    for (const auto& l : layers_) os << "  " << l->describe() << '\n';
+    os << "}";
+    return os.str();
+}
+
+shape_t sequential::output_shape(const shape_t& input_shape) const {
+    shape_t shape = input_shape;
+    for (const auto& l : layers_) shape = l->output_shape(shape);
+    return shape;
+}
+
+layer& sequential::layer_at(std::size_t i) {
+    FS_ARG_CHECK(i < layers_.size(), "sequential layer index out of range");
+    return *layers_[i];
+}
+
+const layer& sequential::layer_at(std::size_t i) const {
+    FS_ARG_CHECK(i < layers_.size(), "sequential layer index out of range");
+    return *layers_[i];
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,41 @@
+// Linear stack of layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+class sequential : public model {
+public:
+    sequential() = default;
+
+    /// Append a layer (takes ownership). Returns *this for chaining.
+    sequential& add(layer_ptr new_layer);
+
+    /// Construct-in-place convenience: seq.emplace<dense>(...).
+    template <typename L, typename... Args>
+    L& emplace(Args&&... args) {
+        auto owned = std::make_unique<L>(std::forward<Args>(args)...);
+        L& ref = *owned;
+        add(std::move(owned));
+        return ref;
+    }
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override;
+    std::string summary() const override;
+    shape_t output_shape(const shape_t& input_shape) const override;
+
+    std::size_t layer_count() const { return layers_.size(); }
+    layer& layer_at(std::size_t i);
+    const layer& layer_at(std::size_t i) const;
+
+private:
+    std::vector<layer_ptr> layers_;
+};
+
+}  // namespace fallsense::nn

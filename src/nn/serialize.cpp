@@ -1,0 +1,102 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+namespace {
+
+constexpr char k_magic[4] = {'F', 'S', 'N', 'N'};
+constexpr std::uint32_t k_version = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in) throw std::runtime_error("weight stream truncated");
+    return value;
+}
+
+}  // namespace
+
+void save_weights(model& m, std::ostream& out) {
+    out.write(k_magic, sizeof(k_magic));
+    write_pod(out, k_version);
+    const std::vector<parameter*> params = m.parameters();
+    write_pod(out, static_cast<std::uint64_t>(params.size()));
+    for (const parameter* p : params) {
+        write_pod(out, static_cast<std::uint32_t>(p->name.size()));
+        out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+        write_pod(out, static_cast<std::uint32_t>(p->value.rank()));
+        for (const std::size_t d : p->value.shape()) {
+            write_pod(out, static_cast<std::uint64_t>(d));
+        }
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    }
+    if (!out) throw std::runtime_error("weight stream write failure");
+}
+
+void load_weights(model& m, std::istream& in) {
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, k_magic, sizeof(k_magic)) != 0) {
+        throw std::runtime_error("not a fallsense weight stream (bad magic)");
+    }
+    const auto version = read_pod<std::uint32_t>(in);
+    if (version != k_version) {
+        throw std::runtime_error("unsupported weight stream version " + std::to_string(version));
+    }
+    const std::vector<parameter*> params = m.parameters();
+    const auto count = read_pod<std::uint64_t>(in);
+    if (count != params.size()) {
+        throw std::runtime_error("weight stream parameter count mismatch: stream has " +
+                                 std::to_string(count) + ", model has " +
+                                 std::to_string(params.size()));
+    }
+    for (parameter* p : params) {
+        const auto name_len = read_pod<std::uint32_t>(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), name_len);
+        if (!in) throw std::runtime_error("weight stream truncated in name");
+        if (name != p->name) {
+            throw std::runtime_error("weight stream parameter mismatch: expected '" + p->name +
+                                     "', found '" + name + "'");
+        }
+        const auto rank = read_pod<std::uint32_t>(in);
+        shape_t shape(rank);
+        for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+        if (shape != p->value.shape()) {
+            throw std::runtime_error("weight stream shape mismatch for '" + name + "': stream " +
+                                     shape_to_string(shape) + ", model " +
+                                     shape_to_string(p->value.shape()));
+        }
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+        if (!in) throw std::runtime_error("weight stream truncated in data for '" + name + "'");
+    }
+}
+
+void save_weights_file(model& m, const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open for write: " + path.string());
+    save_weights(m, out);
+}
+
+void load_weights_file(model& m, const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open for read: " + path.string());
+    load_weights(m, in);
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,27 @@
+// Model weight serialization.
+//
+// Format (little-endian, versioned):
+//   magic "FSNN" | u32 version | u64 param_count |
+//   per param: u32 name_len | name bytes | u32 rank | u64 dims[rank] |
+//              f32 data[volume]
+//
+// Architecture is NOT stored: weights are loaded back into a model built by
+// the same builder (model_zoo in src/core).  Name + shape of every parameter
+// are checked on load, so loading into a mismatched architecture fails
+// loudly instead of silently corrupting weights.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "nn/layer.hpp"
+
+namespace fallsense::nn {
+
+void save_weights(model& m, std::ostream& out);
+void load_weights(model& m, std::istream& in);
+
+void save_weights_file(model& m, const std::filesystem::path& path);
+void load_weights_file(model& m, const std::filesystem::path& path);
+
+}  // namespace fallsense::nn

@@ -1,0 +1,134 @@
+#include "nn/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::nn {
+
+std::size_t shape_volume(const shape_t& shape) {
+    std::size_t volume = 1;
+    for (const std::size_t d : shape) volume *= d;
+    return volume;
+}
+
+std::string shape_to_string(const shape_t& shape) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i) os << " x ";
+        os << shape[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+tensor::tensor(shape_t shape) : shape_(std::move(shape)), data_(shape_volume(shape_), 0.0f) {}
+
+tensor::tensor(shape_t shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+    FS_ARG_CHECK(data_.size() == shape_volume(shape_),
+                 "tensor value count does not match shape " + shape_to_string(shape_));
+}
+
+tensor tensor::full(shape_t shape, float value) {
+    tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+tensor tensor::from_values(std::initializer_list<float> values) {
+    return tensor({values.size()}, std::vector<float>(values));
+}
+
+std::size_t tensor::dim(std::size_t d) const {
+    FS_ARG_CHECK(d < shape_.size(), "tensor dimension index out of range");
+    return shape_[d];
+}
+
+float& tensor::operator[](std::size_t i) {
+    FS_ARG_CHECK(i < data_.size(), "tensor flat index out of range");
+    return data_[i];
+}
+
+float tensor::operator[](std::size_t i) const {
+    FS_ARG_CHECK(i < data_.size(), "tensor flat index out of range");
+    return data_[i];
+}
+
+std::size_t tensor::offset(std::initializer_list<std::size_t> idx) const {
+    FS_ARG_CHECK(idx.size() == shape_.size(), "tensor index rank mismatch");
+    std::size_t flat = 0;
+    std::size_t d = 0;
+    for (const std::size_t i : idx) {
+        FS_ARG_CHECK(i < shape_[d], "tensor index out of range in dim " + std::to_string(d));
+        flat = flat * shape_[d] + i;
+        ++d;
+    }
+    return flat;
+}
+
+float& tensor::at(std::initializer_list<std::size_t> idx) { return data_[offset(idx)]; }
+
+float tensor::at(std::initializer_list<std::size_t> idx) const { return data_[offset(idx)]; }
+
+void tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+tensor tensor::reshaped(shape_t new_shape) const {
+    FS_ARG_CHECK(shape_volume(new_shape) == data_.size(),
+                 "reshape volume mismatch: " + shape_to_string(shape_) + " -> " +
+                     shape_to_string(new_shape));
+    return tensor(std::move(new_shape), data_);
+}
+
+tensor& tensor::operator+=(const tensor& other) {
+    FS_ARG_CHECK(same_shape(*this, other), "tensor += shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+tensor& tensor::operator-=(const tensor& other) {
+    FS_ARG_CHECK(same_shape(*this, other), "tensor -= shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+tensor& tensor::operator*=(float scale) {
+    for (float& v : data_) v *= scale;
+    return *this;
+}
+
+double tensor::sum() const {
+    double acc = 0.0;
+    for (const float v : data_) acc += v;
+    return acc;
+}
+
+double tensor::squared_norm() const {
+    double acc = 0.0;
+    for (const float v : data_) acc += static_cast<double>(v) * v;
+    return acc;
+}
+
+tensor operator+(const tensor& a, const tensor& b) {
+    tensor out = a;
+    out += b;
+    return out;
+}
+
+tensor operator-(const tensor& a, const tensor& b) {
+    tensor out = a;
+    out -= b;
+    return out;
+}
+
+tensor operator*(const tensor& a, float scale) {
+    tensor out = a;
+    out *= scale;
+    return out;
+}
+
+bool same_shape(const tensor& a, const tensor& b) { return a.shape() == b.shape(); }
+
+}  // namespace fallsense::nn

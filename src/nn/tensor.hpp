@@ -1,0 +1,93 @@
+// Dense row-major float tensor.
+//
+// fallsense trains small models (tens of thousands of parameters) on CPU,
+// so the tensor type favors clarity and safety over BLAS-grade performance:
+// contiguous std::vector<float> storage, explicit shape, bounds-checked
+// element access in debug-style accessors, and unchecked spans for kernels
+// that have already validated shapes.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fallsense::nn {
+
+/// Shape of a tensor: sizes per dimension, outermost first.
+using shape_t = std::vector<std::size_t>;
+
+/// Number of elements a shape addresses (1 for the empty/scalar shape).
+std::size_t shape_volume(const shape_t& shape);
+
+/// "[2 x 20 x 9]" — used in error messages and model dumps.
+std::string shape_to_string(const shape_t& shape);
+
+class tensor {
+public:
+    /// Empty (rank-0, volume-1 is NOT implied — size() == 0).
+    tensor() = default;
+
+    /// Zero-filled tensor of the given shape.
+    explicit tensor(shape_t shape);
+
+    /// Tensor of the given shape with explicit contents (size must match).
+    tensor(shape_t shape, std::vector<float> values);
+
+    static tensor zeros(shape_t shape) { return tensor(std::move(shape)); }
+    static tensor full(shape_t shape, float value);
+    /// 1-D tensor from an initializer list.
+    static tensor from_values(std::initializer_list<float> values);
+
+    const shape_t& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /// Size of dimension `dim`; throws if out of range.
+    std::size_t dim(std::size_t d) const;
+
+    std::span<float> values() { return data_; }
+    std::span<const float> values() const { return data_; }
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /// Flat element access (bounds-checked).
+    float& operator[](std::size_t i);
+    float operator[](std::size_t i) const;
+
+    /// Multi-index access (bounds-checked); index count must equal rank.
+    float& at(std::initializer_list<std::size_t> idx);
+    float at(std::initializer_list<std::size_t> idx) const;
+
+    /// Flat offset of a multi-index (bounds-checked).
+    std::size_t offset(std::initializer_list<std::size_t> idx) const;
+
+    void fill(float value);
+    /// Reinterpret the same data with a different shape (volume must match).
+    tensor reshaped(shape_t new_shape) const;
+
+    /// Elementwise in-place ops (shapes must match exactly).
+    tensor& operator+=(const tensor& other);
+    tensor& operator-=(const tensor& other);
+    tensor& operator*=(float scale);
+
+    /// Sum of all elements / sum of squares (used by loss and grad-norm code).
+    double sum() const;
+    double squared_norm() const;
+
+private:
+    shape_t shape_;
+    std::vector<float> data_;
+};
+
+/// Elementwise binary ops returning new tensors (shapes must match).
+tensor operator+(const tensor& a, const tensor& b);
+tensor operator-(const tensor& a, const tensor& b);
+tensor operator*(const tensor& a, float scale);
+
+/// True when shapes are identical.
+bool same_shape(const tensor& a, const tensor& b);
+
+}  // namespace fallsense::nn

@@ -1,0 +1,73 @@
+// Training loop implementing the paper's procedure (Section III-C):
+//   - mini-batch Adam on weighted binary cross-entropy,
+//   - class weights derived from the label imbalance,
+//   - output-layer bias initialized to log(p / (1 - p)) (Eq. 1-2),
+//   - up to `max_epochs` epochs with early stopping (patience on validation
+//     loss) and restoration of the best-epoch weights.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+
+/// A supervised batch: `features` is [N, ...] and `labels` has one 0/1
+/// entry per leading-dimension row.
+struct labeled_data {
+    tensor features;
+    std::vector<float> labels;
+
+    std::size_t size() const { return labels.size(); }
+    /// Fraction of positive (fall) labels.
+    double positive_fraction() const;
+    void validate() const;  ///< throws unless features rows == labels count
+};
+
+/// Select rows of a batched tensor (copies).
+tensor gather_rows(const tensor& batched, std::span<const std::size_t> row_indices);
+
+struct train_config {
+    std::size_t max_epochs = 200;
+    std::size_t batch_size = 64;
+    double learning_rate = 1e-3;
+    std::size_t early_stop_patience = 20;  ///< 0 disables early stopping
+    bool use_class_weights = true;
+    bool init_output_bias = true;  ///< Eq. (1): b = log(p / (1-p))
+    std::uint64_t shuffle_seed = 1;
+    bool verbose = false;
+};
+
+struct train_history {
+    std::vector<double> train_loss;  ///< one entry per completed epoch
+    std::vector<double> val_loss;
+    std::size_t best_epoch = 0;  ///< epoch index whose weights were restored
+    bool stopped_early = false;
+    double weight_positive = 1.0;  ///< class weights actually used
+    double weight_negative = 1.0;
+};
+
+/// Balanced class weights (Keras convention): w_c = N / (2 * N_c).
+/// Falls back to 1/1 when a class is absent.
+std::pair<double, double> balanced_class_weights(std::span<const float> labels);
+
+/// Snapshot / restore all parameter values (used by early stopping and by
+/// tests that need weight rollback).
+std::vector<tensor> snapshot_parameters(model& m);
+void restore_parameters(model& m, const std::vector<tensor>& snapshot);
+
+/// Fit `m` on `train` with early stopping against `validation`.
+/// `validation` may be empty (then early stopping monitors training loss).
+train_history fit(model& m, const labeled_data& train, const labeled_data& validation,
+                  const train_config& config);
+
+/// Sigmoid probabilities for every row of `features`, evaluated in chunks so
+/// memory stays bounded.
+std::vector<float> predict_proba(model& m, const tensor& features,
+                                 std::size_t batch_size = 256);
+
+}  // namespace fallsense::nn

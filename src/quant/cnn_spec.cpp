@@ -1,0 +1,212 @@
+#include "quant/cnn_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::quant {
+
+std::size_t cnn_spec::input_channels() const {
+    return std::accumulate(group_channels.begin(), group_channels.end(), std::size_t{0});
+}
+
+std::size_t cnn_spec::concat_width() const {
+    std::size_t width = 0;
+    for (const conv_branch_spec& b : branches) {
+        const std::size_t conv_time = time_steps - b.kernel() + 1;
+        width += (conv_time / b.pool) * b.out_channels();
+    }
+    return width;
+}
+
+std::size_t cnn_spec::parameter_count() const {
+    std::size_t count = 0;
+    for (const conv_branch_spec& b : branches) {
+        count += b.conv_weight.size() + b.conv_bias.size();
+    }
+    for (const dense_spec& d : trunk) count += d.weight.size() + d.bias.size();
+    return count;
+}
+
+void cnn_spec::validate() const {
+    FS_CHECK(time_steps > 0, "cnn_spec without time steps");
+    FS_CHECK(!branches.empty() && branches.size() == group_channels.size(),
+             "cnn_spec branch/group mismatch");
+    FS_CHECK(!trunk.empty(), "cnn_spec without trunk");
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+        FS_CHECK(branches[i].in_channels() == group_channels[i],
+                 "cnn_spec branch channel mismatch");
+        FS_CHECK(time_steps >= branches[i].kernel(), "cnn_spec kernel longer than window");
+    }
+    FS_CHECK(trunk.front().in_features() == concat_width(), "cnn_spec trunk width mismatch");
+    FS_CHECK(trunk.back().out_features() == 1, "cnn_spec must end in a single logit");
+    FS_CHECK(!trunk.back().relu_after, "logit layer must not be ReLU-activated");
+}
+
+namespace {
+
+/// Branch forward: conv (valid) + relu + maxpool, appending the flattened
+/// [time x filters] result to `out`.
+void branch_forward(const conv_branch_spec& b, std::span<const float> segment,
+                    std::size_t channels, std::size_t channel_base, std::size_t time_steps,
+                    std::vector<float>& out) {
+    const std::size_t conv_time = time_steps - b.kernel() + 1;
+    const std::size_t cout = b.out_channels();
+    const std::size_t cin = b.in_channels();
+    std::vector<float> conv_out(conv_time * cout);
+    const float* w = b.conv_weight.data();
+    for (std::size_t t = 0; t < conv_time; ++t) {
+        float* y = conv_out.data() + t * cout;
+        for (std::size_t o = 0; o < cout; ++o) y[o] = b.conv_bias[o];
+        for (std::size_t k = 0; k < b.kernel(); ++k) {
+            const float* x = segment.data() + (t + k) * channels + channel_base;
+            const float* wk = w + k * cin * cout;
+            for (std::size_t c = 0; c < cin; ++c) {
+                const float xv = x[c];
+                const float* wc = wk + c * cout;
+                for (std::size_t o = 0; o < cout; ++o) y[o] += xv * wc[o];
+            }
+        }
+        for (std::size_t o = 0; o < cout; ++o) y[o] = std::max(y[o], 0.0f);  // ReLU
+    }
+    const std::size_t pooled_time = conv_time / b.pool;
+    for (std::size_t t = 0; t < pooled_time; ++t) {
+        for (std::size_t o = 0; o < cout; ++o) {
+            float best = conv_out[(t * b.pool) * cout + o];
+            for (std::size_t p = 1; p < b.pool; ++p) {
+                best = std::max(best, conv_out[(t * b.pool + p) * cout + o]);
+            }
+            out.push_back(best);
+        }
+    }
+}
+
+std::vector<float> dense_forward(const dense_spec& d, const std::vector<float>& in) {
+    std::vector<float> out(d.out_features());
+    const float* w = d.weight.data();
+    for (std::size_t o = 0; o < out.size(); ++o) out[o] = d.bias[o];
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const float xv = in[i];
+        if (xv == 0.0f) continue;
+        const float* row = w + i * out.size();
+        for (std::size_t o = 0; o < out.size(); ++o) out[o] += xv * row[o];
+    }
+    if (d.relu_after) {
+        for (float& v : out) v = std::max(v, 0.0f);
+    }
+    return out;
+}
+
+}  // namespace
+
+float cnn_spec::forward_logit(std::span<const float> segment) const {
+    const std::size_t channels = input_channels();
+    FS_ARG_CHECK(segment.size() == time_steps * channels, "segment size mismatch");
+
+    std::vector<float> concat;
+    concat.reserve(concat_width());
+    std::size_t channel_base = 0;
+    for (const conv_branch_spec& b : branches) {
+        branch_forward(b, segment, channels, channel_base, time_steps, concat);
+        channel_base += b.in_channels();
+    }
+    std::vector<float> act = concat;
+    for (const dense_spec& d : trunk) act = dense_forward(d, act);
+    FS_CHECK(act.size() == 1, "trunk must end in one logit");
+    return act[0];
+}
+
+activation_ranges calibrate(const cnn_spec& spec, const nn::tensor& segments) {
+    FS_ARG_CHECK(segments.rank() == 3, "calibration tensor must be [count, time, channels]");
+    FS_ARG_CHECK(segments.dim(0) > 0, "empty calibration set");
+    spec.validate();
+    const std::size_t count = segments.dim(0);
+    const std::size_t channels = spec.input_channels();
+    FS_ARG_CHECK(segments.dim(1) == spec.time_steps && segments.dim(2) == channels,
+                 "calibration segment shape mismatch");
+
+    activation_ranges ranges;
+    ranges.input_min = ranges.input_max = segments[0];
+    ranges.trunk_min.assign(spec.trunk.size(), std::numeric_limits<float>::infinity());
+    ranges.trunk_max.assign(spec.trunk.size(), -std::numeric_limits<float>::infinity());
+    ranges.concat_min = std::numeric_limits<float>::infinity();
+    ranges.concat_max = -std::numeric_limits<float>::infinity();
+
+    const std::size_t seg_size = spec.time_steps * channels;
+    for (std::size_t n = 0; n < count; ++n) {
+        const std::span<const float> segment(segments.data() + n * seg_size, seg_size);
+        for (const float v : segment) {
+            ranges.input_min = std::min(ranges.input_min, v);
+            ranges.input_max = std::max(ranges.input_max, v);
+        }
+        std::vector<float> concat;
+        concat.reserve(spec.concat_width());
+        std::size_t channel_base = 0;
+        for (const conv_branch_spec& b : spec.branches) {
+            branch_forward(b, segment, channels, channel_base, spec.time_steps, concat);
+            channel_base += b.in_channels();
+        }
+        for (const float v : concat) {
+            ranges.concat_min = std::min(ranges.concat_min, v);
+            ranges.concat_max = std::max(ranges.concat_max, v);
+        }
+        std::vector<float> act = concat;
+        for (std::size_t li = 0; li < spec.trunk.size(); ++li) {
+            act = dense_forward(spec.trunk[li], act);
+            for (const float v : act) {
+                ranges.trunk_min[li] = std::min(ranges.trunk_min[li], v);
+                ranges.trunk_max[li] = std::max(ranges.trunk_max[li], v);
+            }
+        }
+    }
+    return ranges;
+}
+
+cnn_spec extract_cnn_spec(nn::multi_branch_network& network, std::size_t time_steps) {
+    cnn_spec spec;
+    spec.time_steps = time_steps;
+    spec.group_channels = network.group_channels();
+
+    for (std::size_t bi = 0; bi < network.branch_count(); ++bi) {
+        nn::sequential& branch = network.branch(bi);
+        FS_ARG_CHECK(branch.layer_count() == 4,
+                     "expected branch topology conv1d/relu/maxpool1d/flatten");
+        FS_ARG_CHECK(branch.layer_at(0).kind() == nn::layer_kind::conv1d &&
+                         branch.layer_at(1).kind() == nn::layer_kind::relu &&
+                         branch.layer_at(2).kind() == nn::layer_kind::maxpool1d &&
+                         branch.layer_at(3).kind() == nn::layer_kind::flatten,
+                     "unexpected branch layer kinds");
+        auto& conv = static_cast<nn::conv1d&>(branch.layer_at(0));
+        auto& pool = static_cast<nn::maxpool1d&>(branch.layer_at(2));
+        conv_branch_spec b;
+        b.conv_weight = conv.weight().value;
+        b.conv_bias = conv.bias().value;
+        b.pool = pool.pool_size();
+        spec.branches.push_back(std::move(b));
+    }
+
+    nn::sequential& trunk = network.trunk();
+    std::size_t li = 0;
+    while (li < trunk.layer_count()) {
+        FS_ARG_CHECK(trunk.layer_at(li).kind() == nn::layer_kind::dense,
+                     "expected dense layer in trunk");
+        auto& d = static_cast<nn::dense&>(trunk.layer_at(li));
+        dense_spec ds;
+        ds.weight = d.weight().value;
+        ds.bias = d.bias().value;
+        ds.relu_after = (li + 1 < trunk.layer_count()) &&
+                        trunk.layer_at(li + 1).kind() == nn::layer_kind::relu;
+        li += ds.relu_after ? 2 : 1;
+        spec.trunk.push_back(std::move(ds));
+    }
+    spec.validate();
+    return spec;
+}
+
+}  // namespace fallsense::quant

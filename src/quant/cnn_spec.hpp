@@ -1,0 +1,73 @@
+// Deployment-oriented description of the paper's CNN.
+//
+// `cnn_spec` is the architecture + float weights extracted from a trained
+// nn::multi_branch_network with the expected topology
+//   branch  = Conv1D -> ReLU -> MaxPool1D -> Flatten   (one per modality)
+//   trunk   = Dense+ReLU ... Dense(1 logit)
+// It is the common source for the float reference executor (calibration,
+// parity checks), the int8 converter, and the MCU cost model — mirroring
+// how a Keras model becomes a deployment graph in the paper's toolchain.
+#pragma once
+
+#include <vector>
+
+#include "nn/multi_branch.hpp"
+#include "nn/tensor.hpp"
+
+namespace fallsense::quant {
+
+struct conv_branch_spec {
+    nn::tensor conv_weight;  ///< [kernel, in_channels, out_channels]
+    nn::tensor conv_bias;    ///< [out_channels]
+    std::size_t pool = 2;
+
+    std::size_t kernel() const { return conv_weight.dim(0); }
+    std::size_t in_channels() const { return conv_weight.dim(1); }
+    std::size_t out_channels() const { return conv_weight.dim(2); }
+};
+
+struct dense_spec {
+    nn::tensor weight;  ///< [in, out]
+    nn::tensor bias;    ///< [out]
+    bool relu_after = false;
+
+    std::size_t in_features() const { return weight.dim(0); }
+    std::size_t out_features() const { return weight.dim(1); }
+};
+
+struct cnn_spec {
+    std::size_t time_steps = 0;                 ///< segment rows n
+    std::vector<std::size_t> group_channels;    ///< per-branch channel counts
+    std::vector<conv_branch_spec> branches;
+    std::vector<dense_spec> trunk;              ///< last layer emits the logit
+
+    std::size_t input_channels() const;
+    std::size_t concat_width() const;  ///< trunk input features
+    std::size_t parameter_count() const;
+
+    /// Float reference forward for one segment (row-major [time x channels]).
+    /// Returns the logit.  Optionally records per-stage activation extrema
+    /// into `ranges` (see activation_ranges).
+    float forward_logit(std::span<const float> segment) const;
+
+    void validate() const;
+};
+
+/// Per-stage activation extrema gathered during calibration: input, the
+/// concatenated post-pool branch output, and each trunk layer's output.
+struct activation_ranges {
+    float input_min = 0.0f, input_max = 0.0f;
+    float concat_min = 0.0f, concat_max = 0.0f;
+    std::vector<float> trunk_min;  ///< one per trunk layer
+    std::vector<float> trunk_max;
+};
+
+/// Run `segments` ([count, time, channels] tensor) through the float
+/// reference and collect activation ranges for quantization.
+activation_ranges calibrate(const cnn_spec& spec, const nn::tensor& segments);
+
+/// Extract spec + weights from a trained network.  Throws if the topology
+/// differs from the expected branch/trunk layout.
+cnn_spec extract_cnn_spec(nn::multi_branch_network& network, std::size_t time_steps);
+
+}  // namespace fallsense::quant

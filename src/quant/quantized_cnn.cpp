@@ -1,0 +1,242 @@
+#include "quant/quantized_cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::quant {
+
+namespace {
+
+float max_abs(std::span<const float> values) {
+    float m = 0.0f;
+    for (const float v : values) m = std::max(m, std::abs(v));
+    return m;
+}
+
+std::vector<std::int8_t> quantize_weights(const nn::tensor& w, const qparams& qp) {
+    std::vector<std::int8_t> out(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) out[i] = quantize_value(w[i], qp);
+    return out;
+}
+
+std::vector<std::int32_t> quantize_bias(const nn::tensor& b, float input_scale,
+                                        float weight_scale) {
+    const double scale = static_cast<double>(input_scale) * weight_scale;
+    std::vector<std::int32_t> out(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        out[i] = static_cast<std::int32_t>(std::llround(static_cast<double>(b[i]) / scale));
+    }
+    return out;
+}
+
+}  // namespace
+
+quantized_cnn::quantized_cnn(const cnn_spec& spec, const nn::tensor& calibration_segments) {
+    spec.validate();
+    const activation_ranges ranges = calibrate(spec, calibration_segments);
+
+    time_steps_ = spec.time_steps;
+    group_channels_ = spec.group_channels;
+    input_channels_ = spec.input_channels();
+    input_q_ = choose_activation_qparams(ranges.input_min, ranges.input_max);
+    // All branch outputs are concatenated, so they share one quantization.
+    concat_q_ = choose_activation_qparams(ranges.concat_min, ranges.concat_max);
+
+    for (const conv_branch_spec& b : spec.branches) {
+        q_conv_branch qb;
+        qb.weight_q = choose_weight_qparams(max_abs(b.conv_weight.values()));
+        qb.weight = quantize_weights(b.conv_weight, qb.weight_q);
+        qb.bias = quantize_bias(b.conv_bias, input_q_.scale, qb.weight_q.scale);
+        qb.requant = encode_multiplier(static_cast<double>(input_q_.scale) *
+                                       qb.weight_q.scale / concat_q_.scale);
+        qb.kernel = b.kernel();
+        qb.in_channels = b.in_channels();
+        qb.out_channels = b.out_channels();
+        qb.pool = b.pool;
+        branches_.push_back(std::move(qb));
+    }
+
+    qparams prev_q = concat_q_;
+    for (std::size_t li = 0; li < spec.trunk.size(); ++li) {
+        const dense_spec& d = spec.trunk[li];
+        q_dense qd;
+        qd.weight_q = choose_weight_qparams(max_abs(d.weight.values()));
+        qd.weight = quantize_weights(d.weight, qd.weight_q);
+        qd.bias = quantize_bias(d.bias, prev_q.scale, qd.weight_q.scale);
+        qd.output_q =
+            choose_activation_qparams(ranges.trunk_min[li], ranges.trunk_max[li]);
+        qd.requant = encode_multiplier(static_cast<double>(prev_q.scale) * qd.weight_q.scale /
+                                       qd.output_q.scale);
+        qd.in_features = d.in_features();
+        qd.out_features = d.out_features();
+        qd.relu = d.relu_after;
+        prev_q = qd.output_q;
+        trunk_.push_back(std::move(qd));
+    }
+}
+
+quantized_cnn::quantized_cnn(quantized_cnn_parts parts)
+    : time_steps_(parts.time_steps),
+      input_q_(parts.input_q),
+      concat_q_(parts.concat_q),
+      branches_(std::move(parts.branches)),
+      trunk_(std::move(parts.trunk)) {
+    FS_ARG_CHECK(time_steps_ > 0, "quantized model without time steps");
+    FS_ARG_CHECK(!branches_.empty(), "quantized model without branches");
+    FS_ARG_CHECK(!trunk_.empty(), "quantized model without trunk");
+    std::size_t concat_width = 0;
+    for (const q_conv_branch& b : branches_) {
+        FS_ARG_CHECK(b.kernel > 0 && b.in_channels > 0 && b.out_channels > 0 && b.pool > 0,
+                     "degenerate branch dimensions");
+        FS_ARG_CHECK(time_steps_ >= b.kernel, "kernel longer than window");
+        FS_ARG_CHECK(b.weight.size() == b.kernel * b.in_channels * b.out_channels,
+                     "branch weight size mismatch");
+        FS_ARG_CHECK(b.bias.size() == b.out_channels, "branch bias size mismatch");
+        group_channels_.push_back(b.in_channels);
+        input_channels_ += b.in_channels;
+        const std::size_t conv_time = time_steps_ - b.kernel + 1;
+        concat_width += (conv_time / b.pool) * b.out_channels;
+    }
+    std::size_t prev = concat_width;
+    for (const q_dense& d : trunk_) {
+        FS_ARG_CHECK(d.in_features == prev, "trunk width chain mismatch");
+        FS_ARG_CHECK(d.weight.size() == d.in_features * d.out_features,
+                     "dense weight size mismatch");
+        FS_ARG_CHECK(d.bias.size() == d.out_features, "dense bias size mismatch");
+        prev = d.out_features;
+    }
+    FS_ARG_CHECK(prev == 1, "quantized trunk must end in one logit");
+}
+
+float quantized_cnn::predict_logit(std::span<const float> segment) const {
+    FS_ARG_CHECK(segment.size() == time_steps_ * input_channels_,
+                 "segment size mismatch");
+
+    // Quantize the input once.
+    std::vector<std::int8_t> qinput(segment.size());
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        qinput[i] = quantize_value(segment[i], input_q_);
+    }
+
+    // Branches: int8 conv (+fused ReLU via clamp) then int8 max-pool.
+    std::vector<std::int8_t> concat;
+    std::size_t channel_base = 0;
+    for (const q_conv_branch& b : branches_) {
+        const std::size_t conv_time = time_steps_ - b.kernel + 1;
+        std::vector<std::int8_t> conv_out(conv_time * b.out_channels);
+        for (std::size_t t = 0; t < conv_time; ++t) {
+            for (std::size_t o = 0; o < b.out_channels; ++o) {
+                std::int32_t acc = b.bias[o];
+                for (std::size_t k = 0; k < b.kernel; ++k) {
+                    const std::int8_t* x =
+                        qinput.data() + (t + k) * input_channels_ + channel_base;
+                    const std::int8_t* wk =
+                        b.weight.data() + (k * b.in_channels) * b.out_channels;
+                    for (std::size_t c = 0; c < b.in_channels; ++c) {
+                        acc += (static_cast<std::int32_t>(x[c]) - input_q_.zero_point) *
+                               static_cast<std::int32_t>(wk[c * b.out_channels + o]);
+                    }
+                }
+                // Fused ReLU: clamp_min at the output zero point.
+                conv_out[t * b.out_channels + o] =
+                    requantize(acc, b.requant, concat_q_.zero_point,
+                               concat_q_.zero_point, 127);
+            }
+        }
+        const std::size_t pooled_time = conv_time / b.pool;
+        for (std::size_t t = 0; t < pooled_time; ++t) {
+            for (std::size_t o = 0; o < b.out_channels; ++o) {
+                std::int8_t best = conv_out[(t * b.pool) * b.out_channels + o];
+                for (std::size_t p = 1; p < b.pool; ++p) {
+                    best = std::max(best,
+                                    conv_out[(t * b.pool + p) * b.out_channels + o]);
+                }
+                concat.push_back(best);
+            }
+        }
+        channel_base += b.in_channels;
+    }
+
+    // Trunk: int8 dense chain.
+    std::vector<std::int8_t> act = std::move(concat);
+    qparams act_q = concat_q_;
+    for (const q_dense& d : trunk_) {
+        FS_CHECK(act.size() == d.in_features, "quantized trunk width mismatch");
+        std::vector<std::int8_t> out(d.out_features);
+        for (std::size_t o = 0; o < d.out_features; ++o) {
+            std::int32_t acc = d.bias[o];
+            for (std::size_t i = 0; i < d.in_features; ++i) {
+                acc += (static_cast<std::int32_t>(act[i]) - act_q.zero_point) *
+                       static_cast<std::int32_t>(d.weight[i * d.out_features + o]);
+            }
+            const std::int32_t clamp_min = d.relu ? d.output_q.zero_point : -128;
+            out[o] = requantize(acc, d.requant, d.output_q.zero_point, clamp_min, 127);
+        }
+        act = std::move(out);
+        act_q = d.output_q;
+    }
+    FS_CHECK(act.size() == 1, "quantized trunk must end in one logit");
+    return dequantize_value(act[0], act_q);
+}
+
+float quantized_cnn::predict_proba(std::span<const float> segment) const {
+    return nn::sigmoid_scalar(predict_logit(segment));
+}
+
+std::size_t quantized_cnn::weight_bytes() const {
+    std::size_t bytes = 0;
+    for (const q_conv_branch& b : branches_) bytes += b.weight.size();
+    for (const q_dense& d : trunk_) bytes += d.weight.size();
+    return bytes;
+}
+
+std::size_t quantized_cnn::bias_bytes() const {
+    std::size_t bytes = 0;
+    for (const q_conv_branch& b : branches_) bytes += b.bias.size() * sizeof(std::int32_t);
+    for (const q_dense& d : trunk_) bytes += d.bias.size() * sizeof(std::int32_t);
+    return bytes;
+}
+
+std::size_t quantized_cnn::activation_arena_bytes() const {
+    // Live at once: the quantized input, the widest branch conv output, and
+    // the growing concat buffer; later the dense ping-pong buffers.
+    const std::size_t input_bytes = time_steps_ * input_channels_;
+    std::size_t max_conv = 0;
+    std::size_t concat_width = 0;
+    for (const q_conv_branch& b : branches_) {
+        const std::size_t conv_time = time_steps_ - b.kernel + 1;
+        max_conv = std::max(max_conv, conv_time * b.out_channels);
+        concat_width += (conv_time / b.pool) * b.out_channels;
+    }
+    const std::size_t branch_stage = input_bytes + max_conv + concat_width;
+    std::size_t dense_stage = 0;
+    std::size_t prev = concat_width;
+    for (const q_dense& d : trunk_) {
+        dense_stage = std::max(dense_stage, prev + d.out_features);
+        prev = d.out_features;
+    }
+    return std::max(branch_stage, dense_stage);
+}
+
+op_counts quantized_cnn::count_ops() const {
+    op_counts counts;
+    for (const q_conv_branch& b : branches_) {
+        const std::size_t conv_time = time_steps_ - b.kernel + 1;
+        counts.macs += static_cast<std::uint64_t>(conv_time) * b.out_channels * b.kernel *
+                       b.in_channels;
+        counts.requants += static_cast<std::uint64_t>(conv_time) * b.out_channels;
+        const std::size_t pooled_time = conv_time / b.pool;
+        counts.pool_compares +=
+            static_cast<std::uint64_t>(pooled_time) * b.out_channels * (b.pool - 1);
+    }
+    for (const q_dense& d : trunk_) {
+        counts.macs += static_cast<std::uint64_t>(d.in_features) * d.out_features;
+        counts.requants += d.out_features;
+    }
+    return counts;
+}
+
+}  // namespace fallsense::quant

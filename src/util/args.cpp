@@ -1,0 +1,89 @@
+#include "util/args.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace fallsense::util {
+
+void arg_parser::add_flag(const std::string& name) { declared_flags_.insert(name); }
+
+void arg_parser::add_option(const std::string& name) { declared_options_.insert(name); }
+
+void arg_parser::parse(int argc, const char* const* argv, int start_index) {
+    std::vector<std::string> args;
+    for (int i = start_index; i < argc; ++i) args.emplace_back(argv[i]);
+    parse(args);
+}
+
+void arg_parser::parse(const std::vector<std::string>& args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::optional<std::string> inline_value;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        }
+        if (declared_flags_.contains(name)) {
+            if (inline_value) {
+                throw std::invalid_argument("flag --" + name + " does not take a value");
+            }
+            flags_.insert(name);
+        } else if (declared_options_.contains(name)) {
+            if (inline_value) {
+                options_[name] = *inline_value;
+            } else {
+                if (i + 1 >= args.size()) {
+                    throw std::invalid_argument("option --" + name + " needs a value");
+                }
+                options_[name] = args[++i];
+            }
+        } else {
+            throw std::invalid_argument("unknown argument --" + name);
+        }
+    }
+}
+
+bool arg_parser::has_flag(const std::string& name) const { return flags_.contains(name); }
+
+std::optional<std::string> arg_parser::option(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::string arg_parser::option_or(const std::string& name, const std::string& fallback) const {
+    return option(name).value_or(fallback);
+}
+
+double arg_parser::number_or(const std::string& name, double fallback) const {
+    const auto value = option(name);
+    if (!value) return fallback;
+    double out = 0.0;
+    const char* begin = value->data();
+    const char* end = begin + value->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::invalid_argument("option --" + name + " is not a number: " + *value);
+    }
+    return out;
+}
+
+long arg_parser::integer_or(const std::string& name, long fallback) const {
+    const auto value = option(name);
+    if (!value) return fallback;
+    long out = 0;
+    const char* begin = value->data();
+    const char* end = begin + value->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end) {
+        throw std::invalid_argument("option --" + name + " is not an integer: " + *value);
+    }
+    return out;
+}
+
+}  // namespace fallsense::util

@@ -1,0 +1,45 @@
+// Minimal command-line argument parser for the fallsense CLI.
+//
+// Grammar: `program <command> [--flag] [--key value] [positional...]`.
+// Flags and options use long names only; `--key=value` and `--key value`
+// are both accepted.  Unknown options are an error (typos must not pass
+// silently on a tool that can overwrite files).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fallsense::util {
+
+class arg_parser {
+public:
+    /// Declare recognized names before parsing.
+    void add_flag(const std::string& name);
+    void add_option(const std::string& name);
+
+    /// Parse argv after the command word; throws std::invalid_argument on
+    /// unknown or malformed arguments.
+    void parse(int argc, const char* const* argv, int start_index = 1);
+    void parse(const std::vector<std::string>& args);
+
+    bool has_flag(const std::string& name) const;
+    std::optional<std::string> option(const std::string& name) const;
+    std::string option_or(const std::string& name, const std::string& fallback) const;
+    /// Option parsed as a number; throws on non-numeric values.
+    double number_or(const std::string& name, double fallback) const;
+    long integer_or(const std::string& name, long fallback) const;
+
+    const std::vector<std::string>& positionals() const { return positionals_; }
+
+private:
+    std::set<std::string> declared_flags_;
+    std::set<std::string> declared_options_;
+    std::set<std::string> flags_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positionals_;
+};
+
+}  // namespace fallsense::util

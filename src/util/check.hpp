@@ -1,0 +1,43 @@
+// Lightweight runtime-contract checking used across fallsense.
+//
+// FS_CHECK(cond, msg)  — always-on invariant check; throws std::logic_error.
+// FS_ARG_CHECK(...)    — argument validation; throws std::invalid_argument.
+//
+// These are used on public API boundaries (where misuse must be reported to
+// the caller) and for internal invariants that guard against silent data
+// corruption.  Hot inner loops rely on validated preconditions instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fallsense::util {
+
+[[noreturn]] inline void throw_logic(const std::string& expr, const std::string& msg,
+                                     const char* file, int line) {
+    std::ostringstream os;
+    os << "check failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void throw_arg(const std::string& expr, const std::string& msg,
+                                   const char* file, int line) {
+    std::ostringstream os;
+    os << "invalid argument: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw std::invalid_argument(os.str());
+}
+
+}  // namespace fallsense::util
+
+#define FS_CHECK(cond, msg)                                                   \
+    do {                                                                      \
+        if (!(cond)) ::fallsense::util::throw_logic(#cond, (msg), __FILE__, __LINE__); \
+    } while (false)
+
+#define FS_ARG_CHECK(cond, msg)                                               \
+    do {                                                                      \
+        if (!(cond)) ::fallsense::util::throw_arg(#cond, (msg), __FILE__, __LINE__); \
+    } while (false)

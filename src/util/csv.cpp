@@ -1,0 +1,102 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::util {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    for (const char c : line) {
+        if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else if (c != '\r') {
+            cell.push_back(c);
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+}  // namespace
+
+std::size_t csv_table::column_index(const std::string& name) const {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name) return i;
+    }
+    throw std::out_of_range("csv column not found: " + name);
+}
+
+double csv_table::number_at(std::size_t row, std::size_t col) const {
+    FS_ARG_CHECK(row < rows.size(), "csv row out of range");
+    FS_ARG_CHECK(col < rows[row].size(), "csv column out of range");
+    const std::string& cell = rows[row][col];
+    double value = 0.0;
+    const auto* begin = cell.data();
+    const auto* end = cell.data() + cell.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        std::ostringstream os;
+        os << "csv numeric parse failure at row " << row << ", col " << col << ": '" << cell << "'";
+        throw std::runtime_error(os.str());
+    }
+    return value;
+}
+
+csv_table parse_csv(const std::string& text, bool has_header) {
+    csv_table table;
+    std::istringstream in(text);
+    std::string line;
+    bool header_pending = has_header;
+    while (std::getline(in, line)) {
+        if (line.empty() || line == "\r") continue;
+        auto cells = split_line(line);
+        if (header_pending) {
+            table.header = std::move(cells);
+            header_pending = false;
+        } else {
+            table.rows.push_back(std::move(cells));
+        }
+    }
+    return table;
+}
+
+csv_table read_csv_file(const std::filesystem::path& path, bool has_header) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open csv file: " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_csv(buffer.str(), has_header);
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+    std::ostringstream os;
+    auto emit_row = [&os](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header.empty()) emit_row(header);
+    for (const auto& row : rows) emit_row(row);
+    return os.str();
+}
+
+void write_csv_file(const std::filesystem::path& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write csv file: " + path.string());
+    out << to_csv(header, rows);
+    if (!out) throw std::runtime_error("write failure on csv file: " + path.string());
+}
+
+}  // namespace fallsense::util

@@ -1,0 +1,39 @@
+// CSV reading/writing for dataset import/export and bench result dumps.
+//
+// Deliberately small: comma separator, optional header row, numeric or
+// string cells, no quoting of embedded commas (dataset columns never need
+// it).  Parse errors carry row/column positions.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fallsense::util {
+
+/// One parsed CSV table: header (possibly empty) + rows of string cells.
+struct csv_table {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /// Index of a header column; throws if absent.
+    std::size_t column_index(const std::string& name) const;
+    /// Cell as double; throws with row/col context on parse failure.
+    double number_at(std::size_t row, std::size_t col) const;
+};
+
+/// Parse CSV text. If `has_header` the first non-empty line becomes `header`.
+csv_table parse_csv(const std::string& text, bool has_header);
+
+/// Read and parse a CSV file; throws std::runtime_error on I/O failure.
+csv_table read_csv_file(const std::filesystem::path& path, bool has_header);
+
+/// Serialize rows (all cells already strings) to CSV text.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Write CSV text to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::filesystem::path& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace fallsense::util

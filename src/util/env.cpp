@@ -1,0 +1,35 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace fallsense::util {
+
+run_scale parse_run_scale(const std::string& text) {
+    if (text == "tiny") return run_scale::tiny;
+    if (text == "full") return run_scale::full;
+    return run_scale::quick;
+}
+
+const char* run_scale_name(run_scale scale) {
+    switch (scale) {
+        case run_scale::tiny: return "tiny";
+        case run_scale::quick: return "quick";
+        case run_scale::full: return "full";
+    }
+    return "?";
+}
+
+run_scale env_run_scale() { return parse_run_scale(env_string("FALLSENSE_SCALE")); }
+
+std::uint64_t env_seed() {
+    const std::string text = env_string("FALLSENSE_SEED");
+    if (text.empty()) return 42;
+    return static_cast<std::uint64_t>(std::strtoull(text.c_str(), nullptr, 10));
+}
+
+std::string env_string(const char* name) {
+    const char* value = std::getenv(name);
+    return value ? std::string(value) : std::string();
+}
+
+}  // namespace fallsense::util

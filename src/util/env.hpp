@@ -1,0 +1,30 @@
+// Experiment-scale configuration shared by benches, examples, and tests.
+//
+// FALLSENSE_SCALE selects how much synthetic data the experiment harness
+// generates (tiny → CI smoke, quick → default laptop run, full → paper
+// scale).  FALLSENSE_SEED fixes the global seed.  See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fallsense::util {
+
+enum class run_scale { tiny, quick, full };
+
+/// Parse "tiny" / "quick" / "full"; anything else → quick.
+run_scale parse_run_scale(const std::string& text);
+
+/// Human-readable name of a scale.
+const char* run_scale_name(run_scale scale);
+
+/// Read FALLSENSE_SCALE (default quick).
+run_scale env_run_scale();
+
+/// Read FALLSENSE_SEED (default 42).
+std::uint64_t env_seed();
+
+/// Read an arbitrary environment variable; empty string when unset.
+std::string env_string(const char* name);
+
+}  // namespace fallsense::util

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace fallsense::util {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::info};
+std::mutex g_io_mutex;
+
+constexpr const char* level_name(log_level level) {
+    switch (level) {
+        case log_level::debug: return "debug";
+        case log_level::info: return "info";
+        case log_level::warn: return "warn";
+        case log_level::error: return "error";
+        case log_level::off: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level, std::memory_order_relaxed); }
+
+log_level get_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+log_level parse_log_level(std::string_view text) {
+    if (text == "debug") return log_level::debug;
+    if (text == "info") return log_level::info;
+    if (text == "warn") return log_level::warn;
+    if (text == "error") return log_level::error;
+    if (text == "off") return log_level::off;
+    return log_level::info;
+}
+
+void log_record(log_level level, std::string_view module, std::string_view message) {
+    if (level < get_log_level()) return;
+    const std::scoped_lock lock(g_io_mutex);
+    auto& out = (level >= log_level::warn) ? std::cerr : std::clog;
+    out << '[' << level_name(level) << ' ' << module << "] " << message << '\n';
+}
+
+}  // namespace fallsense::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Benches and examples use this for progress reporting; the library itself
+// stays quiet below `warn` so it can be embedded without console noise.
+// Output is a single line per record: `[level module] message`.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fallsense::util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global minimum level; records below it are discarded.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off"; unknown → info.
+log_level parse_log_level(std::string_view text);
+
+/// Emit one record (thread-safe, newline appended).
+void log_record(log_level level, std::string_view module, std::string_view message);
+
+/// Stream-style builder: LOG_INFO("nn") << "epoch " << e;
+class log_stream {
+public:
+    log_stream(log_level level, std::string_view module)
+        : level_(level), module_(module), enabled_(level >= get_log_level()) {}
+    ~log_stream() {
+        if (enabled_) log_record(level_, module_, os_.str());
+    }
+    log_stream(const log_stream&) = delete;
+    log_stream& operator=(const log_stream&) = delete;
+
+    template <typename T>
+    log_stream& operator<<(const T& value) {
+        if (enabled_) os_ << value;
+        return *this;
+    }
+
+private:
+    log_level level_;
+    std::string module_;
+    bool enabled_;
+    std::ostringstream os_;
+};
+
+}  // namespace fallsense::util
+
+#define FS_LOG_DEBUG(module) ::fallsense::util::log_stream(::fallsense::util::log_level::debug, (module))
+#define FS_LOG_INFO(module) ::fallsense::util::log_stream(::fallsense::util::log_level::info, (module))
+#define FS_LOG_WARN(module) ::fallsense::util::log_stream(::fallsense::util::log_level::warn, (module))
+#define FS_LOG_ERROR(module) ::fallsense::util::log_stream(::fallsense::util::log_level::error, (module))

@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace fallsense::util {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void rng::reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+    has_cached_normal_ = false;
+}
+
+std::uint64_t rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() {
+    // 53 high bits → double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+    FS_ARG_CHECK(lo <= hi, "uniform range is inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    FS_ARG_CHECK(lo <= hi, "uniform_int range is inverted");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ULL) - ((~0ULL) % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 in (0,1] so log is finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) {
+    FS_ARG_CHECK(stddev >= 0.0, "negative standard deviation");
+    return mean + stddev * normal();
+}
+
+bool rng::bernoulli(double p_true) {
+    FS_ARG_CHECK(p_true >= 0.0 && p_true <= 1.0, "probability outside [0, 1]");
+    return uniform() < p_true;
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::initializer_list<std::uint64_t> tags) {
+    std::uint64_t s = parent ^ 0xd1b54a32d192ed03ULL;
+    for (const auto tag : tags) {
+        s ^= tag + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+        s = splitmix64(s);
+    }
+    return splitmix64(s);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view tag) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+    for (const char c : tag) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return derive_seed(parent, {h});
+}
+
+}  // namespace fallsense::util

@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// All stochastic components in fallsense (data synthesis, augmentation,
+// weight initialization, shuffling, the MCU jitter model) draw from
+// `rng`, a xoshiro256** generator with explicit seeding.  Determinism is a
+// hard requirement: every experiment in EXPERIMENTS.md must reproduce
+// bit-identically for a given FALLSENSE_SEED.
+//
+// `derive_seed` hashes a parent seed with a stream of tags (subject id,
+// task id, trial index, ...) so independent components get decorrelated,
+// stable substreams without sharing generator state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fallsense::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 256-bit state.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /// Re-initialize state from a 64-bit seed via splitmix64 expansion.
+    void reseed(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next_u64(); }
+
+    /// Uniform double in [0, 1).
+    double uniform();
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+    /// Standard normal via Box–Muller (cached second deviate).
+    double normal();
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev);
+    /// Bernoulli draw.
+    bool bernoulli(double p_true);
+
+    /// Fisher–Yates shuffle of an index-addressable container.
+    template <typename Container>
+    void shuffle(Container& c) {
+        if (c.size() < 2) return;
+        for (std::size_t i = c.size() - 1; i > 0; --i) {
+            const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i)));
+            using std::swap;
+            swap(c[i], c[j]);
+        }
+    }
+
+private:
+    std::uint64_t state_[4]{};
+    bool has_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+/// splitmix64 step — used for seed expansion and seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derive a decorrelated child seed from a parent seed and a tag stream.
+/// Stable across platforms and runs.
+std::uint64_t derive_seed(std::uint64_t parent, std::initializer_list<std::uint64_t> tags);
+
+/// Derive from a string tag (e.g. a module name) — FNV-1a folded into the stream.
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view tag);
+
+}  // namespace fallsense::util

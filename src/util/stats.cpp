@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fallsense::util {
+
+double mean(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+    if (values.size() < 1) return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (const double v : values) acc += (v - m) * (v - m);
+    return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min_value(std::span<const double> values) {
+    FS_ARG_CHECK(!values.empty(), "min of empty span");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+    FS_ARG_CHECK(!values.empty(), "max of empty span");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+    FS_ARG_CHECK(!values.empty(), "percentile of empty span");
+    FS_ARG_CHECK(p >= 0.0 && p <= 100.0, "percentile outside [0, 100]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void running_stats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::min() const {
+    FS_CHECK(n_ > 0, "min of empty running_stats");
+    return min_;
+}
+
+double running_stats::max() const {
+    FS_CHECK(n_ > 0, "max of empty running_stats");
+    return max_;
+}
+
+}  // namespace fallsense::util

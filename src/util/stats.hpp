@@ -1,0 +1,47 @@
+// Small descriptive-statistics helpers shared by the data synthesizer,
+// the evaluation module, and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fallsense::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population variance (divides by N); 0 for spans shorter than 1.
+double variance(std::span<const double> values);
+
+/// Population standard deviation.
+double stddev(std::span<const double> values);
+
+/// Minimum / maximum; both throw on empty input.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linearly interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Streaming mean/variance accumulator (Welford).
+class running_stats {
+public:
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Population variance.
+    double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace fallsense::util

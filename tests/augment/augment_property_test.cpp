@@ -1,0 +1,106 @@
+// Property sweeps over the augmentation stack: for every warp configuration
+// and seed, warped fall trials must keep valid annotations, preserve value
+// ranges (linear interpolation cannot extrapolate), and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "augment/trial_augment.hpp"
+#include "data/synthesizer.hpp"
+
+namespace fallsense::augment {
+namespace {
+
+data::trial make_fall_trial(std::uint64_t seed, int task) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.0;
+    tuning.locomotion_s = 1.5;
+    tuning.post_fall_hold_s = 0.8;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+struct aug_params {
+    augmentation_kind kind;
+    int task;
+    std::uint64_t seed;
+};
+
+class AugmentProperty : public ::testing::TestWithParam<aug_params> {};
+
+TEST_P(AugmentProperty, AnnotationStaysValid) {
+    const auto [kind, task, seed] = GetParam();
+    const data::trial src = make_fall_trial(seed, task);
+    util::rng gen(seed + 1000);
+    const data::trial aug = augment_fall_trial(src, kind, trial_augment_config{}, gen);
+    EXPECT_NO_THROW(aug.validate());
+    EXPECT_TRUE(aug.is_fall_trial());
+    EXPECT_LT(aug.fall->onset_index, aug.fall->impact_index);
+    EXPECT_LT(aug.fall->impact_index, aug.sample_count());
+}
+
+TEST_P(AugmentProperty, ValuesWithinSourceEnvelope) {
+    // Linear interpolation cannot exceed the min/max of the source series.
+    const auto [kind, task, seed] = GetParam();
+    const data::trial src = make_fall_trial(seed, task);
+    float lo = src.samples[0].accel[0], hi = lo;
+    for (const data::raw_sample& s : src.samples) {
+        for (const float v : s.accel) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    util::rng gen(seed + 2000);
+    const data::trial aug = augment_fall_trial(src, kind, trial_augment_config{}, gen);
+    for (const data::raw_sample& s : aug.samples) {
+        for (const float v : s.accel) {
+            EXPECT_GE(v, lo - 1e-4f);
+            EXPECT_LE(v, hi + 1e-4f);
+        }
+    }
+}
+
+TEST_P(AugmentProperty, DeterministicPerSeed) {
+    const auto [kind, task, seed] = GetParam();
+    const data::trial src = make_fall_trial(seed, task);
+    util::rng g1(seed + 3000), g2(seed + 3000);
+    const data::trial a = augment_fall_trial(src, kind, trial_augment_config{}, g1);
+    const data::trial b = augment_fall_trial(src, kind, trial_augment_config{}, g2);
+    ASSERT_EQ(a.sample_count(), b.sample_count());
+    EXPECT_EQ(a.fall->onset_index, b.fall->onset_index);
+    for (std::size_t i = 0; i < a.sample_count(); i += 11) {
+        EXPECT_FLOAT_EQ(a.samples[i].accel[2], b.samples[i].accel[2]);
+    }
+}
+
+TEST_P(AugmentProperty, FallingDurationRoughlyPreserved) {
+    // Warps change timing but must not collapse or explode the falling
+    // phase (within the warp's own scale bounds plus slack).
+    const auto [kind, task, seed] = GetParam();
+    const data::trial src = make_fall_trial(seed, task);
+    util::rng gen(seed + 4000);
+    const data::trial aug = augment_fall_trial(src, kind, trial_augment_config{}, gen);
+    const double ratio = static_cast<double>(aug.fall->falling_samples()) /
+                         static_cast<double>(src.fall->falling_samples());
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(ratio, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AugmentProperty,
+    ::testing::Values(aug_params{augmentation_kind::time_warp, 30, 1},
+                      aug_params{augmentation_kind::time_warp, 39, 2},
+                      aug_params{augmentation_kind::time_warp, 25, 3},
+                      aug_params{augmentation_kind::window_warp, 30, 4},
+                      aug_params{augmentation_kind::window_warp, 39, 5},
+                      aug_params{augmentation_kind::window_warp, 21, 6}),
+    [](const ::testing::TestParamInfo<aug_params>& info) {
+        return std::string(info.param.kind == augmentation_kind::time_warp ? "time" : "window") +
+               "_task" + std::to_string(info.param.task) + "_s" +
+               std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace fallsense::augment

@@ -1,0 +1,117 @@
+#include "augment/trial_augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthesizer.hpp"
+
+namespace fallsense::augment {
+namespace {
+
+data::trial make_fall_trial(std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.0;
+    tuning.locomotion_s = 1.5;
+    tuning.post_fall_hold_s = 0.8;
+    return data::synthesize_task(30, subject, tuning, data::synthesis_config{}, gen);
+}
+
+data::trial make_adl_trial(std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.0;
+    tuning.locomotion_s = 1.5;
+    return data::synthesize_task(6, subject, tuning, data::synthesis_config{}, gen);
+}
+
+TEST(TrialAugmentTest, TimeWarpKeepsAnnotationValid) {
+    util::rng gen(1);
+    const data::trial src = make_fall_trial(2);
+    const data::trial aug =
+        augment_fall_trial(src, augmentation_kind::time_warp, trial_augment_config{}, gen);
+    EXPECT_NO_THROW(aug.validate());
+    ASSERT_TRUE(aug.is_fall_trial());
+    EXPECT_LT(aug.fall->onset_index, aug.fall->impact_index);
+    EXPECT_EQ(aug.sample_count(), src.sample_count());  // time warp keeps length
+}
+
+TEST(TrialAugmentTest, WindowWarpKeepsAnnotationValid) {
+    util::rng gen(3);
+    const data::trial src = make_fall_trial(4);
+    const data::trial aug =
+        augment_fall_trial(src, augmentation_kind::window_warp, trial_augment_config{}, gen);
+    EXPECT_NO_THROW(aug.validate());
+    ASSERT_TRUE(aug.is_fall_trial());
+}
+
+TEST(TrialAugmentTest, AnnotationStaysNearOriginalPosition) {
+    util::rng gen(5);
+    const data::trial src = make_fall_trial(6);
+    const data::trial aug =
+        augment_fall_trial(src, augmentation_kind::time_warp, trial_augment_config{}, gen);
+    // Time warp moves indices by at most a modest fraction of the trial.
+    const auto drift = static_cast<double>(
+        std::abs(static_cast<long>(aug.fall->onset_index) -
+                 static_cast<long>(src.fall->onset_index)));
+    EXPECT_LT(drift, 0.35 * static_cast<double>(src.sample_count()));
+}
+
+TEST(TrialAugmentTest, SignalDiffersFromOriginal) {
+    util::rng gen(7);
+    const data::trial src = make_fall_trial(8);
+    const data::trial aug =
+        augment_fall_trial(src, augmentation_kind::time_warp, trial_augment_config{}, gen);
+    double diff = 0.0;
+    const std::size_t n = std::min(src.sample_count(), aug.sample_count());
+    for (std::size_t i = 0; i < n; ++i) {
+        diff += std::abs(static_cast<double>(src.samples[i].accel[0]) -
+                         aug.samples[i].accel[0]);
+    }
+    EXPECT_GT(diff / static_cast<double>(n), 1e-4);
+}
+
+TEST(TrialAugmentTest, MetadataCopied) {
+    util::rng gen(9);
+    const data::trial src = make_fall_trial(10);
+    const data::trial aug =
+        augment_fall_trial(src, augmentation_kind::window_warp, trial_augment_config{}, gen);
+    EXPECT_EQ(aug.subject_id, src.subject_id);
+    EXPECT_EQ(aug.task_id, src.task_id);
+    EXPECT_EQ(aug.accel_units, src.accel_units);
+}
+
+TEST(TrialAugmentTest, RejectsAdlTrial) {
+    util::rng gen(11);
+    const data::trial adl = make_adl_trial(12);
+    EXPECT_THROW(
+        augment_fall_trial(adl, augmentation_kind::time_warp, trial_augment_config{}, gen),
+        std::invalid_argument);
+}
+
+TEST(AugmentFallTrialsTest, AppendsOnlyFallCopies) {
+    util::rng gen(13);
+    std::vector<data::trial> trials{make_fall_trial(14), make_adl_trial(15),
+                                    make_fall_trial(16)};
+    const std::size_t original = trials.size();
+    augment_fall_trials(trials, 2, trial_augment_config{}, gen);
+    EXPECT_EQ(trials.size(), original + 2u * 2u);  // 2 falls x 2 copies
+    for (std::size_t i = original; i < trials.size(); ++i) {
+        EXPECT_TRUE(trials[i].is_fall_trial());
+    }
+}
+
+TEST(AugmentFallTrialsTest, ZeroCopiesIsNoOp) {
+    util::rng gen(17);
+    std::vector<data::trial> trials{make_fall_trial(18)};
+    augment_fall_trials(trials, 0, trial_augment_config{}, gen);
+    EXPECT_EQ(trials.size(), 1u);
+    EXPECT_THROW(augment_fall_trials(trials, -1, trial_augment_config{}, gen),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::augment

@@ -1,0 +1,117 @@
+#include "core/airbag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthesizer.hpp"
+
+namespace fallsense::core {
+namespace {
+
+data::trial make_fall_trial(std::uint64_t seed, int task = 30) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+float freefall_scorer(std::span<const float> window) {
+    double mag = 0.0;
+    const std::size_t n = window.size() / 9;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        const float ax = window[i * 9 + 0];
+        const float ay = window[i * 9 + 1];
+        const float az = window[i * 9 + 2];
+        mag += std::sqrt(static_cast<double>(ax) * ax + ay * ay + az * az);
+    }
+    mag /= static_cast<double>(n - n / 2);
+    return static_cast<float>(std::clamp(1.3 - mag, 0.0, 1.0));
+}
+
+TEST(AirbagControllerTest, StateMachineProgression) {
+    airbag_controller bag(150.0, 100.0);
+    EXPECT_EQ(bag.state(), airbag_state::idle);
+    bag.trigger(100);
+    EXPECT_EQ(bag.state(), airbag_state::inflating);
+    EXPECT_EQ(*bag.inflated_index(), 115u);  // 150 ms at 100 Hz
+    bag.tick(110);
+    EXPECT_EQ(bag.state(), airbag_state::inflating);
+    bag.tick(115);
+    EXPECT_EQ(bag.state(), airbag_state::inflated);
+}
+
+TEST(AirbagControllerTest, TriggerIsIdempotent) {
+    airbag_controller bag;
+    bag.trigger(50);
+    bag.trigger(80);  // ignored
+    EXPECT_EQ(*bag.trigger_index(), 50u);
+}
+
+TEST(AirbagControllerTest, ResetReturnsToIdle) {
+    airbag_controller bag;
+    bag.trigger(10);
+    bag.reset();
+    EXPECT_EQ(bag.state(), airbag_state::idle);
+    EXPECT_FALSE(bag.trigger_index().has_value());
+}
+
+TEST(AirbagControllerTest, Validation) {
+    EXPECT_THROW(airbag_controller(0.0, 100.0), std::invalid_argument);
+    EXPECT_THROW(airbag_controller(150.0, 0.0), std::invalid_argument);
+}
+
+TEST(EvaluateProtectionTest, DetectsAndComputesMargin) {
+    const data::trial t = make_fall_trial(1);
+    detector_config c;
+    c.window_samples = 20;
+    c.overlap_fraction = 0.75;  // score every 5 ticks: reactive
+    c.threshold = 0.5;
+    const protection_outcome outcome = evaluate_protection(t, c, freefall_scorer);
+    ASSERT_TRUE(outcome.detected);
+    EXPECT_GT(outcome.trigger_to_impact_ms, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.margin_ms, outcome.trigger_to_impact_ms - 150.0);
+    EXPECT_EQ(outcome.protected_in_time, outcome.margin_ms >= 0.0);
+}
+
+TEST(EvaluateProtectionTest, UndetectedWhenScorerBlind) {
+    const data::trial t = make_fall_trial(2);
+    detector_config c;
+    c.window_samples = 20;
+    const protection_outcome outcome =
+        evaluate_protection(t, c, [](std::span<const float>) { return 0.0f; });
+    EXPECT_FALSE(outcome.detected);
+    EXPECT_FALSE(outcome.protected_in_time);
+}
+
+TEST(EvaluateProtectionTest, TriggerAlwaysInsideFallingPhase) {
+    for (const std::uint64_t seed : {3u, 4u, 5u}) {
+        const data::trial t = make_fall_trial(seed, 28);
+        detector_config c;
+        c.window_samples = 20;
+        c.overlap_fraction = 0.75;
+        const protection_outcome outcome = evaluate_protection(t, c, freefall_scorer);
+        if (outcome.detected) {
+            EXPECT_GE(outcome.trigger_sample, t.fall->onset_index);
+            EXPECT_LE(outcome.trigger_sample, t.fall->impact_index);
+        }
+    }
+}
+
+TEST(EvaluateProtectionTest, RejectsAdlTrial) {
+    util::rng gen(6);
+    data::subject_profile subject;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.0;
+    const data::trial adl =
+        data::synthesize_task(1, subject, tuning, data::synthesis_config{}, gen);
+    detector_config c;
+    EXPECT_THROW(evaluate_protection(adl, c, freefall_scorer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::core

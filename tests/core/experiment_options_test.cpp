@@ -1,0 +1,83 @@
+// Behavioural tests for the experiment harness's train_options: each
+// toggle must actually reach the trainer.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace fallsense::core {
+namespace {
+
+struct harness {
+    experiment_scale scale;
+    data::dataset merged;
+    std::vector<eval::fold_split> splits;
+    windowing_config windows;
+
+    harness()
+        : scale([] {
+              experiment_scale s = scale_preset(util::run_scale::tiny);
+              s.max_epochs = 3;
+              s.early_stop_patience = 0;
+              return s;
+          }()),
+          merged(make_merged_dataset(scale, 31)),
+          windows(standard_windowing(200.0)) {
+        eval::kfold_config kf;
+        kf.folds = scale.folds;
+        kf.validation_subjects = scale.validation_subjects;
+        splits = eval::make_subject_folds(merged.subject_ids(), kf);
+    }
+};
+
+TEST(ExperimentOptionsTest, ClassWeightsReachTheTrainer) {
+    const harness h;
+    train_options with;
+    with.class_weights = true;
+    const fold_result a = run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows,
+                                   h.scale, 1, with);
+    EXPECT_GT(a.history.weight_positive, a.history.weight_negative);
+
+    train_options without;
+    without.class_weights = false;
+    const fold_result b = run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows,
+                                   h.scale, 1, without);
+    EXPECT_DOUBLE_EQ(b.history.weight_positive, 1.0);
+    EXPECT_DOUBLE_EQ(b.history.weight_negative, 1.0);
+}
+
+TEST(ExperimentOptionsTest, OptionsChangeOutcome) {
+    const harness h;
+    const fold_result a =
+        run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows, h.scale, 2, {});
+    train_options none;
+    none.augment = false;
+    none.class_weights = false;
+    none.output_bias_init = false;
+    const fold_result b =
+        run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows, h.scale, 2, none);
+    // Identical seeds but different training regimes: scores must differ.
+    ASSERT_EQ(a.test_records.size(), b.test_records.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.test_records.size(); ++i) {
+        any_diff |= a.test_records[i].probability != b.test_records[i].probability;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ExperimentOptionsTest, AugmentationOnlyAffectsTraining) {
+    // Test-set size is identical with and without augmentation — the
+    // minority-class copies must never leak into evaluation.
+    const harness h;
+    train_options with;
+    with.augment = true;
+    train_options without;
+    without.augment = false;
+    const fold_result a =
+        run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows, h.scale, 3, with);
+    const fold_result b =
+        run_fold(model_kind::mlp, h.merged, h.splits[0], h.windows, h.scale, 3, without);
+    EXPECT_EQ(a.test_records.size(), b.test_records.size());
+}
+
+}  // namespace
+}  // namespace fallsense::core

@@ -1,0 +1,124 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fallsense::core {
+namespace {
+
+experiment_scale test_scale() {
+    experiment_scale s = scale_preset(util::run_scale::tiny);
+    s.max_epochs = 3;
+    s.early_stop_patience = 2;
+    return s;
+}
+
+TEST(ExperimentTest, ScalePresetsOrdered) {
+    const experiment_scale tiny = scale_preset(util::run_scale::tiny);
+    const experiment_scale quick = scale_preset(util::run_scale::quick);
+    const experiment_scale full = scale_preset(util::run_scale::full);
+    EXPECT_LT(tiny.kfall_subjects, quick.kfall_subjects);
+    EXPECT_LT(quick.kfall_subjects, full.kfall_subjects);
+    // Full matches the paper protocol.
+    EXPECT_EQ(full.kfall_subjects, 32);
+    EXPECT_EQ(full.protechto_subjects, 29);
+    EXPECT_EQ(full.folds, 5u);
+    EXPECT_EQ(full.validation_subjects, 4u);
+    EXPECT_EQ(full.max_epochs, 200u);
+    EXPECT_EQ(full.early_stop_patience, 20u);
+}
+
+TEST(ExperimentTest, MergedDatasetCombinesBothSources) {
+    const experiment_scale s = test_scale();
+    const data::dataset merged = make_merged_dataset(s, 1);
+    EXPECT_EQ(merged.subject_ids().size(),
+              static_cast<std::size_t>(s.kfall_subjects + s.protechto_subjects));
+    // KFall subjects contribute 36 trials each, protechto 44.
+    EXPECT_EQ(merged.trial_count(),
+              static_cast<std::size_t>(s.kfall_subjects) * 36u +
+                  static_cast<std::size_t>(s.protechto_subjects) * 44u);
+    // All aligned.
+    for (const data::trial& t : merged.trials) {
+        EXPECT_EQ(t.accel_units, data::accel_unit::g);
+        EXPECT_EQ(t.gyro_units, data::gyro_unit::rad_per_s);
+    }
+}
+
+TEST(ExperimentTest, StandardWindowingMatchesPaper) {
+    const windowing_config c = standard_windowing(400.0);
+    EXPECT_EQ(c.segmentation.window_samples, 40u);
+    EXPECT_DOUBLE_EQ(c.segmentation.overlap_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(c.truncation_ms, 150.0);
+    EXPECT_EQ(c.preprocess.filter_order, 4u);
+    EXPECT_DOUBLE_EQ(c.preprocess.cutoff_hz, 5.0);
+}
+
+TEST(ExperimentTest, RunFoldProducesCoherentResult) {
+    const experiment_scale s = test_scale();
+    const data::dataset merged = make_merged_dataset(s, 2);
+    eval::kfold_config kf;
+    kf.folds = s.folds;
+    kf.validation_subjects = s.validation_subjects;
+    const auto splits = eval::make_subject_folds(merged.subject_ids(), kf);
+    const fold_result r =
+        run_fold(model_kind::mlp, merged, splits[0], standard_windowing(200.0), s, 3);
+
+    EXPECT_FALSE(r.test_records.empty());
+    EXPECT_GT(r.report.accuracy, 0.5);
+    EXPECT_FALSE(r.history.train_loss.empty());
+    // Test records only contain test subjects.
+    const std::set<int> test_set(splits[0].test_subjects.begin(),
+                                 splits[0].test_subjects.end());
+    for (const eval::segment_record& rec : r.test_records) {
+        EXPECT_TRUE(test_set.contains(rec.subject_id));
+    }
+}
+
+TEST(ExperimentTest, CrossValidationPoolsFolds) {
+    experiment_scale s = test_scale();
+    s.folds_to_run = 2;
+    const data::dataset merged = make_merged_dataset(s, 4);
+    const cross_validation_result cv =
+        run_cross_validation(model_kind::mlp, merged, standard_windowing(200.0), s, 5);
+    EXPECT_EQ(cv.folds.size(), 2u);
+    std::size_t total = 0;
+    for (const fold_result& f : cv.folds) total += f.test_records.size();
+    EXPECT_EQ(cv.all_records.size(), total);
+    EXPECT_EQ(cv.pooled.cm.total(), total);
+}
+
+TEST(ExperimentTest, AugmentationIncreasesPositives) {
+    const experiment_scale s = test_scale();
+    const data::dataset merged = make_merged_dataset(s, 6);
+    eval::kfold_config kf;
+    kf.folds = s.folds;
+    kf.validation_subjects = s.validation_subjects;
+    const auto splits = eval::make_subject_folds(merged.subject_ids(), kf);
+
+    train_options no_aug;
+    no_aug.augment = false;
+    // Compare positive counts indirectly: both runs train fine; the
+    // augmented run sees more fall windows, which we verify through the
+    // windowing layer directly.
+    std::vector<data::trial> train_trials;
+    for (const data::trial& t : merged.trials) {
+        if (std::find(splits[0].train_subjects.begin(), splits[0].train_subjects.end(),
+                      t.subject_id) != splits[0].train_subjects.end()) {
+            train_trials.push_back(t);
+        }
+    }
+    const auto before = extract_windows(train_trials, standard_windowing(200.0));
+    util::rng gen(7);
+    augment::augment_fall_trials(train_trials, 2, augment::trial_augment_config{}, gen);
+    const auto after = extract_windows(train_trials, standard_windowing(200.0));
+    auto positives = [](const std::vector<window_example>& w) {
+        std::size_t n = 0;
+        for (const window_example& e : w) n += e.label > 0.5f ? 1 : 0;
+        return n;
+    };
+    EXPECT_GT(positives(after), positives(before));
+}
+
+}  // namespace
+}  // namespace fallsense::core

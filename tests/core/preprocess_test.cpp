@@ -1,0 +1,83 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthesizer.hpp"
+
+namespace fallsense::core {
+namespace {
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 0.8;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+TEST(PreprocessTest, OutputHasNineChannelsPerSample) {
+    const data::trial t = make_trial(1, 1);
+    const std::vector<float> stream = preprocess_trial(t, preprocess_config{});
+    EXPECT_EQ(stream.size(), t.sample_count() * k_feature_channels);
+}
+
+TEST(PreprocessTest, StandingStreamIsCalm) {
+    const data::trial t = make_trial(1, 2);
+    const std::vector<float> stream = preprocess_trial(t, preprocess_config{});
+    // After the filter settles, az ~ 1 g and pitch/roll ~ 0.
+    const std::size_t n = t.sample_count();
+    for (std::size_t i = n / 2; i < n; ++i) {
+        EXPECT_NEAR(stream[i * 9 + 2], 1.0f, 0.1f);   // az
+        EXPECT_NEAR(stream[i * 9 + 6], 0.0f, 0.15f);  // pitch
+        EXPECT_NEAR(stream[i * 9 + 7], 0.0f, 0.15f);  // roll
+    }
+}
+
+TEST(PreprocessTest, FilterSuppressesNoise) {
+    // The filtered accel variance must be lower than the raw variance for a
+    // static trial (whose only content above 5 Hz is noise).
+    const data::trial t = make_trial(1, 3);
+    const std::vector<float> stream = preprocess_trial(t, preprocess_config{});
+    const std::size_t n = t.sample_count();
+    double raw_var = 0.0, filt_var = 0.0, raw_mean = 0.0, filt_mean = 0.0;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        raw_mean += t.samples[i].accel[0];
+        filt_mean += stream[i * 9 + 0];
+    }
+    raw_mean /= static_cast<double>(n - n / 2);
+    filt_mean /= static_cast<double>(n - n / 2);
+    for (std::size_t i = n / 2; i < n; ++i) {
+        raw_var += std::pow(t.samples[i].accel[0] - raw_mean, 2);
+        filt_var += std::pow(stream[i * 9 + 0] - filt_mean, 2);
+    }
+    EXPECT_LT(filt_var, raw_var * 0.8);
+}
+
+TEST(PreprocessTest, FallProducesLargePitchExcursion) {
+    const data::trial t = make_trial(30, 4);  // forward fall while walking
+    const std::vector<float> stream = preprocess_trial(t, preprocess_config{});
+    float max_pitch = 0.0f;
+    for (std::size_t i = 0; i < t.sample_count(); ++i) {
+        max_pitch = std::max(max_pitch, stream[i * 9 + 6]);
+    }
+    EXPECT_GT(max_pitch, 0.8f);  // forward fall pitches > ~45 degrees
+}
+
+TEST(PreprocessTest, RejectsUnalignedTrial) {
+    data::trial t = make_trial(1, 5);
+    t.accel_units = data::accel_unit::meters_per_s2;
+    EXPECT_THROW(preprocess_trial(t, preprocess_config{}), std::invalid_argument);
+}
+
+TEST(PreprocessTest, EmptyTrialRejected) {
+    data::trial t;
+    EXPECT_THROW(preprocess_trial(t, preprocess_config{}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fallsense::core

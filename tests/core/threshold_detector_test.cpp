@@ -1,0 +1,124 @@
+#include "core/threshold_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthesizer.hpp"
+#include "data/taxonomy.hpp"
+
+namespace fallsense::core {
+namespace {
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+TEST(ThresholdDetectorTest, QuietWhileStanding) {
+    threshold_detector det;
+    const data::trial t = make_trial(1, 1);
+    for (const data::raw_sample& s : t.samples) {
+        EXPECT_FALSE(det.push(s).has_value());
+    }
+    EXPECT_NEAR(det.velocity_estimate(), 0.0, 0.3);
+}
+
+TEST(ThresholdDetectorTest, QuietWhileWalking) {
+    threshold_detector det;
+    const data::trial t = make_trial(6, 2);
+    std::size_t fires = 0;
+    for (const data::raw_sample& s : t.samples) fires += det.push(s) ? 1 : 0;
+    EXPECT_EQ(fires, 0u);
+}
+
+TEST(ThresholdDetectorTest, FiresOnDeepFall) {
+    // Fall from height (39): near-total unloading — the baseline's favorite.
+    const data::trial t = make_trial(39, 3);
+    threshold_detector det;
+    bool fired_in_window = false;
+    for (std::size_t i = 0; i <= t.fall->impact_index; ++i) {
+        if (const auto d = det.push(t.samples[i])) {
+            if (d->sample_index >= t.fall->onset_index) fired_in_window = true;
+        }
+    }
+    EXPECT_TRUE(fired_in_window);
+}
+
+TEST(ThresholdDetectorTest, VelocityEstimateGrowsInFreeFall) {
+    threshold_detector det;
+    data::raw_sample freefall;
+    freefall.accel = {0.02f, 0.02f, 0.05f};
+    for (int i = 0; i < 40; ++i) det.push(freefall);  // 400 ms of free fall
+    // v ~ g * t ~ 9.8 * 0.4 ~ 3.9 m/s downward (leak reduces slightly).
+    EXPECT_LT(det.velocity_estimate(), -2.5);
+}
+
+TEST(ThresholdDetectorTest, RefractoryPeriodSuppressesRetrigger) {
+    threshold_config cfg;
+    cfg.refractory_ms = 500.0;
+    threshold_detector det(cfg);
+    data::raw_sample freefall;
+    freefall.accel = {0.0f, 0.0f, 0.1f};
+    std::size_t fires = 0;
+    for (int i = 0; i < 60; ++i) fires += det.push(freefall) ? 1 : 0;
+    EXPECT_EQ(fires, 1u);  // one trigger, then refractory
+}
+
+TEST(ThresholdDetectorTest, ResetRearms) {
+    threshold_detector det;
+    data::raw_sample freefall;
+    freefall.accel = {0.0f, 0.0f, 0.1f};
+    for (int i = 0; i < 30; ++i) det.push(freefall);
+    det.reset();
+    EXPECT_EQ(det.samples_seen(), 0u);
+    EXPECT_DOUBLE_EQ(det.velocity_estimate(), 0.0);
+}
+
+TEST(ThresholdDetectorTest, ConfigValidation) {
+    threshold_config bad;
+    bad.freefall_threshold_g = 1.2;
+    EXPECT_THROW(threshold_detector{bad}, std::invalid_argument);
+    threshold_config bad2;
+    bad2.velocity_threshold_ms = 0.5;
+    EXPECT_THROW(threshold_detector{bad2}, std::invalid_argument);
+    threshold_config bad3;
+    bad3.velocity_leak_per_tick = 0.0;
+    EXPECT_THROW(threshold_detector{bad3}, std::invalid_argument);
+}
+
+TEST(ThresholdBaselineTest, EventCountsOverMixedTrials) {
+    std::vector<data::trial> trials;
+    for (const int task : {1, 6, 39, 40, 31}) {
+        trials.push_back(make_trial(task, 10 + static_cast<std::uint64_t>(task)));
+    }
+    const threshold_event_counts counts = evaluate_threshold_baseline(trials);
+    EXPECT_EQ(counts.falls_total, 3u);
+    EXPECT_EQ(counts.adl_total, 2u);
+    EXPECT_GE(counts.falls_detected, 1u);  // deep height falls at minimum
+    if (counts.falls_detected > 0) {
+        EXPECT_GT(counts.mean_lead_time_ms, 0.0);
+    }
+}
+
+TEST(ThresholdBaselineTest, JumpTasksAreItsWeakness) {
+    // The ballistic flight of jump tasks looks exactly like free fall to a
+    // threshold rule — the structural reason learned models win (paper
+    // Table I discussion).
+    std::vector<data::trial> trials;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        trials.push_back(make_trial(44, 100 + seed));
+    }
+    threshold_config sensitive;
+    sensitive.velocity_threshold_ms = -0.8;
+    const threshold_event_counts counts = evaluate_threshold_baseline(trials, sensitive);
+    EXPECT_EQ(counts.adl_total, 6u);
+    EXPECT_GT(counts.adl_false_alarms, 0u);
+}
+
+}  // namespace
+}  // namespace fallsense::core

@@ -1,0 +1,153 @@
+#include "core/windowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthesizer.hpp"
+
+namespace fallsense::core {
+namespace {
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 4;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    data::trial t = data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+    t.trial_index = 2;
+    return t;
+}
+
+windowing_config config_400ms() {
+    windowing_config c;
+    c.segmentation = dsp::make_segmentation(400.0, 0.5, 100.0);
+    return c;
+}
+
+TEST(WindowingTest, AdlSegmentsAllNegative) {
+    const data::trial t = make_trial(6, 1);
+    const auto windows = extract_windows(t, config_400ms());
+    EXPECT_FALSE(windows.empty());
+    for (const window_example& w : windows) {
+        EXPECT_FLOAT_EQ(w.label, 0.0f);
+        EXPECT_FALSE(w.trial_is_fall);
+        EXPECT_EQ(w.subject_id, 4);
+        EXPECT_EQ(w.task_id, 6);
+        EXPECT_EQ(w.trial_index, 2);
+        EXPECT_EQ(w.features.size(), 40u * 9u);
+    }
+}
+
+TEST(WindowingTest, FallTrialHasPositiveAndNegativeSegments) {
+    const data::trial t = make_trial(30, 2);
+    const auto windows = extract_windows(t, config_400ms());
+    std::size_t positives = 0, negatives = 0;
+    for (const window_example& w : windows) {
+        (w.label > 0.5f ? positives : negatives) += 1;
+        EXPECT_TRUE(w.trial_is_fall);
+    }
+    EXPECT_GT(positives, 0u);
+    EXPECT_GT(negatives, 0u);  // the pre-fall walking part
+}
+
+TEST(WindowingTest, TruncatedSliceNeverEnters) {
+    // No kept segment may extend past impact - 150 ms.
+    const data::trial t = make_trial(30, 3);
+    const windowing_config c = config_400ms();
+    const auto windows = extract_windows(t, c);
+    const std::size_t usable_end = t.fall->impact_index - 15;  // 150 ms at 100 Hz
+    // Count how many samples fit: every window with end <= usable_end is in;
+    // reconstruct ends from count of all stream segments.
+    const auto starts = dsp::segment_starts(t.sample_count(), c.segmentation);
+    std::size_t kept = 0;
+    for (const std::size_t s : starts) {
+        if (s + c.segmentation.window_samples <= usable_end) ++kept;
+    }
+    EXPECT_EQ(windows.size(), kept);
+}
+
+TEST(WindowingTest, PositiveLabelsRequireMinimumOverlap) {
+    const data::trial t = make_trial(28, 4);
+    windowing_config c = config_400ms();
+    c.min_overlap_fraction = 0.35;  // 14 samples of a 40-sample window
+    c.min_overlap_ms = 50.0;
+    const auto windows = extract_windows(t, c);
+    const std::size_t onset = t.fall->onset_index;
+    const std::size_t usable_end = t.fall->impact_index - 15;
+    const auto starts = dsp::segment_starts(t.sample_count(), c.segmentation);
+    std::size_t wi = 0;
+    for (const std::size_t s : starts) {
+        const std::size_t end = s + 40;
+        if (end > usable_end) continue;
+        const std::size_t ov_begin = std::max(s, onset);
+        const std::size_t ov_end = std::min(end, usable_end);
+        const std::size_t overlap = ov_end > ov_begin ? ov_end - ov_begin : 0;
+        ASSERT_LT(wi, windows.size());
+        EXPECT_EQ(windows[wi].label > 0.5f, overlap >= 14u) << "segment at " << s;
+        ++wi;
+    }
+}
+
+TEST(WindowingTest, OverlapFractionScalesWithWindow) {
+    // The same trial labeled at 200 ms vs 400 ms: the minimum overlap in
+    // samples scales with the window, keeping the positive-class definition
+    // consistent (fraction-based labeling).
+    const data::trial t = make_trial(30, 10);
+    windowing_config c200;
+    c200.segmentation = dsp::make_segmentation(200.0, 0.5, 100.0);
+    windowing_config c400 = config_400ms();
+    const auto w200 = extract_windows(t, c200);
+    const auto w400 = extract_windows(t, c400);
+    auto positives = [](const std::vector<window_example>& w) {
+        std::size_t n = 0;
+        for (const auto& e : w) n += e.label > 0.5f ? 1 : 0;
+        return n;
+    };
+    // Both window sizes must find positives in a fall trial.
+    EXPECT_GT(positives(w200), 0u);
+    EXPECT_GT(positives(w400), 0u);
+}
+
+TEST(WindowingTest, SubjectFilterRestricts) {
+    std::vector<data::trial> trials{make_trial(6, 5), make_trial(6, 6)};
+    trials[1].subject_id = 99;
+    const std::vector<int> only_99{99};
+    const auto windows = extract_windows(trials, config_400ms(), &only_99);
+    EXPECT_FALSE(windows.empty());
+    for (const window_example& w : windows) EXPECT_EQ(w.subject_id, 99);
+}
+
+TEST(WindowingTest, ToLabeledDataPacksRows) {
+    const data::trial t = make_trial(6, 7);
+    const auto windows = extract_windows(t, config_400ms());
+    const nn::labeled_data data = to_labeled_data(windows, 40);
+    EXPECT_EQ(data.features.shape(), (nn::shape_t{windows.size(), 40, 9}));
+    EXPECT_EQ(data.labels.size(), windows.size());
+    // Spot-check a row copy.
+    EXPECT_FLOAT_EQ(data.features.at({0, 0, 0}), windows[0].features[0]);
+}
+
+TEST(WindowingTest, ToSegmentRecordsAttachesProbabilities) {
+    const data::trial t = make_trial(6, 8);
+    const auto windows = extract_windows(t, config_400ms());
+    std::vector<float> probs(windows.size(), 0.25f);
+    const auto records = to_segment_records(windows, probs);
+    ASSERT_EQ(records.size(), windows.size());
+    EXPECT_FLOAT_EQ(records[0].probability, 0.25f);
+    EXPECT_EQ(records[0].task_id, 6);
+    std::vector<float> wrong(windows.size() + 1);
+    EXPECT_THROW(to_segment_records(windows, wrong), std::invalid_argument);
+}
+
+TEST(WindowingTest, OverlapIncreasesSegmentCount) {
+    const data::trial t = make_trial(6, 9);
+    windowing_config none = config_400ms();
+    none.segmentation.overlap_fraction = 0.0;
+    windowing_config half = config_400ms();
+    EXPECT_GT(extract_windows(t, half).size(), extract_windows(t, none).size());
+}
+
+}  // namespace
+}  // namespace fallsense::core

@@ -1,0 +1,124 @@
+#include "data/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/generator.hpp"
+#include "dsp/units.hpp"
+
+namespace fallsense::data {
+namespace {
+
+dataset_profile tiny(dataset_profile p) {
+    p.n_subjects = 1;
+    p.tuning.static_hold_s = 1.0;
+    p.tuning.locomotion_s = 1.2;
+    p.tuning.post_fall_hold_s = 0.6;
+    return p;
+}
+
+TEST(AlignmentTest, UnitConversionToG) {
+    trial t;
+    t.samples.push_back(raw_sample{{0.0f, 0.0f, 9.80665f}, {0.0f, 0.0f, 90.0f}});
+    t.accel_units = accel_unit::meters_per_s2;
+    t.gyro_units = gyro_unit::deg_per_s;
+    align_trial(t, dsp::mat3::identity());
+    EXPECT_NEAR(t.samples[0].accel[2], 1.0f, 1e-5);
+    EXPECT_NEAR(t.samples[0].gyro[2], std::numbers::pi / 2.0, 1e-5);
+    EXPECT_EQ(t.accel_units, accel_unit::g);
+    EXPECT_EQ(t.gyro_units, gyro_unit::rad_per_s);
+}
+
+TEST(AlignmentTest, RotationAppliedToBothSensors) {
+    trial t;
+    t.samples.push_back(raw_sample{{1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f}});
+    const dsp::mat3 r = dsp::rodrigues_rotation({0, 0, 1}, std::numbers::pi / 2.0);
+    align_trial(t, r);
+    EXPECT_NEAR(t.samples[0].accel[0], 0.0f, 1e-6);
+    EXPECT_NEAR(t.samples[0].accel[1], 1.0f, 1e-6);
+    EXPECT_NEAR(t.samples[0].gyro[0], -1.0f, 1e-6);
+    EXPECT_NEAR(t.samples[0].gyro[1], 0.0f, 1e-6);
+}
+
+TEST(AlignmentTest, AlignedKfallMatchesReferencePhysics) {
+    // After alignment a KFall standing trial must read ~1 g along +z in the
+    // reference frame — i.e. the rotation actually undoes the mounting.
+    const dataset kf = generate_dataset(tiny(kfall_profile()), 7);
+    const dataset aligned = align_dataset(kf);
+    for (const trial& t : aligned.trials) {
+        if (t.task_id != 1) continue;
+        double mean_z = 0.0;
+        for (const raw_sample& s : t.samples) mean_z += s.accel[2];
+        mean_z /= static_cast<double>(t.sample_count());
+        EXPECT_NEAR(mean_z, 1.0, 0.1);
+    }
+}
+
+TEST(AlignmentTest, AlignIsInverseOfGenerationRotation) {
+    const dataset_profile profile = tiny(kfall_profile());
+    const dataset kf = generate_dataset(profile, 3);
+    const dataset reference = [&] {
+        // Generate the identical data in the reference frame directly.
+        dataset_profile ref = profile;
+        ref.to_reference_frame = dsp::mat3::identity();
+        ref.accel_units = accel_unit::g;
+        ref.gyro_units = gyro_unit::rad_per_s;
+        return generate_dataset(ref, 3);
+    }();
+    const dataset aligned = align_dataset(kf);
+    ASSERT_EQ(aligned.trial_count(), reference.trial_count());
+    for (std::size_t i = 0; i < aligned.trial_count(); ++i) {
+        ASSERT_EQ(aligned.trials[i].sample_count(), reference.trials[i].sample_count());
+        for (std::size_t j = 0; j < aligned.trials[i].sample_count(); j += 17) {
+            for (int c = 0; c < 3; ++c) {
+                EXPECT_NEAR(aligned.trials[i].samples[j].accel[c],
+                            reference.trials[i].samples[j].accel[c], 2e-4);
+                EXPECT_NEAR(aligned.trials[i].samples[j].gyro[c],
+                            reference.trials[i].samples[j].gyro[c], 2e-4);
+            }
+        }
+    }
+}
+
+TEST(MergeTest, CombinesAlignedDatasets) {
+    const dataset kf = align_dataset(generate_dataset(tiny(kfall_profile()), 5));
+    const dataset pt = align_dataset(generate_dataset(tiny(protechto_profile()), 5));
+    const dataset merged = merge_datasets({kf, pt}, "merged");
+    EXPECT_EQ(merged.trial_count(), kf.trial_count() + pt.trial_count());
+    EXPECT_EQ(merged.subject_ids().size(), 2u);
+    EXPECT_EQ(merged.name, "merged");
+}
+
+TEST(MergeTest, RejectsUnalignedInput) {
+    const dataset kf = generate_dataset(tiny(kfall_profile()), 5);  // not aligned
+    EXPECT_THROW(merge_datasets({kf}, "bad"), std::invalid_argument);
+}
+
+TEST(MergeTest, RejectsSubjectCollision) {
+    dataset_profile a = tiny(protechto_profile());
+    dataset_profile b = tiny(protechto_profile());  // same subject_id_base
+    const dataset da = align_dataset(generate_dataset(a, 5));
+    const dataset db = align_dataset(generate_dataset(b, 6));
+    EXPECT_THROW(merge_datasets({da, db}, "bad"), std::invalid_argument);
+}
+
+TEST(MergeTest, RejectsEmptyList) {
+    EXPECT_THROW(merge_datasets({}, "none"), std::invalid_argument);
+}
+
+TEST(AlignmentTest, AnnotationsPreserved) {
+    const dataset kf = generate_dataset(tiny(kfall_profile()), 5);
+    const dataset aligned = align_dataset(kf);
+    for (std::size_t i = 0; i < kf.trial_count(); ++i) {
+        ASSERT_EQ(kf.trials[i].is_fall_trial(), aligned.trials[i].is_fall_trial());
+        if (kf.trials[i].is_fall_trial()) {
+            EXPECT_EQ(kf.trials[i].fall->onset_index, aligned.trials[i].fall->onset_index);
+            EXPECT_EQ(kf.trials[i].fall->impact_index, aligned.trials[i].fall->impact_index);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::data

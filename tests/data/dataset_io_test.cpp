@@ -1,0 +1,111 @@
+#include "data/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/generator.hpp"
+#include "util/csv.hpp"
+
+namespace fallsense::data {
+namespace {
+
+dataset make_small_dataset(std::uint64_t seed) {
+    dataset_profile p = protechto_profile();
+    p.n_subjects = 1;
+    p.task_ids = {1, 6, 30};  // static, walking, fall
+    p.tuning.static_hold_s = 1.0;
+    p.tuning.locomotion_s = 1.2;
+    p.tuning.post_fall_hold_s = 0.6;
+    return generate_dataset(p, seed);
+}
+
+class DatasetIoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("fallsense_ds_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIoTest, RoundTripPreservesEverything) {
+    const dataset src = make_small_dataset(1);
+    write_dataset_dir(src, dir_);
+    const dataset loaded = read_dataset_dir(dir_);
+    ASSERT_EQ(loaded.trial_count(), src.trial_count());
+    for (std::size_t i = 0; i < src.trial_count(); ++i) {
+        const trial& a = src.trials[i];
+        // Loaded order follows the manifest, which follows src order.
+        const trial& b = loaded.trials[i];
+        EXPECT_EQ(a.subject_id, b.subject_id);
+        EXPECT_EQ(a.task_id, b.task_id);
+        EXPECT_EQ(a.trial_index, b.trial_index);
+        EXPECT_EQ(a.accel_units, b.accel_units);
+        EXPECT_EQ(a.gyro_units, b.gyro_units);
+        ASSERT_EQ(a.sample_count(), b.sample_count());
+        EXPECT_EQ(a.is_fall_trial(), b.is_fall_trial());
+        if (a.is_fall_trial()) {
+            EXPECT_EQ(a.fall->onset_index, b.fall->onset_index);
+            EXPECT_EQ(a.fall->impact_index, b.fall->impact_index);
+        }
+        for (std::size_t j = 0; j < a.sample_count(); j += 37) {
+            EXPECT_NEAR(a.samples[j].accel[1], b.samples[j].accel[1], 1e-4);
+            EXPECT_NEAR(a.samples[j].gyro[2], b.samples[j].gyro[2], 1e-4);
+        }
+    }
+}
+
+TEST_F(DatasetIoTest, ManifestAndTrialFilesExist) {
+    write_dataset_dir(make_small_dataset(2), dir_);
+    EXPECT_TRUE(std::filesystem::exists(dir_ / "manifest.csv"));
+    std::size_t csvs = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        csvs += entry.path().extension() == ".csv" ? 1 : 0;
+    }
+    EXPECT_EQ(csvs, 3u + 1u);  // 3 trials + manifest
+}
+
+TEST_F(DatasetIoTest, KfallUnitsPreserved) {
+    dataset_profile p = kfall_profile();
+    p.n_subjects = 1;
+    p.task_ids = {1};
+    p.tuning.static_hold_s = 1.0;
+    const dataset src = generate_dataset(p, 3);
+    write_dataset_dir(src, dir_);
+    const dataset loaded = read_dataset_dir(dir_);
+    EXPECT_EQ(loaded.trials[0].accel_units, accel_unit::meters_per_s2);
+    EXPECT_EQ(loaded.trials[0].gyro_units, gyro_unit::deg_per_s);
+}
+
+TEST_F(DatasetIoTest, MissingManifestThrows) {
+    std::filesystem::create_directories(dir_);
+    EXPECT_THROW(read_dataset_dir(dir_), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, MissingTrialFileThrows) {
+    write_dataset_dir(make_small_dataset(4), dir_);
+    // Delete one referenced file.
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        if (entry.path().filename() != "manifest.csv") {
+            std::filesystem::remove(entry.path());
+            break;
+        }
+    }
+    EXPECT_THROW(read_dataset_dir(dir_), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, CorruptManifestUnitThrows) {
+    write_dataset_dir(make_small_dataset(5), dir_);
+    // Rewrite the manifest with a bogus unit.
+    util::csv_table manifest = util::read_csv_file(dir_ / "manifest.csv", true);
+    manifest.rows[0][manifest.column_index("accel_unit")] = "furlongs";
+    util::write_csv_file(dir_ / "manifest.csv", manifest.header, manifest.rows);
+    EXPECT_THROW(read_dataset_dir(dir_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fallsense::data

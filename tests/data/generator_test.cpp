@@ -1,0 +1,138 @@
+#include "data/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/taxonomy.hpp"
+
+namespace fallsense::data {
+namespace {
+
+dataset_profile small_protechto() {
+    dataset_profile p = protechto_profile();
+    p.n_subjects = 2;
+    p.tuning.static_hold_s = 1.0;
+    p.tuning.locomotion_s = 1.5;
+    p.tuning.post_fall_hold_s = 0.8;
+    return p;
+}
+
+dataset_profile small_kfall() {
+    dataset_profile p = kfall_profile();
+    p.n_subjects = 2;
+    p.tuning.static_hold_s = 1.0;
+    p.tuning.locomotion_s = 1.5;
+    p.tuning.post_fall_hold_s = 0.8;
+    return p;
+}
+
+TEST(GeneratorTest, SubjectCohortMatchesPaperAnthropometrics) {
+    const auto subjects = sample_subjects(100, 0, 1);
+    ASSERT_EQ(subjects.size(), 100u);
+    double h = 0.0, w = 0.0;
+    for (const subject_profile& s : subjects) {
+        h += s.height_cm;
+        w += s.weight_kg;
+        EXPECT_GT(s.tempo, 0.0);
+        EXPECT_GT(s.vigor, 0.0);
+    }
+    EXPECT_NEAR(h / 100.0, 178.0, 3.0);
+    EXPECT_NEAR(w / 100.0, 71.5, 4.0);
+}
+
+TEST(GeneratorTest, SubjectIdsSequentialFromBase) {
+    const auto subjects = sample_subjects(3, 200, 1);
+    EXPECT_EQ(subjects[0].id, 200);
+    EXPECT_EQ(subjects[2].id, 202);
+}
+
+TEST(GeneratorTest, ProtechtoCoversAllTasks) {
+    const dataset d = generate_dataset(small_protechto(), 5);
+    EXPECT_EQ(d.trial_count(), 2u * 44u);
+    // 21 fall tasks per subject.
+    EXPECT_EQ(d.fall_trial_count(), 2u * 21u);
+    EXPECT_EQ(d.subject_ids().size(), 2u);
+}
+
+TEST(GeneratorTest, KfallCoversItsSubsetInItsUnits) {
+    const dataset d = generate_dataset(small_kfall(), 5);
+    EXPECT_EQ(d.trial_count(), 2u * 36u);
+    EXPECT_EQ(d.fall_trial_count(), 2u * 15u);
+    for (const trial& t : d.trials) {
+        EXPECT_EQ(t.accel_units, accel_unit::meters_per_s2);
+        EXPECT_EQ(t.gyro_units, gyro_unit::deg_per_s);
+    }
+}
+
+TEST(GeneratorTest, KfallMagnitudesAreInMs2) {
+    const dataset d = generate_dataset(small_kfall(), 5);
+    // A standing trial should read ~9.8 m/s^2, not ~1.
+    for (const trial& t : d.trials) {
+        if (t.task_id != 1) continue;
+        double mean = 0.0;
+        for (const raw_sample& s : t.samples) {
+            mean += std::sqrt(static_cast<double>(s.accel[0]) * s.accel[0] +
+                              static_cast<double>(s.accel[1]) * s.accel[1] +
+                              static_cast<double>(s.accel[2]) * s.accel[2]);
+        }
+        mean /= static_cast<double>(t.sample_count());
+        EXPECT_NEAR(mean, 9.8, 0.6);
+    }
+}
+
+TEST(GeneratorTest, SubjectIdBasesDisjoint) {
+    const dataset kf = generate_dataset(small_kfall(), 5);
+    const dataset pt = generate_dataset(small_protechto(), 5);
+    for (const int k : kf.subject_ids()) {
+        for (const int p : pt.subject_ids()) EXPECT_NE(k, p);
+    }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+    const dataset a = generate_dataset(small_protechto(), 9);
+    const dataset b = generate_dataset(small_protechto(), 9);
+    ASSERT_EQ(a.trial_count(), b.trial_count());
+    for (std::size_t i = 0; i < a.trial_count(); ++i) {
+        ASSERT_EQ(a.trials[i].sample_count(), b.trials[i].sample_count());
+        EXPECT_FLOAT_EQ(a.trials[i].samples[0].accel[2], b.trials[i].samples[0].accel[2]);
+    }
+}
+
+TEST(GeneratorTest, SeedChangesData) {
+    const dataset a = generate_dataset(small_protechto(), 9);
+    const dataset b = generate_dataset(small_protechto(), 10);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.trial_count() && !any_diff; ++i) {
+        if (a.trials[i].sample_count() != b.trials[i].sample_count()) {
+            any_diff = true;
+            break;
+        }
+        for (std::size_t j = 0; j < a.trials[i].sample_count(); ++j) {
+            if (a.trials[i].samples[j].accel[0] != b.trials[i].samples[j].accel[0]) {
+                any_diff = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, TrialsPerTaskMultiplies) {
+    dataset_profile p = small_protechto();
+    p.trials_per_task = 3;
+    const dataset d = generate_dataset(p, 5);
+    EXPECT_EQ(d.trial_count(), 2u * 44u * 3u);
+}
+
+TEST(GeneratorTest, ProfileValidation) {
+    dataset_profile p = small_protechto();
+    p.task_ids.clear();
+    EXPECT_THROW(generate_dataset(p, 5), std::invalid_argument);
+    dataset_profile p2 = small_protechto();
+    p2.trials_per_task = 0;
+    EXPECT_THROW(generate_dataset(p2, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::data

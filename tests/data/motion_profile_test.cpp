@@ -1,0 +1,137 @@
+#include "data/motion_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/taxonomy.hpp"
+
+namespace fallsense::data {
+namespace {
+
+subject_profile default_subject() {
+    subject_profile s;
+    s.id = 1;
+    return s;
+}
+
+TEST(MotionProfileTest, EveryTaskHasAScript) {
+    util::rng gen(1);
+    const motion_tuning tuning;
+    for (int id = 1; id <= 44; ++id) {
+        EXPECT_NO_THROW(build_task_phases(id, default_subject(), tuning, gen)) << id;
+    }
+    EXPECT_THROW(build_task_phases(0, default_subject(), tuning, gen), std::out_of_range);
+    EXPECT_THROW(build_task_phases(45, default_subject(), tuning, gen), std::out_of_range);
+}
+
+TEST(MotionProfileTest, FallTasksContainFallingPhase) {
+    util::rng gen(2);
+    const motion_tuning tuning;
+    for (const int id : fall_task_ids()) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        bool has_falling = false, has_post = false;
+        for (const motion_phase& p : script) {
+            has_falling |= p.semantic == phase_semantic::falling;
+            has_post |= p.semantic == phase_semantic::post_fall;
+        }
+        EXPECT_TRUE(has_falling) << "task " << id;
+        EXPECT_TRUE(has_post) << "task " << id;
+    }
+}
+
+TEST(MotionProfileTest, AdlTasksHaveNoFallingPhase) {
+    util::rng gen(3);
+    const motion_tuning tuning;
+    for (const int id : adl_task_ids()) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        for (const motion_phase& p : script) {
+            EXPECT_NE(p.semantic, phase_semantic::falling) << "task " << id;
+            EXPECT_NE(p.semantic, phase_semantic::post_fall) << "task " << id;
+        }
+    }
+}
+
+TEST(MotionProfileTest, FallingPhasesCarryImpact) {
+    util::rng gen(4);
+    const motion_tuning tuning;
+    for (const int id : fall_task_ids()) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        for (const motion_phase& p : script) {
+            if (p.semantic == phase_semantic::falling) {
+                EXPECT_GT(p.impact_g, 1.0) << "task " << id;
+                // Even the shallowest (fainting) falls unload noticeably.
+                EXPECT_LT(p.support_to, 0.78) << "task " << id;
+            }
+        }
+    }
+}
+
+TEST(MotionProfileTest, FallDurationsInPaperRange) {
+    // Falling phases last 150-1100 ms (paper Section III).
+    util::rng gen(5);
+    const motion_tuning tuning;
+    for (const int id : fall_task_ids()) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        for (const motion_phase& p : script) {
+            if (p.semantic == phase_semantic::falling) {
+                EXPECT_GE(p.duration_s, 0.15) << "task " << id;
+                EXPECT_LE(p.duration_s, 1.1) << "task " << id;
+            }
+        }
+    }
+}
+
+TEST(MotionProfileTest, HeightFallsUseLateAttitude) {
+    // Falls from height (39-42) tip over late: the falling-phase attitude
+    // target is smaller in magnitude than ground-level forward falls (30).
+    util::rng gen(6);
+    const motion_tuning tuning;
+    auto falling_pitch = [&](int id) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        for (const motion_phase& p : script) {
+            if (p.semantic == phase_semantic::falling) return std::abs(p.pitch_to);
+        }
+        return 0.0;
+    };
+    EXPECT_LT(falling_pitch(39), falling_pitch(30));
+}
+
+TEST(MotionProfileTest, SubjectTempoScalesDurations) {
+    const motion_tuning tuning;
+    subject_profile slow = default_subject();
+    slow.tempo = 1.4;
+    subject_profile fast = default_subject();
+    fast.tempo = 0.8;
+    // Average over several trials to suppress per-trial jitter.
+    double slow_total = 0.0, fast_total = 0.0;
+    for (int rep = 0; rep < 20; ++rep) {
+        util::rng g1(100 + rep), g2(100 + rep);
+        for (const motion_phase& p : build_task_phases(6, slow, tuning, g1)) {
+            slow_total += p.duration_s;
+        }
+        for (const motion_phase& p : build_task_phases(6, fast, tuning, g2)) {
+            fast_total += p.duration_s;
+        }
+    }
+    EXPECT_GT(slow_total, fast_total * 1.2);
+}
+
+TEST(MotionProfileTest, StaticHoldRespectsTuning) {
+    util::rng gen(7);
+    motion_tuning tuning;
+    tuning.static_hold_s = 2.0;
+    const auto script = build_task_phases(1, default_subject(), tuning, gen);
+    ASSERT_EQ(script.size(), 1u);
+    EXPECT_NEAR(script[0].duration_s, 2.0, 0.5);
+}
+
+TEST(MotionProfileTest, RejectsBadSubject) {
+    util::rng gen(8);
+    subject_profile bad = default_subject();
+    bad.tempo = 0.0;
+    EXPECT_THROW(build_task_phases(1, bad, motion_tuning{}, gen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::data

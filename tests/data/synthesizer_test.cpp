@@ -1,0 +1,155 @@
+#include "data/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/taxonomy.hpp"
+
+namespace fallsense::data {
+namespace {
+
+subject_profile default_subject() {
+    subject_profile s;
+    s.id = 7;
+    return s;
+}
+
+double accel_magnitude(const raw_sample& s) {
+    return std::sqrt(static_cast<double>(s.accel[0]) * s.accel[0] +
+                     static_cast<double>(s.accel[1]) * s.accel[1] +
+                     static_cast<double>(s.accel[2]) * s.accel[2]);
+}
+
+TEST(SynthesizerTest, StandingMeasuresOneG) {
+    util::rng gen(1);
+    const trial t = synthesize_task(1, default_subject(), motion_tuning{}, synthesis_config{},
+                                    gen);
+    ASSERT_GT(t.sample_count(), 100u);
+    double mean_mag = 0.0;
+    for (const raw_sample& s : t.samples) mean_mag += accel_magnitude(s);
+    mean_mag /= static_cast<double>(t.sample_count());
+    EXPECT_NEAR(mean_mag, 1.0, 0.05);
+}
+
+TEST(SynthesizerTest, FallTrialsAnnotated) {
+    util::rng gen(2);
+    for (const int id : fall_task_ids()) {
+        const trial t = synthesize_task(id, default_subject(), motion_tuning{},
+                                        synthesis_config{}, gen);
+        ASSERT_TRUE(t.is_fall_trial()) << "task " << id;
+        EXPECT_LT(t.fall->onset_index, t.fall->impact_index) << "task " << id;
+        EXPECT_LT(t.fall->impact_index, t.sample_count()) << "task " << id;
+        EXPECT_NO_THROW(t.validate());
+    }
+}
+
+TEST(SynthesizerTest, AdlTrialsNotAnnotated) {
+    util::rng gen(3);
+    for (const int id : adl_task_ids()) {
+        const trial t = synthesize_task(id, default_subject(), motion_tuning{},
+                                        synthesis_config{}, gen);
+        EXPECT_FALSE(t.is_fall_trial()) << "task " << id;
+    }
+}
+
+TEST(SynthesizerTest, FreeFallDropsAccelMagnitude) {
+    util::rng gen(4);
+    const trial t = synthesize_task(30, default_subject(), motion_tuning{},
+                                    synthesis_config{}, gen);
+    ASSERT_TRUE(t.is_fall_trial());
+    // Near the end of the falling phase, |a| should be well below 1 g.
+    const std::size_t probe = t.fall->impact_index - 3;
+    EXPECT_LT(accel_magnitude(t.samples[probe]), 0.6);
+}
+
+TEST(SynthesizerTest, ImpactSpikeFollowsFalling) {
+    util::rng gen(5);
+    const trial t = synthesize_task(31, default_subject(), motion_tuning{},
+                                    synthesis_config{}, gen);
+    ASSERT_TRUE(t.is_fall_trial());
+    double peak = 0.0;
+    for (std::size_t i = t.fall->impact_index;
+         i < std::min(t.fall->impact_index + 10, t.sample_count()); ++i) {
+        peak = std::max(peak, accel_magnitude(t.samples[i]));
+    }
+    EXPECT_GT(peak, 3.0);  // jogging trip impact is >= ~5 g nominal
+}
+
+TEST(SynthesizerTest, FallingDurationInPaperRange) {
+    util::rng gen(6);
+    for (const int id : {20, 28, 39}) {
+        const trial t = synthesize_task(id, default_subject(), motion_tuning{},
+                                        synthesis_config{}, gen);
+        const double falling_ms =
+            static_cast<double>(t.fall->falling_samples()) / t.sample_rate_hz * 1000.0;
+        EXPECT_GE(falling_ms, 150.0) << "task " << id;
+        EXPECT_LE(falling_ms, 1100.0) << "task " << id;
+    }
+}
+
+TEST(SynthesizerTest, WalkingHasPeriodicBounce) {
+    util::rng gen(7);
+    const trial t = synthesize_task(6, default_subject(), motion_tuning{},
+                                    synthesis_config{}, gen);
+    // Walking accel magnitude oscillates: standard deviation is clearly
+    // above the static noise floor.
+    double mean = 0.0;
+    for (const raw_sample& s : t.samples) mean += accel_magnitude(s);
+    mean /= static_cast<double>(t.sample_count());
+    double var = 0.0;
+    for (const raw_sample& s : t.samples) {
+        const double d = accel_magnitude(s) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(t.sample_count());
+    EXPECT_GT(std::sqrt(var), 0.08);
+}
+
+TEST(SynthesizerTest, DeterministicForSameSeed) {
+    util::rng g1(42), g2(42);
+    const trial a = synthesize_task(30, default_subject(), motion_tuning{},
+                                    synthesis_config{}, g1);
+    const trial b = synthesize_task(30, default_subject(), motion_tuning{},
+                                    synthesis_config{}, g2);
+    ASSERT_EQ(a.sample_count(), b.sample_count());
+    for (std::size_t i = 0; i < a.sample_count(); ++i) {
+        EXPECT_FLOAT_EQ(a.samples[i].accel[0], b.samples[i].accel[0]);
+        EXPECT_FLOAT_EQ(a.samples[i].gyro[2], b.samples[i].gyro[2]);
+    }
+    EXPECT_EQ(a.fall->onset_index, b.fall->onset_index);
+}
+
+TEST(SynthesizerTest, SamplesWithinSensorRange) {
+    util::rng gen(8);
+    const synthesis_config cfg;
+    for (const int id : {4, 31, 39, 44}) {
+        const trial t = synthesize_task(id, default_subject(), motion_tuning{}, cfg, gen);
+        for (const raw_sample& s : t.samples) {
+            for (const float a : s.accel) EXPECT_LE(std::abs(a), cfg.accel_clip_g);
+            for (const float w : s.gyro) EXPECT_LE(std::abs(w), cfg.gyro_clip_rad_s);
+        }
+    }
+}
+
+TEST(SynthesizerTest, PostFallIsQuiet) {
+    util::rng gen(9);
+    const trial t = synthesize_task(34, default_subject(), motion_tuning{},
+                                    synthesis_config{}, gen);
+    // Average |a| over the last 50 samples (lying still) is ~1 g with tiny
+    // variance.
+    const std::size_t n = t.sample_count();
+    double mean = 0.0;
+    for (std::size_t i = n - 50; i < n; ++i) mean += accel_magnitude(t.samples[i]);
+    mean /= 50.0;
+    EXPECT_NEAR(mean, 1.0, 0.08);
+}
+
+TEST(SynthesizerTest, EmptyScriptRejected) {
+    util::rng gen(10);
+    EXPECT_THROW(synthesize_trial({}, default_subject(), synthesis_config{}, gen),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,70 @@
+// Cross-module consistency properties between the taxonomy (Table II), the
+// motion scripts, and the two dataset profiles.
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "data/taxonomy.hpp"
+
+namespace fallsense::data {
+namespace {
+
+TEST(TaxonomyConsistency, KfallMembershipMatchesIdRange) {
+    // The KFall protocol covers tasks 1-36; 37-44 are self-collected only.
+    for (const task_info& t : all_tasks()) {
+        EXPECT_EQ(t.in_kfall, t.id <= 36) << t.id;
+    }
+}
+
+TEST(TaxonomyConsistency, ProfilesAgreeWithTaxonomy) {
+    const dataset_profile kf = kfall_profile();
+    const dataset_profile pt = protechto_profile();
+    EXPECT_EQ(kf.task_ids, kfall_task_ids());
+    EXPECT_EQ(pt.task_ids, self_collected_task_ids());
+}
+
+TEST(TaxonomyConsistency, ScriptFallnessMatchesTaxonomy) {
+    // A task's motion script contains a falling phase iff the taxonomy says
+    // the task is a fall — for several independent subjects/draws.
+    const motion_tuning tuning;
+    for (const task_info& info : all_tasks()) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            util::rng gen(seed * 1000 + static_cast<std::uint64_t>(info.id));
+            subject_profile subject;
+            subject.id = static_cast<int>(seed);
+            const auto script = build_task_phases(info.id, subject, tuning, gen);
+            bool has_falling = false;
+            for (const motion_phase& p : script) {
+                has_falling |= p.semantic == phase_semantic::falling;
+            }
+            EXPECT_EQ(has_falling, info.is_fall()) << "task " << info.id;
+        }
+    }
+}
+
+TEST(TaxonomyConsistency, GeneratedAnnotationsMatchTaxonomy) {
+    dataset_profile p = protechto_profile();
+    p.n_subjects = 1;
+    p.tuning.static_hold_s = 1.0;
+    p.tuning.locomotion_s = 1.2;
+    p.tuning.post_fall_hold_s = 0.6;
+    const dataset d = generate_dataset(p, 99);
+    for (const trial& t : d.trials) {
+        EXPECT_EQ(t.is_fall_trial(), task_by_id(t.task_id).is_fall()) << t.task_id;
+    }
+}
+
+TEST(TaxonomyConsistency, RiskPartitionIsComplete) {
+    std::size_t red = 0, green = 0, fall = 0;
+    for (const task_info& t : all_tasks()) {
+        switch (t.risk) {
+            case risk_class::red: ++red; break;
+            case risk_class::green: ++green; break;
+            case risk_class::fall: ++fall; break;
+        }
+    }
+    EXPECT_EQ(red + green, 23u);  // every ADL is exactly red or green
+    EXPECT_EQ(fall, 21u);
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,86 @@
+#include "data/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fallsense::data {
+namespace {
+
+TEST(TaxonomyTest, FortyFourTasksOrderedById) {
+    const auto tasks = all_tasks();
+    ASSERT_EQ(tasks.size(), 44u);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_EQ(tasks[i].id, static_cast<int>(i + 1));
+    }
+}
+
+TEST(TaxonomyTest, PaperTaskCounts) {
+    // Paper: self-collected has 23 ADLs + 21 falls; KFall 21 ADLs + 15 falls.
+    EXPECT_EQ(fall_task_ids().size(), 21u);
+    EXPECT_EQ(adl_task_ids().size(), 23u);
+    const auto kfall = kfall_task_ids();
+    EXPECT_EQ(kfall.size(), 36u);
+    std::size_t kfall_falls = 0;
+    for (const int id : kfall) kfall_falls += task_by_id(id).is_fall() ? 1 : 0;
+    EXPECT_EQ(kfall_falls, 15u);
+    EXPECT_EQ(self_collected_task_ids().size(), 44u);
+}
+
+TEST(TaxonomyTest, FallIdsMatchTableII) {
+    const std::vector<int> fall_ids = fall_task_ids();
+    const std::set<int> falls(fall_ids.begin(), fall_ids.end());
+    for (int id = 20; id <= 34; ++id) EXPECT_TRUE(falls.contains(id)) << id;
+    for (int id = 37; id <= 42; ++id) EXPECT_TRUE(falls.contains(id)) << id;
+    EXPECT_FALSE(falls.contains(10));  // stumble is an ADL
+    EXPECT_FALSE(falls.contains(44));  // obstacle jump is an ADL
+}
+
+TEST(TaxonomyTest, HeightFallsAreSelfCollectedOnly) {
+    for (const int id : {37, 38, 39, 40, 41, 42, 43, 44}) {
+        EXPECT_FALSE(task_by_id(id).in_kfall) << id;
+    }
+    EXPECT_TRUE(task_by_id(36).in_kfall);
+}
+
+TEST(TaxonomyTest, RiskClassConsistency) {
+    for (const task_info& t : all_tasks()) {
+        if (t.is_fall()) {
+            EXPECT_EQ(t.risk, risk_class::fall) << t.id;
+        } else {
+            EXPECT_NE(t.risk, risk_class::fall) << t.id;
+        }
+    }
+}
+
+TEST(TaxonomyTest, RedAdlsAreTheDynamicOnes) {
+    // The paper's highest ADL false-positive sources (Table IVb).
+    for (const int id : {4, 15, 19, 44}) {
+        EXPECT_EQ(task_by_id(id).risk, risk_class::red) << id;
+    }
+    // Everyday movements stay green.
+    for (const int id : {1, 6, 11, 13, 17, 43}) {
+        EXPECT_EQ(task_by_id(id).risk, risk_class::green) << id;
+    }
+}
+
+TEST(TaxonomyTest, LookupValidation) {
+    EXPECT_THROW(task_by_id(0), std::out_of_range);
+    EXPECT_THROW(task_by_id(45), std::out_of_range);
+    EXPECT_EQ(task_by_id(44).id, 44);
+}
+
+TEST(TaxonomyTest, CategoriesAssigned) {
+    EXPECT_EQ(task_by_id(39).category, task_category::fall_from_height);
+    EXPECT_EQ(task_by_id(6).category, task_category::adl_locomotion);
+    EXPECT_EQ(task_by_id(1).category, task_category::adl_static);
+    EXPECT_EQ(task_by_id(10).category, task_category::adl_near_fall);
+    EXPECT_EQ(task_by_id(30).category, task_category::fall_from_walking);
+}
+
+TEST(TaxonomyTest, DescriptionsNonEmpty) {
+    for (const task_info& t : all_tasks()) EXPECT_FALSE(t.description.empty()) << t.id;
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,54 @@
+#include "data/trial_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/generator.hpp"
+#include "util/csv.hpp"
+
+namespace fallsense::data {
+namespace {
+
+TEST(TrialIoTest, RoundTripPreservesSamples) {
+    util::rng gen(1);
+    subject_profile subject;
+    subject.id = 3;
+    const trial src = synthesize_task(6, subject, motion_tuning{.static_hold_s = 1.0,
+                                                                .locomotion_s = 1.5,
+                                                                .post_fall_hold_s = 0.5},
+                                      synthesis_config{}, gen);
+
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_trial_test.csv";
+    write_trial_csv(src, path);
+    const trial loaded = read_trial_csv(path, src.sample_rate_hz);
+    ASSERT_EQ(loaded.sample_count(), src.sample_count());
+    for (std::size_t i = 0; i < src.sample_count(); i += 13) {
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_NEAR(loaded.samples[i].accel[c], src.samples[i].accel[c], 1e-4);
+            EXPECT_NEAR(loaded.samples[i].gyro[c], src.samples[i].gyro[c], 1e-4);
+        }
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TrialIoTest, ReaderRequiresHeaderColumns) {
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_badcols.csv";
+    {
+        std::vector<std::vector<std::string>> rows{{"1", "2"}};
+        util::write_csv_file(path, {"foo", "bar"}, rows);
+    }
+    EXPECT_THROW(read_trial_csv(path, 100.0), std::out_of_range);
+    std::filesystem::remove(path);
+}
+
+TEST(TrialIoTest, ReaderValidatesSampleRate) {
+    EXPECT_THROW(read_trial_csv("whatever.csv", 0.0), std::invalid_argument);
+}
+
+TEST(TrialIoTest, MissingFileThrows) {
+    EXPECT_THROW(read_trial_csv("/nonexistent/trial.csv", 100.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,82 @@
+#include "data/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::data {
+namespace {
+
+trial make_trial(std::size_t samples, bool with_fall) {
+    trial t;
+    t.subject_id = 1;
+    t.task_id = with_fall ? 30 : 6;
+    t.samples.resize(samples);
+    if (with_fall) t.fall = fall_annotation{samples / 2, samples - 10};
+    return t;
+}
+
+TEST(TrialTest, DurationFromSampleRate) {
+    const trial t = make_trial(250, false);
+    EXPECT_DOUBLE_EQ(t.duration_s(), 2.5);
+    EXPECT_EQ(t.sample_count(), 250u);
+}
+
+TEST(TrialTest, FallTrialDetection) {
+    EXPECT_TRUE(make_trial(100, true).is_fall_trial());
+    EXPECT_FALSE(make_trial(100, false).is_fall_trial());
+}
+
+TEST(TrialTest, ValidationAcceptsGood) {
+    EXPECT_NO_THROW(make_trial(100, true).validate());
+    EXPECT_NO_THROW(make_trial(100, false).validate());
+}
+
+TEST(TrialTest, ValidationRejectsEmptyTrial) {
+    trial t = make_trial(0, false);
+    EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(TrialTest, ValidationRejectsInvertedAnnotation) {
+    trial t = make_trial(100, true);
+    t.fall = fall_annotation{60, 50};
+    EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(TrialTest, ValidationRejectsImpactBeyondEnd) {
+    trial t = make_trial(100, true);
+    t.fall = fall_annotation{50, 100};
+    EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(FallAnnotationTest, FallingSamples) {
+    const fall_annotation a{100, 160};
+    EXPECT_EQ(a.falling_samples(), 60u);
+}
+
+TEST(DatasetTest, FallTrialCount) {
+    dataset d;
+    d.trials.push_back(make_trial(100, true));
+    d.trials.push_back(make_trial(100, false));
+    d.trials.push_back(make_trial(100, true));
+    EXPECT_EQ(d.fall_trial_count(), 2u);
+    EXPECT_EQ(d.trial_count(), 3u);
+}
+
+TEST(DatasetTest, SubjectIdsSortedUnique) {
+    dataset d;
+    for (const int id : {5, 3, 5, 1, 3}) {
+        trial t = make_trial(10, false);
+        t.subject_id = id;
+        d.trials.push_back(std::move(t));
+    }
+    EXPECT_EQ(d.subject_ids(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(UnitNamesTest, Strings) {
+    EXPECT_STREQ(accel_unit_name(accel_unit::g), "g");
+    EXPECT_STREQ(accel_unit_name(accel_unit::meters_per_s2), "m/s^2");
+    EXPECT_STREQ(gyro_unit_name(gyro_unit::rad_per_s), "rad/s");
+    EXPECT_STREQ(gyro_unit_name(gyro_unit::deg_per_s), "deg/s");
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,149 @@
+#include "dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace fallsense::dsp {
+namespace {
+
+constexpr double k_fs = 100.0;
+constexpr double k_fc = 5.0;
+
+std::vector<float> make_sine(double freq_hz, std::size_t n, double fs = k_fs) {
+    std::vector<float> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(
+            std::sin(2.0 * std::numbers::pi * freq_hz * static_cast<double>(i) / fs));
+    }
+    return out;
+}
+
+double steady_state_amplitude(std::span<const float> signal) {
+    double amp = 0.0;
+    for (std::size_t i = signal.size() / 2; i < signal.size(); ++i) {
+        amp = std::max(amp, std::abs(static_cast<double>(signal[i])));
+    }
+    return amp;
+}
+
+TEST(ButterworthTest, Minus3dBAtCutoff) {
+    const butterworth_lowpass filter(4, k_fc, k_fs);
+    EXPECT_NEAR(filter.magnitude_at(k_fc), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(ButterworthTest, UnityGainAtDc) {
+    const butterworth_lowpass filter(4, k_fc, k_fs);
+    EXPECT_NEAR(filter.magnitude_at(0.0), 1.0, 1e-9);
+}
+
+TEST(ButterworthTest, MonotonicMagnitude) {
+    // Butterworth is maximally flat: |H| must decrease monotonically.
+    const butterworth_lowpass filter(4, k_fc, k_fs);
+    double prev = filter.magnitude_at(0.1);
+    for (double f = 1.0; f <= 45.0; f += 1.0) {
+        const double mag = filter.magnitude_at(f);
+        EXPECT_LE(mag, prev + 1e-9) << "at " << f << " Hz";
+        prev = mag;
+    }
+}
+
+TEST(ButterworthTest, StopbandRolloff24dBPerOctave) {
+    // 4th order: at least -24 dB per octave past the cutoff.  The bilinear
+    // transform steepens the response toward Nyquist, so the digital
+    // rolloff may exceed the analog 24 dB figure.
+    const butterworth_lowpass filter(4, k_fc, k_fs);
+    const double m10 = filter.magnitude_at(10.0);
+    const double m20 = filter.magnitude_at(20.0);
+    const double octave_db = 20.0 * std::log10(m10 / m20);
+    EXPECT_GT(octave_db, 22.0);
+    EXPECT_LT(octave_db, 34.0);
+}
+
+TEST(ButterworthTest, TimeDomainPassesLowFrequency) {
+    butterworth_lowpass filter(4, k_fc, k_fs);
+    std::vector<float> sine = make_sine(1.0, 600);
+    filter.process_inplace(sine);
+    EXPECT_NEAR(steady_state_amplitude(sine), 1.0, 0.05);
+}
+
+TEST(ButterworthTest, TimeDomainAttenuatesHighFrequency) {
+    butterworth_lowpass filter(4, k_fc, k_fs);
+    std::vector<float> sine = make_sine(25.0, 600);
+    filter.process_inplace(sine);
+    EXPECT_LT(steady_state_amplitude(sine), 0.01);
+}
+
+TEST(ButterworthTest, StepResponseSettlesToOne) {
+    butterworth_lowpass filter(4, k_fc, k_fs);
+    float y = 0.0f;
+    for (int i = 0; i < 400; ++i) y = filter.process(1.0f);
+    EXPECT_NEAR(y, 1.0f, 1e-3);
+}
+
+TEST(ButterworthTest, ResetClearsState) {
+    butterworth_lowpass filter(4, k_fc, k_fs);
+    for (int i = 0; i < 50; ++i) filter.process(1.0f);
+    filter.reset();
+    // After reset the first output of a zero input must be zero.
+    EXPECT_FLOAT_EQ(filter.process(0.0f), 0.0f);
+}
+
+TEST(ButterworthTest, PrimeRemovesStartupTransient) {
+    butterworth_lowpass filter(4, k_fc, k_fs);
+    filter.prime(0.7f);
+    // A primed filter fed its steady input stays exactly at steady state.
+    for (int i = 0; i < 20; ++i) EXPECT_NEAR(filter.process(0.7f), 0.7f, 1e-6);
+}
+
+TEST(BiquadTest, PrimeMatchesConvergedState) {
+    biquad a = design_lowpass_biquad(k_fc, k_fs, 0.707);
+    biquad b = design_lowpass_biquad(k_fc, k_fs, 0.707);
+    for (int i = 0; i < 500; ++i) a.process(2.5f);  // converge the hard way
+    b.prime(2.5f);
+    // Both must now produce identical outputs for the same next input.
+    EXPECT_NEAR(a.process(3.0f), b.process(3.0f), 1e-4);
+}
+
+TEST(ButterworthTest, OrderValidation) {
+    EXPECT_THROW(butterworth_lowpass(3, k_fc, k_fs), std::invalid_argument);
+    EXPECT_THROW(butterworth_lowpass(0, k_fc, k_fs), std::invalid_argument);
+    EXPECT_NO_THROW(butterworth_lowpass(2, k_fc, k_fs));
+    EXPECT_NO_THROW(butterworth_lowpass(8, k_fc, k_fs));
+}
+
+TEST(BiquadDesignTest, RejectsCutoffAboveNyquist) {
+    EXPECT_THROW(design_lowpass_biquad(60.0, 100.0, 0.7), std::invalid_argument);
+    EXPECT_THROW(design_lowpass_biquad(-1.0, 100.0, 0.7), std::invalid_argument);
+    EXPECT_THROW(design_lowpass_biquad(5.0, 100.0, 0.0), std::invalid_argument);
+}
+
+TEST(FilterChannelsTest, ChannelsIndependent) {
+    // Channel 0: DC. Channel 1: 25 Hz. After filtering, DC survives, the
+    // 25 Hz tone dies — with no cross-channel leakage.
+    constexpr std::size_t frames = 600;
+    std::vector<float> buf(frames * 2);
+    const std::vector<float> tone = make_sine(25.0, frames);
+    for (std::size_t t = 0; t < frames; ++t) {
+        buf[t * 2 + 0] = 1.0f;
+        buf[t * 2 + 1] = tone[t];
+    }
+    filter_channels_inplace(buf, 2, 4, k_fc, k_fs);
+    EXPECT_NEAR(buf[(frames - 1) * 2 + 0], 1.0f, 1e-3);
+    double ch1_amp = 0.0;
+    for (std::size_t t = frames / 2; t < frames; ++t) {
+        ch1_amp = std::max(ch1_amp, std::abs(static_cast<double>(buf[t * 2 + 1])));
+    }
+    EXPECT_LT(ch1_amp, 0.01);
+}
+
+TEST(FilterChannelsTest, SizeValidation) {
+    std::vector<float> buf(7);
+    EXPECT_THROW(filter_channels_inplace(buf, 2, 4, k_fc, k_fs), std::invalid_argument);
+    EXPECT_THROW(filter_channels_inplace(buf, 0, 4, k_fc, k_fs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::dsp

@@ -1,0 +1,101 @@
+#include "dsp/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/units.hpp"
+
+namespace fallsense::dsp {
+namespace {
+
+TEST(AccelAttitudeTest, LevelSensorIsZero) {
+    const euler_angles a = complementary_filter::accel_attitude({0, 0, 1});
+    EXPECT_NEAR(a.pitch, 0.0, 1e-12);
+    EXPECT_NEAR(a.roll, 0.0, 1e-12);
+}
+
+TEST(AccelAttitudeTest, ForwardPitch) {
+    // Pitched forward 90 degrees: gravity appears along -x.
+    const euler_angles a = complementary_filter::accel_attitude({-1, 0, 0});
+    EXPECT_NEAR(a.pitch, std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(AccelAttitudeTest, RollQuarterTurn) {
+    const euler_angles a = complementary_filter::accel_attitude({0, 1, 0});
+    EXPECT_NEAR(a.roll, std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(ComplementaryFilterTest, BootstrapsFromFirstSample) {
+    complementary_filter f;
+    const euler_angles a = f.update({-0.5, 0, std::sqrt(0.75)}, {0, 0, 0});
+    EXPECT_NEAR(a.pitch, std::asin(0.5), 1e-6);
+}
+
+TEST(ComplementaryFilterTest, ConvergesToStaticAttitude) {
+    complementary_filter f;
+    // Static sensor pitched 30 degrees, no rotation.
+    const double pitch = deg_to_rad(30.0);
+    const vec3 accel{-std::sin(pitch), 0.0, std::cos(pitch)};
+    euler_angles a;
+    for (int i = 0; i < 500; ++i) a = f.update(accel, {0, 0, 0});
+    EXPECT_NEAR(a.pitch, pitch, 1e-3);
+    EXPECT_NEAR(a.roll, 0.0, 1e-3);
+}
+
+TEST(ComplementaryFilterTest, IntegratesGyroDuringRotation) {
+    // Rotate in pitch at a constant rate with matching gravity trace: the
+    // filter must track the true angle closely.
+    fusion_config cfg;
+    complementary_filter f(cfg);
+    const double rate = deg_to_rad(90.0);  // 90 deg/s about y
+    const double dt = 1.0 / cfg.sample_rate_hz;
+    double true_pitch = 0.0;
+    euler_angles a;
+    for (int i = 0; i < 50; ++i) {  // 0.5 s -> 45 degrees
+        a = f.update({-std::sin(true_pitch), 0.0, std::cos(true_pitch)}, {0.0, rate, 0.0});
+        true_pitch += rate * dt;
+    }
+    EXPECT_NEAR(a.pitch, true_pitch, deg_to_rad(3.0));
+}
+
+TEST(ComplementaryFilterTest, YawIsPureIntegration) {
+    fusion_config cfg;
+    complementary_filter f(cfg);
+    const double rate = deg_to_rad(45.0);
+    euler_angles a;
+    for (int i = 0; i < 200; ++i) a = f.update({0, 0, 1}, {0, 0, rate});
+    // First sample bootstraps (no integration), 199 integration steps.
+    EXPECT_NEAR(a.yaw, rate * 199.0 / cfg.sample_rate_hz, 1e-9);
+}
+
+TEST(ComplementaryFilterTest, ResetClearsState) {
+    complementary_filter f;
+    f.update({-1, 0, 0}, {0, 0, 0});
+    f.reset();
+    EXPECT_NEAR(f.current().pitch, 0.0, 1e-12);
+    // After reset the next update bootstraps again.
+    const euler_angles a = f.update({0, 0, 1}, {5, 5, 5});
+    EXPECT_NEAR(a.pitch, 0.0, 1e-12);
+}
+
+TEST(ComplementaryFilterTest, ConfigValidation) {
+    fusion_config bad;
+    bad.sample_rate_hz = 0.0;
+    EXPECT_THROW(complementary_filter{bad}, std::invalid_argument);
+    fusion_config bad2;
+    bad2.gyro_weight = 1.5;
+    EXPECT_THROW(complementary_filter{bad2}, std::invalid_argument);
+}
+
+TEST(UnitsTest, Conversions) {
+    EXPECT_NEAR(ms2_to_g(9.80665), 1.0, 1e-12);
+    EXPECT_NEAR(g_to_ms2(2.0), 19.6133, 1e-4);
+    EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-12);
+    EXPECT_NEAR(rad_to_deg(std::numbers::pi / 2.0), 90.0, 1e-12);
+    EXPECT_NEAR(ms2_to_g(g_to_ms2(3.7)), 3.7, 1e-12);
+}
+
+}  // namespace
+}  // namespace fallsense::dsp

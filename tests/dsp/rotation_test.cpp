@@ -1,0 +1,123 @@
+#include "dsp/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fallsense::dsp {
+namespace {
+
+TEST(Vec3Test, BasicOps) {
+    const vec3 a{1, 2, 3};
+    const vec3 b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    const vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.x, -3.0);
+    EXPECT_DOUBLE_EQ(c.y, 6.0);
+    EXPECT_DOUBLE_EQ(c.z, -3.0);
+    EXPECT_DOUBLE_EQ((vec3{3, 4, 0}).norm(), 5.0);
+}
+
+TEST(Vec3Test, NormalizedUnitLength) {
+    const vec3 n = vec3{2, 0, 0}.normalized();
+    EXPECT_DOUBLE_EQ(n.x, 1.0);
+    EXPECT_THROW((vec3{0, 0, 0}).normalized(), std::invalid_argument);
+}
+
+TEST(Mat3Test, IdentityApply) {
+    const mat3 id = mat3::identity();
+    const vec3 v{1, 2, 3};
+    const vec3 r = id.apply(v);
+    EXPECT_DOUBLE_EQ(r.x, 1.0);
+    EXPECT_DOUBLE_EQ(r.y, 2.0);
+    EXPECT_DOUBLE_EQ(r.z, 3.0);
+    EXPECT_DOUBLE_EQ(id.determinant(), 1.0);
+}
+
+TEST(RodriguesTest, QuarterTurnAboutZ) {
+    const mat3 r = rodrigues_rotation({0, 0, 1}, std::numbers::pi / 2.0);
+    const vec3 v = r.apply({1, 0, 0});
+    EXPECT_NEAR(v.x, 0.0, 1e-12);
+    EXPECT_NEAR(v.y, 1.0, 1e-12);
+    EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(RodriguesTest, FullTurnIsIdentity) {
+    const mat3 r = rodrigues_rotation({1, 1, 1}, 2.0 * std::numbers::pi);
+    const vec3 v = r.apply({0.3, -0.7, 0.2});
+    EXPECT_NEAR(v.x, 0.3, 1e-12);
+    EXPECT_NEAR(v.y, -0.7, 1e-12);
+    EXPECT_NEAR(v.z, 0.2, 1e-12);
+}
+
+TEST(RodriguesTest, ProducesProperRotations) {
+    for (const double angle : {0.1, 0.7, 1.9, 3.0}) {
+        const mat3 r = rodrigues_rotation({0.2, -0.5, 0.8}, angle);
+        EXPECT_TRUE(is_rotation_matrix(r, 1e-10)) << "angle " << angle;
+    }
+}
+
+TEST(RodriguesTest, AxisIsInvariant) {
+    const vec3 axis = vec3{1, 2, 3}.normalized();
+    const mat3 r = rodrigues_rotation(axis, 1.1);
+    const vec3 rotated = r.apply(axis);
+    EXPECT_NEAR(rotated.x, axis.x, 1e-12);
+    EXPECT_NEAR(rotated.y, axis.y, 1e-12);
+    EXPECT_NEAR(rotated.z, axis.z, 1e-12);
+}
+
+TEST(RodriguesTest, CompositionMatchesAngleSum) {
+    const vec3 axis{0, 1, 0};
+    const mat3 a = rodrigues_rotation(axis, 0.4);
+    const mat3 b = rodrigues_rotation(axis, 0.6);
+    const mat3 ab = a.multiply(b);
+    const mat3 direct = rodrigues_rotation(axis, 1.0);
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(ab.m[i], direct.m[i], 1e-12);
+}
+
+TEST(RotationBetweenTest, MapsFromOntoTo) {
+    const vec3 from{1, 0, 0};
+    const vec3 to = vec3{1, 1, 0}.normalized();
+    const mat3 r = rotation_between(from, to);
+    const vec3 mapped = r.apply(from);
+    EXPECT_NEAR(mapped.x, to.x, 1e-12);
+    EXPECT_NEAR(mapped.y, to.y, 1e-12);
+    EXPECT_NEAR(mapped.z, to.z, 1e-12);
+    EXPECT_TRUE(is_rotation_matrix(r, 1e-10));
+}
+
+TEST(RotationBetweenTest, ParallelIsIdentity) {
+    const mat3 r = rotation_between({0, 0, 2}, {0, 0, 5});
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(r(i, i), 1.0, 1e-12);
+}
+
+TEST(RotationBetweenTest, AntiparallelHandled) {
+    const mat3 r = rotation_between({1, 0, 0}, {-1, 0, 0});
+    const vec3 mapped = r.apply({1, 0, 0});
+    EXPECT_NEAR(mapped.x, -1.0, 1e-9);
+    EXPECT_TRUE(is_rotation_matrix(r, 1e-9));
+}
+
+TEST(IsRotationMatrixTest, DetectsNonRotations) {
+    mat3 scaled;
+    scaled(0, 0) = 2.0;
+    EXPECT_FALSE(is_rotation_matrix(scaled));
+    // Reflection: orthogonal but det = -1.
+    mat3 reflect;
+    reflect(0, 0) = -1.0;
+    EXPECT_FALSE(is_rotation_matrix(reflect));
+}
+
+TEST(Mat3Test, TransposeOfRotationIsInverse) {
+    const mat3 r = rodrigues_rotation({0.3, 0.4, 0.5}, 0.9);
+    const mat3 should_be_identity = r.multiply(r.transpose());
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(should_be_identity(i, j), i == j ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::dsp

@@ -1,0 +1,103 @@
+#include "dsp/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::dsp {
+namespace {
+
+TEST(SegmentationTest, HopFromOverlap) {
+    segmentation_config c{40, 0.5};
+    EXPECT_EQ(c.hop_samples(), 20u);
+    c.overlap_fraction = 0.0;
+    EXPECT_EQ(c.hop_samples(), 40u);
+    c.overlap_fraction = 0.75;
+    EXPECT_EQ(c.hop_samples(), 10u);
+}
+
+TEST(SegmentationTest, HopNeverZero) {
+    segmentation_config c{2, 0.9};
+    EXPECT_GE(c.hop_samples(), 1u);
+}
+
+TEST(SegmentationTest, StartsCoverStream) {
+    const segmentation_config c{40, 0.5};
+    const auto starts = segment_starts(100, c);
+    ASSERT_EQ(starts.size(), 4u);  // 0, 20, 40, 60
+    EXPECT_EQ(starts.front(), 0u);
+    EXPECT_EQ(starts.back(), 60u);
+}
+
+TEST(SegmentationTest, AllWindowsFitInStream) {
+    const segmentation_config c{30, 0.25};
+    for (const std::size_t s : segment_starts(200, c)) {
+        EXPECT_LE(s + c.window_samples, 200u);
+    }
+}
+
+TEST(SegmentationTest, ShortStreamYieldsNothing) {
+    const segmentation_config c{40, 0.5};
+    EXPECT_TRUE(segment_starts(39, c).empty());
+    EXPECT_EQ(segment_count(39, c), 0u);
+}
+
+TEST(SegmentationTest, ExactFitYieldsOne) {
+    const segmentation_config c{40, 0.5};
+    EXPECT_EQ(segment_count(40, c), 1u);
+}
+
+TEST(SegmentationTest, ZeroOverlapIsDisjoint) {
+    const segmentation_config c{10, 0.0};
+    const auto starts = segment_starts(35, c);
+    ASSERT_EQ(starts.size(), 3u);
+    EXPECT_EQ(starts[1] - starts[0], 10u);
+}
+
+TEST(SegmentationTest, MakeSegmentationFromMs) {
+    const segmentation_config c = make_segmentation(400.0, 0.5, 100.0);
+    EXPECT_EQ(c.window_samples, 40u);
+    EXPECT_DOUBLE_EQ(c.overlap_fraction, 0.5);
+    const segmentation_config c2 = make_segmentation(200.0, 0.25, 100.0);
+    EXPECT_EQ(c2.window_samples, 20u);
+}
+
+TEST(SegmentationTest, Validation) {
+    segmentation_config bad{0, 0.5};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    segmentation_config bad2{10, 1.0};
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
+    segmentation_config bad3{10, -0.1};
+    EXPECT_THROW(bad3.validate(), std::invalid_argument);
+    EXPECT_THROW(make_segmentation(-5.0, 0.5, 100.0), std::invalid_argument);
+}
+
+// Property sweep: segment counts follow the closed form
+// 1 + floor((total - window) / hop) for every config.
+struct seg_params {
+    std::size_t window;
+    double overlap;
+    std::size_t total;
+};
+
+class SegmentationProperty : public ::testing::TestWithParam<seg_params> {};
+
+TEST_P(SegmentationProperty, CountMatchesClosedForm) {
+    const auto [window, overlap, total] = GetParam();
+    const segmentation_config c{window, overlap};
+    const std::size_t count = segment_count(total, c);
+    if (total < window) {
+        EXPECT_EQ(count, 0u);
+    } else {
+        EXPECT_EQ(count, 1 + (total - window) / c.hop_samples());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SegmentationProperty,
+    ::testing::Values(seg_params{10, 0.0, 100}, seg_params{10, 0.5, 100},
+                      seg_params{20, 0.25, 100}, seg_params{20, 0.75, 101},
+                      seg_params{30, 0.5, 29}, seg_params{30, 0.5, 30},
+                      seg_params{40, 0.5, 1000}, seg_params{40, 0.75, 999},
+                      seg_params{1, 0.0, 5}));
+
+}  // namespace
+}  // namespace fallsense::dsp

@@ -1,0 +1,101 @@
+// Property sweeps over the event-level analysis: invariants that must hold
+// for ANY scored segment set, checked on randomized inputs.
+#include <gtest/gtest.h>
+
+#include "eval/events.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::eval {
+namespace {
+
+std::vector<segment_record> random_records(std::uint64_t seed, std::size_t n) {
+    util::rng gen(seed);
+    std::vector<segment_record> records;
+    records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        segment_record r;
+        r.subject_id = static_cast<int>(gen.uniform_int(1, 6));
+        r.task_id = static_cast<int>(gen.uniform_int(1, 44));
+        r.trial_index = 0;
+        // Trial identity must be consistent: derive fall-ness from task id
+        // via the taxonomy convention (20-34, 37-42 are falls).
+        const int t = r.task_id;
+        r.trial_is_fall = (t >= 20 && t <= 34) || (t >= 37 && t <= 42);
+        r.label = (r.trial_is_fall && gen.bernoulli(0.4)) ? 1.0f : 0.0f;
+        r.probability = static_cast<float>(gen.uniform());
+        records.push_back(r);
+    }
+    return records;
+}
+
+class EventsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventsProperty, DetectionsAndAlarmsMonotoneInThreshold) {
+    const auto records = random_records(GetParam(), 600);
+    std::size_t prev_detected = SIZE_MAX, prev_false = SIZE_MAX;
+    for (double threshold = 0.1; threshold < 1.0; threshold += 0.1) {
+        const event_counts c = count_events(records, threshold);
+        // Raising the threshold can only reduce firings of both kinds.
+        EXPECT_LE(c.falls_detected, prev_detected);
+        EXPECT_LE(c.adl_false_alarms, prev_false);
+        prev_detected = c.falls_detected;
+        prev_false = c.adl_false_alarms;
+    }
+}
+
+TEST_P(EventsProperty, TotalsIndependentOfThreshold) {
+    const auto records = random_records(GetParam(), 400);
+    const event_counts low = count_events(records, 0.05);
+    const event_counts high = count_events(records, 0.95);
+    EXPECT_EQ(low.falls_total, high.falls_total);
+    EXPECT_EQ(low.adl_total, high.adl_total);
+}
+
+TEST_P(EventsProperty, AnalysisAveragesConsistentWithCounts) {
+    const auto records = random_records(GetParam(), 500);
+    const double threshold = 0.5;
+    const event_analysis a = analyze_events(records, threshold);
+    const event_counts c = count_events(records, threshold);
+    const double expected_miss =
+        c.falls_total ? 100.0 * static_cast<double>(c.falls_total - c.falls_detected) /
+                            static_cast<double>(c.falls_total)
+                      : 0.0;
+    EXPECT_NEAR(a.fall_miss_percent_avg, expected_miss, 1e-9);
+    const double expected_fp =
+        c.adl_total ? 100.0 * static_cast<double>(c.adl_false_alarms) /
+                          static_cast<double>(c.adl_total)
+                    : 0.0;
+    EXPECT_NEAR(a.adl_false_percent_avg, expected_fp, 1e-9);
+}
+
+TEST_P(EventsProperty, PerTaskEventsSumToTotals) {
+    const auto records = random_records(GetParam(), 500);
+    const event_analysis a = analyze_events(records, 0.5);
+    const event_counts c = count_events(records, 0.5);
+    std::size_t fall_events = 0;
+    for (const task_event_stats& s : a.fall_misses) fall_events += s.events;
+    std::size_t adl_events = 0;
+    for (const task_event_stats& s : a.adl_false_alarms) adl_events += s.events;
+    EXPECT_EQ(fall_events, c.falls_total);
+    EXPECT_EQ(adl_events, c.adl_total);
+}
+
+TEST_P(EventsProperty, RedGreenPartitionCoversAdlAverage) {
+    // The overall ADL false rate must lie between the red and green rates
+    // (it is their event-weighted mean).
+    const auto records = random_records(GetParam(), 800);
+    const event_analysis a = analyze_events(records, 0.3);
+    const double lo = std::min(a.red_adl_false_percent, a.green_adl_false_percent);
+    const double hi = std::max(a.red_adl_false_percent, a.green_adl_false_percent);
+    EXPECT_GE(a.adl_false_percent_avg, lo - 1e-9);
+    EXPECT_LE(a.adl_false_percent_avg, hi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventsProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fallsense::eval

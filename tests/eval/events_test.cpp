@@ -1,0 +1,129 @@
+#include "eval/events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::eval {
+namespace {
+
+segment_record seg(int subject, int task, int trial, bool is_fall, float label, float prob) {
+    segment_record r;
+    r.subject_id = subject;
+    r.task_id = task;
+    r.trial_index = trial;
+    r.trial_is_fall = is_fall;
+    r.label = label;
+    r.probability = prob;
+    return r;
+}
+
+TEST(EventsTest, FallDetectedByOnePositiveWindowSegment) {
+    // Three segments of one fall event (task 30): only one fires -> detected.
+    const std::vector<segment_record> records{
+        seg(1, 30, 0, true, 0.0f, 0.1f),
+        seg(1, 30, 0, true, 1.0f, 0.2f),
+        seg(1, 30, 0, true, 1.0f, 0.9f),
+    };
+    const event_counts c = count_events(records);
+    EXPECT_EQ(c.falls_total, 1u);
+    EXPECT_EQ(c.falls_detected, 1u);
+}
+
+TEST(EventsTest, FallMissedWhenNoWindowSegmentFires) {
+    const std::vector<segment_record> records{
+        seg(1, 30, 0, true, 1.0f, 0.3f),
+        seg(1, 30, 0, true, 1.0f, 0.4f),
+    };
+    const event_counts c = count_events(records);
+    EXPECT_EQ(c.falls_detected, 0u);
+}
+
+TEST(EventsTest, FiringOutsideFallingWindowDoesNotCountAsDetection) {
+    // A pre-fall segment (label 0) fires but no falling-window segment does.
+    const std::vector<segment_record> records{
+        seg(1, 30, 0, true, 0.0f, 0.95f),
+        seg(1, 30, 0, true, 1.0f, 0.2f),
+    };
+    const event_counts c = count_events(records);
+    EXPECT_EQ(c.falls_detected, 0u);
+}
+
+TEST(EventsTest, AdlFalseAlarmOnAnyFiring) {
+    const std::vector<segment_record> records{
+        seg(1, 6, 0, false, 0.0f, 0.1f),
+        seg(1, 6, 0, false, 0.0f, 0.7f),
+        seg(2, 6, 0, false, 0.0f, 0.2f),
+    };
+    const event_counts c = count_events(records);
+    EXPECT_EQ(c.adl_total, 2u);
+    EXPECT_EQ(c.adl_false_alarms, 1u);
+}
+
+TEST(EventsTest, EventsGroupedBySubjectTaskTrial) {
+    const std::vector<segment_record> records{
+        seg(1, 6, 0, false, 0.0f, 0.9f),
+        seg(1, 6, 1, false, 0.0f, 0.1f),  // different trial -> separate event
+        seg(2, 6, 0, false, 0.0f, 0.1f),
+    };
+    const event_counts c = count_events(records);
+    EXPECT_EQ(c.adl_total, 3u);
+    EXPECT_EQ(c.adl_false_alarms, 1u);
+}
+
+TEST(EventsTest, AnalysisPercentagesPerTask) {
+    std::vector<segment_record> records;
+    // Task 30: 4 fall events, 1 missed.
+    for (int s = 0; s < 4; ++s) {
+        records.push_back(seg(s, 30, 0, true, 1.0f, s == 0 ? 0.2f : 0.9f));
+    }
+    // Task 6: 5 ADL events, 1 false alarm.
+    for (int s = 0; s < 5; ++s) {
+        records.push_back(seg(s, 6, 0, false, 0.0f, s == 0 ? 0.9f : 0.1f));
+    }
+    const event_analysis a = analyze_events(records);
+    ASSERT_EQ(a.fall_misses.size(), 1u);
+    EXPECT_EQ(a.fall_misses[0].task_id, 30);
+    EXPECT_DOUBLE_EQ(a.fall_misses[0].miss_percent(), 25.0);
+    ASSERT_EQ(a.adl_false_alarms.size(), 1u);
+    EXPECT_DOUBLE_EQ(a.adl_false_alarms[0].miss_percent(), 20.0);
+    EXPECT_DOUBLE_EQ(a.fall_miss_percent_avg, 25.0);
+    EXPECT_DOUBLE_EQ(a.adl_false_percent_avg, 20.0);
+}
+
+TEST(EventsTest, RedGreenSplitUsesTaxonomy) {
+    std::vector<segment_record> records;
+    // Task 44 (red): 2 events, both false alarms.
+    records.push_back(seg(1, 44, 0, false, 0.0f, 0.9f));
+    records.push_back(seg(2, 44, 0, false, 0.0f, 0.9f));
+    // Task 6 (green): 2 events, no alarms.
+    records.push_back(seg(1, 6, 0, false, 0.0f, 0.1f));
+    records.push_back(seg(2, 6, 0, false, 0.0f, 0.1f));
+    const event_analysis a = analyze_events(records);
+    EXPECT_DOUBLE_EQ(a.red_adl_false_percent, 100.0);
+    EXPECT_DOUBLE_EQ(a.green_adl_false_percent, 0.0);
+    EXPECT_DOUBLE_EQ(a.adl_false_percent_avg, 50.0);
+}
+
+TEST(EventsTest, SortedByMissPercentDescending) {
+    std::vector<segment_record> records;
+    records.push_back(seg(1, 30, 0, true, 1.0f, 0.9f));  // task 30: 0% miss
+    records.push_back(seg(1, 39, 0, true, 1.0f, 0.1f));  // task 39: 100% miss
+    const event_analysis a = analyze_events(records);
+    ASSERT_EQ(a.fall_misses.size(), 2u);
+    EXPECT_EQ(a.fall_misses[0].task_id, 39);
+    EXPECT_EQ(a.fall_misses[1].task_id, 30);
+}
+
+TEST(EventsTest, ThresholdRespected) {
+    const std::vector<segment_record> records{seg(1, 6, 0, false, 0.0f, 0.6f)};
+    EXPECT_EQ(count_events(records, 0.5).adl_false_alarms, 1u);
+    EXPECT_EQ(count_events(records, 0.7).adl_false_alarms, 0u);
+}
+
+TEST(EventsTest, EmptyInputProducesZeroes) {
+    const event_analysis a = analyze_events({});
+    EXPECT_TRUE(a.fall_misses.empty());
+    EXPECT_DOUBLE_EQ(a.fall_miss_percent_avg, 0.0);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

@@ -1,0 +1,123 @@
+#include "eval/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fallsense::eval {
+namespace {
+
+std::vector<int> make_subjects(int n) {
+    std::vector<int> ids(n);
+    for (int i = 0; i < n; ++i) ids[i] = 100 + i;
+    return ids;
+}
+
+TEST(KfoldTest, ProducesKSplits) {
+    const auto splits = make_subject_folds(make_subjects(20), kfold_config{});
+    EXPECT_EQ(splits.size(), 5u);
+}
+
+TEST(KfoldTest, SplitsAreDisjointWithinEachFold) {
+    const auto splits = make_subject_folds(make_subjects(20), kfold_config{});
+    for (const fold_split& s : splits) {
+        std::set<int> all;
+        for (const int id : s.train_subjects) EXPECT_TRUE(all.insert(id).second);
+        for (const int id : s.validation_subjects) EXPECT_TRUE(all.insert(id).second);
+        for (const int id : s.test_subjects) EXPECT_TRUE(all.insert(id).second);
+        EXPECT_EQ(all.size(), 20u);  // every subject appears exactly once
+    }
+}
+
+TEST(KfoldTest, EverySubjectTestedExactlyOnce) {
+    const auto splits = make_subject_folds(make_subjects(23), kfold_config{});
+    std::multiset<int> tested;
+    for (const fold_split& s : splits) {
+        tested.insert(s.test_subjects.begin(), s.test_subjects.end());
+    }
+    EXPECT_EQ(tested.size(), 23u);
+    for (const int id : make_subjects(23)) EXPECT_EQ(tested.count(id), 1u);
+}
+
+TEST(KfoldTest, FoldSizesBalanced) {
+    const auto splits = make_subject_folds(make_subjects(23), kfold_config{});
+    for (const fold_split& s : splits) {
+        EXPECT_GE(s.test_subjects.size(), 4u);
+        EXPECT_LE(s.test_subjects.size(), 5u);
+    }
+}
+
+TEST(KfoldTest, ValidationSubjectCountRespected) {
+    kfold_config cfg;
+    cfg.validation_subjects = 4;
+    const auto splits = make_subject_folds(make_subjects(61), cfg);
+    for (const fold_split& s : splits) {
+        EXPECT_EQ(s.validation_subjects.size(), 4u);
+    }
+}
+
+TEST(KfoldTest, PaperConfiguration) {
+    // 61 subjects, 5 folds: test folds of 12-13 subjects, 4 validation.
+    kfold_config cfg;
+    cfg.folds = 5;
+    cfg.validation_subjects = 4;
+    const auto splits = make_subject_folds(make_subjects(61), cfg);
+    ASSERT_EQ(splits.size(), 5u);
+    for (const fold_split& s : splits) {
+        EXPECT_GE(s.test_subjects.size(), 12u);
+        EXPECT_LE(s.test_subjects.size(), 13u);
+        EXPECT_EQ(s.validation_subjects.size(), 4u);
+        EXPECT_EQ(s.train_subjects.size(),
+                  61u - s.test_subjects.size() - s.validation_subjects.size());
+    }
+}
+
+TEST(KfoldTest, DeterministicForSeed) {
+    kfold_config cfg;
+    const auto a = make_subject_folds(make_subjects(15), cfg);
+    const auto b = make_subject_folds(make_subjects(15), cfg);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].test_subjects, b[i].test_subjects);
+        EXPECT_EQ(a[i].train_subjects, b[i].train_subjects);
+    }
+}
+
+TEST(KfoldTest, SeedChangesAssignment) {
+    kfold_config a_cfg;
+    a_cfg.shuffle_seed = 1;
+    kfold_config b_cfg;
+    b_cfg.shuffle_seed = 2;
+    const auto a = make_subject_folds(make_subjects(20), a_cfg);
+    const auto b = make_subject_folds(make_subjects(20), b_cfg);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].test_subjects != b[i].test_subjects) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(KfoldTest, DuplicateSubjectIdsDeduplicated) {
+    std::vector<int> ids{1, 2, 3, 4, 5, 6, 1, 2};
+    kfold_config cfg;
+    cfg.folds = 3;
+    cfg.validation_subjects = 1;
+    const auto splits = make_subject_folds(ids, cfg);
+    std::multiset<int> tested;
+    for (const fold_split& s : splits) {
+        tested.insert(s.test_subjects.begin(), s.test_subjects.end());
+    }
+    EXPECT_EQ(tested.size(), 6u);
+}
+
+TEST(KfoldTest, Validation) {
+    kfold_config cfg;
+    cfg.folds = 1;
+    EXPECT_THROW(make_subject_folds(make_subjects(10), cfg), std::invalid_argument);
+    kfold_config cfg2;
+    cfg2.folds = 5;
+    EXPECT_THROW(make_subject_folds(make_subjects(4), cfg2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

@@ -1,0 +1,122 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fallsense::eval {
+namespace {
+
+TEST(ConfusionTest, CountsCells) {
+    const std::vector<float> probs{0.9f, 0.2f, 0.8f, 0.1f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+    const confusion_matrix cm = make_confusion(probs, labels);
+    EXPECT_EQ(cm.true_positive, 1u);
+    EXPECT_EQ(cm.false_negative, 1u);
+    EXPECT_EQ(cm.false_positive, 1u);
+    EXPECT_EQ(cm.true_negative, 1u);
+    EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionTest, ThresholdShiftsDecisions) {
+    const std::vector<float> probs{0.6f};
+    const std::vector<float> labels{1.0f};
+    EXPECT_EQ(make_confusion(probs, labels, 0.5).true_positive, 1u);
+    EXPECT_EQ(make_confusion(probs, labels, 0.7).false_negative, 1u);
+}
+
+TEST(ConfusionTest, SizeMismatchThrows) {
+    const std::vector<float> probs{0.5f};
+    const std::vector<float> labels{1.0f, 0.0f};
+    EXPECT_THROW(make_confusion(probs, labels), std::invalid_argument);
+}
+
+TEST(MetricsTest, PerfectClassifier) {
+    confusion_matrix cm;
+    cm.true_positive = 10;
+    cm.true_negative = 90;
+    EXPECT_DOUBLE_EQ(accuracy(cm), 1.0);
+    EXPECT_DOUBLE_EQ(precision(cm), 1.0);
+    EXPECT_DOUBLE_EQ(recall(cm), 1.0);
+    EXPECT_DOUBLE_EQ(f1_score(cm), 1.0);
+    EXPECT_DOUBLE_EQ(macro_f1(cm), 1.0);
+}
+
+TEST(MetricsTest, KnownHandComputedCase) {
+    confusion_matrix cm;
+    cm.true_positive = 8;
+    cm.false_positive = 2;
+    cm.false_negative = 4;
+    cm.true_negative = 86;
+    EXPECT_DOUBLE_EQ(accuracy(cm), 0.94);
+    EXPECT_DOUBLE_EQ(precision(cm), 0.8);
+    EXPECT_NEAR(recall(cm), 8.0 / 12.0, 1e-12);
+    EXPECT_NEAR(f1_score(cm), 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+}
+
+TEST(MetricsTest, DegenerateNoPredictedPositives) {
+    confusion_matrix cm;
+    cm.false_negative = 5;
+    cm.true_negative = 95;
+    EXPECT_DOUBLE_EQ(precision(cm), 0.0);
+    EXPECT_DOUBLE_EQ(recall(cm), 0.0);
+    EXPECT_DOUBLE_EQ(f1_score(cm), 0.0);
+}
+
+TEST(MetricsTest, MacroMetricsOfAllNegativePredictor) {
+    // The Table III MLP pattern: predicting everything negative on a 96/4
+    // imbalanced set gives high accuracy but macro recall exactly 0.5.
+    confusion_matrix cm;
+    cm.false_negative = 4;
+    cm.true_negative = 96;
+    EXPECT_DOUBLE_EQ(accuracy(cm), 0.96);
+    EXPECT_DOUBLE_EQ(macro_recall(cm), 0.5);
+    EXPECT_NEAR(macro_precision(cm), 0.5 * (0.0 + 0.96), 1e-12);
+}
+
+TEST(MetricsTest, MacroAveragesBothClasses) {
+    confusion_matrix cm;
+    cm.true_positive = 10;
+    cm.false_positive = 10;
+    cm.true_negative = 70;
+    cm.false_negative = 10;
+    const double pos_p = 0.5;
+    const double neg_p = 70.0 / 80.0;
+    EXPECT_NEAR(macro_precision(cm), 0.5 * (pos_p + neg_p), 1e-12);
+}
+
+TEST(MetricsTest, AccumulateMatrices) {
+    confusion_matrix a;
+    a.true_positive = 1;
+    confusion_matrix b;
+    b.false_negative = 2;
+    a += b;
+    EXPECT_EQ(a.true_positive, 1u);
+    EXPECT_EQ(a.false_negative, 2u);
+}
+
+TEST(EvaluateTest, ReportFieldsConsistent) {
+    const std::vector<float> probs{0.9f, 0.8f, 0.2f, 0.4f, 0.7f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f, 0.0f};
+    const classification_report r = evaluate(probs, labels);
+    EXPECT_DOUBLE_EQ(r.accuracy, accuracy(r.cm));
+    EXPECT_DOUBLE_EQ(r.precision, macro_precision(r.cm));
+    EXPECT_DOUBLE_EQ(r.recall, macro_recall(r.cm));
+    EXPECT_DOUBLE_EQ(r.f1, macro_f1(r.cm));
+}
+
+TEST(EvaluateTest, ToStringFormatsPercentages) {
+    const std::vector<float> probs{0.9f, 0.1f};
+    const std::vector<float> labels{1.0f, 0.0f};
+    const std::string s = to_string(evaluate(probs, labels));
+    EXPECT_NE(s.find("acc=100.00"), std::string::npos);
+}
+
+TEST(MetricsTest, EmptyInputIsAllZero) {
+    const confusion_matrix cm = make_confusion({}, {});
+    EXPECT_DOUBLE_EQ(accuracy(cm), 0.0);
+    EXPECT_DOUBLE_EQ(macro_f1(cm), 0.0);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

@@ -1,0 +1,127 @@
+#include "eval/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fallsense::eval {
+namespace {
+
+TEST(RocTest, PerfectSeparationGivesAucOne) {
+    const std::vector<float> probs{0.9f, 0.8f, 0.2f, 0.1f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(roc_auc(probs, labels), 1.0);
+}
+
+TEST(RocTest, InvertedScoresGiveAucZero) {
+    const std::vector<float> probs{0.1f, 0.2f, 0.8f, 0.9f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(roc_auc(probs, labels), 0.0);
+}
+
+TEST(RocTest, RandomScoresNearHalf) {
+    util::rng gen(1);
+    std::vector<float> probs, labels;
+    for (int i = 0; i < 20'000; ++i) {
+        probs.push_back(static_cast<float>(gen.uniform()));
+        labels.push_back(gen.bernoulli(0.3) ? 1.0f : 0.0f);
+    }
+    EXPECT_NEAR(roc_auc(probs, labels), 0.5, 0.02);
+}
+
+TEST(RocTest, AucEqualsMannWhitneyProbability) {
+    // Hand-computable case with a tie.
+    const std::vector<float> probs{0.9f, 0.5f, 0.5f, 0.1f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+    // Pairs: (0.9 vs 0.5) win, (0.9 vs 0.1) win, (0.5 vs 0.5) tie=0.5,
+    // (0.5 vs 0.1) win -> (3 + 0.5) / 4 = 0.875.
+    EXPECT_NEAR(roc_auc(probs, labels), 0.875, 1e-9);
+}
+
+TEST(RocTest, CurveEndpointsAndMonotonicity) {
+    util::rng gen(2);
+    std::vector<float> probs, labels;
+    for (int i = 0; i < 500; ++i) {
+        const bool pos = gen.bernoulli(0.4);
+        probs.push_back(static_cast<float>(
+            std::clamp(gen.normal(pos ? 0.7 : 0.3, 0.2), 0.0, 1.0)));
+        labels.push_back(pos ? 1.0f : 0.0f);
+    }
+    const auto curve = roc_curve(probs, labels);
+    ASSERT_GE(curve.size(), 2u);
+    EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+    EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+    EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+        EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+        EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+    }
+    const double auc = roc_auc(probs, labels);
+    EXPECT_GT(auc, 0.8);  // well-separated synthetic scores
+}
+
+TEST(PrTest, PerfectRankingGivesApOne) {
+    const std::vector<float> probs{0.9f, 0.8f, 0.2f, 0.1f};
+    const std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(average_precision(probs, labels), 1.0);
+}
+
+TEST(PrTest, RandomScoresApproachPositiveRate) {
+    // For uninformative scores AP converges to the positive prevalence.
+    util::rng gen(3);
+    std::vector<float> probs, labels;
+    for (int i = 0; i < 30'000; ++i) {
+        probs.push_back(static_cast<float>(gen.uniform()));
+        labels.push_back(gen.bernoulli(0.2) ? 1.0f : 0.0f);
+    }
+    EXPECT_NEAR(average_precision(probs, labels), 0.2, 0.02);
+}
+
+TEST(PrTest, HandComputedCase) {
+    // Ranked: P(0.9), N(0.8), P(0.7). AP = 1.0*(1/2) + (2/3)*(1/2) = 0.8333.
+    const std::vector<float> probs{0.9f, 0.8f, 0.7f};
+    const std::vector<float> labels{1.0f, 0.0f, 1.0f};
+    EXPECT_NEAR(average_precision(probs, labels), 1.0 / 2.0 + (2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(PrTest, CurveRecallMonotoneAndEndsAtOne) {
+    util::rng gen(4);
+    std::vector<float> probs, labels;
+    for (int i = 0; i < 400; ++i) {
+        const bool pos = gen.bernoulli(0.3);
+        probs.push_back(static_cast<float>(
+            std::clamp(gen.normal(pos ? 0.65 : 0.35, 0.2), 0.0, 1.0)));
+        labels.push_back(pos ? 1.0f : 0.0f);
+    }
+    const auto curve = pr_curve(probs, labels);
+    ASSERT_FALSE(curve.empty());
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+    for (const pr_point& p : curve) {
+        EXPECT_GE(p.precision, 0.0);
+        EXPECT_LE(p.precision, 1.0);
+    }
+}
+
+TEST(PrTest, Validation) {
+    const std::vector<float> probs{0.5f, 0.6f};
+    const std::vector<float> all_neg{0.0f, 0.0f};
+    EXPECT_THROW(average_precision(probs, all_neg), std::invalid_argument);
+}
+
+TEST(RocTest, Validation) {
+    const std::vector<float> probs{0.5f};
+    const std::vector<float> one_class{1.0f};
+    EXPECT_THROW(roc_auc(probs, one_class), std::invalid_argument);
+    EXPECT_THROW(roc_auc({}, {}), std::invalid_argument);
+    const std::vector<float> mismatched{0.5f, 0.6f};
+    const std::vector<float> labels{1.0f};
+    EXPECT_THROW(roc_auc(mismatched, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

@@ -1,0 +1,66 @@
+#include "eval/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::eval {
+namespace {
+
+segment_record seg(int subject, int task, bool is_fall, float label, float prob) {
+    segment_record r;
+    r.subject_id = subject;
+    r.task_id = task;
+    r.trial_index = 0;
+    r.trial_is_fall = is_fall;
+    r.label = label;
+    r.probability = prob;
+    return r;
+}
+
+TEST(ThresholdTest, PicksThresholdMeetingFalseBudget) {
+    std::vector<segment_record> records;
+    // 10 falls whose windows score 0.6.
+    for (int s = 0; s < 10; ++s) records.push_back(seg(s, 30, true, 1.0f, 0.6f));
+    // 10 ADLs: one scores 0.4 (false alarm below 0.4-ish thresholds).
+    for (int s = 0; s < 10; ++s) {
+        records.push_back(seg(s, 6, false, 0.0f, s == 0 ? 0.4f : 0.05f));
+    }
+    const threshold_selection sel = select_threshold_for_precision(records, 0.05);
+    // Any threshold in (0.4, 0.6] detects all falls with zero false alarms.
+    EXPECT_GT(sel.threshold, 0.4);
+    EXPECT_LE(sel.threshold, 0.6);
+    EXPECT_DOUBLE_EQ(sel.fall_detection_rate, 1.0);
+    EXPECT_LE(sel.adl_false_rate, 0.05);
+}
+
+TEST(ThresholdTest, PrefersDetectionAmongQualifying) {
+    std::vector<segment_record> records;
+    // Two falls at different confidence; one ADL always quiet.
+    records.push_back(seg(1, 30, true, 1.0f, 0.3f));
+    records.push_back(seg(2, 30, true, 1.0f, 0.8f));
+    records.push_back(seg(1, 6, false, 0.0f, 0.05f));
+    const threshold_selection sel = select_threshold_for_precision(records, 0.5);
+    // Low thresholds catch both falls and still meet the (loose) budget.
+    EXPECT_LE(sel.threshold, 0.3);
+    EXPECT_DOUBLE_EQ(sel.fall_detection_rate, 1.0);
+}
+
+TEST(ThresholdTest, FallbackWhenNothingQualifies) {
+    std::vector<segment_record> records;
+    // An ADL that fires at any threshold below 0.95.
+    records.push_back(seg(1, 6, false, 0.0f, 0.95f));
+    records.push_back(seg(1, 30, true, 1.0f, 0.5f));
+    const threshold_selection sel = select_threshold_for_precision(records, 0.0, 9);
+    // No scanned threshold reaches zero false alarms (max scan = 0.9);
+    // the fallback picks the minimum-false-rate threshold anyway.
+    EXPECT_GT(sel.threshold, 0.0);
+}
+
+TEST(ThresholdTest, Validation) {
+    EXPECT_THROW(select_threshold_for_precision({}, 0.05), std::invalid_argument);
+    const std::vector<segment_record> one{seg(1, 6, false, 0.0f, 0.1f)};
+    EXPECT_THROW(select_threshold_for_precision(one, 1.5), std::invalid_argument);
+    EXPECT_THROW(select_threshold_for_precision(one, 0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

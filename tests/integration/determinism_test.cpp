@@ -1,0 +1,66 @@
+// Reproducibility contract: for a fixed FALLSENSE_SEED the entire
+// experiment harness — data synthesis, alignment, folds, augmentation,
+// training, evaluation — must produce bit-identical results, and a
+// different seed must produce different data.  Every number in
+// EXPERIMENTS.md relies on this.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace fallsense {
+namespace {
+
+core::experiment_scale mini_scale() {
+    core::experiment_scale s = core::scale_preset(util::run_scale::tiny);
+    s.max_epochs = 3;
+    s.early_stop_patience = 0;
+    return s;
+}
+
+TEST(DeterminismTest, DatasetGenerationIsReproducible) {
+    const core::experiment_scale s = mini_scale();
+    const data::dataset a = core::make_merged_dataset(s, 7);
+    const data::dataset b = core::make_merged_dataset(s, 7);
+    ASSERT_EQ(a.trial_count(), b.trial_count());
+    for (std::size_t i = 0; i < a.trial_count(); i += 13) {
+        ASSERT_EQ(a.trials[i].sample_count(), b.trials[i].sample_count());
+        for (std::size_t j = 0; j < a.trials[i].sample_count(); j += 29) {
+            ASSERT_FLOAT_EQ(a.trials[i].samples[j].accel[0], b.trials[i].samples[j].accel[0]);
+            ASSERT_FLOAT_EQ(a.trials[i].samples[j].gyro[1], b.trials[i].samples[j].gyro[1]);
+        }
+    }
+}
+
+TEST(DeterminismTest, CrossValidationIsReproducible) {
+    const core::experiment_scale s = mini_scale();
+    const data::dataset merged = core::make_merged_dataset(s, 11);
+    const core::windowing_config wc = core::standard_windowing(200.0);
+    const core::cross_validation_result a =
+        core::run_cross_validation(core::model_kind::cnn, merged, wc, s, 13);
+    const core::cross_validation_result b =
+        core::run_cross_validation(core::model_kind::cnn, merged, wc, s, 13);
+    ASSERT_EQ(a.all_records.size(), b.all_records.size());
+    for (std::size_t i = 0; i < a.all_records.size(); ++i) {
+        ASSERT_FLOAT_EQ(a.all_records[i].probability, b.all_records[i].probability);
+        ASSERT_EQ(a.all_records[i].subject_id, b.all_records[i].subject_id);
+    }
+    EXPECT_DOUBLE_EQ(a.pooled.f1, b.pooled.f1);
+}
+
+TEST(DeterminismTest, SeedChangesOutcome) {
+    const core::experiment_scale s = mini_scale();
+    const data::dataset m1 = core::make_merged_dataset(s, 17);
+    const data::dataset m2 = core::make_merged_dataset(s, 18);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < m1.trial_count() && !any_diff; ++i) {
+        if (m1.trials[i].sample_count() != m2.trials[i].sample_count()) {
+            any_diff = true;
+        } else if (m1.trials[i].samples[0].accel[0] != m2.trials[i].samples[0].accel[0]) {
+            any_diff = true;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,119 @@
+// Cross-module edge cases: boundary conditions a deployment hits sooner or
+// later — short trials, falls at the stream edge, degenerate batches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/models.hpp"
+#include "core/pipeline.hpp"
+#include "core/windowing.hpp"
+#include "data/synthesizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace fallsense {
+namespace {
+
+TEST(EdgeCasesTest, FallEntirelyInsideTruncationYieldsNoPositives) {
+    // Hand-built trial whose falling phase is shorter than the 150 ms
+    // truncation: every falling sample is withheld, so the trial must
+    // contribute only negatives (and none that reach past usable_end).
+    data::trial t;
+    t.subject_id = 1;
+    t.task_id = 30;
+    t.samples.resize(300);
+    for (auto& s : t.samples) s.accel = {0.0f, 0.0f, 1.0f};
+    t.fall = data::fall_annotation{200, 210};  // 100 ms falling < 150 ms truncation
+
+    core::windowing_config wc = core::standard_windowing(400.0);
+    const auto windows = core::extract_windows(t, wc);
+    for (const auto& w : windows) EXPECT_FLOAT_EQ(w.label, 0.0f);
+}
+
+TEST(EdgeCasesTest, TrialShorterThanWindowYieldsNothing) {
+    data::trial t;
+    t.subject_id = 1;
+    t.task_id = 1;
+    t.samples.resize(30);  // 300 ms < 400 ms window
+    for (auto& s : t.samples) s.accel = {0.0f, 0.0f, 1.0f};
+    const auto windows = core::extract_windows(t, core::standard_windowing(400.0));
+    EXPECT_TRUE(windows.empty());
+}
+
+TEST(EdgeCasesTest, DetectorSilentOnStreamShorterThanWindow) {
+    core::detector_config dc;
+    dc.window_samples = 40;
+    core::streaming_detector det(dc, [](std::span<const float>) { return 1.0f; });
+    data::raw_sample s;
+    s.accel = {0.0f, 0.0f, 1.0f};
+    for (int i = 0; i < 39; ++i) {
+        EXPECT_FALSE(det.push(s).has_value());
+    }
+    EXPECT_TRUE(std::isnan(det.last_score()));
+}
+
+TEST(EdgeCasesTest, TrainerHandlesBatchLargerThanDataset) {
+    util::rng gen(1);
+    nn::labeled_data data;
+    data.features = nn::tensor({10, 4});
+    for (float& v : data.features.values()) v = static_cast<float>(gen.normal());
+    for (int i = 0; i < 10; ++i) data.labels.push_back(i % 2 ? 1.0f : 0.0f);
+
+    core::built_model bm = core::build_model(core::model_kind::mlp, 1, 2);
+    // MLP expects [batch, window, 9]; build a matching toy instead.
+    nn::labeled_data toy;
+    toy.features = nn::tensor({10, 1, 9});
+    for (float& v : toy.features.values()) v = static_cast<float>(gen.normal());
+    toy.labels = data.labels;
+
+    nn::train_config tc;
+    tc.max_epochs = 2;
+    tc.batch_size = 64;  // > 10 samples
+    tc.early_stop_patience = 0;
+    EXPECT_NO_THROW(nn::fit(*bm.network, toy, {}, tc));
+}
+
+TEST(EdgeCasesTest, AllNegativeTrainingStillRuns) {
+    // Datasets without a single fall (ADL-only deployments) must train
+    // without class-weight or bias-init crashes.
+    util::rng gen(3);
+    nn::labeled_data toy;
+    toy.features = nn::tensor({20, 1, 9});
+    for (float& v : toy.features.values()) v = static_cast<float>(gen.normal());
+    toy.labels.assign(20, 0.0f);
+    core::built_model bm = core::build_model(core::model_kind::mlp, 1, 4);
+    nn::train_config tc;
+    tc.max_epochs = 2;
+    tc.early_stop_patience = 0;
+    const nn::train_history h = nn::fit(*bm.network, toy, {}, tc);
+    EXPECT_DOUBLE_EQ(h.weight_positive, 1.0);  // degenerate class weights
+    EXPECT_DOUBLE_EQ(h.weight_negative, 1.0);
+}
+
+TEST(EdgeCasesTest, WindowEqualsTrialLengthExactly) {
+    data::trial t;
+    t.subject_id = 1;
+    t.task_id = 1;
+    t.samples.resize(40);
+    for (auto& s : t.samples) s.accel = {0.0f, 0.0f, 1.0f};
+    const auto windows = core::extract_windows(t, core::standard_windowing(400.0));
+    EXPECT_EQ(windows.size(), 1u);
+}
+
+TEST(EdgeCasesTest, FallAnnotationAtVeryStartHandled) {
+    // Onset at sample 0 (recording started mid-fall): windowing must not
+    // underflow and the trial still yields (possibly zero) valid windows.
+    data::trial t;
+    t.subject_id = 1;
+    t.task_id = 30;
+    t.samples.resize(200);
+    for (auto& s : t.samples) s.accel = {0.0f, 0.0f, 0.3f};
+    t.fall = data::fall_annotation{0, 80};
+    const auto windows = core::extract_windows(t, core::standard_windowing(400.0));
+    for (const auto& w : windows) {
+        EXPECT_EQ(w.features.size(), 40u * 9u);
+    }
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,169 @@
+// End-to-end integration: synthesize data -> align/merge -> train the
+// proposed CNN subject-independently -> quantize -> deploy on the MCU model
+// -> drive the streaming detector + airbag on held-out trials.  This is the
+// full Figure 2 pipeline in one test, at tiny scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/airbag.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "eval/events.hpp"
+#include "eval/roc.hpp"
+#include "mcu/cost_model.hpp"
+#include "mcu/memory_planner.hpp"
+#include "quant/quantized_cnn.hpp"
+
+namespace fallsense {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        scale_ = core::scale_preset(util::run_scale::tiny);
+        scale_->max_epochs = 6;
+        scale_->early_stop_patience = 3;
+        merged_ = core::make_merged_dataset(*scale_, 42);
+
+        eval::kfold_config kf;
+        kf.folds = scale_->folds;
+        kf.validation_subjects = scale_->validation_subjects;
+        splits_ = eval::make_subject_folds(merged_->subject_ids(), kf);
+
+        windows_ = core::standard_windowing(200.0);
+
+        // Train the proposed CNN on fold 0.
+        const std::size_t window_samples = windows_->segmentation.window_samples;
+        std::vector<data::trial> train_trials;
+        for (const data::trial& t : merged_->trials) {
+            const auto& train = (*splits_)[0].train_subjects;
+            if (std::find(train.begin(), train.end(), t.subject_id) != train.end()) {
+                train_trials.push_back(t);
+            }
+        }
+        util::rng aug_gen(1);
+        augment::augment_fall_trials(train_trials, 1, augment::trial_augment_config{},
+                                     aug_gen);
+        const auto train_w = core::extract_windows(train_trials, *windows_);
+        const auto val_w =
+            core::extract_windows(merged_->trials, *windows_, &(*splits_)[0].validation_subjects);
+        nn::labeled_data train = core::to_labeled_data(train_w, window_samples);
+        nn::labeled_data val = core::to_labeled_data(val_w, window_samples);
+
+        cnn_ = core::build_fallsense_cnn(window_samples, 7);
+        nn::train_config tc;
+        tc.max_epochs = scale_->max_epochs;
+        tc.early_stop_patience = scale_->early_stop_patience;
+        nn::fit(*cnn_, train, val, tc);
+
+        // Quantize with training windows as calibration data.
+        spec_ = quant::extract_cnn_spec(*cnn_, window_samples);
+        qmodel_.emplace(*spec_, train.features);
+    }
+
+    static void TearDownTestSuite() {
+        qmodel_.reset();
+        spec_.reset();
+        cnn_.reset();
+        splits_.reset();
+        merged_.reset();
+        scale_.reset();
+    }
+
+    static std::optional<core::experiment_scale> scale_;
+    static std::optional<data::dataset> merged_;
+    static std::optional<std::vector<eval::fold_split>> splits_;
+    static std::optional<core::windowing_config> windows_;
+    static std::unique_ptr<nn::multi_branch_network> cnn_;
+    static std::optional<quant::cnn_spec> spec_;
+    static std::optional<quant::quantized_cnn> qmodel_;
+};
+
+std::optional<core::experiment_scale> EndToEndTest::scale_;
+std::optional<data::dataset> EndToEndTest::merged_;
+std::optional<std::vector<eval::fold_split>> EndToEndTest::splits_;
+std::optional<core::windowing_config> EndToEndTest::windows_;
+std::unique_ptr<nn::multi_branch_network> EndToEndTest::cnn_;
+std::optional<quant::cnn_spec> EndToEndTest::spec_;
+std::optional<quant::quantized_cnn> EndToEndTest::qmodel_;
+
+TEST_F(EndToEndTest, TrainedCnnBeatsChanceOnHeldOutSubjects) {
+    const auto test_w =
+        core::extract_windows(merged_->trials, *windows_, &(*splits_)[0].test_subjects);
+    ASSERT_FALSE(test_w.empty());
+    nn::labeled_data test =
+        core::to_labeled_data(test_w, windows_->segmentation.window_samples);
+    const std::vector<float> probs = nn::predict_proba(*cnn_, test.features);
+    const eval::classification_report report = eval::evaluate(probs, test.labels);
+    // Tiny scale trains on 3 subjects for a few epochs: the bar here is
+    // discriminative power, not polished accuracy (quick/full cover that).
+    EXPECT_GT(report.accuracy, 0.8);
+    EXPECT_GT(report.recall, 0.6);  // macro recall well above the 0.5 floor
+    EXPECT_GT(eval::roc_auc(probs, test.labels), 0.85);
+}
+
+TEST_F(EndToEndTest, QuantizedModelTracksFloatModel) {
+    const auto test_w =
+        core::extract_windows(merged_->trials, *windows_, &(*splits_)[0].test_subjects);
+    const std::size_t seg = windows_->segmentation.window_samples * 9;
+    std::size_t agree = 0, total = 0;
+    for (const auto& w : test_w) {
+        const bool fd = spec_->forward_logit(w.features) >= 0.0f;
+        const bool qd = qmodel_->predict_logit(w.features) >= 0.0f;
+        agree += (fd == qd) ? 1 : 0;
+        ++total;
+        ASSERT_EQ(w.features.size(), seg);
+    }
+    EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.97);
+}
+
+TEST_F(EndToEndTest, DeploymentFitsAndRunsInBudget) {
+    const mcu::deployment_plan plan = mcu::plan_deployment(*qmodel_, mcu::stm32f722());
+    EXPECT_TRUE(plan.fits_flash);
+    EXPECT_TRUE(plan.fits_ram);
+    const mcu::latency_estimate inference =
+        mcu::estimate_inference(*qmodel_, mcu::stm32f722());
+    const mcu::latency_estimate fusion =
+        mcu::estimate_fusion(windows_->segmentation.window_samples, mcu::stm32f722());
+    // Total pipeline latency must leave the airbag its 150 ms.
+    EXPECT_LT(inference.milliseconds + fusion.milliseconds, 20.0);
+}
+
+TEST_F(EndToEndTest, StreamingDetectorProtectsMostHeldOutFalls) {
+    core::detector_config dc;
+    dc.window_samples = windows_->segmentation.window_samples;
+    dc.overlap_fraction = 0.75;  // denser scoring when streaming
+    dc.threshold = 0.5;
+    const core::segment_scorer scorer = [&](std::span<const float> window) {
+        return qmodel_->predict_proba(window);
+    };
+
+    std::size_t falls = 0, protected_count = 0, detected = 0;
+    for (const data::trial& t : merged_->trials) {
+        const auto& test = (*splits_)[0].test_subjects;
+        if (std::find(test.begin(), test.end(), t.subject_id) == test.end()) continue;
+        if (!t.is_fall_trial()) continue;
+        ++falls;
+        const core::protection_outcome outcome = core::evaluate_protection(t, dc, scorer);
+        detected += outcome.detected ? 1 : 0;
+        protected_count += outcome.protected_in_time ? 1 : 0;
+    }
+    ASSERT_GT(falls, 0u);
+    // At tiny training scale we only require better-than-half detection.
+    EXPECT_GT(static_cast<double>(detected) / static_cast<double>(falls), 0.5);
+    EXPECT_GE(detected, protected_count);
+}
+
+TEST_F(EndToEndTest, SubjectIndependenceHolds) {
+    // No test subject may appear in train or validation.
+    const auto& s = (*splits_)[0];
+    for (const int id : s.test_subjects) {
+        EXPECT_EQ(std::count(s.train_subjects.begin(), s.train_subjects.end(), id), 0);
+        EXPECT_EQ(std::count(s.validation_subjects.begin(), s.validation_subjects.end(), id),
+                  0);
+    }
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,105 @@
+// Consistency between the two inference paths: the batch windowing pipeline
+// (core::extract_windows over a recorded trial) and the streaming detector
+// (tick-by-tick, as on the device) must feed the classifier essentially the
+// same windows.  Divergence here would mean offline evaluation results do
+// not transfer to the deployed firmware.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "core/windowing.hpp"
+#include "data/synthesizer.hpp"
+
+namespace fallsense {
+namespace {
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 2.0;
+    tuning.locomotion_s = 2.5;
+    tuning.post_fall_hold_s = 1.0;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+/// A deterministic scorer keyed on window content (mean of all features):
+/// any window mismatch between the two paths shows up as a score mismatch.
+float content_hash_scorer(std::span<const float> w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        acc += w[i] * (0.3 + 0.7 * static_cast<double>(i % 13) / 13.0);
+    }
+    return static_cast<float>(std::tanh(acc / static_cast<double>(w.size())) * 0.5 + 0.5);
+}
+
+TEST(StreamingVsBatchTest, ScoresAgreeOnSharedWindows) {
+    for (const int task : {6, 30}) {
+        const data::trial t = make_trial(task, 11 + static_cast<std::uint64_t>(task));
+
+        // Batch path.
+        core::windowing_config wc;
+        wc.segmentation = dsp::make_segmentation(200.0, 0.5, 100.0);
+        const auto batch_windows = core::extract_windows(t, wc);
+        std::vector<float> batch_scores;
+        for (const auto& w : batch_windows) batch_scores.push_back(content_hash_scorer(w.features));
+
+        // Streaming path: collect the score emitted at each scoring tick.
+        core::detector_config dc;
+        dc.window_samples = wc.segmentation.window_samples;
+        dc.overlap_fraction = wc.segmentation.overlap_fraction;
+        dc.threshold = 1.0;  // never fires; we only want last_score()
+        core::streaming_detector det(dc, content_hash_scorer);
+        std::vector<float> stream_scores;
+        float prev = std::numeric_limits<float>::quiet_NaN();
+        for (std::size_t i = 0; i < t.sample_count(); ++i) {
+            det.push(t.samples[i]);
+            const float s = det.last_score();
+            if (!std::isnan(s) && (std::isnan(prev) || s != prev)) {
+                // A new score appears every hop; record transitions.
+            }
+            prev = s;
+            if (!std::isnan(s) &&
+                (i + 1 >= dc.window_samples) &&
+                ((i + 1 - dc.window_samples) % wc.segmentation.hop_samples() == 0)) {
+                stream_scores.push_back(s);
+            }
+        }
+
+        // Fall trials drop truncated windows from the batch path, so compare
+        // the common prefix.
+        const std::size_t n = std::min(batch_scores.size(), stream_scores.size());
+        ASSERT_GT(n, 3u) << "task " << task;
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_NEAR(batch_scores[k], stream_scores[k], 0.02)
+                << "task " << task << " window " << k;
+        }
+    }
+}
+
+TEST(StreamingVsBatchTest, WindowCountsMatchOnAdlTrials) {
+    const data::trial t = make_trial(6, 42);
+    core::windowing_config wc;
+    wc.segmentation = dsp::make_segmentation(300.0, 0.5, 100.0);
+    const auto batch_windows = core::extract_windows(t, wc);
+
+    core::detector_config dc;
+    dc.window_samples = wc.segmentation.window_samples;
+    dc.overlap_fraction = 0.5;
+    dc.threshold = 1.0;
+    core::streaming_detector det(dc, [](std::span<const float>) { return 0.5f; });
+    std::size_t scored = 0;
+    for (std::size_t i = 0; i < t.sample_count(); ++i) {
+        det.push(t.samples[i]);
+        if ((i + 1 >= dc.window_samples) &&
+            ((i + 1 - dc.window_samples) % wc.segmentation.hop_samples() == 0)) {
+            ++scored;
+        }
+    }
+    EXPECT_EQ(scored, batch_windows.size());
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,88 @@
+#include "mcu/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "quant/cnn_spec.hpp"
+
+namespace fallsense::mcu {
+namespace {
+
+quant::quantized_cnn make_model(std::size_t window, std::uint64_t seed) {
+    auto net = core::build_fallsense_cnn(window, seed);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
+    util::rng gen(seed + 1);
+    nn::tensor calibration({32, window, 9});
+    for (float& v : calibration.values()) v = static_cast<float>(gen.normal());
+    return quant::quantized_cnn(spec, calibration);
+}
+
+TEST(CostModelTest, InferenceLatencyInPaperEnvelope) {
+    // The paper's 400 ms model runs in 4 ms +- 3 ms on the STM32F722.
+    const quant::quantized_cnn model = make_model(40, 1);
+    const latency_estimate est = estimate_inference(model, stm32f722());
+    EXPECT_GT(est.milliseconds, 1.0);
+    EXPECT_LT(est.milliseconds, 7.0);
+}
+
+TEST(CostModelTest, FusionLatencyNearPaperValue) {
+    // Sensor fusion for a 40-sample window: paper reports ~3 ms.
+    const latency_estimate est = estimate_fusion(40, stm32f722());
+    EXPECT_GT(est.milliseconds, 2.0);
+    EXPECT_LT(est.milliseconds, 4.0);
+}
+
+TEST(CostModelTest, LatencyScalesWithWindow) {
+    const quant::quantized_cnn small = make_model(20, 2);
+    const quant::quantized_cnn large = make_model(40, 2);
+    const double t_small = estimate_inference(small, stm32f722()).milliseconds;
+    const double t_large = estimate_inference(large, stm32f722()).milliseconds;
+    EXPECT_GT(t_large, t_small);
+}
+
+TEST(CostModelTest, LatencyScalesInverselyWithClock) {
+    const quant::quantized_cnn model = make_model(40, 3);
+    device_spec slow = stm32f722();
+    slow.clock_hz /= 2.0;
+    const double t_fast = estimate_inference(model, stm32f722()).milliseconds;
+    const double t_slow = estimate_inference(model, slow).milliseconds;
+    EXPECT_NEAR(t_slow, 2.0 * t_fast, 1e-9);
+}
+
+TEST(CostModelTest, FusionScalesWithSamples) {
+    const double t20 = estimate_fusion(20, stm32f722()).milliseconds;
+    const double t40 = estimate_fusion(40, stm32f722()).milliseconds;
+    EXPECT_NEAR(t40, 2.0 * t20, 1e-9);
+    EXPECT_THROW(estimate_fusion(0, stm32f722()), std::invalid_argument);
+}
+
+TEST(CostModelTest, JitterSimulationStatsSane) {
+    const quant::quantized_cnn model = make_model(40, 4);
+    util::rng gen(42);
+    const latency_stats stats = simulate_latency(model, stm32f722(), 2000, gen);
+    EXPECT_EQ(stats.samples, 2000u);
+    const double base = estimate_inference(model, stm32f722()).milliseconds;
+    EXPECT_GT(stats.mean_ms, base * 0.8);   // jitter only adds on average
+    EXPECT_GT(stats.stddev_ms, 0.3);        // visible spread ...
+    EXPECT_LT(stats.stddev_ms, 4.0);        // ... but bounded
+    EXPECT_LE(stats.min_ms, stats.mean_ms);
+    EXPECT_GE(stats.max_ms, stats.mean_ms);
+}
+
+TEST(CostModelTest, JitterDeterministicPerSeed) {
+    const quant::quantized_cnn model = make_model(20, 5);
+    util::rng g1(7), g2(7);
+    const latency_stats a = simulate_latency(model, stm32f722(), 100, g1);
+    const latency_stats b = simulate_latency(model, stm32f722(), 100, g2);
+    EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+    EXPECT_DOUBLE_EQ(a.max_ms, b.max_ms);
+}
+
+TEST(CostModelTest, ValidatesIterationCount) {
+    const quant::quantized_cnn model = make_model(20, 6);
+    util::rng gen(1);
+    EXPECT_THROW(simulate_latency(model, stm32f722(), 0, gen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::mcu

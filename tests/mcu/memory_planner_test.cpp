@@ -1,0 +1,88 @@
+#include "mcu/memory_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "quant/cnn_spec.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::mcu {
+namespace {
+
+quant::quantized_cnn make_model(std::size_t window, std::uint64_t seed) {
+    auto net = core::build_fallsense_cnn(window, seed);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
+    util::rng gen(seed + 1);
+    nn::tensor calibration({32, window, 9});
+    for (float& v : calibration.values()) v = static_cast<float>(gen.normal());
+    return quant::quantized_cnn(spec, calibration);
+}
+
+TEST(MemoryPlannerTest, FlashNearPaperFigure) {
+    // Paper: 67.03 KiB model flash for the 400 ms configuration.
+    const quant::quantized_cnn model = make_model(40, 1);
+    const flash_report flash = plan_flash(model);
+    EXPECT_GT(flash.total_kib(), 55.0);
+    EXPECT_LT(flash.total_kib(), 80.0);
+}
+
+TEST(MemoryPlannerTest, RamNearPaperFigure) {
+    // Paper: 16.87 KiB total RAM.
+    const quant::quantized_cnn model = make_model(40, 2);
+    const ram_report ram = plan_ram(model);
+    EXPECT_GT(ram.total_kib(), 12.0);
+    EXPECT_LT(ram.total_kib(), 22.0);
+}
+
+TEST(MemoryPlannerTest, TotalsAreComponentSums) {
+    const quant::quantized_cnn model = make_model(40, 3);
+    const flash_report flash = plan_flash(model);
+    EXPECT_EQ(flash.total_bytes,
+              flash.weight_bytes + flash.bias_bytes + flash.metadata_bytes);
+    const ram_report ram = plan_ram(model);
+    EXPECT_EQ(ram.total_bytes, ram.activation_arena_bytes + ram.input_staging_bytes +
+                                   ram.runtime_bytes);
+}
+
+TEST(MemoryPlannerTest, DeploymentFitsStm32F722) {
+    const quant::quantized_cnn model = make_model(40, 4);
+    const deployment_plan plan = plan_deployment(model, stm32f722());
+    EXPECT_TRUE(plan.fits_flash);
+    EXPECT_TRUE(plan.fits_ram);
+}
+
+TEST(MemoryPlannerTest, OverBudgetDetected) {
+    const quant::quantized_cnn model = make_model(40, 5);
+    device_spec tiny_device = stm32f722();
+    tiny_device.flash_budget_bytes = 1024;
+    tiny_device.ram_budget_bytes = 1024;
+    const deployment_plan plan = plan_deployment(model, tiny_device);
+    EXPECT_FALSE(plan.fits_flash);
+    EXPECT_FALSE(plan.fits_ram);
+    EXPECT_NE(plan.summary().find("OVER BUDGET"), std::string::npos);
+}
+
+TEST(MemoryPlannerTest, SmallerWindowSmallerFootprint) {
+    const quant::quantized_cnn small = make_model(20, 6);
+    const quant::quantized_cnn large = make_model(40, 6);
+    EXPECT_LT(plan_flash(small).total_bytes, plan_flash(large).total_bytes);
+    EXPECT_LT(plan_ram(small).total_bytes, plan_ram(large).total_bytes);
+}
+
+TEST(MemoryPlannerTest, SummaryMentionsBothBudgets) {
+    const quant::quantized_cnn model = make_model(40, 7);
+    const deployment_plan plan = plan_deployment(model, stm32f722());
+    const std::string s = plan.summary();
+    EXPECT_NE(s.find("flash:"), std::string::npos);
+    EXPECT_NE(s.find("ram:"), std::string::npos);
+    EXPECT_NE(s.find("[fits]"), std::string::npos);
+}
+
+TEST(MemoryPlannerTest, TensorCountMatchesTopology) {
+    const quant::quantized_cnn model = make_model(40, 8);
+    // 1 input + 3 branches * 4 + 3 dense * 3 = 22.
+    EXPECT_EQ(deployed_tensor_count(model), 22u);
+}
+
+}  // namespace
+}  // namespace fallsense::mcu

@@ -1,0 +1,81 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fallsense::nn {
+namespace {
+
+TEST(SigmoidScalarTest, KnownValues) {
+    EXPECT_FLOAT_EQ(sigmoid_scalar(0.0f), 0.5f);
+    EXPECT_NEAR(sigmoid_scalar(2.0f), 1.0f / (1.0f + std::exp(-2.0f)), 1e-7);
+}
+
+TEST(SigmoidScalarTest, StableAtExtremes) {
+    EXPECT_NEAR(sigmoid_scalar(100.0f), 1.0f, 1e-7);
+    EXPECT_NEAR(sigmoid_scalar(-100.0f), 0.0f, 1e-7);
+    EXPECT_FALSE(std::isnan(sigmoid_scalar(1000.0f)));
+    EXPECT_FALSE(std::isnan(sigmoid_scalar(-1000.0f)));
+}
+
+TEST(SigmoidScalarTest, Symmetry) {
+    for (const float x : {0.5f, 1.5f, 3.0f}) {
+        EXPECT_NEAR(sigmoid_scalar(x) + sigmoid_scalar(-x), 1.0f, 1e-6);
+    }
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+    relu layer;
+    const tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+    EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+    relu layer;
+    const tensor x({1, 3}, {-1.0f, 1.0f, 2.0f});
+    layer.forward(x, true);
+    const tensor gy({1, 3}, {5.0f, 5.0f, 5.0f});
+    const tensor gx = layer.backward(gy);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 5.0f);
+    EXPECT_FLOAT_EQ(gx[2], 5.0f);
+}
+
+TEST(ReluTest, ZeroInputHasZeroGradient) {
+    relu layer;
+    const tensor x({1, 1}, {0.0f});
+    layer.forward(x, true);
+    const tensor gx = layer.backward(tensor({1, 1}, {1.0f}));
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(SigmoidLayerTest, ForwardMatchesScalar) {
+    sigmoid layer;
+    const tensor x({1, 2}, {0.0f, 1.0f});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 0.5f);
+    EXPECT_FLOAT_EQ(y[1], sigmoid_scalar(1.0f));
+}
+
+TEST(SigmoidLayerTest, BackwardUsesDerivative) {
+    sigmoid layer;
+    const tensor x({1, 1}, {0.0f});
+    layer.forward(x, true);
+    const tensor gx = layer.backward(tensor({1, 1}, {1.0f}));
+    EXPECT_NEAR(gx[0], 0.25f, 1e-6);  // sigma'(0) = 0.25
+}
+
+TEST(ActivationLayersTest, ShapePreserved) {
+    relu r;
+    sigmoid s;
+    EXPECT_EQ(r.output_shape({5, 7}), (shape_t{5, 7}));
+    EXPECT_EQ(s.output_shape({5, 7}), (shape_t{5, 7}));
+}
+
+}  // namespace
+}  // namespace fallsense::nn

@@ -1,0 +1,95 @@
+#include "nn/conv1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(Conv1dTest, ValidConvolutionShape) {
+    util::rng gen(1);
+    conv1d layer(3, 16, 3, gen);
+    const tensor x({2, 20, 3});
+    const tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (shape_t{2, 18, 16}));
+}
+
+TEST(Conv1dTest, IdentityKernelPassesThrough) {
+    util::rng gen(2);
+    conv1d layer(1, 1, 1, gen);
+    layer.weight().value = tensor({1, 1, 1}, {1.0f});
+    layer.bias().value = tensor({1}, {0.0f});
+    const tensor x({1, 4, 1}, {1, 2, 3, 4});
+    const tensor y = layer.forward(x, false);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv1dTest, KnownMovingSum) {
+    util::rng gen(3);
+    conv1d layer(1, 1, 2, gen);
+    layer.weight().value = tensor({2, 1, 1}, {1.0f, 1.0f});
+    layer.bias().value = tensor({1}, {0.5f});
+    const tensor x({1, 4, 1}, {1, 2, 3, 4});
+    const tensor y = layer.forward(x, false);
+    ASSERT_EQ(y.shape(), (shape_t{1, 3, 1}));
+    EXPECT_FLOAT_EQ(y[0], 3.5f);
+    EXPECT_FLOAT_EQ(y[1], 5.5f);
+    EXPECT_FLOAT_EQ(y[2], 7.5f);
+}
+
+TEST(Conv1dTest, MultiChannelMixing) {
+    util::rng gen(4);
+    conv1d layer(2, 1, 1, gen);
+    layer.weight().value = tensor({1, 2, 1}, {2.0f, 3.0f});
+    layer.bias().value = tensor({1}, {0.0f});
+    const tensor x({1, 2, 2}, {1, 10, 2, 20});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 2 * 1 + 3 * 10);
+    EXPECT_FLOAT_EQ(y[1], 2 * 2 + 3 * 20);
+}
+
+TEST(Conv1dTest, BackwardInputGradientForIdentity) {
+    util::rng gen(5);
+    conv1d layer(1, 1, 1, gen);
+    layer.weight().value = tensor({1, 1, 1}, {2.0f});
+    const tensor x({1, 3, 1}, {1, 2, 3});
+    layer.forward(x, true);
+    const tensor gy({1, 3, 1}, {1, 1, 1});
+    const tensor gx = layer.backward(gy);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+    EXPECT_FLOAT_EQ(layer.weight().grad[0], 6.0f);  // sum of x
+    EXPECT_FLOAT_EQ(layer.bias().grad[0], 3.0f);
+}
+
+TEST(Conv1dTest, BackwardOverlappingKernelAccumulates) {
+    util::rng gen(6);
+    conv1d layer(1, 1, 2, gen);
+    layer.weight().value = tensor({2, 1, 1}, {1.0f, 1.0f});
+    const tensor x({1, 3, 1}, {1, 2, 3});
+    layer.forward(x, true);
+    const tensor gy({1, 2, 1}, {1.0f, 1.0f});
+    const tensor gx = layer.backward(gy);
+    // Middle sample contributes to both output positions.
+    EXPECT_FLOAT_EQ(gx[0], 1.0f);
+    EXPECT_FLOAT_EQ(gx[1], 2.0f);
+    EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(Conv1dTest, RejectsBadInputs) {
+    util::rng gen(7);
+    conv1d layer(3, 4, 3, gen);
+    EXPECT_THROW(layer.forward(tensor({1, 20, 2}), false), std::invalid_argument);
+    EXPECT_THROW(layer.forward(tensor({1, 2, 3}), false), std::invalid_argument);  // t < k
+    EXPECT_THROW(layer.forward(tensor({20, 3}), false), std::invalid_argument);
+}
+
+TEST(Conv1dTest, OutputShapeHelper) {
+    util::rng gen(8);
+    conv1d layer(3, 16, 3, gen);
+    EXPECT_EQ(layer.output_shape({40, 3}), (shape_t{38, 16}));
+    EXPECT_THROW(layer.output_shape({40, 4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

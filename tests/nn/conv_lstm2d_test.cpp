@@ -1,0 +1,106 @@
+#include "nn/conv_lstm2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(Conv2dSameTest, IdentityKernelCenterTap) {
+    // 3x3 kernel with only the center tap set: output == input.
+    tensor x({1, 3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    tensor w({3, 3, 1, 1});
+    w.at({1, 1, 0, 0}) = 1.0f;
+    tensor y({1, 3, 3, 1});
+    conv2d_same_accumulate(x, w, y);
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dSameTest, BorderPaddingIsZero) {
+    // All-ones 3x3 kernel on an all-ones 3x3 image: corner sums 4,
+    // edge sums 6, center sums 9.
+    tensor x = tensor::full({1, 3, 3, 1}, 1.0f);
+    tensor w = tensor::full({3, 3, 1, 1}, 1.0f);
+    tensor y({1, 3, 3, 1});
+    conv2d_same_accumulate(x, w, y);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 4.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1, 0}), 6.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 1, 1, 0}), 9.0f);
+}
+
+TEST(Conv2dSameTest, AccumulatesIntoOutput) {
+    tensor x = tensor::full({1, 2, 2, 1}, 1.0f);
+    tensor w({1, 1, 1, 1}, {2.0f});
+    tensor y = tensor::full({1, 2, 2, 1}, 10.0f);
+    conv2d_same_accumulate(x, w, y);
+    EXPECT_FLOAT_EQ(y[0], 12.0f);
+}
+
+TEST(ConvLstm2dTest, OutputShape) {
+    util::rng gen(1);
+    conv_lstm2d layer(1, 8, 3, gen);
+    const tensor x({2, 10, 3, 3, 1});
+    const tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (shape_t{2, 3, 3, 8}));
+}
+
+TEST(ConvLstm2dTest, HiddenBounded) {
+    util::rng gen(2);
+    conv_lstm2d layer(1, 4, 3, gen);
+    tensor x({1, 12, 3, 3, 1});
+    for (float& v : x.values()) v = static_cast<float>(gen.normal(0.0, 2.0));
+    const tensor y = layer.forward(x, false);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_LT(std::abs(y[i]), 1.0f);
+}
+
+TEST(ConvLstm2dTest, Deterministic) {
+    util::rng gen(3);
+    conv_lstm2d layer(1, 3, 3, gen);
+    tensor x({1, 6, 3, 3, 1});
+    util::rng dg(7);
+    for (float& v : x.values()) v = static_cast<float>(dg.normal());
+    const tensor y1 = layer.forward(x, false);
+    const tensor y2 = layer.forward(x, false);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(ConvLstm2dTest, TemporalSensitivity) {
+    util::rng gen(4);
+    conv_lstm2d layer(1, 3, 3, gen);
+    tensor early({1, 4, 3, 3, 1});
+    tensor late({1, 4, 3, 3, 1});
+    // Same total energy, different temporal placement.
+    for (std::size_t i = 0; i < 9; ++i) {
+        early.at({0, 0, i / 3, i % 3, 0}) = 1.0f;
+        late.at({0, 3, i / 3, i % 3, 0}) = 1.0f;
+    }
+    const tensor y1 = layer.forward(early, false);
+    const tensor y2 = layer.forward(late, false);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < y1.size(); ++i) diff += std::abs(y1[i] - y2[i]);
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(ConvLstm2dTest, Validation) {
+    util::rng gen(5);
+    conv_lstm2d layer(1, 4, 3, gen);
+    EXPECT_THROW(layer.forward(tensor({1, 5, 3, 3, 2}), false), std::invalid_argument);
+    EXPECT_THROW(layer.forward(tensor({5, 3, 3, 1}), false), std::invalid_argument);
+    EXPECT_EQ(layer.output_shape({10, 3, 3, 1}), (shape_t{3, 3, 4}));
+}
+
+TEST(ConvLstm2dTest, ParameterShapes) {
+    util::rng gen(6);
+    conv_lstm2d layer(2, 4, 3, gen);
+    const auto params = layer.parameters();
+    ASSERT_EQ(params.size(), 3u);
+    EXPECT_EQ(params[0]->value.shape(), (shape_t{3, 3, 2, 16}));
+    EXPECT_EQ(params[1]->value.shape(), (shape_t{3, 3, 4, 16}));
+    EXPECT_EQ(params[2]->value.shape(), (shape_t{16}));
+}
+
+}  // namespace
+}  // namespace fallsense::nn

@@ -1,0 +1,101 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+    util::rng gen(1);
+    dense layer(2, 3, gen);
+    // Overwrite weights with a known matrix.
+    layer.weight().value = tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+    layer.bias().value = tensor({3}, {0.5f, -0.5f, 1.0f});
+    const tensor x({1, 2}, {1.0f, 2.0f});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at({0, 0}), 1 * 1 + 2 * 4 + 0.5f);
+    EXPECT_FLOAT_EQ(y.at({0, 1}), 1 * 2 + 2 * 5 - 0.5f);
+    EXPECT_FLOAT_EQ(y.at({0, 2}), 1 * 3 + 2 * 6 + 1.0f);
+}
+
+TEST(DenseTest, ForwardHandlesBatches) {
+    util::rng gen(2);
+    dense layer(2, 1, gen);
+    layer.weight().value = tensor({2, 1}, {1.0f, 1.0f});
+    layer.bias().value = tensor({1}, {0.0f});
+    const tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 7.0f);
+    EXPECT_FLOAT_EQ(y[2], 11.0f);
+}
+
+TEST(DenseTest, BackwardGradientsMatchManualDerivation) {
+    util::rng gen(3);
+    dense layer(2, 2, gen);
+    layer.weight().value = tensor({2, 2}, {1, 2, 3, 4});
+    layer.bias().value = tensor({2}, {0.0f, 0.0f});
+    const tensor x({1, 2}, {5.0f, 7.0f});
+    layer.forward(x, true);
+    const tensor gy({1, 2}, {1.0f, 1.0f});
+    const tensor gx = layer.backward(gy);
+    // dL/dx_i = sum_o W[i][o] * gy[o]
+    EXPECT_FLOAT_EQ(gx.at({0, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(gx.at({0, 1}), 7.0f);
+    // dL/dW[i][o] = x[i] * gy[o]
+    EXPECT_FLOAT_EQ(layer.weight().grad.at({0, 0}), 5.0f);
+    EXPECT_FLOAT_EQ(layer.weight().grad.at({1, 1}), 7.0f);
+    // dL/db[o] = gy[o]
+    EXPECT_FLOAT_EQ(layer.bias().grad[0], 1.0f);
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossCalls) {
+    util::rng gen(4);
+    dense layer(1, 1, gen);
+    layer.weight().value = tensor({1, 1}, {2.0f});
+    const tensor x({1, 1}, {3.0f});
+    const tensor gy({1, 1}, {1.0f});
+    layer.forward(x, true);
+    layer.backward(gy);
+    layer.forward(x, true);
+    layer.backward(gy);
+    EXPECT_FLOAT_EQ(layer.weight().grad[0], 6.0f);  // 3 + 3
+}
+
+TEST(DenseTest, ParametersExposed) {
+    util::rng gen(5);
+    dense layer(4, 8, gen, true, "mylayer");
+    const auto params = layer.parameters();
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0]->name, "mylayer.weight");
+    EXPECT_EQ(params[0]->value.shape(), (shape_t{4, 8}));
+    EXPECT_EQ(params[1]->value.shape(), (shape_t{8}));
+}
+
+TEST(DenseTest, InputValidation) {
+    util::rng gen(6);
+    dense layer(2, 2, gen);
+    EXPECT_THROW(layer.forward(tensor({1, 3}), false), std::invalid_argument);
+    EXPECT_THROW(layer.forward(tensor({4}), false), std::invalid_argument);
+    EXPECT_THROW(layer.backward(tensor({1, 2})), std::logic_error);  // no forward yet
+}
+
+TEST(DenseTest, OutputShape) {
+    util::rng gen(7);
+    dense layer(6, 3, gen);
+    EXPECT_EQ(layer.output_shape({6}), (shape_t{3}));
+    EXPECT_THROW(layer.output_shape({5}), std::invalid_argument);
+}
+
+TEST(DenseTest, InitializationIsSeedDeterministic) {
+    util::rng g1(9), g2(9);
+    dense a(8, 8, g1), b(8, 8, g2);
+    for (std::size_t i = 0; i < a.weight().value.size(); ++i) {
+        EXPECT_FLOAT_EQ(a.weight().value[i], b.weight().value[i]);
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::nn

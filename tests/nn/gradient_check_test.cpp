@@ -1,0 +1,166 @@
+// Finite-difference gradient verification for every trainable layer.
+//
+// For a random projection loss L = sum_i c_i * y_i the analytic backward
+// pass must match (L(θ+ε) - L(θ-ε)) / 2ε for every parameter and input
+// element.  This is the strongest correctness check we have for the BPTT
+// implementations (LSTM, ConvLSTM2D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/conv_lstm2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+/// Fixed random projection making the layer output a scalar loss.
+struct projection {
+    std::vector<float> coeffs;
+
+    explicit projection(std::size_t n, util::rng& gen) {
+        coeffs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            coeffs.push_back(static_cast<float>(gen.uniform(-1.0, 1.0)));
+        }
+    }
+    double loss(const tensor& y) const {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) acc += coeffs[i] * y[i];
+        return acc;
+    }
+    tensor grad(const shape_t& shape) const {
+        tensor g(shape);
+        for (std::size_t i = 0; i < g.size(); ++i) g[i] = coeffs[i];
+        return g;
+    }
+};
+
+void fill_random(tensor& t, util::rng& gen, double scale = 0.5) {
+    for (float& v : t.values()) v = static_cast<float>(gen.normal(0.0, scale));
+}
+
+/// Check analytic vs numeric gradients for a layer on a given input.
+void check_layer_gradients(layer& l, tensor input, double tolerance = 2e-2) {
+    util::rng gen(99);
+    const tensor y0 = l.forward(input, true);
+    projection proj(y0.size(), gen);
+
+    // Analytic gradients.
+    for (parameter* p : l.parameters()) p->zero_grad();
+    l.forward(input, true);
+    const tensor grad_input = l.backward(proj.grad(y0.shape()));
+
+    constexpr float eps = 1e-3f;
+    // Parameters: sample a subset of indices to keep runtime bounded.
+    for (parameter* p : l.parameters()) {
+        const std::size_t stride = std::max<std::size_t>(1, p->value.size() / 24);
+        for (std::size_t i = 0; i < p->value.size(); i += stride) {
+            const float saved = p->value[i];
+            p->value[i] = saved + eps;
+            const double lp = proj.loss(l.forward(input, true));
+            p->value[i] = saved - eps;
+            const double lm = proj.loss(l.forward(input, true));
+            p->value[i] = saved;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            const double analytic = p->grad[i];
+            const double denom = std::max({std::abs(numeric), std::abs(analytic), 1.0});
+            EXPECT_NEAR(analytic / denom, numeric / denom, tolerance)
+                << p->name << "[" << i << "]";
+        }
+    }
+    // Input gradient.
+    const std::size_t stride = std::max<std::size_t>(1, input.size() / 24);
+    for (std::size_t i = 0; i < input.size(); i += stride) {
+        const float saved = input[i];
+        input[i] = saved + eps;
+        const double lp = proj.loss(l.forward(input, true));
+        input[i] = saved - eps;
+        const double lm = proj.loss(l.forward(input, true));
+        input[i] = saved;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        const double analytic = grad_input[i];
+        const double denom = std::max({std::abs(numeric), std::abs(analytic), 1.0});
+        EXPECT_NEAR(analytic / denom, numeric / denom, tolerance) << "input[" << i << "]";
+    }
+}
+
+TEST(GradientCheck, Dense) {
+    util::rng gen(1);
+    dense layer(5, 4, gen);
+    tensor x({3, 5});
+    fill_random(x, gen);
+    check_layer_gradients(layer, std::move(x));
+}
+
+TEST(GradientCheck, Conv1d) {
+    util::rng gen(2);
+    conv1d layer(3, 4, 3, gen);
+    tensor x({2, 8, 3});
+    fill_random(x, gen);
+    check_layer_gradients(layer, std::move(x));
+}
+
+TEST(GradientCheck, Lstm) {
+    util::rng gen(3);
+    lstm layer(4, 5, gen);
+    tensor x({2, 6, 4});
+    fill_random(x, gen);
+    check_layer_gradients(layer, std::move(x));
+}
+
+TEST(GradientCheck, ConvLstm2d) {
+    util::rng gen(4);
+    conv_lstm2d layer(1, 3, 3, gen);
+    tensor x({2, 4, 3, 3, 1});
+    fill_random(x, gen);
+    check_layer_gradients(layer, std::move(x));
+}
+
+TEST(GradientCheck, SequentialComposition) {
+    // Dense -> ReLU -> Dense through the sequential container: the chain
+    // rule must compose.  ReLU kinks can break finite differences exactly at
+    // zero, so inputs are kept away from the kink.
+    util::rng gen(5);
+    sequential net;
+    net.emplace<dense>(4, 6, gen, true, "d0");
+    net.emplace<relu>();
+    net.emplace<dense>(6, 2, gen, false, "d1");
+
+    tensor x({2, 4});
+    for (float& v : x.values()) {
+        v = static_cast<float>(gen.uniform(0.3, 1.0)) *
+            (gen.bernoulli(0.5) ? 1.0f : -1.0f);
+    }
+
+    projection proj(4, gen);
+    const tensor y0 = net.forward(x, true);
+    for (parameter* p : net.parameters()) p->zero_grad();
+    net.forward(x, true);
+    net.backward(proj.grad(y0.shape()));
+
+    constexpr float eps = 1e-3f;
+    for (parameter* p : net.parameters()) {
+        const std::size_t stride = std::max<std::size_t>(1, p->value.size() / 12);
+        for (std::size_t i = 0; i < p->value.size(); i += stride) {
+            const float saved = p->value[i];
+            p->value[i] = saved + eps;
+            const double lp = proj.loss(net.forward(x, true));
+            p->value[i] = saved - eps;
+            const double lm = proj.loss(net.forward(x, true));
+            p->value[i] = saved;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(p->grad[i], numeric, 2e-2) << p->name << "[" << i << "]";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::nn

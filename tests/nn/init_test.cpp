@@ -1,0 +1,77 @@
+#include "nn/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fallsense::nn {
+namespace {
+
+TEST(InitTest, GlorotUniformRespectsLimit) {
+    util::rng gen(1);
+    tensor w({64, 32});
+    glorot_uniform(w, 64, 32, gen);
+    const double limit = std::sqrt(6.0 / (64.0 + 32.0));
+    for (const float v : w.values()) {
+        EXPECT_GE(v, -limit);
+        EXPECT_LE(v, limit);
+    }
+}
+
+TEST(InitTest, GlorotUniformSpreadIsUsed) {
+    util::rng gen(2);
+    tensor w({1000});
+    glorot_uniform(w, 500, 500, gen);
+    const double limit = std::sqrt(6.0 / 1000.0);
+    double max_abs = 0.0, sum = 0.0;
+    for (const float v : w.values()) {
+        max_abs = std::max(max_abs, std::abs(static_cast<double>(v)));
+        sum += v;
+    }
+    EXPECT_GT(max_abs, 0.7 * limit);            // fills the range
+    EXPECT_NEAR(sum / 1000.0, 0.0, limit / 5);  // centered
+}
+
+TEST(InitTest, HeNormalVarianceMatchesFanIn) {
+    util::rng gen(3);
+    tensor w({20000});
+    he_normal(w, 50, gen);
+    double sum = 0.0, sum_sq = 0.0;
+    for (const float v : w.values()) {
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+    }
+    const double var = sum_sq / 20000.0 - std::pow(sum / 20000.0, 2);
+    // Truncation at 2 sigma shrinks variance slightly below 2/fan_in.
+    EXPECT_NEAR(var, 2.0 / 50.0, 0.012);
+}
+
+TEST(InitTest, HeNormalTruncatesAtTwoSigma) {
+    util::rng gen(4);
+    tensor w({20000});
+    he_normal(w, 10, gen);
+    const double two_sigma = 2.0 * std::sqrt(2.0 / 10.0);
+    for (const float v : w.values()) {
+        EXPECT_LE(std::abs(static_cast<double>(v)), two_sigma + 1e-6);
+    }
+}
+
+TEST(InitTest, RecurrentNormalScale) {
+    util::rng gen(5);
+    tensor w({10000});
+    recurrent_normal(w, 25, gen);
+    double sum_sq = 0.0;
+    for (const float v : w.values()) sum_sq += static_cast<double>(v) * v;
+    EXPECT_NEAR(sum_sq / 10000.0, 1.0 / 25.0, 0.005);
+}
+
+TEST(InitTest, Validation) {
+    util::rng gen(6);
+    tensor w({4});
+    EXPECT_THROW(glorot_uniform(w, 0, 0, gen), std::invalid_argument);
+    EXPECT_THROW(he_normal(w, 0, gen), std::invalid_argument);
+    EXPECT_THROW(recurrent_normal(w, 0, gen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

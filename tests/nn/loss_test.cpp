@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(LossTest, MatchesNaiveBceAtModerateLogits) {
+    const tensor logits({3, 1}, {0.5f, -1.0f, 2.0f});
+    const std::vector<float> targets{1.0f, 0.0f, 1.0f};
+    const bce_result r = weighted_bce_with_logits(logits, targets, 1.0, 1.0);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double p = sigmoid_scalar(logits[i]);
+        expected += -(targets[i] * std::log(p) + (1.0 - targets[i]) * std::log(1.0 - p));
+    }
+    expected /= 3.0;
+    EXPECT_NEAR(r.loss, expected, 1e-6);
+}
+
+TEST(LossTest, GradientIsSigmoidMinusTargetOverN) {
+    const tensor logits({2, 1}, {0.0f, 0.0f});
+    const std::vector<float> targets{1.0f, 0.0f};
+    const bce_result r = weighted_bce_with_logits(logits, targets, 1.0, 1.0);
+    EXPECT_NEAR(r.grad_logits[0], (0.5 - 1.0) / 2.0, 1e-6);
+    EXPECT_NEAR(r.grad_logits[1], (0.5 - 0.0) / 2.0, 1e-6);
+}
+
+TEST(LossTest, StableAtExtremeLogits) {
+    const tensor logits({2, 1}, {60.0f, -60.0f});
+    const std::vector<float> targets{1.0f, 0.0f};
+    const bce_result r = weighted_bce_with_logits(logits, targets, 1.0, 1.0);
+    EXPECT_FALSE(std::isnan(r.loss));
+    EXPECT_FALSE(std::isinf(r.loss));
+    EXPECT_NEAR(r.loss, 0.0, 1e-6);  // both confidently correct
+}
+
+TEST(LossTest, ExtremeWrongPredictionsPenalizedLinearly) {
+    const tensor logits({1, 1}, {-50.0f});
+    const std::vector<float> targets{1.0f};
+    const bce_result r = weighted_bce_with_logits(logits, targets, 1.0, 1.0);
+    EXPECT_NEAR(r.loss, 50.0, 1e-3);  // -log(sigmoid(-50)) ~ 50
+}
+
+TEST(LossTest, PositiveWeightScalesPositiveSamples) {
+    const tensor logits({2, 1}, {0.0f, 0.0f});
+    const std::vector<float> targets{1.0f, 0.0f};
+    const bce_result unweighted = weighted_bce_with_logits(logits, targets, 1.0, 1.0);
+    const bce_result weighted = weighted_bce_with_logits(logits, targets, 3.0, 1.0);
+    // Sample 0 (positive) triples; sample 1 unchanged.
+    EXPECT_NEAR(weighted.grad_logits[0], 3.0 * unweighted.grad_logits[0], 1e-7);
+    EXPECT_NEAR(weighted.grad_logits[1], unweighted.grad_logits[1], 1e-7);
+}
+
+TEST(LossTest, LossOnlyAgreesWithFullVersion) {
+    const tensor logits({4}, {0.3f, -0.7f, 1.2f, -2.0f});
+    const std::vector<float> targets{1.0f, 0.0f, 0.0f, 1.0f};
+    const bce_result full = weighted_bce_with_logits(logits, targets, 2.0, 0.5);
+    const double loss = weighted_bce_loss_only(logits, targets, 2.0, 0.5);
+    EXPECT_NEAR(full.loss, loss, 1e-9);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+    const std::vector<float> targets{1.0f, 0.0f, 1.0f};
+    tensor logits({3, 1}, {0.4f, -0.3f, 1.1f});
+    const bce_result r = weighted_bce_with_logits(logits, targets, 1.7, 0.6);
+    constexpr float eps = 1e-3f;
+    for (std::size_t i = 0; i < 3; ++i) {
+        tensor lp = logits, lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        const double numeric = (weighted_bce_loss_only(lp, targets, 1.7, 0.6) -
+                                weighted_bce_loss_only(lm, targets, 1.7, 0.6)) /
+                               (2.0 * eps);
+        EXPECT_NEAR(r.grad_logits[i], numeric, 1e-4);
+    }
+}
+
+TEST(LossTest, Validation) {
+    const tensor logits({2, 1});
+    const std::vector<float> targets{1.0f};
+    EXPECT_THROW(weighted_bce_with_logits(logits, targets, 1.0, 1.0), std::invalid_argument);
+    const std::vector<float> two{1.0f, 0.0f};
+    EXPECT_THROW(weighted_bce_with_logits(logits, two, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(weighted_bce_with_logits(tensor({2, 3}), two, 1.0, 1.0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

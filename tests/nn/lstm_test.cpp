@@ -1,0 +1,107 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(LstmTest, OutputShapeIsLastHidden) {
+    util::rng gen(1);
+    lstm layer(9, 16, gen);
+    const tensor x({3, 20, 9});
+    const tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (shape_t{3, 16}));
+}
+
+TEST(LstmTest, HiddenStatesBounded) {
+    util::rng gen(2);
+    lstm layer(4, 8, gen);
+    tensor x({2, 30, 4});
+    for (float& v : x.values()) v = static_cast<float>(gen.normal(0.0, 3.0));
+    const tensor y = layer.forward(x, false);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        // h = o * tanh(c) with o in (0,1), tanh in (-1,1).
+        EXPECT_LT(std::abs(y[i]), 1.0f);
+    }
+}
+
+TEST(LstmTest, ZeroInputZeroishOutput) {
+    util::rng gen(3);
+    lstm layer(4, 8, gen);
+    const tensor x({1, 5, 4});  // zeros
+    const tensor y = layer.forward(x, false);
+    // With zero input, gates depend only on biases; output is small but
+    // finite and deterministic.
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FALSE(std::isnan(y[i]));
+}
+
+TEST(LstmTest, DeterministicAcrossCalls) {
+    util::rng gen(4);
+    lstm layer(3, 5, gen);
+    tensor x({2, 7, 3});
+    util::rng data_gen(5);
+    for (float& v : x.values()) v = static_cast<float>(data_gen.normal());
+    const tensor y1 = layer.forward(x, false);
+    const tensor y2 = layer.forward(x, false);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(LstmTest, SequenceOrderMatters) {
+    util::rng gen(6);
+    lstm layer(2, 4, gen);
+    tensor forward_x({1, 4, 2}, {1, 0, 2, 0, 3, 0, 4, 0});
+    tensor reversed_x({1, 4, 2}, {4, 0, 3, 0, 2, 0, 1, 0});
+    const tensor y1 = layer.forward(forward_x, false);
+    const tensor y2 = layer.forward(reversed_x, false);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < y1.size(); ++i) diff += std::abs(y1[i] - y2[i]);
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+    util::rng gen(7);
+    lstm layer(3, 4, gen);
+    const auto params = layer.parameters();
+    const parameter* bias = params[2];
+    ASSERT_EQ(bias->value.size(), 16u);
+    for (std::size_t h = 4; h < 8; ++h) EXPECT_FLOAT_EQ(bias->value[h], 1.0f);
+    for (std::size_t h = 0; h < 4; ++h) EXPECT_FLOAT_EQ(bias->value[h], 0.0f);
+}
+
+TEST(LstmTest, BatchesIndependent) {
+    util::rng gen(8);
+    lstm layer(2, 3, gen);
+    util::rng data_gen(9);
+    tensor a({1, 5, 2});
+    for (float& v : a.values()) v = static_cast<float>(data_gen.normal());
+    tensor b({1, 5, 2});
+    for (float& v : b.values()) v = static_cast<float>(data_gen.normal());
+    // Stack a and b into one batch.
+    tensor both({2, 5, 2});
+    std::copy(a.values().begin(), a.values().end(), both.data());
+    std::copy(b.values().begin(), b.values().end(), both.data() + a.size());
+
+    const tensor ya = layer.forward(a, false);
+    const tensor yb = layer.forward(b, false);
+    const tensor yboth = layer.forward(both, false);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(yboth[i], ya[i], 1e-6);
+        EXPECT_NEAR(yboth[3 + i], yb[i], 1e-6);
+    }
+}
+
+TEST(LstmTest, Validation) {
+    util::rng gen(10);
+    lstm layer(3, 4, gen);
+    EXPECT_THROW(layer.forward(tensor({1, 5, 2}), false), std::invalid_argument);
+    EXPECT_THROW(layer.forward(tensor({5, 3}), false), std::invalid_argument);
+    EXPECT_THROW(layer.backward(tensor({1, 4})), std::logic_error);
+    EXPECT_EQ(layer.output_shape({10, 3}), (shape_t{4}));
+}
+
+}  // namespace
+}  // namespace fallsense::nn

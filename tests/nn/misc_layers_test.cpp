@@ -1,0 +1,88 @@
+#include "nn/misc_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(FlattenTest, CollapsesPerSampleDims) {
+    flatten layer;
+    const tensor x({2, 3, 4});
+    const tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (shape_t{2, 12}));
+}
+
+TEST(FlattenTest, BackwardRestoresShape) {
+    flatten layer;
+    const tensor x({2, 3, 4});
+    layer.forward(x, true);
+    const tensor gx = layer.backward(tensor({2, 12}));
+    EXPECT_EQ(gx.shape(), (shape_t{2, 3, 4}));
+}
+
+TEST(FlattenTest, DataOrderPreserved) {
+    flatten layer;
+    tensor x({1, 2, 2}, {1, 2, 3, 4});
+    const tensor y = layer.forward(x, false);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+    util::rng gen(1);
+    dropout layer(0.5, gen);
+    const tensor x({1, 100}, std::vector<float>(100, 1.0f));
+    const tensor y = layer.forward(x, /*training=*/false);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 1.0f);
+}
+
+TEST(DropoutTest, TrainingDropsAndScales) {
+    util::rng gen(2);
+    dropout layer(0.5, gen);
+    const tensor x({1, 1000}, std::vector<float>(1000, 1.0f));
+    const tensor y = layer.forward(x, /*training=*/true);
+    int dropped = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] == 0.0f) {
+            ++dropped;
+        } else {
+            EXPECT_FLOAT_EQ(y[i], 2.0f);  // inverted dropout scaling
+        }
+    }
+    EXPECT_NEAR(dropped, 500, 80);
+}
+
+TEST(DropoutTest, ExpectedValuePreserved) {
+    util::rng gen(3);
+    dropout layer(0.3, gen);
+    const tensor x({1, 20000}, std::vector<float>(20000, 1.0f));
+    const tensor y = layer.forward(x, true);
+    EXPECT_NEAR(y.sum() / 20000.0, 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+    util::rng gen(4);
+    dropout layer(0.5, gen);
+    const tensor x({1, 50}, std::vector<float>(50, 1.0f));
+    const tensor y = layer.forward(x, true);
+    const tensor gx = layer.backward(tensor({1, 50}, std::vector<float>(50, 1.0f)));
+    for (std::size_t i = 0; i < 50; ++i) EXPECT_FLOAT_EQ(gx[i], y[i]);
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityEvenTraining) {
+    util::rng gen(5);
+    dropout layer(0.0, gen);
+    const tensor x({1, 10}, std::vector<float>(10, 3.0f));
+    const tensor y = layer.forward(x, true);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(y[i], 3.0f);
+}
+
+TEST(DropoutTest, RejectsInvalidProbability) {
+    util::rng gen(6);
+    EXPECT_THROW(dropout(1.0, gen), std::invalid_argument);
+    EXPECT_THROW(dropout(-0.1, gen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

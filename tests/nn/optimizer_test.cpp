@@ -1,0 +1,89 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fallsense::nn {
+namespace {
+
+parameter make_param(std::initializer_list<float> values) {
+    parameter p("p", {values.size()});
+    std::size_t i = 0;
+    for (const float v : values) p.value[i++] = v;
+    return p;
+}
+
+TEST(SgdTest, BasicStepDescendsGradient) {
+    parameter p = make_param({1.0f});
+    p.grad[0] = 2.0f;
+    sgd opt({&p}, 0.1);
+    opt.step();
+    EXPECT_NEAR(p.value[0], 0.8f, 1e-6);
+    EXPECT_FLOAT_EQ(p.grad[0], 0.0f);  // cleared
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+    parameter p = make_param({0.0f});
+    sgd opt({&p}, 0.1, 0.9);
+    p.grad[0] = 1.0f;
+    opt.step();  // v = -0.1, x = -0.1
+    p.grad[0] = 1.0f;
+    opt.step();  // v = -0.19, x = -0.29
+    EXPECT_NEAR(p.value[0], -0.29f, 1e-6);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+    parameter p = make_param({1.0f});
+    adam opt({&p}, 0.01);
+    p.grad[0] = 0.5f;
+    opt.step();
+    // Bias-corrected Adam takes ~lr-sized first step regardless of grad scale.
+    EXPECT_NEAR(p.value[0], 1.0f - 0.01f, 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+    // Minimize f(x) = (x - 3)^2 from x = 0.
+    parameter p = make_param({0.0f});
+    adam opt({&p}, 0.1);
+    for (int i = 0; i < 500; ++i) {
+        p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, HandlesMultipleParameters) {
+    parameter a = make_param({5.0f});
+    parameter b = make_param({-5.0f, 2.0f});
+    adam opt({&a, &b}, 0.2);
+    for (int i = 0; i < 300; ++i) {
+        a.grad[0] = 2.0f * a.value[0];
+        b.grad[0] = 2.0f * b.value[0];
+        b.grad[1] = 2.0f * (b.value[1] - 1.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(a.value[0], 0.0f, 0.05f);
+    EXPECT_NEAR(b.value[0], 0.0f, 0.05f);
+    EXPECT_NEAR(b.value[1], 1.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+    parameter p = make_param({1.0f});
+    p.grad[0] = 7.0f;
+    sgd opt({&p}, 0.1);
+    opt.zero_grad();
+    EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(OptimizerTest, ConstructionValidation) {
+    EXPECT_THROW(sgd({}, 0.1), std::invalid_argument);
+    parameter p = make_param({1.0f});
+    EXPECT_THROW(sgd({&p}, -0.1), std::invalid_argument);
+    EXPECT_THROW(sgd({&p}, 0.1, 1.5), std::invalid_argument);
+    EXPECT_THROW(adam({&p}, 0.1, 1.0), std::invalid_argument);
+    EXPECT_THROW(adam({&p}, 0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

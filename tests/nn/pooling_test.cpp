@@ -1,0 +1,73 @@
+#include "nn/pooling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::nn {
+namespace {
+
+TEST(MaxPoolTest, PoolsPairsTakingMax) {
+    maxpool1d layer(2);
+    const tensor x({1, 4, 1}, {1, 3, 2, 5});
+    const tensor y = layer.forward(x, false);
+    ASSERT_EQ(y.shape(), (shape_t{1, 2, 1}));
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(MaxPoolTest, DropsTrailingRemainder) {
+    maxpool1d layer(2);
+    const tensor x({1, 5, 1}, {1, 2, 3, 4, 9});
+    const tensor y = layer.forward(x, false);
+    EXPECT_EQ(y.shape(), (shape_t{1, 2, 1}));  // the 9 is dropped
+}
+
+TEST(MaxPoolTest, ChannelsPooledIndependently) {
+    maxpool1d layer(2);
+    const tensor x({1, 2, 2}, {1, 10, 5, 2});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 5.0f);
+    EXPECT_FLOAT_EQ(y.at({0, 0, 1}), 10.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+    maxpool1d layer(2);
+    const tensor x({1, 4, 1}, {1, 3, 5, 2});
+    layer.forward(x, true);
+    const tensor gy({1, 2, 1}, {7.0f, 9.0f});
+    const tensor gx = layer.backward(gy);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 7.0f);
+    EXPECT_FLOAT_EQ(gx[2], 9.0f);
+    EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(MaxPoolTest, TiesGoToFirstOccurrence) {
+    maxpool1d layer(2);
+    const tensor x({1, 2, 1}, {4.0f, 4.0f});
+    layer.forward(x, true);
+    const tensor gx = layer.backward(tensor({1, 1, 1}, {1.0f}));
+    EXPECT_FLOAT_EQ(gx[0], 1.0f);
+    EXPECT_FLOAT_EQ(gx[1], 0.0f);
+}
+
+TEST(MaxPoolTest, NegativeValuesHandled) {
+    maxpool1d layer(2);
+    const tensor x({1, 2, 1}, {-5.0f, -2.0f});
+    const tensor y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], -2.0f);
+}
+
+TEST(MaxPoolTest, Validation) {
+    EXPECT_THROW(maxpool1d(0), std::invalid_argument);
+    maxpool1d layer(4);
+    EXPECT_THROW(layer.forward(tensor({1, 3, 1}), false), std::invalid_argument);
+    EXPECT_THROW(layer.forward(tensor({3, 1}), false), std::invalid_argument);
+}
+
+TEST(MaxPoolTest, OutputShapeHelper) {
+    maxpool1d layer(2);
+    EXPECT_EQ(layer.output_shape({38, 16}), (shape_t{19, 16}));
+}
+
+}  // namespace
+}  // namespace fallsense::nn

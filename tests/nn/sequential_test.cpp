@@ -1,0 +1,80 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/misc_layers.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+TEST(SequentialTest, ForwardChainsLayers) {
+    util::rng gen(1);
+    sequential net;
+    auto& d = net.emplace<dense>(2, 2, gen);
+    net.emplace<relu>();
+    d.weight().value = tensor({2, 2}, {1, -1, 1, -1});
+    d.bias().value = tensor({2}, {0.0f, 0.0f});
+    const tensor x({1, 2}, {1.0f, 2.0f});
+    const tensor y = net.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);  // relu clipped -3
+}
+
+TEST(SequentialTest, ParametersAggregateInOrder) {
+    util::rng gen(2);
+    sequential net;
+    net.emplace<dense>(4, 8, gen, true, "a");
+    net.emplace<relu>();
+    net.emplace<dense>(8, 2, gen, true, "b");
+    const auto params = net.parameters();
+    ASSERT_EQ(params.size(), 4u);
+    EXPECT_EQ(params[0]->name, "a.weight");
+    EXPECT_EQ(params[2]->name, "b.weight");
+}
+
+TEST(SequentialTest, OutputShapePropagates) {
+    util::rng gen(3);
+    sequential net;
+    net.emplace<flatten>();
+    net.emplace<dense>(12, 5, gen);
+    EXPECT_EQ(net.output_shape({3, 4}), (shape_t{5}));
+}
+
+TEST(SequentialTest, ParameterCount) {
+    util::rng gen(4);
+    sequential net;
+    net.emplace<dense>(10, 4, gen);
+    EXPECT_EQ(net.parameter_count(), 10u * 4u + 4u);
+}
+
+TEST(SequentialTest, LayerAccess) {
+    util::rng gen(5);
+    sequential net;
+    net.emplace<dense>(2, 2, gen);
+    net.emplace<relu>();
+    EXPECT_EQ(net.layer_count(), 2u);
+    EXPECT_EQ(net.layer_at(0).kind(), layer_kind::dense);
+    EXPECT_EQ(net.layer_at(1).kind(), layer_kind::relu);
+    EXPECT_THROW(net.layer_at(2), std::invalid_argument);
+}
+
+TEST(SequentialTest, AddRejectsNull) {
+    sequential net;
+    EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(SequentialTest, SummaryMentionsLayers) {
+    util::rng gen(6);
+    sequential net;
+    net.emplace<dense>(2, 3, gen);
+    net.emplace<relu>();
+    const std::string s = net.summary();
+    EXPECT_NE(s.find("dense(2 -> 3)"), std::string::npos);
+    EXPECT_NE(s.find("relu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

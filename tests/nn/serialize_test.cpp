@@ -1,0 +1,115 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+std::unique_ptr<sequential> make_net(std::uint64_t seed) {
+    util::rng gen(seed);
+    auto net = std::make_unique<sequential>();
+    net->emplace<dense>(4, 6, gen, true, "d0");
+    net->emplace<relu>();
+    net->emplace<dense>(6, 1, gen, false, "out");
+    return net;
+}
+
+TEST(SerializeTest, RoundTripPreservesWeights) {
+    auto src = make_net(1);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+
+    auto dst = make_net(2);  // different init
+    load_weights(*dst, buffer);
+
+    const auto ps = src->parameters();
+    const auto pd = dst->parameters();
+    ASSERT_EQ(ps.size(), pd.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        for (std::size_t j = 0; j < ps[i]->value.size(); ++j) {
+            EXPECT_FLOAT_EQ(ps[i]->value[j], pd[i]->value[j]);
+        }
+    }
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+    auto src = make_net(3);
+    const tensor x({2, 4}, {0.1f, -0.2f, 0.3f, 0.4f, 1.0f, -1.0f, 0.5f, -0.5f});
+    const tensor y_src = src->forward(x, false);
+
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+    auto dst = make_net(4);
+    load_weights(*dst, buffer);
+    const tensor y_dst = dst->forward(x, false);
+    for (std::size_t i = 0; i < y_src.size(); ++i) EXPECT_FLOAT_EQ(y_src[i], y_dst[i]);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+    auto net = make_net(5);
+    std::stringstream buffer("XXXXjunkjunkjunk");
+    EXPECT_THROW(load_weights(*net, buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsTruncatedStream) {
+    auto src = make_net(6);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    auto dst = make_net(7);
+    EXPECT_THROW(load_weights(*dst, truncated), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+    auto src = make_net(8);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+
+    util::rng gen(9);
+    sequential other;
+    other.emplace<dense>(4, 5, gen, true, "d0");  // different width
+    EXPECT_THROW(load_weights(other, buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsParameterNameMismatch) {
+    auto src = make_net(10);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+
+    util::rng gen(11);
+    sequential other;
+    other.emplace<dense>(4, 6, gen, true, "renamed");
+    other.emplace<relu>();
+    other.emplace<dense>(6, 1, gen, false, "out");
+    EXPECT_THROW(load_weights(other, buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_weights_test.bin";
+    auto src = make_net(12);
+    save_weights_file(*src, path);
+    auto dst = make_net(13);
+    load_weights_file(*dst, path);
+    const auto ps = src->parameters();
+    const auto pd = dst->parameters();
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        EXPECT_FLOAT_EQ(ps[i]->value[0], pd[i]->value[0]);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+    auto net = make_net(14);
+    EXPECT_THROW(load_weights_file(*net, "/nonexistent/weights.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

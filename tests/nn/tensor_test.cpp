@@ -1,0 +1,100 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::nn {
+namespace {
+
+TEST(TensorTest, ShapeVolume) {
+    EXPECT_EQ(shape_volume({}), 1u);
+    EXPECT_EQ(shape_volume({3}), 3u);
+    EXPECT_EQ(shape_volume({2, 3, 4}), 24u);
+    EXPECT_EQ(shape_volume({2, 0, 4}), 0u);
+}
+
+TEST(TensorTest, ShapeToString) {
+    EXPECT_EQ(shape_to_string({2, 20, 9}), "[2 x 20 x 9]");
+    EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+    tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+    tensor t({2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromValues) {
+    tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(t.at({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, ConstructRejectsSizeMismatch) {
+    EXPECT_THROW(tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(TensorTest, FullFills) {
+    const tensor t = tensor::full({3}, 2.5f);
+    EXPECT_FLOAT_EQ(t[0], 2.5f);
+    EXPECT_FLOAT_EQ(t[2], 2.5f);
+}
+
+TEST(TensorTest, MultiIndexRowMajorOrder) {
+    tensor t({2, 3});
+    t.at({1, 2}) = 7.0f;
+    EXPECT_FLOAT_EQ(t[5], 7.0f);
+    t.at({0, 1}) = 3.0f;
+    EXPECT_FLOAT_EQ(t[1], 3.0f);
+}
+
+TEST(TensorTest, BoundsChecking) {
+    tensor t({2, 3});
+    EXPECT_THROW(t[6], std::invalid_argument);
+    EXPECT_THROW(t.at({2, 0}), std::invalid_argument);
+    EXPECT_THROW(t.at({0}), std::invalid_argument);  // rank mismatch
+    EXPECT_THROW(t.dim(2), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+    tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    const tensor r = t.reshaped({3, 2});
+    EXPECT_FLOAT_EQ(r.at({2, 1}), 6.0f);
+    EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+    tensor a({2}, {1.0f, 2.0f});
+    const tensor b({2}, {10.0f, 20.0f});
+    const tensor sum = a + b;
+    EXPECT_FLOAT_EQ(sum[1], 22.0f);
+    const tensor diff = b - a;
+    EXPECT_FLOAT_EQ(diff[0], 9.0f);
+    a *= 3.0f;
+    EXPECT_FLOAT_EQ(a[1], 6.0f);
+}
+
+TEST(TensorTest, ArithmeticShapeMismatchThrows) {
+    tensor a({2});
+    const tensor b({3});
+    EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(TensorTest, SumAndNorm) {
+    const tensor t({3}, {1.0f, -2.0f, 3.0f});
+    EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+    EXPECT_DOUBLE_EQ(t.squared_norm(), 14.0);
+}
+
+TEST(TensorTest, FromValuesMakes1D) {
+    const tensor t = tensor::from_values({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(t.shape(), (shape_t{3}));
+}
+
+}  // namespace
+}  // namespace fallsense::nn

@@ -1,0 +1,92 @@
+#include "quant/cnn_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::quant {
+namespace {
+
+constexpr std::size_t k_window = 20;
+
+nn::tensor random_segments(std::size_t count, util::rng& gen) {
+    nn::tensor t({count, k_window, 9});
+    for (float& v : t.values()) v = static_cast<float>(gen.normal(0.0, 1.0));
+    return t;
+}
+
+TEST(CnnSpecTest, ExtractionMatchesArchitecture) {
+    auto net = core::build_fallsense_cnn(k_window, 7);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    EXPECT_EQ(spec.time_steps, k_window);
+    EXPECT_EQ(spec.branches.size(), 3u);
+    EXPECT_EQ(spec.group_channels, (std::vector<std::size_t>{3, 3, 3}));
+    ASSERT_EQ(spec.trunk.size(), 3u);
+    EXPECT_EQ(spec.trunk[0].out_features(), 64u);
+    EXPECT_TRUE(spec.trunk[0].relu_after);
+    EXPECT_EQ(spec.trunk[1].out_features(), 32u);
+    EXPECT_EQ(spec.trunk[2].out_features(), 1u);
+    EXPECT_FALSE(spec.trunk[2].relu_after);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(CnnSpecTest, ParameterCountMatchesNetwork) {
+    auto net = core::build_fallsense_cnn(k_window, 7);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    EXPECT_EQ(spec.parameter_count(), net->parameter_count());
+}
+
+TEST(CnnSpecTest, ForwardMatchesNetworkLogit) {
+    // The float reference executor must agree with the training network.
+    auto net = core::build_fallsense_cnn(k_window, 11);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    util::rng gen(3);
+    const nn::tensor segments = random_segments(8, gen);
+    const nn::tensor logits = net->forward(segments, false);
+    const std::size_t seg_size = k_window * 9;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const std::span<const float> seg(segments.data() + i * seg_size, seg_size);
+        EXPECT_NEAR(spec.forward_logit(seg), logits[i], 1e-3) << "segment " << i;
+    }
+}
+
+TEST(CnnSpecTest, ConcatWidthFormula) {
+    auto net = core::build_fallsense_cnn(40, 7);
+    const cnn_spec spec = extract_cnn_spec(*net, 40);
+    // window 40 -> conv(k=3) 38 -> pool(2) 19 -> 19*16 per branch * 3.
+    EXPECT_EQ(spec.concat_width(), 3u * 19u * 16u);
+}
+
+TEST(CnnSpecTest, CalibrationRangesCoverData) {
+    auto net = core::build_fallsense_cnn(k_window, 13);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    util::rng gen(5);
+    const nn::tensor segments = random_segments(16, gen);
+    const activation_ranges ranges = calibrate(spec, segments);
+    EXPECT_LT(ranges.input_min, 0.0f);
+    EXPECT_GT(ranges.input_max, 0.0f);
+    EXPECT_GE(ranges.concat_max, ranges.concat_min);
+    EXPECT_GE(ranges.concat_min, 0.0f);  // post-ReLU activations
+    ASSERT_EQ(ranges.trunk_min.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_LE(ranges.trunk_min[i], ranges.trunk_max[i]);
+    }
+}
+
+TEST(CnnSpecTest, ForwardRejectsWrongSegmentSize) {
+    auto net = core::build_fallsense_cnn(k_window, 17);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    const std::vector<float> wrong(10, 0.0f);
+    EXPECT_THROW(spec.forward_logit(wrong), std::invalid_argument);
+}
+
+TEST(CnnSpecTest, CalibrateValidatesShape) {
+    auto net = core::build_fallsense_cnn(k_window, 19);
+    const cnn_spec spec = extract_cnn_spec(*net, k_window);
+    EXPECT_THROW(calibrate(spec, nn::tensor({0, k_window, 9})), std::invalid_argument);
+    EXPECT_THROW(calibrate(spec, nn::tensor({4, k_window, 8})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::quant

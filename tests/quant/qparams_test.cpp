@@ -1,0 +1,98 @@
+#include "quant/qparams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fallsense::quant {
+namespace {
+
+TEST(QparamsTest, ActivationRangeCovered) {
+    const qparams qp = choose_activation_qparams(-2.0f, 6.0f);
+    // Both endpoints must be representable within one step.
+    const float lo = dequantize_value(-128, qp);
+    const float hi = dequantize_value(127, qp);
+    EXPECT_LE(lo, -2.0f + qp.scale);
+    EXPECT_GE(hi, 6.0f - qp.scale);
+}
+
+TEST(QparamsTest, ZeroIsExactlyRepresentable) {
+    for (const auto& [lo, hi] : {std::pair{-3.0f, 5.0f}, {0.5f, 9.0f}, {-7.0f, -1.0f}}) {
+        const qparams qp = choose_activation_qparams(lo, hi);
+        const std::int8_t zq = quantize_value(0.0f, qp);
+        EXPECT_FLOAT_EQ(dequantize_value(zq, qp), 0.0f);
+    }
+}
+
+TEST(QparamsTest, DegenerateRangeHandled) {
+    const qparams qp = choose_activation_qparams(0.0f, 0.0f);
+    EXPECT_GT(qp.scale, 0.0f);
+    EXPECT_THROW(choose_activation_qparams(1.0f, -1.0f), std::invalid_argument);
+}
+
+TEST(QparamsTest, WeightQuantizationSymmetric) {
+    const qparams qp = choose_weight_qparams(0.5f);
+    EXPECT_EQ(qp.zero_point, 0);
+    EXPECT_EQ(quantize_value(0.5f, qp), 127);
+    EXPECT_EQ(quantize_value(-0.5f, qp), -127);
+}
+
+TEST(QparamsTest, QuantizeDequantizeRoundTripError) {
+    const qparams qp = choose_activation_qparams(-1.0f, 1.0f);
+    for (float v = -1.0f; v <= 1.0f; v += 0.05f) {
+        const float back = dequantize_value(quantize_value(v, qp), qp);
+        EXPECT_NEAR(back, v, qp.scale * 0.51f);
+    }
+}
+
+TEST(QparamsTest, QuantizeClampsOutOfRange) {
+    const qparams qp = choose_activation_qparams(-1.0f, 1.0f);
+    EXPECT_EQ(quantize_value(100.0f, qp), 127);
+    EXPECT_EQ(quantize_value(-100.0f, qp), -128);
+}
+
+TEST(MultiplierTest, EncodesSubUnitValues) {
+    for (const double m : {0.5, 0.25, 0.1, 0.0123, 0.9999}) {
+        const quantized_multiplier qm = encode_multiplier(m);
+        EXPECT_GE(qm.mantissa, 1 << 30);
+        EXPECT_GE(qm.right_shift, 0);
+        // Reconstruct: mantissa * 2^-31 * 2^-shift ~ m.
+        const double reconstructed =
+            static_cast<double>(qm.mantissa) / (1ULL << 31) / (1ULL << qm.right_shift);
+        EXPECT_NEAR(reconstructed, m, m * 1e-6);
+    }
+}
+
+TEST(MultiplierTest, RejectsOutOfDomain) {
+    EXPECT_THROW(encode_multiplier(0.0), std::invalid_argument);
+    EXPECT_THROW(encode_multiplier(1.0), std::invalid_argument);
+    EXPECT_THROW(encode_multiplier(-0.5), std::invalid_argument);
+}
+
+TEST(MultiplierTest, FixedPointMatchesFloatWithin1) {
+    const quantized_multiplier qm = encode_multiplier(0.0037);
+    for (const std::int32_t acc : {0, 1, -1, 100, -100, 12345, -54321, 1'000'000}) {
+        const std::int32_t fixed = multiply_by_quantized_multiplier(acc, qm);
+        const double exact = 0.0037 * acc;
+        EXPECT_NEAR(static_cast<double>(fixed), exact, 1.0) << acc;
+    }
+}
+
+TEST(MultiplierTest, RoundsToNearest) {
+    const quantized_multiplier half = encode_multiplier(0.5);
+    EXPECT_EQ(multiply_by_quantized_multiplier(7, half), 4);   // 3.5 -> 4
+    EXPECT_EQ(multiply_by_quantized_multiplier(-7, half), -4); // -3.5 -> -4 (away from 0)
+    EXPECT_EQ(multiply_by_quantized_multiplier(6, half), 3);
+}
+
+TEST(RequantizeTest, ClampsAndAppliesZeroPoint) {
+    const quantized_multiplier qm = encode_multiplier(0.5);
+    EXPECT_EQ(requantize(10, qm, 5), 10);          // 5 + 5
+    EXPECT_EQ(requantize(1000, qm, 0), 127);       // clamp high
+    EXPECT_EQ(requantize(-1000, qm, 0), -128);     // clamp low
+    // Fused ReLU: clamp_min at zero point.
+    EXPECT_EQ(requantize(-50, qm, -10, -10), -10);
+}
+
+}  // namespace
+}  // namespace fallsense::quant

@@ -1,0 +1,129 @@
+#include "quant/quantized_cnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::quant {
+namespace {
+
+constexpr std::size_t k_window = 20;
+
+nn::tensor random_segments(std::size_t count, util::rng& gen, double scale = 1.0) {
+    nn::tensor t({count, k_window, 9});
+    for (float& v : t.values()) v = static_cast<float>(gen.normal(0.0, scale));
+    return t;
+}
+
+struct fixture {
+    std::unique_ptr<nn::multi_branch_network> net;
+    cnn_spec spec;
+    nn::tensor calibration;
+    quantized_cnn qmodel;
+
+    explicit fixture(std::uint64_t seed)
+        : net(core::build_fallsense_cnn(k_window, seed)),
+          spec(extract_cnn_spec(*net, k_window)),
+          calibration([&] {
+              util::rng gen(seed + 1);
+              return random_segments(64, gen);
+          }()),
+          qmodel(spec, calibration) {}
+};
+
+TEST(QuantizedCnnTest, LogitsCloseToFloatReference) {
+    fixture f(21);
+    util::rng gen(9);
+    const nn::tensor test = random_segments(32, gen);
+    const std::size_t seg_size = k_window * 9;
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < 32; ++i) {
+        const std::span<const float> seg(test.data() + i * seg_size, seg_size);
+        const float fl = f.spec.forward_logit(seg);
+        const float ql = f.qmodel.predict_logit(seg);
+        max_err = std::max(max_err, std::abs(static_cast<double>(fl) - ql));
+    }
+    // Int8 quantization error budget on a 3-layer trunk.
+    EXPECT_LT(max_err, 0.6);
+}
+
+TEST(QuantizedCnnTest, DecisionsMostlyAgreeWithFloat) {
+    fixture f(23);
+    util::rng gen(10);
+    const nn::tensor test = random_segments(128, gen);
+    const std::size_t seg_size = k_window * 9;
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < 128; ++i) {
+        const std::span<const float> seg(test.data() + i * seg_size, seg_size);
+        const bool fd = f.spec.forward_logit(seg) >= 0.0f;
+        const bool qd = f.qmodel.predict_logit(seg) >= 0.0f;
+        agree += (fd == qd) ? 1 : 0;
+    }
+    EXPECT_GE(agree, 120u);  // > 93% decision agreement on random inputs
+}
+
+TEST(QuantizedCnnTest, ProbaIsSigmoidOfLogit) {
+    fixture f(25);
+    util::rng gen(11);
+    const nn::tensor test = random_segments(4, gen);
+    const std::size_t seg_size = k_window * 9;
+    const std::span<const float> seg(test.data(), seg_size);
+    const float logit = f.qmodel.predict_logit(seg);
+    const float proba = f.qmodel.predict_proba(seg);
+    EXPECT_NEAR(proba, 1.0f / (1.0f + std::exp(-logit)), 1e-5);
+    EXPECT_GE(proba, 0.0f);
+    EXPECT_LE(proba, 1.0f);
+}
+
+TEST(QuantizedCnnTest, WeightBytesMatchParameterCount) {
+    fixture f(27);
+    std::size_t expected_weights = 0;
+    for (const conv_branch_spec& b : f.spec.branches) expected_weights += b.conv_weight.size();
+    for (const dense_spec& d : f.spec.trunk) expected_weights += d.weight.size();
+    EXPECT_EQ(f.qmodel.weight_bytes(), expected_weights);
+
+    std::size_t expected_biases = 0;
+    for (const conv_branch_spec& b : f.spec.branches) expected_biases += b.conv_bias.size();
+    for (const dense_spec& d : f.spec.trunk) expected_biases += d.bias.size();
+    EXPECT_EQ(f.qmodel.bias_bytes(), expected_biases * 4);
+}
+
+TEST(QuantizedCnnTest, OpCountsMatchArchitecture) {
+    fixture f(29);
+    const op_counts ops = f.qmodel.count_ops();
+    // Conv: 3 branches x out_time(18) x 16 filters x k(3) x 3 channels.
+    const std::uint64_t conv_macs = 3ULL * 18 * 16 * 3 * 3;
+    // Dense: concat(3*9*16=432) x 64 + 64x32 + 32x1.
+    const std::uint64_t dense_macs = 432ULL * 64 + 64 * 32 + 32;
+    EXPECT_EQ(ops.macs, conv_macs + dense_macs);
+    EXPECT_EQ(ops.requants, 3ULL * 18 * 16 + 64 + 32 + 1);
+    EXPECT_EQ(ops.pool_compares, 3ULL * 9 * 16 * 1);
+}
+
+TEST(QuantizedCnnTest, ActivationArenaIsSmall) {
+    fixture f(31);
+    // The whole activation footprint of the 20-step model is well under
+    // 8 KiB (Section IV-C reports 16.87 KiB total RAM including runtime).
+    EXPECT_LT(f.qmodel.activation_arena_bytes(), 8u * 1024u);
+    EXPECT_GT(f.qmodel.activation_arena_bytes(), 500u);
+}
+
+TEST(QuantizedCnnTest, InputSizeValidated) {
+    fixture f(33);
+    const std::vector<float> wrong(17, 0.0f);
+    EXPECT_THROW(f.qmodel.predict_logit(wrong), std::invalid_argument);
+}
+
+TEST(QuantizedCnnTest, DeterministicInference) {
+    fixture f(35);
+    util::rng gen(12);
+    const nn::tensor test = random_segments(1, gen);
+    const std::span<const float> seg(test.data(), k_window * 9);
+    EXPECT_FLOAT_EQ(f.qmodel.predict_logit(seg), f.qmodel.predict_logit(seg));
+}
+
+}  // namespace
+}  // namespace fallsense::quant

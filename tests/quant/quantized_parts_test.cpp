@@ -1,0 +1,86 @@
+// Validation tests for the firmware-loading constructor of quantized_cnn:
+// a flashed image must be structurally consistent before it is allowed to
+// execute.
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "mcu/deployment.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::quant {
+namespace {
+
+quantized_cnn make_model(std::uint64_t seed) {
+    auto net = core::build_fallsense_cnn(20, seed);
+    const cnn_spec spec = extract_cnn_spec(*net, 20);
+    util::rng gen(seed + 1);
+    nn::tensor calibration({16, 20, 9});
+    for (float& v : calibration.values()) v = static_cast<float>(gen.normal());
+    return quantized_cnn(spec, calibration);
+}
+
+/// Round-trip through the blob to obtain mutable parts.
+quantized_cnn_parts make_parts(std::uint64_t seed) {
+    const quantized_cnn model = make_model(seed);
+    quantized_cnn_parts parts;
+    parts.time_steps = model.time_steps();
+    parts.input_q = model.input_q();
+    parts.concat_q = model.concat_q();
+    parts.branches.assign(model.branches().begin(), model.branches().end());
+    parts.trunk.assign(model.trunk().begin(), model.trunk().end());
+    return parts;
+}
+
+TEST(QuantizedPartsTest, ValidPartsConstruct) {
+    EXPECT_NO_THROW(quantized_cnn{make_parts(1)});
+}
+
+TEST(QuantizedPartsTest, PartsModelMatchesOriginal) {
+    const quantized_cnn original = make_model(2);
+    const quantized_cnn rebuilt{make_parts(2)};
+    util::rng gen(9);
+    nn::tensor seg({20, 9});
+    for (float& v : seg.values()) v = static_cast<float>(gen.normal());
+    EXPECT_FLOAT_EQ(rebuilt.predict_logit(seg.values()),
+                    original.predict_logit(seg.values()));
+}
+
+TEST(QuantizedPartsTest, RejectsEmptyBranches) {
+    quantized_cnn_parts parts = make_parts(3);
+    parts.branches.clear();
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+TEST(QuantizedPartsTest, RejectsZeroTimeSteps) {
+    quantized_cnn_parts parts = make_parts(4);
+    parts.time_steps = 0;
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+TEST(QuantizedPartsTest, RejectsWeightSizeMismatch) {
+    quantized_cnn_parts parts = make_parts(5);
+    parts.branches[0].weight.pop_back();
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+TEST(QuantizedPartsTest, RejectsBrokenTrunkChain) {
+    quantized_cnn_parts parts = make_parts(6);
+    parts.trunk[1].in_features += 1;
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+TEST(QuantizedPartsTest, RejectsMultiLogitOutput) {
+    quantized_cnn_parts parts = make_parts(7);
+    parts.trunk.pop_back();  // now ends with the 32-wide hidden layer
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+TEST(QuantizedPartsTest, RejectsKernelLongerThanWindow) {
+    quantized_cnn_parts parts = make_parts(8);
+    parts.time_steps = 2;  // kernel is 3
+    EXPECT_THROW(quantized_cnn{std::move(parts)}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::quant

@@ -1,0 +1,77 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::util {
+namespace {
+
+arg_parser make_parser() {
+    arg_parser p;
+    p.add_flag("verbose");
+    p.add_option("out");
+    p.add_option("count");
+    return p;
+}
+
+TEST(ArgsTest, ParsesFlagsOptionsAndPositionals) {
+    arg_parser p = make_parser();
+    p.parse({"--verbose", "--out", "file.bin", "pos1", "pos2"});
+    EXPECT_TRUE(p.has_flag("verbose"));
+    EXPECT_EQ(p.option_or("out", ""), "file.bin");
+    EXPECT_EQ(p.positionals(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(ArgsTest, EqualsSyntax) {
+    arg_parser p = make_parser();
+    p.parse({"--out=path/with=equals"});
+    EXPECT_EQ(p.option_or("out", ""), "path/with=equals");
+}
+
+TEST(ArgsTest, MissingOptionUsesFallback) {
+    arg_parser p = make_parser();
+    p.parse({});
+    EXPECT_EQ(p.option_or("out", "default"), "default");
+    EXPECT_FALSE(p.option("out").has_value());
+    EXPECT_FALSE(p.has_flag("verbose"));
+}
+
+TEST(ArgsTest, NumericOptions) {
+    arg_parser p = make_parser();
+    p.parse({"--count", "42"});
+    EXPECT_EQ(p.integer_or("count", 0), 42);
+    EXPECT_DOUBLE_EQ(p.number_or("count", 0.0), 42.0);
+}
+
+TEST(ArgsTest, NumericParseFailureThrows) {
+    arg_parser p = make_parser();
+    p.parse({"--count", "forty"});
+    EXPECT_THROW(p.integer_or("count", 0), std::invalid_argument);
+    EXPECT_THROW(p.number_or("count", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, UnknownArgumentThrows) {
+    arg_parser p = make_parser();
+    EXPECT_THROW(p.parse({"--bogus"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, OptionWithoutValueThrows) {
+    arg_parser p = make_parser();
+    EXPECT_THROW(p.parse({"--out"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, FlagWithValueThrows) {
+    arg_parser p = make_parser();
+    EXPECT_THROW(p.parse({"--verbose=1"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, ArgvStyleParsing) {
+    arg_parser p = make_parser();
+    const char* argv[] = {"prog", "cmd", "--verbose", "x"};
+    p.parse(4, argv, 2);
+    EXPECT_TRUE(p.has_flag("verbose"));
+    ASSERT_EQ(p.positionals().size(), 1u);
+    EXPECT_EQ(p.positionals()[0], "x");
+}
+
+}  // namespace
+}  // namespace fallsense::util

@@ -1,0 +1,34 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fallsense::util {
+namespace {
+
+TEST(CheckTest, PassingConditionsAreSilent) {
+    EXPECT_NO_THROW(FS_CHECK(1 + 1 == 2, "math"));
+    EXPECT_NO_THROW(FS_ARG_CHECK(true, "fine"));
+}
+
+TEST(CheckTest, FailingCheckThrowsLogicError) {
+    EXPECT_THROW(FS_CHECK(false, "boom"), std::logic_error);
+}
+
+TEST(CheckTest, FailingArgCheckThrowsInvalidArgument) {
+    EXPECT_THROW(FS_ARG_CHECK(false, "bad arg"), std::invalid_argument);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndContext) {
+    try {
+        FS_CHECK(2 < 1, "ordering violated");
+        FAIL() << "expected throw";
+    } catch (const std::logic_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("ordering violated"), std::string::npos);
+        EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::util

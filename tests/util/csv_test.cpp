@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fallsense::util {
+namespace {
+
+TEST(CsvTest, ParseWithHeader) {
+    const csv_table t = parse_csv("a,b,c\n1,2,3\n4,5,6\n", true);
+    ASSERT_EQ(t.header.size(), 3u);
+    EXPECT_EQ(t.header[1], "b");
+    ASSERT_EQ(t.rows.size(), 2u);
+    EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+    const csv_table t = parse_csv("1,2\n3,4\n", false);
+    EXPECT_TRUE(t.header.empty());
+    ASSERT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvTest, SkipsEmptyLines) {
+    const csv_table t = parse_csv("a,b\n\n1,2\n\n", true);
+    EXPECT_EQ(t.rows.size(), 1u);
+}
+
+TEST(CsvTest, HandlesCrLf) {
+    const csv_table t = parse_csv("a,b\r\n1,2\r\n", true);
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+    const csv_table t = parse_csv("x,y,z\n1,2,3\n", true);
+    EXPECT_EQ(t.column_index("z"), 2u);
+    EXPECT_THROW(t.column_index("w"), std::out_of_range);
+}
+
+TEST(CsvTest, NumberAtParsesDoubles) {
+    const csv_table t = parse_csv("v\n-1.5\n2.25e2\n", true);
+    EXPECT_DOUBLE_EQ(t.number_at(0, 0), -1.5);
+    EXPECT_DOUBLE_EQ(t.number_at(1, 0), 225.0);
+}
+
+TEST(CsvTest, NumberAtRejectsGarbage) {
+    const csv_table t = parse_csv("v\nabc\n", true);
+    EXPECT_THROW(t.number_at(0, 0), std::runtime_error);
+}
+
+TEST(CsvTest, NumberAtRangeChecks) {
+    const csv_table t = parse_csv("v\n1\n", true);
+    EXPECT_THROW(t.number_at(1, 0), std::invalid_argument);
+    EXPECT_THROW(t.number_at(0, 1), std::invalid_argument);
+}
+
+TEST(CsvTest, RoundTripThroughText) {
+    const std::vector<std::string> header{"a", "b"};
+    const std::vector<std::vector<std::string>> rows{{"1", "2"}, {"3", "4"}};
+    const csv_table t = parse_csv(to_csv(header, rows), true);
+    EXPECT_EQ(t.header, header);
+    EXPECT_EQ(t.rows, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "fallsense_csv_test.csv";
+    write_csv_file(path, {"x"}, {{"1.5"}, {"2.5"}});
+    const csv_table t = read_csv_file(path, true);
+    EXPECT_DOUBLE_EQ(t.number_at(1, 0), 2.5);
+    std::filesystem::remove(path);
+}
+
+TEST(CsvTest, MissingFileThrows) {
+    EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv", true), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fallsense::util

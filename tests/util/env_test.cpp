@@ -1,0 +1,48 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fallsense::util {
+namespace {
+
+TEST(EnvTest, ParseRunScale) {
+    EXPECT_EQ(parse_run_scale("tiny"), run_scale::tiny);
+    EXPECT_EQ(parse_run_scale("quick"), run_scale::quick);
+    EXPECT_EQ(parse_run_scale("full"), run_scale::full);
+    EXPECT_EQ(parse_run_scale(""), run_scale::quick);
+    EXPECT_EQ(parse_run_scale("bogus"), run_scale::quick);
+}
+
+TEST(EnvTest, ScaleNames) {
+    EXPECT_STREQ(run_scale_name(run_scale::tiny), "tiny");
+    EXPECT_STREQ(run_scale_name(run_scale::quick), "quick");
+    EXPECT_STREQ(run_scale_name(run_scale::full), "full");
+}
+
+TEST(EnvTest, SeedDefaultsTo42) {
+    ::unsetenv("FALLSENSE_SEED");
+    EXPECT_EQ(env_seed(), 42u);
+}
+
+TEST(EnvTest, SeedReadsEnvironment) {
+    ::setenv("FALLSENSE_SEED", "12345", 1);
+    EXPECT_EQ(env_seed(), 12345u);
+    ::unsetenv("FALLSENSE_SEED");
+}
+
+TEST(EnvTest, ScaleReadsEnvironment) {
+    ::setenv("FALLSENSE_SCALE", "tiny", 1);
+    EXPECT_EQ(env_run_scale(), run_scale::tiny);
+    ::unsetenv("FALLSENSE_SCALE");
+    EXPECT_EQ(env_run_scale(), run_scale::quick);
+}
+
+TEST(EnvTest, EnvStringEmptyWhenUnset) {
+    ::unsetenv("FALLSENSE_BOGUS_VAR");
+    EXPECT_TRUE(env_string("FALLSENSE_BOGUS_VAR").empty());
+}
+
+}  // namespace
+}  // namespace fallsense::util

@@ -1,0 +1,75 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fallsense::util {
+namespace {
+
+/// RAII capture of std::clog for the duration of a test.
+class clog_capture {
+public:
+    clog_capture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+    ~clog_capture() { std::clog.rdbuf(old_); }
+    std::string text() const { return buffer_.str(); }
+
+private:
+    std::ostringstream buffer_;
+    std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+protected:
+    void SetUp() override { old_level_ = get_log_level(); }
+    void TearDown() override { set_log_level(old_level_); }
+    log_level old_level_ = log_level::info;
+};
+
+TEST_F(LoggingTest, RecordFormat) {
+    set_log_level(log_level::info);
+    clog_capture capture;
+    FS_LOG_INFO("mymodule") << "value=" << 42;
+    EXPECT_EQ(capture.text(), "[info mymodule] value=42\n");
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+    set_log_level(log_level::warn);
+    clog_capture capture;
+    FS_LOG_INFO("m") << "hidden";
+    FS_LOG_DEBUG("m") << "hidden too";
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+    set_log_level(log_level::off);
+    clog_capture capture;
+    FS_LOG_INFO("m") << "nothing";
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, ParseLevels) {
+    EXPECT_EQ(parse_log_level("debug"), log_level::debug);
+    EXPECT_EQ(parse_log_level("info"), log_level::info);
+    EXPECT_EQ(parse_log_level("warn"), log_level::warn);
+    EXPECT_EQ(parse_log_level("error"), log_level::error);
+    EXPECT_EQ(parse_log_level("off"), log_level::off);
+    EXPECT_EQ(parse_log_level("nonsense"), log_level::info);
+}
+
+TEST_F(LoggingTest, StreamBuilderSkipsWorkWhenDisabled) {
+    set_log_level(log_level::error);
+    clog_capture capture;
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return std::string("x");
+    };
+    FS_LOG_INFO("m") << expensive();
+    // The argument IS evaluated (C++ semantics), but nothing is emitted.
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_TRUE(capture.text().empty());
+}
+
+}  // namespace
+}  // namespace fallsense::util

@@ -1,0 +1,158 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace fallsense::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+    rng a(99);
+    const std::uint64_t first = a.next_u64();
+    a.next_u64();
+    a.reseed(99);
+    EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+    rng gen(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = gen.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+    rng gen(7);
+    for (int i = 0; i < 1'000; ++i) {
+        const double u = gen.uniform(-2.5, 3.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+    rng gen(11);
+    double sum = 0.0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) sum += gen.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+    rng gen(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1'000; ++i) {
+        const std::int64_t v = gen.uniform_int(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all five values appear in 1000 draws
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+    rng gen(5);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+    rng gen(5);
+    EXPECT_THROW(gen.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsAreStandard) {
+    rng gen(13);
+    constexpr int n = 200'000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsScales) {
+    rng gen(17);
+    constexpr int n = 50'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += gen.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, NormalRejectsNegativeStddev) {
+    rng gen(17);
+    EXPECT_THROW(gen.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+    rng gen(19);
+    int hits = 0;
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliRejectsOutOfRange) {
+    rng gen(19);
+    EXPECT_THROW(gen.bernoulli(1.5), std::invalid_argument);
+    EXPECT_THROW(gen.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+    rng gen(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    gen.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+    rng gen(29);
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i) v[i] = i;
+    auto shuffled = v;
+    gen.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(DeriveSeedTest, StableAndTagSensitive) {
+    const auto s1 = derive_seed(42, {1, 2, 3});
+    const auto s2 = derive_seed(42, {1, 2, 3});
+    const auto s3 = derive_seed(42, {1, 2, 4});
+    const auto s4 = derive_seed(43, {1, 2, 3});
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+    EXPECT_NE(s1, s4);
+}
+
+TEST(DeriveSeedTest, StringTagsDiffer) {
+    EXPECT_NE(derive_seed(42, "alpha"), derive_seed(42, "beta"));
+    EXPECT_EQ(derive_seed(42, "alpha"), derive_seed(42, "alpha"));
+}
+
+TEST(DeriveSeedTest, OrderMatters) {
+    EXPECT_NE(derive_seed(42, {1, 2}), derive_seed(42, {2, 1}));
+}
+
+}  // namespace
+}  // namespace fallsense::util

@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fallsense::util {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+    const std::vector<double> v{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(StatsTest, VariancePopulationConvention) {
+    const std::vector<double> v{1.0, 3.0};
+    EXPECT_DOUBLE_EQ(variance(v), 1.0);  // ((1-2)^2 + (3-2)^2) / 2
+}
+
+TEST(StatsTest, StddevIsSqrtVariance) {
+    const std::vector<double> v{0.0, 2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(variance(v)));
+}
+
+TEST(StatsTest, MinMax) {
+    const std::vector<double> v{3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+    EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(StatsTest, MinMaxThrowOnEmpty) {
+    EXPECT_THROW(min_value({}), std::invalid_argument);
+    EXPECT_THROW(max_value({}), std::invalid_argument);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+    const std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+    const std::vector<double> v{30.0, 10.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+}
+
+TEST(StatsTest, PercentileRejectsBadArgs) {
+    const std::vector<double> v{1.0};
+    EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+    EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+    EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+    const std::vector<double> v{1.5, 2.5, -3.0, 0.0, 7.25};
+    running_stats rs;
+    for (const double x : v) rs.add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+    EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 7.25);
+}
+
+TEST(RunningStatsTest, EmptyBehaviour) {
+    running_stats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_THROW(rs.min(), std::logic_error);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+    running_stats rs;
+    rs.add(42.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+}  // namespace
+}  // namespace fallsense::util

@@ -1,0 +1,281 @@
+// fallsense — command-line interface to the library.
+//
+//   fallsense generate --out DIR [--dataset merged|kfall|protechto]
+//                      [--scale tiny|quick|full] [--seed N]
+//   fallsense train    --data DIR --out weights.fsnn [--window-ms 400]
+//                      [--epochs 30] [--seed N]
+//   fallsense evaluate --data DIR --weights weights.fsnn [--window-ms 400]
+//                      [--threshold 0.5]
+//   fallsense deploy   --weights weights.fsnn --calib DIR --out blob.bin
+//                      [--window-ms 400] [--c-array NAME]
+//   fallsense replay   --file trial.csv --weights weights.fsnn
+//                      [--window-ms 400] [--threshold 0.5]
+//
+// Weights files store parameters only; the window size used at training
+// time must be passed again (kept explicit rather than guessed).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+
+#include "core/airbag.hpp"
+#include "core/experiment.hpp"
+#include "data/dataset_io.hpp"
+#include "data/trial_io.hpp"
+#include "eval/roc.hpp"
+#include "eval/threshold.hpp"
+#include "mcu/cost_model.hpp"
+#include "mcu/deployment.hpp"
+#include "mcu/memory_planner.hpp"
+#include "nn/activations.hpp"
+#include "nn/serialize.hpp"
+#include "quant/quantized_cnn.hpp"
+#include "util/args.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: fallsense <generate|train|evaluate|deploy|replay> [options]\n"
+                 "see the header of tools/fallsense_cli.cpp for the full synopsis\n");
+    return 2;
+}
+
+core::windowing_config windowing_from(const util::arg_parser& args) {
+    return core::standard_windowing(args.number_or("window-ms", 400.0));
+}
+
+/// Trials of a dataset restricted to standard units (the CLI trains and
+/// evaluates in the reference frame; run alignment upstream).
+void require_standard_units(const data::dataset& d) {
+    for (const data::trial& t : d.trials) {
+        if (t.accel_units != data::accel_unit::g ||
+            t.gyro_units != data::gyro_unit::rad_per_s) {
+            throw std::runtime_error(
+                "dataset contains non-standard units; regenerate with --dataset merged "
+                "or align it first");
+        }
+    }
+}
+
+int cmd_generate(const util::arg_parser& args) {
+    const std::string out = args.option_or("out", "");
+    if (out.empty()) throw std::invalid_argument("generate: --out DIR is required");
+    const std::string which = args.option_or("dataset", "merged");
+    const auto seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
+    const core::experiment_scale scale =
+        core::scale_preset(util::parse_run_scale(args.option_or("scale", "quick")));
+
+    data::dataset d;
+    if (which == "merged") {
+        d = core::make_merged_dataset(scale, seed);
+    } else if (which == "kfall") {
+        data::dataset_profile p = data::kfall_profile();
+        p.n_subjects = scale.kfall_subjects;
+        p.tuning = scale.tuning;
+        d = data::generate_dataset(p, seed);
+    } else if (which == "protechto") {
+        data::dataset_profile p = data::protechto_profile();
+        p.n_subjects = scale.protechto_subjects;
+        p.tuning = scale.tuning;
+        d = data::generate_dataset(p, seed);
+    } else {
+        throw std::invalid_argument("generate: unknown --dataset " + which);
+    }
+    data::write_dataset_dir(d, out);
+    std::printf("wrote %zu trials (%zu falls, %zu subjects) to %s\n", d.trial_count(),
+                d.fall_trial_count(), d.subject_ids().size(), out.c_str());
+    return 0;
+}
+
+int cmd_train(const util::arg_parser& args) {
+    const std::string data_dir = args.option_or("data", "");
+    const std::string out = args.option_or("out", "");
+    if (data_dir.empty() || out.empty()) {
+        throw std::invalid_argument("train: --data DIR and --out FILE are required");
+    }
+    const auto seed = static_cast<std::uint64_t>(args.integer_or("seed", 42));
+    const auto epochs = static_cast<std::size_t>(args.integer_or("epochs", 30));
+    const core::windowing_config wc = windowing_from(args);
+    const std::size_t window = wc.segmentation.window_samples;
+
+    const data::dataset d = data::read_dataset_dir(data_dir);
+    require_standard_units(d);
+
+    // Hold out the last ~20 % of subjects for early stopping.
+    const std::vector<int> subjects = d.subject_ids();
+    const std::size_t holdout = std::max<std::size_t>(1, subjects.size() / 5);
+    const std::vector<int> val_subjects(subjects.end() - static_cast<std::ptrdiff_t>(holdout),
+                                        subjects.end());
+    const std::vector<int> train_subjects(subjects.begin(),
+                                          subjects.end() - static_cast<std::ptrdiff_t>(holdout));
+
+    std::vector<data::trial> train_trials;
+    for (const data::trial& t : d.trials) {
+        if (std::find(train_subjects.begin(), train_subjects.end(), t.subject_id) !=
+            train_subjects.end()) {
+            train_trials.push_back(t);
+        }
+    }
+    util::rng aug_gen(util::derive_seed(seed, "augment"));
+    augment::augment_fall_trials(train_trials, 2, augment::trial_augment_config{}, aug_gen);
+
+    nn::labeled_data train =
+        core::to_labeled_data(core::extract_windows(train_trials, wc), window);
+    nn::labeled_data val = core::to_labeled_data(
+        core::extract_windows(d.trials, wc, &val_subjects), window);
+    std::printf("training on %zu windows (%.1f%% falling), validating on %zu\n",
+                train.size(), 100.0 * train.positive_fraction(), val.size());
+
+    auto cnn = core::build_fallsense_cnn(window, util::derive_seed(seed, "model"));
+    nn::train_config tc;
+    tc.max_epochs = epochs;
+    tc.early_stop_patience = std::max<std::size_t>(3, epochs / 8);
+    const nn::train_history h = nn::fit(*cnn, train, val, tc);
+    std::printf("trained %zu epochs (best %zu%s)\n", h.train_loss.size(), h.best_epoch + 1,
+                h.stopped_early ? ", early-stopped" : "");
+    nn::save_weights_file(*cnn, out);
+    std::printf("weights -> %s\n", out.c_str());
+    return 0;
+}
+
+int cmd_evaluate(const util::arg_parser& args) {
+    const std::string data_dir = args.option_or("data", "");
+    const std::string weights = args.option_or("weights", "");
+    if (data_dir.empty() || weights.empty()) {
+        throw std::invalid_argument("evaluate: --data DIR and --weights FILE are required");
+    }
+    const double threshold = args.number_or("threshold", 0.5);
+    const core::windowing_config wc = windowing_from(args);
+    const std::size_t window = wc.segmentation.window_samples;
+
+    const data::dataset d = data::read_dataset_dir(data_dir);
+    require_standard_units(d);
+    auto cnn = core::build_fallsense_cnn(window, 0);
+    nn::load_weights_file(*cnn, weights);
+
+    const auto windows = core::extract_windows(d.trials, wc);
+    nn::labeled_data batch = core::to_labeled_data(windows, window);
+    const std::vector<float> probs = nn::predict_proba(*cnn, batch.features);
+    const eval::classification_report report = eval::evaluate(probs, batch.labels, threshold);
+    std::printf("segments (%zu): %s, AUC %.4f\n", windows.size(),
+                eval::to_string(report).c_str(), eval::roc_auc(probs, batch.labels));
+
+    const auto records = core::to_segment_records(windows, probs);
+    const eval::event_analysis events = eval::analyze_events(records, threshold);
+    std::printf("events: %.2f%% falls missed, %.2f%% ADL false alarms "
+                "(red %.2f%%, green %.2f%%)\n",
+                events.fall_miss_percent_avg, events.adl_false_percent_avg,
+                events.red_adl_false_percent, events.green_adl_false_percent);
+    return 0;
+}
+
+int cmd_deploy(const util::arg_parser& args) {
+    const std::string weights = args.option_or("weights", "");
+    const std::string calib_dir = args.option_or("calib", "");
+    const std::string out = args.option_or("out", "");
+    if (weights.empty() || calib_dir.empty() || out.empty()) {
+        throw std::invalid_argument(
+            "deploy: --weights FILE, --calib DIR and --out FILE are required");
+    }
+    const core::windowing_config wc = windowing_from(args);
+    const std::size_t window = wc.segmentation.window_samples;
+
+    auto cnn = core::build_fallsense_cnn(window, 0);
+    nn::load_weights_file(*cnn, weights);
+    const data::dataset calib = data::read_dataset_dir(calib_dir);
+    require_standard_units(calib);
+    nn::labeled_data calib_data =
+        core::to_labeled_data(core::extract_windows(calib.trials, wc), window);
+
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*cnn, window);
+    const quant::quantized_cnn qmodel(spec, calib_data.features);
+    const auto blob = mcu::serialize_deployment_blob(qmodel);
+
+    std::ofstream os(out, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    os.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+    std::printf("blob -> %s (%.2f KiB)\n", out.c_str(),
+                static_cast<double>(blob.size()) / 1024.0);
+
+    if (const auto name = args.option("c-array")) {
+        const std::string c_path = out + ".c";
+        std::ofstream cs(c_path);
+        cs << mcu::render_c_array(blob, *name);
+        std::printf("C array -> %s\n", c_path.c_str());
+    }
+
+    const mcu::device_spec device = mcu::stm32f722();
+    const mcu::deployment_plan plan = mcu::plan_deployment(qmodel, device);
+    std::printf("%s\n", plan.summary().c_str());
+    std::printf("estimated inference: %.2f ms on %s\n",
+                mcu::estimate_inference(qmodel, device).milliseconds, device.name);
+    return 0;
+}
+
+int cmd_replay(const util::arg_parser& args) {
+    const std::string file = args.option_or("file", "");
+    const std::string weights = args.option_or("weights", "");
+    if (file.empty() || weights.empty()) {
+        throw std::invalid_argument("replay: --file CSV and --weights FILE are required");
+    }
+    const double threshold = args.number_or("threshold", 0.5);
+    const core::windowing_config wc = windowing_from(args);
+    const std::size_t window = wc.segmentation.window_samples;
+
+    auto cnn = core::build_fallsense_cnn(window, 0);
+    nn::load_weights_file(*cnn, weights);
+    const data::trial t = data::read_trial_csv(file, args.number_or("sample-rate", 100.0));
+
+    core::detector_config dc;
+    dc.window_samples = window;
+    dc.overlap_fraction = 0.75;
+    dc.threshold = threshold;
+    dc.sample_rate_hz = t.sample_rate_hz;
+    core::streaming_detector detector(dc, [&](std::span<const float> w) {
+        const nn::tensor x({1, window, core::k_feature_channels},
+                           std::vector<float>(w.begin(), w.end()));
+        const nn::tensor logit = cnn->forward(x, false);
+        return nn::sigmoid_scalar(logit[0]);
+    });
+
+    std::size_t triggers = 0;
+    for (std::size_t i = 0; i < t.sample_count(); ++i) {
+        if (const auto d = detector.push(t.samples[i])) {
+            std::printf("t=%.2fs trigger (confidence %.2f)\n",
+                        static_cast<double>(d->sample_index) / t.sample_rate_hz,
+                        d->probability);
+            ++triggers;
+        }
+    }
+    std::printf("%zu samples, %zu trigger(s)\n", t.sample_count(), triggers);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    util::arg_parser args;
+    for (const char* opt : {"out", "dataset", "scale", "seed", "data", "epochs", "window-ms",
+                            "weights", "threshold", "calib", "c-array", "file", "sample-rate"}) {
+        args.add_option(opt);
+    }
+    try {
+        args.parse(argc, argv, 2);
+        if (command == "generate") return cmd_generate(args);
+        if (command == "train") return cmd_train(args);
+        if (command == "evaluate") return cmd_evaluate(args);
+        if (command == "deploy") return cmd_deploy(args);
+        if (command == "replay") return cmd_replay(args);
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fallsense %s: %s\n", command.c_str(), e.what());
+        return 1;
+    }
+}
