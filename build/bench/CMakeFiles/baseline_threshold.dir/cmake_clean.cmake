@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_threshold.dir/baseline_threshold.cpp.o"
+  "CMakeFiles/baseline_threshold.dir/baseline_threshold.cpp.o.d"
+  "baseline_threshold"
+  "baseline_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

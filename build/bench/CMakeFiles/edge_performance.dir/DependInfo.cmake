@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/edge_performance.cpp" "bench/CMakeFiles/edge_performance.dir/edge_performance.cpp.o" "gcc" "bench/CMakeFiles/edge_performance.dir/edge_performance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcu/CMakeFiles/fallsense_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fallsense_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fallsense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fallsense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/fallsense_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fallsense_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fallsense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fallsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_performance.dir/edge_performance.cpp.o"
+  "CMakeFiles/edge_performance.dir/edge_performance.cpp.o.d"
+  "edge_performance"
+  "edge_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

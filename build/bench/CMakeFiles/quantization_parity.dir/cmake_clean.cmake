@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_parity.dir/quantization_parity.cpp.o"
+  "CMakeFiles/quantization_parity.dir/quantization_parity.cpp.o.d"
+  "quantization_parity"
+  "quantization_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

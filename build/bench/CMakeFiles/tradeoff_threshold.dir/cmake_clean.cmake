@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_threshold.dir/tradeoff_threshold.cpp.o"
+  "CMakeFiles/tradeoff_threshold.dir/tradeoff_threshold.cpp.o.d"
+  "tradeoff_threshold"
+  "tradeoff_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airbag_demo.dir/airbag_demo.cpp.o"
+  "CMakeFiles/airbag_demo.dir/airbag_demo.cpp.o.d"
+  "airbag_demo"
+  "airbag_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airbag_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

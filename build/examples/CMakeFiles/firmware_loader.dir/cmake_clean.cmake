@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_loader.dir/firmware_loader.cpp.o"
+  "CMakeFiles/firmware_loader.dir/firmware_loader.cpp.o.d"
+  "firmware_loader"
+  "firmware_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

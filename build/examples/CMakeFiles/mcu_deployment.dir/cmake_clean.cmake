@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcu_deployment.dir/mcu_deployment.cpp.o"
+  "CMakeFiles/mcu_deployment.dir/mcu_deployment.cpp.o.d"
+  "mcu_deployment"
+  "mcu_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcu_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_replay.dir/streaming_replay.cpp.o"
+  "CMakeFiles/streaming_replay.dir/streaming_replay.cpp.o.d"
+  "streaming_replay"
+  "streaming_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

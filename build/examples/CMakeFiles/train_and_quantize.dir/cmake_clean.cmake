@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_quantize.dir/train_and_quantize.cpp.o"
+  "CMakeFiles/train_and_quantize.dir/train_and_quantize.cpp.o.d"
+  "train_and_quantize"
+  "train_and_quantize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/trial_augment.cpp" "src/augment/CMakeFiles/fallsense_augment.dir/trial_augment.cpp.o" "gcc" "src/augment/CMakeFiles/fallsense_augment.dir/trial_augment.cpp.o.d"
+  "/root/repo/src/augment/warping.cpp" "src/augment/CMakeFiles/fallsense_augment.dir/warping.cpp.o" "gcc" "src/augment/CMakeFiles/fallsense_augment.dir/warping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fallsense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fallsense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_augment.dir/trial_augment.cpp.o"
+  "CMakeFiles/fallsense_augment.dir/trial_augment.cpp.o.d"
+  "CMakeFiles/fallsense_augment.dir/warping.cpp.o"
+  "CMakeFiles/fallsense_augment.dir/warping.cpp.o.d"
+  "libfallsense_augment.a"
+  "libfallsense_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

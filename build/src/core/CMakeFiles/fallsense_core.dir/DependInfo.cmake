@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/airbag.cpp" "src/core/CMakeFiles/fallsense_core.dir/airbag.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/airbag.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/fallsense_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/fallsense_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/fallsense_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/fallsense_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/threshold_detector.cpp" "src/core/CMakeFiles/fallsense_core.dir/threshold_detector.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/threshold_detector.cpp.o.d"
+  "/root/repo/src/core/windowing.cpp" "src/core/CMakeFiles/fallsense_core.dir/windowing.cpp.o" "gcc" "src/core/CMakeFiles/fallsense_core.dir/windowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fallsense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fallsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fallsense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/fallsense_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fallsense_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_core.dir/airbag.cpp.o"
+  "CMakeFiles/fallsense_core.dir/airbag.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/experiment.cpp.o"
+  "CMakeFiles/fallsense_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/models.cpp.o"
+  "CMakeFiles/fallsense_core.dir/models.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fallsense_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/preprocess.cpp.o"
+  "CMakeFiles/fallsense_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/threshold_detector.cpp.o"
+  "CMakeFiles/fallsense_core.dir/threshold_detector.cpp.o.d"
+  "CMakeFiles/fallsense_core.dir/windowing.cpp.o"
+  "CMakeFiles/fallsense_core.dir/windowing.cpp.o.d"
+  "libfallsense_core.a"
+  "libfallsense_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/alignment.cpp" "src/data/CMakeFiles/fallsense_data.dir/alignment.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/alignment.cpp.o.d"
+  "/root/repo/src/data/dataset_io.cpp" "src/data/CMakeFiles/fallsense_data.dir/dataset_io.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/fallsense_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/motion_profile.cpp" "src/data/CMakeFiles/fallsense_data.dir/motion_profile.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/motion_profile.cpp.o.d"
+  "/root/repo/src/data/synthesizer.cpp" "src/data/CMakeFiles/fallsense_data.dir/synthesizer.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/data/taxonomy.cpp" "src/data/CMakeFiles/fallsense_data.dir/taxonomy.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/data/trial_io.cpp" "src/data/CMakeFiles/fallsense_data.dir/trial_io.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/trial_io.cpp.o.d"
+  "/root/repo/src/data/types.cpp" "src/data/CMakeFiles/fallsense_data.dir/types.cpp.o" "gcc" "src/data/CMakeFiles/fallsense_data.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fallsense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

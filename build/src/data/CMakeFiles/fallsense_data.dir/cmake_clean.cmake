@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_data.dir/alignment.cpp.o"
+  "CMakeFiles/fallsense_data.dir/alignment.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/dataset_io.cpp.o"
+  "CMakeFiles/fallsense_data.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/generator.cpp.o"
+  "CMakeFiles/fallsense_data.dir/generator.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/motion_profile.cpp.o"
+  "CMakeFiles/fallsense_data.dir/motion_profile.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/synthesizer.cpp.o"
+  "CMakeFiles/fallsense_data.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/taxonomy.cpp.o"
+  "CMakeFiles/fallsense_data.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/trial_io.cpp.o"
+  "CMakeFiles/fallsense_data.dir/trial_io.cpp.o.d"
+  "CMakeFiles/fallsense_data.dir/types.cpp.o"
+  "CMakeFiles/fallsense_data.dir/types.cpp.o.d"
+  "libfallsense_data.a"
+  "libfallsense_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

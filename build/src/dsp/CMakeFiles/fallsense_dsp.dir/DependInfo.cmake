@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/fallsense_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/fallsense_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/fusion.cpp" "src/dsp/CMakeFiles/fallsense_dsp.dir/fusion.cpp.o" "gcc" "src/dsp/CMakeFiles/fallsense_dsp.dir/fusion.cpp.o.d"
+  "/root/repo/src/dsp/rotation.cpp" "src/dsp/CMakeFiles/fallsense_dsp.dir/rotation.cpp.o" "gcc" "src/dsp/CMakeFiles/fallsense_dsp.dir/rotation.cpp.o.d"
+  "/root/repo/src/dsp/segmentation.cpp" "src/dsp/CMakeFiles/fallsense_dsp.dir/segmentation.cpp.o" "gcc" "src/dsp/CMakeFiles/fallsense_dsp.dir/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/fallsense_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/fallsense_dsp.dir/fusion.cpp.o"
+  "CMakeFiles/fallsense_dsp.dir/fusion.cpp.o.d"
+  "CMakeFiles/fallsense_dsp.dir/rotation.cpp.o"
+  "CMakeFiles/fallsense_dsp.dir/rotation.cpp.o.d"
+  "CMakeFiles/fallsense_dsp.dir/segmentation.cpp.o"
+  "CMakeFiles/fallsense_dsp.dir/segmentation.cpp.o.d"
+  "libfallsense_dsp.a"
+  "libfallsense_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

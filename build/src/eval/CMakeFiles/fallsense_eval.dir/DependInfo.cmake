@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/events.cpp" "src/eval/CMakeFiles/fallsense_eval.dir/events.cpp.o" "gcc" "src/eval/CMakeFiles/fallsense_eval.dir/events.cpp.o.d"
+  "/root/repo/src/eval/kfold.cpp" "src/eval/CMakeFiles/fallsense_eval.dir/kfold.cpp.o" "gcc" "src/eval/CMakeFiles/fallsense_eval.dir/kfold.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/fallsense_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/fallsense_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/roc.cpp" "src/eval/CMakeFiles/fallsense_eval.dir/roc.cpp.o" "gcc" "src/eval/CMakeFiles/fallsense_eval.dir/roc.cpp.o.d"
+  "/root/repo/src/eval/threshold.cpp" "src/eval/CMakeFiles/fallsense_eval.dir/threshold.cpp.o" "gcc" "src/eval/CMakeFiles/fallsense_eval.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fallsense_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fallsense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_eval.dir/events.cpp.o"
+  "CMakeFiles/fallsense_eval.dir/events.cpp.o.d"
+  "CMakeFiles/fallsense_eval.dir/kfold.cpp.o"
+  "CMakeFiles/fallsense_eval.dir/kfold.cpp.o.d"
+  "CMakeFiles/fallsense_eval.dir/metrics.cpp.o"
+  "CMakeFiles/fallsense_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/fallsense_eval.dir/roc.cpp.o"
+  "CMakeFiles/fallsense_eval.dir/roc.cpp.o.d"
+  "CMakeFiles/fallsense_eval.dir/threshold.cpp.o"
+  "CMakeFiles/fallsense_eval.dir/threshold.cpp.o.d"
+  "libfallsense_eval.a"
+  "libfallsense_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

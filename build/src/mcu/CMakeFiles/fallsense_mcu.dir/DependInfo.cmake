@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcu/cost_model.cpp" "src/mcu/CMakeFiles/fallsense_mcu.dir/cost_model.cpp.o" "gcc" "src/mcu/CMakeFiles/fallsense_mcu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mcu/deployment.cpp" "src/mcu/CMakeFiles/fallsense_mcu.dir/deployment.cpp.o" "gcc" "src/mcu/CMakeFiles/fallsense_mcu.dir/deployment.cpp.o.d"
+  "/root/repo/src/mcu/memory_planner.cpp" "src/mcu/CMakeFiles/fallsense_mcu.dir/memory_planner.cpp.o" "gcc" "src/mcu/CMakeFiles/fallsense_mcu.dir/memory_planner.cpp.o.d"
+  "/root/repo/src/mcu/stm32_spec.cpp" "src/mcu/CMakeFiles/fallsense_mcu.dir/stm32_spec.cpp.o" "gcc" "src/mcu/CMakeFiles/fallsense_mcu.dir/stm32_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fallsense_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fallsense_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

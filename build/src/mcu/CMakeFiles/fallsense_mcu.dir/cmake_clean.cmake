@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_mcu.dir/cost_model.cpp.o"
+  "CMakeFiles/fallsense_mcu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/fallsense_mcu.dir/deployment.cpp.o"
+  "CMakeFiles/fallsense_mcu.dir/deployment.cpp.o.d"
+  "CMakeFiles/fallsense_mcu.dir/memory_planner.cpp.o"
+  "CMakeFiles/fallsense_mcu.dir/memory_planner.cpp.o.d"
+  "CMakeFiles/fallsense_mcu.dir/stm32_spec.cpp.o"
+  "CMakeFiles/fallsense_mcu.dir/stm32_spec.cpp.o.d"
+  "libfallsense_mcu.a"
+  "libfallsense_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/conv_lstm2d.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/conv_lstm2d.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/conv_lstm2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/misc_layers.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/misc_layers.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/misc_layers.cpp.o.d"
+  "/root/repo/src/nn/multi_branch.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/multi_branch.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/multi_branch.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/fallsense_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/fallsense_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfallsense_nn.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/cnn_spec.cpp" "src/quant/CMakeFiles/fallsense_quant.dir/cnn_spec.cpp.o" "gcc" "src/quant/CMakeFiles/fallsense_quant.dir/cnn_spec.cpp.o.d"
+  "/root/repo/src/quant/qparams.cpp" "src/quant/CMakeFiles/fallsense_quant.dir/qparams.cpp.o" "gcc" "src/quant/CMakeFiles/fallsense_quant.dir/qparams.cpp.o.d"
+  "/root/repo/src/quant/quantized_cnn.cpp" "src/quant/CMakeFiles/fallsense_quant.dir/quantized_cnn.cpp.o" "gcc" "src/quant/CMakeFiles/fallsense_quant.dir/quantized_cnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fallsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fallsense_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_quant.dir/cnn_spec.cpp.o"
+  "CMakeFiles/fallsense_quant.dir/cnn_spec.cpp.o.d"
+  "CMakeFiles/fallsense_quant.dir/qparams.cpp.o"
+  "CMakeFiles/fallsense_quant.dir/qparams.cpp.o.d"
+  "CMakeFiles/fallsense_quant.dir/quantized_cnn.cpp.o"
+  "CMakeFiles/fallsense_quant.dir/quantized_cnn.cpp.o.d"
+  "libfallsense_quant.a"
+  "libfallsense_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

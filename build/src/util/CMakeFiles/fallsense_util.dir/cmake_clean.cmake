@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_util.dir/args.cpp.o"
+  "CMakeFiles/fallsense_util.dir/args.cpp.o.d"
+  "CMakeFiles/fallsense_util.dir/csv.cpp.o"
+  "CMakeFiles/fallsense_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fallsense_util.dir/env.cpp.o"
+  "CMakeFiles/fallsense_util.dir/env.cpp.o.d"
+  "CMakeFiles/fallsense_util.dir/logging.cpp.o"
+  "CMakeFiles/fallsense_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fallsense_util.dir/rng.cpp.o"
+  "CMakeFiles/fallsense_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fallsense_util.dir/stats.cpp.o"
+  "CMakeFiles/fallsense_util.dir/stats.cpp.o.d"
+  "libfallsense_util.a"
+  "libfallsense_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

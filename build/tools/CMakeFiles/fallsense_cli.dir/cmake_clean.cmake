@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallsense_cli.dir/fallsense_cli.cpp.o"
+  "CMakeFiles/fallsense_cli.dir/fallsense_cli.cpp.o.d"
+  "fallsense"
+  "fallsense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallsense_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
