@@ -3,15 +3,20 @@
 // engineering substrate behind the paper-level numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/models.hpp"
 #include "core/preprocess.hpp"
 #include "data/synthesizer.hpp"
 #include "dsp/biquad.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
+#include "nn/gemm.hpp"
 #include "nn/lstm.hpp"
 #include "quant/quantized_cnn.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -58,17 +63,115 @@ void BM_DenseForward(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseForward)->Arg(128)->Arg(512)->Arg(912);
 
+void BM_DenseForwardNaive(benchmark::State& state) {
+    const auto in_features = static_cast<std::size_t>(state.range(0));
+    util::rng gen(1);
+    nn::dense layer(in_features, 64, gen);
+    const nn::tensor x = random_tensor({32, in_features}, 2);
+    std::vector<float> y(32 * 64);
+    for (auto _ : state) {
+        nn::reference::dense_forward(x.data(), layer.weight().value.data(),
+                                     layer.bias().value.data(), 32, in_features, 64,
+                                     y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseForwardNaive)->Arg(128)->Arg(512)->Arg(912);
+
+// The paper's branch shape: [batch, 150, 3] -> filters, kernel 3.  Naive
+// vs GEMM is the headline kernel comparison; the acceptance bar is >= 3x.
 void BM_Conv1dForward(benchmark::State& state) {
+    const auto filters = static_cast<std::size_t>(state.range(0));
     util::rng gen(3);
-    nn::conv1d layer(3, 16, 3, gen);
-    const nn::tensor x = random_tensor({32, 40, 3}, 4);
+    nn::conv1d layer(3, filters, 3, gen);
+    const nn::tensor x = random_tensor({32, 150, 3}, 4);
     for (auto _ : state) {
         nn::tensor y = layer.forward(x, false);
         benchmark::DoNotOptimize(y);
     }
     state.SetItemsProcessed(state.iterations() * 32);
 }
-BENCHMARK(BM_Conv1dForward);
+BENCHMARK(BM_Conv1dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv1dForwardNaive(benchmark::State& state) {
+    const auto filters = static_cast<std::size_t>(state.range(0));
+    util::rng gen(3);
+    nn::conv1d layer(3, filters, 3, gen);
+    const nn::tensor x = random_tensor({32, 150, 3}, 4);
+    std::vector<float> y(32 * 148 * filters);
+    for (auto _ : state) {
+        nn::reference::conv1d_forward(x.data(), layer.weight().value.data(),
+                                      layer.bias().value.data(), 32, 150, 3, filters, 3,
+                                      y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1dForwardNaive)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv1dBackward(benchmark::State& state) {
+    util::rng gen(3);
+    nn::conv1d layer(3, 16, 3, gen);
+    const nn::tensor x = random_tensor({32, 150, 3}, 4);
+    const nn::tensor gy = random_tensor({32, 148, 16}, 5);
+    layer.forward(x, true);
+    for (auto _ : state) {
+        nn::tensor gx = layer.backward(gy);
+        benchmark::DoNotOptimize(gx);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1dBackward);
+
+void BM_Conv1dBackwardNaive(benchmark::State& state) {
+    util::rng gen(3);
+    nn::conv1d layer(3, 16, 3, gen);
+    const nn::tensor x = random_tensor({32, 150, 3}, 4);
+    const nn::tensor gy = random_tensor({32, 148, 16}, 5);
+    std::vector<float> gx(32 * 150 * 3), gw(3 * 3 * 16), gb(16);
+    for (auto _ : state) {
+        std::fill(gx.begin(), gx.end(), 0.0f);
+        nn::reference::conv1d_backward(x.data(), layer.weight().value.data(), gy.data(), 32,
+                                       150, 3, 16, 3, gx.data(), gw.data(), gb.data());
+        benchmark::DoNotOptimize(gx.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1dBackwardNaive);
+
+// Raw GEMM thread-scaling sweep: 512x512x512 at FALLSENSE_THREADS
+// overridden to {1, 2, 4, 8}.
+void BM_GemmNNThreads(benchmark::State& state) {
+    util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+    const std::size_t m = 512, n = 512, k = 512;
+    const nn::tensor a = random_tensor({m, k}, 6);
+    const nn::tensor b = random_tensor({k, n}, 7);
+    nn::tensor c({m, n});
+    for (auto _ : state) {
+        nn::gemm_nn(m, n, k, a.data(), b.data(), c.data(), false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * m * n * k));
+    util::set_global_threads(0);
+}
+BENCHMARK(BM_GemmNNThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Conv1d forward at the paper's branch shape across thread counts.
+void BM_Conv1dForwardThreads(benchmark::State& state) {
+    util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+    util::rng gen(3);
+    nn::conv1d layer(3, 16, 3, gen);
+    const nn::tensor x = random_tensor({256, 150, 3}, 4);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+    util::set_global_threads(0);
+}
+BENCHMARK(BM_Conv1dForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_LstmForward(benchmark::State& state) {
     util::rng gen(5);

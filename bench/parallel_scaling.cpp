@@ -1,0 +1,90 @@
+// End-to-end thread-scaling benchmarks (google-benchmark): the harness
+// stages that the thread pool parallelizes — dataset synthesis, window
+// extraction, and the full subject-independent k-fold protocol — each swept
+// over FALLSENSE_THREADS = {1, 2, 4, 8}.  The acceptance bar for the
+// substrate is a >= 2x k-fold wall-clock improvement at 4 threads on a
+// 4-core host; scripts/run_bench.sh records the sweep in BENCH_kernel.json.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+/// Small but representative scale: enough subjects/epochs that fold
+/// training dominates, small enough that the sweep finishes in minutes.
+core::experiment_scale bench_scale() {
+    core::experiment_scale s = core::scale_preset(util::run_scale::tiny);
+    s.kfall_subjects = 4;
+    s.protechto_subjects = 4;
+    s.folds = 4;
+    s.folds_to_run = 4;
+    s.validation_subjects = 1;
+    s.max_epochs = 3;
+    s.early_stop_patience = 0;
+    return s;
+}
+
+void BM_DatasetSynthesisThreads(benchmark::State& state) {
+    util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+    const core::experiment_scale s = bench_scale();
+    for (auto _ : state) {
+        const data::dataset merged = core::make_merged_dataset(s, 42);
+        benchmark::DoNotOptimize(merged.trial_count());
+    }
+    util::set_global_threads(0);
+}
+BENCHMARK(BM_DatasetSynthesisThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_WindowExtractionThreads(benchmark::State& state) {
+    util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+    const core::experiment_scale s = bench_scale();
+    const data::dataset merged = core::make_merged_dataset(s, 42);
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    for (auto _ : state) {
+        const auto windows = core::extract_windows(merged.trials, wc);
+        benchmark::DoNotOptimize(windows.size());
+    }
+    util::set_global_threads(0);
+}
+BENCHMARK(BM_WindowExtractionThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The headline number: the full cross-validation protocol (synthesis is
+// done once outside the loop; folds, training, and evaluation inside).
+void BM_KFoldEndToEndThreads(benchmark::State& state) {
+    util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+    const core::experiment_scale s = bench_scale();
+    const data::dataset merged = core::make_merged_dataset(s, 42);
+    const core::windowing_config wc = core::standard_windowing(400.0);
+    for (auto _ : state) {
+        const core::cross_validation_result cv =
+            core::run_cross_validation(core::model_kind::cnn, merged, wc, s, 7);
+        benchmark::DoNotOptimize(cv.pooled.f1);
+    }
+    util::set_global_threads(0);
+}
+BENCHMARK(BM_KFoldEndToEndThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Run the google-benchmark binaries (kernel_micro + parallel_scaling) with
+# JSON output and combine them into BENCH_kernel.json at the repo root.
+# Usage: scripts/run_bench.sh [build-dir]
+#
+# Optional environment:
+#   FALLSENSE_BENCH_FILTER   passed as --benchmark_filter (default: all)
+#   FALLSENSE_THREADS        baseline pool size (sweeps override it per-run)
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+OUT="$REPO_ROOT/BENCH_kernel.json"
+FILTER="${FALLSENSE_BENCH_FILTER:-}"
+
+KERNEL_BIN="$BUILD_DIR/bench/kernel_micro"
+SCALING_BIN="$BUILD_DIR/bench/parallel_scaling"
+
+for bin in "$KERNEL_BIN" "$SCALING_BIN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not found or not executable; build first:" >&2
+        echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+done
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT INT TERM
+
+run_bench() {
+    # run_bench <binary> <json-out>
+    if [ -n "$FILTER" ]; then
+        "$1" --benchmark_format=json --benchmark_out="$2" \
+             --benchmark_out_format=json --benchmark_filter="$FILTER" \
+             >/dev/null
+    else
+        "$1" --benchmark_format=json --benchmark_out="$2" \
+             --benchmark_out_format=json >/dev/null
+    fi
+}
+
+echo ">>> kernel_micro"
+run_bench "$KERNEL_BIN" "$TMP_DIR/kernel_micro.json"
+echo ">>> parallel_scaling"
+run_bench "$SCALING_BIN" "$TMP_DIR/parallel_scaling.json"
+
+# Combine into one JSON object keyed by binary name.  Plain shell
+# concatenation: both inputs are complete JSON documents emitted by
+# google-benchmark, so wrapping them needs no JSON parser.
+{
+    printf '{\n"kernel_micro":\n'
+    cat "$TMP_DIR/kernel_micro.json"
+    printf ',\n"parallel_scaling":\n'
+    cat "$TMP_DIR/parallel_scaling.json"
+    printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -154,15 +154,24 @@ cross_validation_result run_cross_validation(model_kind kind, const data::datase
         eval::make_subject_folds(merged.subject_ids(), kf);
 
     cross_validation_result cv;
-    std::vector<float> all_probs;
-    std::vector<float> all_labels;
     const std::size_t folds_to_run = std::min(scale.folds_to_run, splits.size());
     FS_ARG_CHECK(folds_to_run > 0, "no folds to run");
-    for (std::size_t f = 0; f < folds_to_run; ++f) {
+
+    // Folds are independent given the merged dataset and their derived
+    // seeds, so they run concurrently on the global pool; each writes only
+    // its own slot and the pooling below walks the slots in fold order, so
+    // the result is bit-identical for any FALLSENSE_THREADS.
+    std::vector<fold_result> fold_results(folds_to_run);
+    eval::for_each_fold(folds_to_run, [&](std::size_t f) {
         FS_LOG_INFO("experiment") << model_kind_name(kind) << ": fold " << (f + 1) << '/'
                                   << folds_to_run;
-        fold_result fr = run_fold(kind, merged, splits[f], windows, scale,
-                                  util::derive_seed(seed, {0xf01dULL, f}), options);
+        fold_results[f] = run_fold(kind, merged, splits[f], windows, scale,
+                                   util::derive_seed(seed, {0xf01dULL, f}), options);
+    });
+
+    std::vector<float> all_probs;
+    std::vector<float> all_labels;
+    for (fold_result& fr : fold_results) {
         for (const eval::segment_record& r : fr.test_records) {
             all_probs.push_back(r.probability);
             all_labels.push_back(r.label);

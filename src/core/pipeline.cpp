@@ -24,6 +24,7 @@ streaming_detector::streaming_detector(const detector_config& config, segment_sc
                               config_.sample_rate_hz);
     }
     ring_.assign(config_.window_samples * k_feature_channels, 0.0f);
+    window_scratch_.assign(config_.window_samples * k_feature_channels, 0.0f);
     const double hop =
         static_cast<double>(config_.window_samples) * (1.0 - config_.overlap_fraction);
     hop_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(hop)));
@@ -64,15 +65,16 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
     if (tick_ < config_.window_samples || (tick_ - config_.window_samples) % hop_ != 0) {
         return std::nullopt;
     }
-    // Unroll the ring into chronological order.
-    std::vector<float> window(config_.window_samples * k_feature_channels);
+    // Unroll the ring into chronological order.  The scratch buffer is a
+    // member so the per-tick scoring path allocates nothing — this runs
+    // once per hop for every streamed sample in replay benches.
     for (std::size_t i = 0; i < config_.window_samples; ++i) {
         const std::size_t src = (tick_ + i) % config_.window_samples;
         std::copy(ring_.begin() + static_cast<std::ptrdiff_t>(src * k_feature_channels),
                   ring_.begin() + static_cast<std::ptrdiff_t>((src + 1) * k_feature_channels),
-                  window.begin() + static_cast<std::ptrdiff_t>(i * k_feature_channels));
+                  window_scratch_.begin() + static_cast<std::ptrdiff_t>(i * k_feature_channels));
     }
-    last_score_ = scorer_(window);
+    last_score_ = scorer_(window_scratch_);
     if (last_score_ >= config_.threshold) {
         ++positive_run_;
         if (positive_run_ >= std::max<std::size_t>(config_.consecutive_required, 1)) {

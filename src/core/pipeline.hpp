@@ -62,7 +62,8 @@ private:
     segment_scorer scorer_;
     std::vector<dsp::butterworth_lowpass> filters_;  ///< 6 raw channels
     dsp::complementary_filter fusion_;
-    std::vector<float> ring_;  ///< [window x 9] circular feature buffer
+    std::vector<float> ring_;            ///< [window x 9] circular feature buffer
+    std::vector<float> window_scratch_;  ///< chronological window handed to the scorer
     std::size_t tick_ = 0;
     std::size_t hop_ = 1;
     float last_score_ = 0.0f;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::core {
 
@@ -65,10 +66,26 @@ std::vector<window_example> extract_windows(const std::vector<data::trial>& tria
                                             const std::vector<int>* subject_filter) {
     std::set<int> allowed;
     if (subject_filter) allowed.insert(subject_filter->begin(), subject_filter->end());
-    std::vector<window_example> out;
+    std::vector<const data::trial*> selected;
+    selected.reserve(trials.size());
     for (const data::trial& t : trials) {
         if (subject_filter && !allowed.contains(t.subject_id)) continue;
-        std::vector<window_example> w = extract_windows(t, config);
+        selected.push_back(&t);
+    }
+
+    // Preprocessing + segmentation dominate the harness outside training, so
+    // trials extract in parallel into per-trial slots; concatenating in
+    // trial order reproduces the sequential output exactly.
+    std::vector<std::vector<window_example>> per_trial(selected.size());
+    util::parallel_for(0, selected.size(), 1, [&](std::size_t i) {
+        per_trial[i] = extract_windows(*selected[i], config);
+    });
+
+    std::vector<window_example> out;
+    std::size_t total = 0;
+    for (const std::vector<window_example>& w : per_trial) total += w.size();
+    out.reserve(total);
+    for (std::vector<window_example>& w : per_trial) {
         out.insert(out.end(), std::make_move_iterator(w.begin()),
                    std::make_move_iterator(w.end()));
     }
@@ -84,10 +101,12 @@ nn::labeled_data to_labeled_data(const std::vector<window_example>& examples,
     for (std::size_t i = 0; i < examples.size(); ++i) {
         FS_ARG_CHECK(examples[i].features.size() == row_size,
                      "window example size mismatch");
-        std::copy(examples[i].features.begin(), examples[i].features.end(),
-                  data.features.data() + i * row_size);
         data.labels.push_back(examples[i].label);
     }
+    util::parallel_for(0, examples.size(), 256, [&](std::size_t i) {
+        std::copy(examples[i].features.begin(), examples[i].features.end(),
+                  data.features.data() + i * row_size);
+    });
     return data;
 }
 

@@ -7,6 +7,7 @@
 #include "data/taxonomy.hpp"
 #include "dsp/units.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::data {
 
@@ -96,26 +97,44 @@ dataset generate_dataset(const dataset_profile& profile, std::uint64_t seed) {
         sample_subjects(profile.n_subjects, profile.subject_id_base,
                         util::derive_seed(seed, profile.name));
 
+    // Flatten the subject x task x repetition nest into one job list so the
+    // independent trials synthesize in parallel.  Each trial seeds its own
+    // rng from (subject, task, rep) and writes only its own slot, so the
+    // dataset is bit-identical to the sequential loop for any thread count.
+    struct trial_job {
+        const subject_profile* subject;
+        int task_id;
+        int rep;
+    };
+    std::vector<trial_job> jobs;
+    jobs.reserve(subjects.size() * profile.task_ids.size() *
+                 static_cast<std::size_t>(profile.trials_per_task));
     for (const subject_profile& subject : subjects) {
         for (const int task_id : profile.task_ids) {
             for (int rep = 0; rep < profile.trials_per_task; ++rep) {
-                util::rng gen(util::derive_seed(
-                    seed, {static_cast<std::uint64_t>(subject.id),
-                           static_cast<std::uint64_t>(task_id),
-                           static_cast<std::uint64_t>(rep)}));
-                trial t = synthesize_task(task_id, subject, profile.tuning,
-                                          profile.synthesis, gen);
-                t.trial_index = rep;
-                t.accel_units = profile.accel_units;
-                t.gyro_units = profile.gyro_units;
-                for (raw_sample& s : t.samples) {
-                    s = to_dataset_frame(s, from_reference, profile.accel_units,
-                                         profile.gyro_units);
-                }
-                out.trials.push_back(std::move(t));
+                jobs.push_back({&subject, task_id, rep});
             }
         }
     }
+
+    out.trials.resize(jobs.size());
+    util::parallel_for(0, jobs.size(), 1, [&](std::size_t i) {
+        const trial_job& job = jobs[i];
+        util::rng gen(util::derive_seed(
+            seed, {static_cast<std::uint64_t>(job.subject->id),
+                   static_cast<std::uint64_t>(job.task_id),
+                   static_cast<std::uint64_t>(job.rep)}));
+        trial t = synthesize_task(job.task_id, *job.subject, profile.tuning,
+                                  profile.synthesis, gen);
+        t.trial_index = job.rep;
+        t.accel_units = profile.accel_units;
+        t.gyro_units = profile.gyro_units;
+        for (raw_sample& s : t.samples) {
+            s = to_dataset_frame(s, from_reference, profile.accel_units,
+                                 profile.gyro_units);
+        }
+        out.trials[i] = std::move(t);
+    });
     return out;
 }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::dsp {
 
@@ -104,7 +105,10 @@ void filter_channels_inplace(std::span<float> interleaved, std::size_t channels,
     FS_ARG_CHECK(interleaved.size() % channels == 0,
                  "interleaved buffer size not a multiple of channel count");
     const std::size_t frames = interleaved.size() / channels;
-    for (std::size_t c = 0; c < channels; ++c) {
+    // Channels filter independently (own filter state, disjoint strided
+    // samples), so they run in parallel; the streamed recursion within a
+    // channel stays strictly serial.
+    util::parallel_for(0, channels, 1, [&](std::size_t c) {
         butterworth_lowpass filter(order, cutoff_hz, sample_rate_hz);
         // Prime on the channel's first sample: recordings begin mid-signal
         // (the subject is already standing/walking), so a cold-start
@@ -114,7 +118,7 @@ void filter_channels_inplace(std::span<float> interleaved, std::size_t channels,
             float& sample = interleaved[t * channels + c];
             sample = filter.process(sample);
         }
-    }
+    });
 }
 
 }  // namespace fallsense::dsp

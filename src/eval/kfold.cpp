@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::eval {
 
@@ -50,6 +51,13 @@ std::vector<fold_split> make_subject_folds(std::vector<int> subject_ids,
         splits.push_back(std::move(split));
     }
     return splits;
+}
+
+void for_each_fold(std::size_t fold_count, const std::function<void(std::size_t)>& fn) {
+    // Grain 1: a fold is the coarsest unit of work in the harness, so every
+    // fold is its own task.  Nested parallel regions inside a fold (GEMM,
+    // preprocessing) automatically run inline on the fold's thread.
+    util::parallel_for(0, fold_count, 1, fn);
 }
 
 }  // namespace fallsense::eval

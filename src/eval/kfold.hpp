@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace fallsense::eval {
@@ -29,5 +30,13 @@ struct kfold_config {
 /// test are pairwise disjoint within each split.
 std::vector<fold_split> make_subject_folds(std::vector<int> subject_ids,
                                            const kfold_config& config);
+
+/// Run fn(fold_index) once for every fold in [0, fold_count), distributing
+/// folds across the global thread pool (FALLSENSE_THREADS).  Each fold must
+/// be self-contained — seeded from its own derived seed and writing results
+/// only to its own index-addressed slot — which keeps the cross-validation
+/// output bit-identical for any thread count.  Blocks until every fold
+/// finishes; rethrows the first fold exception.
+void for_each_fold(std::size_t fold_count, const std::function<void(std::size_t)>& fn);
 
 }  // namespace fallsense::eval

@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 
@@ -29,26 +31,23 @@ tensor conv1d::forward(const tensor& input, bool /*training*/) {
     const std::size_t out_time = time - kernel_ + 1;
     input_cache_ = input;
 
+    // Lower to GEMM: col [rows x kernel·in_ch] times the weight tensor,
+    // whose [kernel, in_ch, out_ch] layout flattens to exactly the matrix
+    // the product needs.  The col buffer persists for backward.
+    const std::size_t rows = batch * out_time;
+    const std::size_t patch = kernel_ * in_ch_;
+    col_cache_.resize(rows * patch);
+    im2col(input.data(), batch, time, in_ch_, kernel_, col_cache_.data());
+
     tensor out({batch, out_time, out_ch_});
-    const float* w = weight_.value.data();
     const float* b = bias_.value.data();
-    for (std::size_t n = 0; n < batch; ++n) {
-        const float* xn = input.data() + n * time * in_ch_;
-        float* yn = out.data() + n * out_time * out_ch_;
-        for (std::size_t t = 0; t < out_time; ++t) {
-            float* yt = yn + t * out_ch_;
-            for (std::size_t o = 0; o < out_ch_; ++o) yt[o] = b[o];
-            for (std::size_t k = 0; k < kernel_; ++k) {
-                const float* xt = xn + (t + k) * in_ch_;
-                const float* wk = w + k * in_ch_ * out_ch_;
-                for (std::size_t c = 0; c < in_ch_; ++c) {
-                    const float xv = xt[c];
-                    const float* wc = wk + c * out_ch_;
-                    for (std::size_t o = 0; o < out_ch_; ++o) yt[o] += xv * wc[o];
-                }
-            }
-        }
-    }
+    float* y = out.data();
+    util::parallel_for(0, rows, 512, [&](std::size_t r) {
+        float* yr = y + r * out_ch_;
+        for (std::size_t o = 0; o < out_ch_; ++o) yr[o] = b[o];
+    });
+    gemm_nn(rows, out_ch_, patch, col_cache_.data(), weight_.value.data(), y,
+            /*accumulate=*/true);
     return out;
 }
 
@@ -60,37 +59,31 @@ tensor conv1d::backward(const tensor& grad_output) {
     FS_ARG_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == batch &&
                      grad_output.dim(1) == out_time && grad_output.dim(2) == out_ch_,
                  "conv1d grad_output shape mismatch");
+    FS_CHECK(col_cache_.size() == batch * out_time * kernel_ * in_ch_,
+             "conv1d backward col cache out of date");
+
+    const std::size_t rows = batch * out_time;
+    const std::size_t patch = kernel_ * in_ch_;
+    const float* gy = grad_output.data();
+
+    // Bias gradient: serial over rows, matching the legacy accumulation order.
+    float* gb = bias_.grad.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* gyr = gy + r * out_ch_;
+        for (std::size_t o = 0; o < out_ch_; ++o) gb[o] += gyr[o];
+    }
+
+    // Weight gradient: colᵀ · gy with the deterministic chunked reduction.
+    gemm_tn_acc(patch, out_ch_, rows, col_cache_.data(), gy, weight_.grad.data());
+
+    // Input gradient: gcol = gy · Wᵀ, then scatter back through col2im.
+    std::vector<float> wt(out_ch_ * patch);
+    transpose(patch, out_ch_, weight_.value.data(), wt.data());
+    gcol_scratch_.resize(rows * patch);
+    gemm_nn(rows, patch, out_ch_, gy, wt.data(), gcol_scratch_.data(), /*accumulate=*/false);
 
     tensor grad_input({batch, time, in_ch_});
-    const float* w = weight_.value.data();
-    float* gw = weight_.grad.data();
-    float* gb = bias_.grad.data();
-    for (std::size_t n = 0; n < batch; ++n) {
-        const float* xn = input_cache_.data() + n * time * in_ch_;
-        const float* gyn = grad_output.data() + n * out_time * out_ch_;
-        float* gxn = grad_input.data() + n * time * in_ch_;
-        for (std::size_t t = 0; t < out_time; ++t) {
-            const float* gyt = gyn + t * out_ch_;
-            for (std::size_t o = 0; o < out_ch_; ++o) gb[o] += gyt[o];
-            for (std::size_t k = 0; k < kernel_; ++k) {
-                const float* xt = xn + (t + k) * in_ch_;
-                float* gxt = gxn + (t + k) * in_ch_;
-                const float* wk = w + k * in_ch_ * out_ch_;
-                float* gwk = gw + k * in_ch_ * out_ch_;
-                for (std::size_t c = 0; c < in_ch_; ++c) {
-                    const float xv = xt[c];
-                    const float* wc = wk + c * out_ch_;
-                    float* gwc = gwk + c * out_ch_;
-                    float acc = 0.0f;
-                    for (std::size_t o = 0; o < out_ch_; ++o) {
-                        acc += wc[o] * gyt[o];
-                        gwc[o] += xv * gyt[o];
-                    }
-                    gxt[c] += acc;
-                }
-            }
-        }
-    }
+    col2im_acc(gcol_scratch_.data(), batch, time, in_ch_, kernel_, grad_input.data());
     return grad_input;
 }
 

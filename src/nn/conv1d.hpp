@@ -1,7 +1,11 @@
 // Temporal convolution over [batch, time, channels] with valid padding and
 // stride 1 — the convolution each branch of the paper's CNN applies to its
-// [n x 3] motion-feature matrix.
+// [n x 3] motion-feature matrix.  Forward and backward run through the
+// im2col + GEMM kernels in nn/gemm.hpp (see docs/performance.md for the
+// layout and determinism contract).
 #pragma once
+
+#include <vector>
 
 #include "nn/layer.hpp"
 #include "util/rng.hpp"
@@ -35,6 +39,8 @@ private:
     parameter weight_;  ///< [kernel, in_channels, out_channels]
     parameter bias_;    ///< [out_channels]
     tensor input_cache_;
+    std::vector<float> col_cache_;    ///< im2col of the last forward input
+    std::vector<float> gcol_scratch_; ///< column-space gradient scratch
 };
 
 }  // namespace fallsense::nn

@@ -1,9 +1,12 @@
 #include "nn/dense.hpp"
 
 #include <sstream>
+#include <vector>
 
+#include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 
@@ -29,19 +32,13 @@ tensor dense::forward(const tensor& input, bool /*training*/) {
     input_cache_ = input;
 
     tensor out({batch, out_});
-    const float* w = weight_.value.data();
     const float* b = bias_.value.data();
-    for (std::size_t n = 0; n < batch; ++n) {
-        const float* x = input.data() + n * in_;
-        float* y = out.data() + n * out_;
-        for (std::size_t o = 0; o < out_; ++o) y[o] = b[o];
-        for (std::size_t i = 0; i < in_; ++i) {
-            const float xi = x[i];
-            if (xi == 0.0f) continue;  // ReLU inputs are often sparse
-            const float* wrow = w + i * out_;
-            for (std::size_t o = 0; o < out_; ++o) y[o] += xi * wrow[o];
-        }
-    }
+    float* y = out.data();
+    util::parallel_for(0, batch, 64, [&](std::size_t n) {
+        float* yn = y + n * out_;
+        for (std::size_t o = 0; o < out_; ++o) yn[o] = b[o];
+    });
+    gemm_nn(batch, out_, in_, input.data(), weight_.value.data(), y, /*accumulate=*/true);
     return out;
 }
 
@@ -52,27 +49,23 @@ tensor dense::backward(const tensor& grad_output) {
     const std::size_t batch = grad_output.dim(0);
     FS_ARG_CHECK(batch == input_cache_.dim(0), "dense grad_output batch mismatch");
 
-    tensor grad_input({batch, in_});
-    const float* w = weight_.value.data();
-    float* gw = weight_.grad.data();
+    const float* gy = grad_output.data();
+
+    // Bias gradient: serial over the batch, legacy accumulation order.
     float* gb = bias_.grad.data();
     for (std::size_t n = 0; n < batch; ++n) {
-        const float* x = input_cache_.data() + n * in_;
-        const float* gy = grad_output.data() + n * out_;
-        float* gx = grad_input.data() + n * in_;
-        for (std::size_t o = 0; o < out_; ++o) gb[o] += gy[o];
-        for (std::size_t i = 0; i < in_; ++i) {
-            const float* wrow = w + i * out_;
-            float* gwrow = gw + i * out_;
-            const float xi = x[i];
-            float acc = 0.0f;
-            for (std::size_t o = 0; o < out_; ++o) {
-                acc += wrow[o] * gy[o];
-                gwrow[o] += xi * gy[o];
-            }
-            gx[i] = acc;
-        }
+        const float* gyn = gy + n * out_;
+        for (std::size_t o = 0; o < out_; ++o) gb[o] += gyn[o];
     }
+
+    // Weight gradient: xᵀ · gy with the deterministic chunked reduction.
+    gemm_tn_acc(in_, out_, batch, input_cache_.data(), gy, weight_.grad.data());
+
+    // Input gradient: gy · Wᵀ.
+    std::vector<float> wt(out_ * in_);
+    transpose(in_, out_, weight_.value.data(), wt.data());
+    tensor grad_input({batch, in_});
+    gemm_nn(batch, in_, out_, gy, wt.data(), grad_input.data(), /*accumulate=*/false);
     return grad_input;
 }
 

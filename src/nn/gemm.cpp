@@ -1,0 +1,285 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fallsense::nn {
+
+namespace {
+
+// Row-blocking factor: C rows updated together per B-row stream.  Each
+// element's reduction stays a single serial ascending-k sequence — the
+// exact order of the naive loops — so blocking changes cache traffic, not
+// floating-point results.
+constexpr std::size_t k_mr = 4;
+
+// Rows of C per parallel task in gemm_nn (dispatch granularity only).
+constexpr std::size_t k_row_grain = 32;
+
+// gemm_tn_acc reduction chunking: at least this many reduction rows per
+// chunk, at most this many chunks.  Both are shape-only constants so chunk
+// boundaries — and therefore the floating-point summation tree — never
+// depend on the thread count.
+constexpr std::size_t k_reduce_grain = 256;
+constexpr std::size_t k_max_reduce_chunks = 16;
+
+/// One row quad [i, i+4) of C, k-outer: each pass over kk streams one
+/// contiguous row of B and feeds four C rows held hot in cache, so B is
+/// read once per quad instead of once per row.  C is updated in place
+/// (callers pre-fill it with bias or zero), keeping per-element additions
+/// in ascending-k order.
+inline void gemm_nn_row_quad(std::size_t i, std::size_t n, std::size_t k, const float* a,
+                             const float* b, float* c) {
+    const float* __restrict a0 = a + i * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    float* __restrict c0 = c + i * n;
+    float* __restrict c1 = c0 + n;
+    float* __restrict c2 = c1 + n;
+    float* __restrict c3 = c2 + n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* __restrict bk = b + kk * n;
+        const float av0 = a0[kk];
+        const float av1 = a1[kk];
+        const float av2 = a2[kk];
+        const float av3 = a3[kk];
+        for (std::size_t j = 0; j < n; ++j) {
+            const float bv = bk[j];
+            c0[j] += av0 * bv;
+            c1[j] += av1 * bv;
+            c2[j] += av2 * bv;
+            c3[j] += av3 * bv;
+        }
+    }
+}
+
+/// One row of C, k-outer (remainder path).
+inline void gemm_nn_row(std::size_t i, std::size_t n, std::size_t k, const float* a,
+                        const float* b, float* c) {
+    const float* __restrict ai = a + i * k;
+    float* __restrict ci = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ai[kk];
+        const float* __restrict bk = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+}
+
+void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+                  const float* a, const float* b, float* c, bool accumulate) {
+    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+    std::size_t i = r0;
+    for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad(i, n, k, a, b, c);
+    for (; i < r1; ++i) gemm_nn_row(i, n, k, a, b, c);
+}
+
+/// dst[i0..i1) rows (+)= A[k0..k1)ᵀ-slice · B[k0..k1)-slice, kk ascending
+/// per element.  Row-blocked like gemm_nn so the dst tile stays hot while
+/// B's slice streams through once per quad.
+void rank1_accumulate(float* dst, const float* a, const float* b, std::size_t k0,
+                      std::size_t k1, std::size_t i0, std::size_t i1, std::size_t m,
+                      std::size_t n) {
+    std::size_t i = i0;
+    for (; i + k_mr <= i1; i += k_mr) {
+        float* __restrict d0 = dst + i * n;
+        float* __restrict d1 = d0 + n;
+        float* __restrict d2 = d1 + n;
+        float* __restrict d3 = d2 + n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* __restrict arow = a + kk * m + i;
+            const float* __restrict brow = b + kk * n;
+            const float av0 = arow[0];
+            const float av1 = arow[1];
+            const float av2 = arow[2];
+            const float av3 = arow[3];
+            for (std::size_t j = 0; j < n; ++j) {
+                const float bv = brow[j];
+                d0[j] += av0 * bv;
+                d1[j] += av1 * bv;
+                d2[j] += av2 * bv;
+                d3[j] += av3 * bv;
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        float* __restrict di = dst + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float av = a[kk * m + i];
+            const float* __restrict brow = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j) di[j] += av * brow[j];
+        }
+    }
+}
+
+}  // namespace
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
+             float* c, bool accumulate) {
+    if (m == 0 || n == 0) return;
+    util::parallel_for_chunks(0, m, k_row_grain,
+                              [&](std::size_t, std::size_t lo, std::size_t hi) {
+                                  gemm_nn_rows(lo, hi, n, k, a, b, c, accumulate);
+                              });
+}
+
+void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
+                 float* c) {
+    if (m == 0 || n == 0 || k == 0) return;
+    const std::size_t min_chunk = (k + k_max_reduce_chunks - 1) / k_max_reduce_chunks;
+    const std::size_t chunk = std::max(k_reduce_grain, min_chunk);
+    const std::size_t chunks = (k + chunk - 1) / chunk;
+    if (chunks == 1) {
+        rank1_accumulate(c, a, b, 0, k, 0, m, m, n);
+        return;
+    }
+    std::vector<float> scratch(chunks * m * n, 0.0f);
+    util::parallel_for_chunks(0, k, chunk,
+                              [&](std::size_t ci, std::size_t lo, std::size_t hi) {
+                                  rank1_accumulate(scratch.data() + ci * m * n, a, b, lo, hi,
+                                                   0, m, m, n);
+                              });
+    // Fixed chunk-index reduction order: bit-identical for any thread count.
+    for (std::size_t ci = 0; ci < chunks; ++ci) {
+        const float* part = scratch.data() + ci * m * n;
+        for (std::size_t idx = 0; idx < m * n; ++idx) c[idx] += part[idx];
+    }
+}
+
+void transpose(std::size_t rows, std::size_t cols, const float* src, float* dst) {
+    for (std::size_t i = 0; i < rows; ++i) {
+        const float* s = src + i * cols;
+        for (std::size_t j = 0; j < cols; ++j) dst[j * rows + i] = s[j];
+    }
+}
+
+void im2col(const float* x, std::size_t batch, std::size_t time, std::size_t ch,
+            std::size_t kernel, float* col) {
+    const std::size_t out_time = time - kernel + 1;
+    const std::size_t patch = kernel * ch;
+    // A valid stride-1 patch over [time, ch] is contiguous in memory, so
+    // each col row is one memcpy.
+    util::parallel_for(0, batch * out_time, 512, [&](std::size_t r) {
+        const std::size_t n = r / out_time;
+        const std::size_t t = r % out_time;
+        std::memcpy(col + r * patch, x + (n * time + t) * ch, patch * sizeof(float));
+    });
+}
+
+void col2im_acc(const float* gcol, std::size_t batch, std::size_t time, std::size_t ch,
+                std::size_t kernel, float* gx) {
+    const std::size_t out_time = time - kernel + 1;
+    const std::size_t patch = kernel * ch;
+    // Patches overlap along time, so accumulation is serial per batch entry
+    // (ascending t, matching the legacy loop order) and parallel across the
+    // batch, whose slices are disjoint.
+    util::parallel_for(0, batch, 1, [&](std::size_t n) {
+        float* gxn = gx + n * time * ch;
+        const float* gcn = gcol + n * out_time * patch;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            const float* row = gcn + t * patch;
+            float* dst = gxn + t * ch;
+            for (std::size_t i = 0; i < patch; ++i) dst[i] += row[i];
+        }
+    });
+}
+
+namespace reference {
+
+void conv1d_forward(const float* x, const float* w, const float* b, std::size_t batch,
+                    std::size_t time, std::size_t in_ch, std::size_t out_ch,
+                    std::size_t kernel, float* y) {
+    const std::size_t out_time = time - kernel + 1;
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = x + n * time * in_ch;
+        float* yn = y + n * out_time * out_ch;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            float* yt = yn + t * out_ch;
+            for (std::size_t o = 0; o < out_ch; ++o) yt[o] = b[o];
+            for (std::size_t k = 0; k < kernel; ++k) {
+                const float* xt = xn + (t + k) * in_ch;
+                const float* wk = w + k * in_ch * out_ch;
+                for (std::size_t c = 0; c < in_ch; ++c) {
+                    const float xv = xt[c];
+                    const float* wc = wk + c * out_ch;
+                    for (std::size_t o = 0; o < out_ch; ++o) yt[o] += xv * wc[o];
+                }
+            }
+        }
+    }
+}
+
+void conv1d_backward(const float* x, const float* w, const float* gy, std::size_t batch,
+                     std::size_t time, std::size_t in_ch, std::size_t out_ch,
+                     std::size_t kernel, float* gx, float* gw, float* gb) {
+    const std::size_t out_time = time - kernel + 1;
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = x + n * time * in_ch;
+        const float* gyn = gy + n * out_time * out_ch;
+        float* gxn = gx + n * time * in_ch;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            const float* gyt = gyn + t * out_ch;
+            for (std::size_t o = 0; o < out_ch; ++o) gb[o] += gyt[o];
+            for (std::size_t k = 0; k < kernel; ++k) {
+                const float* xt = xn + (t + k) * in_ch;
+                float* gxt = gxn + (t + k) * in_ch;
+                const float* wk = w + k * in_ch * out_ch;
+                float* gwk = gw + k * in_ch * out_ch;
+                for (std::size_t c = 0; c < in_ch; ++c) {
+                    const float xv = xt[c];
+                    const float* wc = wk + c * out_ch;
+                    float* gwc = gwk + c * out_ch;
+                    float acc = 0.0f;
+                    for (std::size_t o = 0; o < out_ch; ++o) {
+                        acc += wc[o] * gyt[o];
+                        gwc[o] += xv * gyt[o];
+                    }
+                    gxt[c] += acc;
+                }
+            }
+        }
+    }
+}
+
+void dense_forward(const float* x, const float* w, const float* b, std::size_t batch,
+                   std::size_t in, std::size_t out, float* y) {
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = x + n * in;
+        float* yn = y + n * out;
+        for (std::size_t o = 0; o < out; ++o) yn[o] = b[o];
+        for (std::size_t i = 0; i < in; ++i) {
+            const float xi = xn[i];
+            if (xi == 0.0f) continue;
+            const float* wrow = w + i * out;
+            for (std::size_t o = 0; o < out; ++o) yn[o] += xi * wrow[o];
+        }
+    }
+}
+
+void dense_backward(const float* x, const float* w, const float* gy, std::size_t batch,
+                    std::size_t in, std::size_t out, float* gx, float* gw, float* gb) {
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = x + n * in;
+        const float* gyn = gy + n * out;
+        float* gxn = gx + n * in;
+        for (std::size_t o = 0; o < out; ++o) gb[o] += gyn[o];
+        for (std::size_t i = 0; i < in; ++i) {
+            const float* wrow = w + i * out;
+            float* gwrow = gw + i * out;
+            const float xi = xn[i];
+            float acc = 0.0f;
+            for (std::size_t o = 0; o < out; ++o) {
+                acc += wrow[o] * gyn[o];
+                gwrow[o] += xi * gyn[o];
+            }
+            gxn[i] = acc;
+        }
+    }
+}
+
+}  // namespace reference
+
+}  // namespace fallsense::nn

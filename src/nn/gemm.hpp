@@ -1,0 +1,78 @@
+// Row-major single-precision GEMM micro-kernels and the im2col/col2im
+// lowering that turns conv1d into matrix multiplication.
+//
+// The training layers (conv1d, dense) route their forward and backward
+// passes through these kernels.  Two properties are guaranteed:
+//
+//   * Every output element is a serial sum over the reduction dimension in
+//     ascending index order (register blocking tiles rows x columns, never
+//     the reduction), so forward results are bit-identical to the legacy
+//     naive loops.
+//   * The gradient reduction `gemm_tn_acc` splits the reduction dimension
+//     into fixed-size chunks (a function of the problem shape only), has
+//     each chunk produce a partial in private scratch, and adds partials in
+//     chunk-index order — bit-identical results for any thread count.
+//
+// Layouts match the layers: conv1d weights are [kernel, in_ch, out_ch]
+// (flattened [kernel*in_ch, out_ch]), dense weights [in, out], activations
+// row-major with the batch outermost.
+#pragma once
+
+#include <cstddef>
+
+namespace fallsense::nn {
+
+/// C[m x n] = A[m x k] · B[k x n], plus C's prior contents when
+/// `accumulate`.  Parallel over row blocks; each element is a serial
+/// ascending-k sum seeded with the prior C value.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
+             float* c, bool accumulate);
+
+/// C[m x n] += A[k x m]ᵀ · B[k x n] — the weight-gradient product (reduction
+/// over the batch·time dimension k).  Deterministic chunked reduction; see
+/// the file comment.
+void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
+                 float* c);
+
+/// Transpose src[rows x cols] into dst[cols x rows].
+void transpose(std::size_t rows, std::size_t cols, const float* src, float* dst);
+
+/// Valid-padding stride-1 im2col for [batch, time, ch] inputs: row
+/// (n·out_time + t) of `col` is the contiguous slice x[n, t .. t+kernel-1, :]
+/// of length kernel·ch.  `col` must hold batch·out_time·kernel·ch floats.
+void im2col(const float* x, std::size_t batch, std::size_t time, std::size_t ch,
+            std::size_t kernel, float* col);
+
+/// Scatter-accumulate the inverse of im2col: gx[n, t+k, c] += gcol row
+/// segments.  gx must be zero-initialized (or hold a prior gradient);
+/// parallel over the batch, serial over overlapping time steps.
+void col2im_acc(const float* gcol, std::size_t batch, std::size_t time, std::size_t ch,
+                std::size_t kernel, float* gx);
+
+/// Reference kernels: the pre-GEMM naive loops, kept verbatim as the ground
+/// truth for tests (1e-5 agreement) and the baseline for the GEMM-vs-naive
+/// micro-benchmarks.  Single-threaded by construction.
+namespace reference {
+
+/// y[batch, out_time, out_ch] from x[batch, time, in_ch], w[kernel, in_ch,
+/// out_ch], b[out_ch]; out_time = time - kernel + 1.
+void conv1d_forward(const float* x, const float* w, const float* b, std::size_t batch,
+                    std::size_t time, std::size_t in_ch, std::size_t out_ch,
+                    std::size_t kernel, float* y);
+
+/// Accumulates gw/gb and writes gx (gx must be zero on entry).
+void conv1d_backward(const float* x, const float* w, const float* gy, std::size_t batch,
+                     std::size_t time, std::size_t in_ch, std::size_t out_ch,
+                     std::size_t kernel, float* gx, float* gw, float* gb);
+
+/// y[batch, out] from x[batch, in], w[in, out], b[out].
+void dense_forward(const float* x, const float* w, const float* b, std::size_t batch,
+                   std::size_t in, std::size_t out, float* y);
+
+/// Accumulates gw/gb and writes gx.
+void dense_backward(const float* x, const float* w, const float* gy, std::size_t batch,
+                    std::size_t in, std::size_t out, float* gx, float* gw, float* gb);
+
+}  // namespace reference
+
+}  // namespace fallsense::nn

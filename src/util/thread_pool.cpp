@@ -1,0 +1,203 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+
+namespace fallsense::util {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/// RAII flag so nested parallel_for calls detect they are inside a task.
+struct region_guard {
+    bool previous;
+    region_guard() : previous(tl_in_parallel_region) { tl_in_parallel_region = true; }
+    ~region_guard() { tl_in_parallel_region = previous; }
+};
+
+}  // namespace
+
+struct thread_pool::impl {
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::uint64_t generation = 0;
+    bool stopping = false;
+
+    // Current job (valid while workers_remaining > 0).
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t job_tasks = 0;
+    std::size_t participants = 1;
+    std::size_t workers_remaining = 0;
+    std::exception_ptr first_error;
+
+    void run_share(std::size_t participant) {
+        region_guard guard;
+        for (std::size_t i = participant; i < job_tasks; i += participants) {
+            (*job)(i);
+        }
+    }
+
+    void worker_loop(std::size_t participant) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv_start.wait(lock, [&] { return stopping || generation != seen; });
+                if (stopping) return;
+                seen = generation;
+            }
+            try {
+                run_share(participant);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!first_error) first_error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (--workers_remaining == 0) cv_done.notify_all();
+            }
+        }
+    }
+};
+
+thread_pool::thread_pool(std::size_t threads) : impl_(new impl) {
+    FS_ARG_CHECK(threads >= 1, "thread_pool needs at least one participant");
+    impl_->participants = threads;
+    impl_->workers.reserve(threads - 1);
+    for (std::size_t w = 1; w < threads; ++w) {
+        impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stopping = true;
+    }
+    impl_->cv_start.notify_all();
+    for (std::thread& t : impl_->workers) t.join();
+    delete impl_;
+}
+
+std::size_t thread_pool::thread_count() const { return impl_->participants; }
+
+bool thread_pool::in_parallel_region() { return tl_in_parallel_region; }
+
+void thread_pool::run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+    if (tasks == 0) return;
+    // Inline paths: single participant, a nested call from inside a pool
+    // task, or fewer tasks than it takes to amortize a wakeup.
+    if (impl_->participants == 1 || tl_in_parallel_region || tasks == 1) {
+        region_guard guard;
+        for (std::size_t i = 0; i < tasks; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->job = &fn;
+        impl_->job_tasks = tasks;
+        impl_->workers_remaining = impl_->workers.size();
+        impl_->first_error = nullptr;
+        ++impl_->generation;
+    }
+    impl_->cv_start.notify_all();
+    // The calling thread is participant 0.
+    std::exception_ptr local_error;
+    try {
+        impl_->run_share(0);
+    } catch (...) {
+        local_error = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->cv_done.wait(lock, [&] { return impl_->workers_remaining == 0; });
+    impl_->job = nullptr;
+    std::exception_ptr error = impl_->first_error ? impl_->first_error : local_error;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<thread_pool> g_pool;
+
+}  // namespace
+
+std::size_t env_thread_count() {
+    const std::string text = env_string("FALLSENSE_THREADS");
+    if (!text.empty()) {
+        const unsigned long long n = std::strtoull(text.c_str(), nullptr, 10);
+        if (n >= 1) return static_cast<std::size_t>(std::min(n, 1024ULL));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+thread_pool& global_pool() {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool) g_pool = std::make_unique<thread_pool>(env_thread_count());
+    return *g_pool;
+}
+
+std::size_t global_thread_count() { return global_pool().thread_count(); }
+
+void set_global_threads(std::size_t threads) {
+    FS_CHECK(!thread_pool::in_parallel_region(),
+             "set_global_threads called from inside a parallel region");
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool = std::make_unique<thread_pool>(threads == 0 ? env_thread_count() : threads);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    thread_pool& pool = global_pool();
+    const std::size_t min_chunk = std::max<std::size_t>(grain, 1);
+    if (n <= min_chunk || pool.thread_count() == 1 || thread_pool::in_parallel_region()) {
+        region_guard guard;
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+    }
+    // Per-index work has no cross-index ordering, so the chunking may adapt
+    // to the pool size (unlike parallel_for_chunks).
+    const std::size_t target = (n + pool.thread_count() * 4 - 1) / (pool.thread_count() * 4);
+    const std::size_t chunk = std::max(min_chunk, target);
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    pool.run(chunks, [&](std::size_t c) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunk = std::max<std::size_t>(grain, 1);
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    // Chunk boundaries are fixed by `grain` alone; only the assignment of
+    // chunks to threads varies with the pool size.
+    global_pool().run(chunks, [&](std::size_t c) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        fn(c, lo, hi);
+    });
+}
+
+}  // namespace fallsense::util

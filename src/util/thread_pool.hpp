@@ -1,0 +1,81 @@
+// Deterministic shared-memory parallelism for the experiment harness.
+//
+// A single process-wide pool of worker threads executes `parallel_for`
+// regions.  Scheduling is static (task i runs on participant i mod T) and
+// work-stealing-free, so the set of loop indices each participant executes
+// is a pure function of the iteration space — never of timing.  Callers
+// keep results deterministic by writing to disjoint, index-addressed slots
+// and performing any floating-point reductions themselves in fixed chunk
+// order via `parallel_for_chunks` (whose chunk boundaries depend only on
+// `grain`, never on the thread count).
+//
+// The pool is sized from FALLSENSE_THREADS (default: hardware concurrency;
+// 1 = run every region inline on the calling thread, exactly the legacy
+// serial behaviour).  Nested regions — a parallel_for issued from inside a
+// pool task — always run inline, so library code may parallelize freely
+// without deadlocking outer parallel callers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fallsense::util {
+
+class thread_pool {
+public:
+    /// A pool with `threads` participants total (the caller counts as one;
+    /// `threads - 1` workers are spawned).  threads == 1 spawns nothing.
+    explicit thread_pool(std::size_t threads);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Total participants (workers + the calling thread).
+    std::size_t thread_count() const;
+
+    /// Run fn(i) once for every i in [0, tasks).  Task i executes on
+    /// participant i mod thread_count() (static assignment); the call blocks
+    /// until all tasks finish and rethrows the first task exception.  Called
+    /// from inside a pool task, runs every task inline in index order.
+    void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+    /// True on a thread currently executing a pool task (used to force
+    /// nested regions inline).
+    static bool in_parallel_region();
+
+private:
+    struct impl;
+    impl* impl_;
+};
+
+/// The process-wide pool, created on first use with FALLSENSE_THREADS
+/// participants (default: hardware concurrency, minimum 1).
+thread_pool& global_pool();
+
+/// Participant count of the global pool.
+std::size_t global_thread_count();
+
+/// Replace the global pool with one of `threads` participants; 0 restores
+/// the FALLSENSE_THREADS / hardware default.  Intended for tests and
+/// benchmarks; must not be called from inside a parallel region.
+void set_global_threads(std::size_t threads);
+
+/// Parse FALLSENSE_THREADS (unset/0 → hardware concurrency, minimum 1).
+std::size_t env_thread_count();
+
+/// fn(i) for every i in [begin, end) on the global pool.  Indices are
+/// grouped into contiguous chunks of at least `grain` for dispatch; writes
+/// to disjoint per-index slots are deterministic for any thread count.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+/// fn(chunk_index, chunk_begin, chunk_end) over [begin, end) split into
+/// chunks of exactly `grain` (last chunk ragged).  Chunk boundaries depend
+/// only on `grain`, so per-chunk partial results reduced in chunk-index
+/// order are bit-identical for every thread count — the contract the GEMM
+/// gradient kernels rely on.
+void parallel_for_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace fallsense::util

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "core/models.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense {
 namespace {
@@ -45,6 +47,88 @@ TEST(DeterminismTest, CrossValidationIsReproducible) {
         ASSERT_EQ(a.all_records[i].subject_id, b.all_records[i].subject_id);
     }
     EXPECT_DOUBLE_EQ(a.pooled.f1, b.pooled.f1);
+}
+
+namespace {
+struct thread_guard {
+    ~thread_guard() { util::set_global_threads(0); }
+};
+}  // namespace
+
+// The parallel substrate (thread pool + GEMM + parallel folds/synthesis)
+// must not let the thread count leak into any number: FALLSENSE_THREADS=1
+// and =4 have to produce bit-identical datasets, metrics, and weights.
+TEST(DeterminismTest, ThreadCountDoesNotChangeCrossValidation) {
+    thread_guard guard;
+    const core::experiment_scale s = mini_scale();
+    const core::windowing_config wc = core::standard_windowing(200.0);
+
+    util::set_global_threads(1);
+    const data::dataset merged1 = core::make_merged_dataset(s, 11);
+    const core::cross_validation_result a =
+        core::run_cross_validation(core::model_kind::cnn, merged1, wc, s, 13);
+
+    util::set_global_threads(4);
+    const data::dataset merged4 = core::make_merged_dataset(s, 11);
+    const core::cross_validation_result b =
+        core::run_cross_validation(core::model_kind::cnn, merged4, wc, s, 13);
+
+    ASSERT_EQ(merged1.trial_count(), merged4.trial_count());
+    for (std::size_t i = 0; i < merged1.trial_count(); ++i) {
+        ASSERT_EQ(merged1.trials[i].sample_count(), merged4.trials[i].sample_count());
+        for (std::size_t j = 0; j < merged1.trials[i].sample_count(); j += 17) {
+            ASSERT_EQ(merged1.trials[i].samples[j].accel[0],
+                      merged4.trials[i].samples[j].accel[0]);
+        }
+    }
+    ASSERT_EQ(a.all_records.size(), b.all_records.size());
+    for (std::size_t i = 0; i < a.all_records.size(); ++i) {
+        ASSERT_EQ(a.all_records[i].probability, b.all_records[i].probability)
+            << "record " << i << " differs between 1 and 4 threads";
+        ASSERT_EQ(a.all_records[i].subject_id, b.all_records[i].subject_id);
+    }
+    EXPECT_EQ(a.pooled.f1, b.pooled.f1);
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeTrainedWeights) {
+    thread_guard guard;
+    const std::size_t window = 20;
+    const std::size_t n_examples = 48;
+
+    auto make_data = [&] {
+        util::rng gen(7);
+        nn::labeled_data data;
+        data.features = nn::tensor({n_examples, window, core::k_feature_channels});
+        for (float& v : data.features.values()) v = static_cast<float>(gen.normal());
+        for (std::size_t i = 0; i < n_examples; ++i) {
+            data.labels.push_back(i % 3 == 0 ? 1.0f : 0.0f);
+        }
+        return data;
+    };
+
+    auto train_weights = [&](std::size_t threads) {
+        util::set_global_threads(threads);
+        core::built_model bm = core::build_model(core::model_kind::cnn, window, 99);
+        nn::labeled_data train = make_data();
+        nn::train_config tc;
+        tc.max_epochs = 3;
+        tc.batch_size = 16;
+        tc.early_stop_patience = 0;
+        tc.shuffle_seed = 5;
+        nn::fit(*bm.network, train, nn::labeled_data{}, tc);
+        return nn::snapshot_parameters(*bm.network);
+    };
+
+    const std::vector<nn::tensor> w1 = train_weights(1);
+    const std::vector<nn::tensor> w4 = train_weights(4);
+    ASSERT_EQ(w1.size(), w4.size());
+    for (std::size_t p = 0; p < w1.size(); ++p) {
+        ASSERT_EQ(w1[p].size(), w4[p].size());
+        for (std::size_t i = 0; i < w1[p].size(); ++i) {
+            ASSERT_EQ(w1[p][i], w4[p][i])
+                << "parameter " << p << " element " << i << " differs across thread counts";
+        }
+    }
 }
 
 TEST(DeterminismTest, SeedChangesOutcome) {

@@ -1,0 +1,216 @@
+// The GEMM substrate must agree with the legacy naive loops (which stay in
+// nn::reference as ground truth) and must be bit-deterministic across
+// thread counts — the two properties the training stack's correctness and
+// the reproducibility contract rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/gemm.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense {
+namespace {
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
+    util::rng gen(seed);
+    std::vector<float> v(n);
+    for (float& x : v) x = static_cast<float>(gen.normal());
+    return v;
+}
+
+nn::tensor random_tensor(nn::shape_t shape, std::uint64_t seed) {
+    nn::tensor t(shape);
+    const std::vector<float> v = random_values(t.size(), seed);
+    std::copy(v.begin(), v.end(), t.data());
+    return t;
+}
+
+/// Restores the default pool size even when an assertion fails mid-test.
+struct thread_guard {
+    ~thread_guard() { util::set_global_threads(0); }
+};
+
+TEST(GemmTest, GemmNNMatchesTripleLoop) {
+    const std::size_t shapes[][3] = {{1, 1, 1},  {3, 5, 7},   {4, 8, 16},
+                                     {7, 9, 13}, {33, 17, 5}, {64, 19, 912}};
+    for (const auto& s : shapes) {
+        const std::size_t m = s[0], n = s[1], k = s[2];
+        const std::vector<float> a = random_values(m * k, 1 + m);
+        const std::vector<float> b = random_values(k * n, 2 + n);
+        std::vector<float> c = random_values(m * n, 3 + k);
+        std::vector<float> expected = c;
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = expected[i * n + j];
+                for (std::size_t kk = 0; kk < k; ++kk) {
+                    acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+                }
+                expected[i * n + j] = static_cast<float>(acc);
+            }
+        }
+        nn::gemm_nn(m, n, k, a.data(), b.data(), c.data(), /*accumulate=*/true);
+        for (std::size_t i = 0; i < m * n; ++i) {
+            EXPECT_NEAR(c[i], expected[i], 1e-4) << "m=" << m << " n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(GemmTest, GemmTnAccMatchesTripleLoop) {
+    // k = 1000 exercises the chunked-reduction path (grain 256 -> 4 chunks).
+    const std::size_t m = 12, n = 7, k = 1000;
+    const std::vector<float> a = random_values(k * m, 11);
+    const std::vector<float> b = random_values(k * n, 12);
+    std::vector<float> c = random_values(m * n, 13);
+    std::vector<float> expected = c;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += static_cast<double>(a[kk * m + i]) * b[kk * n + j];
+            }
+            expected[i * n + j] += static_cast<float>(acc);
+        }
+    }
+    nn::gemm_tn_acc(m, n, k, a.data(), b.data(), c.data());
+    for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], expected[i], 1e-3);
+}
+
+TEST(GemmTest, GemmTnAccBitIdenticalAcrossThreadCounts) {
+    thread_guard guard;
+    const std::size_t m = 27, n = 16, k = 2048;
+    const std::vector<float> a = random_values(k * m, 21);
+    const std::vector<float> b = random_values(k * n, 22);
+    const std::vector<float> c0 = random_values(m * n, 23);
+
+    util::set_global_threads(1);
+    std::vector<float> c1 = c0;
+    nn::gemm_tn_acc(m, n, k, a.data(), b.data(), c1.data());
+
+    util::set_global_threads(4);
+    std::vector<float> c4 = c0;
+    nn::gemm_tn_acc(m, n, k, a.data(), b.data(), c4.data());
+
+    for (std::size_t i = 0; i < m * n; ++i) {
+        EXPECT_EQ(c1[i], c4[i]) << "element " << i << " differs between 1 and 4 threads";
+    }
+}
+
+TEST(GemmTest, Conv1dForwardBackwardMatchesNaiveReference) {
+    const std::size_t shapes[][4] = {
+        // batch, time, in_ch, out_ch (kernel fixed per case below)
+        {2, 10, 3, 5},
+        {4, 40, 3, 16},
+        {3, 150, 3, 16},
+        {1, 7, 9, 4},
+    };
+    const std::size_t kernels[] = {3, 3, 5, 7};
+    for (std::size_t case_i = 0; case_i < 4; ++case_i) {
+        const std::size_t batch = shapes[case_i][0], time = shapes[case_i][1];
+        const std::size_t in_ch = shapes[case_i][2], out_ch = shapes[case_i][3];
+        const std::size_t kernel = kernels[case_i];
+        const std::size_t out_time = time - kernel + 1;
+
+        util::rng gen(31 + case_i);
+        nn::conv1d layer(in_ch, out_ch, kernel, gen);
+        const nn::tensor x = random_tensor({batch, time, in_ch}, 41 + case_i);
+        const nn::tensor gy = random_tensor({batch, out_time, out_ch}, 51 + case_i);
+
+        const nn::tensor y = layer.forward(x, /*training=*/true);
+        std::vector<float> y_ref(batch * out_time * out_ch);
+        nn::reference::conv1d_forward(x.data(), layer.weight().value.data(),
+                                      layer.bias().value.data(), batch, time, in_ch, out_ch,
+                                      kernel, y_ref.data());
+        ASSERT_EQ(y.size(), y_ref.size());
+        for (std::size_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-5);
+
+        const nn::tensor gx = layer.backward(gy);
+        std::vector<float> gx_ref(batch * time * in_ch, 0.0f);
+        std::vector<float> gw_ref(kernel * in_ch * out_ch, 0.0f);
+        std::vector<float> gb_ref(out_ch, 0.0f);
+        nn::reference::conv1d_backward(x.data(), layer.weight().value.data(), gy.data(),
+                                       batch, time, in_ch, out_ch, kernel, gx_ref.data(),
+                                       gw_ref.data(), gb_ref.data());
+        for (std::size_t i = 0; i < gx_ref.size(); ++i) EXPECT_NEAR(gx[i], gx_ref[i], 1e-5);
+        for (std::size_t i = 0; i < gw_ref.size(); ++i) {
+            EXPECT_NEAR(layer.weight().grad[i], gw_ref[i], 1e-4);
+        }
+        for (std::size_t i = 0; i < gb_ref.size(); ++i) {
+            EXPECT_NEAR(layer.bias().grad[i], gb_ref[i], 1e-4);
+        }
+    }
+}
+
+TEST(GemmTest, DenseForwardBackwardMatchesNaiveReference) {
+    const std::size_t shapes[][3] = {{1, 1, 1}, {5, 12, 8}, {32, 912, 64}, {17, 31, 3}};
+    for (std::size_t case_i = 0; case_i < 4; ++case_i) {
+        const std::size_t batch = shapes[case_i][0];
+        const std::size_t in = shapes[case_i][1];
+        const std::size_t out = shapes[case_i][2];
+
+        util::rng gen(61 + case_i);
+        nn::dense layer(in, out, gen);
+        const nn::tensor x = random_tensor({batch, in}, 71 + case_i);
+        const nn::tensor gy = random_tensor({batch, out}, 81 + case_i);
+
+        const nn::tensor y = layer.forward(x, /*training=*/true);
+        std::vector<float> y_ref(batch * out);
+        nn::reference::dense_forward(x.data(), layer.weight().value.data(),
+                                     layer.bias().value.data(), batch, in, out,
+                                     y_ref.data());
+        for (std::size_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-5);
+
+        const nn::tensor gx = layer.backward(gy);
+        std::vector<float> gx_ref(batch * in, 0.0f);
+        std::vector<float> gw_ref(in * out, 0.0f);
+        std::vector<float> gb_ref(out, 0.0f);
+        nn::reference::dense_backward(x.data(), layer.weight().value.data(), gy.data(),
+                                      batch, in, out, gx_ref.data(), gw_ref.data(),
+                                      gb_ref.data());
+        for (std::size_t i = 0; i < gx_ref.size(); ++i) EXPECT_NEAR(gx[i], gx_ref[i], 1e-5);
+        for (std::size_t i = 0; i < gw_ref.size(); ++i) {
+            EXPECT_NEAR(layer.weight().grad[i], gw_ref[i], 1e-4);
+        }
+        for (std::size_t i = 0; i < gb_ref.size(); ++i) {
+            EXPECT_NEAR(layer.bias().grad[i], gb_ref[i], 1e-4);
+        }
+    }
+}
+
+TEST(GemmTest, Conv1dRejectsInputShorterThanKernel) {
+    util::rng gen(91);
+    nn::conv1d layer(3, 8, 5, gen);
+    const nn::tensor x = random_tensor({2, 4, 3}, 92);  // time 4 < kernel 5
+    EXPECT_THROW(layer.forward(x, false), std::invalid_argument);
+    EXPECT_THROW(layer.output_shape({4, 3}), std::invalid_argument);
+}
+
+TEST(GemmTest, Conv1dBitIdenticalAcrossThreadCounts) {
+    thread_guard guard;
+    const std::size_t batch = 16, time = 150, in_ch = 3, out_ch = 16, kernel = 3;
+    const nn::tensor x = random_tensor({batch, time, in_ch}, 101);
+    const nn::tensor gy = random_tensor({batch, time - kernel + 1, out_ch}, 102);
+
+    auto run = [&](std::size_t threads) {
+        util::set_global_threads(threads);
+        util::rng gen(103);
+        nn::conv1d layer(in_ch, out_ch, kernel, gen);
+        nn::tensor y = layer.forward(x, true);
+        nn::tensor gx = layer.backward(gy);
+        return std::tuple<nn::tensor, nn::tensor, nn::tensor, nn::tensor>(
+            std::move(y), std::move(gx), layer.weight().grad, layer.bias().grad);
+    };
+    const auto [y1, gx1, gw1, gb1] = run(1);
+    const auto [y4, gx4, gw4, gb4] = run(4);
+    for (std::size_t i = 0; i < y1.size(); ++i) ASSERT_EQ(y1[i], y4[i]);
+    for (std::size_t i = 0; i < gx1.size(); ++i) ASSERT_EQ(gx1[i], gx4[i]);
+    for (std::size_t i = 0; i < gw1.size(); ++i) ASSERT_EQ(gw1[i], gw4[i]);
+    for (std::size_t i = 0; i < gb1.size(); ++i) ASSERT_EQ(gb1[i], gb4[i]);
+}
+
+}  // namespace
+}  // namespace fallsense

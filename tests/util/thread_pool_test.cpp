@@ -1,0 +1,112 @@
+// The thread pool's contract: every index exactly once, static assignment,
+// inline nesting, exception propagation, and chunk boundaries that depend
+// only on the grain — never on the thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fallsense {
+namespace {
+
+struct thread_guard {
+    ~thread_guard() { util::set_global_threads(0); }
+};
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+    thread_guard guard;
+    util::set_global_threads(4);
+    const std::size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    util::parallel_for(0, n, 8, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffset) {
+    std::vector<int> hits(20, 0);
+    util::parallel_for(5, 15, 2, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 20; ++i) ASSERT_EQ(hits[i], (i >= 5 && i < 15) ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, ExceptionInTaskPropagatesToCaller) {
+    thread_guard guard;
+    util::set_global_threads(4);
+    EXPECT_THROW(util::parallel_for(0, 100, 1,
+                                    [&](std::size_t i) {
+                                        if (i == 37) throw std::runtime_error("task 37");
+                                    }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedRegionsRunInlineWithoutDeadlock) {
+    thread_guard guard;
+    util::set_global_threads(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<bool> saw_region_flag{false};
+    util::parallel_for(0, 8, 1, [&](std::size_t) {
+        if (util::thread_pool::in_parallel_region()) saw_region_flag = true;
+        util::parallel_for(0, 10, 1, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+    EXPECT_TRUE(saw_region_flag.load());
+    EXPECT_FALSE(util::thread_pool::in_parallel_region());
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+    thread_guard guard;
+    using chunk = std::tuple<std::size_t, std::size_t, std::size_t>;
+    auto collect = [&](std::size_t threads) {
+        util::set_global_threads(threads);
+        std::mutex mu;
+        std::vector<chunk> chunks;
+        util::parallel_for_chunks(0, 1003, 97,
+                                  [&](std::size_t ci, std::size_t lo, std::size_t hi) {
+                                      std::lock_guard<std::mutex> lock(mu);
+                                      chunks.emplace_back(ci, lo, hi);
+                                  });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const std::vector<chunk> one = collect(1);
+    const std::vector<chunk> four = collect(4);
+    ASSERT_EQ(one.size(), (1003 + 96) / 97u);
+    ASSERT_EQ(one, four);
+    // Every chunk is exactly the grain except the ragged tail.
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        const auto [ci, lo, hi] = one[i];
+        EXPECT_EQ(ci, i);
+        EXPECT_EQ(lo, i * 97);
+        EXPECT_EQ(hi, std::min<std::size_t>(1003, lo + 97));
+    }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsResizesPool) {
+    thread_guard guard;
+    util::set_global_threads(3);
+    EXPECT_EQ(util::global_thread_count(), 3u);
+    util::set_global_threads(1);
+    EXPECT_EQ(util::global_thread_count(), 1u);
+    util::set_global_threads(0);  // back to the FALLSENSE_THREADS / hw default
+    EXPECT_GE(util::global_thread_count(), 1u);
+    EXPECT_EQ(util::global_thread_count(), util::env_thread_count());
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleRangesRunInline) {
+    int calls = 0;
+    util::parallel_for(4, 4, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    util::parallel_for(4, 5, 1, [&](std::size_t i) {
+        ++calls;
+        EXPECT_EQ(i, 4u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace fallsense
