@@ -1,0 +1,61 @@
+// Observability demo: run a small cross-validation with the metrics
+// registry enabled, print what the registry saw (counters, gauges, stage
+// timers), then emit the same state as a run-manifest JSON document —
+// first the deterministic form (byte-identical for any FALLSENSE_THREADS),
+// then with the opt-in timing section.  See docs/observability.md.
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+
+using namespace fallsense;
+
+int main() {
+    obs::set_enabled(true);
+
+    core::experiment_scale scale = core::scale_preset(util::run_scale::tiny);
+    scale.max_epochs = 4;
+    const std::uint64_t seed = util::env_seed();
+
+    std::printf("tiny cross-validation with metrics on (seed %llu)...\n\n",
+                static_cast<unsigned long long>(seed));
+    const data::dataset merged = core::make_merged_dataset(scale, seed);
+    const core::windowing_config wc = core::standard_windowing(200.0);
+    core::run_cross_validation(core::model_kind::cnn, merged, wc, scale, seed);
+
+    const obs::metrics_snapshot snap = obs::snapshot();
+
+    std::printf("--- counters ---\n");
+    for (const obs::counter_snapshot& c : snap.counters) {
+        std::printf("%-36s %12llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+    }
+    std::printf("\n--- gauges ---\n");
+    for (const obs::gauge_snapshot& g : snap.gauges) {
+        std::printf("%-36s %12.6f\n", g.name.c_str(), g.value);
+    }
+    std::printf("\n--- stages (merged over threads) ---\n");
+    std::printf("%-36s %8s %12s %12s\n", "stage", "count", "wall ms", "cpu ms");
+    for (const obs::stage_snapshot& s : snap.stages) {
+        std::printf("%-36s %8llu %12.2f %12.2f\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.count), s.wall_ms, s.cpu_ms);
+    }
+
+    obs::run_manifest run;
+    run.command = "observability_demo";
+    run.seed = seed;
+    run.scale = "tiny";
+    run.config.emplace_back("window-ms", "200");
+
+    std::printf("\n--- deterministic run manifest ---\n");
+    obs::write_manifest(std::cout, run, snap);
+
+    std::printf("\n--- with timings (varies run to run) ---\n");
+    obs::manifest_options with_timings;
+    with_timings.include_timings = true;
+    obs::write_manifest(std::cout, run, snap, with_timings);
+    return 0;
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Docs consistency checker (wired as ctest `docs.check`).
+#
+# Scans README.md and docs/*.md for three kinds of claims and fails if any
+# of them has drifted from the tree:
+#
+#   1. File paths — every token matching
+#      (src|docs|tests|bench|examples|scripts|tools)/... must exist, either
+#      verbatim or as <path>.cpp (docs refer to executables like
+#      bench/kernel_micro by target name).  Paths under build/ are build
+#      outputs, not tree files, and are skipped.
+#   2. FALLSENSE_* names — every cited environment variable or CMake
+#      option must appear somewhere in the sources/build files.
+#
+# Usage:
+#   scripts/check_docs.sh                 # check the repo's docs
+#   scripts/check_docs.sh --extra-doc F   # also check file F
+#   scripts/check_docs.sh --only F        # check only file F (internal)
+#   scripts/check_docs.sh --self-test     # verify the checker itself
+#                                         # rejects a doc with a bogus path
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+MODE=check
+ONLY_DOC=""
+EXTRA_DOCS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --self-test) MODE=self-test ;;
+        --only) ONLY_DOC="$2"; shift ;;
+        --extra-doc) EXTRA_DOCS+=("$2"); shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+if [ "$MODE" = self-test ]; then
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cat > "$tmp/bogus.md" <<'EOF'
+A doc citing src/definitely/not/a/real/file.cpp and the unset
+environment variable FALLSENSE_NO_SUCH_VAR.
+EOF
+    if "$0" --only "$tmp/bogus.md" > "$tmp/out.txt" 2>&1; then
+        echo "self-test FAILED: checker accepted a doc with a bogus path" >&2
+        cat "$tmp/out.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "definitely/not/a/real/file" "$tmp/out.txt"; then
+        echo "self-test FAILED: bogus path not reported" >&2
+        cat "$tmp/out.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "FALLSENSE_NO_SUCH_VAR" "$tmp/out.txt"; then
+        echo "self-test FAILED: bogus env var not reported" >&2
+        cat "$tmp/out.txt" >&2
+        exit 1
+    fi
+    echo "self-test OK: bogus citations are rejected"
+    exit 0
+fi
+
+if [ -n "$ONLY_DOC" ]; then
+    DOCS=("$ONLY_DOC")
+else
+    DOCS=(README.md docs/*.md "${EXTRA_DOCS[@]+"${EXTRA_DOCS[@]}"}")
+fi
+
+# Where FALLSENSE_* names must be defined or consumed.
+NAME_SOURCES=(src tools bench scripts tests examples CMakeLists.txt)
+
+errors=0
+report() {
+    echo "check_docs: $1" >&2
+    errors=$((errors + 1))
+}
+
+for doc in "${DOCS[@]}"; do
+    if [ ! -f "$doc" ]; then
+        report "$doc: doc file not found"
+        continue
+    fi
+
+    # Drop build-output paths, then collect tree-path citations, stripping
+    # trailing sentence punctuation the token regex may have swallowed.
+    paths="$(sed 's|build/[A-Za-z0-9_./-]*||g' "$doc" \
+        | grep -oE '(src|docs|tests|bench|examples|scripts|tools)/[A-Za-z0-9_./-]+' \
+        | sed 's/[.,:;]*$//' | sort -u)"
+    for p in $paths; do
+        if [ ! -e "$p" ] && [ ! -e "$p.cpp" ]; then
+            report "$doc: cited path does not exist: $p"
+        fi
+    done
+
+    vars="$(grep -oE 'FALLSENSE_[A-Z_]+' "$doc" | sort -u || true)"
+    for v in $vars; do
+        # --exclude this script: its self-test heredoc deliberately contains
+        # a bogus FALLSENSE_* name.
+        if ! grep -rq --include='*.cpp' --include='*.hpp' --include='*.sh' \
+                --include='*.txt' --include='*.cmake' --exclude=check_docs.sh \
+                -- "$v" "${NAME_SOURCES[@]}"; then
+            report "$doc: cited name not found in sources: $v"
+        fi
+    done
+done
+
+if [ "$errors" -gt 0 ]; then
+    echo "check_docs: $errors problem(s) found" >&2
+    exit 1
+fi
+echo "check_docs: all cited paths and names exist"

@@ -44,11 +44,36 @@ run_bench "$KERNEL_BIN" "$TMP_DIR/kernel_micro.json"
 echo ">>> parallel_scaling"
 run_bench "$SCALING_BIN" "$TMP_DIR/parallel_scaling.json"
 
-# Combine into one JSON object keyed by binary name.  Plain shell
-# concatenation: both inputs are complete JSON documents emitted by
-# google-benchmark, so wrapping them needs no JSON parser.
+# Run manifest: thread count plus the build configuration the binaries
+# were compiled with, read from the CMake cache so the numbers in
+# BENCH_kernel.json carry their own provenance.
+cache_value() {
+    # cache_value <CACHE_VARIABLE> <default>
+    if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+        v="$(sed -n "s/^$1:[A-Z]*=//p" "$BUILD_DIR/CMakeCache.txt" | head -n 1)"
+        printf '%s' "${v:-$2}"
+    else
+        printf '%s' "$2"
+    fi
+}
+
+THREADS="${FALLSENSE_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+BUILD_TYPE="$(cache_value CMAKE_BUILD_TYPE unknown)"
+NATIVE_ARCH="$(cache_value FALLSENSE_NATIVE_ARCH OFF)"
+SANITIZE="$(cache_value FALLSENSE_SANITIZE OFF)"
+
+# Combine into one JSON object keyed by binary name, prefixed with the
+# manifest.  Plain shell concatenation: both benchmark inputs are complete
+# JSON documents emitted by google-benchmark, so wrapping them needs no
+# JSON parser.
 {
-    printf '{\n"kernel_micro":\n'
+    printf '{\n"manifest": {\n'
+    printf '  "threads": %s,\n' "$THREADS"
+    printf '  "build_type": "%s",\n' "$BUILD_TYPE"
+    printf '  "native_arch": "%s",\n' "$NATIVE_ARCH"
+    printf '  "sanitize": "%s",\n' "$SANITIZE"
+    printf '  "filter": "%s"\n' "$FILTER"
+    printf '},\n"kernel_micro":\n'
     cat "$TMP_DIR/kernel_micro.json"
     printf ',\n"parallel_scaling":\n'
     cat "$TMP_DIR/parallel_scaling.json"

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "data/alignment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -131,6 +133,7 @@ fold_result run_fold(model_kind kind, const data::dataset& merged,
     tc.use_class_weights = options.class_weights;
     tc.init_output_bias = options.output_bias_init;
     tc.shuffle_seed = util::derive_seed(seed, "shuffle");
+    tc.metrics_prefix = options.metrics_prefix;
 
     fold_result result;
     result.history = nn::fit(*bm.network, train, val, tc);
@@ -146,6 +149,7 @@ cross_validation_result run_cross_validation(model_kind kind, const data::datase
                                              const experiment_scale& scale,
                                              std::uint64_t seed,
                                              const train_options& options) {
+    OBS_SCOPE("eval/cross_validation");
     eval::kfold_config kf;
     kf.folds = scale.folds;
     kf.validation_subjects = scale.validation_subjects;
@@ -165,8 +169,10 @@ cross_validation_result run_cross_validation(model_kind kind, const data::datase
     eval::for_each_fold(folds_to_run, [&](std::size_t f) {
         FS_LOG_INFO("experiment") << model_kind_name(kind) << ": fold " << (f + 1) << '/'
                                   << folds_to_run;
+        train_options fold_options = options;
+        fold_options.metrics_prefix = "eval/fold" + std::to_string(f) + "/train";
         fold_results[f] = run_fold(kind, merged, splits[f], windows, scale,
-                                   util::derive_seed(seed, {0xf01dULL, f}), options);
+                                   util::derive_seed(seed, {0xf01dULL, f}), fold_options);
     });
 
     std::vector<float> all_probs;
@@ -180,6 +186,27 @@ cross_validation_result run_cross_validation(model_kind kind, const data::datase
         cv.folds.push_back(std::move(fr));
     }
     cv.pooled = eval::evaluate(all_probs, all_labels);
+
+    // Per-fold and pooled quality metrics, recorded from the pooling walk
+    // above (main thread, fold order) so gauge values are deterministic.
+    if (obs::enabled()) {
+        const auto record_report = [](const std::string& prefix,
+                                      const eval::classification_report& report) {
+            obs::add_counter(prefix + "/true_positive", report.cm.true_positive);
+            obs::add_counter(prefix + "/false_positive", report.cm.false_positive);
+            obs::add_counter(prefix + "/true_negative", report.cm.true_negative);
+            obs::add_counter(prefix + "/false_negative", report.cm.false_negative);
+            obs::set_gauge(prefix + "/accuracy", report.accuracy);
+            obs::set_gauge(prefix + "/precision", report.precision);
+            obs::set_gauge(prefix + "/recall", report.recall);
+            obs::set_gauge(prefix + "/f1", report.f1);
+        };
+        for (std::size_t f = 0; f < cv.folds.size(); ++f) {
+            record_report("eval/fold" + std::to_string(f), cv.folds[f].report);
+        }
+        record_report("eval/pooled", cv.pooled);
+        obs::add_counter("eval/segments", cv.all_records.size());
+    }
     return cv;
 }
 

@@ -50,6 +50,9 @@ struct train_options {
     bool augment = true;
     bool class_weights = true;
     bool output_bias_init = true;
+    /// Metrics prefix handed to nn::fit (see train_config::metrics_prefix);
+    /// run_cross_validation overrides it per fold.
+    std::string metrics_prefix = "train";
 };
 
 /// Train `kind` on one fold and score its test subjects.

@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace fallsense::core {
@@ -60,6 +62,7 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
     row[7] = static_cast<float>(angles.roll);
     row[8] = static_cast<float>(angles.yaw);
     ++tick_;
+    obs::add_counter("stream/samples");
 
     // Score once the buffer is full, every hop ticks thereafter.
     if (tick_ < config_.window_samples || (tick_ - config_.window_samples) % hop_ != 0) {
@@ -74,10 +77,20 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
                   ring_.begin() + static_cast<std::ptrdiff_t>((src + 1) * k_feature_channels),
                   window_scratch_.begin() + static_cast<std::ptrdiff_t>(i * k_feature_channels));
     }
-    last_score_ = scorer_(window_scratch_);
+    if (obs::enabled()) {
+        const auto score_start = std::chrono::steady_clock::now();
+        last_score_ = scorer_(window_scratch_);
+        const std::chrono::duration<double, std::micro> elapsed =
+            std::chrono::steady_clock::now() - score_start;
+        obs::observe_latency_us("stream/score_us", elapsed.count());
+        obs::add_counter("stream/windows_scored");
+    } else {
+        last_score_ = scorer_(window_scratch_);
+    }
     if (last_score_ >= config_.threshold) {
         ++positive_run_;
         if (positive_run_ >= std::max<std::size_t>(config_.consecutive_required, 1)) {
+            obs::add_counter("stream/triggers");
             return detection{tick_ - 1, last_score_};
         }
     } else {

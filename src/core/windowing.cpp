@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -88,6 +89,12 @@ std::vector<window_example> extract_windows(const std::vector<data::trial>& tria
     for (std::vector<window_example>& w : per_trial) {
         out.insert(out.end(), std::make_move_iterator(w.begin()),
                    std::make_move_iterator(w.end()));
+    }
+    if (obs::enabled()) {
+        std::size_t positives = 0;
+        for (const window_example& w : out) positives += (w.label > 0.5f) ? 1 : 0;
+        obs::add_counter("core/windows_extracted", out.size());
+        obs::add_counter("core/windows_positive", positives);
     }
     return out;
 }

@@ -6,6 +6,8 @@
 
 #include "data/taxonomy.hpp"
 #include "dsp/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -88,6 +90,7 @@ raw_sample to_dataset_frame(const raw_sample& reference, const dsp::mat3& from_r
 dataset generate_dataset(const dataset_profile& profile, std::uint64_t seed) {
     FS_ARG_CHECK(!profile.task_ids.empty(), "dataset profile with no tasks");
     FS_ARG_CHECK(profile.trials_per_task > 0, "trials_per_task must be positive");
+    OBS_SCOPE("data/generate");
     dataset out;
     out.name = profile.name;
     out.to_reference_frame = profile.to_reference_frame;
@@ -135,6 +138,8 @@ dataset generate_dataset(const dataset_profile& profile, std::uint64_t seed) {
         }
         out.trials[i] = std::move(t);
     });
+    obs::add_counter("data/datasets_generated");
+    obs::add_counter("data/trials_synthesized", jobs.size());
     return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -54,10 +56,14 @@ std::vector<fold_split> make_subject_folds(std::vector<int> subject_ids,
 }
 
 void for_each_fold(std::size_t fold_count, const std::function<void(std::size_t)>& fn) {
+    obs::add_counter("eval/folds", fold_count);
     // Grain 1: a fold is the coarsest unit of work in the harness, so every
     // fold is its own task.  Nested parallel regions inside a fold (GEMM,
     // preprocessing) automatically run inline on the fold's thread.
-    util::parallel_for(0, fold_count, 1, fn);
+    util::parallel_for(0, fold_count, 1, [&fn](std::size_t fold) {
+        OBS_SCOPE("eval/fold");
+        fn(fold);
+    });
 }
 
 }  // namespace fallsense::eval

@@ -8,6 +8,8 @@
 #include "nn/activations.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -107,6 +109,8 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
     FS_ARG_CHECK(config.batch_size > 0, "batch_size must be positive");
     FS_ARG_CHECK(config.max_epochs > 0, "max_epochs must be positive");
 
+    OBS_SCOPE(config.metrics_prefix + "/fit");
+
     train_history history;
     if (config.use_class_weights) {
         std::tie(history.weight_positive, history.weight_negative) =
@@ -135,6 +139,7 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
     std::iota(order.begin(), order.end(), 0);
 
     for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+        OBS_SCOPE(config.metrics_prefix + "/epoch");
         shuffler.shuffle(order);
         double epoch_loss = 0.0;
         std::size_t counted = 0;
@@ -185,6 +190,19 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
     }
 
     restore_parameters(m, best_weights);
+
+    if (obs::enabled()) {
+        const std::string& p = config.metrics_prefix;
+        obs::add_counter(p + "/epochs", history.train_loss.size());
+        obs::set_gauge(p + "/learning_rate", config.learning_rate);
+        obs::set_gauge(p + "/best_epoch", static_cast<double>(history.best_epoch));
+        obs::set_gauge(p + "/final_train_loss", history.train_loss.back());
+        if (!history.val_loss.empty()) {
+            obs::set_gauge(p + "/best_val_loss", history.val_loss[history.best_epoch]);
+        }
+        obs::set_gauge(p + "/weight_positive", history.weight_positive);
+        obs::set_gauge(p + "/weight_negative", history.weight_negative);
+    }
     return history;
 }
 

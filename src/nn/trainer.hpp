@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -40,6 +41,10 @@ struct train_config {
     bool init_output_bias = true;  ///< Eq. (1): b = log(p / (1-p))
     std::uint64_t shuffle_seed = 1;
     bool verbose = false;
+    /// Prefix for the metrics this fit emits (obs registry).  Callers that
+    /// train several models in one process — parallel folds above all —
+    /// give each fit its own prefix so gauges never race across threads.
+    std::string metrics_prefix = "train";
 };
 
 struct train_history {

@@ -1,0 +1,216 @@
+#include "obs/manifest.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace fallsense::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+/// Shortest round-trip decimal representation — deterministic for equal
+/// bit patterns, which is what keeps manifests byte-comparable.
+void append_double(std::string& out, double value) {
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    if (ec != std::errc{}) {
+        out += "null";
+        return;
+    }
+    out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    out.append(buf, ptr);
+}
+
+/// Emits `"key": value` members of one object, handling the commas.
+class object_writer {
+public:
+    object_writer(std::string& out, int indent) : out_(out), indent_(indent) {
+        out_ += "{";
+    }
+    void raw_member(std::string_view key, std::string_view raw) {
+        begin_member(key);
+        out_ += raw;
+    }
+    void string_member(std::string_view key, std::string_view value) {
+        begin_member(key);
+        append_escaped(out_, value);
+    }
+    void u64_member(std::string_view key, std::uint64_t value) {
+        begin_member(key);
+        append_u64(out_, value);
+    }
+    void double_member(std::string_view key, double value) {
+        begin_member(key);
+        append_double(out_, value);
+    }
+    void close() {
+        if (!first_) {
+            out_ += '\n';
+            pad(indent_ - 1);
+        }
+        out_ += '}';
+    }
+    /// Start a member whose value the caller writes directly.
+    void begin_member(std::string_view key) {
+        out_ += first_ ? "\n" : ",\n";
+        first_ = false;
+        pad(indent_);
+        append_escaped(out_, key);
+        out_ += ": ";
+    }
+
+private:
+    void pad(int levels) { out_.append(static_cast<std::size_t>(levels) * 2, ' '); }
+    std::string& out_;
+    int indent_;
+    bool first_ = true;
+};
+
+}  // namespace
+
+std::string manifest_json(const run_manifest& run, const metrics_snapshot& snap,
+                          const manifest_options& options) {
+    std::string out;
+    object_writer root(out, 1);
+    root.string_member("schema", "fallsense.run_manifest/1");
+    root.string_member("command", run.command);
+    root.u64_member("seed", run.seed);
+    root.string_member("scale", run.scale);
+
+    root.begin_member("config");
+    {
+        object_writer config(out, 2);
+        for (const auto& [key, value] : run.config) config.string_member(key, value);
+        config.close();
+    }
+
+    root.begin_member("counters");
+    {
+        object_writer counters(out, 2);
+        for (const counter_snapshot& c : snap.counters) counters.u64_member(c.name, c.value);
+        counters.close();
+    }
+
+    root.begin_member("gauges");
+    {
+        object_writer gauges(out, 2);
+        for (const gauge_snapshot& g : snap.gauges) gauges.double_member(g.name, g.value);
+        gauges.close();
+    }
+
+    // Stage entry counts are deterministic (the region structure of a run
+    // never depends on the thread count); the measured times are not and
+    // live in the opt-in "timings" section below.
+    root.begin_member("stages");
+    {
+        object_writer stages(out, 2);
+        for (const stage_snapshot& s : snap.stages) {
+            stages.begin_member(s.name);
+            object_writer stage(out, 3);
+            stage.u64_member("count", s.count);
+            stage.close();
+        }
+        stages.close();
+    }
+
+    if (options.include_timings) {
+        root.begin_member("environment");
+        {
+            object_writer env(out, 2);
+            env.u64_member("threads", util::global_thread_count());
+            env.close();
+        }
+
+        root.begin_member("timings");
+        {
+            object_writer timings(out, 2);
+            for (const stage_snapshot& s : snap.stages) {
+                timings.begin_member(s.name);
+                object_writer stage(out, 3);
+                stage.double_member("wall_ms", s.wall_ms);
+                stage.double_member("cpu_ms", s.cpu_ms);
+                stage.close();
+            }
+            timings.close();
+        }
+
+        root.begin_member("histograms");
+        {
+            object_writer histograms(out, 2);
+            for (const histogram_snapshot& h : snap.histograms) {
+                histograms.begin_member(h.name);
+                object_writer hist(out, 3);
+                hist.begin_member("bounds_us");
+                out += '[';
+                bool first = true;
+                for (const double b : latency_bucket_bounds()) {
+                    if (!first) out += ", ";
+                    first = false;
+                    append_double(out, b);
+                }
+                out += ']';
+                hist.begin_member("bucket_counts");
+                out += '[';
+                first = true;
+                for (const std::uint64_t c : h.bucket_counts) {
+                    if (!first) out += ", ";
+                    first = false;
+                    append_u64(out, c);
+                }
+                out += ']';
+                hist.u64_member("count", h.count);
+                hist.double_member("sum_us", h.sum_us);
+                hist.close();
+            }
+            histograms.close();
+        }
+    }
+
+    root.close();
+    out += '\n';
+    return out;
+}
+
+void write_manifest(std::ostream& os, const run_manifest& run, const metrics_snapshot& snap,
+                    const manifest_options& options) {
+    os << manifest_json(run, snap, options);
+}
+
+void write_manifest_file(const std::string& path, const run_manifest& run,
+                         const metrics_snapshot& snap, const manifest_options& options) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write manifest file " + path);
+    write_manifest(os, run, snap, options);
+}
+
+}  // namespace fallsense::obs

@@ -1,0 +1,50 @@
+// Run manifests: one JSON document per run describing what ran (command,
+// config echo, seed, scale) and what the metrics registry observed
+// (counters, gauges, stage counts; optionally timings).
+//
+// The document is split into a deterministic part and an opt-in timing
+// part.  With `include_timings == false` (the default) the JSON contains
+// only values that the repository's reproducibility contract makes
+// bit-identical for any FALLSENSE_THREADS — the golden-file test in
+// tests/obs/manifest_test.cpp and the CLI acceptance check both compare
+// manifests from 1- and 4-thread runs byte for byte.  With timings on, an
+// `environment` section (thread count), per-stage wall/CPU times, and the
+// latency histograms are appended; those are real measurements and vary
+// run to run.  Schema: docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fallsense::obs {
+
+struct run_manifest {
+    std::string command;  ///< e.g. "evaluate" or a bench/test name
+    /// Echo of the run's configuration, serialized in the given order.
+    std::vector<std::pair<std::string, std::string>> config;
+    std::uint64_t seed = 0;
+    std::string scale;  ///< "tiny" / "quick" / "full"
+};
+
+struct manifest_options {
+    bool include_timings = false;  ///< wall/CPU, thread count, histograms
+};
+
+/// Serialize the manifest (2-space-indented JSON, trailing newline).
+std::string manifest_json(const run_manifest& run, const metrics_snapshot& snap,
+                          const manifest_options& options = {});
+
+void write_manifest(std::ostream& os, const run_manifest& run, const metrics_snapshot& snap,
+                    const manifest_options& options = {});
+
+/// Write to `path`; throws std::runtime_error when the file cannot be
+/// opened.
+void write_manifest_file(const std::string& path, const run_manifest& run,
+                         const metrics_snapshot& snap, const manifest_options& options = {});
+
+}  // namespace fallsense::obs

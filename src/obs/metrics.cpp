@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+
+namespace fallsense::obs {
+
+namespace {
+
+constexpr std::array<double, 13> k_latency_bounds_us = {
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0};
+
+struct histogram_data {
+    std::array<std::uint64_t, k_latency_bounds_us.size() + 1> buckets{};
+    std::uint64_t count = 0;
+    double sum_us = 0.0;
+};
+
+/// std::map keys iterate in lexicographic order, which is exactly the
+/// snapshot-ordering contract — no extra sort needed.
+struct registry {
+    std::mutex mu;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, histogram_data, std::less<>> histograms;
+};
+
+registry& global_registry() {
+    static registry r;
+    return r;
+}
+
+std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{[] {
+        const std::string v = util::env_string("FALLSENSE_METRICS");
+        return v == "1" || v == "on" || v == "true";
+    }()};
+    return flag;
+}
+
+template <typename Map>
+typename Map::mapped_type& find_or_insert(Map& map, std::string_view name) {
+    const auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    return map.emplace(std::string(name), typename Map::mapped_type{}).first->second;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+void add_counter(std::string_view name, std::uint64_t delta) {
+    if (!enabled()) return;
+    registry& r = global_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    find_or_insert(r.counters, name) += delta;
+}
+
+void set_gauge(std::string_view name, double value) {
+    if (!enabled()) return;
+    registry& r = global_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    find_or_insert(r.gauges, name) = value;
+}
+
+void observe_latency_us(std::string_view name, double micros) {
+    if (!enabled()) return;
+    registry& r = global_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    histogram_data& h = find_or_insert(r.histograms, name);
+    const auto it = std::lower_bound(k_latency_bounds_us.begin(), k_latency_bounds_us.end(),
+                                     micros);
+    h.buckets[static_cast<std::size_t>(it - k_latency_bounds_us.begin())] += 1;
+    h.count += 1;
+    h.sum_us += micros;
+}
+
+std::span<const double> latency_bucket_bounds() { return k_latency_bounds_us; }
+
+metrics_snapshot snapshot() {
+    metrics_snapshot snap;
+    registry& r = global_registry();
+    {
+        const std::lock_guard<std::mutex> lock(r.mu);
+        snap.counters.reserve(r.counters.size());
+        for (const auto& [name, value] : r.counters) snap.counters.push_back({name, value});
+        snap.gauges.reserve(r.gauges.size());
+        for (const auto& [name, value] : r.gauges) snap.gauges.push_back({name, value});
+        snap.histograms.reserve(r.histograms.size());
+        for (const auto& [name, h] : r.histograms) {
+            histogram_snapshot hs;
+            hs.name = name;
+            hs.bucket_counts.assign(h.buckets.begin(), h.buckets.end());
+            hs.count = h.count;
+            hs.sum_us = h.sum_us;
+            snap.histograms.push_back(std::move(hs));
+        }
+    }
+    snap.stages = merged_stage_snapshots();
+    return snap;
+}
+
+void reset() {
+    registry& r = global_registry();
+    {
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.counters.clear();
+        r.gauges.clear();
+        r.histograms.clear();
+    }
+    reset_stage_traces();
+}
+
+}  // namespace fallsense::obs

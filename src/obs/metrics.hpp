@@ -1,0 +1,83 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// The registry is disabled by default and every recording call is a no-op
+// until `set_enabled(true)` (or FALLSENSE_METRICS=1 in the environment) —
+// the hot paths pay one relaxed atomic load.  When enabled, recordings are
+// thread-safe and additive, so counters accumulated from parallel regions
+// (folds, synthesis jobs) reach the same totals for any FALLSENSE_THREADS.
+// Snapshots list every metric in name order, which makes serialized
+// snapshots byte-comparable across runs (see docs/observability.md for the
+// naming scheme and the full determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fallsense::obs {
+
+/// Global recording switch.  Initialized from FALLSENSE_METRICS
+/// ("1"/"on"/"true" → enabled) on first query.
+bool enabled();
+void set_enabled(bool on);
+
+/// counters[name] += delta.  No-op while disabled.
+void add_counter(std::string_view name, std::uint64_t delta = 1);
+
+/// gauges[name] = value (last write wins).  No-op while disabled.
+void set_gauge(std::string_view name, double value);
+
+/// Record one latency observation (microseconds) into the fixed-bucket
+/// histogram `name`.  No-op while disabled.
+void observe_latency_us(std::string_view name, double micros);
+
+/// Upper bounds (µs) of the latency buckets: a 1-2-5 series from 1 µs to
+/// 10 ms.  Every histogram has `latency_bucket_bounds().size() + 1`
+/// buckets; the last one counts observations above the largest bound.
+std::span<const double> latency_bucket_bounds();
+
+struct counter_snapshot {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct gauge_snapshot {
+    std::string name;
+    double value = 0.0;
+};
+
+struct histogram_snapshot {
+    std::string name;
+    std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;                   ///< total observations
+    double sum_us = 0.0;                       ///< sum of raw observations
+};
+
+/// One traced stage (see trace.hpp), merged over every thread that ever
+/// entered it.  `count` and the deterministic parts of the run manifest
+/// rely on the merge being a plain sum: totals are independent of how the
+/// scopes were distributed over threads.
+struct stage_snapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double wall_ms = 0.0;  ///< summed inclusive wall time
+    double cpu_ms = 0.0;   ///< summed per-thread CPU time
+};
+
+struct metrics_snapshot {
+    std::vector<counter_snapshot> counters;  ///< each sorted by name
+    std::vector<gauge_snapshot> gauges;
+    std::vector<histogram_snapshot> histograms;
+    std::vector<stage_snapshot> stages;
+};
+
+/// Copy the current registry + stage-tracer state, sorted by name.
+metrics_snapshot snapshot();
+
+/// Drop every metric and stage record (tests; does not change `enabled`).
+void reset();
+
+}  // namespace fallsense::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace fallsense::obs {
+
+namespace {
+
+struct stage_stat {
+    std::uint64_t count = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t cpu_ns = 0;
+};
+
+/// One thread's stage table.  The owning thread mutates it under `mu`
+/// (uncontended except while a snapshot merge is in flight); the global
+/// list below holds shared_ptrs so tables outlive pool threads that exit
+/// (set_global_threads replaces workers mid-process).
+struct thread_table {
+    std::mutex mu;
+    std::map<std::string, stage_stat, std::less<>> stats;
+};
+
+struct trace_state {
+    std::mutex mu;
+    std::vector<std::shared_ptr<thread_table>> tables;
+};
+
+trace_state& global_trace() {
+    static trace_state s;
+    return s;
+}
+
+thread_table& local_table() {
+    thread_local std::shared_ptr<thread_table> table = [] {
+        auto t = std::make_shared<thread_table>();
+        trace_state& g = global_trace();
+        const std::lock_guard<std::mutex> lock(g.mu);
+        g.tables.push_back(t);
+        return t;
+    }();
+    return *table;
+}
+
+std::uint64_t wall_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+    }
+#endif
+    return 0;
+}
+
+}  // namespace
+
+stage_scope::stage_scope(std::string_view name) : active_(enabled()) {
+    if (!active_) return;
+    name_.assign(name);
+    wall_start_ns_ = wall_now_ns();
+    cpu_start_ns_ = cpu_now_ns();
+}
+
+stage_scope::~stage_scope() {
+    if (!active_) return;
+    const std::uint64_t wall = wall_now_ns() - wall_start_ns_;
+    const std::uint64_t cpu = cpu_now_ns() - cpu_start_ns_;
+    thread_table& t = local_table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    const auto it = t.stats.find(name_);
+    stage_stat& s =
+        (it != t.stats.end()) ? it->second : t.stats.emplace(name_, stage_stat{}).first->second;
+    s.count += 1;
+    s.wall_ns += wall;
+    s.cpu_ns += cpu;
+}
+
+std::vector<stage_snapshot> merged_stage_snapshots() {
+    std::map<std::string, stage_stat, std::less<>> merged;
+    trace_state& g = global_trace();
+    const std::lock_guard<std::mutex> glock(g.mu);
+    for (const std::shared_ptr<thread_table>& table : g.tables) {
+        const std::lock_guard<std::mutex> tlock(table->mu);
+        for (const auto& [name, stat] : table->stats) {
+            stage_stat& m = merged[name];
+            m.count += stat.count;
+            m.wall_ns += stat.wall_ns;
+            m.cpu_ns += stat.cpu_ns;
+        }
+    }
+    std::vector<stage_snapshot> out;
+    out.reserve(merged.size());
+    for (const auto& [name, stat] : merged) {
+        out.push_back({name, stat.count, static_cast<double>(stat.wall_ns) / 1e6,
+                       static_cast<double>(stat.cpu_ns) / 1e6});
+    }
+    return out;
+}
+
+void reset_stage_traces() {
+    trace_state& g = global_trace();
+    const std::lock_guard<std::mutex> glock(g.mu);
+    for (const std::shared_ptr<thread_table>& table : g.tables) {
+        const std::lock_guard<std::mutex> tlock(table->mu);
+        table->stats.clear();
+    }
+}
+
+}  // namespace fallsense::obs

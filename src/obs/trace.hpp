@@ -1,0 +1,54 @@
+// Scoped stage tracing: RAII timers that nest and aggregate per thread.
+//
+//     void train() {
+//         OBS_SCOPE("train/fit");
+//         for (...) { OBS_SCOPE("train/epoch"); ... }
+//     }
+//
+// Each scope records one (count, inclusive wall time, thread CPU time)
+// observation into a table owned by the current thread — no cross-thread
+// contention on the hot path beyond one uncontended lock.  `snapshot()`
+// (metrics.hpp) merges all per-thread tables by plain summation, so counts
+// and sums are independent of how the work was distributed over
+// FALLSENSE_THREADS: only the wall/CPU *values* vary run to run, never
+// which stages exist or how often they ran.  While the registry is
+// disabled a scope costs one relaxed atomic load.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fallsense::obs {
+
+class stage_scope {
+public:
+    explicit stage_scope(std::string_view name);
+    ~stage_scope();
+
+    stage_scope(const stage_scope&) = delete;
+    stage_scope& operator=(const stage_scope&) = delete;
+
+private:
+    std::string name_;
+    bool active_ = false;
+    std::uint64_t wall_start_ns_ = 0;
+    std::uint64_t cpu_start_ns_ = 0;
+};
+
+/// All stage tables merged (summed) across threads, sorted by name.
+/// Usually consumed via obs::snapshot().
+std::vector<stage_snapshot> merged_stage_snapshots();
+
+/// Clear every per-thread stage table (tests; usually via obs::reset()).
+void reset_stage_traces();
+
+}  // namespace fallsense::obs
+
+#define FS_OBS_CONCAT_INNER(a, b) a##b
+#define FS_OBS_CONCAT(a, b) FS_OBS_CONCAT_INNER(a, b)
+/// Time the enclosing scope as stage `name` (a string; may be computed).
+#define OBS_SCOPE(name) \
+    ::fallsense::obs::stage_scope FS_OBS_CONCAT(fs_obs_scope_, __LINE__){(name)}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/activations.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace fallsense::quant {
@@ -114,6 +115,7 @@ quantized_cnn::quantized_cnn(quantized_cnn_parts parts)
 float quantized_cnn::predict_logit(std::span<const float> segment) const {
     FS_ARG_CHECK(segment.size() == time_steps_ * input_channels_,
                  "segment size mismatch");
+    obs::add_counter("quant/inferences");
 
     // Quantize the input once.
     std::vector<std::int8_t> qinput(segment.size());

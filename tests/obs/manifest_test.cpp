@@ -1,0 +1,139 @@
+// Run-manifest serialization: JSON structure, section ordering, escaping,
+// the timings opt-in, and the golden byte-stability contract — the
+// deterministic manifest from a fixed-seed tiny run must be identical
+// character for character whether the work ran on 1 thread or 4.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense {
+namespace {
+
+class ObsManifestTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    void TearDown() override {
+        obs::set_enabled(false);
+        obs::reset();
+        util::set_global_threads(0);
+    }
+};
+
+obs::run_manifest sample_run() {
+    obs::run_manifest run;
+    run.command = "evaluate";
+    run.seed = 42;
+    run.scale = "tiny";
+    run.config.emplace_back("epochs", "3");
+    run.config.emplace_back("window-ms", "200");
+    return run;
+}
+
+TEST_F(ObsManifestTest, DeterministicDocumentHasExpectedShape) {
+    obs::add_counter("eval/folds", 5);
+    obs::set_gauge("eval/pooled/f1", 0.75);
+    { OBS_SCOPE("eval/fold"); }
+    const std::string json = obs::manifest_json(sample_run(), obs::snapshot());
+
+    EXPECT_NE(json.find("\"schema\": \"fallsense.run_manifest/1\""), std::string::npos);
+    EXPECT_NE(json.find("\"command\": \"evaluate\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"scale\": \"tiny\""), std::string::npos);
+    EXPECT_NE(json.find("\"epochs\": \"3\""), std::string::npos);
+    EXPECT_NE(json.find("\"eval/folds\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"eval/pooled/f1\": 0.75"), std::string::npos);
+    EXPECT_NE(json.find("\"eval/fold\""), std::string::npos);
+    // Section order is fixed by the schema.
+    EXPECT_LT(json.find("\"config\""), json.find("\"counters\""));
+    EXPECT_LT(json.find("\"counters\""), json.find("\"gauges\""));
+    EXPECT_LT(json.find("\"gauges\""), json.find("\"stages\""));
+    // The deterministic form carries no measurements.
+    EXPECT_EQ(json.find("\"timings\""), std::string::npos);
+    EXPECT_EQ(json.find("\"environment\""), std::string::npos);
+    EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST_F(ObsManifestTest, TimingSectionsAppearOnlyWhenOptedIn) {
+    { OBS_SCOPE("t/stage"); }
+    obs::observe_latency_us("t/lat_us", 3.0);
+    obs::manifest_options with_timings;
+    with_timings.include_timings = true;
+    const std::string json = obs::manifest_json(sample_run(), obs::snapshot(), with_timings);
+    EXPECT_NE(json.find("\"environment\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\""), std::string::npos);
+    EXPECT_NE(json.find("\"timings\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"cpu_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"bounds_us\""), std::string::npos);
+}
+
+TEST_F(ObsManifestTest, StringsAreJsonEscaped) {
+    obs::run_manifest run = sample_run();
+    run.command = "quote\"backslash\\newline\ntab\t";
+    const std::string json = obs::manifest_json(run, obs::snapshot());
+    EXPECT_NE(json.find("quote\\\"backslash\\\\newline\\ntab\\t"), std::string::npos);
+}
+
+TEST_F(ObsManifestTest, GaugesRoundTripShortestForm) {
+    obs::set_gauge("t/third", 1.0 / 3.0);
+    obs::set_gauge("t/neg", -0.5);
+    const std::string json = obs::manifest_json(sample_run(), obs::snapshot());
+    EXPECT_NE(json.find("\"t/third\": 0.3333333333333333"), std::string::npos);
+    EXPECT_NE(json.find("\"t/neg\": -0.5"), std::string::npos);
+}
+
+TEST_F(ObsManifestTest, WriteManifestFileThrowsOnBadPath) {
+    EXPECT_THROW(
+        obs::write_manifest_file("/nonexistent-dir/m.json", sample_run(), obs::snapshot()),
+        std::runtime_error);
+}
+
+// Golden byte-stability: run the same fixed-seed tiny cross-validation on
+// 1 thread and on 4, and require the deterministic manifest to come out
+// byte for byte identical.  This is the acceptance criterion behind
+// `fallsense_cli --metrics-json` and the reason timings are opt-in.
+TEST_F(ObsManifestTest, TinyRunManifestIsByteStableAcrossThreadCounts) {
+    core::experiment_scale s = core::scale_preset(util::run_scale::tiny);
+    s.max_epochs = 3;
+    s.early_stop_patience = 0;
+    const core::windowing_config wc = core::standard_windowing(200.0);
+
+    auto manifest_for = [&](std::size_t threads) {
+        obs::reset();
+        util::set_global_threads(threads);
+        const data::dataset merged = core::make_merged_dataset(s, 11);
+        core::run_cross_validation(core::model_kind::cnn, merged, wc, s, 13);
+        return obs::manifest_json(sample_run(), obs::snapshot());
+    };
+
+    const std::string one = manifest_for(1);
+    const std::string four = manifest_for(4);
+    ASSERT_FALSE(one.empty());
+    // Sanity: the run actually populated the registry.
+    EXPECT_NE(one.find("\"eval/folds\""), std::string::npos);
+    EXPECT_NE(one.find("\"eval/pooled/f1\""), std::string::npos);
+    EXPECT_NE(one.find("\"eval/cross_validation\""), std::string::npos);
+    if (one != four) {
+        // Pinpoint the first divergence for the failure message.
+        std::size_t i = 0;
+        while (i < one.size() && i < four.size() && one[i] == four[i]) ++i;
+        FAIL() << "manifests diverge at byte " << i << ":\n1 thread:  ..."
+               << one.substr(i > 40 ? i - 40 : 0, 80) << "\n4 threads: ..."
+               << four.substr(i > 40 ? i - 40 : 0, 80);
+    }
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,124 @@
+// Registry semantics: counter/gauge/histogram behaviour, snapshot
+// ordering, the disabled no-op contract, and counter exactness under
+// concurrent increments from the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    void TearDown() override {
+        obs::set_enabled(false);
+        obs::reset();
+        util::set_global_threads(0);
+    }
+};
+
+TEST_F(ObsMetricsTest, CountersAccumulate) {
+    obs::add_counter("a/count");
+    obs::add_counter("a/count", 4);
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].name, "a/count");
+    EXPECT_EQ(snap.counters[0].value, 5u);
+}
+
+TEST_F(ObsMetricsTest, GaugesKeepLastValue) {
+    obs::set_gauge("a/gauge", 1.5);
+    obs::set_gauge("a/gauge", -2.25);
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, -2.25);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsObservations) {
+    // Bounds are a 1-2-5 µs series: 0.5 → bucket 0 (≤1), 3.0 → bucket 2
+    // (≤5), 150.0 → bucket 7 (≤200), 1e6 → overflow bucket.
+    obs::observe_latency_us("a/lat", 0.5);
+    obs::observe_latency_us("a/lat", 3.0);
+    obs::observe_latency_us("a/lat", 150.0);
+    obs::observe_latency_us("a/lat", 1e6);
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const obs::histogram_snapshot& h = snap.histograms[0];
+    ASSERT_EQ(h.bucket_counts.size(), obs::latency_bucket_bounds().size() + 1);
+    EXPECT_EQ(h.bucket_counts[0], 1u);
+    EXPECT_EQ(h.bucket_counts[2], 1u);
+    EXPECT_EQ(h.bucket_counts[7], 1u);
+    EXPECT_EQ(h.bucket_counts.back(), 1u);
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_DOUBLE_EQ(h.sum_us, 0.5 + 3.0 + 150.0 + 1e6);
+}
+
+TEST_F(ObsMetricsTest, BucketBoundaryValuesLandInTheLowerBucket) {
+    obs::observe_latency_us("a/lat", 1.0);   // exactly the first bound
+    obs::observe_latency_us("a/lat", 10000.0);  // exactly the last bound
+    const obs::metrics_snapshot snap = obs::snapshot();
+    const obs::histogram_snapshot& h = snap.histograms[0];
+    EXPECT_EQ(h.bucket_counts[0], 1u);
+    EXPECT_EQ(h.bucket_counts[obs::latency_bucket_bounds().size() - 1], 1u);
+    EXPECT_EQ(h.bucket_counts.back(), 0u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsSortedByName) {
+    obs::add_counter("z/last");
+    obs::add_counter("a/first");
+    obs::add_counter("m/middle");
+    obs::set_gauge("z/g", 1.0);
+    obs::set_gauge("b/g", 2.0);
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].name, "a/first");
+    EXPECT_EQ(snap.counters[1].name, "m/middle");
+    EXPECT_EQ(snap.counters[2].name, "z/last");
+    ASSERT_EQ(snap.gauges.size(), 2u);
+    EXPECT_EQ(snap.gauges[0].name, "b/g");
+    EXPECT_EQ(snap.gauges[1].name, "z/g");
+}
+
+TEST_F(ObsMetricsTest, DisabledRegistryRecordsNothing) {
+    obs::set_enabled(false);
+    obs::add_counter("a/count");
+    obs::set_gauge("a/gauge", 1.0);
+    obs::observe_latency_us("a/lat", 1.0);
+    const obs::metrics_snapshot snap = obs::snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(ObsMetricsTest, ResetClearsEverything) {
+    obs::add_counter("a/count");
+    obs::set_gauge("a/gauge", 1.0);
+    obs::reset();
+    const obs::metrics_snapshot snap = obs::snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+    util::set_global_threads(4);
+    constexpr std::size_t k_tasks = 2000;
+    util::parallel_for(0, k_tasks, 1, [](std::size_t i) {
+        obs::add_counter("a/parallel");
+        obs::add_counter("a/parallel", i % 3);
+    });
+    std::uint64_t expected_extra = 0;
+    for (std::size_t i = 0; i < k_tasks; ++i) expected_extra += i % 3;
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, k_tasks + expected_extra);
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -1,0 +1,118 @@
+// Stage tracer semantics: scope counts, nesting (inclusive time), the
+// disabled no-op contract, and thread-count-independent merged counts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    void TearDown() override {
+        obs::set_enabled(false);
+        obs::reset();
+        util::set_global_threads(0);
+    }
+
+    static const obs::stage_snapshot* find(const std::vector<obs::stage_snapshot>& stages,
+                                           std::string_view name) {
+        for (const obs::stage_snapshot& s : stages) {
+            if (s.name == name) return &s;
+        }
+        return nullptr;
+    }
+};
+
+TEST_F(ObsTraceTest, ScopeCountsInvocations) {
+    for (int i = 0; i < 5; ++i) {
+        OBS_SCOPE("t/stage");
+    }
+    const std::vector<obs::stage_snapshot> stages = obs::merged_stage_snapshots();
+    const obs::stage_snapshot* s = find(stages, "t/stage");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->count, 5u);
+    EXPECT_GE(s->wall_ms, 0.0);
+    EXPECT_GE(s->cpu_ms, 0.0);
+}
+
+TEST_F(ObsTraceTest, NestedScopesRecordSeparatelyAndInclusively) {
+    {
+        OBS_SCOPE("t/outer");
+        for (int i = 0; i < 3; ++i) {
+            OBS_SCOPE("t/inner");
+            volatile double sink = 0.0;
+            for (int j = 0; j < 20000; ++j) sink = sink + 1.0;
+        }
+    }
+    const std::vector<obs::stage_snapshot> stages = obs::merged_stage_snapshots();
+    const obs::stage_snapshot* outer = find(stages, "t/outer");
+    const obs::stage_snapshot* inner = find(stages, "t/inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 3u);
+    // Stage times are inclusive: the outer scope contains the inner ones.
+    EXPECT_GE(outer->wall_ms, inner->wall_ms);
+}
+
+TEST_F(ObsTraceTest, MergedSnapshotIsSortedByName) {
+    { OBS_SCOPE("t/z"); }
+    { OBS_SCOPE("t/a"); }
+    { OBS_SCOPE("t/m"); }
+    const std::vector<obs::stage_snapshot> stages = obs::merged_stage_snapshots();
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0].name, "t/a");
+    EXPECT_EQ(stages[1].name, "t/m");
+    EXPECT_EQ(stages[2].name, "t/z");
+}
+
+TEST_F(ObsTraceTest, DisabledScopesRecordNothing) {
+    obs::set_enabled(false);
+    { OBS_SCOPE("t/off"); }
+    EXPECT_TRUE(obs::merged_stage_snapshots().empty());
+}
+
+TEST_F(ObsTraceTest, ResetClearsAllThreadTables) {
+    { OBS_SCOPE("t/stage"); }
+    obs::reset_stage_traces();
+    EXPECT_TRUE(obs::merged_stage_snapshots().empty());
+}
+
+// Counts merged over per-thread tables must not depend on how the pool
+// distributed the work: 200 scope entries are 200 scope entries whether
+// one thread or four ran them.
+TEST_F(ObsTraceTest, MergedCountsAreThreadCountIndependent) {
+    constexpr std::size_t k_tasks = 200;
+    auto run = [&](std::size_t threads) {
+        obs::reset();
+        util::set_global_threads(threads);
+        util::parallel_for(0, k_tasks, 1, [](std::size_t) { OBS_SCOPE("t/parallel"); });
+        const std::vector<obs::stage_snapshot> stages = obs::merged_stage_snapshots();
+        const obs::stage_snapshot* s = find(stages, "t/parallel");
+        return s == nullptr ? std::uint64_t{0} : s->count;
+    };
+    EXPECT_EQ(run(1), k_tasks);
+    EXPECT_EQ(run(4), k_tasks);
+}
+
+// Stage snapshots ride along in obs::snapshot() next to the registry maps.
+TEST_F(ObsTraceTest, SnapshotIncludesStages) {
+    { OBS_SCOPE("t/stage"); }
+    obs::add_counter("t/count");
+    const obs::metrics_snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.stages.size(), 1u);
+    EXPECT_EQ(snap.stages[0].name, "t/stage");
+    ASSERT_EQ(snap.counters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fallsense

@@ -11,6 +11,14 @@
 //   fallsense replay   --file trial.csv --weights weights.fsnn
 //                      [--window-ms 400] [--threshold 0.5]
 //
+// Any command additionally accepts
+//   --metrics-json FILE   enable the obs metrics registry and write a run
+//                         manifest (docs/observability.md) when done
+//   --metrics-timings     include wall/CPU timings, thread count, and
+//                         latency histograms in the manifest (these vary
+//                         run to run; without them the manifest is
+//                         byte-identical for any FALLSENSE_THREADS)
+//
 // Weights files store parameters only; the window size used at training
 // time must be passed again (kept explicit rather than guessed).
 #include <cstdio>
@@ -29,6 +37,8 @@
 #include "mcu/memory_planner.hpp"
 #include "nn/activations.hpp"
 #include "nn/serialize.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "quant/quantized_cnn.hpp"
 #include "util/args.hpp"
 #include "util/env.hpp"
@@ -256,24 +266,54 @@ int cmd_replay(const util::arg_parser& args) {
     return 0;
 }
 
+/// Options whose values are echoed into the run manifest's config section
+/// (the metrics options themselves are not part of the run's config).
+constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "seed",
+                                            "data",    "epochs",    "window-ms", "weights",
+                                            "threshold", "calib",   "c-array", "file",
+                                            "sample-rate"};
+
+void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
+                            const std::string& path) {
+    obs::run_manifest run;
+    run.command = command;
+    for (const char* opt : k_config_options) {
+        if (const auto value = args.option(opt)) run.config.emplace_back(opt, *value);
+    }
+    run.seed = args.option("seed")
+                   ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
+                   : util::env_seed();
+    run.scale = args.option_or("scale", util::run_scale_name(util::env_run_scale()));
+    obs::manifest_options options;
+    options.include_timings = args.has_flag("metrics-timings");
+    obs::write_manifest_file(path, run, obs::snapshot(), options);
+    std::printf("metrics manifest -> %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     util::arg_parser args;
-    for (const char* opt : {"out", "dataset", "scale", "seed", "data", "epochs", "window-ms",
-                            "weights", "threshold", "calib", "c-array", "file", "sample-rate"}) {
-        args.add_option(opt);
-    }
+    for (const char* opt : k_config_options) args.add_option(opt);
+    args.add_option("metrics-json");
+    args.add_flag("metrics-timings");
     try {
         args.parse(argc, argv, 2);
-        if (command == "generate") return cmd_generate(args);
-        if (command == "train") return cmd_train(args);
-        if (command == "evaluate") return cmd_evaluate(args);
-        if (command == "deploy") return cmd_deploy(args);
-        if (command == "replay") return cmd_replay(args);
-        return usage();
+        const auto metrics_json = args.option("metrics-json");
+        if (metrics_json) obs::set_enabled(true);
+
+        int rc = 2;
+        if (command == "generate") rc = cmd_generate(args);
+        else if (command == "train") rc = cmd_train(args);
+        else if (command == "evaluate") rc = cmd_evaluate(args);
+        else if (command == "deploy") rc = cmd_deploy(args);
+        else if (command == "replay") rc = cmd_replay(args);
+        else return usage();
+
+        if (metrics_json) write_metrics_manifest(args, command, *metrics_json);
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fallsense %s: %s\n", command.c_str(), e.what());
         return 1;
