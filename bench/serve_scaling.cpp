@@ -1,0 +1,152 @@
+// Serving-engine scaling benchmarks (google-benchmark): one session_engine
+// hosting sessions ∈ {1, 64, 1024} versus the same fleet run as independent
+// streaming_detector loops (one CNN forward per window — the architecture
+// the engine replaces).  The acceptance bar for src/serve is batched
+// scoring beating the independent-detector baseline in windows/sec at 1024
+// sessions; scripts/run_bench.sh records the sweep in BENCH_kernel.json.
+#include <benchmark/benchmark.h>
+
+#include "core/models.hpp"
+#include "data/synthesizer.hpp"
+#include "nn/activations.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+constexpr std::size_t k_window = 20;
+constexpr std::size_t k_ticks = 120;
+
+/// A handful of synthesized streams reused round-robin across the fleet:
+/// setup stays O(1) in session count while every session still replays a
+/// real motion profile (offset so sessions are out of phase).
+const std::vector<std::vector<data::raw_sample>>& shared_streams() {
+    static const std::vector<std::vector<data::raw_sample>> streams = [] {
+        constexpr int tasks[] = {6, 30, 12, 38};
+        data::motion_tuning tuning;
+        tuning.static_hold_s = 1.5;
+        tuning.locomotion_s = 2.0;
+        tuning.post_fall_hold_s = 1.0;
+        std::vector<std::vector<data::raw_sample>> out;
+        util::rng gen(11);
+        for (std::size_t i = 0; i < std::size(tasks); ++i) {
+            data::subject_profile subject;
+            subject.id = static_cast<int>(i + 1);
+            out.push_back(data::synthesize_task(tasks[i], subject, tuning,
+                                                data::synthesis_config{}, gen)
+                              .samples);
+        }
+        return out;
+    }();
+    return streams;
+}
+
+core::detector_config bench_detector() {
+    core::detector_config c;
+    c.window_samples = k_window;
+    c.overlap_fraction = 0.5;
+    c.threshold = 0.65;
+    return c;
+}
+
+const data::raw_sample& stream_sample(std::size_t session, std::size_t tick) {
+    const auto& streams = shared_streams();
+    const auto& s = streams[session % streams.size()];
+    return s[(tick + session * 7) % s.size()];
+}
+
+/// The engine: one batched CNN forward per tick across all sessions.
+void BM_EngineBatchedSessions(benchmark::State& state) {
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    const auto scorer = serve::make_cnn_scorer(k_window, 7);
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        serve::engine_config config;
+        config.detector = bench_detector();
+        config.queue_capacity = 4;
+        serve::session_engine engine(config, *scorer);
+        for (std::size_t i = 0; i < sessions; ++i) engine.create_session();
+        for (std::size_t tick = 0; tick < k_ticks; ++tick) {
+            for (std::size_t i = 0; i < sessions; ++i) {
+                engine.feed(static_cast<serve::session_id>(i), stream_sample(i, tick));
+            }
+            benchmark::DoNotOptimize(engine.tick().windows_scored);
+        }
+        windows += engine.totals().windows_scored;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+BENCHMARK(BM_EngineBatchedSessions)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The baseline the engine replaces: one streaming_detector per session,
+/// each running its own CNN forward per due window (batch size 1).
+void BM_IndependentDetectorsSessions(benchmark::State& state) {
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    const auto model = core::build_fallsense_cnn(k_window, 7);
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        std::uint64_t scored = 0;
+        const core::segment_scorer score_one = [&](std::span<const float> w) {
+            ++scored;
+            const nn::tensor x({1, k_window, core::k_feature_channels},
+                               std::vector<float>(w.begin(), w.end()));
+            return nn::sigmoid_scalar(model->forward(x, false)[0]);
+        };
+        std::vector<core::streaming_detector> fleet;
+        fleet.reserve(sessions);
+        for (std::size_t i = 0; i < sessions; ++i) fleet.emplace_back(bench_detector(), score_one);
+        for (std::size_t tick = 0; tick < k_ticks; ++tick) {
+            for (std::size_t i = 0; i < sessions; ++i) {
+                benchmark::DoNotOptimize(fleet[i].push(stream_sample(i, tick)));
+            }
+        }
+        windows += scored;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+BENCHMARK(BM_IndependentDetectorsSessions)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The int8 deployment path under the same fleet (quantized batch scoring).
+void BM_EngineInt8Sessions(benchmark::State& state) {
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    const auto scorer = serve::make_int8_scorer(k_window, 7);
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        serve::engine_config config;
+        config.detector = bench_detector();
+        config.queue_capacity = 4;
+        serve::session_engine engine(config, *scorer);
+        for (std::size_t i = 0; i < sessions; ++i) engine.create_session();
+        for (std::size_t tick = 0; tick < k_ticks; ++tick) {
+            for (std::size_t i = 0; i < sessions; ++i) {
+                engine.feed(static_cast<serve::session_id>(i), stream_sample(i, tick));
+            }
+            benchmark::DoNotOptimize(engine.tick().windows_scored);
+        }
+        windows += engine.totals().windows_scored;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+BENCHMARK(BM_EngineInt8Sessions)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

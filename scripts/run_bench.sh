@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Run the google-benchmark binaries (kernel_micro + parallel_scaling) with
-# JSON output and combine them into BENCH_kernel.json at the repo root.
+# Run the google-benchmark binaries (kernel_micro, parallel_scaling,
+# serve_scaling) with JSON output and combine them into BENCH_kernel.json
+# at the repo root.
 # Usage: scripts/run_bench.sh [build-dir]
 #
 # Optional environment:
@@ -15,8 +16,9 @@ FILTER="${FALLSENSE_BENCH_FILTER:-}"
 
 KERNEL_BIN="$BUILD_DIR/bench/kernel_micro"
 SCALING_BIN="$BUILD_DIR/bench/parallel_scaling"
+SERVE_BIN="$BUILD_DIR/bench/serve_scaling"
 
-for bin in "$KERNEL_BIN" "$SCALING_BIN"; do
+for bin in "$KERNEL_BIN" "$SCALING_BIN" "$SERVE_BIN"; do
     if [ ! -x "$bin" ]; then
         echo "error: $bin not found or not executable; build first:" >&2
         echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -37,12 +39,19 @@ run_bench() {
         "$1" --benchmark_format=json --benchmark_out="$2" \
              --benchmark_out_format=json >/dev/null
     fi
+    # A filter matching nothing in this binary leaves no output document;
+    # substitute an empty object so the combined file stays valid JSON.
+    if [ ! -s "$2" ]; then
+        printf '{}\n' > "$2"
+    fi
 }
 
 echo ">>> kernel_micro"
 run_bench "$KERNEL_BIN" "$TMP_DIR/kernel_micro.json"
 echo ">>> parallel_scaling"
 run_bench "$SCALING_BIN" "$TMP_DIR/parallel_scaling.json"
+echo ">>> serve_scaling"
+run_bench "$SERVE_BIN" "$TMP_DIR/serve_scaling.json"
 
 # Run manifest: thread count plus the build configuration the binaries
 # were compiled with, read from the CMake cache so the numbers in
@@ -77,6 +86,8 @@ SANITIZE="$(cache_value FALLSENSE_SANITIZE OFF)"
     cat "$TMP_DIR/kernel_micro.json"
     printf ',\n"parallel_scaling":\n'
     cat "$TMP_DIR/parallel_scaling.json"
+    printf ',\n"serve_scaling":\n'
+    cat "$TMP_DIR/serve_scaling.json"
     printf '}\n'
 } > "$OUT"
 

@@ -9,8 +9,8 @@
 
 namespace fallsense::core {
 
-streaming_detector::streaming_detector(const detector_config& config, segment_scorer scorer)
-    : config_(config), scorer_(std::move(scorer)), fusion_([&] {
+detector_state::detector_state(const detector_config& config)
+    : config_(config), fusion_([&] {
           dsp::fusion_config fc = config.preprocess.fusion;
           fc.sample_rate_hz = config.sample_rate_hz;
           return fc;
@@ -20,7 +20,6 @@ streaming_detector::streaming_detector(const detector_config& config, segment_sc
                  "detector overlap must be in [0, 1)");
     FS_ARG_CHECK(config_.threshold >= 0.0 && config_.threshold <= 1.0,
                  "detector threshold must be in [0, 1]");
-    FS_ARG_CHECK(scorer_ != nullptr, "detector needs a scorer");
     for (std::size_t c = 0; c < 6; ++c) {
         filters_.emplace_back(config_.preprocess.filter_order, config_.preprocess.cutoff_hz,
                               config_.sample_rate_hz);
@@ -33,7 +32,7 @@ streaming_detector::streaming_detector(const detector_config& config, segment_sc
     last_score_ = std::numeric_limits<float>::quiet_NaN();
 }
 
-std::optional<detection> streaming_detector::push(const data::raw_sample& sample) {
+bool detector_state::ingest(const data::raw_sample& sample) {
     // Prime the filters on the very first tick: the wearable streams
     // continuously, so a cold filter transient is an artifact of starting
     // mid-signal, not something the deployed firmware sees.
@@ -64,10 +63,12 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
     ++tick_;
     obs::add_counter("stream/samples");
 
-    // Score once the buffer is full, every hop ticks thereafter.
-    if (tick_ < config_.window_samples || (tick_ - config_.window_samples) % hop_ != 0) {
-        return std::nullopt;
-    }
+    // A window is due once the buffer is full, every hop ticks thereafter.
+    return tick_ >= config_.window_samples &&
+           (tick_ - config_.window_samples) % hop_ == 0;
+}
+
+std::span<const float> detector_state::assemble_window() {
     // Unroll the ring into chronological order.  The scratch buffer is a
     // member so the per-tick scoring path allocates nothing — this runs
     // once per hop for every streamed sample in replay benches.
@@ -77,21 +78,16 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
                   ring_.begin() + static_cast<std::ptrdiff_t>((src + 1) * k_feature_channels),
                   window_scratch_.begin() + static_cast<std::ptrdiff_t>(i * k_feature_channels));
     }
-    if (obs::enabled()) {
-        const auto score_start = std::chrono::steady_clock::now();
-        last_score_ = scorer_(window_scratch_);
-        const std::chrono::duration<double, std::micro> elapsed =
-            std::chrono::steady_clock::now() - score_start;
-        obs::observe_latency_us("stream/score_us", elapsed.count());
-        obs::add_counter("stream/windows_scored");
-    } else {
-        last_score_ = scorer_(window_scratch_);
-    }
-    if (last_score_ >= config_.threshold) {
+    return window_scratch_;
+}
+
+std::optional<detection> detector_state::apply_score(float score) {
+    last_score_ = score;
+    if (score >= config_.threshold) {
         ++positive_run_;
         if (positive_run_ >= std::max<std::size_t>(config_.consecutive_required, 1)) {
             obs::add_counter("stream/triggers");
-            return detection{tick_ - 1, last_score_};
+            return detection{tick_ - 1, score};
         }
     } else {
         positive_run_ = 0;
@@ -99,13 +95,35 @@ std::optional<detection> streaming_detector::push(const data::raw_sample& sample
     return std::nullopt;
 }
 
-void streaming_detector::reset() {
+void detector_state::reset() {
     for (auto& f : filters_) f.reset();
     fusion_.reset();
     std::fill(ring_.begin(), ring_.end(), 0.0f);
     tick_ = 0;
     positive_run_ = 0;
     last_score_ = std::numeric_limits<float>::quiet_NaN();
+}
+
+streaming_detector::streaming_detector(const detector_config& config, segment_scorer scorer)
+    : state_(config), scorer_(std::move(scorer)) {
+    FS_ARG_CHECK(scorer_ != nullptr, "detector needs a scorer");
+}
+
+std::optional<detection> streaming_detector::push(const data::raw_sample& sample) {
+    if (!state_.ingest(sample)) return std::nullopt;
+    const std::span<const float> window = state_.assemble_window();
+    float score = 0.0f;
+    if (obs::enabled()) {
+        const auto score_start = std::chrono::steady_clock::now();
+        score = scorer_(window);
+        const std::chrono::duration<double, std::micro> elapsed =
+            std::chrono::steady_clock::now() - score_start;
+        obs::observe_latency_us("stream/score_us", elapsed.count());
+        obs::add_counter("stream/windows_scored");
+    } else {
+        score = scorer_(window);
+    }
+    return state_.apply_score(score);
 }
 
 }  // namespace fallsense::core

@@ -1,17 +1,24 @@
 // Real-time pre-impact fall detection pipeline (Figure 2).
 //
-// `streaming_detector` mirrors the firmware structure: every 10 ms tick it
-// filters the raw sample (streaming Butterworth), updates the sensor-fusion
-// attitude, appends the 9-feature row to a ring buffer, and every hop
-// (window * (1 - overlap)) scores the current window with the deployed
-// classifier.  A score above the decision threshold raises the trigger —
-// the signal that would fire the airbag squib.
+// `detector_state` is the per-stream half of the pipeline: every 10 ms tick
+// it filters the raw sample (streaming Butterworth), updates the
+// sensor-fusion attitude, appends the 9-feature row to a ring buffer, and
+// reports when a full window is due for scoring; once a score is available
+// it applies the decision threshold and debouncing.  Scoring itself is kept
+// outside the state so a serving engine (src/serve) can host thousands of
+// these states and score all due windows as one batch.
+//
+// `streaming_detector` binds one state to one `segment_scorer` callback —
+// the single-stream firmware structure: filter, fuse, buffer, score every
+// hop (window * (1 - overlap)).  A score above the decision threshold
+// raises the trigger — the signal that would fire the airbag squib.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/preprocess.hpp"
@@ -44,6 +51,54 @@ struct detection {
     float probability = 0.0f;
 };
 
+/// Per-stream filter/fusion/window/debounce state with scoring factored
+/// out.  The lifecycle per tick is
+///
+///     if (state.ingest(sample)) {
+///         float p = score(state.assemble_window());
+///         auto trigger = state.apply_score(p);
+///     }
+///
+/// and a caller may interleave the three steps across many states (ingest
+/// them all, score all due windows as one batch, then apply the scores in
+/// order) — exactly what serve::session_engine does.  `reset()` returns
+/// the state to the freshly constructed condition, so evicted serving
+/// slots can be reused without reallocating.
+class detector_state {
+public:
+    explicit detector_state(const detector_config& config);
+
+    /// Advance one tick: filter, fuse, append the feature row.  Returns
+    /// true when a full window is due for scoring at this tick.
+    bool ingest(const data::raw_sample& sample);
+
+    /// Chronological [window x 9] view of the window due at this tick.
+    /// Valid after `ingest` returned true, until the next `ingest` call.
+    std::span<const float> assemble_window();
+
+    /// Record the score of the window due at this tick and apply the
+    /// threshold + consecutive-window debouncing.  Returns the detection
+    /// when the trigger fires.
+    std::optional<detection> apply_score(float score);
+
+    /// Score recorded at the last scoring tick (NaN before the first one).
+    float last_score() const { return last_score_; }
+    std::size_t samples_seen() const { return tick_; }
+    const detector_config& config() const { return config_; }
+    void reset();
+
+private:
+    detector_config config_;
+    std::vector<dsp::butterworth_lowpass> filters_;  ///< 6 raw channels
+    dsp::complementary_filter fusion_;
+    std::vector<float> ring_;            ///< [window x 9] circular feature buffer
+    std::vector<float> window_scratch_;  ///< chronological window handed to the scorer
+    std::size_t tick_ = 0;
+    std::size_t hop_ = 1;
+    float last_score_ = 0.0f;
+    std::size_t positive_run_ = 0;  ///< consecutive above-threshold windows
+};
+
 class streaming_detector {
 public:
     streaming_detector(const detector_config& config, segment_scorer scorer);
@@ -53,21 +108,13 @@ public:
     std::optional<detection> push(const data::raw_sample& sample);
 
     /// Score emitted at the last scoring tick (NaN before the first one).
-    float last_score() const { return last_score_; }
-    std::size_t samples_seen() const { return tick_; }
-    void reset();
+    float last_score() const { return state_.last_score(); }
+    std::size_t samples_seen() const { return state_.samples_seen(); }
+    void reset() { state_.reset(); }
 
 private:
-    detector_config config_;
+    detector_state state_;
     segment_scorer scorer_;
-    std::vector<dsp::butterworth_lowpass> filters_;  ///< 6 raw channels
-    dsp::complementary_filter fusion_;
-    std::vector<float> ring_;            ///< [window x 9] circular feature buffer
-    std::vector<float> window_scratch_;  ///< chronological window handed to the scorer
-    std::size_t tick_ = 0;
-    std::size_t hop_ = 1;
-    float last_score_ = 0.0f;
-    std::size_t positive_run_ = 0;  ///< consecutive above-threshold windows
 };
 
 }  // namespace fallsense::core

@@ -75,4 +75,16 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
 std::vector<float> predict_proba(model& m, const tensor& features,
                                  std::size_t batch_size = 256);
 
+/// Batch-scoring entry point for serving (src/serve): score `count`
+/// row-major samples of shape `row_shape` laid out back to back in `rows`
+/// and write one sigmoid probability per sample into `out`.  Avoids the
+/// caller-built tensor and result allocation of `predict_proba`; evaluated
+/// in chunks of `batch_size` rows.  Because every GEMM output element is a
+/// serial ascending-k sum (src/nn/gemm.hpp), each probability is
+/// bit-identical to scoring that sample alone, for any chunking and any
+/// FALLSENSE_THREADS.
+void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count,
+                        const shape_t& row_shape, std::span<float> out,
+                        std::size_t batch_size = 256);
+
 }  // namespace fallsense::nn

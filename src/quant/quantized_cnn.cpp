@@ -6,6 +6,7 @@
 #include "nn/activations.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::quant {
 
@@ -186,6 +187,16 @@ float quantized_cnn::predict_logit(std::span<const float> segment) const {
 
 float quantized_cnn::predict_proba(std::span<const float> segment) const {
     return nn::sigmoid_scalar(predict_logit(segment));
+}
+
+void quantized_cnn::predict_proba_batch(std::span<const float> segments, std::size_t count,
+                                        std::span<float> out) const {
+    const std::size_t elems = time_steps_ * input_channels_;
+    FS_ARG_CHECK(segments.size() == count * elems, "batch segment buffer size mismatch");
+    FS_ARG_CHECK(out.size() == count, "batch output size mismatch");
+    util::parallel_for(0, count, 4, [&](std::size_t i) {
+        out[i] = predict_proba(segments.subspan(i * elems, elems));
+    });
 }
 
 std::size_t quantized_cnn::weight_bytes() const {

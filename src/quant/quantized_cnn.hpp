@@ -71,6 +71,14 @@ public:
     /// The dequantized logit (pre-sigmoid).
     float predict_logit(std::span<const float> segment) const;
 
+    /// Batch-scoring entry point for serving (src/serve): `count` segments
+    /// laid out back to back in `segments`; writes one probability per
+    /// segment into `out`.  Segments are independent int8 inferences, run
+    /// via util::parallel_for with index-addressed outputs — bit-identical
+    /// to per-segment predict_proba for any FALLSENSE_THREADS.
+    void predict_proba_batch(std::span<const float> segments, std::size_t count,
+                             std::span<float> out) const;
+
     std::size_t time_steps() const { return time_steps_; }
     std::size_t input_channels() const { return input_channels_; }
     const qparams& input_q() const { return input_q_; }

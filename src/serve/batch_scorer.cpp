@@ -1,0 +1,51 @@
+#include "serve/batch_scorer.hpp"
+
+#include "core/preprocess.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::serve {
+
+float_cnn_scorer::float_cnn_scorer(std::unique_ptr<nn::model> model,
+                                   std::size_t window_samples)
+    : model_(std::move(model)), window_samples_(window_samples) {
+    FS_ARG_CHECK(model_ != nullptr, "float_cnn_scorer needs a model");
+    FS_ARG_CHECK(window_samples_ > 0, "float_cnn_scorer window must be positive");
+}
+
+void float_cnn_scorer::score(std::span<const float> windows, std::size_t count,
+                             std::size_t window_elems, std::span<float> out) {
+    FS_ARG_CHECK(window_elems == window_samples_ * core::k_feature_channels,
+                 "float_cnn_scorer window shape mismatch");
+    nn::predict_proba_rows(*model_, windows, count,
+                           {window_samples_, core::k_feature_channels}, out);
+}
+
+int8_cnn_scorer::int8_cnn_scorer(std::shared_ptr<const quant::quantized_cnn> model)
+    : model_(std::move(model)) {
+    FS_ARG_CHECK(model_ != nullptr, "int8_cnn_scorer needs a model");
+}
+
+void int8_cnn_scorer::score(std::span<const float> windows, std::size_t count,
+                            std::size_t window_elems, std::span<float> out) {
+    FS_ARG_CHECK(window_elems == model_->time_steps() * model_->input_channels(),
+                 "int8_cnn_scorer window shape mismatch");
+    model_->predict_proba_batch(windows, count, out);
+}
+
+callback_batch_scorer::callback_batch_scorer(core::segment_scorer scorer, std::string label)
+    : scorer_(std::move(scorer)), label_(std::move(label)) {
+    FS_ARG_CHECK(scorer_ != nullptr, "callback_batch_scorer needs a scorer");
+}
+
+void callback_batch_scorer::score(std::span<const float> windows, std::size_t count,
+                                  std::size_t window_elems, std::span<float> out) {
+    FS_ARG_CHECK(windows.size() == count * window_elems,
+                 "callback_batch_scorer buffer size mismatch");
+    FS_ARG_CHECK(out.size() == count, "callback_batch_scorer output size mismatch");
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = scorer_(windows.subspan(i * window_elems, window_elems));
+    }
+}
+
+}  // namespace fallsense::serve

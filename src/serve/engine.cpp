@@ -1,0 +1,208 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+
+const char* drop_policy_name(drop_policy policy) {
+    switch (policy) {
+        case drop_policy::drop_oldest: return "drop-oldest";
+        case drop_policy::reject_newest: return "reject-newest";
+    }
+    return "?";
+}
+
+drop_policy parse_drop_policy(const std::string& text) {
+    if (text == "oldest" || text == "drop-oldest") return drop_policy::drop_oldest;
+    if (text == "reject" || text == "reject-newest") return drop_policy::reject_newest;
+    throw std::invalid_argument("unknown drop policy: " + text +
+                                " (expected 'oldest' or 'reject')");
+}
+
+struct session_engine::session_slot {
+    explicit session_slot(const core::detector_config& config) : state(config) {}
+
+    core::detector_state state;
+    std::deque<data::raw_sample> queue;
+    session_stats stats;
+    // Per-tick staging: windows due this tick (row-major, back to back),
+    // the session-local tick each was scored at, and how many queued
+    // samples phase A consumed.
+    std::vector<float> pending;
+    std::vector<std::size_t> pending_ticks;
+    std::size_t ingested_this_tick = 0;
+    std::size_t batch_offset = 0;
+};
+
+session_engine::session_engine(const engine_config& config, batch_scorer& scorer)
+    : config_(config),
+      scorer_(scorer),
+      window_elems_(config.detector.window_samples * core::k_feature_channels) {
+    FS_ARG_CHECK(config_.queue_capacity > 0, "engine queue capacity must be positive");
+    FS_ARG_CHECK(config_.samples_per_tick > 0, "engine samples_per_tick must be positive");
+}
+
+session_engine::~session_engine() = default;
+
+session_engine::session_slot& session_engine::slot(session_id id) {
+    FS_ARG_CHECK(id < sessions_.size() && sessions_[id] != nullptr,
+                 "unknown or evicted session id");
+    return *sessions_[id];
+}
+
+const session_engine::session_slot& session_engine::slot(session_id id) const {
+    FS_ARG_CHECK(id < sessions_.size() && sessions_[id] != nullptr,
+                 "unknown or evicted session id");
+    return *sessions_[id];
+}
+
+session_id session_engine::create_session() {
+    sessions_.push_back(std::make_unique<session_slot>(config_.detector));
+    ++live_count_;
+    ++totals_.sessions_created;
+    obs::add_counter("serve/sessions_created");
+    obs::set_gauge("serve/sessions_live", static_cast<double>(live_count_));
+    return static_cast<session_id>(sessions_.size() - 1);
+}
+
+void session_engine::evict_session(session_id id) {
+    slot(id);  // validates
+    sessions_[id].reset();
+    --live_count_;
+    ++totals_.sessions_evicted;
+    obs::add_counter("serve/sessions_evicted");
+    obs::set_gauge("serve/sessions_live", static_cast<double>(live_count_));
+}
+
+bool session_engine::is_live(session_id id) const {
+    return id < sessions_.size() && sessions_[id] != nullptr;
+}
+
+bool session_engine::feed(session_id id, const data::raw_sample& sample) {
+    session_slot& s = slot(id);
+    if (s.queue.size() >= config_.queue_capacity) {
+        if (config_.policy == drop_policy::reject_newest) {
+            ++s.stats.rejected;
+            ++totals_.rejected;
+            obs::add_counter("serve/samples_rejected");
+            return false;
+        }
+        s.queue.pop_front();
+        ++s.stats.dropped;
+        ++totals_.dropped;
+        obs::add_counter("serve/samples_dropped");
+    }
+    s.queue.push_back(sample);
+    ++s.stats.accepted;
+    ++totals_.accepted;
+    obs::add_counter("serve/samples_in");
+    return true;
+}
+
+tick_result session_engine::tick() {
+    OBS_SCOPE("serve/tick");
+    tick_result result;
+    ++totals_.ticks;
+
+    live_.clear();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        if (sessions_[i]) live_.push_back(i);
+    }
+    if (live_.empty()) return result;
+
+    // Phase A — ingest + window assembly, parallel over sessions.  Each
+    // task touches only its own session (index-addressed), so the set of
+    // due windows is deterministic for any thread count.
+    util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
+        session_slot& s = *sessions_[live_[li]];
+        s.pending.clear();
+        s.pending_ticks.clear();
+        s.ingested_this_tick = 0;
+        for (std::size_t k = 0; k < config_.samples_per_tick && !s.queue.empty(); ++k) {
+            const data::raw_sample sample = s.queue.front();
+            s.queue.pop_front();
+            ++s.stats.ingested;
+            ++s.ingested_this_tick;
+            if (s.state.ingest(sample)) {
+                const std::span<const float> w = s.state.assemble_window();
+                s.pending.insert(s.pending.end(), w.begin(), w.end());
+                s.pending_ticks.push_back(s.state.samples_seen() - 1);
+            }
+        }
+    });
+
+    // Phase B — gather every due window into one batch.  Offsets depend
+    // only on the (ascending) session order.
+    std::size_t total_windows = 0;
+    for (const std::size_t si : live_) {
+        session_slot& s = *sessions_[si];
+        result.samples_ingested += s.ingested_this_tick;
+        s.batch_offset = total_windows;
+        total_windows += s.pending_ticks.size();
+    }
+    totals_.ingested += result.samples_ingested;
+
+    if (total_windows > 0) {
+        batch_.resize(total_windows * window_elems_);
+        scores_.resize(total_windows);
+        util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
+            session_slot& s = *sessions_[live_[li]];
+            if (s.pending.empty()) return;
+            std::copy(s.pending.begin(), s.pending.end(),
+                      batch_.begin() +
+                          static_cast<std::ptrdiff_t>(s.batch_offset * window_elems_));
+        });
+
+        const std::span<float> out(scores_.data(), total_windows);
+        const std::span<const float> in(batch_.data(), total_windows * window_elems_);
+        if (obs::enabled()) {
+            const auto start = std::chrono::steady_clock::now();
+            scorer_.score(in, total_windows, window_elems_, out);
+            const std::chrono::duration<double, std::micro> elapsed =
+                std::chrono::steady_clock::now() - start;
+            obs::observe_latency_us("serve/batch_score_us", elapsed.count());
+            obs::add_counter("serve/batches");
+            obs::add_counter("serve/windows_scored", total_windows);
+        } else {
+            scorer_.score(in, total_windows, window_elems_, out);
+        }
+
+        // Phase C — apply scores serially in ascending session-id order,
+        // chronologically within a session: the one canonical trigger and
+        // debounce order.
+        for (const std::size_t si : live_) {
+            session_slot& s = *sessions_[si];
+            for (std::size_t j = 0; j < s.pending_ticks.size(); ++j) {
+                if (const auto d = s.state.apply_score(scores_[s.batch_offset + j])) {
+                    // apply_score stamps the detection with the CURRENT
+                    // tick; when samples_per_tick > 1 ingestion has moved
+                    // past the scoring tick, so use the staged one.
+                    result.triggers.push_back(
+                        {static_cast<session_id>(si), s.pending_ticks[j], d->probability});
+                    ++s.stats.triggers;
+                    ++totals_.triggers;
+                    obs::add_counter("serve/triggers");
+                }
+            }
+            s.stats.windows_scored += s.pending_ticks.size();
+        }
+        totals_.windows_scored += total_windows;
+        result.windows_scored = total_windows;
+    }
+    return result;
+}
+
+std::size_t session_engine::queue_depth(session_id id) const { return slot(id).queue.size(); }
+
+float session_engine::last_score(session_id id) const { return slot(id).state.last_score(); }
+
+const session_stats& session_engine::stats(session_id id) const { return slot(id).stats; }
+
+}  // namespace fallsense::serve

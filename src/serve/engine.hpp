@@ -1,0 +1,149 @@
+// Fleet-scale multi-session scoring engine.
+//
+// `session_engine` hosts N independent IMU streams in one process.  Each
+// session owns a bounded input queue and a core::detector_state (ring
+// buffer, streaming filters, sensor-fusion attitude, debounce run) — the
+// same per-stream state the single-stream streaming_detector wraps, so a
+// hosted session is behaviorally identical to a dedicated detector fed the
+// same accepted samples.
+//
+// A `tick()` advances every session by up to `samples_per_tick` queued
+// samples, gathers ALL windows that became due across sessions into one
+// row-major batch, scores them with a single batch_scorer call, and then
+// applies thresholds/debouncing per session.  The three phases keep the
+// engine deterministic for any FALLSENSE_THREADS:
+//
+//   A. ingest + window assembly — parallel over sessions, each session
+//      writes only its own state and staging buffer (index-addressed);
+//   B. batch gather + one scorer call — offsets are a pure function of the
+//      session order, and every scorer implementation guarantees
+//      probability i depends only on window i;
+//   C. score application — serial in ascending session-id order, so the
+//      trigger list and debounce transitions have one canonical order.
+//
+// Admission is per-session and bounded: when a session's queue is full,
+// `drop_policy::drop_oldest` evicts the oldest queued sample (freshest-data
+// wins — right for a latency-critical alarm), `drop_policy::reject_newest`
+// refuses the new sample (lossless for already-admitted data — right for
+// replay/backfill).  Both count saturation per session and engine-wide.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/batch_scorer.hpp"
+
+namespace fallsense::serve {
+
+enum class drop_policy {
+    drop_oldest,    ///< queue full: evict the oldest queued sample, admit the new one
+    reject_newest,  ///< queue full: refuse the new sample
+};
+
+const char* drop_policy_name(drop_policy policy);
+/// Parse "oldest" / "reject"; anything else throws std::invalid_argument.
+drop_policy parse_drop_policy(const std::string& text);
+
+struct engine_config {
+    core::detector_config detector{};
+    /// Bounded per-session input queue (admission control).
+    std::size_t queue_capacity = 64;
+    drop_policy policy = drop_policy::drop_oldest;
+    /// Samples dequeued per session per tick; raising it lets a session
+    /// catch up after a burst at the cost of more windows per batch.
+    std::size_t samples_per_tick = 1;
+};
+
+using session_id = std::uint32_t;
+
+/// Per-session lifetime counters (monotonic; survive until eviction).
+struct session_stats {
+    std::uint64_t accepted = 0;   ///< samples admitted to the queue
+    std::uint64_t dropped = 0;    ///< oldest samples evicted (drop_oldest)
+    std::uint64_t rejected = 0;   ///< new samples refused (reject_newest)
+    std::uint64_t ingested = 0;   ///< samples consumed by ticks
+    std::uint64_t windows_scored = 0;
+    std::uint64_t triggers = 0;
+};
+
+/// Engine-wide totals (sums over all sessions ever hosted).
+struct engine_stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t ingested = 0;
+    std::uint64_t windows_scored = 0;
+    std::uint64_t triggers = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t sessions_created = 0;
+    std::uint64_t sessions_evicted = 0;
+};
+
+struct trigger_event {
+    session_id session = 0;
+    std::size_t sample_index = 0;  ///< session-local tick of the scored window
+    float probability = 0.0f;
+};
+
+struct tick_result {
+    std::uint64_t samples_ingested = 0;
+    std::uint64_t windows_scored = 0;
+    /// Ascending session id, then chronological within a session.
+    std::vector<trigger_event> triggers;
+};
+
+class session_engine {
+public:
+    /// `scorer` is borrowed and must outlive the engine; the engine calls
+    /// it serially (one batch per tick).
+    session_engine(const engine_config& config, batch_scorer& scorer);
+    ~session_engine();  ///< out of line: session_slot is incomplete here
+
+    /// Admit a new session (ids are never reused).
+    session_id create_session();
+    /// Remove a session; its queue and state are discarded.  Throws for
+    /// unknown/already-evicted ids.
+    void evict_session(session_id id);
+    bool is_live(session_id id) const;
+
+    /// Offer one sample to a session's queue.  Returns false iff the
+    /// sample was refused (reject_newest on a full queue).
+    bool feed(session_id id, const data::raw_sample& sample);
+
+    /// Advance every live session by up to samples_per_tick queued
+    /// samples, batch-score all due windows, apply debouncing.
+    tick_result tick();
+
+    std::size_t live_session_count() const { return live_count_; }
+    std::size_t queue_depth(session_id id) const;
+    /// Session-local score at its last scoring tick (NaN before the first).
+    float last_score(session_id id) const;
+    const session_stats& stats(session_id id) const;
+    const engine_stats& totals() const { return totals_; }
+    const engine_config& config() const { return config_; }
+    batch_scorer& scorer() { return scorer_; }
+
+private:
+    struct session_slot;
+
+    session_slot& slot(session_id id);
+    const session_slot& slot(session_id id) const;
+
+    engine_config config_;
+    batch_scorer& scorer_;
+    std::size_t window_elems_ = 0;
+    std::vector<std::unique_ptr<session_slot>> sessions_;  ///< index == id; null when evicted
+    std::size_t live_count_ = 0;
+    engine_stats totals_;
+    // Tick scratch (reused across ticks so the steady state allocates
+    // nothing once queues and batches have reached their high-water marks).
+    std::vector<std::size_t> live_;
+    std::vector<float> batch_;
+    std::vector<float> scores_;
+};
+
+}  // namespace fallsense::serve

@@ -1,0 +1,195 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/models.hpp"
+#include "core/windowing.hpp"
+#include "data/generator.hpp"
+#include "data/synthesizer.hpp"
+#include "nn/serialize.hpp"
+#include "obs/trace.hpp"
+#include "quant/cnn_spec.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+
+namespace {
+
+/// Task mix cycled over sessions: everyday ADLs, near-fall ADLs, and falls
+/// from Table II, so the fleet sees both quiet streams and trigger-heavy
+/// ones.  Ids must exist in data::build_task_phases.
+constexpr int k_task_mix[] = {6, 20, 12, 30, 1, 25, 18, 38};
+
+/// Short holds keep per-session streams a few hundred samples long — the
+/// loadgen stresses session count, not stream length.
+data::motion_tuning loadgen_tuning() {
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return tuning;
+}
+
+/// One session's replay source: a synthesized trial looped endlessly.
+struct stream {
+    std::vector<data::raw_sample> samples;
+    std::size_t cursor = 0;
+
+    const data::raw_sample& next() {
+        const data::raw_sample& s = samples[cursor];
+        cursor = (cursor + 1) % samples.size();
+        return s;
+    }
+};
+
+stream synthesize_stream(const data::subject_profile& subject, int task_id,
+                         std::uint64_t seed) {
+    util::rng gen(seed);
+    const data::trial t = data::synthesize_task(task_id, subject, loadgen_tuning(),
+                                                data::synthesis_config{}, gen);
+    FS_CHECK(!t.samples.empty(), "loadgen synthesized an empty stream");
+    return stream{t.samples, 0};
+}
+
+}  // namespace
+
+double loadgen_report::ticks_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(ticks) / wall_seconds : 0.0;
+}
+
+double loadgen_report::session_ticks_per_second() const {
+    return ticks_per_second() * static_cast<double>(sessions);
+}
+
+double loadgen_report::windows_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(windows_scored) / wall_seconds : 0.0;
+}
+
+std::string loadgen_report::deterministic_summary() const {
+    std::ostringstream os;
+    os << "sessions: " << sessions << '\n'
+       << "ticks: " << ticks << '\n'
+       << "scorer: " << scorer << '\n'
+       << "samples_offered: " << samples_offered << '\n'
+       << "samples_accepted: " << samples_accepted << '\n'
+       << "samples_dropped: " << samples_dropped << '\n'
+       << "samples_rejected: " << samples_rejected << '\n'
+       << "samples_ingested: " << samples_ingested << '\n'
+       << "windows_scored: " << windows_scored << '\n'
+       << "triggers: " << triggers << '\n'
+       << "sessions_churned: " << sessions_churned << '\n';
+    return os.str();
+}
+
+loadgen_report run_loadgen(const loadgen_config& config, batch_scorer& scorer) {
+    FS_ARG_CHECK(config.sessions > 0, "loadgen needs at least one session");
+    FS_ARG_CHECK(config.ticks > 0, "loadgen needs at least one tick");
+    FS_ARG_CHECK(config.feed_rate > 0, "loadgen feed rate must be positive");
+    OBS_SCOPE("serve/loadgen");
+
+    const std::size_t n_tasks = std::size(k_task_mix);
+    const std::vector<data::subject_profile> subjects = data::sample_subjects(
+        static_cast<int>(config.sessions), 0,
+        util::derive_seed(config.seed, "loadgen/subjects"));
+    const std::uint64_t stream_seed = util::derive_seed(config.seed, "loadgen/stream");
+
+    // Synthesize the initial fleet in parallel: stream i is a pure function
+    // of (seed, i), written to its own slot.
+    std::vector<stream> streams(config.sessions);
+    util::parallel_for(0, config.sessions, 1, [&](std::size_t i) {
+        streams[i] = synthesize_stream(subjects[i], k_task_mix[i % n_tasks],
+                                       util::derive_seed(stream_seed, {i}));
+    });
+
+    session_engine engine(config.engine, scorer);
+    for (std::size_t i = 0; i < config.sessions; ++i) engine.create_session();
+
+    loadgen_report report;
+    report.sessions = config.sessions;
+    report.ticks = config.ticks;
+    report.scorer = scorer.describe();
+
+    // streams grows on churn; session id -> stream index is the identity
+    // because churned sessions get monotonically increasing ids.
+    std::vector<session_id> live_ids(config.sessions);
+    for (std::size_t i = 0; i < config.sessions; ++i) {
+        live_ids[i] = static_cast<session_id>(i);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < config.ticks; ++t) {
+        if (config.churn_every_ticks > 0 && t > 0 && t % config.churn_every_ticks == 0) {
+            // Rotate the oldest session out, a fresh wearer in.
+            const session_id victim = live_ids.front();
+            live_ids.erase(live_ids.begin());
+            engine.evict_session(victim);
+            const std::size_t n = streams.size();
+            const data::subject_profile churn_subject = data::sample_subjects(
+                1, static_cast<int>(n),
+                util::derive_seed(config.seed, {0x6368u, n}))[0];
+            streams.push_back(synthesize_stream(churn_subject, k_task_mix[n % n_tasks],
+                                                util::derive_seed(stream_seed, {n})));
+            live_ids.push_back(engine.create_session());
+            ++report.sessions_churned;
+        }
+        for (const session_id id : live_ids) {
+            for (std::size_t k = 0; k < config.feed_rate; ++k) {
+                ++report.samples_offered;
+                engine.feed(id, streams[id].next());
+            }
+        }
+        engine.tick();
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    report.wall_seconds = elapsed.count();
+
+    const engine_stats& totals = engine.totals();
+    report.samples_accepted = totals.accepted;
+    report.samples_dropped = totals.dropped;
+    report.samples_rejected = totals.rejected;
+    report.samples_ingested = totals.ingested;
+    report.windows_scored = totals.windows_scored;
+    report.triggers = totals.triggers;
+    return report;
+}
+
+std::unique_ptr<batch_scorer> make_cnn_scorer(std::size_t window_samples, std::uint64_t seed,
+                                              const std::string& weights_path) {
+    auto model = core::build_fallsense_cnn(window_samples,
+                                           util::derive_seed(seed, "serve/model"));
+    if (!weights_path.empty()) nn::load_weights_file(*model, weights_path);
+    return std::make_unique<float_cnn_scorer>(std::move(model), window_samples);
+}
+
+std::unique_ptr<batch_scorer> make_int8_scorer(std::size_t window_samples, std::uint64_t seed,
+                                               const std::string& weights_path) {
+    auto model = core::build_fallsense_cnn(window_samples,
+                                           util::derive_seed(seed, "serve/model"));
+    if (!weights_path.empty()) nn::load_weights_file(*model, weights_path);
+
+    // Calibration: windows from one ADL and one fall stream, the dynamic
+    // range the fleet will actually produce.
+    std::vector<data::trial> calib_trials;
+    const std::vector<data::subject_profile> subjects =
+        data::sample_subjects(2, 0, util::derive_seed(seed, "serve/calib"));
+    util::rng gen(util::derive_seed(seed, "serve/calib/trials"));
+    calib_trials.push_back(data::synthesize_task(6, subjects[0], loadgen_tuning(),
+                                                 data::synthesis_config{}, gen));
+    calib_trials.push_back(data::synthesize_task(30, subjects[1], loadgen_tuning(),
+                                                 data::synthesis_config{}, gen));
+    core::windowing_config wc;
+    wc.segmentation.window_samples = window_samples;
+    wc.segmentation.overlap_fraction = 0.5;
+    const nn::labeled_data calib =
+        core::to_labeled_data(core::extract_windows(calib_trials, wc), window_samples);
+    FS_CHECK(calib.size() > 0, "int8 scorer calibration produced no windows");
+
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*model, window_samples);
+    auto qmodel = std::make_shared<const quant::quantized_cnn>(spec, calib.features);
+    return std::make_unique<int8_cnn_scorer>(std::move(qmodel));
+}
+
+}  // namespace fallsense::serve

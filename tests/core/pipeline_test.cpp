@@ -105,6 +105,45 @@ TEST(StreamingDetectorTest, ResetClearsEverything) {
     EXPECT_TRUE(std::isnan(det.last_score()));
 }
 
+TEST(StreamingDetectorTest, ResetReproducesFreshDetectionSequence) {
+    // After reset() a detector must replay a trial exactly like a freshly
+    // constructed one: same scores at every tick, same trigger indices.
+    // Pins that reset clears the filters, fusion attitude, ring buffer and
+    // debounce run — a stale remnant in any of them shifts the sequence.
+    const data::trial t = make_trial(30, 11);
+    const detector_config c = make_config(0.65);
+
+    const auto run = [&](streaming_detector& det) {
+        std::vector<std::pair<std::size_t, float>> events;
+        std::vector<float> scores;
+        for (const data::raw_sample& s : t.samples) {
+            if (const auto d = det.push(s)) events.emplace_back(d->sample_index, d->probability);
+            scores.push_back(det.last_score());
+        }
+        return std::make_pair(events, scores);
+    };
+
+    streaming_detector recycled(c, freefall_scorer);
+    const data::trial warmup = make_trial(6, 12);  // pollute all internal state
+    for (const data::raw_sample& s : warmup.samples) recycled.push(s);
+    recycled.reset();
+
+    streaming_detector fresh(c, freefall_scorer);
+    const auto [fresh_events, fresh_scores] = run(fresh);
+    const auto [recycled_events, recycled_scores] = run(recycled);
+
+    ASSERT_FALSE(fresh_events.empty());
+    EXPECT_EQ(recycled_events, fresh_events);
+    ASSERT_EQ(recycled_scores.size(), fresh_scores.size());
+    for (std::size_t i = 0; i < fresh_scores.size(); ++i) {
+        if (std::isnan(fresh_scores[i])) {
+            EXPECT_TRUE(std::isnan(recycled_scores[i])) << "tick " << i;
+        } else {
+            EXPECT_EQ(recycled_scores[i], fresh_scores[i]) << "tick " << i;
+        }
+    }
+}
+
 TEST(StreamingDetectorTest, WindowContentIsChronological) {
     // Feed an index ramp through a pass-through scorer and check ordering.
     detector_config c = make_config(1.0);

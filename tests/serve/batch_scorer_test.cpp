@@ -1,0 +1,125 @@
+#include "serve/batch_scorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "core/windowing.hpp"
+#include "data/synthesizer.hpp"
+#include "nn/activations.hpp"
+#include "quant/cnn_spec.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::serve {
+namespace {
+
+constexpr std::size_t k_window = 20;
+constexpr std::size_t k_elems = k_window * core::k_feature_channels;
+
+/// Real preprocessed windows (ADL + fall) so parity is checked on the
+/// dynamic range the scorers will actually see, not on noise.
+nn::labeled_data make_windows() {
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    std::vector<data::trial> trials;
+    util::rng gen(99);
+    data::subject_profile subject;
+    subject.id = 1;
+    trials.push_back(
+        data::synthesize_task(6, subject, tuning, data::synthesis_config{}, gen));
+    trials.push_back(
+        data::synthesize_task(30, subject, tuning, data::synthesis_config{}, gen));
+    core::windowing_config wc;
+    wc.segmentation.window_samples = k_window;
+    wc.segmentation.overlap_fraction = 0.5;
+    return core::to_labeled_data(core::extract_windows(trials, wc), k_window);
+}
+
+std::span<const float> window_row(const nn::labeled_data& d, std::size_t i) {
+    return {d.features.data() + i * k_elems, k_elems};
+}
+
+TEST(BatchScorerTest, FloatBatchOfOneMatchesSegmentScorerPath) {
+    // The serving float path must be bit-identical to the single-window
+    // replay path (tools/fallsense_cli.cpp cmd_replay): tensor {1, W, C},
+    // forward, sigmoid.  Same seed -> identical weights in both models.
+    const nn::labeled_data windows = make_windows();
+    ASSERT_GE(windows.size(), 4u);
+
+    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
+    const auto reference = core::build_fallsense_cnn(k_window, 7);
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::span<const float> w = window_row(windows, i);
+        float got = -1.0f;
+        scorer.score(w, 1, k_elems, std::span<float>(&got, 1));
+
+        const nn::tensor x({1, k_window, core::k_feature_channels},
+                           std::vector<float>(w.begin(), w.end()));
+        const nn::tensor logit = reference->forward(x, false);
+        const float want = nn::sigmoid_scalar(logit[0]);
+        EXPECT_EQ(got, want) << "window " << i;  // bitwise, not approx
+    }
+}
+
+TEST(BatchScorerTest, FloatBatchRowsMatchBatchOfOne) {
+    // GEMM's serial-reduction guarantee means batching must not perturb
+    // any row: scoring N windows at once == scoring each alone.
+    const nn::labeled_data windows = make_windows();
+    const std::size_t n = std::min<std::size_t>(windows.size(), 8);
+
+    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
+    std::vector<float> batched(n);
+    scorer.score({windows.features.data(), n * k_elems}, n, k_elems, batched);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        float alone = -1.0f;
+        scorer.score(window_row(windows, i), 1, k_elems, std::span<float>(&alone, 1));
+        EXPECT_EQ(batched[i], alone) << "row " << i;
+    }
+}
+
+TEST(BatchScorerTest, Int8BatchMatchesPerSegmentPredict) {
+    const nn::labeled_data windows = make_windows();
+    const std::size_t n = std::min<std::size_t>(windows.size(), 8);
+
+    const auto model = core::build_fallsense_cnn(k_window, 7);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*model, k_window);
+    const auto qmodel =
+        std::make_shared<const quant::quantized_cnn>(spec, windows.features);
+
+    int8_cnn_scorer scorer(qmodel);
+    std::vector<float> batched(n);
+    scorer.score({windows.features.data(), n * k_elems}, n, k_elems, batched);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batched[i], qmodel->predict_proba(window_row(windows, i))) << "row " << i;
+    }
+}
+
+TEST(BatchScorerTest, CallbackScorerAppliesPerWindow) {
+    callback_batch_scorer scorer(
+        [](std::span<const float> w) { return w[0]; }, "first-elem");
+    EXPECT_EQ(scorer.describe(), "first-elem");
+
+    std::vector<float> in(3 * 4);
+    in[0] = 0.25f;
+    in[4] = 0.5f;
+    in[8] = 0.75f;
+    std::vector<float> out(3);
+    scorer.score(in, 3, 4, out);
+    EXPECT_EQ(out, (std::vector<float>{0.25f, 0.5f, 0.75f}));
+}
+
+TEST(BatchScorerTest, SizeMismatchThrows) {
+    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
+    std::vector<float> in(k_elems);
+    std::vector<float> out(2);
+    EXPECT_THROW(scorer.score(in, 2, k_elems, out), std::invalid_argument);
+    EXPECT_THROW(scorer.score(in, 1, k_elems, std::span<float>(out.data(), 2)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::serve

@@ -1,0 +1,221 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthesizer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+namespace {
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+/// Scorer keyed on free fall (mirrors the pipeline test's): mean |a| much
+/// below 1 g in the window tail.
+float freefall_scorer(std::span<const float> window) {
+    double mag = 0.0;
+    const std::size_t n = window.size() / core::k_feature_channels;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        const float ax = window[i * 9 + 0];
+        const float ay = window[i * 9 + 1];
+        const float az = window[i * 9 + 2];
+        mag += std::sqrt(static_cast<double>(ax) * ax + ay * ay + az * az);
+    }
+    mag /= static_cast<double>(n - n / 2);
+    return static_cast<float>(std::clamp(1.3 - mag, 0.0, 1.0));
+}
+
+engine_config make_config(double threshold = 0.65) {
+    engine_config c;
+    c.detector.window_samples = 20;
+    c.detector.overlap_fraction = 0.5;
+    c.detector.threshold = threshold;
+    c.queue_capacity = 4;
+    return c;
+}
+
+TEST(SessionEngineTest, LifecycleIdsAreNeverReused) {
+    callback_batch_scorer scorer(freefall_scorer);
+    session_engine engine(make_config(), scorer);
+
+    const session_id a = engine.create_session();
+    const session_id b = engine.create_session();
+    const session_id c = engine.create_session();
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(c, 2u);
+    EXPECT_EQ(engine.live_session_count(), 3u);
+
+    engine.evict_session(b);
+    EXPECT_FALSE(engine.is_live(b));
+    EXPECT_TRUE(engine.is_live(a));
+    EXPECT_EQ(engine.live_session_count(), 2u);
+    EXPECT_THROW(engine.evict_session(b), std::invalid_argument);
+    EXPECT_THROW((void)engine.queue_depth(b), std::invalid_argument);
+
+    EXPECT_EQ(engine.create_session(), 3u);  // b's id is not recycled
+    EXPECT_EQ(engine.totals().sessions_created, 4u);
+    EXPECT_EQ(engine.totals().sessions_evicted, 1u);
+}
+
+TEST(SessionEngineTest, DropOldestEvictsFromFullQueue) {
+    callback_batch_scorer scorer(freefall_scorer);
+    engine_config config = make_config();
+    config.queue_capacity = 2;
+    config.policy = drop_policy::drop_oldest;
+    session_engine engine(config, scorer);
+    const session_id id = engine.create_session();
+
+    data::raw_sample s{};
+    EXPECT_TRUE(engine.feed(id, s));
+    EXPECT_TRUE(engine.feed(id, s));
+    EXPECT_TRUE(engine.feed(id, s));  // full: oldest evicted, this admitted
+    EXPECT_EQ(engine.queue_depth(id), 2u);
+    EXPECT_EQ(engine.stats(id).accepted, 3u);
+    EXPECT_EQ(engine.stats(id).dropped, 1u);
+    EXPECT_EQ(engine.stats(id).rejected, 0u);
+    EXPECT_EQ(engine.totals().dropped, 1u);
+}
+
+TEST(SessionEngineTest, RejectNewestRefusesWhenFull) {
+    callback_batch_scorer scorer(freefall_scorer);
+    engine_config config = make_config();
+    config.queue_capacity = 2;
+    config.policy = drop_policy::reject_newest;
+    session_engine engine(config, scorer);
+    const session_id id = engine.create_session();
+
+    data::raw_sample s{};
+    EXPECT_TRUE(engine.feed(id, s));
+    EXPECT_TRUE(engine.feed(id, s));
+    EXPECT_FALSE(engine.feed(id, s));  // full: refused
+    EXPECT_EQ(engine.queue_depth(id), 2u);
+    EXPECT_EQ(engine.stats(id).accepted, 2u);
+    EXPECT_EQ(engine.stats(id).rejected, 1u);
+    EXPECT_EQ(engine.stats(id).dropped, 0u);
+}
+
+TEST(SessionEngineTest, HostedSessionMatchesDedicatedDetector) {
+    // A session fed sample-by-sample must produce exactly the trigger
+    // sequence (indices and probabilities) of a standalone
+    // streaming_detector with the same config and scorer.
+    const data::trial t = make_trial(30, 2);
+    const engine_config config = make_config(0.65);
+
+    core::streaming_detector reference(config.detector, freefall_scorer);
+    std::vector<std::pair<std::size_t, float>> want;
+    for (const data::raw_sample& s : t.samples) {
+        if (const auto d = reference.push(s)) want.emplace_back(d->sample_index, d->probability);
+    }
+    ASSERT_FALSE(want.empty());
+
+    callback_batch_scorer scorer(freefall_scorer);
+    session_engine engine(config, scorer);
+    const session_id id = engine.create_session();
+    std::vector<std::pair<std::size_t, float>> got;
+    for (const data::raw_sample& s : t.samples) {
+        ASSERT_TRUE(engine.feed(id, s));
+        for (const trigger_event& e : engine.tick().triggers) {
+            EXPECT_EQ(e.session, id);
+            got.emplace_back(e.sample_index, e.probability);
+        }
+    }
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(engine.last_score(id), reference.last_score());
+    EXPECT_EQ(engine.stats(id).triggers, want.size());
+}
+
+TEST(SessionEngineTest, SamplesPerTickDrainsBacklog) {
+    const data::trial t = make_trial(30, 3);
+    engine_config config = make_config(0.65);
+    config.queue_capacity = t.sample_count();
+    config.samples_per_tick = 8;
+    callback_batch_scorer scorer(freefall_scorer);
+    session_engine engine(config, scorer);
+    const session_id id = engine.create_session();
+
+    for (const data::raw_sample& s : t.samples) ASSERT_TRUE(engine.feed(id, s));
+    std::uint64_t triggers = 0;
+    while (engine.queue_depth(id) > 0) triggers += engine.tick().triggers.size();
+
+    // Same accepted samples -> same behavior as one-at-a-time ingestion.
+    core::streaming_detector reference(config.detector, freefall_scorer);
+    std::uint64_t want = 0;
+    for (const data::raw_sample& s : t.samples) want += reference.push(s).has_value();
+    EXPECT_EQ(triggers, want);
+    EXPECT_EQ(engine.stats(id).ingested, t.sample_count());
+}
+
+TEST(SessionEngineTest, TickOutputIsThreadCountInvariant) {
+    // The whole point of the three-phase tick: triggers, scores, and stats
+    // must be identical for 1 worker and 4.
+    const std::size_t n_sessions = 6;
+    std::vector<data::trial> trials;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        trials.push_back(make_trial(i % 2 == 0 ? 30 : 6, 40 + i));
+    }
+
+    const auto run = [&]() {
+        callback_batch_scorer scorer(freefall_scorer);
+        engine_config config = make_config(0.65);
+        config.samples_per_tick = 2;
+        session_engine engine(config, scorer);
+        std::vector<session_id> ids;
+        for (std::size_t i = 0; i < n_sessions; ++i) ids.push_back(engine.create_session());
+
+        std::vector<std::tuple<session_id, std::size_t, float>> triggers;
+        const std::size_t ticks = trials[0].sample_count() / 2;
+        std::vector<std::size_t> cursors(n_sessions, 0);
+        for (std::size_t tick = 0; tick < ticks; ++tick) {
+            for (std::size_t i = 0; i < n_sessions; ++i) {
+                for (int k = 0; k < 2; ++k) {
+                    const auto& samples = trials[i].samples;
+                    engine.feed(ids[i], samples[cursors[i]++ % samples.size()]);
+                }
+            }
+            for (const trigger_event& e : engine.tick().triggers) {
+                triggers.emplace_back(e.session, e.sample_index, e.probability);
+            }
+        }
+        return std::make_pair(triggers, engine.totals());
+    };
+
+    util::set_global_threads(1);
+    const auto [triggers1, totals1] = run();
+    util::set_global_threads(4);
+    const auto [triggers4, totals4] = run();
+    util::set_global_threads(0);  // back to the FALLSENSE_THREADS default
+
+    ASSERT_FALSE(triggers1.empty());
+    EXPECT_EQ(triggers1, triggers4);
+    EXPECT_EQ(totals1.windows_scored, totals4.windows_scored);
+    EXPECT_EQ(totals1.triggers, totals4.triggers);
+    EXPECT_EQ(totals1.ingested, totals4.ingested);
+}
+
+TEST(SessionEngineTest, ConfigValidation) {
+    callback_batch_scorer scorer(freefall_scorer);
+    engine_config bad = make_config();
+    bad.queue_capacity = 0;
+    EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
+    bad = make_config();
+    bad.samples_per_tick = 0;
+    EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
+    EXPECT_EQ(parse_drop_policy("oldest"), drop_policy::drop_oldest);
+    EXPECT_EQ(parse_drop_policy("reject"), drop_policy::reject_newest);
+    EXPECT_THROW(parse_drop_policy("chaos"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::serve

@@ -1,0 +1,124 @@
+#include "serve/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+namespace {
+
+/// Cheap deterministic stand-in scorer: loadgen tests exercise traffic
+/// shaping and determinism, not the CNN (batch_scorer_test covers parity).
+float magnitude_scorer(std::span<const float> window) {
+    const std::size_t n = window.size() / core::k_feature_channels;
+    double mag = 0.0;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        const float ax = window[i * 9 + 0];
+        const float ay = window[i * 9 + 1];
+        const float az = window[i * 9 + 2];
+        mag += std::sqrt(static_cast<double>(ax) * ax + ay * ay + az * az);
+    }
+    mag /= static_cast<double>(n - n / 2);
+    return static_cast<float>(std::clamp(1.3 - mag, 0.0, 1.0));
+}
+
+loadgen_config make_config() {
+    loadgen_config c;
+    c.sessions = 12;
+    c.ticks = 150;
+    c.seed = 5;
+    c.engine.detector.window_samples = 20;
+    c.engine.detector.threshold = 0.65;
+    return c;
+}
+
+TEST(LoadgenTest, ReportIsDeterministicAcrossRunsAndThreadCounts) {
+    const auto run = [] {
+        callback_batch_scorer scorer(magnitude_scorer);
+        return run_loadgen(make_config(), scorer).deterministic_summary();
+    };
+    const std::string once = run();
+    EXPECT_EQ(run(), once);  // same process, same config -> same summary
+
+    util::set_global_threads(1);
+    const std::string serial = run();
+    util::set_global_threads(4);
+    const std::string parallel = run();
+    util::set_global_threads(0);
+    EXPECT_EQ(serial, once);
+    EXPECT_EQ(parallel, once);
+}
+
+TEST(LoadgenTest, BalancedFeedNeverDrops) {
+    callback_batch_scorer scorer(magnitude_scorer);
+    const loadgen_report r = run_loadgen(make_config(), scorer);
+    EXPECT_EQ(r.samples_offered, 12u * 150u);
+    EXPECT_EQ(r.samples_accepted, r.samples_offered);
+    EXPECT_EQ(r.samples_dropped, 0u);
+    EXPECT_EQ(r.samples_rejected, 0u);
+    EXPECT_EQ(r.samples_ingested, r.samples_offered);  // feed 1 == drain 1
+    EXPECT_GT(r.windows_scored, 0u);
+    EXPECT_GT(r.triggers, 0u);  // fleet includes fall tasks
+}
+
+TEST(LoadgenTest, OverdrivenFeedSaturatesQueues) {
+    loadgen_config config = make_config();
+    config.feed_rate = 3;  // 3 in, 1 out per tick: queues must saturate
+    config.engine.queue_capacity = 8;
+
+    config.engine.policy = drop_policy::drop_oldest;
+    callback_batch_scorer scorer(magnitude_scorer);
+    const loadgen_report dropped = run_loadgen(config, scorer);
+    EXPECT_GT(dropped.samples_dropped, 0u);
+    EXPECT_EQ(dropped.samples_rejected, 0u);
+    EXPECT_EQ(dropped.samples_accepted, dropped.samples_offered);
+
+    config.engine.policy = drop_policy::reject_newest;
+    const loadgen_report rejected = run_loadgen(config, scorer);
+    EXPECT_GT(rejected.samples_rejected, 0u);
+    EXPECT_EQ(rejected.samples_dropped, 0u);
+    EXPECT_LT(rejected.samples_accepted, rejected.samples_offered);
+}
+
+TEST(LoadgenTest, ChurnRotatesSessionsDeterministically) {
+    loadgen_config config = make_config();
+    config.churn_every_ticks = 25;
+    const auto run = [&] {
+        callback_batch_scorer scorer(magnitude_scorer);
+        return run_loadgen(config, scorer);
+    };
+    const loadgen_report r = run();
+    EXPECT_EQ(r.sessions_churned, (config.ticks - 1) / 25);
+    EXPECT_EQ(run().deterministic_summary(), r.deterministic_summary());
+}
+
+TEST(LoadgenTest, ScorerFactoriesProduceWorkingScorers) {
+    loadgen_config config = make_config();
+    config.sessions = 3;
+    config.ticks = 60;
+
+    const auto float_scorer = make_cnn_scorer(20, 5);
+    const loadgen_report rf = run_loadgen(config, *float_scorer);
+    EXPECT_EQ(rf.scorer, "cnn-float");
+    EXPECT_GT(rf.windows_scored, 0u);
+
+    const auto int8_scorer = make_int8_scorer(20, 5);
+    const loadgen_report rq = run_loadgen(config, *int8_scorer);
+    EXPECT_EQ(rq.scorer, "cnn-int8");
+    EXPECT_EQ(rq.windows_scored, rf.windows_scored);  // same traffic either way
+}
+
+TEST(LoadgenTest, ConfigValidation) {
+    callback_batch_scorer scorer(magnitude_scorer);
+    loadgen_config bad = make_config();
+    bad.sessions = 0;
+    EXPECT_THROW(run_loadgen(bad, scorer), std::invalid_argument);
+    bad = make_config();
+    bad.feed_rate = 0;
+    EXPECT_THROW(run_loadgen(bad, scorer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::serve

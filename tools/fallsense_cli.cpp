@@ -10,6 +10,11 @@
 //                      [--window-ms 400] [--c-array NAME]
 //   fallsense replay   --file trial.csv --weights weights.fsnn
 //                      [--window-ms 400] [--threshold 0.5]
+//   fallsense serve    [--sessions 64] [--ticks 1000] [--seed N]
+//                      [--window-ms 400] [--threshold 0.5]
+//                      [--feed-rate 1] [--samples-per-tick 1]
+//                      [--queue-capacity 64] [--drop-policy oldest|reject]
+//                      [--churn-every 0] [--int8] [--weights weights.fsnn]
 //
 // Any command additionally accepts
 //   --metrics-json FILE   enable the obs metrics registry and write a run
@@ -40,6 +45,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "quant/quantized_cnn.hpp"
+#include "serve/loadgen.hpp"
 #include "util/args.hpp"
 #include "util/env.hpp"
 
@@ -49,7 +55,7 @@ using namespace fallsense;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: fallsense <generate|train|evaluate|deploy|replay> [options]\n"
+                 "usage: fallsense <generate|train|evaluate|deploy|replay|serve> [options]\n"
                  "see the header of tools/fallsense_cli.cpp for the full synopsis\n");
     return 2;
 }
@@ -266,12 +272,46 @@ int cmd_replay(const util::arg_parser& args) {
     return 0;
 }
 
+int cmd_serve(const util::arg_parser& args) {
+    serve::loadgen_config config;
+    config.sessions = static_cast<std::size_t>(args.integer_or("sessions", 64));
+    config.ticks = static_cast<std::size_t>(args.integer_or("ticks", 1000));
+    config.seed = args.option("seed") ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
+                                      : util::env_seed();
+    config.feed_rate = static_cast<std::size_t>(args.integer_or("feed-rate", 1));
+    config.churn_every_ticks = static_cast<std::size_t>(args.integer_or("churn-every", 0));
+    config.engine.queue_capacity =
+        static_cast<std::size_t>(args.integer_or("queue-capacity", 64));
+    config.engine.samples_per_tick =
+        static_cast<std::size_t>(args.integer_or("samples-per-tick", 1));
+    config.engine.policy = serve::parse_drop_policy(args.option_or("drop-policy", "oldest"));
+    const core::windowing_config wc = windowing_from(args);
+    config.engine.detector.window_samples = wc.segmentation.window_samples;
+    config.engine.detector.threshold = args.number_or("threshold", 0.5);
+
+    const std::string weights = args.option_or("weights", "");
+    const std::size_t window = config.engine.detector.window_samples;
+    const std::unique_ptr<serve::batch_scorer> scorer =
+        args.has_flag("int8") ? serve::make_int8_scorer(window, config.seed, weights)
+                              : serve::make_cnn_scorer(window, config.seed, weights);
+
+    const serve::loadgen_report report = serve::run_loadgen(config, *scorer);
+    std::fputs(report.deterministic_summary().c_str(), stdout);
+    std::printf("wall_seconds: %.3f\n", report.wall_seconds);
+    std::printf("throughput: %.0f ticks/s, %.0f session-ticks/s, %.0f windows/s\n",
+                report.ticks_per_second(), report.session_ticks_per_second(),
+                report.windows_per_second());
+    return 0;
+}
+
 /// Options whose values are echoed into the run manifest's config section
 /// (the metrics options themselves are not part of the run's config).
 constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "seed",
                                             "data",    "epochs",    "window-ms", "weights",
                                             "threshold", "calib",   "c-array", "file",
-                                            "sample-rate"};
+                                            "sample-rate", "sessions", "ticks", "feed-rate",
+                                            "samples-per-tick", "queue-capacity",
+                                            "drop-policy", "churn-every"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {
@@ -299,6 +339,7 @@ int main(int argc, char** argv) {
     for (const char* opt : k_config_options) args.add_option(opt);
     args.add_option("metrics-json");
     args.add_flag("metrics-timings");
+    args.add_flag("int8");
     try {
         args.parse(argc, argv, 2);
         const auto metrics_json = args.option("metrics-json");
@@ -310,6 +351,7 @@ int main(int argc, char** argv) {
         else if (command == "evaluate") rc = cmd_evaluate(args);
         else if (command == "deploy") rc = cmd_deploy(args);
         else if (command == "replay") rc = cmd_replay(args);
+        else if (command == "serve") rc = cmd_serve(args);
         else return usage();
 
         if (metrics_json) write_metrics_manifest(args, command, *metrics_json);

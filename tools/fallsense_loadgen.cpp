@@ -1,0 +1,106 @@
+// fallsense_loadgen — fleet-traffic generator for the serving engine.
+//
+//   fallsense_loadgen [--sessions N] [--ticks T] [--seed S]
+//                     [--window-ms 400] [--threshold 0.5] [--consecutive 1]
+//                     [--feed-rate 1] [--samples-per-tick 1]
+//                     [--queue-capacity 64] [--drop-policy oldest|reject]
+//                     [--churn-every 0] [--int8] [--weights FILE]
+//                     [--metrics-json FILE] [--metrics-timings]
+//
+// Synthesizes --sessions independent wearers from the motion-profile
+// library, replays them through one serve::session_engine for --ticks
+// ticks, and prints the deterministic traffic summary plus measured
+// throughput.  With --metrics-json the obs registry records the run and a
+// manifest is written; without --metrics-timings that manifest is
+// byte-identical for any FALLSENSE_THREADS (the serving determinism
+// contract, docs/serving.md).
+#include <cstdio>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/loadgen.hpp"
+#include "util/args.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+constexpr const char* k_config_options[] = {
+    "sessions",      "ticks",      "seed",           "window-ms",  "threshold",
+    "consecutive",   "feed-rate",  "samples-per-tick", "queue-capacity",
+    "drop-policy",   "churn-every", "weights"};
+
+int run(const util::arg_parser& args) {
+    serve::loadgen_config config;
+    config.sessions = static_cast<std::size_t>(args.integer_or("sessions", 64));
+    config.ticks = static_cast<std::size_t>(args.integer_or("ticks", 1000));
+    config.seed = args.option("seed") ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
+                                      : util::env_seed();
+    config.feed_rate = static_cast<std::size_t>(args.integer_or("feed-rate", 1));
+    config.churn_every_ticks = static_cast<std::size_t>(args.integer_or("churn-every", 0));
+    config.engine.queue_capacity =
+        static_cast<std::size_t>(args.integer_or("queue-capacity", 64));
+    config.engine.samples_per_tick =
+        static_cast<std::size_t>(args.integer_or("samples-per-tick", 1));
+    config.engine.policy = serve::parse_drop_policy(args.option_or("drop-policy", "oldest"));
+
+    const double window_ms = args.number_or("window-ms", 400.0);
+    const std::size_t window =
+        static_cast<std::size_t>(window_ms * config.engine.detector.sample_rate_hz / 1000.0);
+    config.engine.detector.window_samples = window;
+    config.engine.detector.threshold = args.number_or("threshold", 0.5);
+    config.engine.detector.consecutive_required =
+        static_cast<std::size_t>(args.integer_or("consecutive", 1));
+
+    const std::string weights = args.option_or("weights", "");
+    const std::unique_ptr<serve::batch_scorer> scorer =
+        args.has_flag("int8") ? serve::make_int8_scorer(window, config.seed, weights)
+                              : serve::make_cnn_scorer(window, config.seed, weights);
+
+    const serve::loadgen_report report = serve::run_loadgen(config, *scorer);
+    std::fputs(report.deterministic_summary().c_str(), stdout);
+    std::printf("wall_seconds: %.3f\n", report.wall_seconds);
+    std::printf("throughput: %.0f ticks/s, %.0f session-ticks/s, %.0f windows/s\n",
+                report.ticks_per_second(), report.session_ticks_per_second(),
+                report.windows_per_second());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::arg_parser args;
+    for (const char* opt : k_config_options) args.add_option(opt);
+    args.add_option("metrics-json");
+    args.add_flag("metrics-timings");
+    args.add_flag("int8");
+    try {
+        args.parse(argc, argv, 1);
+        const auto metrics_json = args.option("metrics-json");
+        if (metrics_json) obs::set_enabled(true);
+
+        const int rc = run(args);
+
+        if (metrics_json) {
+            obs::run_manifest manifest;
+            manifest.command = "loadgen";
+            for (const char* opt : k_config_options) {
+                if (const auto value = args.option(opt)) manifest.config.emplace_back(opt, *value);
+            }
+            if (args.has_flag("int8")) manifest.config.emplace_back("int8", "1");
+            manifest.seed = args.option("seed")
+                                ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
+                                : util::env_seed();
+            manifest.scale = util::run_scale_name(util::env_run_scale());
+            obs::manifest_options options;
+            options.include_timings = args.has_flag("metrics-timings");
+            obs::write_manifest_file(*metrics_json, manifest, obs::snapshot(), options);
+            std::printf("metrics manifest -> %s\n", metrics_json->c_str());
+        }
+        return rc;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fallsense_loadgen: %s\n", e.what());
+        return 1;
+    }
+}
