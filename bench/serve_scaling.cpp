@@ -1,16 +1,18 @@
-// Serving-engine scaling benchmarks (google-benchmark): one session_engine
-// hosting sessions ∈ {1, 64, 1024} versus the same fleet run as independent
-// streaming_detector loops (one CNN forward per window — the architecture
-// the engine replaces).  The acceptance bar for src/serve is batched
-// scoring beating the independent-detector baseline in windows/sec at 1024
-// sessions; scripts/run_bench.sh records the sweep in BENCH_kernel.json.
+// Serving-layer scaling benchmarks (google-benchmark): one session_engine
+// hosting sessions ∈ {1, 64, 1024, 4096} versus the same fleet run as
+// independent streaming_detector loops (one CNN forward per window — the
+// architecture the engine replaces), plus the sharded fleet_router at 4096
+// sessions.  The acceptance bars for src/serve: batched scoring beats the
+// independent-detector baseline in windows/sec at 1024 sessions, and the
+// sharded router matches or beats the single engine at 4096 (same windows
+// scored, one fleet-wide batch per tick); scripts/run_bench.sh records the
+// sweep in BENCH_kernel.json.
 #include <benchmark/benchmark.h>
 
 #include "core/models.hpp"
 #include "data/synthesizer.hpp"
 #include "nn/activations.hpp"
-#include "serve/engine.hpp"
-#include "serve/loadgen.hpp"
+#include "serve/serve.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -58,10 +60,18 @@ const data::raw_sample& stream_sample(std::size_t session, std::size_t tick) {
     return s[(tick + session * 7) % s.size()];
 }
 
+serve::scorer_spec bench_scorer_spec(serve::scorer_backend backend) {
+    serve::scorer_spec spec;
+    spec.backend = backend;
+    spec.window_samples = k_window;
+    spec.seed = 7;
+    return spec;
+}
+
 /// The engine: one batched CNN forward per tick across all sessions.
 void BM_EngineBatchedSessions(benchmark::State& state) {
     const auto sessions = static_cast<std::size_t>(state.range(0));
-    const auto scorer = serve::make_cnn_scorer(k_window, 7);
+    const auto scorer = serve::make_scorer(bench_scorer_spec(serve::scorer_backend::float32));
     std::uint64_t windows = 0;
     for (auto _ : state) {
         serve::engine_config config;
@@ -83,6 +93,40 @@ BENCHMARK(BM_EngineBatchedSessions)
     ->Arg(1)
     ->Arg(64)
     ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The sharded router: K engines ticked in parallel, every shard's due
+/// windows concatenated into ONE scorer call per tick.  Compare the
+/// {4096 sessions, K shards} rows against BM_EngineBatchedSessions/4096 —
+/// same traffic, same windows scored, one fleet-wide batch either way.
+void BM_FleetShardedSessions(benchmark::State& state) {
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    const auto shards = static_cast<std::size_t>(state.range(1));
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        serve::fleet_config config;
+        config.engine.detector = bench_detector();
+        config.engine.queue_capacity = 4;
+        config.shards = shards;
+        serve::fleet_router fleet(
+            config, serve::make_scorer(bench_scorer_spec(serve::scorer_backend::float32)));
+        for (std::size_t i = 0; i < sessions; ++i) fleet.create_session();
+        for (std::size_t tick = 0; tick < k_ticks; ++tick) {
+            for (std::size_t i = 0; i < sessions; ++i) {
+                fleet.feed(static_cast<serve::session_id>(i), stream_sample(i, tick));
+            }
+            benchmark::DoNotOptimize(fleet.tick().windows_scored);
+        }
+        windows += fleet.totals().windows_scored;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+BENCHMARK(BM_FleetShardedSessions)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -122,7 +166,7 @@ BENCHMARK(BM_IndependentDetectorsSessions)
 /// The int8 deployment path under the same fleet (quantized batch scoring).
 void BM_EngineInt8Sessions(benchmark::State& state) {
     const auto sessions = static_cast<std::size_t>(state.range(0));
-    const auto scorer = serve::make_int8_scorer(k_window, 7);
+    const auto scorer = serve::make_scorer(bench_scorer_spec(serve::scorer_backend::int8));
     std::uint64_t windows = 0;
     for (auto _ : state) {
         serve::engine_config config;

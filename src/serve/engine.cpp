@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <stdexcept>
+#include <sstream>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,19 +19,42 @@ const char* drop_policy_name(drop_policy policy) {
     return "?";
 }
 
-drop_policy parse_drop_policy(const std::string& text) {
+std::optional<drop_policy> parse_drop_policy(const std::string& text) {
     if (text == "oldest" || text == "drop-oldest") return drop_policy::drop_oldest;
     if (text == "reject" || text == "reject-newest") return drop_policy::reject_newest;
-    throw std::invalid_argument("unknown drop policy: " + text +
-                                " (expected 'oldest' or 'reject')");
+    return std::nullopt;
+}
+
+std::optional<std::string> engine_config::validate() const {
+    if (queue_capacity == 0) return "engine queue_capacity must be positive";
+    if (samples_per_tick == 0) return "engine samples_per_tick must be positive";
+    if (drain_watermark > queue_capacity) {
+        std::ostringstream os;
+        os << "engine drain_watermark (" << drain_watermark
+           << ") exceeds queue_capacity (" << queue_capacity << ")";
+        return os.str();
+    }
+    if (max_samples_per_tick != 0 && max_samples_per_tick < samples_per_tick) {
+        std::ostringstream os;
+        os << "engine max_samples_per_tick (" << max_samples_per_tick
+           << ") is below samples_per_tick (" << samples_per_tick << ")";
+        return os.str();
+    }
+    return std::nullopt;
+}
+
+std::size_t engine_config::effective_watermark() const {
+    return drain_watermark > 0 ? drain_watermark : queue_capacity / 2;
 }
 
 struct session_engine::session_slot {
-    explicit session_slot(const core::detector_config& config) : state(config) {}
+    session_slot(const core::detector_config& detector, std::size_t base_rate)
+        : state(detector), drain_rate(base_rate) {}
 
     core::detector_state state;
     std::deque<data::raw_sample> queue;
     session_stats stats;
+    std::size_t drain_rate;  ///< samples dequeued per tick (adaptive)
     // Per-tick staging: windows due this tick (row-major, back to back),
     // the session-local tick each was scored at, and how many queued
     // samples phase A consumed.
@@ -43,10 +66,9 @@ struct session_engine::session_slot {
 
 session_engine::session_engine(const engine_config& config, batch_scorer& scorer)
     : config_(config),
-      scorer_(scorer),
+      scorer_(&scorer),
       window_elems_(config.detector.window_samples * core::k_feature_channels) {
-    FS_ARG_CHECK(config_.queue_capacity > 0, "engine queue capacity must be positive");
-    FS_ARG_CHECK(config_.samples_per_tick > 0, "engine samples_per_tick must be positive");
+    if (const auto error = config_.validate()) throw std::invalid_argument(*error);
 }
 
 session_engine::~session_engine() = default;
@@ -64,7 +86,8 @@ const session_engine::session_slot& session_engine::slot(session_id id) const {
 }
 
 session_id session_engine::create_session() {
-    sessions_.push_back(std::make_unique<session_slot>(config_.detector));
+    sessions_.push_back(
+        std::make_unique<session_slot>(config_.detector, config_.samples_per_tick));
     ++live_count_;
     ++totals_.sessions_created;
     obs::add_counter("serve/sessions_created");
@@ -106,26 +129,36 @@ bool session_engine::feed(session_id id, const data::raw_sample& sample) {
     return true;
 }
 
-tick_result session_engine::tick() {
-    OBS_SCOPE("serve/tick");
-    tick_result result;
+std::size_t session_engine::tick_ingest() {
     ++totals_.ticks;
-
     live_.clear();
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
         if (sessions_[i]) live_.push_back(i);
     }
-    if (live_.empty()) return result;
+    pending_windows_ = 0;
+    tick_ingested_ = 0;
+    if (live_.empty()) return 0;
 
     // Phase A — ingest + window assembly, parallel over sessions.  Each
     // task touches only its own session (index-addressed), so the set of
     // due windows is deterministic for any thread count.
+    const bool adaptive = config_.adaptive_drain();
+    const std::size_t watermark = config_.effective_watermark();
     util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
         session_slot& s = *sessions_[live_[li]];
         s.pending.clear();
         s.pending_ticks.clear();
         s.ingested_this_tick = 0;
-        for (std::size_t k = 0; k < config_.samples_per_tick && !s.queue.empty(); ++k) {
+        if (adaptive) {
+            // Pure function of the queue depth at tick start: double
+            // toward the max while backlogged, halve back once drained.
+            if (s.queue.size() > watermark) {
+                s.drain_rate = std::min(s.drain_rate * 2, config_.max_samples_per_tick);
+            } else {
+                s.drain_rate = std::max(s.drain_rate / 2, config_.samples_per_tick);
+            }
+        }
+        for (std::size_t k = 0; k < s.drain_rate && !s.queue.empty(); ++k) {
             const data::raw_sample sample = s.queue.front();
             s.queue.pop_front();
             ++s.stats.ingested;
@@ -138,20 +171,19 @@ tick_result session_engine::tick() {
         }
     });
 
-    // Phase B — gather every due window into one batch.  Offsets depend
+    // Phase B-gather — every due window into one batch.  Offsets depend
     // only on the (ascending) session order.
     std::size_t total_windows = 0;
     for (const std::size_t si : live_) {
         session_slot& s = *sessions_[si];
-        result.samples_ingested += s.ingested_this_tick;
+        tick_ingested_ += s.ingested_this_tick;
         s.batch_offset = total_windows;
         total_windows += s.pending_ticks.size();
     }
-    totals_.ingested += result.samples_ingested;
+    totals_.ingested += tick_ingested_;
 
     if (total_windows > 0) {
         batch_.resize(total_windows * window_elems_);
-        scores_.resize(total_windows);
         util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
             session_slot& s = *sessions_[live_[li]];
             if (s.pending.empty()) return;
@@ -159,47 +191,71 @@ tick_result session_engine::tick() {
                       batch_.begin() +
                           static_cast<std::ptrdiff_t>(s.batch_offset * window_elems_));
         });
+    }
+    pending_windows_ = total_windows;
+    return total_windows;
+}
 
+std::span<const float> session_engine::pending_windows() const {
+    return {batch_.data(), pending_windows_ * window_elems_};
+}
+
+tick_result session_engine::tick_apply(std::span<const float> scores) {
+    FS_ARG_CHECK(scores.size() == pending_windows_,
+                 "tick_apply needs one score per pending window");
+    tick_result result;
+    result.samples_ingested = tick_ingested_;
+    if (pending_windows_ == 0) return result;
+
+    // Phase C — apply scores serially in ascending session-id order,
+    // chronologically within a session: the one canonical trigger and
+    // debounce order.
+    for (const std::size_t si : live_) {
+        session_slot& s = *sessions_[si];
+        for (std::size_t j = 0; j < s.pending_ticks.size(); ++j) {
+            if (const auto d = s.state.apply_score(scores[s.batch_offset + j])) {
+                // apply_score stamps the detection with the CURRENT
+                // tick; when the drain rate is > 1 ingestion has moved
+                // past the scoring tick, so use the staged one.
+                result.triggers.push_back(
+                    {static_cast<session_id>(si), s.pending_ticks[j], d->probability});
+                ++s.stats.triggers;
+                ++totals_.triggers;
+                obs::add_counter("serve/triggers");
+            }
+        }
+        s.stats.windows_scored += s.pending_ticks.size();
+    }
+    totals_.windows_scored += pending_windows_;
+    result.windows_scored = pending_windows_;
+    pending_windows_ = 0;
+    return result;
+}
+
+tick_result session_engine::tick() {
+    OBS_SCOPE("serve/tick");
+    const std::size_t total_windows = tick_ingest();
+    if (total_windows > 0) {
+        scores_.resize(total_windows);
         const std::span<float> out(scores_.data(), total_windows);
-        const std::span<const float> in(batch_.data(), total_windows * window_elems_);
         if (obs::enabled()) {
             const auto start = std::chrono::steady_clock::now();
-            scorer_.score(in, total_windows, window_elems_, out);
+            scorer_->score(pending_windows(), total_windows, window_elems_, out);
             const std::chrono::duration<double, std::micro> elapsed =
                 std::chrono::steady_clock::now() - start;
             obs::observe_latency_us("serve/batch_score_us", elapsed.count());
             obs::add_counter("serve/batches");
             obs::add_counter("serve/windows_scored", total_windows);
         } else {
-            scorer_.score(in, total_windows, window_elems_, out);
+            scorer_->score(pending_windows(), total_windows, window_elems_, out);
         }
-
-        // Phase C — apply scores serially in ascending session-id order,
-        // chronologically within a session: the one canonical trigger and
-        // debounce order.
-        for (const std::size_t si : live_) {
-            session_slot& s = *sessions_[si];
-            for (std::size_t j = 0; j < s.pending_ticks.size(); ++j) {
-                if (const auto d = s.state.apply_score(scores_[s.batch_offset + j])) {
-                    // apply_score stamps the detection with the CURRENT
-                    // tick; when samples_per_tick > 1 ingestion has moved
-                    // past the scoring tick, so use the staged one.
-                    result.triggers.push_back(
-                        {static_cast<session_id>(si), s.pending_ticks[j], d->probability});
-                    ++s.stats.triggers;
-                    ++totals_.triggers;
-                    obs::add_counter("serve/triggers");
-                }
-            }
-            s.stats.windows_scored += s.pending_ticks.size();
-        }
-        totals_.windows_scored += total_windows;
-        result.windows_scored = total_windows;
     }
-    return result;
+    return tick_apply({scores_.data(), total_windows});
 }
 
 std::size_t session_engine::queue_depth(session_id id) const { return slot(id).queue.size(); }
+
+std::size_t session_engine::drain_rate(session_id id) const { return slot(id).drain_rate; }
 
 float session_engine::last_score(session_id id) const { return slot(id).state.last_score(); }
 

@@ -7,7 +7,7 @@
 // hosted session is behaviorally identical to a dedicated detector fed the
 // same accepted samples.
 //
-// A `tick()` advances every session by up to `samples_per_tick` queued
+// A `tick()` advances every session by up to its drain rate in queued
 // samples, gathers ALL windows that became due across sessions into one
 // row-major batch, scores them with a single batch_scorer call, and then
 // applies thresholds/debouncing per session.  The three phases keep the
@@ -21,17 +21,34 @@
 //   C. score application — serial in ascending session-id order, so the
 //      trigger list and debounce transitions have one canonical order.
 //
+// The three phases are also exposed individually (`tick_ingest`,
+// `pending_windows`, `tick_apply`) so an external batcher — the
+// serve::fleet_router — can run phase A on many engines in parallel,
+// concatenate their staged windows into one fleet-wide batch, score it
+// with a single scorer call, and hand each engine its slice of scores.
+// `tick()` is exactly the composition of the three with the engine's own
+// scorer in the middle.
+//
 // Admission is per-session and bounded: when a session's queue is full,
 // `drop_policy::drop_oldest` evicts the oldest queued sample (freshest-data
 // wins — right for a latency-critical alarm), `drop_policy::reject_newest`
 // refuses the new sample (lossless for already-admitted data — right for
 // replay/backfill).  Both count saturation per session and engine-wide.
+//
+// Adaptive drain: with `max_samples_per_tick` above `samples_per_tick`, a
+// session whose queue depth exceeds `drain_watermark` doubles its per-tick
+// drain rate toward the max, and halves it back toward the base once the
+// backlog clears.  The rate is a pure function of the session's queue
+// state at the start of each tick — never of timing or thread count — so
+// the determinism contract is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -45,17 +62,33 @@ enum class drop_policy {
 };
 
 const char* drop_policy_name(drop_policy policy);
-/// Parse "oldest" / "reject"; anything else throws std::invalid_argument.
-drop_policy parse_drop_policy(const std::string& text);
+/// Parse "oldest" / "reject" (also the canonical "drop-oldest" /
+/// "reject-newest"); anything else returns std::nullopt.
+std::optional<drop_policy> parse_drop_policy(const std::string& text);
 
 struct engine_config {
     core::detector_config detector{};
     /// Bounded per-session input queue (admission control).
     std::size_t queue_capacity = 64;
     drop_policy policy = drop_policy::drop_oldest;
-    /// Samples dequeued per session per tick; raising it lets a session
-    /// catch up after a burst at the cost of more windows per batch.
+    /// Baseline samples dequeued per session per tick.
     std::size_t samples_per_tick = 1;
+    /// Adaptive drain ceiling: when above samples_per_tick, a backlogged
+    /// session's drain rate doubles toward this value each tick its queue
+    /// depth exceeds the watermark, and halves back once it no longer
+    /// does.  0 (or == samples_per_tick) keeps the drain rate fixed.
+    std::size_t max_samples_per_tick = 0;
+    /// Queue depth above which a session counts as backlogged; 0 means
+    /// half the queue capacity.
+    std::size_t drain_watermark = 0;
+
+    /// Configuration error, or std::nullopt when the config is usable.
+    /// Engine and router constructors call this and throw
+    /// std::invalid_argument with the returned description.
+    std::optional<std::string> validate() const;
+    /// The effective backlog threshold (resolves the 0 default).
+    std::size_t effective_watermark() const;
+    bool adaptive_drain() const { return max_samples_per_tick > samples_per_tick; }
 };
 
 using session_id = std::uint32_t;
@@ -114,18 +147,39 @@ public:
     /// sample was refused (reject_newest on a full queue).
     bool feed(session_id id, const data::raw_sample& sample);
 
-    /// Advance every live session by up to samples_per_tick queued
+    /// Advance every live session by up to its drain rate in queued
     /// samples, batch-score all due windows, apply debouncing.
     tick_result tick();
 
+    /// Phase A + B-gather for an external batcher: ingest queued samples,
+    /// stage every window that became due into one row-major buffer, and
+    /// return the number of staged windows.  Must be followed by exactly
+    /// one `tick_apply` (even when 0 windows are pending, so ingestion
+    /// counters land in a result).
+    std::size_t tick_ingest();
+    /// Row-major [pending x window_elems] view of the windows staged by
+    /// the last `tick_ingest`; valid until the next `tick_ingest`.
+    std::span<const float> pending_windows() const;
+    std::size_t window_elems() const { return window_elems_; }
+    /// Phase C with externally computed scores (`scores.size()` must equal
+    /// the count returned by the preceding `tick_ingest`).
+    tick_result tick_apply(std::span<const float> scores);
+
+    /// Point the engine's own `tick()` at a different scorer (the fleet
+    /// router rebinds shards on hot-swap).  The scorer must outlive the
+    /// engine; never call during a tick.
+    void rebind_scorer(batch_scorer& scorer) { scorer_ = &scorer; }
+
     std::size_t live_session_count() const { return live_count_; }
     std::size_t queue_depth(session_id id) const;
+    /// Current adaptive drain rate (== samples_per_tick when fixed).
+    std::size_t drain_rate(session_id id) const;
     /// Session-local score at its last scoring tick (NaN before the first).
     float last_score(session_id id) const;
     const session_stats& stats(session_id id) const;
     const engine_stats& totals() const { return totals_; }
     const engine_config& config() const { return config_; }
-    batch_scorer& scorer() { return scorer_; }
+    batch_scorer& scorer() { return *scorer_; }
 
 private:
     struct session_slot;
@@ -134,7 +188,7 @@ private:
     const session_slot& slot(session_id id) const;
 
     engine_config config_;
-    batch_scorer& scorer_;
+    batch_scorer* scorer_;
     std::size_t window_elems_ = 0;
     std::vector<std::unique_ptr<session_slot>> sessions_;  ///< index == id; null when evicted
     std::size_t live_count_ = 0;
@@ -144,6 +198,8 @@ private:
     std::vector<std::size_t> live_;
     std::vector<float> batch_;
     std::vector<float> scores_;
+    std::size_t pending_windows_ = 0;   ///< staged by the last tick_ingest
+    std::uint64_t tick_ingested_ = 0;   ///< samples consumed by the last tick_ingest
 };
 
 }  // namespace fallsense::serve

@@ -1,0 +1,216 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix so consecutive session ids
+/// spread evenly over the shards instead of striping.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct fleet_router::shard_slot {
+    shard_slot(const engine_config& config, batch_scorer& scorer)
+        : engine(config, scorer) {}
+
+    session_engine engine;
+    std::vector<session_id> local_to_global;  ///< index == shard-local id
+    // Per-tick staging.
+    std::size_t pending = 0;  ///< windows staged by the last tick_ingest
+    std::size_t offset = 0;   ///< this shard's row offset in the fleet batch
+    tick_result result;
+};
+
+fleet_router::fleet_router(const fleet_config& config, std::unique_ptr<batch_scorer> scorer)
+    : config_(config), scorer_(std::move(scorer)) {
+    FS_ARG_CHECK(config_.shards > 0, "fleet needs at least one shard");
+    FS_ARG_CHECK(scorer_ != nullptr, "fleet needs a scorer");
+    if (const auto error = config_.engine.validate()) throw std::invalid_argument(*error);
+    shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+        shards_.push_back(std::make_unique<shard_slot>(config_.engine, *scorer_));
+    }
+    window_elems_ = shards_.front()->engine.window_elems();
+    obs::set_gauge("serve/shards", static_cast<double>(config_.shards));
+    obs::set_gauge("serve/swap_generation", 0.0);
+}
+
+fleet_router::~fleet_router() = default;
+
+std::size_t fleet_router::shard_of(session_id id) const {
+    return static_cast<std::size_t>(mix64(id) % shards_.size());
+}
+
+const session_engine& fleet_router::shard(std::size_t index) const {
+    FS_ARG_CHECK(index < shards_.size(), "shard index out of range");
+    return shards_[index]->engine;
+}
+
+const fleet_router::route& fleet_router::route_of(session_id id) const {
+    FS_ARG_CHECK(id < routes_.size() && routes_[id].live,
+                 "unknown or evicted session id");
+    return routes_[id];
+}
+
+session_id fleet_router::create_session() {
+    const auto id = static_cast<session_id>(routes_.size());
+    const std::size_t s = shard_of(id);
+    shard_slot& sh = *shards_[s];
+    const session_id local = sh.engine.create_session();
+    FS_CHECK(local == sh.local_to_global.size(), "shard-local session ids must be dense");
+    sh.local_to_global.push_back(id);
+    routes_.push_back({static_cast<std::uint32_t>(s), local, true});
+    // The shard's engine set the gauge to its own live count; the fleet
+    // value is the one observers should see.
+    obs::set_gauge("serve/sessions_live", static_cast<double>(live_session_count()));
+    return id;
+}
+
+void fleet_router::evict_session(session_id id) {
+    const route& r = route_of(id);
+    shards_[r.shard]->engine.evict_session(r.local);
+    routes_[id].live = false;
+    obs::set_gauge("serve/sessions_live", static_cast<double>(live_session_count()));
+}
+
+bool fleet_router::is_live(session_id id) const {
+    return id < routes_.size() && routes_[id].live;
+}
+
+bool fleet_router::feed(session_id id, const data::raw_sample& sample) {
+    const route& r = route_of(id);
+    return shards_[r.shard]->engine.feed(r.local, sample);
+}
+
+tick_result fleet_router::tick() {
+    OBS_SCOPE("serve/fleet_tick");
+    ++ticks_;
+
+    // Phase 1 — shard ingest in parallel.  Shards share no state, and the
+    // engine's internal parallel_for runs inline inside a pool task.
+    util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
+        shards_[s]->pending = shards_[s]->engine.tick_ingest();
+    });
+
+    // Phase 2 — one fleet-wide batch.  Offsets are a pure function of the
+    // (ascending) shard order.
+    std::size_t total_windows = 0;
+    for (const auto& sh : shards_) {
+        sh->offset = total_windows;
+        total_windows += sh->pending;
+    }
+    if (total_windows > 0) {
+        batch_.resize(total_windows * window_elems_);
+        util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
+            shard_slot& sh = *shards_[s];
+            if (sh.pending == 0) return;
+            const std::span<const float> w = sh.engine.pending_windows();
+            std::copy(w.begin(), w.end(),
+                      batch_.begin() +
+                          static_cast<std::ptrdiff_t>(sh.offset * window_elems_));
+        });
+        scores_.resize(total_windows);
+        const std::span<const float> in(batch_.data(), total_windows * window_elems_);
+        const std::span<float> out(scores_.data(), total_windows);
+        if (obs::enabled()) {
+            const auto start = std::chrono::steady_clock::now();
+            scorer_->score(in, total_windows, window_elems_, out);
+            const std::chrono::duration<double, std::micro> elapsed =
+                std::chrono::steady_clock::now() - start;
+            obs::observe_latency_us("serve/batch_score_us", elapsed.count());
+            obs::add_counter("serve/batches");
+            obs::add_counter("serve/windows_scored", total_windows);
+        } else {
+            scorer_->score(in, total_windows, window_elems_, out);
+        }
+    }
+
+    // Phase 3 — shard apply in parallel (each shard's debounce state and
+    // result slot are its own; obs counters are exact under concurrency).
+    util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
+        shard_slot& sh = *shards_[s];
+        sh.result = sh.engine.tick_apply({scores_.data() + sh.offset, sh.pending});
+    });
+
+    // Merge in ascending shard order, rewriting shard-local session ids to
+    // router-global ids: one canonical trigger order.
+    tick_result result;
+    for (const auto& sh : shards_) {
+        result.samples_ingested += sh->result.samples_ingested;
+        result.windows_scored += sh->result.windows_scored;
+        for (trigger_event e : sh->result.triggers) {
+            e.session = sh->local_to_global[e.session];
+            result.triggers.push_back(e);
+        }
+        sh->result.triggers.clear();
+    }
+    return result;
+}
+
+void fleet_router::swap_scorer(std::unique_ptr<batch_scorer> next) {
+    FS_ARG_CHECK(next != nullptr, "swap_scorer needs a scorer");
+    scorer_ = std::move(next);
+    for (const auto& sh : shards_) sh->engine.rebind_scorer(*scorer_);
+    ++swap_generation_;
+    obs::add_counter("serve/scorer_swaps");
+    obs::set_gauge("serve/swap_generation", static_cast<double>(swap_generation_));
+}
+
+std::size_t fleet_router::live_session_count() const {
+    std::size_t live = 0;
+    for (const auto& sh : shards_) live += sh->engine.live_session_count();
+    return live;
+}
+
+std::size_t fleet_router::queue_depth(session_id id) const {
+    const route& r = route_of(id);
+    return shards_[r.shard]->engine.queue_depth(r.local);
+}
+
+std::size_t fleet_router::drain_rate(session_id id) const {
+    const route& r = route_of(id);
+    return shards_[r.shard]->engine.drain_rate(r.local);
+}
+
+float fleet_router::last_score(session_id id) const {
+    const route& r = route_of(id);
+    return shards_[r.shard]->engine.last_score(r.local);
+}
+
+const session_stats& fleet_router::stats(session_id id) const {
+    const route& r = route_of(id);
+    return shards_[r.shard]->engine.stats(r.local);
+}
+
+engine_stats fleet_router::totals() const {
+    engine_stats out;
+    for (const auto& sh : shards_) {
+        const engine_stats& t = sh->engine.totals();
+        out.accepted += t.accepted;
+        out.dropped += t.dropped;
+        out.rejected += t.rejected;
+        out.ingested += t.ingested;
+        out.windows_scored += t.windows_scored;
+        out.triggers += t.triggers;
+        out.sessions_created += t.sessions_created;
+        out.sessions_evicted += t.sessions_evicted;
+    }
+    out.ticks = ticks_;
+    return out;
+}
+
+}  // namespace fallsense::serve

@@ -1,0 +1,109 @@
+// Sharded fleet router with atomic model hot-swap.
+//
+// `fleet_router` scales the session_engine horizontally: K engines
+// ("shards"), each hosting a disjoint subset of the fleet, with sessions
+// assigned by a deterministic hash of their router-global session id.  A
+// router tick runs the engine sub-phases fleet-wide:
+//
+//   1. shard ingest — every shard runs `tick_ingest` as one thread-pool
+//      task (per-shard state is disjoint, and the engine's own nested
+//      parallel_for runs inline inside a pool task);
+//   2. fleet batch — each shard's staged windows are copied, in ascending
+//      shard order, into ONE row-major buffer scored by a single
+//      `batch_scorer::score` call — the whole fleet's windows in one GEMM;
+//   3. shard apply — every shard applies its slice of the scores
+//      (`tick_apply`) as one pool task; trigger lists are merged in
+//      ascending shard order with shard-local session ids rewritten to
+//      router-global ids.
+//
+// Phase offsets are a pure function of shard order, apply order within a
+// shard is the engine's canonical order, and the merge order is fixed —
+// so router output is bit-identical for any FALLSENSE_THREADS, the same
+// contract the single engine carries.
+//
+// Hot-swap: the router owns the fleet's scorer.  `swap_scorer` installs a
+// replacement strictly between ticks — every window staged at tick t is
+// scored by the scorer installed at tick t, no window is ever dropped,
+// split across models, or scored twice.  Each swap bumps a monotonic swap
+// generation surfaced via `serve/swap_generation` / `serve/scorer_swaps`
+// obs metrics (and therefore the run manifest).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace fallsense::serve {
+
+struct fleet_config {
+    engine_config engine{};
+    /// Number of session_engine shards (>= 1).
+    std::size_t shards = 1;
+};
+
+class fleet_router {
+public:
+    /// The router owns `scorer` (shared by every shard; the fleet makes
+    /// exactly one serial score call per tick, so no concurrent use).
+    fleet_router(const fleet_config& config, std::unique_ptr<batch_scorer> scorer);
+    ~fleet_router();
+
+    /// Admit a new session; returns a router-global id (never reused).
+    /// Its shard is `shard_of(id)` for the life of the session.
+    session_id create_session();
+    void evict_session(session_id id);
+    bool is_live(session_id id) const;
+
+    /// Offer one sample; admission semantics are the owning shard's.
+    bool feed(session_id id, const data::raw_sample& sample);
+
+    /// Advance every shard one tick; triggers carry router-global ids,
+    /// merged in ascending shard order (chronological within a session).
+    tick_result tick();
+
+    /// Install `next` as the fleet's scorer for all subsequent ticks and
+    /// bump the swap generation.  The previous scorer is destroyed.
+    void swap_scorer(std::unique_ptr<batch_scorer> next);
+    /// Number of completed swaps (0 until the first swap_scorer call).
+    std::uint64_t swap_generation() const { return swap_generation_; }
+
+    std::size_t shard_count() const { return shards_.size(); }
+    /// Deterministic shard index for a session id (stable across churn).
+    std::size_t shard_of(session_id id) const;
+    const session_engine& shard(std::size_t index) const;
+
+    batch_scorer& scorer() { return *scorer_; }
+    std::size_t live_session_count() const;
+    std::size_t queue_depth(session_id id) const;
+    std::size_t drain_rate(session_id id) const;
+    float last_score(session_id id) const;
+    const session_stats& stats(session_id id) const;
+    /// Shard totals summed; `ticks` counts router ticks (not shard ticks).
+    engine_stats totals() const;
+    const fleet_config& config() const { return config_; }
+
+private:
+    struct shard_slot;
+    struct route {
+        std::uint32_t shard = 0;
+        session_id local = 0;  ///< id inside the shard's engine
+        bool live = false;
+    };
+
+    const route& route_of(session_id id) const;
+
+    fleet_config config_;
+    std::unique_ptr<batch_scorer> scorer_;
+    std::size_t window_elems_ = 0;
+    std::vector<std::unique_ptr<shard_slot>> shards_;
+    std::vector<route> routes_;  ///< index == router-global session id
+    std::uint64_t ticks_ = 0;
+    std::uint64_t swap_generation_ = 0;
+    // Tick scratch, reused across ticks.
+    std::vector<float> batch_;
+    std::vector<float> scores_;
+};
+
+}  // namespace fallsense::serve

@@ -3,13 +3,9 @@
 #include <chrono>
 #include <sstream>
 
-#include "core/models.hpp"
-#include "core/windowing.hpp"
 #include "data/generator.hpp"
 #include "data/synthesizer.hpp"
-#include "nn/serialize.hpp"
 #include "obs/trace.hpp"
-#include "quant/cnn_spec.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -71,6 +67,7 @@ double loadgen_report::windows_per_second() const {
 std::string loadgen_report::deterministic_summary() const {
     std::ostringstream os;
     os << "sessions: " << sessions << '\n'
+       << "shards: " << shards << '\n'
        << "ticks: " << ticks << '\n'
        << "scorer: " << scorer << '\n'
        << "samples_offered: " << samples_offered << '\n'
@@ -80,14 +77,16 @@ std::string loadgen_report::deterministic_summary() const {
        << "samples_ingested: " << samples_ingested << '\n'
        << "windows_scored: " << windows_scored << '\n'
        << "triggers: " << triggers << '\n'
-       << "sessions_churned: " << sessions_churned << '\n';
+       << "sessions_churned: " << sessions_churned << '\n'
+       << "swap_generation: " << swap_generation << '\n';
     return os.str();
 }
 
-loadgen_report run_loadgen(const loadgen_config& config, batch_scorer& scorer) {
+loadgen_report run_loadgen(const loadgen_config& config) {
     FS_ARG_CHECK(config.sessions > 0, "loadgen needs at least one session");
     FS_ARG_CHECK(config.ticks > 0, "loadgen needs at least one tick");
     FS_ARG_CHECK(config.feed_rate > 0, "loadgen feed rate must be positive");
+    FS_ARG_CHECK(config.shards > 0, "loadgen needs at least one shard");
     OBS_SCOPE("serve/loadgen");
 
     const std::size_t n_tasks = std::size(k_task_mix);
@@ -104,13 +103,22 @@ loadgen_report run_loadgen(const loadgen_config& config, batch_scorer& scorer) {
                                        util::derive_seed(stream_seed, {i}));
     });
 
-    session_engine engine(config.engine, scorer);
-    for (std::size_t i = 0; i < config.sessions; ++i) engine.create_session();
+    // Scorers must match the engine's window; resolve it once here so
+    // callers only configure the detector.
+    scorer_spec spec = config.scorer;
+    spec.window_samples = config.engine.detector.window_samples;
+
+    fleet_config fc;
+    fc.engine = config.engine;
+    fc.shards = config.shards;
+    fleet_router fleet(fc, make_scorer(spec));
+    for (std::size_t i = 0; i < config.sessions; ++i) fleet.create_session();
 
     loadgen_report report;
     report.sessions = config.sessions;
+    report.shards = config.shards;
     report.ticks = config.ticks;
-    report.scorer = scorer.describe();
+    report.scorer = fleet.scorer().describe();
 
     // streams grows on churn; session id -> stream index is the identity
     // because churned sessions get monotonically increasing ids.
@@ -121,75 +129,48 @@ loadgen_report run_loadgen(const loadgen_config& config, batch_scorer& scorer) {
 
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t t = 0; t < config.ticks; ++t) {
+        if (config.swap_after_ticks > 0 && t == config.swap_after_ticks) {
+            // Model rollout under live traffic: rebuild the scorer from
+            // the same spec with a swap-derived seed and install it
+            // between ticks — no stream stops, no window is rescored.
+            scorer_spec next = spec;
+            next.seed = util::derive_seed(spec.seed, "serve/swap");
+            fleet.swap_scorer(make_scorer(next));
+        }
         if (config.churn_every_ticks > 0 && t > 0 && t % config.churn_every_ticks == 0) {
             // Rotate the oldest session out, a fresh wearer in.
             const session_id victim = live_ids.front();
             live_ids.erase(live_ids.begin());
-            engine.evict_session(victim);
+            fleet.evict_session(victim);
             const std::size_t n = streams.size();
             const data::subject_profile churn_subject = data::sample_subjects(
                 1, static_cast<int>(n),
                 util::derive_seed(config.seed, {0x6368u, n}))[0];
             streams.push_back(synthesize_stream(churn_subject, k_task_mix[n % n_tasks],
                                                 util::derive_seed(stream_seed, {n})));
-            live_ids.push_back(engine.create_session());
+            live_ids.push_back(fleet.create_session());
             ++report.sessions_churned;
         }
         for (const session_id id : live_ids) {
             for (std::size_t k = 0; k < config.feed_rate; ++k) {
                 ++report.samples_offered;
-                engine.feed(id, streams[id].next());
+                fleet.feed(id, streams[id].next());
             }
         }
-        engine.tick();
+        fleet.tick();
     }
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
     report.wall_seconds = elapsed.count();
 
-    const engine_stats& totals = engine.totals();
+    const engine_stats totals = fleet.totals();
     report.samples_accepted = totals.accepted;
     report.samples_dropped = totals.dropped;
     report.samples_rejected = totals.rejected;
     report.samples_ingested = totals.ingested;
     report.windows_scored = totals.windows_scored;
     report.triggers = totals.triggers;
+    report.swap_generation = fleet.swap_generation();
     return report;
-}
-
-std::unique_ptr<batch_scorer> make_cnn_scorer(std::size_t window_samples, std::uint64_t seed,
-                                              const std::string& weights_path) {
-    auto model = core::build_fallsense_cnn(window_samples,
-                                           util::derive_seed(seed, "serve/model"));
-    if (!weights_path.empty()) nn::load_weights_file(*model, weights_path);
-    return std::make_unique<float_cnn_scorer>(std::move(model), window_samples);
-}
-
-std::unique_ptr<batch_scorer> make_int8_scorer(std::size_t window_samples, std::uint64_t seed,
-                                               const std::string& weights_path) {
-    auto model = core::build_fallsense_cnn(window_samples,
-                                           util::derive_seed(seed, "serve/model"));
-    if (!weights_path.empty()) nn::load_weights_file(*model, weights_path);
-
-    // Calibration: windows from one ADL and one fall stream, the dynamic
-    // range the fleet will actually produce.
-    std::vector<data::trial> calib_trials;
-    const std::vector<data::subject_profile> subjects =
-        data::sample_subjects(2, 0, util::derive_seed(seed, "serve/calib"));
-    util::rng gen(util::derive_seed(seed, "serve/calib/trials"));
-    calib_trials.push_back(data::synthesize_task(6, subjects[0], loadgen_tuning(),
-                                                 data::synthesis_config{}, gen));
-    calib_trials.push_back(data::synthesize_task(30, subjects[1], loadgen_tuning(),
-                                                 data::synthesis_config{}, gen));
-    core::windowing_config wc;
-    wc.segmentation.window_samples = window_samples;
-    wc.segmentation.overlap_fraction = 0.5;
-    const nn::labeled_data calib =
-        core::to_labeled_data(core::extract_windows(calib_trials, wc), window_samples);
-    FS_CHECK(calib.size() > 0, "int8 scorer calibration produced no windows");
-
-    const quant::cnn_spec spec = quant::extract_cnn_spec(*model, window_samples);
-    auto qmodel = std::make_shared<const quant::quantized_cnn>(spec, calib.features);
-    return std::make_unique<int8_cnn_scorer>(std::move(qmodel));
 }
 
 }  // namespace fallsense::serve

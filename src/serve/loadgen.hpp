@@ -1,42 +1,55 @@
-// Synthetic fleet-traffic generator for the serving engine.
+// Synthetic fleet-traffic generator for the serving layer.
 //
 // Synthesizes K independent wearers from the data-layer motion profiles
 // (each session gets its own subject anthropometrics and a Table II task
-// script, falls and ADLs mixed), replays them through a session_engine at a
+// script, falls and ADLs mixed), replays them through a fleet_router at a
 // fixed feed rate, and reports throughput, scoring volume, trigger and
-// drop counts.  Everything except the measured wall time is deterministic
-// in (config, seed) for any FALLSENSE_THREADS — the property the
-// fallsense_loadgen acceptance check pins by diffing 1- vs 4-thread
-// manifests byte for byte.
+// drop counts.  The scorer is built from the config's scorer_spec via
+// make_scorer; with `swap_after_ticks` set, the run hot-swaps in a
+// replacement scorer mid-stream (rebuilt from the same spec with a
+// swap-derived seed) — the operational drill for a model rollout under
+// live traffic.  Everything except the measured wall time is
+// deterministic in (config, seed) for any FALLSENSE_THREADS — the
+// property the fallsense_loadgen acceptance check pins by diffing 1- vs
+// 4-thread manifests byte for byte.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 
-#include "serve/engine.hpp"
+#include "serve/fleet.hpp"
+#include "serve/scorer_factory.hpp"
 
 namespace fallsense::serve {
 
 struct loadgen_config {
     std::size_t sessions = 64;
-    /// Engine ticks to run; every session is fed `feed_rate` samples per
+    /// Fleet ticks to run; every session is fed `feed_rate` samples per
     /// tick (streams wrap around, so sessions never starve).
     std::size_t ticks = 1000;
     std::uint64_t seed = 42;
-    /// Samples offered per session per tick.  Above the engine's
-    /// samples_per_tick this saturates the queues and exercises the
-    /// drop/reject policy.
+    /// Samples offered per session per tick.  Above the engine's drain
+    /// rate this saturates the queues and exercises the drop/reject
+    /// policy (or the adaptive drain, when enabled).
     std::size_t feed_rate = 1;
     /// Every this many ticks, evict the oldest live session and admit a
     /// fresh one with a new synthesized stream (0 = no churn).  Exercises
     /// the create/evict lifecycle under load.
     std::size_t churn_every_ticks = 0;
+    /// session_engine shards behind the fleet_router.
+    std::size_t shards = 1;
+    /// Hot-swap the fleet scorer after this many ticks (0 = never): the
+    /// replacement is rebuilt from `scorer` with a swap-derived seed.
+    std::size_t swap_after_ticks = 0;
+    /// How to build the scorer (window_samples is overridden with the
+    /// engine's detector window before construction).
+    scorer_spec scorer{};
     engine_config engine{};
 };
 
 struct loadgen_report {
     std::size_t sessions = 0;
+    std::size_t shards = 0;
     std::uint64_t ticks = 0;
     std::uint64_t samples_offered = 0;
     std::uint64_t samples_accepted = 0;
@@ -46,7 +59,8 @@ struct loadgen_report {
     std::uint64_t windows_scored = 0;
     std::uint64_t triggers = 0;
     std::uint64_t sessions_churned = 0;
-    std::string scorer;  ///< batch_scorer::describe()
+    std::uint64_t swap_generation = 0;  ///< completed scorer swaps
+    std::string scorer;  ///< batch_scorer::describe() of the initial scorer
 
     /// Measured, varies run to run; everything above is deterministic.
     double wall_seconds = 0.0;
@@ -61,18 +75,7 @@ struct loadgen_report {
 };
 
 /// Replay `config.sessions` synthesized IMU streams through a fresh
-/// session_engine built on `scorer`.
-loadgen_report run_loadgen(const loadgen_config& config, batch_scorer& scorer);
-
-/// Float CNN scorer: the proposed multi-branch network for
-/// `window_samples`-row windows, deterministically initialized from `seed`;
-/// when `weights_path` is non-empty, trained weights are loaded over it.
-std::unique_ptr<batch_scorer> make_cnn_scorer(std::size_t window_samples, std::uint64_t seed,
-                                              const std::string& weights_path = "");
-
-/// Int8 scorer: the same CNN post-training-quantized against calibration
-/// windows synthesized from the loadgen motion profiles.
-std::unique_ptr<batch_scorer> make_int8_scorer(std::size_t window_samples, std::uint64_t seed,
-                                               const std::string& weights_path = "");
+/// fleet_router built on `make_scorer(config.scorer)`.
+loadgen_report run_loadgen(const loadgen_config& config);
 
 }  // namespace fallsense::serve

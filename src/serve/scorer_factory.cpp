@@ -1,0 +1,96 @@
+#include "serve/scorer_factory.hpp"
+
+#include "core/models.hpp"
+#include "core/windowing.hpp"
+#include "data/generator.hpp"
+#include "data/synthesizer.hpp"
+#include "nn/serialize.hpp"
+#include "quant/cnn_spec.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::serve {
+
+namespace {
+
+/// Short holds keep the calibration streams a few hundred samples long —
+/// calibration needs the fleet's dynamic range, not long trials (the same
+/// tuning the loadgen replays with).
+data::motion_tuning calibration_tuning() {
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return tuning;
+}
+
+std::unique_ptr<nn::multi_branch_network> build_model(const scorer_spec& spec) {
+    auto model = core::build_fallsense_cnn(spec.window_samples,
+                                           util::derive_seed(spec.seed, "serve/model"));
+    if (!spec.weights_path.empty()) nn::load_weights_file(*model, spec.weights_path);
+    return model;
+}
+
+std::unique_ptr<batch_scorer> make_int8(const scorer_spec& spec) {
+    const auto model = build_model(spec);
+
+    // Calibration: windows from one ADL and one fall stream, the dynamic
+    // range the fleet will actually produce.
+    std::vector<data::trial> calib_trials;
+    const std::vector<data::subject_profile> subjects =
+        data::sample_subjects(2, 0, util::derive_seed(spec.seed, "serve/calib"));
+    util::rng gen(util::derive_seed(spec.seed, "serve/calib/trials"));
+    calib_trials.push_back(data::synthesize_task(6, subjects[0], calibration_tuning(),
+                                                 data::synthesis_config{}, gen));
+    calib_trials.push_back(data::synthesize_task(30, subjects[1], calibration_tuning(),
+                                                 data::synthesis_config{}, gen));
+    core::windowing_config wc;
+    wc.segmentation.window_samples = spec.window_samples;
+    wc.segmentation.overlap_fraction = 0.5;
+    const nn::labeled_data calib = core::to_labeled_data(
+        core::extract_windows(calib_trials, wc), spec.window_samples);
+    FS_CHECK(calib.size() > 0, "int8 scorer calibration produced no windows");
+
+    const quant::cnn_spec qspec = quant::extract_cnn_spec(*model, spec.window_samples);
+    auto qmodel = std::make_shared<const quant::quantized_cnn>(qspec, calib.features);
+    return std::make_unique<int8_cnn_scorer>(std::move(qmodel));
+}
+
+}  // namespace
+
+const char* scorer_backend_name(scorer_backend backend) {
+    switch (backend) {
+        case scorer_backend::float32: return "float";
+        case scorer_backend::int8: return "int8";
+        case scorer_backend::callback: return "callback";
+    }
+    return "?";
+}
+
+std::optional<scorer_backend> parse_scorer_backend(const std::string& text) {
+    if (text == "float" || text == "float32" || text == "cnn-float") {
+        return scorer_backend::float32;
+    }
+    if (text == "int8" || text == "cnn-int8") return scorer_backend::int8;
+    if (text == "callback") return scorer_backend::callback;
+    return std::nullopt;
+}
+
+std::unique_ptr<batch_scorer> make_scorer(const scorer_spec& spec) {
+    FS_ARG_CHECK(spec.window_samples > 0, "scorer window_samples must be positive");
+    switch (spec.backend) {
+        case scorer_backend::float32:
+            return std::make_unique<float_cnn_scorer>(build_model(spec),
+                                                      spec.window_samples);
+        case scorer_backend::int8:
+            return make_int8(spec);
+        case scorer_backend::callback:
+            FS_ARG_CHECK(spec.callback != nullptr,
+                         "callback scorer spec needs a callback");
+            return std::make_unique<callback_batch_scorer>(spec.callback, spec.label);
+    }
+    FS_ARG_CHECK(false, "unknown scorer backend");
+    return nullptr;  // unreachable
+}
+
+}  // namespace fallsense::serve

@@ -1,0 +1,50 @@
+// The one place serving scorers are constructed.
+//
+// Everything outside src/serve — tools, benches, tests, examples — builds
+// its batch_scorer through `make_scorer(scorer_spec)`: pick a backend,
+// name the window size, optionally point at trained weights.  The factory
+// owns the construction details (model seeding, weight loading, int8
+// calibration against synthesized motion-profile windows), so adding a
+// backend or changing calibration touches exactly one translation unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/batch_scorer.hpp"
+
+namespace fallsense::serve {
+
+enum class scorer_backend {
+    float32,   ///< float CNN, one GEMM forward per batch
+    int8,      ///< post-training-quantized deployment path
+    callback,  ///< per-window segment_scorer adapter (tests, baselines)
+};
+
+const char* scorer_backend_name(scorer_backend backend);
+/// Parse "float" / "int8" / "callback"; anything else returns nullopt.
+std::optional<scorer_backend> parse_scorer_backend(const std::string& text);
+
+/// Everything needed to build a scorer.  For the CNN backends the model is
+/// deterministically initialized from `seed` (weights loaded over it when
+/// `weights_path` is set); the int8 backend additionally calibrates
+/// against windows synthesized from the motion-profile library, so its
+/// quantization grid is a pure function of (window_samples, seed).
+struct scorer_spec {
+    scorer_backend backend = scorer_backend::float32;
+    std::size_t window_samples = 40;
+    std::uint64_t seed = 42;
+    std::string weights_path{};
+    /// Callback backend only: the per-window scoring function and the
+    /// label its describe() reports.
+    core::segment_scorer callback{};
+    std::string label = "callback";
+};
+
+/// Build the scorer `spec` describes; throws std::invalid_argument on an
+/// unusable spec (zero window, callback backend without a callback).
+std::unique_ptr<batch_scorer> make_scorer(const scorer_spec& spec);
+
+}  // namespace fallsense::serve

@@ -1,0 +1,23 @@
+// Umbrella header: the stable v1 surface of the serving layer.
+//
+// Everything a tool, bench, or test needs to serve a fleet comes through
+// this one include:
+//
+//   - batch_scorer.hpp    — the batched scoring interface + implementations
+//   - scorer_factory.hpp  — scorer_spec / make_scorer, the ONE way callers
+//                           construct scorers
+//   - engine.hpp          — session_engine, engine_config (+ validate()),
+//                           drop_policy and its optional-returning parser
+//   - fleet.hpp           — fleet_router: hash-sharded engines, one batched
+//                           scorer call per tick, atomic model hot-swap
+//   - loadgen.hpp         — the synthetic fleet-traffic generator
+//
+// Includers outside src/serve should prefer this header; the per-module
+// headers remain includable but their layout is an implementation detail.
+#pragma once
+
+#include "serve/batch_scorer.hpp"   // IWYU pragma: export
+#include "serve/engine.hpp"         // IWYU pragma: export
+#include "serve/fleet.hpp"          // IWYU pragma: export
+#include "serve/loadgen.hpp"        // IWYU pragma: export
+#include "serve/scorer_factory.hpp" // IWYU pragma: export

@@ -5,6 +5,26 @@
 
 namespace fallsense::util {
 
+namespace {
+
+template <typename T>
+std::optional<T> parse_whole(const std::string& text) {
+    T out{};
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+    return out;
+}
+
+}  // namespace
+
+std::optional<long> parse_long(const std::string& text) { return parse_whole<long>(text); }
+
+std::optional<double> parse_double(const std::string& text) {
+    return parse_whole<double>(text);
+}
+
 void arg_parser::add_flag(const std::string& name) { declared_flags_.insert(name); }
 
 void arg_parser::add_option(const std::string& name) { declared_options_.insert(name); }
@@ -63,27 +83,21 @@ std::string arg_parser::option_or(const std::string& name, const std::string& fa
 double arg_parser::number_or(const std::string& name, double fallback) const {
     const auto value = option(name);
     if (!value) return fallback;
-    double out = 0.0;
-    const char* begin = value->data();
-    const char* end = begin + value->size();
-    const auto [ptr, ec] = std::from_chars(begin, end, out);
-    if (ec != std::errc{} || ptr != end) {
+    const auto out = parse_double(*value);
+    if (!out) {
         throw std::invalid_argument("option --" + name + " is not a number: " + *value);
     }
-    return out;
+    return *out;
 }
 
 long arg_parser::integer_or(const std::string& name, long fallback) const {
     const auto value = option(name);
     if (!value) return fallback;
-    long out = 0;
-    const char* begin = value->data();
-    const char* end = begin + value->size();
-    const auto [ptr, ec] = std::from_chars(begin, end, out);
-    if (ec != std::errc{} || ptr != end) {
+    const auto out = parse_long(*value);
+    if (!out) {
         throw std::invalid_argument("option --" + name + " is not an integer: " + *value);
     }
-    return out;
+    return *out;
 }
 
 }  // namespace fallsense::util

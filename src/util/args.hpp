@@ -14,6 +14,11 @@
 
 namespace fallsense::util {
 
+/// Whole-string numeric parses; std::nullopt on malformed input (callers
+/// decide whether that is a usage error worth a message or a fallback).
+std::optional<long> parse_long(const std::string& text);
+std::optional<double> parse_double(const std::string& text);
+
 class arg_parser {
 public:
     /// Declare recognized names before parsing.

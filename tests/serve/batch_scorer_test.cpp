@@ -6,7 +6,7 @@
 #include "core/windowing.hpp"
 #include "data/synthesizer.hpp"
 #include "nn/activations.hpp"
-#include "quant/cnn_spec.hpp"
+#include "serve/scorer_factory.hpp"
 #include "util/rng.hpp"
 
 namespace fallsense::serve {
@@ -14,6 +14,14 @@ namespace {
 
 constexpr std::size_t k_window = 20;
 constexpr std::size_t k_elems = k_window * core::k_feature_channels;
+
+scorer_spec spec_for(scorer_backend backend, std::uint64_t seed = 7) {
+    scorer_spec spec;
+    spec.backend = backend;
+    spec.window_samples = k_window;
+    spec.seed = seed;
+    return spec;
+}
 
 /// Real preprocessed windows (ADL + fall) so parity is checked on the
 /// dynamic range the scorers will actually see, not on noise.
@@ -43,17 +51,19 @@ std::span<const float> window_row(const nn::labeled_data& d, std::size_t i) {
 TEST(BatchScorerTest, FloatBatchOfOneMatchesSegmentScorerPath) {
     // The serving float path must be bit-identical to the single-window
     // replay path (tools/fallsense_cli.cpp cmd_replay): tensor {1, W, C},
-    // forward, sigmoid.  Same seed -> identical weights in both models.
+    // forward, sigmoid.  The factory seeds its model with
+    // derive_seed(seed, "serve/model"); the reference must match.
     const nn::labeled_data windows = make_windows();
     ASSERT_GE(windows.size(), 4u);
 
-    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
-    const auto reference = core::build_fallsense_cnn(k_window, 7);
+    const auto scorer = make_scorer(spec_for(scorer_backend::float32));
+    const auto reference =
+        core::build_fallsense_cnn(k_window, util::derive_seed(7, "serve/model"));
 
     for (std::size_t i = 0; i < 4; ++i) {
         const std::span<const float> w = window_row(windows, i);
         float got = -1.0f;
-        scorer.score(w, 1, k_elems, std::span<float>(&got, 1));
+        scorer->score(w, 1, k_elems, std::span<float>(&got, 1));
 
         const nn::tensor x({1, k_window, core::k_feature_channels},
                            std::vector<float>(w.begin(), w.end()));
@@ -69,32 +79,36 @@ TEST(BatchScorerTest, FloatBatchRowsMatchBatchOfOne) {
     const nn::labeled_data windows = make_windows();
     const std::size_t n = std::min<std::size_t>(windows.size(), 8);
 
-    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
+    const auto scorer = make_scorer(spec_for(scorer_backend::float32));
     std::vector<float> batched(n);
-    scorer.score({windows.features.data(), n * k_elems}, n, k_elems, batched);
+    scorer->score({windows.features.data(), n * k_elems}, n, k_elems, batched);
 
     for (std::size_t i = 0; i < n; ++i) {
         float alone = -1.0f;
-        scorer.score(window_row(windows, i), 1, k_elems, std::span<float>(&alone, 1));
+        scorer->score(window_row(windows, i), 1, k_elems, std::span<float>(&alone, 1));
         EXPECT_EQ(batched[i], alone) << "row " << i;
     }
 }
 
-TEST(BatchScorerTest, Int8BatchMatchesPerSegmentPredict) {
+TEST(BatchScorerTest, Int8BatchRowsMatchBatchOfOne) {
+    // The quantized path carries the same guarantee: the factory's
+    // calibration is a pure function of (window_samples, seed), and
+    // batching must not perturb any row's score.
     const nn::labeled_data windows = make_windows();
     const std::size_t n = std::min<std::size_t>(windows.size(), 8);
 
-    const auto model = core::build_fallsense_cnn(k_window, 7);
-    const quant::cnn_spec spec = quant::extract_cnn_spec(*model, k_window);
-    const auto qmodel =
-        std::make_shared<const quant::quantized_cnn>(spec, windows.features);
-
-    int8_cnn_scorer scorer(qmodel);
+    const auto scorer = make_scorer(spec_for(scorer_backend::int8));
+    EXPECT_EQ(scorer->describe(), "cnn-int8");
     std::vector<float> batched(n);
-    scorer.score({windows.features.data(), n * k_elems}, n, k_elems, batched);
+    scorer->score({windows.features.data(), n * k_elems}, n, k_elems, batched);
 
+    const auto again = make_scorer(spec_for(scorer_backend::int8));
     for (std::size_t i = 0; i < n; ++i) {
-        EXPECT_EQ(batched[i], qmodel->predict_proba(window_row(windows, i))) << "row " << i;
+        float alone = -1.0f;
+        again->score(window_row(windows, i), 1, k_elems, std::span<float>(&alone, 1));
+        EXPECT_EQ(batched[i], alone) << "row " << i;
+        EXPECT_GE(batched[i], 0.0f);
+        EXPECT_LE(batched[i], 1.0f);
     }
 }
 
@@ -113,11 +127,11 @@ TEST(BatchScorerTest, CallbackScorerAppliesPerWindow) {
 }
 
 TEST(BatchScorerTest, SizeMismatchThrows) {
-    float_cnn_scorer scorer(core::build_fallsense_cnn(k_window, 7), k_window);
+    const auto scorer = make_scorer(spec_for(scorer_backend::float32));
     std::vector<float> in(k_elems);
     std::vector<float> out(2);
-    EXPECT_THROW(scorer.score(in, 2, k_elems, out), std::invalid_argument);
-    EXPECT_THROW(scorer.score(in, 1, k_elems, std::span<float>(out.data(), 2)),
+    EXPECT_THROW(scorer->score(in, 2, k_elems, out), std::invalid_argument);
+    EXPECT_THROW(scorer->score(in, 1, k_elems, std::span<float>(out.data(), 2)),
                  std::invalid_argument);
 }
 

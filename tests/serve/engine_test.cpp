@@ -208,13 +208,117 @@ TEST(SessionEngineTest, ConfigValidation) {
     callback_batch_scorer scorer(freefall_scorer);
     engine_config bad = make_config();
     bad.queue_capacity = 0;
+    EXPECT_NE(bad.validate(), std::nullopt);
     EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
     bad = make_config();
     bad.samples_per_tick = 0;
+    EXPECT_NE(bad.validate(), std::nullopt);
     EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
+    bad = make_config();
+    bad.drain_watermark = bad.queue_capacity + 1;
+    ASSERT_NE(bad.validate(), std::nullopt);
+    EXPECT_NE(bad.validate()->find("drain_watermark"), std::string::npos);
+    EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
+    bad = make_config();
+    bad.samples_per_tick = 4;
+    bad.max_samples_per_tick = 2;  // ceiling below the base rate
+    ASSERT_NE(bad.validate(), std::nullopt);
+    EXPECT_NE(bad.validate()->find("max_samples_per_tick"), std::string::npos);
+    EXPECT_THROW(session_engine(bad, scorer), std::invalid_argument);
+
+    const engine_config good = make_config();
+    EXPECT_EQ(good.validate(), std::nullopt);
     EXPECT_EQ(parse_drop_policy("oldest"), drop_policy::drop_oldest);
     EXPECT_EQ(parse_drop_policy("reject"), drop_policy::reject_newest);
-    EXPECT_THROW(parse_drop_policy("chaos"), std::invalid_argument);
+    EXPECT_EQ(parse_drop_policy("drop-oldest"), drop_policy::drop_oldest);
+    EXPECT_EQ(parse_drop_policy("reject-newest"), drop_policy::reject_newest);
+    EXPECT_EQ(parse_drop_policy("chaos"), std::nullopt);
+}
+
+TEST(SessionEngineTest, AdaptiveDrainRisesUnderBacklogAndDecaysWhenDrained) {
+    const data::trial t = make_trial(30, 9);
+    engine_config config = make_config(0.65);
+    config.queue_capacity = t.sample_count();
+    config.samples_per_tick = 1;
+    config.max_samples_per_tick = 16;
+    config.drain_watermark = 4;
+    callback_batch_scorer scorer(freefall_scorer);
+    session_engine engine(config, scorer);
+    const session_id id = engine.create_session();
+    EXPECT_EQ(engine.drain_rate(id), 1u);
+
+    // Burst: queue far above the watermark -> the rate doubles each tick
+    // toward the max, draining the backlog much faster than the base rate.
+    for (const data::raw_sample& s : t.samples) ASSERT_TRUE(engine.feed(id, s));
+    std::size_t ticks_to_drain = 0;
+    std::size_t max_rate_seen = 0;
+    while (engine.queue_depth(id) > 0) {
+        engine.tick();
+        ++ticks_to_drain;
+        max_rate_seen = std::max(max_rate_seen, engine.drain_rate(id));
+    }
+    EXPECT_EQ(max_rate_seen, config.max_samples_per_tick);
+    EXPECT_LT(ticks_to_drain, t.sample_count() / 4);  // far faster than 1/tick
+
+    // Drained: the rate halves back to the base within a few idle ticks.
+    for (int i = 0; i < 8; ++i) engine.tick();
+    EXPECT_EQ(engine.drain_rate(id), config.samples_per_tick);
+
+    // Same accepted samples -> same triggers as one-at-a-time ingestion.
+    core::streaming_detector reference(config.detector, freefall_scorer);
+    std::uint64_t want = 0;
+    for (const data::raw_sample& s : t.samples) want += reference.push(s).has_value();
+    EXPECT_EQ(engine.stats(id).triggers, want);
+    EXPECT_EQ(engine.stats(id).ingested, t.sample_count());
+}
+
+TEST(SessionEngineTest, AdaptiveDrainIsThreadCountInvariant) {
+    const std::size_t n_sessions = 5;
+    std::vector<data::trial> trials;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+        trials.push_back(make_trial(i % 2 == 0 ? 30 : 6, 70 + i));
+    }
+
+    const auto run = [&] {
+        callback_batch_scorer scorer(freefall_scorer);
+        engine_config config = make_config(0.65);
+        config.queue_capacity = 32;
+        config.samples_per_tick = 1;
+        config.max_samples_per_tick = 8;
+        session_engine engine(config, scorer);
+        std::vector<session_id> ids;
+        for (std::size_t i = 0; i < n_sessions; ++i) ids.push_back(engine.create_session());
+
+        // Overdriven feed (3 in per tick) so the adaptive rate engages.
+        std::vector<std::tuple<session_id, std::size_t, float>> triggers;
+        std::vector<std::size_t> cursors(n_sessions, 0);
+        std::vector<std::size_t> rates;
+        for (std::size_t tick = 0; tick < 200; ++tick) {
+            for (std::size_t i = 0; i < n_sessions; ++i) {
+                for (int k = 0; k < 3; ++k) {
+                    const auto& samples = trials[i].samples;
+                    engine.feed(ids[i], samples[cursors[i]++ % samples.size()]);
+                }
+            }
+            for (const trigger_event& e : engine.tick().triggers) {
+                triggers.emplace_back(e.session, e.sample_index, e.probability);
+            }
+            for (std::size_t i = 0; i < n_sessions; ++i) {
+                rates.push_back(engine.drain_rate(ids[i]));
+            }
+        }
+        return std::make_tuple(triggers, rates, engine.totals().ingested,
+                               engine.totals().dropped);
+    };
+
+    util::set_global_threads(1);
+    const auto serial = run();
+    util::set_global_threads(4);
+    const auto parallel = run();
+    util::set_global_threads(0);  // back to the FALLSENSE_THREADS default
+
+    EXPECT_EQ(serial, parallel);
+    EXPECT_GT(std::get<2>(serial), 0u);
 }
 
 }  // namespace

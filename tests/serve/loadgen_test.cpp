@@ -31,14 +31,14 @@ loadgen_config make_config() {
     c.seed = 5;
     c.engine.detector.window_samples = 20;
     c.engine.detector.threshold = 0.65;
+    c.scorer.backend = scorer_backend::callback;
+    c.scorer.callback = magnitude_scorer;
+    c.scorer.label = "magnitude";
     return c;
 }
 
 TEST(LoadgenTest, ReportIsDeterministicAcrossRunsAndThreadCounts) {
-    const auto run = [] {
-        callback_batch_scorer scorer(magnitude_scorer);
-        return run_loadgen(make_config(), scorer).deterministic_summary();
-    };
+    const auto run = [] { return run_loadgen(make_config()).deterministic_summary(); };
     const std::string once = run();
     EXPECT_EQ(run(), once);  // same process, same config -> same summary
 
@@ -51,9 +51,26 @@ TEST(LoadgenTest, ReportIsDeterministicAcrossRunsAndThreadCounts) {
     EXPECT_EQ(parallel, once);
 }
 
+TEST(LoadgenTest, ShardedRunMatchesSingleEngine) {
+    // Sharding is a scaling decision, not a behavioral one: the same
+    // traffic through 1, 3, or 5 shards produces the same deterministic
+    // summary line for line (only the `shards:` line differs).
+    const auto summary_sans_shards = [](std::size_t shards) {
+        loadgen_config config = make_config();
+        config.shards = shards;
+        std::string s = run_loadgen(config).deterministic_summary();
+        const auto begin = s.find("shards:");
+        const auto end = s.find('\n', begin);
+        s.erase(begin, end - begin + 1);
+        return s;
+    };
+    const std::string one = summary_sans_shards(1);
+    EXPECT_EQ(summary_sans_shards(3), one);
+    EXPECT_EQ(summary_sans_shards(5), one);
+}
+
 TEST(LoadgenTest, BalancedFeedNeverDrops) {
-    callback_batch_scorer scorer(magnitude_scorer);
-    const loadgen_report r = run_loadgen(make_config(), scorer);
+    const loadgen_report r = run_loadgen(make_config());
     EXPECT_EQ(r.samples_offered, 12u * 150u);
     EXPECT_EQ(r.samples_accepted, r.samples_offered);
     EXPECT_EQ(r.samples_dropped, 0u);
@@ -61,6 +78,8 @@ TEST(LoadgenTest, BalancedFeedNeverDrops) {
     EXPECT_EQ(r.samples_ingested, r.samples_offered);  // feed 1 == drain 1
     EXPECT_GT(r.windows_scored, 0u);
     EXPECT_GT(r.triggers, 0u);  // fleet includes fall tasks
+    EXPECT_EQ(r.swap_generation, 0u);
+    EXPECT_EQ(r.scorer, "magnitude");
 }
 
 TEST(LoadgenTest, OverdrivenFeedSaturatesQueues) {
@@ -69,55 +88,100 @@ TEST(LoadgenTest, OverdrivenFeedSaturatesQueues) {
     config.engine.queue_capacity = 8;
 
     config.engine.policy = drop_policy::drop_oldest;
-    callback_batch_scorer scorer(magnitude_scorer);
-    const loadgen_report dropped = run_loadgen(config, scorer);
+    const loadgen_report dropped = run_loadgen(config);
     EXPECT_GT(dropped.samples_dropped, 0u);
     EXPECT_EQ(dropped.samples_rejected, 0u);
     EXPECT_EQ(dropped.samples_accepted, dropped.samples_offered);
 
     config.engine.policy = drop_policy::reject_newest;
-    const loadgen_report rejected = run_loadgen(config, scorer);
+    const loadgen_report rejected = run_loadgen(config);
     EXPECT_GT(rejected.samples_rejected, 0u);
     EXPECT_EQ(rejected.samples_dropped, 0u);
     EXPECT_LT(rejected.samples_accepted, rejected.samples_offered);
 }
 
+TEST(LoadgenTest, AdaptiveDrainAbsorbsOverdrive) {
+    // Same overdriven traffic, but with an adaptive ceiling high enough to
+    // keep up: the queues drain instead of dropping.
+    loadgen_config config = make_config();
+    config.feed_rate = 3;
+    config.engine.queue_capacity = 32;
+    config.engine.max_samples_per_tick = 8;
+    config.engine.drain_watermark = 4;
+    const loadgen_report r = run_loadgen(config);
+    EXPECT_EQ(r.samples_dropped, 0u);
+    EXPECT_EQ(r.samples_rejected, 0u);
+    EXPECT_EQ(r.samples_accepted, r.samples_offered);
+}
+
 TEST(LoadgenTest, ChurnRotatesSessionsDeterministically) {
     loadgen_config config = make_config();
     config.churn_every_ticks = 25;
-    const auto run = [&] {
-        callback_batch_scorer scorer(magnitude_scorer);
-        return run_loadgen(config, scorer);
-    };
-    const loadgen_report r = run();
+    const loadgen_report r = run_loadgen(config);
     EXPECT_EQ(r.sessions_churned, (config.ticks - 1) / 25);
-    EXPECT_EQ(run().deterministic_summary(), r.deterministic_summary());
+    EXPECT_EQ(run_loadgen(config).deterministic_summary(), r.deterministic_summary());
 }
 
-TEST(LoadgenTest, ScorerFactoriesProduceWorkingScorers) {
+TEST(LoadgenTest, HotSwapMidRunKeepsEveryWindow) {
+    // The no-drop/no-rescore acceptance bar: swapping the scorer mid-run
+    // must not change traffic accounting at all.  With the swap
+    // replacement scoring identically to the original (same callback, the
+    // callback backend ignores the swap-derived seed), the run is
+    // indistinguishable from the unswapped one except for the
+    // swap_generation line.
+    loadgen_config config = make_config();
+    const loadgen_report baseline = run_loadgen(config);
+
+    config.swap_after_ticks = 60;
+    const loadgen_report swapped = run_loadgen(config);
+    EXPECT_EQ(swapped.swap_generation, 1u);
+    EXPECT_EQ(swapped.windows_scored, baseline.windows_scored);
+    EXPECT_EQ(swapped.triggers, baseline.triggers);
+    EXPECT_EQ(swapped.samples_ingested, baseline.samples_ingested);
+    EXPECT_EQ(swapped.samples_dropped, 0u);
+    EXPECT_EQ(swapped.samples_rejected, 0u);
+
+    // And the swapped run itself is thread-count invariant.
+    util::set_global_threads(1);
+    const std::string serial = run_loadgen(config).deterministic_summary();
+    util::set_global_threads(4);
+    const std::string parallel = run_loadgen(config).deterministic_summary();
+    util::set_global_threads(0);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, swapped.deterministic_summary());
+}
+
+TEST(LoadgenTest, CnnBackendsProduceWorkingScorers) {
     loadgen_config config = make_config();
     config.sessions = 3;
     config.ticks = 60;
 
-    const auto float_scorer = make_cnn_scorer(20, 5);
-    const loadgen_report rf = run_loadgen(config, *float_scorer);
+    config.scorer = scorer_spec{};
+    config.scorer.backend = scorer_backend::float32;
+    config.scorer.seed = 5;
+    const loadgen_report rf = run_loadgen(config);
     EXPECT_EQ(rf.scorer, "cnn-float");
     EXPECT_GT(rf.windows_scored, 0u);
 
-    const auto int8_scorer = make_int8_scorer(20, 5);
-    const loadgen_report rq = run_loadgen(config, *int8_scorer);
+    config.scorer.backend = scorer_backend::int8;
+    const loadgen_report rq = run_loadgen(config);
     EXPECT_EQ(rq.scorer, "cnn-int8");
     EXPECT_EQ(rq.windows_scored, rf.windows_scored);  // same traffic either way
 }
 
 TEST(LoadgenTest, ConfigValidation) {
-    callback_batch_scorer scorer(magnitude_scorer);
     loadgen_config bad = make_config();
     bad.sessions = 0;
-    EXPECT_THROW(run_loadgen(bad, scorer), std::invalid_argument);
+    EXPECT_THROW(run_loadgen(bad), std::invalid_argument);
     bad = make_config();
     bad.feed_rate = 0;
-    EXPECT_THROW(run_loadgen(bad, scorer), std::invalid_argument);
+    EXPECT_THROW(run_loadgen(bad), std::invalid_argument);
+    bad = make_config();
+    bad.shards = 0;
+    EXPECT_THROW(run_loadgen(bad), std::invalid_argument);
+    bad = make_config();
+    bad.engine.drain_watermark = bad.engine.queue_capacity + 1;
+    EXPECT_THROW(run_loadgen(bad), std::invalid_argument);
 }
 
 }  // namespace

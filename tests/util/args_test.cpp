@@ -49,6 +49,26 @@ TEST(ArgsTest, NumericParseFailureThrows) {
     EXPECT_THROW(p.number_or("count", 0.0), std::invalid_argument);
 }
 
+TEST(ArgsTest, ParseLongAcceptsWholeIntegersOnly) {
+    EXPECT_EQ(parse_long("42"), 42);
+    EXPECT_EQ(parse_long("-7"), -7);
+    EXPECT_EQ(parse_long("0"), 0);
+    EXPECT_EQ(parse_long(""), std::nullopt);
+    EXPECT_EQ(parse_long("forty"), std::nullopt);
+    EXPECT_EQ(parse_long("42x"), std::nullopt);  // trailing junk rejected
+    EXPECT_EQ(parse_long("4.2"), std::nullopt);
+    EXPECT_EQ(parse_long(" 42"), std::nullopt);  // no whitespace trimming
+}
+
+TEST(ArgsTest, ParseDoubleAcceptsWholeNumbersOnly) {
+    EXPECT_EQ(parse_double("0.65"), 0.65);
+    EXPECT_EQ(parse_double("-3"), -3.0);
+    EXPECT_EQ(parse_double("1e3"), 1000.0);
+    EXPECT_EQ(parse_double(""), std::nullopt);
+    EXPECT_EQ(parse_double("half"), std::nullopt);
+    EXPECT_EQ(parse_double("0.5pt"), std::nullopt);  // trailing junk rejected
+}
+
 TEST(ArgsTest, UnknownArgumentThrows) {
     arg_parser p = make_parser();
     EXPECT_THROW(p.parse({"--bogus"}), std::invalid_argument);

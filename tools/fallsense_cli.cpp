@@ -11,8 +11,10 @@
 //   fallsense replay   --file trial.csv --weights weights.fsnn
 //                      [--window-ms 400] [--threshold 0.5]
 //   fallsense serve    [--sessions 64] [--ticks 1000] [--seed N]
+//                      [--shards 1] [--swap-after 0]
 //                      [--window-ms 400] [--threshold 0.5]
 //                      [--feed-rate 1] [--samples-per-tick 1]
+//                      [--max-samples-per-tick 0] [--drain-watermark 0]
 //                      [--queue-capacity 64] [--drop-policy oldest|reject]
 //                      [--churn-every 0] [--int8] [--weights weights.fsnn]
 //
@@ -45,7 +47,8 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "quant/quantized_cnn.hpp"
-#include "serve/loadgen.hpp"
+#include "serve/serve.hpp"
+#include "tool_common.hpp"
 #include "util/args.hpp"
 #include "util/env.hpp"
 
@@ -274,28 +277,32 @@ int cmd_replay(const util::arg_parser& args) {
 
 int cmd_serve(const util::arg_parser& args) {
     serve::loadgen_config config;
-    config.sessions = static_cast<std::size_t>(args.integer_or("sessions", 64));
-    config.ticks = static_cast<std::size_t>(args.integer_or("ticks", 1000));
-    config.seed = args.option("seed") ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
-                                      : util::env_seed();
-    config.feed_rate = static_cast<std::size_t>(args.integer_or("feed-rate", 1));
-    config.churn_every_ticks = static_cast<std::size_t>(args.integer_or("churn-every", 0));
-    config.engine.queue_capacity =
-        static_cast<std::size_t>(args.integer_or("queue-capacity", 64));
-    config.engine.samples_per_tick =
-        static_cast<std::size_t>(args.integer_or("samples-per-tick", 1));
-    config.engine.policy = serve::parse_drop_policy(args.option_or("drop-policy", "oldest"));
+    config.sessions = tools::count_option(args, "sessions", 64);
+    config.ticks = tools::count_option(args, "ticks", 1000);
+    config.seed = args.option("seed")
+                      ? static_cast<std::uint64_t>(tools::integer_option(args, "seed", 42))
+                      : util::env_seed();
+    config.shards = tools::count_option(args, "shards", 1);
+    config.swap_after_ticks = tools::count_option(args, "swap-after", 0);
+    config.feed_rate = tools::count_option(args, "feed-rate", 1);
+    config.churn_every_ticks = tools::count_option(args, "churn-every", 0);
+    config.engine.queue_capacity = tools::count_option(args, "queue-capacity", 64);
+    config.engine.samples_per_tick = tools::count_option(args, "samples-per-tick", 1);
+    config.engine.max_samples_per_tick =
+        tools::count_option(args, "max-samples-per-tick", 0);
+    config.engine.drain_watermark = tools::count_option(args, "drain-watermark", 0);
+    config.engine.policy =
+        tools::drop_policy_option(args, "drop-policy", serve::drop_policy::drop_oldest);
     const core::windowing_config wc = windowing_from(args);
     config.engine.detector.window_samples = wc.segmentation.window_samples;
-    config.engine.detector.threshold = args.number_or("threshold", 0.5);
+    config.engine.detector.threshold = tools::number_option(args, "threshold", 0.5);
 
-    const std::string weights = args.option_or("weights", "");
-    const std::size_t window = config.engine.detector.window_samples;
-    const std::unique_ptr<serve::batch_scorer> scorer =
-        args.has_flag("int8") ? serve::make_int8_scorer(window, config.seed, weights)
-                              : serve::make_cnn_scorer(window, config.seed, weights);
+    config.scorer.backend = args.has_flag("int8") ? serve::scorer_backend::int8
+                                                  : serve::scorer_backend::float32;
+    config.scorer.seed = config.seed;
+    config.scorer.weights_path = args.option_or("weights", "");
 
-    const serve::loadgen_report report = serve::run_loadgen(config, *scorer);
+    const serve::loadgen_report report = serve::run_loadgen(config);
     std::fputs(report.deterministic_summary().c_str(), stdout);
     std::printf("wall_seconds: %.3f\n", report.wall_seconds);
     std::printf("throughput: %.0f ticks/s, %.0f session-ticks/s, %.0f windows/s\n",
@@ -310,8 +317,10 @@ constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "se
                                             "data",    "epochs",    "window-ms", "weights",
                                             "threshold", "calib",   "c-array", "file",
                                             "sample-rate", "sessions", "ticks", "feed-rate",
-                                            "samples-per-tick", "queue-capacity",
-                                            "drop-policy", "churn-every"};
+                                            "samples-per-tick", "max-samples-per-tick",
+                                            "drain-watermark", "queue-capacity",
+                                            "drop-policy", "churn-every", "shards",
+                                            "swap-after"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {
@@ -341,7 +350,12 @@ int main(int argc, char** argv) {
     args.add_flag("metrics-timings");
     args.add_flag("int8");
     try {
-        args.parse(argc, argv, 2);
+        try {
+            args.parse(argc, argv, 2);
+        } catch (const std::invalid_argument& e) {
+            // Unknown flags / missing values are usage errors too.
+            throw tools::usage_error(e.what());
+        }
         const auto metrics_json = args.option("metrics-json");
         if (metrics_json) obs::set_enabled(true);
 
@@ -356,6 +370,9 @@ int main(int argc, char** argv) {
 
         if (metrics_json) write_metrics_manifest(args, command, *metrics_json);
         return rc;
+    } catch (const tools::usage_error& e) {
+        std::fprintf(stderr, "fallsense %s: %s\n", command.c_str(), e.what());
+        return usage();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fallsense %s: %s\n", command.c_str(), e.what());
         return 1;

@@ -1,24 +1,29 @@
-// fallsense_loadgen — fleet-traffic generator for the serving engine.
+// fallsense_loadgen — fleet-traffic generator for the serving layer.
 //
 //   fallsense_loadgen [--sessions N] [--ticks T] [--seed S]
+//                     [--shards K] [--swap-after T]
 //                     [--window-ms 400] [--threshold 0.5] [--consecutive 1]
 //                     [--feed-rate 1] [--samples-per-tick 1]
+//                     [--max-samples-per-tick 0] [--drain-watermark 0]
 //                     [--queue-capacity 64] [--drop-policy oldest|reject]
 //                     [--churn-every 0] [--int8] [--weights FILE]
 //                     [--metrics-json FILE] [--metrics-timings]
 //
 // Synthesizes --sessions independent wearers from the motion-profile
-// library, replays them through one serve::session_engine for --ticks
-// ticks, and prints the deterministic traffic summary plus measured
-// throughput.  With --metrics-json the obs registry records the run and a
-// manifest is written; without --metrics-timings that manifest is
-// byte-identical for any FALLSENSE_THREADS (the serving determinism
-// contract, docs/serving.md).
+// library, replays them through a serve::fleet_router with --shards
+// session_engine shards for --ticks ticks, and prints the deterministic
+// traffic summary plus measured throughput.  --swap-after T hot-swaps the
+// fleet's scorer after T ticks (a model rollout under live traffic).
+// With --metrics-json the obs registry records the run and a manifest is
+// written; without --metrics-timings that manifest is byte-identical for
+// any FALLSENSE_THREADS (the serving determinism contract,
+// docs/serving.md).
 #include <cstdio>
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
-#include "serve/loadgen.hpp"
+#include "serve/serve.hpp"
+#include "tool_common.hpp"
 #include "util/args.hpp"
 #include "util/env.hpp"
 
@@ -27,38 +32,56 @@ namespace {
 using namespace fallsense;
 
 constexpr const char* k_config_options[] = {
-    "sessions",      "ticks",      "seed",           "window-ms",  "threshold",
-    "consecutive",   "feed-rate",  "samples-per-tick", "queue-capacity",
-    "drop-policy",   "churn-every", "weights"};
+    "sessions",    "ticks",       "seed",          "shards",
+    "swap-after",  "window-ms",   "threshold",     "consecutive",
+    "feed-rate",   "samples-per-tick", "max-samples-per-tick",
+    "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
+    "weights"};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: fallsense_loadgen [--sessions N] [--ticks T] [--seed S]\n"
+                 "                         [--shards K] [--swap-after T] [--window-ms MS]\n"
+                 "                         [--threshold P] [--consecutive N] [--feed-rate R]\n"
+                 "                         [--samples-per-tick N] [--max-samples-per-tick N]\n"
+                 "                         [--drain-watermark N] [--queue-capacity N]\n"
+                 "                         [--drop-policy oldest|reject] [--churn-every T]\n"
+                 "                         [--int8] [--weights FILE]\n"
+                 "                         [--metrics-json FILE] [--metrics-timings]\n");
+    return 2;
+}
 
 int run(const util::arg_parser& args) {
     serve::loadgen_config config;
-    config.sessions = static_cast<std::size_t>(args.integer_or("sessions", 64));
-    config.ticks = static_cast<std::size_t>(args.integer_or("ticks", 1000));
-    config.seed = args.option("seed") ? static_cast<std::uint64_t>(args.integer_or("seed", 42))
-                                      : util::env_seed();
-    config.feed_rate = static_cast<std::size_t>(args.integer_or("feed-rate", 1));
-    config.churn_every_ticks = static_cast<std::size_t>(args.integer_or("churn-every", 0));
-    config.engine.queue_capacity =
-        static_cast<std::size_t>(args.integer_or("queue-capacity", 64));
-    config.engine.samples_per_tick =
-        static_cast<std::size_t>(args.integer_or("samples-per-tick", 1));
-    config.engine.policy = serve::parse_drop_policy(args.option_or("drop-policy", "oldest"));
+    config.sessions = tools::count_option(args, "sessions", 64);
+    config.ticks = tools::count_option(args, "ticks", 1000);
+    config.seed = args.option("seed")
+                      ? static_cast<std::uint64_t>(tools::integer_option(args, "seed", 42))
+                      : util::env_seed();
+    config.shards = tools::count_option(args, "shards", 1);
+    config.swap_after_ticks = tools::count_option(args, "swap-after", 0);
+    config.feed_rate = tools::count_option(args, "feed-rate", 1);
+    config.churn_every_ticks = tools::count_option(args, "churn-every", 0);
+    config.engine.queue_capacity = tools::count_option(args, "queue-capacity", 64);
+    config.engine.samples_per_tick = tools::count_option(args, "samples-per-tick", 1);
+    config.engine.max_samples_per_tick =
+        tools::count_option(args, "max-samples-per-tick", 0);
+    config.engine.drain_watermark = tools::count_option(args, "drain-watermark", 0);
+    config.engine.policy =
+        tools::drop_policy_option(args, "drop-policy", serve::drop_policy::drop_oldest);
 
-    const double window_ms = args.number_or("window-ms", 400.0);
-    const std::size_t window =
+    const double window_ms = tools::number_option(args, "window-ms", 400.0);
+    config.engine.detector.window_samples =
         static_cast<std::size_t>(window_ms * config.engine.detector.sample_rate_hz / 1000.0);
-    config.engine.detector.window_samples = window;
-    config.engine.detector.threshold = args.number_or("threshold", 0.5);
-    config.engine.detector.consecutive_required =
-        static_cast<std::size_t>(args.integer_or("consecutive", 1));
+    config.engine.detector.threshold = tools::number_option(args, "threshold", 0.5);
+    config.engine.detector.consecutive_required = tools::count_option(args, "consecutive", 1);
 
-    const std::string weights = args.option_or("weights", "");
-    const std::unique_ptr<serve::batch_scorer> scorer =
-        args.has_flag("int8") ? serve::make_int8_scorer(window, config.seed, weights)
-                              : serve::make_cnn_scorer(window, config.seed, weights);
+    config.scorer.backend = args.has_flag("int8") ? serve::scorer_backend::int8
+                                                  : serve::scorer_backend::float32;
+    config.scorer.seed = config.seed;
+    config.scorer.weights_path = args.option_or("weights", "");
 
-    const serve::loadgen_report report = serve::run_loadgen(config, *scorer);
+    const serve::loadgen_report report = serve::run_loadgen(config);
     std::fputs(report.deterministic_summary().c_str(), stdout);
     std::printf("wall_seconds: %.3f\n", report.wall_seconds);
     std::printf("throughput: %.0f ticks/s, %.0f session-ticks/s, %.0f windows/s\n",
@@ -76,7 +99,12 @@ int main(int argc, char** argv) {
     args.add_flag("metrics-timings");
     args.add_flag("int8");
     try {
-        args.parse(argc, argv, 1);
+        try {
+            args.parse(argc, argv, 1);
+        } catch (const std::invalid_argument& e) {
+            // Unknown flags / missing values are usage errors too.
+            throw tools::usage_error(e.what());
+        }
         const auto metrics_json = args.option("metrics-json");
         if (metrics_json) obs::set_enabled(true);
 
@@ -99,6 +127,9 @@ int main(int argc, char** argv) {
             std::printf("metrics manifest -> %s\n", metrics_json->c_str());
         }
         return rc;
+    } catch (const tools::usage_error& e) {
+        std::fprintf(stderr, "fallsense_loadgen: %s\n", e.what());
+        return usage();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "fallsense_loadgen: %s\n", e.what());
         return 1;

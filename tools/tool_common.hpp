@@ -1,0 +1,76 @@
+// Shared helpers for the fallsense command-line tools.
+//
+// Option values that fail to parse are user errors, not bugs: they should
+// print the offending flag and value plus the usage synopsis and exit 2 —
+// never surface as an uncaught exception.  Tools throw `usage_error`
+// (directly or via the typed option helpers below) and catch it in main:
+//
+//     } catch (const tools::usage_error& e) {
+//         std::fprintf(stderr, "%s: %s\n", k_tool, e.what());
+//         return usage();
+//     }
+//
+// The helpers wrap the util::parse_long / parse_double optional-returning
+// parsers and the serve-layer enum parsers (parse_drop_policy) with that
+// reporting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "serve/serve.hpp"
+#include "util/args.hpp"
+
+namespace fallsense::tools {
+
+/// A bad command line: the message names the flag, the offending value,
+/// and what was expected.  Tools catch this, print it with the usage
+/// synopsis, and exit 2.
+struct usage_error : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void bad_option(const std::string& flag, const std::string& value,
+                                    const std::string& expected) {
+    throw usage_error("invalid " + flag + " '" + value + "' (expected " + expected + ")");
+}
+
+inline long integer_option(const util::arg_parser& args, const std::string& name,
+                           long fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto value = util::parse_long(*text);
+    if (!value) bad_option("--" + name, *text, "an integer");
+    return *value;
+}
+
+/// Integer option that must be >= 0 (session counts, tick counts, ...).
+inline std::size_t count_option(const util::arg_parser& args, const std::string& name,
+                                std::size_t fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto value = util::parse_long(*text);
+    if (!value || *value < 0) bad_option("--" + name, *text, "a non-negative integer");
+    return static_cast<std::size_t>(*value);
+}
+
+inline double number_option(const util::arg_parser& args, const std::string& name,
+                            double fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto value = util::parse_double(*text);
+    if (!value) bad_option("--" + name, *text, "a number");
+    return *value;
+}
+
+inline serve::drop_policy drop_policy_option(const util::arg_parser& args,
+                                             const std::string& name,
+                                             serve::drop_policy fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto policy = serve::parse_drop_policy(*text);
+    if (!policy) bad_option("--" + name, *text, "oldest|reject");
+    return *policy;
+}
+
+}  // namespace fallsense::tools
