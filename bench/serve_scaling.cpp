@@ -2,11 +2,12 @@
 // hosting sessions ∈ {1, 64, 1024, 4096} versus the same fleet run as
 // independent streaming_detector loops (one CNN forward per window — the
 // architecture the engine replaces), plus the sharded fleet_router at 4096
-// sessions.  The acceptance bars for src/serve: batched scoring beats the
-// independent-detector baseline in windows/sec at 1024 sessions, and the
-// sharded router matches or beats the single engine at 4096 (same windows
-// scored, one fleet-wide batch per tick); scripts/run_bench.sh records the
-// sweep in BENCH_kernel.json.
+// sessions in both score modes (fused fleet-wide batch vs per-shard scorer
+// replicas).  The acceptance bars for src/serve: batched scoring beats the
+// independent-detector baseline in windows/sec at 1024 sessions, the
+// sharded router matches or beats the single engine at 4096, and per_shard
+// beats fused in windows/sec at >= 4 shards on the 4096-session fleet;
+// scripts/run_bench.sh records the sweep in BENCH_serve.json.
 #include <benchmark/benchmark.h>
 
 #include "core/models.hpp"
@@ -97,19 +98,27 @@ BENCHMARK(BM_EngineBatchedSessions)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-/// The sharded router: K engines ticked in parallel, every shard's due
-/// windows concatenated into ONE scorer call per tick.  Compare the
-/// {4096 sessions, K shards} rows against BM_EngineBatchedSessions/4096 —
-/// same traffic, same windows scored, one fleet-wide batch either way.
+/// The sharded router in both score modes.  Arg 2 selects the mode (0 =
+/// fused fleet-wide batch, 1 = per-shard scorer replicas); compare rows
+/// with the same shard count to see what concurrent scoring buys, and the
+/// {4096 sessions, K shards} fused rows against BM_EngineBatchedSessions/
+/// 4096 — same traffic, same windows scored.  Per-phase wall-clock is
+/// reported via counters (ingest/score/apply microseconds per tick) from
+/// fleet_router::last_tick_timings.
 void BM_FleetShardedSessions(benchmark::State& state) {
     const auto sessions = static_cast<std::size_t>(state.range(0));
     const auto shards = static_cast<std::size_t>(state.range(1));
+    const auto mode =
+        state.range(2) != 0 ? serve::score_mode::per_shard : serve::score_mode::fused;
     std::uint64_t windows = 0;
+    std::uint64_t ticks = 0;
+    serve::tick_timings phase_sums;
     for (auto _ : state) {
         serve::fleet_config config;
         config.engine.detector = bench_detector();
         config.engine.queue_capacity = 4;
         config.shards = shards;
+        config.mode = mode;
         serve::fleet_router fleet(
             config, serve::make_scorer(bench_scorer_spec(serve::scorer_backend::float32)));
         for (std::size_t i = 0; i < sessions; ++i) fleet.create_session();
@@ -118,15 +127,32 @@ void BM_FleetShardedSessions(benchmark::State& state) {
                 fleet.feed(static_cast<serve::session_id>(i), stream_sample(i, tick));
             }
             benchmark::DoNotOptimize(fleet.tick().windows_scored);
+            const serve::tick_timings& t = fleet.last_tick_timings();
+            phase_sums.ingest_us += t.ingest_us;
+            phase_sums.score_us += t.score_us;
+            phase_sums.apply_us += t.apply_us;
+            ++ticks;
         }
         windows += fleet.totals().windows_scored;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+    if (ticks > 0) {
+        const auto per_tick = static_cast<double>(ticks);
+        state.counters["ingest_us_per_tick"] = phase_sums.ingest_us / per_tick;
+        state.counters["score_us_per_tick"] = phase_sums.score_us / per_tick;
+        state.counters["apply_us_per_tick"] = phase_sums.apply_us / per_tick;
+    }
 }
 BENCHMARK(BM_FleetShardedSessions)
-    ->Args({4096, 1})
-    ->Args({4096, 4})
-    ->Args({4096, 8})
+    ->ArgNames({"sessions", "shards", "per_shard"})
+    ->Args({4096, 1, 0})
+    ->Args({4096, 2, 0})
+    ->Args({4096, 4, 0})
+    ->Args({4096, 8, 0})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 1})
+    ->Args({4096, 4, 1})
+    ->Args({4096, 8, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

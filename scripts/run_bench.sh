@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Run the google-benchmark binaries (kernel_micro, parallel_scaling,
-# serve_scaling) with JSON output and combine them into BENCH_kernel.json
-# at the repo root.
+# Run the google-benchmark binaries with JSON output: kernel_micro and
+# parallel_scaling combine into BENCH_kernel.json, serve_scaling (the
+# fused-vs-per_shard fleet sweep) into BENCH_serve.json, both at the repo
+# root and each carrying its own build manifest.
 # Usage: scripts/run_bench.sh [build-dir]
 #
 # Optional environment:
@@ -12,6 +13,7 @@ set -eu
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 OUT="$REPO_ROOT/BENCH_kernel.json"
+SERVE_OUT="$REPO_ROOT/BENCH_serve.json"
 FILTER="${FALLSENSE_BENCH_FILTER:-}"
 
 KERNEL_BIN="$BUILD_DIR/bench/kernel_micro"
@@ -54,8 +56,8 @@ echo ">>> serve_scaling"
 run_bench "$SERVE_BIN" "$TMP_DIR/serve_scaling.json"
 
 # Run manifest: thread count plus the build configuration the binaries
-# were compiled with, read from the CMake cache so the numbers in
-# BENCH_kernel.json carry their own provenance.
+# were compiled with, read from the CMake cache so the numbers in the
+# output files carry their own provenance.
 cache_value() {
     # cache_value <CACHE_VARIABLE> <default>
     if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
@@ -71,24 +73,37 @@ BUILD_TYPE="$(cache_value CMAKE_BUILD_TYPE unknown)"
 NATIVE_ARCH="$(cache_value FALLSENSE_NATIVE_ARCH OFF)"
 SANITIZE="$(cache_value FALLSENSE_SANITIZE OFF)"
 
-# Combine into one JSON object keyed by binary name, prefixed with the
-# manifest.  Plain shell concatenation: both benchmark inputs are complete
+# Combine into JSON objects keyed by binary name, prefixed with the
+# manifest.  Plain shell concatenation: the benchmark inputs are complete
 # JSON documents emitted by google-benchmark, so wrapping them needs no
 # JSON parser.
-{
-    printf '{\n"manifest": {\n'
+print_manifest() {
+    printf '"manifest": {\n'
     printf '  "threads": %s,\n' "$THREADS"
     printf '  "build_type": "%s",\n' "$BUILD_TYPE"
     printf '  "native_arch": "%s",\n' "$NATIVE_ARCH"
     printf '  "sanitize": "%s",\n' "$SANITIZE"
     printf '  "filter": "%s"\n' "$FILTER"
-    printf '},\n"kernel_micro":\n'
+    printf '}'
+}
+
+{
+    printf '{\n'
+    print_manifest
+    printf ',\n"kernel_micro":\n'
     cat "$TMP_DIR/kernel_micro.json"
     printf ',\n"parallel_scaling":\n'
     cat "$TMP_DIR/parallel_scaling.json"
-    printf ',\n"serve_scaling":\n'
-    cat "$TMP_DIR/serve_scaling.json"
     printf '}\n'
 } > "$OUT"
 
+{
+    printf '{\n'
+    print_manifest
+    printf ',\n"serve_scaling":\n'
+    cat "$TMP_DIR/serve_scaling.json"
+    printf '}\n'
+} > "$SERVE_OUT"
+
 echo "wrote $OUT"
+echo "wrote $SERVE_OUT"

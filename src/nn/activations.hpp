@@ -10,6 +10,7 @@ public:
     tensor forward(const tensor& input, bool training) override;
     tensor backward(const tensor& grad_output) override;
     layer_kind kind() const override { return layer_kind::relu; }
+    layer_ptr clone() const override { return std::make_unique<relu>(); }
     std::string describe() const override { return "relu"; }
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
 
@@ -22,6 +23,7 @@ public:
     tensor forward(const tensor& input, bool training) override;
     tensor backward(const tensor& grad_output) override;
     layer_kind kind() const override { return layer_kind::sigmoid; }
+    layer_ptr clone() const override { return std::make_unique<sigmoid>(); }
     std::string describe() const override { return "sigmoid"; }
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
 

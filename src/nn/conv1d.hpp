@@ -21,6 +21,13 @@ public:
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&weight_, &bias_}; }
     layer_kind kind() const override { return layer_kind::conv1d; }
+    layer_ptr clone() const override {
+        util::rng gen(0);  // init values are overwritten below
+        auto copy = std::make_unique<conv1d>(in_ch_, out_ch_, kernel_, gen);
+        copy->weight_ = weight_;
+        copy->bias_ = bias_;
+        return copy;
+    }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
 

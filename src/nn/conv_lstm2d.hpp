@@ -25,6 +25,14 @@ public:
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&w_input_, &w_hidden_, &bias_}; }
     layer_kind kind() const override { return layer_kind::conv_lstm2d; }
+    layer_ptr clone() const override {
+        util::rng gen(0);  // init values are overwritten below
+        auto copy = std::make_unique<conv_lstm2d>(in_ch_, filters_, kernel_, gen);
+        copy->w_input_ = w_input_;
+        copy->w_hidden_ = w_hidden_;
+        copy->bias_ = bias_;
+        return copy;
+    }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
 

@@ -16,6 +16,13 @@ public:
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&weight_, &bias_}; }
     layer_kind kind() const override { return layer_kind::dense; }
+    layer_ptr clone() const override {
+        util::rng gen(0);  // init values are overwritten below
+        auto copy = std::make_unique<dense>(in_, out_, gen);
+        copy->weight_ = weight_;
+        copy->bias_ = bias_;
+        return copy;
+    }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
 

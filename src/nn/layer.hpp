@@ -60,6 +60,12 @@ public:
 
     virtual layer_kind kind() const = 0;
 
+    /// Deep copy: same architecture and parameter values, fresh caches and
+    /// gradients.  Because a layer's forward caches make it stateful, the
+    /// clone is how callers get an independent instance for concurrent
+    /// inference (the serving layer's per-shard scorer replicas).
+    virtual std::unique_ptr<layer> clone() const = 0;
+
     /// Short human-readable description for model summaries.
     virtual std::string describe() const = 0;
 
@@ -86,6 +92,11 @@ public:
     virtual std::string summary() const = 0;
     /// Output shape per sample for the given per-sample input shape.
     virtual shape_t output_shape(const shape_t& input_shape) const = 0;
+
+    /// Deep copy of the whole network: bit-identical parameter values,
+    /// fresh caches — an independent instance that scores the same inputs
+    /// to the same outputs without sharing any mutable state.
+    virtual std::unique_ptr<model> clone() const = 0;
 
     /// Total trainable scalar count.
     std::size_t parameter_count();

@@ -12,6 +12,7 @@ public:
     tensor forward(const tensor& input, bool training) override;
     tensor backward(const tensor& grad_output) override;
     layer_kind kind() const override { return layer_kind::flatten; }
+    layer_ptr clone() const override { return std::make_unique<flatten>(); }
     std::string describe() const override { return "flatten"; }
     shape_t output_shape(const shape_t& input_shape) const override;
 
@@ -27,6 +28,9 @@ public:
     tensor forward(const tensor& input, bool training) override;
     tensor backward(const tensor& grad_output) override;
     layer_kind kind() const override { return layer_kind::dropout; }
+    /// The clone shares this layer's rng (dropout only draws during
+    /// training forwards; inference-only clones never touch it).
+    layer_ptr clone() const override { return std::make_unique<dropout>(p_, *gen_); }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
 

@@ -106,6 +106,14 @@ tensor multi_branch_network::backward(const tensor& grad_output) {
     return grad_input;
 }
 
+std::unique_ptr<model> multi_branch_network::clone() const {
+    std::vector<std::unique_ptr<sequential>> branches;
+    branches.reserve(branches_.size());
+    for (const auto& b : branches_) branches.push_back(b->clone_stack());
+    return std::make_unique<multi_branch_network>(group_channels_, std::move(branches),
+                                                  trunk_->clone_stack());
+}
+
 sequential& multi_branch_network::branch(std::size_t i) {
     FS_ARG_CHECK(i < branches_.size(), "branch index out of range");
     return *branches_[i];

@@ -27,6 +27,7 @@ public:
     std::vector<parameter*> parameters() override;
     std::string summary() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
+    std::unique_ptr<model> clone() const override;
 
     std::size_t branch_count() const { return branches_.size(); }
     sequential& branch(std::size_t i);

@@ -17,6 +17,7 @@ public:
     tensor forward(const tensor& input, bool training) override;
     tensor backward(const tensor& grad_output) override;
     layer_kind kind() const override { return layer_kind::maxpool1d; }
+    layer_ptr clone() const override { return std::make_unique<maxpool1d>(pool_); }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
 

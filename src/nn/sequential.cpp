@@ -46,6 +46,12 @@ shape_t sequential::output_shape(const shape_t& input_shape) const {
     return shape;
 }
 
+std::unique_ptr<sequential> sequential::clone_stack() const {
+    auto copy = std::make_unique<sequential>();
+    for (const auto& l : layers_) copy->add(l->clone());
+    return copy;
+}
+
 layer& sequential::layer_at(std::size_t i) {
     FS_ARG_CHECK(i < layers_.size(), "sequential layer index out of range");
     return *layers_[i];

@@ -29,6 +29,10 @@ public:
     std::vector<parameter*> parameters() override;
     std::string summary() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
+    std::unique_ptr<model> clone() const override { return clone_stack(); }
+    /// clone() with the concrete type (unique_ptr return types cannot be
+    /// covariant) — multi_branch_network clones its branches through this.
+    std::unique_ptr<sequential> clone_stack() const;
 
     std::size_t layer_count() const { return layers_.size(); }
     layer& layer_at(std::size_t i);

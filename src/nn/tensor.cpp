@@ -32,6 +32,14 @@ tensor::tensor(shape_t shape, std::vector<float> values)
                  "tensor value count does not match shape " + shape_to_string(shape_));
 }
 
+void tensor::assign(const shape_t& new_shape, std::span<const float> values) {
+    FS_ARG_CHECK(values.size() == shape_volume(new_shape),
+                 "tensor::assign value count does not match shape " +
+                     shape_to_string(new_shape));
+    shape_ = new_shape;
+    data_.assign(values.begin(), values.end());
+}
+
 tensor tensor::full(shape_t shape, float value) {
     tensor t(std::move(shape));
     t.fill(value);

@@ -65,6 +65,11 @@ public:
     std::size_t offset(std::initializer_list<std::size_t> idx) const;
 
     void fill(float value);
+    /// Replace shape and contents in place, reusing existing capacity —
+    /// once a tensor has grown to its high-water mark, repeated assigns
+    /// perform no heap allocation (the serving hot path relies on this).
+    /// `values.size()` must equal the volume of `new_shape`.
+    void assign(const shape_t& new_shape, std::span<const float> values);
     /// Reinterpret the same data with a different shape (volume must match).
     tensor reshaped(shape_t new_shape) const;
 

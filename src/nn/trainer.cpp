@@ -228,19 +228,25 @@ std::vector<float> predict_proba(model& m, const tensor& features, std::size_t b
 void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count,
                         const shape_t& row_shape, std::span<float> out,
                         std::size_t batch_size) {
+    predict_scratch scratch;
+    predict_proba_rows(m, rows, count, row_shape, out, scratch, batch_size);
+}
+
+void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count,
+                        const shape_t& row_shape, std::span<float> out,
+                        predict_scratch& scratch, std::size_t batch_size) {
     FS_ARG_CHECK(batch_size > 0, "batch_size must be positive");
     const std::size_t row_elems = shape_volume(row_shape);
     FS_ARG_CHECK(rows.size() == count * row_elems, "predict_proba_rows buffer size mismatch");
     FS_ARG_CHECK(out.size() == count, "predict_proba_rows output size mismatch");
     for (std::size_t start = 0; start < count; start += batch_size) {
         const std::size_t chunk = std::min(batch_size, count - start);
-        shape_t batch_shape;
-        batch_shape.reserve(row_shape.size() + 1);
-        batch_shape.push_back(chunk);
-        batch_shape.insert(batch_shape.end(), row_shape.begin(), row_shape.end());
-        const std::span<const float> slice = rows.subspan(start * row_elems, chunk * row_elems);
-        const tensor x(std::move(batch_shape), std::vector<float>(slice.begin(), slice.end()));
-        const tensor logits = m.forward(x, /*training=*/false);
+        scratch.batch_shape.resize(row_shape.size() + 1);
+        scratch.batch_shape[0] = chunk;
+        std::copy(row_shape.begin(), row_shape.end(), scratch.batch_shape.begin() + 1);
+        scratch.input.assign(scratch.batch_shape,
+                             rows.subspan(start * row_elems, chunk * row_elems));
+        const tensor logits = m.forward(scratch.input, /*training=*/false);
         FS_CHECK(logits.size() == chunk, "model must emit one logit per sample");
         for (std::size_t i = 0; i < chunk; ++i) out[start + i] = sigmoid_scalar(logits[i]);
     }

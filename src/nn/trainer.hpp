@@ -87,4 +87,20 @@ void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count
                         const shape_t& row_shape, std::span<float> out,
                         std::size_t batch_size = 256);
 
+/// Reusable buffers for the scratch overload of predict_proba_rows: the
+/// batch input tensor and its shape, grown once to the high-water mark and
+/// reused so steady-state batch scoring performs no input-side heap
+/// allocation (the serving tick relies on this).
+struct predict_scratch {
+    tensor input;
+    shape_t batch_shape;
+};
+
+/// predict_proba_rows with caller-owned scratch.  Bit-identical to the
+/// allocating overload — the scratch only changes where the chunk input
+/// lives, never what is computed.
+void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count,
+                        const shape_t& row_shape, std::span<float> out,
+                        predict_scratch& scratch, std::size_t batch_size = 256);
+
 }  // namespace fallsense::nn

@@ -114,28 +114,36 @@ quantized_cnn::quantized_cnn(quantized_cnn_parts parts)
 }
 
 float quantized_cnn::predict_logit(std::span<const float> segment) const {
+    inference_scratch scratch;
+    return predict_logit(segment, scratch);
+}
+
+float quantized_cnn::predict_logit(std::span<const float> segment,
+                                   inference_scratch& scratch) const {
     FS_ARG_CHECK(segment.size() == time_steps_ * input_channels_,
                  "segment size mismatch");
     obs::add_counter("quant/inferences");
 
     // Quantize the input once.
-    std::vector<std::int8_t> qinput(segment.size());
+    scratch.qinput.resize(segment.size());
+    std::int8_t* const qinput = scratch.qinput.data();
     for (std::size_t i = 0; i < segment.size(); ++i) {
         qinput[i] = quantize_value(segment[i], input_q_);
     }
 
     // Branches: int8 conv (+fused ReLU via clamp) then int8 max-pool.
-    std::vector<std::int8_t> concat;
+    scratch.concat.clear();
     std::size_t channel_base = 0;
     for (const q_conv_branch& b : branches_) {
         const std::size_t conv_time = time_steps_ - b.kernel + 1;
-        std::vector<std::int8_t> conv_out(conv_time * b.out_channels);
+        scratch.conv_out.resize(conv_time * b.out_channels);
+        std::int8_t* const conv_out = scratch.conv_out.data();
         for (std::size_t t = 0; t < conv_time; ++t) {
             for (std::size_t o = 0; o < b.out_channels; ++o) {
                 std::int32_t acc = b.bias[o];
                 for (std::size_t k = 0; k < b.kernel; ++k) {
                     const std::int8_t* x =
-                        qinput.data() + (t + k) * input_channels_ + channel_base;
+                        qinput + (t + k) * input_channels_ + channel_base;
                     const std::int8_t* wk =
                         b.weight.data() + (k * b.in_channels) * b.out_channels;
                     for (std::size_t c = 0; c < b.in_channels; ++c) {
@@ -157,46 +165,81 @@ float quantized_cnn::predict_logit(std::span<const float> segment) const {
                     best = std::max(best,
                                     conv_out[(t * b.pool + p) * b.out_channels + o]);
                 }
-                concat.push_back(best);
+                scratch.concat.push_back(best);
             }
         }
         channel_base += b.in_channels;
     }
 
-    // Trunk: int8 dense chain.
-    std::vector<std::int8_t> act = std::move(concat);
+    // Trunk: int8 dense chain, ping-ponging between the two act buffers so
+    // no step allocates.
+    const std::vector<std::int8_t>* act = &scratch.concat;
+    std::vector<std::int8_t>* next = &scratch.act_a;
     qparams act_q = concat_q_;
     for (const q_dense& d : trunk_) {
-        FS_CHECK(act.size() == d.in_features, "quantized trunk width mismatch");
-        std::vector<std::int8_t> out(d.out_features);
+        FS_CHECK(act->size() == d.in_features, "quantized trunk width mismatch");
+        next->resize(d.out_features);
         for (std::size_t o = 0; o < d.out_features; ++o) {
             std::int32_t acc = d.bias[o];
             for (std::size_t i = 0; i < d.in_features; ++i) {
-                acc += (static_cast<std::int32_t>(act[i]) - act_q.zero_point) *
+                acc += (static_cast<std::int32_t>((*act)[i]) - act_q.zero_point) *
                        static_cast<std::int32_t>(d.weight[i * d.out_features + o]);
             }
             const std::int32_t clamp_min = d.relu ? d.output_q.zero_point : -128;
-            out[o] = requantize(acc, d.requant, d.output_q.zero_point, clamp_min, 127);
+            (*next)[o] = requantize(acc, d.requant, d.output_q.zero_point, clamp_min, 127);
         }
-        act = std::move(out);
+        act = next;
+        next = (next == &scratch.act_a) ? &scratch.act_b : &scratch.act_a;
         act_q = d.output_q;
     }
-    FS_CHECK(act.size() == 1, "quantized trunk must end in one logit");
-    return dequantize_value(act[0], act_q);
+    FS_CHECK(act->size() == 1, "quantized trunk must end in one logit");
+    return dequantize_value((*act)[0], act_q);
 }
 
 float quantized_cnn::predict_proba(std::span<const float> segment) const {
     return nn::sigmoid_scalar(predict_logit(segment));
 }
 
+namespace {
+
+/// Fixed batch-dispatch grain: chunk boundaries (and therefore which
+/// scratch slot a segment uses) are a pure function of the segment index.
+constexpr std::size_t k_batch_grain = 4;
+
+}  // namespace
+
 void quantized_cnn::predict_proba_batch(std::span<const float> segments, std::size_t count,
                                         std::span<float> out) const {
+    batch_inference_scratch scratch;
+    predict_proba_batch(segments, count, out, scratch);
+}
+
+void quantized_cnn::predict_proba_batch(std::span<const float> segments, std::size_t count,
+                                        std::span<float> out,
+                                        batch_inference_scratch& scratch) const {
     const std::size_t elems = time_steps_ * input_channels_;
     FS_ARG_CHECK(segments.size() == count * elems, "batch segment buffer size mismatch");
     FS_ARG_CHECK(out.size() == count, "batch output size mismatch");
-    util::parallel_for(0, count, 4, [&](std::size_t i) {
-        out[i] = predict_proba(segments.subspan(i * elems, elems));
-    });
+    if (count == 0) return;
+    const std::size_t chunk_count = (count + k_batch_grain - 1) / k_batch_grain;
+    if (scratch.chunks.size() < chunk_count) scratch.chunks.resize(chunk_count);
+    // Single-reference capture keeps the dispatch closure inside the
+    // std::function small-buffer store — no per-batch heap allocation.
+    struct dispatch_ctx {
+        const quantized_cnn* self;
+        const float* segments;
+        float* out;
+        std::size_t elems;
+        inference_scratch* chunks;
+    } ctx{this, segments.data(), out.data(), elems, scratch.chunks.data()};
+    util::parallel_for_chunks(0, count, k_batch_grain,
+                              [&ctx](std::size_t c, std::size_t lo, std::size_t hi) {
+                                  inference_scratch& sc = ctx.chunks[c];
+                                  for (std::size_t i = lo; i < hi; ++i) {
+                                      ctx.out[i] = nn::sigmoid_scalar(ctx.self->predict_logit(
+                                          {ctx.segments + i * ctx.elems, ctx.elems}, sc));
+                                  }
+                              });
 }
 
 std::size_t quantized_cnn::weight_bytes() const {

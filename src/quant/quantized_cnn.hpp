@@ -10,12 +10,32 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "quant/cnn_spec.hpp"
 #include "quant/qparams.hpp"
 
 namespace fallsense::quant {
+
+/// Reusable activation buffers for one int8 inference.  Each vector grows
+/// once to its high-water mark (a pure function of the model shape) and is
+/// reused, so steady-state inference performs zero heap allocations — the
+/// serving tick's contract.  A scratch must not be shared by concurrent
+/// inferences.
+struct inference_scratch {
+    std::vector<std::int8_t> qinput;
+    std::vector<std::int8_t> conv_out;
+    std::vector<std::int8_t> concat;
+    std::vector<std::int8_t> act_a;  ///< dense ping-pong buffers
+    std::vector<std::int8_t> act_b;
+};
+
+/// Per-chunk scratch for predict_proba_batch: chunk c of the fixed-grain
+/// dispatch owns chunks[c], so concurrent chunks never share a buffer.
+struct batch_inference_scratch {
+    std::vector<inference_scratch> chunks;
+};
 
 struct q_conv_branch {
     std::vector<std::int8_t> weight;  ///< [kernel, cin, cout], symmetric
@@ -70,14 +90,24 @@ public:
     float predict_proba(std::span<const float> segment) const;
     /// The dequantized logit (pre-sigmoid).
     float predict_logit(std::span<const float> segment) const;
+    /// predict_logit with caller-owned activation buffers — bit-identical,
+    /// but allocation-free once `scratch` has reached its high-water mark.
+    float predict_logit(std::span<const float> segment, inference_scratch& scratch) const;
 
     /// Batch-scoring entry point for serving (src/serve): `count` segments
     /// laid out back to back in `segments`; writes one probability per
-    /// segment into `out`.  Segments are independent int8 inferences, run
-    /// via util::parallel_for with index-addressed outputs — bit-identical
-    /// to per-segment predict_proba for any FALLSENSE_THREADS.
+    /// segment into `out`.  Segments are independent int8 inferences run in
+    /// fixed-grain chunks (util::parallel_for_chunks) with index-addressed
+    /// outputs — bit-identical to per-segment predict_proba for any
+    /// FALLSENSE_THREADS.
     void predict_proba_batch(std::span<const float> segments, std::size_t count,
                              std::span<float> out) const;
+    /// Batch scoring with caller-owned per-chunk scratch (the serving
+    /// scorers keep one across ticks so steady-state batches allocate
+    /// nothing).  Chunk boundaries depend only on the fixed grain, so
+    /// chunk c always reuses scratch.chunks[c].
+    void predict_proba_batch(std::span<const float> segments, std::size_t count,
+                             std::span<float> out, batch_inference_scratch& scratch) const;
 
     std::size_t time_steps() const { return time_steps_; }
     std::size_t input_channels() const { return input_channels_; }

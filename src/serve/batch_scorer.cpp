@@ -18,7 +18,11 @@ void float_cnn_scorer::score(std::span<const float> windows, std::size_t count,
     FS_ARG_CHECK(window_elems == window_samples_ * core::k_feature_channels,
                  "float_cnn_scorer window shape mismatch");
     nn::predict_proba_rows(*model_, windows, count,
-                           {window_samples_, core::k_feature_channels}, out);
+                           {window_samples_, core::k_feature_channels}, out, scratch_);
+}
+
+std::unique_ptr<batch_scorer> float_cnn_scorer::clone() const {
+    return std::make_unique<float_cnn_scorer>(model_->clone(), window_samples_);
 }
 
 int8_cnn_scorer::int8_cnn_scorer(std::shared_ptr<const quant::quantized_cnn> model)
@@ -30,7 +34,11 @@ void int8_cnn_scorer::score(std::span<const float> windows, std::size_t count,
                             std::size_t window_elems, std::span<float> out) {
     FS_ARG_CHECK(window_elems == model_->time_steps() * model_->input_channels(),
                  "int8_cnn_scorer window shape mismatch");
-    model_->predict_proba_batch(windows, count, out);
+    model_->predict_proba_batch(windows, count, out, scratch_);
+}
+
+std::unique_ptr<batch_scorer> int8_cnn_scorer::clone() const {
+    return std::make_unique<int8_cnn_scorer>(model_);
 }
 
 callback_batch_scorer::callback_batch_scorer(core::segment_scorer scorer, std::string label)
@@ -46,6 +54,10 @@ void callback_batch_scorer::score(std::span<const float> windows, std::size_t co
     for (std::size_t i = 0; i < count; ++i) {
         out[i] = scorer_(windows.subspan(i * window_elems, window_elems));
     }
+}
+
+std::unique_ptr<batch_scorer> callback_batch_scorer::clone() const {
+    return std::make_unique<callback_batch_scorer>(scorer_, label_);
 }
 
 }  // namespace fallsense::serve

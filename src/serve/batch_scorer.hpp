@@ -21,6 +21,7 @@
 
 #include "core/pipeline.hpp"
 #include "nn/layer.hpp"
+#include "nn/trainer.hpp"
 #include "quant/quantized_cnn.hpp"
 
 namespace fallsense::serve {
@@ -38,6 +39,12 @@ public:
     /// Short label for manifests and reports, e.g. "cnn-float".
     virtual std::string describe() const = 0;
 
+    /// Independent replica: same scoring function bit for bit, zero shared
+    /// mutable state — safe to run concurrently with the source and with
+    /// other replicas.  The fleet router's per_shard score mode keeps one
+    /// replica per shard so shards score inside their own pool tasks.
+    virtual std::unique_ptr<batch_scorer> clone() const = 0;
+
     batch_scorer() = default;
     batch_scorer(const batch_scorer&) = delete;
     batch_scorer& operator=(const batch_scorer&) = delete;
@@ -53,10 +60,14 @@ public:
     void score(std::span<const float> windows, std::size_t count,
                std::size_t window_elems, std::span<float> out) override;
     std::string describe() const override { return "cnn-float"; }
+    /// Deep-copies the model (nn::model::clone), so replica forwards never
+    /// touch the source model's caches.
+    std::unique_ptr<batch_scorer> clone() const override;
 
 private:
     std::unique_ptr<nn::model> model_;
     std::size_t window_samples_;
+    nn::predict_scratch scratch_;  ///< reused batch-input buffers
 };
 
 /// Int8 deployment path: quant::quantized_cnn::predict_proba_batch.
@@ -67,9 +78,14 @@ public:
     void score(std::span<const float> windows, std::size_t count,
                std::size_t window_elems, std::span<float> out) override;
     std::string describe() const override { return "cnn-int8"; }
+    /// Shares the immutable quantized graph (weights and quantization
+    /// records are read-only after construction); every replica owns its
+    /// own activation scratch, so there is no shared mutable state.
+    std::unique_ptr<batch_scorer> clone() const override;
 
 private:
     std::shared_ptr<const quant::quantized_cnn> model_;
+    quant::batch_inference_scratch scratch_;  ///< per-chunk activation buffers
 };
 
 /// Adapter over the single-window core::segment_scorer callback, scored
@@ -82,6 +98,9 @@ public:
     void score(std::span<const float> windows, std::size_t count,
                std::size_t window_elems, std::span<float> out) override;
     std::string describe() const override { return label_; }
+    /// Copies the callback (callbacks must be pure per-window functions —
+    /// the batch_scorer determinism contract — so a copy is independent).
+    std::unique_ptr<batch_scorer> clone() const override;
 
 private:
     core::segment_scorer scorer_;

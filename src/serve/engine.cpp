@@ -141,21 +141,27 @@ std::size_t session_engine::tick_ingest() {
 
     // Phase A — ingest + window assembly, parallel over sessions.  Each
     // task touches only its own session (index-addressed), so the set of
-    // due windows is deterministic for any thread count.
-    const bool adaptive = config_.adaptive_drain();
-    const std::size_t watermark = config_.effective_watermark();
-    util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
-        session_slot& s = *sessions_[live_[li]];
+    // due windows is deterministic for any thread count.  The single
+    // context capture keeps the closure inside the std::function
+    // small-buffer store — the tick hot path must not heap-allocate.
+    struct ingest_ctx {
+        session_engine* self;
+        bool adaptive;
+        std::size_t watermark;
+    } ctx{this, config_.adaptive_drain(), config_.effective_watermark()};
+    util::parallel_for(0, live_.size(), 1, [&ctx](std::size_t li) {
+        session_engine& eng = *ctx.self;
+        session_slot& s = *eng.sessions_[eng.live_[li]];
         s.pending.clear();
         s.pending_ticks.clear();
         s.ingested_this_tick = 0;
-        if (adaptive) {
+        if (ctx.adaptive) {
             // Pure function of the queue depth at tick start: double
             // toward the max while backlogged, halve back once drained.
-            if (s.queue.size() > watermark) {
-                s.drain_rate = std::min(s.drain_rate * 2, config_.max_samples_per_tick);
+            if (s.queue.size() > ctx.watermark) {
+                s.drain_rate = std::min(s.drain_rate * 2, eng.config_.max_samples_per_tick);
             } else {
-                s.drain_rate = std::max(s.drain_rate / 2, config_.samples_per_tick);
+                s.drain_rate = std::max(s.drain_rate / 2, eng.config_.samples_per_tick);
             }
         }
         for (std::size_t k = 0; k < s.drain_rate && !s.queue.empty(); ++k) {
@@ -184,7 +190,7 @@ std::size_t session_engine::tick_ingest() {
 
     if (total_windows > 0) {
         batch_.resize(total_windows * window_elems_);
-        util::parallel_for(0, live_.size(), 1, [&](std::size_t li) {
+        util::parallel_for(0, live_.size(), 1, [this](std::size_t li) {
             session_slot& s = *sessions_[live_[li]];
             if (s.pending.empty()) return;
             std::copy(s.pending.begin(), s.pending.end(),

@@ -5,12 +5,33 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/scorer_factory.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fallsense::serve {
 
+const char* score_mode_name(score_mode mode) {
+    switch (mode) {
+        case score_mode::fused: return "fused";
+        case score_mode::per_shard: return "per_shard";
+    }
+    return "?";
+}
+
+std::optional<score_mode> parse_score_mode(const std::string& text) {
+    if (text == "fused") return score_mode::fused;
+    if (text == "per_shard" || text == "per-shard") return score_mode::per_shard;
+    return std::nullopt;
+}
+
 namespace {
+
+using clock = std::chrono::steady_clock;
+
+double us_between(clock::time_point start, clock::time_point end) {
+    return std::chrono::duration<double, std::micro>(end - start).count();
+}
 
 /// splitmix64 finalizer: a full-avalanche mix so consecutive session ids
 /// spread evenly over the shards instead of striping.
@@ -44,7 +65,11 @@ fleet_router::fleet_router(const fleet_config& config, std::unique_ptr<batch_sco
     for (std::size_t s = 0; s < config_.shards; ++s) {
         shards_.push_back(std::make_unique<shard_slot>(config_.engine, *scorer_));
     }
+    if (config_.mode == score_mode::per_shard) {
+        replicas_ = make_scorer_replicas(*scorer_, config_.shards);
+    }
     window_elems_ = shards_.front()->engine.window_elems();
+    nonempty_.reserve(config_.shards);
     obs::set_gauge("serve/shards", static_cast<double>(config_.shards));
     obs::set_gauge("serve/swap_generation", 0.0);
 }
@@ -102,49 +127,56 @@ tick_result fleet_router::tick() {
 
     // Phase 1 — shard ingest in parallel.  Shards share no state, and the
     // engine's internal parallel_for runs inline inside a pool task.
-    util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
+    const clock::time_point t_start = clock::now();
+    util::parallel_for(0, shards_.size(), 1, [this](std::size_t s) {
         shards_[s]->pending = shards_[s]->engine.tick_ingest();
     });
+    const clock::time_point t_ingested = clock::now();
 
-    // Phase 2 — one fleet-wide batch.  Offsets are a pure function of the
-    // (ascending) shard order.
+    // Phase 2 — score.  Offsets are a pure function of the (ascending)
+    // shard order, shared by both modes so their score buffers tile
+    // identically; only shards with pending windows participate.
     std::size_t total_windows = 0;
-    for (const auto& sh : shards_) {
-        sh->offset = total_windows;
-        total_windows += sh->pending;
+    nonempty_.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        shard_slot& sh = *shards_[s];
+        sh.offset = total_windows;
+        total_windows += sh.pending;
+        if (sh.pending > 0) nonempty_.push_back(s);
     }
     if (total_windows > 0) {
-        batch_.resize(total_windows * window_elems_);
-        util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
-            shard_slot& sh = *shards_[s];
-            if (sh.pending == 0) return;
-            const std::span<const float> w = sh.engine.pending_windows();
-            std::copy(w.begin(), w.end(),
-                      batch_.begin() +
-                          static_cast<std::ptrdiff_t>(sh.offset * window_elems_));
-        });
+        const shard_slot& last = *shards_[nonempty_.back()];
+        FS_CHECK(last.offset + last.pending == total_windows,
+                 "fleet shard offsets must tile the score buffer");
         scores_.resize(total_windows);
-        const std::span<const float> in(batch_.data(), total_windows * window_elems_);
-        const std::span<float> out(scores_.data(), total_windows);
+        if (config_.mode == score_mode::per_shard) {
+            score_per_shard();
+        } else {
+            score_fused(total_windows);
+        }
         if (obs::enabled()) {
-            const auto start = std::chrono::steady_clock::now();
-            scorer_->score(in, total_windows, window_elems_, out);
-            const std::chrono::duration<double, std::micro> elapsed =
-                std::chrono::steady_clock::now() - start;
-            obs::observe_latency_us("serve/batch_score_us", elapsed.count());
+            // Identical in both modes (one batch per scoring tick), so the
+            // default run manifest never depends on the score mode.
             obs::add_counter("serve/batches");
             obs::add_counter("serve/windows_scored", total_windows);
-        } else {
-            scorer_->score(in, total_windows, window_elems_, out);
         }
     }
+    const clock::time_point t_scored = clock::now();
 
     // Phase 3 — shard apply in parallel (each shard's debounce state and
     // result slot are its own; obs counters are exact under concurrency).
-    util::parallel_for(0, shards_.size(), 1, [&](std::size_t s) {
+    util::parallel_for(0, shards_.size(), 1, [this](std::size_t s) {
         shard_slot& sh = *shards_[s];
         sh.result = sh.engine.tick_apply({scores_.data() + sh.offset, sh.pending});
     });
+    const clock::time_point t_applied = clock::now();
+    timings_.ingest_us = us_between(t_start, t_ingested);
+    timings_.score_us = us_between(t_ingested, t_scored);
+    timings_.apply_us = us_between(t_scored, t_applied);
+    if (obs::enabled()) {
+        obs::observe_latency_us("serve/score_ingest_us", timings_.ingest_us);
+        obs::observe_latency_us("serve/score_apply_us", timings_.apply_us);
+    }
 
     // Merge in ascending shard order, rewriting shard-local session ids to
     // router-global ids: one canonical trigger order.
@@ -161,10 +193,60 @@ tick_result fleet_router::tick() {
     return result;
 }
 
+void fleet_router::score_fused(std::size_t total_windows) {
+    // Gather every shard's staged windows into one contiguous batch, then
+    // one serial score call over the whole fleet.
+    batch_.resize(total_windows * window_elems_);
+    util::parallel_for(0, nonempty_.size(), 1, [this](std::size_t i) {
+        const shard_slot& sh = *shards_[nonempty_[i]];
+        const std::span<const float> w = sh.engine.pending_windows();
+        std::copy(w.begin(), w.end(),
+                  batch_.begin() +
+                      static_cast<std::ptrdiff_t>(sh.offset * window_elems_));
+    });
+    const std::span<const float> in(batch_.data(), total_windows * window_elems_);
+    const std::span<float> out(scores_.data(), total_windows);
+    if (obs::enabled()) {
+        const clock::time_point start = clock::now();
+        scorer_->score(in, total_windows, window_elems_, out);
+        obs::observe_latency_us("serve/batch_score_us", us_between(start, clock::now()));
+    } else {
+        scorer_->score(in, total_windows, window_elems_, out);
+    }
+}
+
+void fleet_router::score_per_shard() {
+    // Each nonempty shard scores its own staged windows with its private
+    // replica, straight into its disjoint slice of scores_ — no fleet-wide
+    // copy.  Slices tile scores_ exactly like the fused batch, and every
+    // scorer is deterministic per window, so the bits match fused mode.
+    util::parallel_for(0, nonempty_.size(), 1, [this](std::size_t i) {
+        const std::size_t s = nonempty_[i];
+        shard_slot& sh = *shards_[s];
+        const std::span<const float> in = sh.engine.pending_windows();
+        const std::span<float> out(scores_.data() + sh.offset, sh.pending);
+        if (obs::enabled()) {
+            // The registry is thread-safe when enabled, and histograms are
+            // excluded from the default manifest — recording from inside
+            // pool tasks never perturbs manifest parity across modes.
+            const clock::time_point start = clock::now();
+            replicas_[s]->score(in, sh.pending, window_elems_, out);
+            obs::observe_latency_us("serve/score_shard_us", us_between(start, clock::now()));
+        } else {
+            replicas_[s]->score(in, sh.pending, window_elems_, out);
+        }
+    });
+}
+
 void fleet_router::swap_scorer(std::unique_ptr<batch_scorer> next) {
     FS_ARG_CHECK(next != nullptr, "swap_scorer needs a scorer");
     scorer_ = std::move(next);
     for (const auto& sh : shards_) sh->engine.rebind_scorer(*scorer_);
+    if (config_.mode == score_mode::per_shard) {
+        // Rebuild every replica before the next tick: the swap is atomic
+        // at tick granularity in both modes.
+        replicas_ = make_scorer_replicas(*scorer_, shards_.size());
+    }
     ++swap_generation_;
     obs::add_counter("serve/scorer_swaps");
     obs::set_gauge("serve/swap_generation", static_cast<double>(swap_generation_));

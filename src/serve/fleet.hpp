@@ -8,9 +8,15 @@
 //   1. shard ingest — every shard runs `tick_ingest` as one thread-pool
 //      task (per-shard state is disjoint, and the engine's own nested
 //      parallel_for runs inline inside a pool task);
-//   2. fleet batch — each shard's staged windows are copied, in ascending
-//      shard order, into ONE row-major buffer scored by a single
-//      `batch_scorer::score` call — the whole fleet's windows in one GEMM;
+//   2. score — governed by `fleet_config::mode`:
+//        fused (default): each shard's staged windows are copied, in
+//        ascending shard order, into ONE row-major buffer scored by a
+//        single `batch_scorer::score` call — the whole fleet's windows in
+//        one GEMM;
+//        per_shard: each shard scores its own staged windows inside its
+//        pool task, using a private scorer replica (batch_scorer::clone),
+//        writing into its disjoint slice of the shared score buffer — no
+//        fleet-wide copy, K concurrent score calls;
 //   3. shard apply — every shard applies its slice of the scores
 //      (`tick_apply`) as one pool task; trigger lists are merged in
 //      ascending shard order with shard-local session ids rewritten to
@@ -19,7 +25,11 @@
 // Phase offsets are a pure function of shard order, apply order within a
 // shard is the engine's canonical order, and the merge order is fixed —
 // so router output is bit-identical for any FALLSENSE_THREADS, the same
-// contract the single engine carries.
+// contract the single engine carries.  The two score modes are also
+// bit-identical to EACH OTHER: every scorer is deterministic per window
+// (probability i depends only on window i), slice offsets match the fused
+// batch offsets exactly, and replicas clone the installed scorer bit for
+// bit.  Mode choice is pure throughput policy — see docs/serving.md.
 //
 // Hot-swap: the router owns the fleet's scorer.  `swap_scorer` installs a
 // replacement strictly between ticks — every window staged at tick t is
@@ -31,22 +41,47 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
 
 namespace fallsense::serve {
 
+/// How the fleet scores a tick's staged windows (see file comment).
+enum class score_mode {
+    fused,      ///< one fleet-wide batch, one serial score call
+    per_shard,  ///< one scorer replica per shard, K concurrent score calls
+};
+
+const char* score_mode_name(score_mode mode);
+/// Parse "fused" / "per_shard" (also "per-shard"); else nullopt.
+std::optional<score_mode> parse_score_mode(const std::string& text);
+
 struct fleet_config {
     engine_config engine{};
     /// Number of session_engine shards (>= 1).
     std::size_t shards = 1;
+    /// Scoring strategy; triggers and manifests are bit-identical across
+    /// modes, so this only moves the throughput/latency trade-off.
+    score_mode mode = score_mode::fused;
+};
+
+/// Wall-clock microseconds of the last tick's phases, recorded every tick
+/// (two steady_clock reads per phase, no allocation) so benches can report
+/// per-phase costs without enabling the obs registry.
+struct tick_timings {
+    double ingest_us = 0.0;
+    double score_us = 0.0;
+    double apply_us = 0.0;
 };
 
 class fleet_router {
 public:
-    /// The router owns `scorer` (shared by every shard; the fleet makes
-    /// exactly one serial score call per tick, so no concurrent use).
+    /// The router owns `scorer`.  In fused mode it is shared by every
+    /// shard and called serially once per tick; in per_shard mode it is
+    /// the pristine source the per-shard replicas are cloned from.
     fleet_router(const fleet_config& config, std::unique_ptr<batch_scorer> scorer);
     ~fleet_router();
 
@@ -64,7 +99,9 @@ public:
     tick_result tick();
 
     /// Install `next` as the fleet's scorer for all subsequent ticks and
-    /// bump the swap generation.  The previous scorer is destroyed.
+    /// bump the swap generation.  The previous scorer is destroyed.  In
+    /// per_shard mode every shard replica is atomically rebuilt from the
+    /// new scorer between ticks — no tick ever mixes models.
     void swap_scorer(std::unique_ptr<batch_scorer> next);
     /// Number of completed swaps (0 until the first swap_scorer call).
     std::uint64_t swap_generation() const { return swap_generation_; }
@@ -83,6 +120,8 @@ public:
     /// Shard totals summed; `ticks` counts router ticks (not shard ticks).
     engine_stats totals() const;
     const fleet_config& config() const { return config_; }
+    /// Per-phase wall-clock of the most recent tick().
+    const tick_timings& last_tick_timings() const { return timings_; }
 
 private:
     struct shard_slot;
@@ -93,17 +132,24 @@ private:
     };
 
     const route& route_of(session_id id) const;
+    void score_fused(std::size_t total_windows);
+    void score_per_shard();
 
     fleet_config config_;
     std::unique_ptr<batch_scorer> scorer_;
+    /// per_shard mode only: replicas_[s] is shard s's private scorer,
+    /// rebuilt from scorer_ on every swap.  Empty in fused mode.
+    std::vector<std::unique_ptr<batch_scorer>> replicas_;
     std::size_t window_elems_ = 0;
     std::vector<std::unique_ptr<shard_slot>> shards_;
     std::vector<route> routes_;  ///< index == router-global session id
     std::uint64_t ticks_ = 0;
     std::uint64_t swap_generation_ = 0;
+    tick_timings timings_;
     // Tick scratch, reused across ticks.
     std::vector<float> batch_;
     std::vector<float> scores_;
+    std::vector<std::size_t> nonempty_;  ///< shards with pending windows
 };
 
 }  // namespace fallsense::serve

@@ -68,6 +68,7 @@ std::string loadgen_report::deterministic_summary() const {
     std::ostringstream os;
     os << "sessions: " << sessions << '\n'
        << "shards: " << shards << '\n'
+       << "score_mode: " << score_mode_name(mode) << '\n'
        << "ticks: " << ticks << '\n'
        << "scorer: " << scorer << '\n'
        << "samples_offered: " << samples_offered << '\n'
@@ -111,12 +112,14 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     fleet_config fc;
     fc.engine = config.engine;
     fc.shards = config.shards;
+    fc.mode = config.mode;
     fleet_router fleet(fc, make_scorer(spec));
     for (std::size_t i = 0; i < config.sessions; ++i) fleet.create_session();
 
     loadgen_report report;
     report.sessions = config.sessions;
     report.shards = config.shards;
+    report.mode = config.mode;
     report.ticks = config.ticks;
     report.scorer = fleet.scorer().describe();
 

@@ -38,6 +38,9 @@ struct loadgen_config {
     std::size_t churn_every_ticks = 0;
     /// session_engine shards behind the fleet_router.
     std::size_t shards = 1;
+    /// How the fleet scores each tick (fused batch vs per-shard replicas);
+    /// does not change any deterministic output, only throughput.
+    score_mode mode = score_mode::fused;
     /// Hot-swap the fleet scorer after this many ticks (0 = never): the
     /// replacement is rebuilt from `scorer` with a swap-derived seed.
     std::size_t swap_after_ticks = 0;
@@ -50,6 +53,7 @@ struct loadgen_config {
 struct loadgen_report {
     std::size_t sessions = 0;
     std::size_t shards = 0;
+    score_mode mode = score_mode::fused;
     std::uint64_t ticks = 0;
     std::uint64_t samples_offered = 0;
     std::uint64_t samples_accepted = 0;

@@ -93,4 +93,13 @@ std::unique_ptr<batch_scorer> make_scorer(const scorer_spec& spec) {
     return nullptr;  // unreachable
 }
 
+std::vector<std::unique_ptr<batch_scorer>> make_scorer_replicas(const batch_scorer& source,
+                                                                std::size_t count) {
+    FS_ARG_CHECK(count > 0, "scorer replica count must be positive");
+    std::vector<std::unique_ptr<batch_scorer>> replicas;
+    replicas.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) replicas.push_back(source.clone());
+    return replicas;
+}
+
 }  // namespace fallsense::serve

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/batch_scorer.hpp"
 
@@ -46,5 +47,12 @@ struct scorer_spec {
 /// Build the scorer `spec` describes; throws std::invalid_argument on an
 /// unusable spec (zero window, callback backend without a callback).
 std::unique_ptr<batch_scorer> make_scorer(const scorer_spec& spec);
+
+/// `count` independent replicas of `source` (batch_scorer::clone), one per
+/// concurrent user.  The fleet router's per_shard score mode builds its
+/// shard replicas here so replica construction stays routed through the
+/// factory translation unit, like every other scorer construction.
+std::vector<std::unique_ptr<batch_scorer>> make_scorer_replicas(const batch_scorer& source,
+                                                                std::size_t count);
 
 }  // namespace fallsense::serve

@@ -178,10 +178,17 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     const std::size_t target = (n + pool.thread_count() * 4 - 1) / (pool.thread_count() * 4);
     const std::size_t chunk = std::max(min_chunk, target);
     const std::size_t chunks = (n + chunk - 1) / chunk;
-    pool.run(chunks, [&](std::size_t c) {
-        const std::size_t lo = begin + c * chunk;
-        const std::size_t hi = std::min(end, lo + chunk);
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    // One reference capture keeps the dispatch closure inside the
+    // std::function small-buffer store: a hot serving tick issues several
+    // parallel regions, and none of them may heap-allocate.
+    struct dispatch_ctx {
+        std::size_t begin, end, chunk;
+        const std::function<void(std::size_t)>* fn;
+    } ctx{begin, end, chunk, &fn};
+    pool.run(chunks, [&ctx](std::size_t c) {
+        const std::size_t lo = ctx.begin + c * ctx.chunk;
+        const std::size_t hi = std::min(ctx.end, lo + ctx.chunk);
+        for (std::size_t i = lo; i < hi; ++i) (*ctx.fn)(i);
     });
 }
 
@@ -192,11 +199,16 @@ void parallel_for_chunks(std::size_t begin, std::size_t end, std::size_t grain,
     const std::size_t chunk = std::max<std::size_t>(grain, 1);
     const std::size_t chunks = (n + chunk - 1) / chunk;
     // Chunk boundaries are fixed by `grain` alone; only the assignment of
-    // chunks to threads varies with the pool size.
-    global_pool().run(chunks, [&](std::size_t c) {
-        const std::size_t lo = begin + c * chunk;
-        const std::size_t hi = std::min(end, lo + chunk);
-        fn(c, lo, hi);
+    // chunks to threads varies with the pool size.  The single-reference
+    // capture keeps the closure in the std::function small-buffer store.
+    struct dispatch_ctx {
+        std::size_t begin, end, chunk;
+        const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+    } ctx{begin, end, chunk, &fn};
+    global_pool().run(chunks, [&ctx](std::size_t c) {
+        const std::size_t lo = ctx.begin + c * ctx.chunk;
+        const std::size_t hi = std::min(ctx.end, lo + ctx.chunk);
+        (*ctx.fn)(c, lo, hi);
     });
 }
 

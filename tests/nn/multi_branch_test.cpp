@@ -108,6 +108,34 @@ TEST(MultiBranchTest, GradientFlowsToBranchWeights) {
     }
 }
 
+TEST(MultiBranchTest, CloneForwardsBitIdenticallyAndIndependently) {
+    // clone() (the serving layer's per-shard replica mechanism) must copy
+    // every branch and trunk parameter exactly and share no state: the
+    // clone forwards to the same bits, and mutating the source afterwards
+    // leaves the clone untouched.
+    util::rng gen(10);
+    auto net = make_tiny_network(gen);
+    util::rng dg(11);
+    tensor x({3, 10, 9});
+    for (float& v : x.values()) v = static_cast<float>(dg.normal());
+    const tensor y_source = net->forward(x, false);
+
+    const auto copy = net->clone();
+    const tensor y_clone = copy->forward(x, false);
+    ASSERT_EQ(y_clone.shape(), y_source.shape());
+    for (std::size_t i = 0; i < y_source.size(); ++i) {
+        EXPECT_EQ(y_clone[i], y_source[i]) << "row " << i;  // bitwise
+    }
+
+    auto& conv0 = static_cast<conv1d&>(net->branch(0).layer_at(0));
+    conv0.weight().value.fill(0.0f);
+    conv0.bias().value.fill(0.0f);
+    const tensor y_clone_after = copy->forward(x, false);
+    for (std::size_t i = 0; i < y_source.size(); ++i) {
+        EXPECT_EQ(y_clone_after[i], y_source[i]) << "row " << i;
+    }
+}
+
 TEST(MultiBranchTest, ConstructionValidation) {
     util::rng gen(9);
     auto trunk = std::make_unique<sequential>();

@@ -1,0 +1,159 @@
+// Zero-allocation contract of the serving tick (src/serve/fleet.hpp).
+//
+// A dedicated test binary that replaces global operator new with a
+// counting allocator, warms a fleet to its high-water marks, and then
+// asserts that steady-state ticks perform ZERO heap allocations — in both
+// score modes.  Scope: the tick hot path (queue drain, window staging,
+// batch gather, score dispatch, apply/merge) and the callback + int8
+// scorer paths, which are allocation-free end to end.  The float CNN
+// path's staging is also allocation-free (nn::predict_scratch), but its
+// layer forwards still allocate intermediate tensors, so it is excluded
+// here.  Kept out of fallsense_tests: a global operator new override must
+// own its whole binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace fallsense::serve {
+namespace {
+
+constexpr std::size_t k_window = 20;
+constexpr std::size_t k_warm_ticks = 80;
+constexpr std::size_t k_measured_ticks = 60;
+
+/// Sub-threshold constant scorer (capture is a single float, so the
+/// std::function stays in its small-buffer store): no triggers, so the
+/// per-tick trigger vector never grows.
+std::unique_ptr<batch_scorer> quiet_scorer() {
+    scorer_spec spec;
+    spec.backend = scorer_backend::callback;
+    spec.window_samples = k_window;
+    spec.callback = [](std::span<const float>) { return 0.05f; };
+    spec.label = "quiet";
+    return make_scorer(spec);
+}
+
+/// Feed every session one synthetic sample, then tick, counting
+/// allocations strictly around the tick() call (feeding fills queues — a
+/// different, caller-side path).
+std::uint64_t ticks_allocations(fleet_router& fleet, const std::vector<session_id>& ids,
+                                std::size_t ticks, std::size_t tick0, bool measured) {
+    std::uint64_t allocations = 0;
+    data::raw_sample sample{};
+    for (std::size_t t = 0; t < ticks; ++t) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            sample.accel[0] = static_cast<float>(i) * 0.2f;
+            sample.accel[1] = static_cast<float>((tick0 + t) % 13) * 0.1f;
+            sample.accel[2] = 1.0f;
+            fleet.feed(ids[i], sample);
+        }
+        const std::uint64_t before = allocation_count();
+        fleet.tick();
+        if (measured) allocations += allocation_count() - before;
+    }
+    return allocations;
+}
+
+void expect_steady_state_tick_is_allocation_free(score_mode mode) {
+    fleet_config config;
+    config.engine.detector.window_samples = k_window;
+    config.engine.detector.threshold = 0.65;  // quiet scorer never fires
+    config.engine.queue_capacity = 4;
+    config.shards = 3;
+    config.mode = mode;
+    fleet_router fleet(config, quiet_scorer());
+    std::vector<session_id> ids;
+    for (int i = 0; i < 12; ++i) ids.push_back(fleet.create_session());
+
+    // Warm-up: scratch buffers (staged windows, fleet batch, score slice,
+    // live-session index) grow to their high-water marks.
+    ticks_allocations(fleet, ids, k_warm_ticks, 0, false);
+    const std::uint64_t allocations =
+        ticks_allocations(fleet, ids, k_measured_ticks, k_warm_ticks, true);
+    EXPECT_EQ(allocations, 0u) << score_mode_name(mode) << " mode ticks allocated";
+}
+
+TEST(ServeAllocTest, FusedSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(score_mode::fused);
+}
+
+TEST(ServeAllocTest, PerShardSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(score_mode::per_shard);
+}
+
+TEST(ServeAllocTest, Int8BatchScoringIsAllocationFreeAfterWarmup) {
+    // The deployment scorer's whole inference — quantize, conv branches,
+    // pooling, dense trunk, requantize, sigmoid — runs out of the
+    // persistent quant::batch_inference_scratch after one warm-up batch.
+    scorer_spec spec;
+    spec.backend = scorer_backend::int8;
+    spec.window_samples = k_window;
+    spec.seed = 7;
+    const auto scorer = make_scorer(spec);
+
+    constexpr std::size_t k_count = 48;
+    const std::size_t elems = k_window * core::k_feature_channels;
+    std::vector<float> windows(k_count * elems);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        windows[i] = std::sin(static_cast<double>(i) * 0.37) * 0.8;
+    }
+    std::vector<float> out(k_count);
+
+    scorer->score(windows, k_count, elems, out);  // warm-up batch
+    const std::uint64_t before = allocation_count();
+    scorer->score(windows, k_count, elems, out);
+    EXPECT_EQ(allocation_count() - before, 0u);
+    for (const float p : out) {
+        EXPECT_GE(p, 0.0f);
+        EXPECT_LE(p, 1.0f);
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::serve

@@ -126,6 +126,49 @@ TEST(BatchScorerTest, CallbackScorerAppliesPerWindow) {
     EXPECT_EQ(out, (std::vector<float>{0.25f, 0.5f, 0.75f}));
 }
 
+TEST(BatchScorerTest, CloneScoresBitIdenticallyAndIndependently) {
+    // The per_shard replica contract for both CNN backends: a clone scores
+    // the same windows to the same bits, and running the clone between two
+    // source calls never perturbs the source (no shared mutable state).
+    const nn::labeled_data windows = make_windows();
+    const std::size_t n = std::min<std::size_t>(windows.size() - 1, 8);
+
+    for (const scorer_backend backend : {scorer_backend::float32, scorer_backend::int8}) {
+        const auto source = make_scorer(spec_for(backend));
+        const auto replica = source->clone();
+        EXPECT_EQ(replica->describe(), source->describe());
+
+        std::vector<float> baseline(n);
+        source->score({windows.features.data(), n * k_elems}, n, k_elems, baseline);
+
+        std::vector<float> from_replica(n);
+        replica->score({windows.features.data(), n * k_elems}, n, k_elems, from_replica);
+        EXPECT_EQ(from_replica, baseline) << scorer_backend_name(backend);
+
+        // Drive the replica with different data, then re-score the
+        // original batch on the source: still the baseline bits.
+        float other = -1.0f;
+        replica->score(window_row(windows, n), 1, k_elems, std::span<float>(&other, 1));
+        std::vector<float> again(n);
+        source->score({windows.features.data(), n * k_elems}, n, k_elems, again);
+        EXPECT_EQ(again, baseline) << scorer_backend_name(backend);
+    }
+}
+
+TEST(BatchScorerTest, CallbackCloneCopiesCallbackAndLabel) {
+    callback_batch_scorer scorer(
+        [](std::span<const float> w) { return w[0]; }, "first-elem");
+    const auto replica = scorer.clone();
+    EXPECT_EQ(replica->describe(), "first-elem");
+
+    std::vector<float> in(2 * 4);
+    in[0] = 0.25f;
+    in[4] = 0.5f;
+    std::vector<float> out(2);
+    replica->score(in, 2, 4, out);
+    EXPECT_EQ(out, (std::vector<float>{0.25f, 0.5f}));
+}
+
 TEST(BatchScorerTest, SizeMismatchThrows) {
     const auto scorer = make_scorer(spec_for(scorer_backend::float32));
     std::vector<float> in(k_elems);

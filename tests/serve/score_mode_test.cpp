@@ -1,0 +1,199 @@
+// fused vs per_shard score-mode parity (src/serve/fleet.hpp).
+//
+// The contract under test: the score mode is pure throughput policy.  A
+// per_shard fleet — churn, eviction, and a mid-run hot-swap included —
+// produces bit-identical triggers, scores, and manifests to the fused
+// fleet on the same traffic, for any FALLSENSE_THREADS.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+namespace {
+
+constexpr std::size_t k_window = 20;
+
+scorer_spec cnn_spec(std::uint64_t seed = 7) {
+    scorer_spec spec;
+    spec.backend = scorer_backend::float32;
+    spec.window_samples = k_window;
+    spec.seed = seed;
+    return spec;
+}
+
+loadgen_config make_loadgen(score_mode mode) {
+    loadgen_config c;
+    c.sessions = 10;
+    c.ticks = 150;
+    c.seed = 5;
+    c.shards = 4;
+    c.mode = mode;
+    c.churn_every_ticks = 30;  // eviction + admission under load
+    c.swap_after_ticks = 75;   // replica rebuild mid-run
+    c.engine.detector.window_samples = k_window;
+    c.engine.detector.threshold = 0.65;
+    c.scorer = cnn_spec(5);
+    return c;
+}
+
+/// Deterministic summary minus its `score_mode:` line — everything that
+/// must match across modes.
+std::string summary_sans_mode(const loadgen_report& report) {
+    std::string s = report.deterministic_summary();
+    const auto begin = s.find("score_mode:");
+    const auto end = s.find('\n', begin);
+    s.erase(begin, end - begin + 1);
+    return s;
+}
+
+TEST(ScoreModeTest, ParseAndName) {
+    EXPECT_STREQ(score_mode_name(score_mode::fused), "fused");
+    EXPECT_STREQ(score_mode_name(score_mode::per_shard), "per_shard");
+    EXPECT_EQ(parse_score_mode("fused"), score_mode::fused);
+    EXPECT_EQ(parse_score_mode("per_shard"), score_mode::per_shard);
+    EXPECT_EQ(parse_score_mode("per-shard"), score_mode::per_shard);
+    EXPECT_EQ(parse_score_mode("batched"), std::nullopt);
+    EXPECT_EQ(parse_score_mode(""), std::nullopt);
+}
+
+TEST(ScoreModeTest, PerShardTriggersAreBitIdenticalToFused) {
+    // Full loadgen scenario — churn, eviction, mid-run swap — through a
+    // real float CNN (where bit parity is the non-trivial claim: replicas
+    // must clone the model exactly and slices must tile the fused batch).
+    const loadgen_report fused = run_loadgen(make_loadgen(score_mode::fused));
+    const loadgen_report per_shard = run_loadgen(make_loadgen(score_mode::per_shard));
+    EXPECT_GT(fused.windows_scored, 0u);
+    EXPECT_GT(fused.triggers, 0u);
+    EXPECT_EQ(fused.swap_generation, 1u);
+    EXPECT_EQ(summary_sans_mode(per_shard), summary_sans_mode(fused));
+}
+
+TEST(ScoreModeTest, PerShardScoresAreBitIdenticalPerWindow) {
+    // Beyond the aggregate summary: every trigger's probability and every
+    // session's last score, bit for bit, on a fleet driven directly.
+    const auto run = [](score_mode mode) {
+        fleet_config config;
+        config.engine.detector.window_samples = k_window;
+        config.engine.detector.threshold = 0.3;
+        config.engine.queue_capacity = 4;
+        config.shards = 4;
+        config.mode = mode;
+        fleet_router fleet(config, make_scorer(cnn_spec()));
+
+        std::vector<session_id> ids;
+        for (int i = 0; i < 9; ++i) ids.push_back(fleet.create_session());
+
+        std::vector<std::tuple<session_id, std::size_t, float>> triggers;
+        data::raw_sample sample{};
+        for (std::size_t tick = 0; tick < 200; ++tick) {
+            if (tick == 80) {
+                fleet.evict_session(ids[2]);
+                ids.erase(ids.begin() + 2);
+                ids.push_back(fleet.create_session());
+            }
+            if (tick == 120) fleet.swap_scorer(make_scorer(cnn_spec(8)));
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                // Synthetic but session- and time-varying motion.
+                sample.accel[0] = static_cast<float>(i) * 0.25f;
+                sample.accel[1] = static_cast<float>(tick % 17) * 0.1f;
+                sample.accel[2] = 1.0f - static_cast<float>((tick + i) % 5) * 0.3f;
+                fleet.feed(ids[i], sample);
+            }
+            for (const trigger_event& e : fleet.tick().triggers) {
+                triggers.emplace_back(e.session, e.sample_index, e.probability);
+            }
+        }
+        std::vector<float> last;
+        for (const session_id id : ids) last.push_back(fleet.last_score(id));
+        return std::make_pair(std::move(triggers), std::move(last));
+    };
+
+    const auto fused = run(score_mode::fused);
+    const auto per_shard = run(score_mode::per_shard);
+    ASSERT_FALSE(fused.first.empty());
+    EXPECT_EQ(per_shard.first, fused.first);   // float equality == bit parity
+    EXPECT_EQ(per_shard.second, fused.second);
+}
+
+TEST(ScoreModeTest, PerShardManifestIsThreadCountInvariant) {
+    // The serving determinism contract extended to per_shard mode: the
+    // default (timing-free) manifest of a churn+swap run is byte-identical
+    // for 1 worker and 4 — and byte-identical to the fused-mode manifest,
+    // because counters, gauges, and stages never depend on the score mode.
+    const auto manifest_of = [](score_mode mode, std::size_t threads) {
+        util::set_global_threads(threads);
+        obs::reset();
+        obs::set_enabled(true);
+        run_loadgen(make_loadgen(mode));
+        obs::set_enabled(false);
+        obs::run_manifest run;
+        run.command = "score-mode-test";
+        run.seed = 5;
+        run.scale = "quick";
+        const std::string json = obs::manifest_json(run, obs::snapshot());
+        obs::reset();
+        return json;
+    };
+
+    const std::string serial = manifest_of(score_mode::per_shard, 1);
+    const std::string parallel = manifest_of(score_mode::per_shard, 4);
+    const std::string fused = manifest_of(score_mode::fused, 4);
+    util::set_global_threads(0);  // back to the FALLSENSE_THREADS default
+
+    EXPECT_EQ(parallel, serial);
+    EXPECT_EQ(fused, serial);
+}
+
+TEST(ScoreModeTest, HotSwapRebuildsEveryReplica) {
+    // Sub-threshold constant before the swap, super-threshold after: in
+    // per_shard mode the trigger boundary proves all shard replicas were
+    // rebuilt from the new scorer (a stale replica would keep a shard
+    // silent forever).
+    const auto constant = [](float value, const std::string& label) {
+        scorer_spec spec;
+        spec.backend = scorer_backend::callback;
+        spec.window_samples = k_window;
+        spec.callback = [value](std::span<const float>) { return value; };
+        spec.label = label;
+        return make_scorer(spec);
+    };
+    fleet_config config;
+    config.engine.detector.window_samples = k_window;
+    config.engine.detector.threshold = 0.5;
+    config.engine.queue_capacity = 4;
+    config.shards = 3;
+    config.mode = score_mode::per_shard;
+    fleet_router fleet(config, constant(0.1f, "old"));
+    std::vector<session_id> ids;
+    for (int i = 0; i < 6; ++i) ids.push_back(fleet.create_session());
+
+    std::uint64_t triggers_before = 0;
+    std::uint64_t windows_after = 0;
+    std::uint64_t triggers_after = 0;
+    for (std::size_t tick = 0; tick < 120; ++tick) {
+        if (tick == 60) fleet.swap_scorer(constant(0.9f, "new"));
+        data::raw_sample sample{};
+        sample.accel[2] = 1.0f;
+        for (const session_id id : ids) fleet.feed(id, sample);
+        const tick_result r = fleet.tick();
+        if (tick < 60) {
+            triggers_before += r.triggers.size();
+        } else {
+            windows_after += r.windows_scored;
+            triggers_after += r.triggers.size();
+        }
+    }
+    EXPECT_EQ(triggers_before, 0u);
+    EXPECT_GT(windows_after, 0u);
+    EXPECT_EQ(triggers_after, windows_after);  // every shard fires post-swap
+    EXPECT_EQ(fleet.swap_generation(), 1u);
+}
+
+}  // namespace
+}  // namespace fallsense::serve

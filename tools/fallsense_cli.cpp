@@ -11,7 +11,8 @@
 //   fallsense replay   --file trial.csv --weights weights.fsnn
 //                      [--window-ms 400] [--threshold 0.5]
 //   fallsense serve    [--sessions 64] [--ticks 1000] [--seed N]
-//                      [--shards 1] [--swap-after 0]
+//                      [--shards 1] [--score-mode fused|per_shard]
+//                      [--swap-after 0]
 //                      [--window-ms 400] [--threshold 0.5]
 //                      [--feed-rate 1] [--samples-per-tick 1]
 //                      [--max-samples-per-tick 0] [--drain-watermark 0]
@@ -283,6 +284,7 @@ int cmd_serve(const util::arg_parser& args) {
                       ? static_cast<std::uint64_t>(tools::integer_option(args, "seed", 42))
                       : util::env_seed();
     config.shards = tools::count_option(args, "shards", 1);
+    config.mode = tools::score_mode_option(args, "score-mode", serve::score_mode::fused);
     config.swap_after_ticks = tools::count_option(args, "swap-after", 0);
     config.feed_rate = tools::count_option(args, "feed-rate", 1);
     config.churn_every_ticks = tools::count_option(args, "churn-every", 0);
@@ -320,7 +322,7 @@ constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "se
                                             "samples-per-tick", "max-samples-per-tick",
                                             "drain-watermark", "queue-capacity",
                                             "drop-policy", "churn-every", "shards",
-                                            "swap-after"};
+                                            "score-mode", "swap-after"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {

@@ -1,7 +1,7 @@
 // fallsense_loadgen — fleet-traffic generator for the serving layer.
 //
 //   fallsense_loadgen [--sessions N] [--ticks T] [--seed S]
-//                     [--shards K] [--swap-after T]
+//                     [--shards K] [--score-mode fused|per_shard] [--swap-after T]
 //                     [--window-ms 400] [--threshold 0.5] [--consecutive 1]
 //                     [--feed-rate 1] [--samples-per-tick 1]
 //                     [--max-samples-per-tick 0] [--drain-watermark 0]
@@ -33,15 +33,16 @@ using namespace fallsense;
 
 constexpr const char* k_config_options[] = {
     "sessions",    "ticks",       "seed",          "shards",
-    "swap-after",  "window-ms",   "threshold",     "consecutive",
-    "feed-rate",   "samples-per-tick", "max-samples-per-tick",
+    "score-mode",  "swap-after",  "window-ms",     "threshold",
+    "consecutive", "feed-rate",   "samples-per-tick", "max-samples-per-tick",
     "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
     "weights"};
 
 int usage() {
     std::fprintf(stderr,
                  "usage: fallsense_loadgen [--sessions N] [--ticks T] [--seed S]\n"
-                 "                         [--shards K] [--swap-after T] [--window-ms MS]\n"
+                 "                         [--shards K] [--score-mode fused|per_shard]\n"
+                 "                         [--swap-after T] [--window-ms MS]\n"
                  "                         [--threshold P] [--consecutive N] [--feed-rate R]\n"
                  "                         [--samples-per-tick N] [--max-samples-per-tick N]\n"
                  "                         [--drain-watermark N] [--queue-capacity N]\n"
@@ -59,6 +60,7 @@ int run(const util::arg_parser& args) {
                       ? static_cast<std::uint64_t>(tools::integer_option(args, "seed", 42))
                       : util::env_seed();
     config.shards = tools::count_option(args, "shards", 1);
+    config.mode = tools::score_mode_option(args, "score-mode", serve::score_mode::fused);
     config.swap_after_ticks = tools::count_option(args, "swap-after", 0);
     config.feed_rate = tools::count_option(args, "feed-rate", 1);
     config.churn_every_ticks = tools::count_option(args, "churn-every", 0);

@@ -73,4 +73,14 @@ inline serve::drop_policy drop_policy_option(const util::arg_parser& args,
     return *policy;
 }
 
+inline serve::score_mode score_mode_option(const util::arg_parser& args,
+                                           const std::string& name,
+                                           serve::score_mode fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto mode = serve::parse_score_mode(*text);
+    if (!mode) bad_option("--" + name, *text, "fused|per_shard");
+    return *mode;
+}
+
 }  // namespace fallsense::tools
