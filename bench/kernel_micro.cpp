@@ -14,6 +14,7 @@
 #include "nn/dense.hpp"
 #include "nn/gemm.hpp"
 #include "nn/lstm.hpp"
+#include "nn/simd.hpp"
 #include "quant/quantized_cnn.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -172,6 +173,86 @@ void BM_Conv1dForwardThreads(benchmark::State& state) {
     util::set_global_threads(0);
 }
 BENCHMARK(BM_Conv1dForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// --- Runtime-dispatch (nn/simd.hpp) scalar-vs-native rows -------------
+//
+// Each *Simd benchmark runs the same kernel twice: native:0 pins the
+// scalar reference kernels, native:1 the runtime-dispatched vector
+// kernels (AVX2+FMA / NEON where available; degrades to scalar
+// otherwise, so the row pair is always valid).  scripts/run_bench.sh
+// divides the paired real_times into the "simd_speedup" section of
+// BENCH_kernel.json; the acceptance bar is >= 1.5x on at least one
+// dispatched GEMM kernel (docs/performance.md).
+
+/// Pin the dispatch mode for one benchmark run, restoring whatever
+/// FALLSENSE_SIMD resolved on exit.
+struct simd_mode_scope {
+    nn::simd_mode saved = nn::active_simd_mode();
+    explicit simd_mode_scope(nn::simd_mode mode) { nn::set_simd_mode(mode); }
+    ~simd_mode_scope() { nn::set_simd_mode(saved); }
+};
+
+nn::simd_mode bench_simd_mode(const benchmark::State& state) {
+    return state.range(0) != 0 ? nn::simd_mode::native : nn::simd_mode::scalar;
+}
+
+void BM_GemmNNSimd(benchmark::State& state) {
+    simd_mode_scope scope(bench_simd_mode(state));
+    const std::size_t m = 192, n = 192, k = 192;
+    const nn::tensor a = random_tensor({m, k}, 6);
+    const nn::tensor b = random_tensor({k, n}, 7);
+    nn::tensor c({m, n});
+    for (auto _ : state) {
+        nn::gemm_nn(m, n, k, a.data(), b.data(), c.data(), false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * m * n * k));
+}
+BENCHMARK(BM_GemmNNSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
+
+void BM_DenseForwardSimd(benchmark::State& state) {
+    simd_mode_scope scope(bench_simd_mode(state));
+    util::rng gen(1);
+    nn::dense layer(912, 64, gen);
+    const nn::tensor x = random_tensor({32, 912}, 2);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DenseForwardSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
+
+void BM_Conv1dForwardSimd(benchmark::State& state) {
+    simd_mode_scope scope(bench_simd_mode(state));
+    util::rng gen(3);
+    nn::conv1d layer(3, 64, 3, gen);
+    const nn::tensor x = random_tensor({32, 150, 3}, 4);
+    for (auto _ : state) {
+        nn::tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv1dForwardSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
+
+// Int8 deployment path: the q8 axpy kernels keep int32 accumulation
+// exact, so the native row must produce bit-identical logits — this pair
+// measures what the vector kernels buy without changing a single score.
+void BM_CnnInt8InferenceSimd(benchmark::State& state) {
+    simd_mode_scope scope(bench_simd_mode(state));
+    const std::size_t window = 40;
+    auto net = core::build_fallsense_cnn(window, 9);
+    const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
+    const nn::tensor calibration = random_tensor({32, window, 9}, 10);
+    const quant::quantized_cnn qmodel(spec, calibration);
+    const nn::tensor seg = random_tensor({window, 9}, 11);
+    for (auto _ : state) {
+        const float logit = qmodel.predict_logit(seg.values());
+        benchmark::DoNotOptimize(logit);
+    }
+}
+BENCHMARK(BM_CnnInt8InferenceSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
 
 void BM_LstmForward(benchmark::State& state) {
     util::rng gen(5);

@@ -8,6 +8,9 @@
 # Optional environment:
 #   FALLSENSE_BENCH_FILTER   passed as --benchmark_filter (default: all)
 #   FALLSENSE_THREADS        baseline pool size (sweeps override it per-run)
+#   FALLSENSE_SIMD           kernel dispatch mode (scalar|native); recorded
+#                            in both manifests.  The BM_*Simd rows pin the
+#                            mode per-row regardless of this setting.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -69,6 +72,7 @@ cache_value() {
 }
 
 THREADS="${FALLSENSE_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+SIMD_MODE="${FALLSENSE_SIMD:-scalar}"
 BUILD_TYPE="$(cache_value CMAKE_BUILD_TYPE unknown)"
 NATIVE_ARCH="$(cache_value FALLSENSE_NATIVE_ARCH OFF)"
 SANITIZE="$(cache_value FALLSENSE_SANITIZE OFF)"
@@ -80,11 +84,44 @@ SANITIZE="$(cache_value FALLSENSE_SANITIZE OFF)"
 print_manifest() {
     printf '"manifest": {\n'
     printf '  "threads": %s,\n' "$THREADS"
+    printf '  "simd": "%s",\n' "$SIMD_MODE"
     printf '  "build_type": "%s",\n' "$BUILD_TYPE"
     printf '  "native_arch": "%s",\n' "$NATIVE_ARCH"
     printf '  "sanitize": "%s",\n' "$SANITIZE"
     printf '  "filter": "%s"\n' "$FILTER"
     printf '}'
+}
+
+# Dispatch speedups: each BM_*Simd benchmark in kernel_micro pairs a
+# scalar row (native:0) with a runtime-dispatched row (native:1); divide
+# the real_times into a JSON object.  awk keeps the script free of JSON
+# tooling — google-benchmark emits one "name"/"real_time" pair per row.
+simd_speedups() {
+    awk '
+        /"name":/ {
+            name = $0
+            sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        }
+        /"real_time":/ && name ~ /Simd\/native:[01]$/ {
+            t = $0
+            sub(/.*"real_time": /, "", t); sub(/[,[:space:]].*/, "", t)
+            base = name
+            sub(/\/native:[01]$/, "", base)
+            if (name ~ /native:0$/) { scalar[base] = t + 0; order[n++] = base }
+            else native[base] = t + 0
+        }
+        END {
+            sep = ""
+            for (i = 0; i < n; i++) {
+                b = order[i]
+                if (scalar[b] > 0 && native[b] > 0) {
+                    printf "%s  \"%s\": %.3f", sep, b, scalar[b] / native[b]
+                    sep = ",\n"
+                }
+            }
+            printf "\n"
+        }
+    ' "$TMP_DIR/kernel_micro.json"
 }
 
 {
@@ -94,8 +131,14 @@ print_manifest() {
     cat "$TMP_DIR/kernel_micro.json"
     printf ',\n"parallel_scaling":\n'
     cat "$TMP_DIR/parallel_scaling.json"
+    printf ',\n"simd_speedup": {\n'
+    simd_speedups
+    printf '}\n'
     printf '}\n'
 } > "$OUT"
+
+echo ">>> simd speedup (scalar real_time / native real_time)"
+simd_speedups
 
 {
     printf '{\n'

@@ -30,6 +30,16 @@ tensor relu::forward(const tensor& input, bool /*training*/) {
     return out;
 }
 
+void relu::forward_into(std::span<const float> in, const shape_t& input_shape,
+                        std::size_t batch, std::span<float> /*workspace*/,
+                        std::span<float> out) {
+    const std::size_t count = batch * shape_volume(input_shape);
+    FS_ARG_CHECK(in.size() >= count && out.size() >= count,
+                 "relu forward_into: buffer too small");
+    // Safe when out aliases in: each slot is read before it is written.
+    for (std::size_t i = 0; i < count; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
 tensor relu::backward(const tensor& grad_output) {
     FS_CHECK(same_shape(grad_output, mask_), "relu backward shape mismatch");
     tensor grad_input(grad_output.shape());
@@ -47,6 +57,15 @@ tensor sigmoid::forward(const tensor& input, bool /*training*/) {
     for (std::size_t i = 0; i < x.size(); ++i) y[i] = sigmoid_scalar(x[i]);
     output_cache_ = out;
     return out;
+}
+
+void sigmoid::forward_into(std::span<const float> in, const shape_t& input_shape,
+                           std::size_t batch, std::span<float> /*workspace*/,
+                           std::span<float> out) {
+    const std::size_t count = batch * shape_volume(input_shape);
+    FS_ARG_CHECK(in.size() >= count && out.size() >= count,
+                 "sigmoid forward_into: buffer too small");
+    for (std::size_t i = 0; i < count; ++i) out[i] = sigmoid_scalar(in[i]);
 }
 
 tensor sigmoid::backward(const tensor& grad_output) {

@@ -13,6 +13,10 @@ public:
     layer_ptr clone() const override { return std::make_unique<relu>(); }
     std::string describe() const override { return "relu"; }
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+    bool infer_in_place() const override { return true; }
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
 private:
     tensor mask_;  ///< 1 where input > 0
@@ -26,6 +30,10 @@ public:
     layer_ptr clone() const override { return std::make_unique<sigmoid>(); }
     std::string describe() const override { return "sigmoid"; }
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+    bool infer_in_place() const override { return true; }
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
 private:
     tensor output_cache_;

@@ -51,6 +51,42 @@ tensor conv1d::forward(const tensor& input, bool /*training*/) {
     return out;
 }
 
+std::size_t conv1d::infer_workspace_bytes(const shape_t& input_shape,
+                                          std::size_t batch) const {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_ch_ &&
+                     input_shape[0] >= kernel_,
+                 "conv1d infer_workspace_bytes: bad input shape");
+    const std::size_t out_time = input_shape[0] - kernel_ + 1;
+    return batch * out_time * kernel_ * in_ch_ * sizeof(float);  // im2col buffer
+}
+
+void conv1d::forward_into(std::span<const float> in, const shape_t& input_shape,
+                          std::size_t batch, std::span<float> workspace,
+                          std::span<float> out) {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_ch_ &&
+                     input_shape[0] >= kernel_,
+                 "conv1d forward_into: bad input shape");
+    const std::size_t time = input_shape[0];
+    const std::size_t out_time = time - kernel_ + 1;
+    const std::size_t rows = batch * out_time;
+    const std::size_t patch = kernel_ * in_ch_;
+    FS_ARG_CHECK(in.size() >= batch * time * in_ch_ && out.size() >= rows * out_ch_,
+                 "conv1d forward_into: buffer too small");
+    FS_ARG_CHECK(workspace.size() >= rows * patch,
+                 "conv1d forward_into: workspace too small");
+
+    // Same lowering as forward, with the col buffer in the caller's arena
+    // instead of col_cache_.
+    im2col(in.data(), batch, time, in_ch_, kernel_, workspace.data());
+    const float* b = bias_.value.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float* yr = out.data() + r * out_ch_;
+        for (std::size_t o = 0; o < out_ch_; ++o) yr[o] = b[o];
+    }
+    gemm_nn(rows, out_ch_, patch, workspace.data(), weight_.value.data(), out.data(),
+            /*accumulate=*/true);
+}
+
 tensor conv1d::backward(const tensor& grad_output) {
     FS_CHECK(!input_cache_.empty(), "conv1d backward before forward");
     const std::size_t batch = input_cache_.dim(0);

@@ -1,6 +1,8 @@
 #include "nn/conv_lstm2d.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "nn/activations.hpp"
@@ -21,11 +23,13 @@ void conv2d_same_accumulate(const tensor& x, const tensor& w, tensor& y) {
     const std::size_t cout = w.dim(3);
     FS_ARG_CHECK(y.dim(0) == batch && y.dim(1) == rows && y.dim(2) == cols && y.dim(3) == cout,
                  "conv2d output shape mismatch");
-    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k / 2);
+    conv2d_same_accumulate(x.data(), w.data(), y.data(), batch, rows, cols, cin, k, cout);
+}
 
-    const float* xd = x.data();
-    const float* wd = w.data();
-    float* yd = y.data();
+void conv2d_same_accumulate(const float* xd, const float* wd, float* yd, std::size_t batch,
+                            std::size_t rows, std::size_t cols, std::size_t cin,
+                            std::size_t k, std::size_t cout) {
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k / 2);
     for (std::size_t n = 0; n < batch; ++n) {
         for (std::size_t r = 0; r < rows; ++r) {
             for (std::size_t c = 0; c < cols; ++c) {
@@ -185,6 +189,67 @@ tensor conv_lstm2d::forward(const tensor& input, bool /*training*/) {
         }
     }
     return hidden_states_[time];
+}
+
+std::size_t conv_lstm2d::infer_workspace_bytes(const shape_t& input_shape,
+                                               std::size_t batch) const {
+    FS_ARG_CHECK(input_shape.size() == 4 && input_shape[3] == in_ch_ && input_shape[0] > 0,
+                 "conv_lstm2d infer_workspace_bytes: bad input shape");
+    const std::size_t spatial = input_shape[1] * input_shape[2];
+    // x_t slice + gate pre-activations + persistent h and c state.
+    return batch * spatial * (in_ch_ + 4 * filters_ + 2 * filters_) * sizeof(float);
+}
+
+void conv_lstm2d::forward_into(std::span<const float> in, const shape_t& input_shape,
+                               std::size_t batch, std::span<float> workspace,
+                               std::span<float> out) {
+    FS_ARG_CHECK(input_shape.size() == 4 && input_shape[3] == in_ch_ && input_shape[0] > 0,
+                 "conv_lstm2d forward_into: bad input shape");
+    const std::size_t time = input_shape[0];
+    const std::size_t rows = input_shape[1];
+    const std::size_t cols = input_shape[2];
+    const std::size_t spatial = rows * cols;
+    const std::size_t cells = batch * spatial;
+    FS_ARG_CHECK(in.size() >= cells * time * in_ch_ && out.size() >= cells * filters_,
+                 "conv_lstm2d forward_into: buffer too small");
+    FS_ARG_CHECK(workspace.size() >= cells * (in_ch_ + 6 * filters_),
+                 "conv_lstm2d forward_into: workspace too small");
+    float* x_t = workspace.data();
+    float* preact = x_t + cells * in_ch_;
+    float* hstate = preact + cells * 4 * filters_;
+    float* cstate = hstate + cells * filters_;
+    std::memset(hstate, 0, 2 * cells * filters_ * sizeof(float));  // h_0 = c_0 = 0
+
+    const float* b = bias_.value.data();
+    for (std::size_t t = 0; t < time; ++t) {
+        // Same step as forward: gather x_t, zero + accumulate both convs,
+        // then the elementwise gate update — with h and c in place (preact
+        // is complete before the state is overwritten, and each c slot is
+        // read in the expression that rewrites it).
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = in.data() + ((n * time + t) * spatial) * in_ch_;
+            std::copy(src, src + spatial * in_ch_, x_t + n * spatial * in_ch_);
+        }
+        std::memset(preact, 0, cells * 4 * filters_ * sizeof(float));
+        conv2d_same_accumulate(x_t, w_input_.value.data(), preact, batch, rows, cols, in_ch_,
+                               kernel_, 4 * filters_);
+        conv2d_same_accumulate(hstate, w_hidden_.value.data(), preact, batch, rows, cols,
+                               filters_, kernel_, 4 * filters_);
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+            const float* pre = preact + cell * 4 * filters_;
+            float* cp = cstate + cell * filters_;
+            float* hp = hstate + cell * filters_;
+            for (std::size_t f = 0; f < filters_; ++f) {
+                const float gi = sigmoid_scalar(pre[f] + b[f]);
+                const float gf = sigmoid_scalar(pre[filters_ + f] + b[filters_ + f]);
+                const float gg = std::tanh(pre[2 * filters_ + f] + b[2 * filters_ + f]);
+                const float go = sigmoid_scalar(pre[3 * filters_ + f] + b[3 * filters_ + f]);
+                cp[f] = gf * cp[f] + gi * gg;
+                hp[f] = go * std::tanh(cp[f]);
+            }
+        }
+    }
+    std::memcpy(out.data(), hstate, cells * filters_ * sizeof(float));
 }
 
 tensor conv_lstm2d::backward(const tensor& grad_output) {

@@ -35,6 +35,11 @@ public:
     }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
+    std::size_t infer_workspace_bytes(const shape_t& input_shape,
+                                      std::size_t batch) const override;
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
     std::size_t in_channels() const { return in_ch_; }
     std::size_t filters() const { return filters_; }
@@ -61,6 +66,12 @@ private:
 /// y += conv2d_same(x, w): x [batch, rows, cols, cin], w [k, k, cin, cout],
 /// y [batch, rows, cols, cout].  Exposed for testing.
 void conv2d_same_accumulate(const tensor& x, const tensor& w, tensor& y);
+
+/// Raw-buffer form of the same accumulation, for the allocation-free
+/// inference path (buffers live in the caller's workspace arena).
+void conv2d_same_accumulate(const float* x, const float* w, float* y, std::size_t batch,
+                            std::size_t rows, std::size_t cols, std::size_t cin,
+                            std::size_t k, std::size_t cout);
 
 /// Given dL/dy, accumulate dL/dx into `grad_x` and dL/dw into `grad_w`.
 void conv2d_same_backward(const tensor& x, const tensor& w, const tensor& grad_y,

@@ -42,6 +42,23 @@ tensor dense::forward(const tensor& input, bool /*training*/) {
     return out;
 }
 
+void dense::forward_into(std::span<const float> in, const shape_t& input_shape,
+                         std::size_t batch, std::span<float> /*workspace*/,
+                         std::span<float> out) {
+    FS_ARG_CHECK(input_shape.size() == 1 && input_shape[0] == in_,
+                 "dense forward_into: input shape mismatch");
+    FS_ARG_CHECK(in.size() >= batch * in_ && out.size() >= batch * out_,
+                 "dense forward_into: buffer too small");
+    // Same math as forward: bias prefill, then the accumulating GEMM.
+    const float* b = bias_.value.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+        float* yn = out.data() + n * out_;
+        for (std::size_t o = 0; o < out_; ++o) yn[o] = b[o];
+    }
+    gemm_nn(batch, out_, in_, in.data(), weight_.value.data(), out.data(),
+            /*accumulate=*/true);
+}
+
 tensor dense::backward(const tensor& grad_output) {
     FS_CHECK(!input_cache_.empty(), "dense backward before forward");
     FS_ARG_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_,

@@ -1,10 +1,20 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "nn/simd.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FALLSENSE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define FALLSENSE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace fallsense::nn {
 
@@ -69,9 +79,179 @@ inline void gemm_nn_row(std::size_t i, std::size_t n, std::size_t k, const float
     }
 }
 
-void gemm_nn_rows(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
-                  const float* a, const float* b, float* c, bool accumulate) {
-    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+#if defined(FALLSENSE_SIMD_X86)
+
+/// Mask with the low `rem` (0 < rem < 8) lanes active, for maskload /
+/// maskstore column tails.
+__attribute__((target("avx2"))) inline __m256i tail_mask(std::size_t rem) {
+    alignas(32) static constexpr std::int32_t k_lanes[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                                             0,  0,  0,  0,  0,  0,  0,  0};
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(k_lanes + 8 - rem));
+}
+
+// The vector row kernels mirror the scalar ones: k-outer, columns in
+// 8-lane FMA strips with a masked strip for n % 8.  Every (row, j) update
+// is one fmadd(broadcast(a), b, c) regardless of whether the row runs in
+// the quad or the single-row kernel, so a row's result is independent of
+// its position in the batch and of the thread count.
+
+__attribute__((target("avx2,fma"))) void gemm_nn_row_quad_avx2(std::size_t i, std::size_t n,
+                                                               std::size_t k, const float* a,
+                                                               const float* b, float* c) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    const std::size_t n8 = n - n % 8;
+    const std::size_t rem = n - n8;
+    const __m256i mask = rem ? tail_mask(rem) : _mm256_setzero_si256();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const __m256 av0 = _mm256_set1_ps(a0[kk]);
+        const __m256 av1 = _mm256_set1_ps(a1[kk]);
+        const __m256 av2 = _mm256_set1_ps(a2[kk]);
+        const __m256 av3 = _mm256_set1_ps(a3[kk]);
+        for (std::size_t j = 0; j < n8; j += 8) {
+            const __m256 bv = _mm256_loadu_ps(bk + j);
+            _mm256_storeu_ps(c0 + j, _mm256_fmadd_ps(av0, bv, _mm256_loadu_ps(c0 + j)));
+            _mm256_storeu_ps(c1 + j, _mm256_fmadd_ps(av1, bv, _mm256_loadu_ps(c1 + j)));
+            _mm256_storeu_ps(c2 + j, _mm256_fmadd_ps(av2, bv, _mm256_loadu_ps(c2 + j)));
+            _mm256_storeu_ps(c3 + j, _mm256_fmadd_ps(av3, bv, _mm256_loadu_ps(c3 + j)));
+        }
+        if (rem) {
+            const __m256 bv = _mm256_maskload_ps(bk + n8, mask);
+            _mm256_maskstore_ps(
+                c0 + n8, mask, _mm256_fmadd_ps(av0, bv, _mm256_maskload_ps(c0 + n8, mask)));
+            _mm256_maskstore_ps(
+                c1 + n8, mask, _mm256_fmadd_ps(av1, bv, _mm256_maskload_ps(c1 + n8, mask)));
+            _mm256_maskstore_ps(
+                c2 + n8, mask, _mm256_fmadd_ps(av2, bv, _mm256_maskload_ps(c2 + n8, mask)));
+            _mm256_maskstore_ps(
+                c3 + n8, mask, _mm256_fmadd_ps(av3, bv, _mm256_maskload_ps(c3 + n8, mask)));
+        }
+    }
+}
+
+__attribute__((target("avx2,fma"))) void gemm_nn_row_avx2(std::size_t i, std::size_t n,
+                                                          std::size_t k, const float* a,
+                                                          const float* b, float* c) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    const std::size_t n8 = n - n % 8;
+    const std::size_t rem = n - n8;
+    const __m256i mask = rem ? tail_mask(rem) : _mm256_setzero_si256();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const __m256 av = _mm256_set1_ps(ai[kk]);
+        for (std::size_t j = 0; j < n8; j += 8) {
+            const __m256 bv = _mm256_loadu_ps(bk + j);
+            _mm256_storeu_ps(ci + j, _mm256_fmadd_ps(av, bv, _mm256_loadu_ps(ci + j)));
+        }
+        if (rem) {
+            const __m256 bv = _mm256_maskload_ps(bk + n8, mask);
+            _mm256_maskstore_ps(
+                ci + n8, mask, _mm256_fmadd_ps(av, bv, _mm256_maskload_ps(ci + n8, mask)));
+        }
+    }
+}
+
+#elif defined(FALLSENSE_SIMD_NEON)
+
+// NEON mirrors of the row kernels: 4-lane FMA strips, scalar fmaf tail.
+// The tail uses std::fmaf in both kernels so the per-(row, j) operation —
+// fused multiply-add — matches the vector lanes and the quad/single split.
+
+void gemm_nn_row_quad_neon(std::size_t i, std::size_t n, std::size_t k, const float* a,
+                           const float* b, float* c) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const float32x4_t av0 = vdupq_n_f32(a0[kk]);
+        const float32x4_t av1 = vdupq_n_f32(a1[kk]);
+        const float32x4_t av2 = vdupq_n_f32(a2[kk]);
+        const float32x4_t av3 = vdupq_n_f32(a3[kk]);
+        for (std::size_t j = 0; j < n4; j += 4) {
+            const float32x4_t bv = vld1q_f32(bk + j);
+            vst1q_f32(c0 + j, vfmaq_f32(vld1q_f32(c0 + j), av0, bv));
+            vst1q_f32(c1 + j, vfmaq_f32(vld1q_f32(c1 + j), av1, bv));
+            vst1q_f32(c2 + j, vfmaq_f32(vld1q_f32(c2 + j), av2, bv));
+            vst1q_f32(c3 + j, vfmaq_f32(vld1q_f32(c3 + j), av3, bv));
+        }
+        for (std::size_t j = n4; j < n; ++j) {
+            const float bv = bk[j];
+            c0[j] = std::fmaf(a0[kk], bv, c0[j]);
+            c1[j] = std::fmaf(a1[kk], bv, c1[j]);
+            c2[j] = std::fmaf(a2[kk], bv, c2[j]);
+            c3[j] = std::fmaf(a3[kk], bv, c3[j]);
+        }
+    }
+}
+
+void gemm_nn_row_neon(std::size_t i, std::size_t n, std::size_t k, const float* a,
+                      const float* b, float* c) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const float32x4_t av = vdupq_n_f32(ai[kk]);
+        for (std::size_t j = 0; j < n4; j += 4) {
+            const float32x4_t bv = vld1q_f32(bk + j);
+            vst1q_f32(ci + j, vfmaq_f32(vld1q_f32(ci + j), av, bv));
+        }
+        for (std::size_t j = n4; j < n; ++j) ci[j] = std::fmaf(ai[kk], bk[j], ci[j]);
+    }
+}
+
+#endif  // FALLSENSE_SIMD_X86 / FALLSENSE_SIMD_NEON
+
+/// Everything one gemm_nn call's row tasks need.  The parallel dispatch
+/// lambda captures a single reference to this so the std::function stays
+/// in its small-buffer store — no heap allocation on the inference path.
+struct gemm_ctx {
+    std::size_t n;
+    std::size_t k;
+    const float* a;
+    const float* b;
+    float* c;
+    bool accumulate;
+    bool native;  ///< resolved once per call, shared by every row task
+};
+
+void gemm_nn_rows(std::size_t r0, std::size_t r1, const gemm_ctx& ctx) {
+    const std::size_t n = ctx.n;
+    const std::size_t k = ctx.k;
+    const float* a = ctx.a;
+    const float* b = ctx.b;
+    float* c = ctx.c;
+    if (!ctx.accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+#if defined(FALLSENSE_SIMD_X86)
+    if (ctx.native) {
+        std::size_t i = r0;
+        for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad_avx2(i, n, k, a, b, c);
+        for (; i < r1; ++i) gemm_nn_row_avx2(i, n, k, a, b, c);
+        return;
+    }
+#elif defined(FALLSENSE_SIMD_NEON)
+    if (ctx.native) {
+        std::size_t i = r0;
+        for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad_neon(i, n, k, a, b, c);
+        for (; i < r1; ++i) gemm_nn_row_neon(i, n, k, a, b, c);
+        return;
+    }
+#endif
     std::size_t i = r0;
     for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad(i, n, k, a, b, c);
     for (; i < r1; ++i) gemm_nn_row(i, n, k, a, b, c);
@@ -120,9 +300,11 @@ void rank1_accumulate(float* dst, const float* a, const float* b, std::size_t k0
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
              float* c, bool accumulate) {
     if (m == 0 || n == 0) return;
+    const gemm_ctx ctx{n,          k, a, b, c,
+                       accumulate, active_simd_mode() == simd_mode::native};
     util::parallel_for_chunks(0, m, k_row_grain,
-                              [&](std::size_t, std::size_t lo, std::size_t hi) {
-                                  gemm_nn_rows(lo, hi, n, k, a, b, c, accumulate);
+                              [&ctx](std::size_t, std::size_t lo, std::size_t hi) {
+                                  gemm_nn_rows(lo, hi, ctx);
                               });
 }
 
@@ -158,14 +340,20 @@ void transpose(std::size_t rows, std::size_t cols, const float* src, float* dst)
 
 void im2col(const float* x, std::size_t batch, std::size_t time, std::size_t ch,
             std::size_t kernel, float* col) {
-    const std::size_t out_time = time - kernel + 1;
-    const std::size_t patch = kernel * ch;
     // A valid stride-1 patch over [time, ch] is contiguous in memory, so
-    // each col row is one memcpy.
-    util::parallel_for(0, batch * out_time, 512, [&](std::size_t r) {
-        const std::size_t n = r / out_time;
-        const std::size_t t = r % out_time;
-        std::memcpy(col + r * patch, x + (n * time + t) * ch, patch * sizeof(float));
+    // each col row is one memcpy.  Single-reference capture keeps the
+    // dispatch std::function in its small-buffer store (inference path).
+    struct im2col_ctx {
+        const float* x;
+        float* col;
+        std::size_t time, ch, out_time, patch;
+    };
+    const im2col_ctx ctx{x, col, time, ch, time - kernel + 1, kernel * ch};
+    util::parallel_for(0, batch * ctx.out_time, 512, [&ctx](std::size_t r) {
+        const std::size_t n = r / ctx.out_time;
+        const std::size_t t = r % ctx.out_time;
+        std::memcpy(ctx.col + r * ctx.patch, ctx.x + (n * ctx.time + t) * ctx.ch,
+                    ctx.patch * sizeof(float));
     });
 }
 
@@ -185,6 +373,57 @@ void col2im_acc(const float* gcol, std::size_t batch, std::size_t time, std::siz
             for (std::size_t i = 0; i < patch; ++i) dst[i] += row[i];
         }
     });
+}
+
+namespace {
+
+/// Scalar int8 axpy: the legacy quantized inner loop, verbatim.
+void q8_axpy_scalar(std::size_t n, std::int32_t xv, const std::int8_t* w,
+                    std::int32_t* acc) {
+    for (std::size_t j = 0; j < n; ++j) acc[j] += xv * static_cast<std::int32_t>(w[j]);
+}
+
+#if defined(FALLSENSE_SIMD_X86)
+
+__attribute__((target("avx2"))) void q8_axpy_avx2(std::size_t n, std::int32_t xv,
+                                                  const std::int8_t* w, std::int32_t* acc) {
+    const __m256i xvv = _mm256_set1_epi32(xv);
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t j = 0; j < n8; j += 8) {
+        const __m128i w8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(w + j));
+        const __m256i w32 = _mm256_cvtepi8_epi32(w8);
+        __m256i accv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+        accv = _mm256_add_epi32(accv, _mm256_mullo_epi32(xvv, w32));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), accv);
+    }
+    for (std::size_t j = n8; j < n; ++j) acc[j] += xv * static_cast<std::int32_t>(w[j]);
+}
+
+#elif defined(FALLSENSE_SIMD_NEON)
+
+void q8_axpy_neon(std::size_t n, std::int32_t xv, const std::int8_t* w, std::int32_t* acc) {
+    const std::size_t n8 = n - n % 8;
+    for (std::size_t j = 0; j < n8; j += 8) {
+        const int16x8_t w16 = vmovl_s8(vld1_s8(w + j));
+        const int32x4_t lo = vmovl_s16(vget_low_s16(w16));
+        const int32x4_t hi = vmovl_s16(vget_high_s16(w16));
+        vst1q_s32(acc + j, vmlaq_n_s32(vld1q_s32(acc + j), lo, xv));
+        vst1q_s32(acc + j + 4, vmlaq_n_s32(vld1q_s32(acc + j + 4), hi, xv));
+    }
+    for (std::size_t j = n8; j < n; ++j) acc[j] += xv * static_cast<std::int32_t>(w[j]);
+}
+
+#endif
+
+}  // namespace
+
+q8_axpy_fn q8_axpy_kernel() {
+#if defined(FALLSENSE_SIMD_X86)
+    if (active_simd_mode() == simd_mode::native) return &q8_axpy_avx2;
+#elif defined(FALLSENSE_SIMD_NEON)
+    if (active_simd_mode() == simd_mode::native) return &q8_axpy_neon;
+#endif
+    return &q8_axpy_scalar;
 }
 
 namespace reference {

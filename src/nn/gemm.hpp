@@ -16,9 +16,18 @@
 // Layouts match the layers: conv1d weights are [kernel, in_ch, out_ch]
 // (flattened [kernel*in_ch, out_ch]), dense weights [in, out], activations
 // row-major with the batch outermost.
+//
+// gemm_nn dispatches per call between the scalar loops and vectorized row
+// kernels (nn/simd.hpp).  Scalar mode reproduces the legacy results bit for
+// bit; native mode keeps the same serial ascending-k order per element but
+// fuses multiply-add (FMA), so float results agree to rounding, not bits.
+// Within one mode, results stay independent of thread count and of where a
+// row sits in the batch: the single-row and row-quad vector kernels issue
+// the identical per-(row, j) instruction sequence.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace fallsense::nn {
 
@@ -27,6 +36,15 @@ namespace fallsense::nn {
 /// ascending-k sum seeded with the prior C value.
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
              float* c, bool accumulate);
+
+/// The int8 GEMM inner update: acc[0..n) += xv · w[0..n) with exact int32
+/// accumulation.  Returns the kernel for the active simd mode; callers
+/// hoist the lookup out of their loops.  Both kernels are bit-identical
+/// (integer sums are exact), so int8 inference does not depend on the
+/// dispatch setting.
+using q8_axpy_fn = void (*)(std::size_t n, std::int32_t xv, const std::int8_t* w,
+                            std::int32_t* acc);
+q8_axpy_fn q8_axpy_kernel();
 
 /// C[m x n] += A[k x m]ᵀ · B[k x n] — the weight-gradient product (reduction
 /// over the batch·time dimension k).  Deterministic chunked reduction; see

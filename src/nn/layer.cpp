@@ -17,6 +17,10 @@ const char* layer_kind_name(layer_kind kind) {
     return "?";
 }
 
+std::size_t layer::infer_workspace_bytes(const shape_t&, std::size_t) const { return 0; }
+
+bool layer::infer_in_place() const { return false; }
+
 std::size_t model::parameter_count() {
     std::size_t count = 0;
     for (const parameter* p : parameters()) count += p->value.size();

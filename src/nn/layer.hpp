@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,35 @@ public:
     /// Output shape for a given input shape (both exclude the batch dim).
     virtual shape_t output_shape(const shape_t& input_shape) const = 0;
 
+    // --- allocation-free inference path (workspace plan) -----------------
+    //
+    // `forward_into` is the serving-side forward: same math as
+    // forward(input, false) — bit-identical under the same simd mode — but
+    // reads and writes caller-owned buffers, touches no training caches,
+    // and performs zero heap allocations.  The planner (sequential /
+    // multi_branch_network) sizes one arena up front from
+    // infer_workspace_bytes and hands each layer its slice.
+
+    /// Bytes of scratch `forward_into` needs beyond its input and output
+    /// spans, for `batch` samples of per-sample shape `input_shape`.
+    /// Default: zero (element-wise and register-blocked layers).
+    virtual std::size_t infer_workspace_bytes(const shape_t& input_shape,
+                                              std::size_t batch) const;
+
+    /// True when `forward_into` tolerates `out` aliasing `in` exactly
+    /// (element-wise and reshape layers); the planner then reuses one
+    /// activation buffer instead of ping-ponging.
+    virtual bool infer_in_place() const;
+
+    /// Inference forward into caller buffers: reads batch·volume(input_shape)
+    /// floats from `in`, writes batch·volume(output_shape(input_shape))
+    /// floats to `out`; `workspace` must hold at least
+    /// infer_workspace_bytes(input_shape, batch).  `out` may alias `in`
+    /// only when infer_in_place() is true.
+    virtual void forward_into(std::span<const float> in, const shape_t& input_shape,
+                              std::size_t batch, std::span<float> workspace,
+                              std::span<float> out) = 0;
+
     layer() = default;
     layer(const layer&) = delete;
     layer& operator=(const layer&) = delete;
@@ -92,6 +122,23 @@ public:
     virtual std::string summary() const = 0;
     /// Output shape per sample for the given per-sample input shape.
     virtual shape_t output_shape(const shape_t& input_shape) const = 0;
+
+    /// Bytes of arena one forward_into call needs for `batch` rows of
+    /// per-sample shape `row_shape`: activation ping-pong buffers plus the
+    /// widest layer workspace.  Implementations compute the layout once
+    /// and cache it keyed on (row_shape, batch high-water mark), so
+    /// steady-state inference re-plans — and allocates — nothing.
+    virtual std::size_t infer_workspace_bytes(const shape_t& row_shape,
+                                              std::size_t batch) = 0;
+
+    /// Allocation-free inference over caller buffers: scores `batch` rows
+    /// from `input` (batch·volume(row_shape) floats) into `out`
+    /// (batch·volume(output_shape(row_shape)) floats) using `workspace`
+    /// (at least infer_workspace_bytes(row_shape, batch)).  Bit-identical
+    /// to forward(…, false) under the same simd mode.
+    virtual void forward_into(std::span<const float> input, const shape_t& row_shape,
+                              std::size_t batch, std::span<float> workspace,
+                              std::span<float> out) = 0;
 
     /// Deep copy of the whole network: bit-identical parameter values,
     /// fresh caches — an independent instance that scores the same inputs

@@ -1,6 +1,7 @@
 #include "nn/lstm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "nn/activations.hpp"
@@ -85,6 +86,68 @@ tensor lstm::forward(const tensor& input, bool /*training*/) {
         }
     }
     return hidden_states_[time];
+}
+
+std::size_t lstm::infer_workspace_bytes(const shape_t& input_shape,
+                                        std::size_t batch) const {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_ && input_shape[0] > 0,
+                 "lstm infer_workspace_bytes: bad input shape");
+    // Gate pre-activations plus persistent h and c state (updated in place
+    // per step — no per-step state tensors at inference).
+    return (4 * hidden_ + 2 * batch * hidden_) * sizeof(float);
+}
+
+void lstm::forward_into(std::span<const float> in, const shape_t& input_shape,
+                        std::size_t batch, std::span<float> workspace,
+                        std::span<float> out) {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_ && input_shape[0] > 0,
+                 "lstm forward_into: bad input shape");
+    const std::size_t time = input_shape[0];
+    const std::size_t gates = 4 * hidden_;
+    FS_ARG_CHECK(in.size() >= batch * time * in_ && out.size() >= batch * hidden_,
+                 "lstm forward_into: buffer too small");
+    FS_ARG_CHECK(workspace.size() >= gates + 2 * batch * hidden_,
+                 "lstm forward_into: workspace too small");
+    float* preact = workspace.data();
+    float* hstate = preact + gates;
+    float* cstate = hstate + batch * hidden_;
+    std::memset(hstate, 0, 2 * batch * hidden_ * sizeof(float));  // h_0 = c_0 = 0
+
+    const float* wx = w_input_.value.data();
+    const float* wh = w_hidden_.value.data();
+    const float* b = bias_.value.data();
+    // Same per-(t, n) arithmetic as forward — including the hv == 0 skip —
+    // with h and c updated in place: preact is fully formed from h_prev
+    // before the state slots are overwritten, and each c slot is read in
+    // the same expression that rewrites it.
+    for (std::size_t t = 0; t < time; ++t) {
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* x = in.data() + (n * time + t) * in_;
+            float* hp = hstate + n * hidden_;
+            float* cp = cstate + n * hidden_;
+            for (std::size_t g = 0; g < gates; ++g) preact[g] = b[g];
+            for (std::size_t i = 0; i < in_; ++i) {
+                const float xv = x[i];
+                const float* row = wx + i * gates;
+                for (std::size_t g = 0; g < gates; ++g) preact[g] += xv * row[g];
+            }
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                const float hv = hp[h];
+                if (hv == 0.0f) continue;
+                const float* row = wh + h * gates;
+                for (std::size_t g = 0; g < gates; ++g) preact[g] += hv * row[g];
+            }
+            for (std::size_t h = 0; h < hidden_; ++h) {
+                const float gi = sigmoid_scalar(preact[h]);
+                const float gf = sigmoid_scalar(preact[hidden_ + h]);
+                const float gg = std::tanh(preact[2 * hidden_ + h]);
+                const float go = sigmoid_scalar(preact[3 * hidden_ + h]);
+                cp[h] = gf * cp[h] + gi * gg;
+                hp[h] = go * std::tanh(cp[h]);
+            }
+        }
+    }
+    std::memcpy(out.data(), hstate, batch * hidden_ * sizeof(float));
 }
 
 tensor lstm::backward(const tensor& grad_output) {

@@ -32,6 +32,11 @@ public:
     }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
+    std::size_t infer_workspace_bytes(const shape_t& input_shape,
+                                      std::size_t batch) const override;
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
     std::size_t in_features() const { return in_; }
     std::size_t hidden_size() const { return hidden_; }

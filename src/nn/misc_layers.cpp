@@ -1,5 +1,6 @@
 #include "nn/misc_layers.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -21,6 +22,17 @@ tensor flatten::backward(const tensor& grad_output) {
 
 shape_t flatten::output_shape(const shape_t& input_shape) const {
     return {shape_volume(input_shape)};
+}
+
+void flatten::forward_into(std::span<const float> in, const shape_t& input_shape,
+                           std::size_t batch, std::span<float> /*workspace*/,
+                           std::span<float> out) {
+    // Pure reshape: a no-op when the planner reuses the buffer, a copy
+    // otherwise.
+    const std::size_t count = batch * shape_volume(input_shape);
+    FS_ARG_CHECK(in.size() >= count && out.size() >= count,
+                 "flatten forward_into: buffer too small");
+    if (out.data() != in.data()) std::memcpy(out.data(), in.data(), count * sizeof(float));
 }
 
 dropout::dropout(double drop_probability, util::rng& gen) : p_(drop_probability), gen_(&gen) {
@@ -53,6 +65,16 @@ tensor dropout::backward(const tensor& grad_output) {
     const std::span<float> gx = grad_input.values();
     for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * m[i];
     return grad_input;
+}
+
+void dropout::forward_into(std::span<const float> in, const shape_t& input_shape,
+                           std::size_t batch, std::span<float> /*workspace*/,
+                           std::span<float> out) {
+    // Inference-mode dropout is the identity.
+    const std::size_t count = batch * shape_volume(input_shape);
+    FS_ARG_CHECK(in.size() >= count && out.size() >= count,
+                 "dropout forward_into: buffer too small");
+    if (out.data() != in.data()) std::memcpy(out.data(), in.data(), count * sizeof(float));
 }
 
 std::string dropout::describe() const {

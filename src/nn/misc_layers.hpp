@@ -15,6 +15,10 @@ public:
     layer_ptr clone() const override { return std::make_unique<flatten>(); }
     std::string describe() const override { return "flatten"; }
     shape_t output_shape(const shape_t& input_shape) const override;
+    bool infer_in_place() const override { return true; }
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
 private:
     shape_t input_shape_cache_;
@@ -33,6 +37,10 @@ public:
     layer_ptr clone() const override { return std::make_unique<dropout>(p_, *gen_); }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override { return input_shape; }
+    bool infer_in_place() const override { return true; }
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
     double drop_probability() const { return p_; }
 

@@ -1,5 +1,6 @@
 #include "nn/multi_branch.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <sstream>
 
@@ -104,6 +105,103 @@ tensor multi_branch_network::backward(const tensor& grad_output) {
         channel_base += group;
     }
     return grad_input;
+}
+
+const multi_branch_network::infer_plan& multi_branch_network::ensure_plan(
+    const shape_t& row_shape, std::size_t batch) {
+    if (batch <= plan_.batch_capacity && row_shape == plan_.row_shape &&
+        plan_.widths.size() == branches_.size()) {
+        return plan_;
+    }
+    FS_ARG_CHECK(row_shape.size() == 2, "multi_branch forward_into expects [time, channels]");
+    const std::size_t time = row_shape[0];
+    const std::size_t total_group =
+        std::accumulate(group_channels_.begin(), group_channels_.end(), std::size_t{0});
+    FS_ARG_CHECK(row_shape[1] == total_group, "multi_branch channel-group sum mismatch");
+
+    const std::size_t capacity = std::max(batch, plan_.batch_capacity);
+    plan_.row_shape = row_shape;
+    plan_.batch_capacity = capacity;
+    plan_.widths.clear();
+    plan_.branch_shapes.clear();
+    std::size_t max_group = 0;
+    std::size_t max_width = 0;
+    std::size_t branch_ws = 0;
+    std::size_t concat_width = 0;
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        const std::size_t group = group_channels_[bi];
+        const shape_t branch_shape{time, group};
+        const std::size_t width = shape_volume(branches_[bi]->output_shape(branch_shape));
+        plan_.widths.push_back(width);
+        plan_.branch_shapes.push_back(branch_shape);
+        concat_width += width;
+        max_group = std::max(max_group, group);
+        max_width = std::max(max_width, width);
+        const std::size_t bytes = branches_[bi]->infer_workspace_bytes(branch_shape, capacity);
+        branch_ws = std::max(branch_ws, (bytes + sizeof(float) - 1) / sizeof(float));
+    }
+    plan_.concat_width = concat_width;
+    plan_.trunk_shape = {concat_width};
+    plan_.concat_floats = capacity * concat_width;
+    plan_.slice_floats = capacity * time * max_group;
+    plan_.branch_out_floats = capacity * max_width;
+    plan_.branch_ws_floats = branch_ws;
+    const std::size_t trunk_bytes = trunk_->infer_workspace_bytes({concat_width}, capacity);
+    const std::size_t trunk_floats = (trunk_bytes + sizeof(float) - 1) / sizeof(float);
+    plan_.region_floats = std::max(
+        plan_.slice_floats + plan_.branch_out_floats + plan_.branch_ws_floats, trunk_floats);
+    return plan_;
+}
+
+std::size_t multi_branch_network::infer_workspace_bytes(const shape_t& row_shape,
+                                                        std::size_t batch) {
+    const infer_plan& plan = ensure_plan(row_shape, batch);
+    return (plan.concat_floats + plan.region_floats) * sizeof(float);
+}
+
+void multi_branch_network::forward_into(std::span<const float> input,
+                                        const shape_t& row_shape, std::size_t batch,
+                                        std::span<float> workspace, std::span<float> out) {
+    const infer_plan& plan = ensure_plan(row_shape, batch);
+    const std::size_t time = row_shape[0];
+    const std::size_t channels = row_shape[1];
+    FS_ARG_CHECK(input.size() >= batch * time * channels,
+                 "multi_branch forward_into: input too small");
+    FS_ARG_CHECK(workspace.size() >= plan.concat_floats + plan.region_floats,
+                 "multi_branch forward_into: workspace too small");
+    float* const concat = workspace.data();
+    float* const slice = concat + plan.concat_floats;
+    float* const branch_out = slice + plan.slice_floats;
+    const std::span<float> branch_ws(branch_out + plan.branch_out_floats,
+                                     plan.branch_ws_floats);
+
+    // Same data flow as forward — slice channels, run branches, scatter
+    // into the concat rows — out of fixed arena regions.
+    std::size_t channel_base = 0;
+    std::size_t feature_base = 0;
+    for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+        const std::size_t group = group_channels_[bi];
+        const std::size_t width = plan.widths[bi];
+        for (std::size_t n = 0; n < batch; ++n) {
+            for (std::size_t t = 0; t < time; ++t) {
+                const float* src = input.data() + (n * time + t) * channels + channel_base;
+                std::copy(src, src + group, slice + (n * time + t) * group);
+            }
+        }
+        branches_[bi]->forward_into(std::span<const float>(slice, batch * time * group),
+                                    plan.branch_shapes[bi], batch, branch_ws,
+                                    std::span<float>(branch_out, batch * width));
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = branch_out + n * width;
+            std::copy(src, src + width, concat + n * plan.concat_width + feature_base);
+        }
+        channel_base += group;
+        feature_base += width;
+    }
+    // The branches are done: the trunk may reuse their arena region.
+    trunk_->forward_into(std::span<const float>(concat, batch * plan.concat_width),
+                         plan.trunk_shape, batch,
+                         std::span<float>(slice, plan.region_floats), out);
 }
 
 std::unique_ptr<model> multi_branch_network::clone() const {

@@ -36,10 +36,36 @@ public:
     const sequential& trunk() const { return *trunk_; }
     const std::vector<std::size_t>& group_channels() const { return group_channels_; }
 
+    std::size_t infer_workspace_bytes(const shape_t& row_shape, std::size_t batch) override;
+    void forward_into(std::span<const float> input, const shape_t& row_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
+
 private:
+    /// Arena layout for the allocation-free forward path:
+    ///   [ concat | slice | branch_out | branch workspace ]
+    /// with the trunk workspace overlapping the slice/branch region (the
+    /// branches are done before the trunk runs).  Cached keyed on
+    /// (row_shape, batch high-water mark) like sequential's plan.
+    struct infer_plan {
+        shape_t row_shape;
+        std::size_t batch_capacity = 0;
+        std::vector<std::size_t> widths;     ///< flattened width per branch
+        std::vector<shape_t> branch_shapes;  ///< {time, group} per branch (no per-call temporaries)
+        shape_t trunk_shape;                 ///< {concat_width}
+        std::size_t concat_width = 0;
+        std::size_t concat_floats = 0;       ///< capacity × concat_width
+        std::size_t slice_floats = 0;        ///< capacity × time × widest group
+        std::size_t branch_out_floats = 0;   ///< capacity × widest branch width
+        std::size_t branch_ws_floats = 0;    ///< widest branch arena
+        std::size_t region_floats = 0;       ///< max(slice+out+branch_ws, trunk arena)
+    };
+    const infer_plan& ensure_plan(const shape_t& row_shape, std::size_t batch);
+
     std::vector<std::size_t> group_channels_;
     std::vector<std::unique_ptr<sequential>> branches_;
     std::unique_ptr<sequential> trunk_;
+    infer_plan plan_;
 
     // Forward caches for backward.
     shape_t input_shape_cache_;

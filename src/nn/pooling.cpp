@@ -44,6 +44,33 @@ tensor maxpool1d::forward(const tensor& input, bool /*training*/) {
     return out;
 }
 
+void maxpool1d::forward_into(std::span<const float> in, const shape_t& input_shape,
+                             std::size_t batch, std::span<float> /*workspace*/,
+                             std::span<float> out) {
+    FS_ARG_CHECK(input_shape.size() == 2 && input_shape[0] >= pool_,
+                 "maxpool1d forward_into: bad input shape");
+    const std::size_t time = input_shape[0];
+    const std::size_t channels = input_shape[1];
+    const std::size_t out_time = time / pool_;
+    FS_ARG_CHECK(in.size() >= batch * time * channels &&
+                     out.size() >= batch * out_time * channels,
+                 "maxpool1d forward_into: buffer too small");
+    // Same comparison order as forward (max is exact, no argmax needed).
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* xn = in.data() + n * time * channels;
+        for (std::size_t t = 0; t < out_time; ++t) {
+            for (std::size_t c = 0; c < channels; ++c) {
+                float best = xn[(t * pool_) * channels + c];
+                for (std::size_t k = 1; k < pool_; ++k) {
+                    const float v = xn[(t * pool_ + k) * channels + c];
+                    if (v > best) best = v;
+                }
+                out[(n * out_time + t) * channels + c] = best;
+            }
+        }
+    }
+}
+
 tensor maxpool1d::backward(const tensor& grad_output) {
     FS_CHECK(!input_shape_cache_.empty(), "maxpool1d backward before forward");
     FS_ARG_CHECK(grad_output.size() == argmax_.size(), "maxpool1d grad_output size mismatch");

@@ -20,6 +20,9 @@ public:
     layer_ptr clone() const override { return std::make_unique<maxpool1d>(pool_); }
     std::string describe() const override;
     shape_t output_shape(const shape_t& input_shape) const override;
+    void forward_into(std::span<const float> in, const shape_t& input_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
 
     std::size_t pool_size() const { return pool_; }
 

@@ -38,8 +38,28 @@ public:
     layer& layer_at(std::size_t i);
     const layer& layer_at(std::size_t i) const;
 
+    std::size_t infer_workspace_bytes(const shape_t& row_shape, std::size_t batch) override;
+    void forward_into(std::span<const float> input, const shape_t& row_shape,
+                      std::size_t batch, std::span<float> workspace,
+                      std::span<float> out) override;
+
 private:
+    /// Arena layout for the allocation-free forward path: two ping-pong
+    /// activation buffers (each batch-capacity × widest stage volume) plus
+    /// the widest single layer workspace, shared by every layer in turn.
+    /// Cached keyed on (row_shape, batch high-water mark): growing the
+    /// batch re-plans once, shrinking it reuses the larger arena.
+    struct infer_plan {
+        shape_t row_shape;
+        std::size_t batch_capacity = 0;
+        std::vector<shape_t> stage_shapes;  ///< per-sample shape before each layer + final
+        std::size_t ping_floats = 0;        ///< one activation buffer
+        std::size_t scratch_floats = 0;     ///< widest layer workspace
+    };
+    const infer_plan& ensure_plan(const shape_t& row_shape, std::size_t batch);
+
     std::vector<layer_ptr> layers_;
+    infer_plan plan_;
 };
 
 }  // namespace fallsense::nn

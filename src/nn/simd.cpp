@@ -1,0 +1,74 @@
+#include "nn/simd.hpp"
+
+#include <atomic>
+
+#include "util/env.hpp"
+
+namespace fallsense::nn {
+
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+bool probe_native() {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+constexpr const char* k_backend = "avx2-fma";
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+bool probe_native() { return true; }  // NEON is baseline on AArch64.
+constexpr const char* k_backend = "neon";
+#else
+bool probe_native() { return false; }
+constexpr const char* k_backend = "scalar";
+#endif
+
+/// Requested mode, resolved lazily: -1 = uninitialized, else simd_mode.
+/// An unset or unrecognized FALLSENSE_SIMD value means scalar — the
+/// deterministic default; tools reject bad --simd values loudly instead.
+std::atomic<int> g_requested{-1};
+
+simd_mode requested_mode() {
+    int cached = g_requested.load(std::memory_order_relaxed);
+    if (cached < 0) {
+        simd_mode mode = simd_mode::scalar;
+        const std::string text = util::env_string("FALLSENSE_SIMD");
+        if (!text.empty()) {
+            if (const auto parsed = parse_simd_mode(text)) mode = *parsed;
+        }
+        cached = static_cast<int>(mode);
+        g_requested.store(cached, std::memory_order_relaxed);
+    }
+    return static_cast<simd_mode>(cached);
+}
+
+}  // namespace
+
+const char* simd_mode_name(simd_mode mode) {
+    return mode == simd_mode::native ? "native" : "scalar";
+}
+
+std::optional<simd_mode> parse_simd_mode(const std::string& text) {
+    if (text == "scalar") return simd_mode::scalar;
+    if (text == "native") return simd_mode::native;
+    return std::nullopt;
+}
+
+bool simd_native_available() {
+    static const bool available = probe_native();
+    return available;
+}
+
+const char* simd_backend_name() {
+    return simd_native_available() ? k_backend : "scalar";
+}
+
+simd_mode active_simd_mode() {
+    const simd_mode mode = requested_mode();
+    if (mode == simd_mode::native && !simd_native_available()) return simd_mode::scalar;
+    return mode;
+}
+
+void set_simd_mode(simd_mode mode) {
+    g_requested.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+}  // namespace fallsense::nn

@@ -1,0 +1,52 @@
+// Runtime SIMD dispatch for the nn/quant GEMM microkernels.
+//
+// The hot kernels (gemm_nn row updates, the int8 accumulator axpy) exist
+// in two flavors: the scalar reference loops — the bit-exact determinism
+// baseline every golden manifest is pinned to — and vectorized variants
+// (AVX2+FMA on x86-64, NEON on AArch64) compiled behind target attributes
+// and selected at runtime from a one-time CPU-feature probe.
+//
+// Mode resolution, in priority order:
+//   1. set_simd_mode() — tools expose it as `--simd scalar|native`.
+//   2. The FALLSENSE_SIMD env var ("scalar" or "native").
+//   3. Default: scalar.  Vector kernels are opt-in because float FMA
+//      rounds differently from separate mul+add; scalar mode stays
+//      byte-identical to the pre-dispatch kernels.  (Int8 kernels are
+//      bit-identical in either mode — integer sums are exact.)
+//
+// Requesting `native` on a host whose CPU (or compiler) lacks the vector
+// ISA silently degrades to the scalar kernels: `active_simd_mode()`
+// reports what will actually execute.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace fallsense::nn {
+
+enum class simd_mode {
+    scalar,  ///< reference loops, bit-exact across builds of the same flags
+    native,  ///< vectorized kernels for the probed host ISA
+};
+
+const char* simd_mode_name(simd_mode mode);
+
+/// Parse "scalar" / "native"; anything else returns nullopt.
+std::optional<simd_mode> parse_simd_mode(const std::string& text);
+
+/// True when a vector backend is compiled in AND the running CPU supports
+/// it (probed once, cached).
+bool simd_native_available();
+
+/// Name of the vector backend `native` mode would run: "avx2-fma",
+/// "neon", or "scalar" when no vector backend is available.
+const char* simd_backend_name();
+
+/// The mode the kernels will actually execute: the requested mode,
+/// degraded to scalar when no vector backend is available.
+simd_mode active_simd_mode();
+
+/// Override the requested mode for this process (tools' --simd flag).
+void set_simd_mode(simd_mode mode);
+
+}  // namespace fallsense::nn

@@ -241,14 +241,20 @@ void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count
     FS_ARG_CHECK(out.size() == count, "predict_proba_rows output size mismatch");
     for (std::size_t start = 0; start < count; start += batch_size) {
         const std::size_t chunk = std::min(batch_size, count - start);
-        scratch.batch_shape.resize(row_shape.size() + 1);
-        scratch.batch_shape[0] = chunk;
-        std::copy(row_shape.begin(), row_shape.end(), scratch.batch_shape.begin() + 1);
-        scratch.input.assign(scratch.batch_shape,
-                             rows.subspan(start * row_elems, chunk * row_elems));
-        const tensor logits = m.forward(scratch.input, /*training=*/false);
-        FS_CHECK(logits.size() == chunk, "model must emit one logit per sample");
-        for (std::size_t i = 0; i < chunk; ++i) out[start + i] = sigmoid_scalar(logits[i]);
+        // Plan lookup is cached in the model; the arena and logit buffers
+        // grow to their high-water marks once and are then reused.
+        const std::size_t ws_bytes = m.infer_workspace_bytes(row_shape, chunk);
+        const std::size_t ws_floats = (ws_bytes + sizeof(float) - 1) / sizeof(float);
+        if (scratch.arena.size() < ws_floats) scratch.arena.resize(ws_floats);
+        if (scratch.logits.size() < chunk) scratch.logits.resize(chunk);
+        // The chunk-sized logit span doubles as the one-logit-per-sample
+        // check: forward_into rejects a model emitting more per row.
+        m.forward_into(rows.subspan(start * row_elems, chunk * row_elems), row_shape, chunk,
+                       std::span<float>(scratch.arena.data(), ws_floats),
+                       std::span<float>(scratch.logits.data(), chunk));
+        for (std::size_t i = 0; i < chunk; ++i) {
+            out[start + i] = sigmoid_scalar(scratch.logits[i]);
+        }
     }
 }
 

@@ -88,17 +88,19 @@ void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count
                         std::size_t batch_size = 256);
 
 /// Reusable buffers for the scratch overload of predict_proba_rows: the
-/// batch input tensor and its shape, grown once to the high-water mark and
-/// reused so steady-state batch scoring performs no input-side heap
-/// allocation (the serving tick relies on this).
+/// model's workspace arena (layer activations + scratch, laid out by the
+/// model's inference plan) and the chunk logit buffer, grown once to the
+/// high-water mark and reused so steady-state batch scoring performs zero
+/// heap allocations (the serving tick's contract, tests/serve/alloc_test).
 struct predict_scratch {
-    tensor input;
-    shape_t batch_shape;
+    std::vector<float> arena;   ///< model forward_into workspace
+    std::vector<float> logits;  ///< one logit per chunk row
 };
 
-/// predict_proba_rows with caller-owned scratch.  Bit-identical to the
-/// allocating overload — the scratch only changes where the chunk input
-/// lives, never what is computed.
+/// predict_proba_rows with caller-owned scratch, routed through the
+/// model's allocation-free forward_into.  Bit-identical to the allocating
+/// overload — the arena only changes where intermediates live, never what
+/// is computed.
 void predict_proba_rows(model& m, std::span<const float> rows, std::size_t count,
                         const shape_t& row_shape, std::span<float> out,
                         predict_scratch& scratch, std::size_t batch_size = 256);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/activations.hpp"
+#include "nn/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -131,29 +133,39 @@ float quantized_cnn::predict_logit(std::span<const float> segment,
         qinput[i] = quantize_value(segment[i], input_q_);
     }
 
-    // Branches: int8 conv (+fused ReLU via clamp) then int8 max-pool.
+    // Branches: int8 conv (+fused ReLU via clamp) then int8 max-pool.  The
+    // conv is structured as axpy updates along the contiguous out-channel
+    // axis of the [kernel, cin, cout] weights: one int32 accumulator row
+    // per output step, updated with xv * w for every (k, c) input sample.
+    // Each accumulator still sums the same int32 products (exact, so order
+    // is irrelevant), which keeps results bit-identical to the scalar
+    // reference under either dispatch mode (nn::q8_axpy_kernel).
+    const nn::q8_axpy_fn axpy = nn::q8_axpy_kernel();
     scratch.concat.clear();
     std::size_t channel_base = 0;
     for (const q_conv_branch& b : branches_) {
         const std::size_t conv_time = time_steps_ - b.kernel + 1;
         scratch.conv_out.resize(conv_time * b.out_channels);
         std::int8_t* const conv_out = scratch.conv_out.data();
+        if (scratch.acc.size() < b.out_channels) scratch.acc.resize(b.out_channels);
+        std::int32_t* const acc = scratch.acc.data();
         for (std::size_t t = 0; t < conv_time; ++t) {
-            for (std::size_t o = 0; o < b.out_channels; ++o) {
-                std::int32_t acc = b.bias[o];
-                for (std::size_t k = 0; k < b.kernel; ++k) {
-                    const std::int8_t* x =
-                        qinput + (t + k) * input_channels_ + channel_base;
-                    const std::int8_t* wk =
-                        b.weight.data() + (k * b.in_channels) * b.out_channels;
-                    for (std::size_t c = 0; c < b.in_channels; ++c) {
-                        acc += (static_cast<std::int32_t>(x[c]) - input_q_.zero_point) *
-                               static_cast<std::int32_t>(wk[c * b.out_channels + o]);
-                    }
+            std::memcpy(acc, b.bias.data(), b.out_channels * sizeof(std::int32_t));
+            for (std::size_t k = 0; k < b.kernel; ++k) {
+                const std::int8_t* x =
+                    qinput + (t + k) * input_channels_ + channel_base;
+                const std::int8_t* wk =
+                    b.weight.data() + (k * b.in_channels) * b.out_channels;
+                for (std::size_t c = 0; c < b.in_channels; ++c) {
+                    const std::int32_t xv =
+                        static_cast<std::int32_t>(x[c]) - input_q_.zero_point;
+                    axpy(b.out_channels, xv, wk + c * b.out_channels, acc);
                 }
+            }
+            for (std::size_t o = 0; o < b.out_channels; ++o) {
                 // Fused ReLU: clamp_min at the output zero point.
                 conv_out[t * b.out_channels + o] =
-                    requantize(acc, b.requant, concat_q_.zero_point,
+                    requantize(acc[o], b.requant, concat_q_.zero_point,
                                concat_q_.zero_point, 127);
             }
         }
@@ -179,14 +191,17 @@ float quantized_cnn::predict_logit(std::span<const float> segment,
     for (const q_dense& d : trunk_) {
         FS_CHECK(act->size() == d.in_features, "quantized trunk width mismatch");
         next->resize(d.out_features);
+        if (scratch.acc.size() < d.out_features) scratch.acc.resize(d.out_features);
+        std::int32_t* const acc = scratch.acc.data();
+        std::memcpy(acc, d.bias.data(), d.out_features * sizeof(std::int32_t));
+        for (std::size_t i = 0; i < d.in_features; ++i) {
+            const std::int32_t xv =
+                static_cast<std::int32_t>((*act)[i]) - act_q.zero_point;
+            axpy(d.out_features, xv, d.weight.data() + i * d.out_features, acc);
+        }
         for (std::size_t o = 0; o < d.out_features; ++o) {
-            std::int32_t acc = d.bias[o];
-            for (std::size_t i = 0; i < d.in_features; ++i) {
-                acc += (static_cast<std::int32_t>((*act)[i]) - act_q.zero_point) *
-                       static_cast<std::int32_t>(d.weight[i * d.out_features + o]);
-            }
             const std::int32_t clamp_min = d.relu ? d.output_q.zero_point : -128;
-            (*next)[o] = requantize(acc, d.requant, d.output_q.zero_point, clamp_min, 127);
+            (*next)[o] = requantize(acc[o], d.requant, d.output_q.zero_point, clamp_min, 127);
         }
         act = next;
         next = (next == &scratch.act_a) ? &scratch.act_b : &scratch.act_a;

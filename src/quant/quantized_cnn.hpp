@@ -29,6 +29,7 @@ struct inference_scratch {
     std::vector<std::int8_t> concat;
     std::vector<std::int8_t> act_a;  ///< dense ping-pong buffers
     std::vector<std::int8_t> act_b;
+    std::vector<std::int32_t> acc;   ///< int32 accumulator row (axpy kernels)
 };
 
 /// Per-chunk scratch for predict_proba_batch: chunk c of the fixed-grain

@@ -8,7 +8,9 @@ namespace fallsense::serve {
 
 float_cnn_scorer::float_cnn_scorer(std::unique_ptr<nn::model> model,
                                    std::size_t window_samples)
-    : model_(std::move(model)), window_samples_(window_samples) {
+    : model_(std::move(model)),
+      window_samples_(window_samples),
+      row_shape_{window_samples, core::k_feature_channels} {
     FS_ARG_CHECK(model_ != nullptr, "float_cnn_scorer needs a model");
     FS_ARG_CHECK(window_samples_ > 0, "float_cnn_scorer window must be positive");
 }
@@ -17,8 +19,7 @@ void float_cnn_scorer::score(std::span<const float> windows, std::size_t count,
                              std::size_t window_elems, std::span<float> out) {
     FS_ARG_CHECK(window_elems == window_samples_ * core::k_feature_channels,
                  "float_cnn_scorer window shape mismatch");
-    nn::predict_proba_rows(*model_, windows, count,
-                           {window_samples_, core::k_feature_channels}, out, scratch_);
+    nn::predict_proba_rows(*model_, windows, count, row_shape_, out, scratch_);
 }
 
 std::unique_ptr<batch_scorer> float_cnn_scorer::clone() const {

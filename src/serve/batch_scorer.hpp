@@ -67,7 +67,8 @@ public:
 private:
     std::unique_ptr<nn::model> model_;
     std::size_t window_samples_;
-    nn::predict_scratch scratch_;  ///< reused batch-input buffers
+    nn::shape_t row_shape_;        ///< {window_samples, channels}, built once
+    nn::predict_scratch scratch_;  ///< reused workspace arena + logit buffer
 };
 
 /// Int8 deployment path: quant::quantized_cnn::predict_proba_batch.

@@ -1,0 +1,156 @@
+// Runtime GEMM dispatch (nn/simd.hpp): mode parsing and resolution, the
+// scalar-kernel determinism baseline, float tolerance between the scalar
+// and vectorized kernels, and the int8 path's bit-identity across modes
+// (integer accumulation is exact, so dispatch may never change a logit).
+#include "nn/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+/// Restore the dispatch mode on scope exit so tests compose with any
+/// FALLSENSE_SIMD the suite was launched under (the CI native leg).
+struct simd_mode_guard {
+    simd_mode saved;
+    explicit simd_mode_guard(simd_mode mode) : saved(active_simd_mode()) {
+        set_simd_mode(mode);
+    }
+    ~simd_mode_guard() { set_simd_mode(saved); }
+};
+
+TEST(SimdTest, ParseAcceptsTheTwoModes) {
+    EXPECT_EQ(parse_simd_mode("scalar"), simd_mode::scalar);
+    EXPECT_EQ(parse_simd_mode("native"), simd_mode::native);
+    EXPECT_FALSE(parse_simd_mode("avx2").has_value());
+    EXPECT_FALSE(parse_simd_mode("").has_value());
+    EXPECT_FALSE(parse_simd_mode("Scalar").has_value());
+}
+
+TEST(SimdTest, ModeNamesRoundTrip) {
+    EXPECT_EQ(parse_simd_mode(simd_mode_name(simd_mode::scalar)), simd_mode::scalar);
+    EXPECT_EQ(parse_simd_mode(simd_mode_name(simd_mode::native)), simd_mode::native);
+}
+
+TEST(SimdTest, BackendNameMatchesAvailability) {
+    const std::string backend = simd_backend_name();
+    if (simd_native_available()) {
+        EXPECT_NE(backend, "scalar");
+    } else {
+        EXPECT_EQ(backend, "scalar");
+    }
+}
+
+TEST(SimdTest, RequestedNativeDegradesWhenUnavailable) {
+    simd_mode_guard guard(simd_mode::native);
+    if (simd_native_available()) {
+        EXPECT_EQ(active_simd_mode(), simd_mode::native);
+    } else {
+        EXPECT_EQ(active_simd_mode(), simd_mode::scalar);
+    }
+    set_simd_mode(simd_mode::scalar);
+    EXPECT_EQ(active_simd_mode(), simd_mode::scalar);
+}
+
+/// gemm_nn in a given mode over deterministic inputs.
+std::vector<float> gemm_result(simd_mode mode, std::size_t m, std::size_t n, std::size_t k) {
+    simd_mode_guard guard(mode);
+    util::rng gen(99);
+    std::vector<float> a(m * k);
+    std::vector<float> b(k * n);
+    for (float& v : a) v = static_cast<float>(gen.uniform(-1.0, 1.0));
+    for (float& v : b) v = static_cast<float>(gen.uniform(-1.0, 1.0));
+    std::vector<float> c(m * n);
+    gemm_nn(m, n, k, a.data(), b.data(), c.data(), /*accumulate=*/false);
+    return c;
+}
+
+TEST(SimdTest, ScalarModeIsDeterministic) {
+    // The scalar kernels are the golden baseline: repeat runs bit-equal.
+    const auto first = gemm_result(simd_mode::scalar, 13, 21, 37);
+    const auto second = gemm_result(simd_mode::scalar, 13, 21, 37);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(SimdTest, NativeGemmMatchesScalarWithinTolerance) {
+    if (!simd_native_available()) GTEST_SKIP() << "no vector backend on this host";
+    // Odd n exercises the masked / scalar column tails; m > 4 exercises
+    // both the quad and single-row kernels.  FMA rounds once where the
+    // scalar kernels round twice, so equality is to tolerance, not bits.
+    const auto scalar = gemm_result(simd_mode::scalar, 13, 21, 37);
+    const auto native = gemm_result(simd_mode::native, 13, 21, 37);
+    ASSERT_EQ(scalar.size(), native.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+        EXPECT_NEAR(native[i], scalar[i], 1e-4 * (1.0 + std::abs(scalar[i])))
+            << "element " << i;
+    }
+}
+
+TEST(SimdTest, NativeDenseForwardMatchesScalarWithinTolerance) {
+    if (!simd_native_available()) GTEST_SKIP() << "no vector backend on this host";
+    util::rng gen(7);
+    dense l(23, 11, gen);  // 11 outputs: the 8-lane strip plus a tail
+    tensor x({5, 23});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(gen.uniform(-1.0, 1.0));
+    }
+    tensor scalar_y, native_y;
+    {
+        simd_mode_guard guard(simd_mode::scalar);
+        scalar_y = l.forward(x, false);
+    }
+    {
+        simd_mode_guard guard(simd_mode::native);
+        native_y = l.forward(x, false);
+    }
+    ASSERT_EQ(scalar_y.size(), native_y.size());
+    for (std::size_t i = 0; i < scalar_y.size(); ++i) {
+        EXPECT_NEAR(native_y[i], scalar_y[i], 1e-4 * (1.0 + std::abs(scalar_y[i])));
+    }
+}
+
+TEST(SimdTest, Int8ScoringIsBitIdenticalAcrossModes) {
+    // Int8 accumulators are exact int32 sums, so the vector axpy must
+    // reproduce the scalar kernel bit for bit — dispatch may change
+    // latency, never a logit.  (Without a vector backend both modes run
+    // the scalar kernel and the check is trivially true.)
+    serve::scorer_spec spec;
+    spec.backend = serve::scorer_backend::int8;
+    spec.window_samples = 20;
+    spec.seed = 3;
+
+    const std::size_t elems = 20 * core::k_feature_channels;
+    constexpr std::size_t k_count = 17;  // odd: exercises the axpy tails
+    std::vector<float> windows(k_count * elems);
+    util::rng gen(31);
+    for (float& v : windows) v = static_cast<float>(gen.uniform(-1.2, 1.2));
+
+    std::vector<float> scalar_out(k_count);
+    std::vector<float> native_out(k_count);
+    {
+        simd_mode_guard guard(simd_mode::scalar);
+        serve::make_scorer(spec)->score(windows, k_count, elems, scalar_out);
+    }
+    {
+        simd_mode_guard guard(simd_mode::native);
+        serve::make_scorer(spec)->score(windows, k_count, elems, native_out);
+    }
+    for (std::size_t i = 0; i < k_count; ++i) {
+        EXPECT_EQ(native_out[i], scalar_out[i]) << "window " << i;
+    }
+}
+
+}  // namespace
+}  // namespace fallsense::nn

@@ -1,0 +1,239 @@
+// The inference workspace-plan contract (nn/layer.hpp forward_into):
+//   - every layer's forward_into writes the same bits its training-path
+//     forward produces,
+//   - the layer stays inside the workspace it reported via
+//     infer_workspace_bytes (checked with poisoned arenas and guard
+//     regions on both workspace and output),
+//   - model plans are stable: repeated predictions through one
+//     nn::predict_scratch never re-plan or outgrow the arena.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/models.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/conv_lstm2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/misc_layers.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::nn {
+namespace {
+
+constexpr float k_guard = 1234.5f;
+constexpr std::size_t k_guard_floats = 16;
+
+tensor random_batch(const shape_t& row_shape, std::size_t batch, util::rng& gen) {
+    shape_t full;
+    full.push_back(batch);
+    full.insert(full.end(), row_shape.begin(), row_shape.end());
+    tensor x(full);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(gen.uniform(-1.5, 1.5));
+    }
+    return x;
+}
+
+/// Run `l` through forward and through forward_into with a NaN-poisoned
+/// workspace arena and guarded output buffer; expect bit-identical output
+/// and untouched guards.  Templated so it covers both layer and model
+/// (sequential, multi_branch_network) implementations of the contract.
+template <typename Net>
+void expect_forward_into_matches(Net& l, const shape_t& row_shape, std::size_t batch,
+                                 util::rng& gen) {
+    const tensor x = random_batch(row_shape, batch, gen);
+    const tensor y = l.forward(x, /*training=*/false);
+
+    const std::size_t ws_bytes = l.infer_workspace_bytes(row_shape, batch);
+    const std::size_t ws_floats = (ws_bytes + sizeof(float) - 1) / sizeof(float);
+    const float poison = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> arena(ws_floats + 2 * k_guard_floats, k_guard);
+    std::fill(arena.begin() + static_cast<std::ptrdiff_t>(k_guard_floats),
+              arena.end() - static_cast<std::ptrdiff_t>(k_guard_floats), poison);
+    std::vector<float> out_buf(y.size() + 2 * k_guard_floats, k_guard);
+    std::fill(out_buf.begin() + static_cast<std::ptrdiff_t>(k_guard_floats),
+              out_buf.end() - static_cast<std::ptrdiff_t>(k_guard_floats), poison);
+
+    l.forward_into(std::span<const float>(x.data(), x.size()), row_shape, batch,
+                   std::span<float>(arena.data() + k_guard_floats, ws_floats),
+                   std::span<float>(out_buf.data() + k_guard_floats, y.size()));
+
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_EQ(out_buf[k_guard_floats + i], y[i]) << "element " << i;
+    }
+    for (std::size_t g = 0; g < k_guard_floats; ++g) {
+        EXPECT_EQ(arena[g], k_guard) << "workspace guard underrun at " << g;
+        EXPECT_EQ(arena[k_guard_floats + ws_floats + g], k_guard)
+            << "workspace guard overrun at " << g;
+        EXPECT_EQ(out_buf[g], k_guard) << "output guard underrun at " << g;
+        EXPECT_EQ(out_buf[k_guard_floats + y.size() + g], k_guard)
+            << "output guard overrun at " << g;
+    }
+}
+
+TEST(WorkspaceTest, DenseMatchesForward) {
+    util::rng gen(11);
+    dense l(17, 9, gen);
+    expect_forward_into_matches(l, {17}, 5, gen);
+}
+
+TEST(WorkspaceTest, ReluMatchesForward) {
+    util::rng gen(12);
+    relu l;
+    EXPECT_TRUE(l.infer_in_place());
+    expect_forward_into_matches(l, {6, 4}, 3, gen);
+}
+
+TEST(WorkspaceTest, SigmoidMatchesForward) {
+    util::rng gen(13);
+    sigmoid l;
+    expect_forward_into_matches(l, {10}, 4, gen);
+}
+
+TEST(WorkspaceTest, Conv1dMatchesForward) {
+    util::rng gen(14);
+    conv1d l(3, 16, 3, gen);
+    expect_forward_into_matches(l, {20, 3}, 6, gen);
+}
+
+TEST(WorkspaceTest, MaxPoolMatchesForward) {
+    util::rng gen(15);
+    maxpool1d l(2);
+    expect_forward_into_matches(l, {9, 5}, 4, gen);  // ragged tail dropped
+}
+
+TEST(WorkspaceTest, FlattenMatchesForward) {
+    util::rng gen(16);
+    flatten l;
+    expect_forward_into_matches(l, {4, 3, 2}, 3, gen);
+}
+
+TEST(WorkspaceTest, DropoutIsIdentityAtInference) {
+    util::rng gen(17);
+    dropout l(0.5, gen);
+    expect_forward_into_matches(l, {8, 2}, 3, gen);
+}
+
+TEST(WorkspaceTest, LstmMatchesForward) {
+    util::rng gen(18);
+    lstm l(5, 7, gen);
+    expect_forward_into_matches(l, {12, 5}, 4, gen);
+}
+
+TEST(WorkspaceTest, ConvLstm2dMatchesForward) {
+    util::rng gen(19);
+    conv_lstm2d l(2, 4, 3, gen);
+    expect_forward_into_matches(l, {6, 3, 3, 2}, 3, gen);
+}
+
+/// An in-place layer may be handed the same buffer as input and output
+/// (how sequential routes it mid-stack); the rewrite must equal forward.
+TEST(WorkspaceTest, InPlaceLayersRewriteTheirBuffer) {
+    util::rng gen(20);
+    relu l;
+    const shape_t row_shape{7, 3};
+    const tensor x = random_batch(row_shape, 4, gen);
+    const tensor y = l.forward(x, false);
+    std::vector<float> buf(x.data(), x.data() + x.size());
+    l.forward_into(std::span<const float>(buf.data(), buf.size()), row_shape, 4, {},
+                   std::span<float>(buf.data(), buf.size()));
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(buf[i], y[i]);
+}
+
+TEST(WorkspaceTest, SequentialMatchesForwardThroughPoisonedArena) {
+    util::rng gen(21);
+    sequential net;
+    net.emplace<conv1d>(3, 8, 3, gen);
+    net.emplace<relu>();
+    net.emplace<maxpool1d>(2);
+    net.emplace<flatten>();
+    net.emplace<dense>(9 * 8, 6, gen);
+    net.emplace<sigmoid>();
+    expect_forward_into_matches(net, {20, 3}, 5, gen);
+}
+
+TEST(WorkspaceTest, MultiBranchCnnMatchesForward) {
+    const auto cnn = core::build_fallsense_cnn(24, 77);
+    util::rng gen(22);
+    expect_forward_into_matches(*cnn, {24, 9}, 7, gen);
+}
+
+TEST(WorkspaceTest, SequentialRejectsTooSmallOutput) {
+    util::rng gen(23);
+    sequential net;
+    net.emplace<dense>(4, 3, gen);
+    const shape_t row_shape{4};
+    const tensor x = random_batch(row_shape, 2, gen);
+    const std::size_t ws_floats =
+        (net.infer_workspace_bytes(row_shape, 2) + sizeof(float) - 1) / sizeof(float);
+    std::vector<float> arena(ws_floats);
+    std::vector<float> out(2 * 3 - 1);  // one float short
+    EXPECT_THROW(net.forward_into(std::span<const float>(x.data(), x.size()), row_shape, 2,
+                                  arena, out),
+                 std::invalid_argument);
+}
+
+TEST(WorkspaceTest, PredictScratchOverloadMatchesAllocating) {
+    const auto cnn = core::build_fallsense_cnn(20, 5);
+    util::rng gen(24);
+    const shape_t row_shape{20, 9};
+    const std::size_t rows = 11;
+    const tensor x = random_batch(row_shape, rows, gen);
+    std::vector<float> expected(rows);
+    predict_proba_rows(*cnn, std::span<const float>(x.data(), x.size()), rows, row_shape,
+                       expected, /*batch_size=*/4);
+    predict_scratch scratch;
+    std::vector<float> got(rows);
+    predict_proba_rows(*cnn, std::span<const float>(x.data(), x.size()), rows, row_shape,
+                       got, scratch, /*batch_size=*/4);
+    for (std::size_t i = 0; i < rows; ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+/// The plan and the scratch arena reach their high-water marks on the
+/// first (largest) batch; later calls — same size or smaller — must reuse
+/// both without regrowing.
+TEST(WorkspaceTest, PlanAndArenaAreStableAcrossRepeatedPredicts) {
+    const auto cnn = core::build_fallsense_cnn(20, 9);
+    const shape_t row_shape{20, 9};
+    const std::size_t big = cnn->infer_workspace_bytes(row_shape, 8);
+    // Smaller batches reuse the capacity-8 plan verbatim.
+    EXPECT_EQ(cnn->infer_workspace_bytes(row_shape, 3), big);
+    EXPECT_EQ(cnn->infer_workspace_bytes(row_shape, 8), big);
+
+    util::rng gen(25);
+    const tensor x = random_batch(row_shape, 8, gen);
+    predict_scratch scratch;
+    std::vector<float> out(8);
+    predict_proba_rows(*cnn, std::span<const float>(x.data(), x.size()), 8, row_shape, out,
+                       scratch, /*batch_size=*/8);
+    const float* const arena_data = scratch.arena.data();
+    const std::size_t arena_size = scratch.arena.size();
+    std::vector<float> first = out;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        predict_proba_rows(*cnn, std::span<const float>(x.data(), x.size()), 8, row_shape,
+                           out, scratch, /*batch_size=*/8);
+        EXPECT_EQ(scratch.arena.data(), arena_data) << "arena reallocated";
+        EXPECT_EQ(scratch.arena.size(), arena_size);
+        for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], first[i]);
+    }
+}
+
+TEST(WorkspaceTest, WorkspaceGrowsMonotonicallyWithBatch) {
+    const auto cnn = core::build_fallsense_cnn(20, 13);
+    const shape_t row_shape{20, 9};
+    const std::size_t one = cnn->infer_workspace_bytes(row_shape, 1);
+    const std::size_t eight = cnn->infer_workspace_bytes(row_shape, 8);
+    EXPECT_GT(one, 0u);
+    EXPECT_GE(eight, one);
+}
+
+}  // namespace
+}  // namespace fallsense::nn

@@ -3,13 +3,14 @@
 // A dedicated test binary that replaces global operator new with a
 // counting allocator, warms a fleet to its high-water marks, and then
 // asserts that steady-state ticks perform ZERO heap allocations — in both
-// score modes.  Scope: the tick hot path (queue drain, window staging,
-// batch gather, score dispatch, apply/merge) and the callback + int8
-// scorer paths, which are allocation-free end to end.  The float CNN
-// path's staging is also allocation-free (nn::predict_scratch), but its
-// layer forwards still allocate intermediate tensors, so it is excluded
-// here.  Kept out of fallsense_tests: a global operator new override must
-// own its whole binary.
+// score modes and for every scorer backend.  Scope: the tick hot path
+// (queue drain, window staging, batch gather, score dispatch, apply/merge)
+// plus all three scorer paths end to end — the callback adapter, the int8
+// deployment graph (quant::batch_inference_scratch), and the float CNN,
+// whose forwards run out of the model's planned workspace arena
+// (nn::model::forward_into via nn::predict_scratch).  Kept out of
+// fallsense_tests: a global operator new override must own its whole
+// binary.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -79,6 +80,17 @@ std::unique_ptr<batch_scorer> quiet_scorer() {
     return make_scorer(spec);
 }
 
+/// Deterministically seeded CNN scorer (float32 or int8).  The untrained
+/// model's logits stay small, so with the detector threshold at 1.0 its
+/// sigmoid scores never trigger and no trigger-path buffers grow.
+std::unique_ptr<batch_scorer> cnn_scorer(scorer_backend backend) {
+    scorer_spec spec;
+    spec.backend = backend;
+    spec.window_samples = k_window;
+    spec.seed = 7;
+    return make_scorer(spec);
+}
+
 /// Feed every session one synthetic sample, then tick, counting
 /// allocations strictly around the tick() call (feeding fills queues — a
 /// different, caller-side path).
@@ -100,19 +112,22 @@ std::uint64_t ticks_allocations(fleet_router& fleet, const std::vector<session_i
     return allocations;
 }
 
-void expect_steady_state_tick_is_allocation_free(score_mode mode) {
+void expect_steady_state_tick_is_allocation_free(score_mode mode,
+                                                 std::unique_ptr<batch_scorer> scorer,
+                                                 double threshold) {
     fleet_config config;
     config.engine.detector.window_samples = k_window;
-    config.engine.detector.threshold = 0.65;  // quiet scorer never fires
+    config.engine.detector.threshold = threshold;  // scorer never fires
     config.engine.queue_capacity = 4;
     config.shards = 3;
     config.mode = mode;
-    fleet_router fleet(config, quiet_scorer());
+    fleet_router fleet(config, std::move(scorer));
     std::vector<session_id> ids;
     for (int i = 0; i < 12; ++i) ids.push_back(fleet.create_session());
 
     // Warm-up: scratch buffers (staged windows, fleet batch, score slice,
-    // live-session index) grow to their high-water marks.
+    // live-session index, scorer arenas and inference plans) grow to their
+    // high-water marks.
     ticks_allocations(fleet, ids, k_warm_ticks, 0, false);
     const std::uint64_t allocations =
         ticks_allocations(fleet, ids, k_measured_ticks, k_warm_ticks, true);
@@ -120,39 +135,73 @@ void expect_steady_state_tick_is_allocation_free(score_mode mode) {
 }
 
 TEST(ServeAllocTest, FusedSteadyStateTickIsAllocationFree) {
-    expect_steady_state_tick_is_allocation_free(score_mode::fused);
+    expect_steady_state_tick_is_allocation_free(score_mode::fused, quiet_scorer(), 0.65);
 }
 
 TEST(ServeAllocTest, PerShardSteadyStateTickIsAllocationFree) {
-    expect_steady_state_tick_is_allocation_free(score_mode::per_shard);
+    expect_steady_state_tick_is_allocation_free(score_mode::per_shard, quiet_scorer(), 0.65);
+}
+
+TEST(ServeAllocTest, FloatCnnFusedSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(
+        score_mode::fused, cnn_scorer(scorer_backend::float32), 1.0);
+}
+
+TEST(ServeAllocTest, FloatCnnPerShardSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(
+        score_mode::per_shard, cnn_scorer(scorer_backend::float32), 1.0);
+}
+
+TEST(ServeAllocTest, Int8CnnFusedSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(
+        score_mode::fused, cnn_scorer(scorer_backend::int8), 1.0);
+}
+
+TEST(ServeAllocTest, Int8CnnPerShardSteadyStateTickIsAllocationFree) {
+    expect_steady_state_tick_is_allocation_free(
+        score_mode::per_shard, cnn_scorer(scorer_backend::int8), 1.0);
+}
+
+/// Build k_count synthetic windows laid out back to back.
+std::vector<float> synthetic_windows(std::size_t count, std::size_t elems) {
+    std::vector<float> windows(count * elems);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        windows[i] = std::sin(static_cast<double>(i) * 0.37) * 0.8;
+    }
+    return windows;
+}
+
+void expect_batch_scoring_is_allocation_free(scorer_backend backend) {
+    const auto scorer = cnn_scorer(backend);
+
+    constexpr std::size_t k_count = 48;
+    const std::size_t elems = k_window * core::k_feature_channels;
+    const std::vector<float> windows = synthetic_windows(k_count, elems);
+    std::vector<float> out(k_count);
+
+    scorer->score(windows, k_count, elems, out);  // warm-up batch
+    const std::uint64_t before = allocation_count();
+    scorer->score(windows, k_count, elems, out);
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << scorer_backend_name(backend) << " batch scoring allocated";
+    for (const float p : out) {
+        EXPECT_GE(p, 0.0f);
+        EXPECT_LE(p, 1.0f);
+    }
 }
 
 TEST(ServeAllocTest, Int8BatchScoringIsAllocationFreeAfterWarmup) {
     // The deployment scorer's whole inference — quantize, conv branches,
     // pooling, dense trunk, requantize, sigmoid — runs out of the
     // persistent quant::batch_inference_scratch after one warm-up batch.
-    scorer_spec spec;
-    spec.backend = scorer_backend::int8;
-    spec.window_samples = k_window;
-    spec.seed = 7;
-    const auto scorer = make_scorer(spec);
+    expect_batch_scoring_is_allocation_free(scorer_backend::int8);
+}
 
-    constexpr std::size_t k_count = 48;
-    const std::size_t elems = k_window * core::k_feature_channels;
-    std::vector<float> windows(k_count * elems);
-    for (std::size_t i = 0; i < windows.size(); ++i) {
-        windows[i] = std::sin(static_cast<double>(i) * 0.37) * 0.8;
-    }
-    std::vector<float> out(k_count);
-
-    scorer->score(windows, k_count, elems, out);  // warm-up batch
-    const std::uint64_t before = allocation_count();
-    scorer->score(windows, k_count, elems, out);
-    EXPECT_EQ(allocation_count() - before, 0u);
-    for (const float p : out) {
-        EXPECT_GE(p, 0.0f);
-        EXPECT_LE(p, 1.0f);
-    }
+TEST(ServeAllocTest, FloatBatchScoringIsAllocationFreeAfterWarmup) {
+    // The float path — workspace-bytes query, chunked forward_into through
+    // the model's arena plan, sigmoid over the logit buffer — reuses the
+    // nn::predict_scratch arena once the first batch has sized it.
+    expect_batch_scoring_is_allocation_free(scorer_backend::float32);
 }
 
 }  // namespace

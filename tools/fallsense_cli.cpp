@@ -26,6 +26,9 @@
 //                         latency histograms in the manifest (these vary
 //                         run to run; without them the manifest is
 //                         byte-identical for any FALLSENSE_THREADS)
+//   --simd scalar|native  select the float GEMM / int8 kernel dispatch
+//                         (docs/performance.md); overrides FALLSENSE_SIMD.
+//                         Default scalar — the bit-exact reference kernels
 //
 // Weights files store parameters only; the window size used at training
 // time must be passed again (kept explicit rather than guessed).
@@ -322,7 +325,7 @@ constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "se
                                             "samples-per-tick", "max-samples-per-tick",
                                             "drain-watermark", "queue-capacity",
                                             "drop-policy", "churn-every", "shards",
-                                            "score-mode", "swap-after"};
+                                            "score-mode", "swap-after", "simd"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {
@@ -360,6 +363,11 @@ int main(int argc, char** argv) {
         }
         const auto metrics_json = args.option("metrics-json");
         if (metrics_json) obs::set_enabled(true);
+        // Explicit --simd wins over the FALLSENSE_SIMD environment
+        // override; without the flag the environment's choice stands.
+        if (args.option("simd")) {
+            nn::set_simd_mode(tools::simd_mode_option(args, "simd", nn::simd_mode::scalar));
+        }
 
         int rc = 2;
         if (command == "generate") rc = cmd_generate(args);

@@ -7,6 +7,7 @@
 //                     [--max-samples-per-tick 0] [--drain-watermark 0]
 //                     [--queue-capacity 64] [--drop-policy oldest|reject]
 //                     [--churn-every 0] [--int8] [--weights FILE]
+//                     [--simd scalar|native]
 //                     [--metrics-json FILE] [--metrics-timings]
 //
 // Synthesizes --sessions independent wearers from the motion-profile
@@ -36,7 +37,7 @@ constexpr const char* k_config_options[] = {
     "score-mode",  "swap-after",  "window-ms",     "threshold",
     "consecutive", "feed-rate",   "samples-per-tick", "max-samples-per-tick",
     "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
-    "weights"};
+    "weights", "simd"};
 
 int usage() {
     std::fprintf(stderr,
@@ -48,11 +49,17 @@ int usage() {
                  "                         [--drain-watermark N] [--queue-capacity N]\n"
                  "                         [--drop-policy oldest|reject] [--churn-every T]\n"
                  "                         [--int8] [--weights FILE]\n"
+                 "                         [--simd scalar|native]\n"
                  "                         [--metrics-json FILE] [--metrics-timings]\n");
     return 2;
 }
 
 int run(const util::arg_parser& args) {
+    // Explicit --simd wins over the FALLSENSE_SIMD environment override;
+    // without the flag, whatever the environment resolved stays in force.
+    if (args.option("simd")) {
+        nn::set_simd_mode(tools::simd_mode_option(args, "simd", nn::simd_mode::scalar));
+    }
     serve::loadgen_config config;
     config.sessions = tools::count_option(args, "sessions", 64);
     config.ticks = tools::count_option(args, "ticks", 1000);

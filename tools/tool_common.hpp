@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/simd.hpp"
 #include "serve/serve.hpp"
 #include "util/args.hpp"
 
@@ -80,6 +81,15 @@ inline serve::score_mode score_mode_option(const util::arg_parser& args,
     if (!text) return fallback;
     const auto mode = serve::parse_score_mode(*text);
     if (!mode) bad_option("--" + name, *text, "fused|per_shard");
+    return *mode;
+}
+
+inline nn::simd_mode simd_mode_option(const util::arg_parser& args, const std::string& name,
+                                      nn::simd_mode fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    const auto mode = nn::parse_simd_mode(*text);
+    if (!mode) bad_option("--" + name, *text, "scalar|native");
     return *mode;
 }
 
