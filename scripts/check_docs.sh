@@ -11,6 +11,10 @@
 #      outputs, not tree files, and are skipped.
 #   2. FALLSENSE_* names — every cited environment variable or CMake
 #      option must appear somewhere in the sources/build files.
+#   3. CLI flags — every --flag token appearing in tools/*.cpp (usage
+#      strings, option tables, header synopses) must be documented in
+#      README.md or docs/*.md, so a tool cannot grow a knob the docs
+#      never heard of.
 #
 # Usage:
 #   scripts/check_docs.sh                 # check the repo's docs
@@ -26,11 +30,13 @@ cd "$ROOT"
 MODE=check
 ONLY_DOC=""
 EXTRA_DOCS=()
+TOOLS_DIR=tools
 while [ $# -gt 0 ]; do
     case "$1" in
         --self-test) MODE=self-test ;;
         --only) ONLY_DOC="$2"; shift ;;
         --extra-doc) EXTRA_DOCS+=("$2"); shift ;;
+        --tools-dir) TOOLS_DIR="$2"; shift ;;  # internal, for the self-test
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
@@ -56,6 +62,21 @@ EOF
     if ! grep -q "FALLSENSE_NO_SUCH_VAR" "$tmp/out.txt"; then
         echo "self-test FAILED: bogus env var not reported" >&2
         cat "$tmp/out.txt" >&2
+        exit 1
+    fi
+    # A tool declaring a flag no doc mentions must be rejected too.
+    mkdir "$tmp/tools"
+    cat > "$tmp/tools/fake_tool.cpp" <<'EOF'
+// usage: fake_tool [--no-such-undocumented-flag]
+EOF
+    if "$0" --tools-dir "$tmp/tools" > "$tmp/flags.txt" 2>&1; then
+        echo "self-test FAILED: checker accepted an undocumented CLI flag" >&2
+        cat "$tmp/flags.txt" >&2
+        exit 1
+    fi
+    if ! grep -q -- "--no-such-undocumented-flag" "$tmp/flags.txt"; then
+        echo "self-test FAILED: undocumented flag not reported" >&2
+        cat "$tmp/flags.txt" >&2
         exit 1
     fi
     echo "self-test OK: bogus citations are rejected"
@@ -105,6 +126,18 @@ for doc in "${DOCS[@]}"; do
         fi
     done
 done
+
+# CLI-flag coverage: a flag a tool knows (or claims in its synopsis)
+# that no doc mentions is documentation drift in the other direction.
+if [ -z "$ONLY_DOC" ] && ls "$TOOLS_DIR"/*.cpp > /dev/null 2>&1; then
+    FLAG_DOCS=(README.md docs/*.md)
+    flags="$(grep -ohE -- '--[a-z][a-z0-9_-]*' "$TOOLS_DIR"/*.cpp | sort -u)"
+    for flag in $flags; do
+        if ! grep -qF -- "$flag" "${FLAG_DOCS[@]}"; then
+            report "$TOOLS_DIR: CLI flag not documented in README.md or docs/: $flag"
+        fi
+    done
+fi
 
 if [ "$errors" -gt 0 ]; then
     echo "check_docs: $errors problem(s) found" >&2

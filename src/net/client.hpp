@@ -1,0 +1,79 @@
+// Wire-protocol client: the sender half of the ingestion edge.
+//
+// `wire_client` is what a device uplink (or the loadgen's --client
+// mode) uses to speak the docs/wire_protocol.md framing to a
+// `fallsense serve --listen` endpoint: it buffers encoded frames,
+// flushes them over a blocking TCP socket, and decodes whatever status
+// frames the server answered — the reject-newest backpressure signal —
+// through the same `frame_decoder` the server uses, so torn status
+// frames across reads are reassembled identically on both ends.
+//
+// The client is intentionally simple and synchronous (it models an
+// MCU-class sender, not another reactor): writes block, status reads
+// are opportunistic (`poll_statuses`, MSG_DONTWAIT) until the final
+// `drain_to_eof` after bye.  Deadlock is structurally impossible
+// against the non-blocking server: the server never stops reading, so
+// a blocking flush always completes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/server.hpp"  // endpoint
+#include "net/wire.hpp"
+
+namespace fallsense::net {
+
+/// Client-side receive counters (everything the server answered).
+struct client_stats {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t status_frames_in = 0;
+    std::uint64_t reject_frames_in = 0;     ///< status_code::queue_full
+    std::uint64_t unknown_session_in = 0;   ///< status_code::unknown_session
+    std::uint64_t malformed_frames_in = 0;  ///< status_code::malformed_frame
+};
+
+class wire_client {
+public:
+    /// Connect to `where`, retrying connection-refused for up to
+    /// `timeout_ms` (the server may still be binding — CI starts both
+    /// sides concurrently).  Throws std::runtime_error on timeout.
+    static wire_client connect_to(const endpoint& where, int timeout_ms = 5000);
+    ~wire_client();
+
+    wire_client(wire_client&& other) noexcept;
+    wire_client& operator=(wire_client&&) = delete;
+    wire_client(const wire_client&) = delete;
+    wire_client& operator=(const wire_client&) = delete;
+
+    /// Buffer one frame (split into k_max_frame_samples-sized sample
+    /// frames as needed, consecutive sequence numbers preserved).
+    void queue_samples(std::uint32_t session, std::uint32_t sequence,
+                       std::span<const data::raw_sample> samples);
+    void queue_tick();
+    void queue_close(std::uint32_t session);
+    void queue_bye();
+
+    /// Blocking send of every buffered byte.
+    void flush();
+
+    /// Non-blocking drain of server status frames into the stats.
+    void poll_statuses();
+
+    /// Blocking drain until the server closes (call after bye+flush).
+    void drain_to_eof();
+
+    const client_stats& stats() const { return stats_; }
+
+private:
+    explicit wire_client(int fd) : fd_(fd) {}
+    void consume(std::span<const std::uint8_t> bytes);
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> sendbuf_;
+    frame_decoder decoder_;
+    frame scratch_;
+    client_stats stats_;
+};
+
+}  // namespace fallsense::net

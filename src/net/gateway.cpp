@@ -1,0 +1,137 @@
+#include "net/gateway.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::net {
+
+session_gateway::session_gateway(serve::fleet_router& router, tick_handler on_tick)
+    : router_(router), on_tick_(std::move(on_tick)) {}
+
+session_gateway::conn_id session_gateway::open_connection() {
+    const conn_id id = next_conn_++;
+    connections_.emplace(id, connection{});
+    ++stats_.connections_opened;
+    return id;
+}
+
+void session_gateway::close_connection(conn_id conn) {
+    const auto it = connections_.find(conn);
+    FS_ARG_CHECK(it != connections_.end(), "unknown gateway connection id");
+    connections_.erase(it);
+    ++stats_.connections_closed;
+}
+
+void session_gateway::handle_samples(connection& c, const frame& f,
+                                     std::vector<std::uint8_t>& replies) {
+    auto [it, inserted] = c.sessions.try_emplace(f.session);
+    wire_session& ws = it->second;
+    if (inserted) {
+        // First sample frame for this wire id admits the session — the
+        // protocol has no separate open handshake (an MCU sender that
+        // rebooted just keeps transmitting).
+        ws.router_id = router_.create_session();
+        ++stats_.sessions_opened;
+    }
+    if (ws.seq_seen && f.sequence != ws.expected_seq) ++stats_.seq_gaps;
+    // u32 arithmetic wraps, so sequence tracking survives rollover: the
+    // frame after seq 0xffffffff is expected at seq (count - 1).
+    ws.expected_seq = f.sequence + static_cast<std::uint32_t>(f.samples.size());
+    ws.seq_seen = true;
+
+    std::uint32_t seq = f.sequence;
+    for (const data::raw_sample& s : f.samples) {
+        ++stats_.samples_in;
+        if (!router_.feed(ws.router_id, s)) {
+            // The engine refused the sample (reject_newest on a full
+            // queue): answer at the wire instead of dropping silently.
+            ++stats_.samples_rejected;
+            ++stats_.reject_frames_out;
+            ++stats_.status_frames_out;
+            stats_.bytes_out +=
+                encode_status(replies, f.session, seq, status_code::queue_full);
+        }
+        ++seq;
+    }
+}
+
+bool session_gateway::on_bytes(conn_id conn, std::span<const std::uint8_t> bytes,
+                               std::vector<std::uint8_t>& replies) {
+    const auto it = connections_.find(conn);
+    FS_ARG_CHECK(it != connections_.end(), "unknown gateway connection id");
+    connection& c = it->second;
+    FS_CHECK(c.alive, "on_bytes after a framing error; close the connection");
+
+    stats_.bytes_in += bytes.size();
+    c.decoder.push(bytes);
+    for (;;) {
+        const decode_status status = c.decoder.next(c.scratch);
+        if (status == decode_status::need_more) return true;
+        if (status != decode_status::ok) {
+            // Framing is unrecoverable (no resync markers by design —
+            // a length-prefixed stream that lost sync is garbage): tell
+            // the sender and have the transport close.
+            ++stats_.decode_errors;
+            ++stats_.status_frames_out;
+            stats_.bytes_out +=
+                encode_status(replies, 0, 0, status_code::malformed_frame);
+            c.alive = false;
+            return false;
+        }
+        ++stats_.frames_in;
+        const frame& f = c.scratch;
+        switch (f.type) {
+            case frame_type::sample:
+                handle_samples(c, f, replies);
+                break;
+            case frame_type::tick: {
+                ++stats_.ticks;
+                const serve::tick_result result = router_.tick();
+                if (on_tick_) on_tick_(result);
+                break;
+            }
+            case frame_type::close: {
+                const auto sit = c.sessions.find(f.session);
+                if (sit == c.sessions.end()) {
+                    ++stats_.status_frames_out;
+                    stats_.bytes_out += encode_status(replies, f.session, 0,
+                                                      status_code::unknown_session);
+                    break;
+                }
+                router_.evict_session(sit->second.router_id);
+                c.sessions.erase(sit);
+                ++stats_.sessions_closed;
+                break;
+            }
+            case frame_type::bye:
+                bye_ = true;
+                break;
+            case frame_type::status:
+                // Status frames are server → client; one arriving at the
+                // ingestion edge is a peer bug but not a framing error —
+                // count it and carry on (it parsed cleanly).
+                break;
+        }
+    }
+}
+
+void session_gateway::publish_metrics() const {
+    // The full counter set is always published (zeros included) so the
+    // manifest's net/* section has a stable shape across runs.
+    obs::add_counter("net/bytes_in", stats_.bytes_in);
+    obs::add_counter("net/bytes_out", stats_.bytes_out);
+    obs::add_counter("net/frames_in", stats_.frames_in);
+    obs::add_counter("net/samples_in", stats_.samples_in);
+    obs::add_counter("net/samples_rejected", stats_.samples_rejected);
+    obs::add_counter("net/reject_frames_out", stats_.reject_frames_out);
+    obs::add_counter("net/status_frames_out", stats_.status_frames_out);
+    obs::add_counter("net/ticks", stats_.ticks);
+    obs::add_counter("net/sessions_opened", stats_.sessions_opened);
+    obs::add_counter("net/sessions_closed", stats_.sessions_closed);
+    obs::add_counter("net/seq_gaps", stats_.seq_gaps);
+    obs::add_counter("net/decode_errors", stats_.decode_errors);
+    obs::add_counter("net/connections_opened", stats_.connections_opened);
+    obs::add_counter("net/connections_closed", stats_.connections_closed);
+}
+
+}  // namespace fallsense::net

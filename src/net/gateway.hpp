@@ -1,0 +1,133 @@
+// Session gateway: the transport-agnostic half of the ingestion edge.
+//
+// A `session_gateway` sits between a byte transport (the poll-based
+// socket server, or the in-memory pipe the tests use) and a
+// serve::fleet_router.  It owns, per transport connection, an
+// incremental `frame_decoder` plus the mapping from sender-chosen wire
+// session ids to router-global session ids, and turns the connection's
+// byte stream — however the transport chunked it — into the exact
+// `feed` / `tick` call sequence the frames describe:
+//
+//   sample frame  → one router `feed` per carried sample, in frame
+//                   order; a wire session id seen for the first time is
+//                   admitted via `create_session` on the spot;
+//   tick frame    → one router `tick()`; the result is handed to the
+//                   optional tick handler;
+//   close frame   → `evict_session` for the named wire session (a
+//                   status frame with `unknown_session` answers a close
+//                   for a session this connection never opened);
+//   bye frame     → marks the run complete (`bye_received()`); the
+//                   transport drains its reply buffers and shuts down.
+//
+// Backpressure surfaces at the wire: when the router refuses a sample —
+// a saturated queue under drop_policy::reject_newest — the gateway
+// answers with a `status_code::queue_full` frame naming the refused
+// sample's (wire session, sequence), so the sender knows exactly which
+// admitted-data guarantee it lost.  Under drop_oldest the engine admits
+// every offer (evicting stale data instead), so no reject frames exist
+// — the wire mirrors the engine's admission semantics rather than
+// inventing its own.
+//
+// Determinism: everything the gateway does is a pure function of the
+// per-connection byte stream content — never of how the transport
+// chunked it into reads (the frame_decoder reassembles torn frames).
+// With a single connection the whole networked run is therefore
+// bit-identical to direct in-process `feed`/`tick` calls, the property
+// tests/net/gateway_test.cpp pins across scripted chunkings and thread
+// counts.  The gateway keeps its own plain `gateway_stats` counters and
+// publishes them to the obs registry only on an explicit
+// `publish_metrics()` call (the socket server does this once at
+// shutdown), so a transport-double run leaves the metrics registry —
+// and hence the run manifest — byte-identical to a direct-feed run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "serve/fleet.hpp"
+
+namespace fallsense::net {
+
+/// Gateway lifetime counters (plain values; see publish_metrics()).
+struct gateway_stats {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;          ///< reply bytes the gateway emitted
+    std::uint64_t frames_in = 0;          ///< well-formed frames decoded
+    std::uint64_t samples_in = 0;         ///< samples offered to the router
+    std::uint64_t samples_rejected = 0;   ///< feed refusals answered at the wire
+    std::uint64_t reject_frames_out = 0;  ///< queue_full status frames sent
+    std::uint64_t status_frames_out = 0;  ///< all status frames sent
+    std::uint64_t ticks = 0;              ///< router ticks driven by tick frames
+    std::uint64_t sessions_opened = 0;    ///< wire sessions admitted
+    std::uint64_t sessions_closed = 0;    ///< wire sessions evicted via close
+    std::uint64_t seq_gaps = 0;           ///< sample frames whose sequence != expected
+    std::uint64_t decode_errors = 0;      ///< connections killed by framing errors
+    std::uint64_t connections_opened = 0;
+    std::uint64_t connections_closed = 0;
+};
+
+class session_gateway {
+public:
+    using conn_id = std::uint32_t;
+    /// Called after every tick-frame-driven router tick.
+    using tick_handler = std::function<void(const serve::tick_result&)>;
+
+    /// The router is borrowed and must outlive the gateway.
+    explicit session_gateway(serve::fleet_router& router, tick_handler on_tick = {});
+
+    /// Register a new transport connection (ids are never reused).
+    conn_id open_connection();
+
+    /// Process `bytes` arriving on connection `conn`: decode complete
+    /// frames (buffering any torn tail), feed/tick the router, and
+    /// append reply frames to `replies` for the transport to send.
+    /// Returns false when the stream is unrecoverably malformed — a
+    /// `malformed_frame` status has been appended and the transport
+    /// must flush it and close the connection.
+    bool on_bytes(conn_id conn, std::span<const std::uint8_t> bytes,
+                  std::vector<std::uint8_t>& replies);
+
+    /// Drop a connection's decoder and wire-session map.  Router
+    /// sessions opened by the connection stay live (an uplink reconnect
+    /// must not lose detector state mid-fall); an explicit close frame
+    /// is how a sender ends a session.
+    void close_connection(conn_id conn);
+
+    /// True once any connection delivered a bye frame.
+    bool bye_received() const { return bye_; }
+
+    const gateway_stats& stats() const { return stats_; }
+
+    /// Record the stats as `net/*` obs counters (docs/observability.md).
+    /// Deliberately not called from the hot path: transports publish
+    /// once at shutdown so transport-double runs keep the registry
+    /// untouched.
+    void publish_metrics() const;
+
+private:
+    struct wire_session {
+        serve::session_id router_id = 0;
+        std::uint32_t expected_seq = 0;  ///< sequence the next sample should carry
+        bool seq_seen = false;           ///< first frame initializes expected_seq
+    };
+    struct connection {
+        frame_decoder decoder;
+        frame scratch;  ///< decode target, capacity reused across frames
+        std::map<std::uint32_t, wire_session> sessions;  ///< wire id → router session
+        bool alive = true;
+    };
+
+    void handle_samples(connection& c, const frame& f, std::vector<std::uint8_t>& replies);
+
+    serve::fleet_router& router_;
+    tick_handler on_tick_;
+    std::map<conn_id, connection> connections_;
+    conn_id next_conn_ = 0;
+    gateway_stats stats_;
+    bool bye_ = false;
+};
+
+}  // namespace fallsense::net

@@ -1,0 +1,78 @@
+#include "net/loadgen_client.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fallsense::net {
+
+std::string loadgen_client_report::deterministic_summary() const {
+    std::ostringstream os;
+    os << "mode: client\n"
+       << "sessions: " << sessions << '\n'
+       << "ticks: " << ticks << '\n'
+       << "samples_offered: " << samples_offered << '\n'
+       << "reject_frames: " << reject_frames << '\n'
+       << "status_frames: " << status_frames << '\n';
+    return os.str();
+}
+
+loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
+                                         const endpoint& where) {
+    FS_ARG_CHECK(config.sessions > 0, "client mode needs at least one session");
+    FS_ARG_CHECK(config.ticks > 0, "client mode needs at least one tick");
+    FS_ARG_CHECK(config.feed_rate > 0, "client feed rate must be positive");
+    FS_ARG_CHECK(config.churn_every_ticks == 0,
+                 "churn is not supported in client mode (server-side lifecycle)");
+    FS_ARG_CHECK(config.swap_after_ticks == 0,
+                 "hot-swap is server-side; run it on the serve --listen process");
+
+    std::vector<serve::session_stream> streams =
+        serve::synthesize_fleet_streams(config.sessions, config.seed);
+    wire_client client = wire_client::connect_to(where);
+
+    loadgen_client_report report;
+    report.sessions = config.sessions;
+    report.ticks = config.ticks;
+
+    // Wire session ids mirror the in-process loadgen's router ids
+    // (0..N-1 in admission order) and sequence numbers count each
+    // session's offered samples from 0 — replay can key on them.
+    std::vector<std::uint32_t> seq(config.sessions, 0);
+    std::vector<data::raw_sample> batch;
+    batch.reserve(config.feed_rate);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < config.ticks; ++t) {
+        for (std::size_t i = 0; i < config.sessions; ++i) {
+            batch.clear();
+            for (std::size_t k = 0; k < config.feed_rate; ++k) {
+                batch.push_back(streams[i].next());
+            }
+            client.queue_samples(static_cast<std::uint32_t>(i), seq[i], batch);
+            seq[i] += static_cast<std::uint32_t>(batch.size());
+            report.samples_offered += batch.size();
+        }
+        client.queue_tick();
+        // Flush every tick (the server ticks only on arrival of the tick
+        // frame) and opportunistically drain reject statuses so neither
+        // side buffers unboundedly on a saturated fleet.
+        client.flush();
+        client.poll_statuses();
+    }
+    client.queue_bye();
+    client.flush();
+    client.drain_to_eof();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    const client_stats& cs = client.stats();
+    report.reject_frames = cs.reject_frames_in;
+    report.status_frames = cs.status_frames_in;
+    report.bytes_sent = cs.bytes_sent;
+    report.bytes_received = cs.bytes_received;
+    report.wall_seconds = elapsed.count();
+    return report;
+}
+
+}  // namespace fallsense::net

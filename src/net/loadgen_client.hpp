@@ -1,0 +1,51 @@
+// Loadgen client mode: the in-process fleet-traffic generator pushed
+// out over real sockets.
+//
+// `run_loadgen_client` replays exactly the byte-for-byte feed pattern
+// of `serve::run_loadgen` — the same synthesized wearers
+// (serve::synthesize_fleet_streams), the same per-tick session order,
+// the same samples-per-tick — but instead of calling
+// `fleet_router::feed` in process, it encodes each session's samples as
+// wire sample frames, paces the server with one tick frame per loadgen
+// tick, and finishes with a bye.  Against a `fallsense serve --listen`
+// endpoint configured with the same engine knobs and seed, the server's
+// deterministic serve/* counters, triggers, and manifest therefore
+// match the in-process run exactly — the socket loopback smoke in CI
+// diffs the two manifests.
+//
+// Server-side concerns stay server-side: scorer choice, queue capacity,
+// drop policy, shards, and hot-swap all belong to the `--listen`
+// process; the client rejects configs that ask for them (churn, swap)
+// because the wire has no frames for them yet.
+#pragma once
+
+#include <string>
+
+#include "net/client.hpp"
+#include "serve/loadgen.hpp"
+
+namespace fallsense::net {
+
+struct loadgen_client_report {
+    std::size_t sessions = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t samples_offered = 0;   ///< samples encoded onto the wire
+    std::uint64_t reject_frames = 0;     ///< queue_full statuses received
+    std::uint64_t status_frames = 0;     ///< all statuses received
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    double wall_seconds = 0.0;  ///< measured; everything above is deterministic
+
+    /// The deterministic fields, one `key: value` per line (the
+    /// client-side analogue of loadgen_report::deterministic_summary).
+    std::string deterministic_summary() const;
+};
+
+/// Encode `config.sessions` synthesized wearers onto a socket against
+/// `where` for `config.ticks` ticks.  Only the traffic-shaping fields
+/// of the config apply (sessions, ticks, seed, feed_rate); churn and
+/// swap are server-side and rejected with std::invalid_argument.
+loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
+                                         const endpoint& where);
+
+}  // namespace fallsense::net

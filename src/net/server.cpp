@@ -1,0 +1,215 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/args.hpp"
+
+namespace fallsense::net {
+
+namespace {
+
+constexpr std::size_t k_read_chunk = 64 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        throw_errno("fcntl(O_NONBLOCK)");
+    }
+}
+
+}  // namespace
+
+std::optional<endpoint> parse_endpoint(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    endpoint ep;
+    std::string port_text = text;
+    const std::size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        // Exactly one separator: a second colon means the host part is
+        // not a v4 literal or hostname this parser speaks.
+        if (text.find(':') != colon) return std::nullopt;
+        if (colon > 0) ep.host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+    const auto port = util::parse_long(port_text);
+    if (!port || *port < 0 || *port > 65535) return std::nullopt;
+    ep.port = static_cast<std::uint16_t>(*port);
+    return ep;
+}
+
+ingest_server::ingest_server(const endpoint& where, serve::fleet_router& router,
+                             session_gateway::tick_handler on_tick)
+    : gateway_(router, std::move(on_tick)), readbuf_(k_read_chunk) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(where.port);
+    if (::inet_pton(AF_INET, where.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("ingest_server: not an IPv4 address: " + where.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 16) < 0) {
+        const int saved = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = saved;
+        throw_errno("ingest_server bind/listen " + where.host);
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        throw_errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+    set_nonblocking(listen_fd_);
+}
+
+ingest_server::~ingest_server() {
+    for (const connection& c : conns_) {
+        if (c.fd >= 0) ::close(c.fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ingest_server::accept_ready() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            return;  // transient accept failures are not fatal to the loop
+        }
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        connection c;
+        c.fd = fd;
+        c.id = gateway_.open_connection();
+        conns_.push_back(std::move(c));
+    }
+}
+
+bool ingest_server::service_read(connection& c) {
+    for (;;) {
+        const ssize_t n = ::recv(c.fd, readbuf_.data(), readbuf_.size(), 0);
+        if (n > 0) {
+            if (!gateway_.on_bytes(c.id, {readbuf_.data(), static_cast<std::size_t>(n)},
+                                   c.outbuf)) {
+                return false;  // framing error: flush the status frame, then drop
+            }
+            if (static_cast<std::size_t>(n) < readbuf_.size()) return true;
+            continue;  // kernel buffer may hold more
+        }
+        if (n == 0) return false;  // peer closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;  // connection error
+    }
+}
+
+bool ingest_server::flush_writes(connection& c) {
+    while (c.out_off < c.outbuf.size()) {
+        const ssize_t n = ::send(c.fd, c.outbuf.data() + c.out_off,
+                                 c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;  // peer gone; pending replies are moot
+    }
+    c.outbuf.clear();
+    c.out_off = 0;
+    return true;
+}
+
+void ingest_server::drop_connection(std::size_t index) {
+    connection& c = conns_[index];
+    ::close(c.fd);
+    gateway_.close_connection(c.id);
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+bool ingest_server::replies_pending() const {
+    for (const connection& c : conns_) {
+        if (c.out_off < c.outbuf.size()) return true;
+    }
+    return false;
+}
+
+bool ingest_server::pump(int timeout_ms) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns_.size() + 1);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const connection& c : conns_) {
+        short events = c.draining ? 0 : POLLIN;
+        if (c.out_off < c.outbuf.size()) events |= POLLOUT;
+        fds.push_back({c.fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) throw_errno("poll");
+
+    if (ready > 0) {
+        if (fds[0].revents & POLLIN) accept_ready();
+        // Walk backwards so drop_connection's erase cannot shift an
+        // index we have yet to visit.  fds[i + 1] belongs to conns_[i]
+        // as polled; connections accepted above were not polled.
+        const std::size_t polled = fds.size() - 1;
+        for (std::size_t i = polled; i-- > 0;) {
+            connection& c = conns_[i];
+            const short re = fds[i + 1].revents;
+            bool keep = true;
+            if (re & (POLLERR | POLLNVAL)) keep = false;
+            if (keep && (re & POLLIN)) keep = service_read(c);
+            if (keep && (re & POLLHUP) && !(re & POLLIN)) keep = false;
+            if (keep || !c.outbuf.empty()) {
+                if (!flush_writes(c)) {
+                    drop_connection(i);
+                    continue;
+                }
+            }
+            if (!keep) {
+                if (c.out_off < c.outbuf.size()) {
+                    c.draining = true;  // deliver the last status frames first
+                } else {
+                    drop_connection(i);
+                }
+            } else if (c.draining && c.outbuf.empty()) {
+                drop_connection(i);
+            }
+        }
+    }
+    return !(gateway_.bye_received() && !replies_pending());
+}
+
+void ingest_server::run() {
+    while (pump(1000)) {
+    }
+    if (!published_) {
+        gateway_.publish_metrics();
+        published_ = true;
+    }
+}
+
+}  // namespace fallsense::net

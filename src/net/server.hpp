@@ -1,0 +1,97 @@
+// Poll-based socket ingestion server — the network edge of the fleet.
+//
+// `ingest_server` binds a TCP listener, accepts any number of client
+// connections, and pumps their byte streams through a `session_gateway`
+// into the fleet_router — all on the calling thread.  The event loop is
+// a classic non-blocking poll(2) reactor: no thread is spawned (the
+// engine's own thread pool parallelism happens inside `tick`, exactly
+// as in-process callers get it), reads and writes never block, and
+// decoding/feeding runs between poll wakeups — which, because ticks are
+// driven by client tick frames processed in stream order, means frames
+// always land in `feed` between ticks, never during one.
+//
+// Reply bytes (reject/status frames) are buffered per connection and
+// flushed as POLLOUT allows; a connection that dies mid-flush is simply
+// closed.  The loop runs until a client sends a `bye` frame and every
+// pending reply byte has been flushed (`run()`), or indefinitely under
+// manual `pump()` calls — the test harness drives it that way.
+//
+// The server publishes the gateway's `net/*` counters to the obs
+// registry exactly once, when the loop finishes, so a `--metrics-json`
+// manifest from a networked run carries the transport section
+// (docs/observability.md) while per-read hot paths stay registry-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/gateway.hpp"
+
+namespace fallsense::net {
+
+/// A listen/connect address.  `parse_endpoint` accepts "PORT", ":PORT",
+/// and "HOST:PORT" (host defaults to 127.0.0.1 — the ingestion edge
+/// binds loopback unless told otherwise); returns nullopt on malformed
+/// input, including ports outside 0..65535.
+struct endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral (bind decides; see port())
+};
+
+std::optional<endpoint> parse_endpoint(const std::string& text);
+
+class ingest_server {
+public:
+    /// Bind + listen on `where` (throws std::runtime_error on failure,
+    /// e.g. the port is taken).  The router is borrowed and must
+    /// outlive the server.
+    ingest_server(const endpoint& where, serve::fleet_router& router,
+                  session_gateway::tick_handler on_tick = {});
+    ~ingest_server();
+
+    ingest_server(const ingest_server&) = delete;
+    ingest_server& operator=(const ingest_server&) = delete;
+
+    /// The bound port (resolves an ephemeral request to the real port).
+    std::uint16_t port() const { return port_; }
+
+    /// One reactor iteration: wait up to `timeout_ms` for socket events
+    /// (-1 = forever), then accept/read/decode/feed/write whatever is
+    /// ready.  Returns false once a bye frame has been processed and
+    /// all reply bytes are flushed — the run is complete.
+    bool pump(int timeout_ms);
+
+    /// pump() until complete, then publish the gateway's net/* metrics.
+    void run();
+
+    session_gateway& gateway() { return gateway_; }
+    const session_gateway& gateway() const { return gateway_; }
+
+private:
+    struct connection {
+        int fd = -1;
+        session_gateway::conn_id id = 0;
+        std::vector<std::uint8_t> outbuf;  ///< un-flushed reply bytes
+        std::size_t out_off = 0;
+        bool draining = false;  ///< gateway said close; flush outbuf then drop
+    };
+
+    void accept_ready();
+    /// Read + decode + reply for one connection; returns false when the
+    /// connection should be dropped once its outbuf has drained.
+    bool service_read(connection& c);
+    bool flush_writes(connection& c);  ///< false on a dead socket
+    void drop_connection(std::size_t index);
+    bool replies_pending() const;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    session_gateway gateway_;
+    std::vector<connection> conns_;
+    std::vector<std::uint8_t> readbuf_;  ///< shared read scratch
+    bool published_ = false;
+};
+
+}  // namespace fallsense::net

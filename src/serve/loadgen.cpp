@@ -29,28 +29,34 @@ data::motion_tuning loadgen_tuning() {
     return tuning;
 }
 
-/// One session's replay source: a synthesized trial looped endlessly.
-struct stream {
-    std::vector<data::raw_sample> samples;
-    std::size_t cursor = 0;
-
-    const data::raw_sample& next() {
-        const data::raw_sample& s = samples[cursor];
-        cursor = (cursor + 1) % samples.size();
-        return s;
-    }
-};
-
-stream synthesize_stream(const data::subject_profile& subject, int task_id,
-                         std::uint64_t seed) {
+session_stream synthesize_stream(const data::subject_profile& subject, int task_id,
+                                 std::uint64_t seed) {
     util::rng gen(seed);
     const data::trial t = data::synthesize_task(task_id, subject, loadgen_tuning(),
                                                 data::synthesis_config{}, gen);
     FS_CHECK(!t.samples.empty(), "loadgen synthesized an empty stream");
-    return stream{t.samples, 0};
+    return session_stream{t.samples, 0};
 }
 
 }  // namespace
+
+std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
+                                                     std::uint64_t seed) {
+    FS_ARG_CHECK(sessions > 0, "a fleet needs at least one stream");
+    const std::size_t n_tasks = std::size(k_task_mix);
+    const std::vector<data::subject_profile> subjects = data::sample_subjects(
+        static_cast<int>(sessions), 0, util::derive_seed(seed, "loadgen/subjects"));
+    const std::uint64_t stream_seed = util::derive_seed(seed, "loadgen/stream");
+
+    // Stream i is a pure function of (seed, i), written to its own slot,
+    // so parallel synthesis is deterministic for any thread count.
+    std::vector<session_stream> streams(sessions);
+    util::parallel_for(0, sessions, 1, [&](std::size_t i) {
+        streams[i] = synthesize_stream(subjects[i], k_task_mix[i % n_tasks],
+                                       util::derive_seed(stream_seed, {i}));
+    });
+    return streams;
+}
 
 double loadgen_report::ticks_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(ticks) / wall_seconds : 0.0;
@@ -91,18 +97,9 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     OBS_SCOPE("serve/loadgen");
 
     const std::size_t n_tasks = std::size(k_task_mix);
-    const std::vector<data::subject_profile> subjects = data::sample_subjects(
-        static_cast<int>(config.sessions), 0,
-        util::derive_seed(config.seed, "loadgen/subjects"));
     const std::uint64_t stream_seed = util::derive_seed(config.seed, "loadgen/stream");
-
-    // Synthesize the initial fleet in parallel: stream i is a pure function
-    // of (seed, i), written to its own slot.
-    std::vector<stream> streams(config.sessions);
-    util::parallel_for(0, config.sessions, 1, [&](std::size_t i) {
-        streams[i] = synthesize_stream(subjects[i], k_task_mix[i % n_tasks],
-                                       util::derive_seed(stream_seed, {i}));
-    });
+    std::vector<session_stream> streams =
+        synthesize_fleet_streams(config.sessions, config.seed);
 
     // Scorers must match the engine's window; resolve it once here so
     // callers only configure the detector.

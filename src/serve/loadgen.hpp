@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/fleet.hpp"
 #include "serve/scorer_factory.hpp"
@@ -49,6 +50,27 @@ struct loadgen_config {
     scorer_spec scorer{};
     engine_config engine{};
 };
+
+/// One synthesized wearer's replay source: a motion-profile trial looped
+/// endlessly (streams wrap around, so sessions never starve).
+struct session_stream {
+    std::vector<data::raw_sample> samples;
+    std::size_t cursor = 0;
+
+    const data::raw_sample& next() {
+        const data::raw_sample& s = samples[cursor];
+        cursor = (cursor + 1) % samples.size();
+        return s;
+    }
+};
+
+/// The loadgen's initial fleet: stream i is a pure function of
+/// (seed, i) — subject anthropometrics, Table II task mix, and sample
+/// content all derive from it — so any consumer replaying these streams
+/// in the same order (the in-process loadgen, or the wire client in
+/// src/net/loadgen_client.hpp) produces identical traffic.
+std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
+                                                     std::uint64_t seed);
 
 struct loadgen_report {
     std::size_t sessions = 0;

@@ -1,0 +1,328 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace fallsense::net {
+namespace {
+
+data::raw_sample make_sample(float ax, float ay, float az, float gx, float gy, float gz) {
+    data::raw_sample s;
+    s.accel = {ax, ay, az};
+    s.gyro = {gx, gy, gz};
+    return s;
+}
+
+/// A deterministic-but-nontrivial sample for round-trip tests.
+data::raw_sample sample_at(std::size_t i) {
+    const float f = static_cast<float>(i);
+    return make_sample(f * 0.25f, -f, 1.0f + f * 0.125f, f * 2.0f, 0.5f - f, f * f);
+}
+
+std::vector<frame> drain(frame_decoder& decoder) {
+    std::vector<frame> frames;
+    frame f;
+    while (decoder.next(f) == decode_status::ok) frames.push_back(f);
+    return frames;
+}
+
+void expect_frames_equal(const frame& a, const frame& b) {
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.session, b.session);
+    EXPECT_EQ(a.sequence, b.sequence);
+    EXPECT_EQ(a.status, b.status);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].accel, b.samples[i].accel) << "sample " << i;
+        EXPECT_EQ(a.samples[i].gyro, b.samples[i].gyro) << "sample " << i;
+    }
+}
+
+TEST(WireCodecTest, GoldenBytesMatchWireProtocolDocExample) {
+    // The worked hex example in docs/wire_protocol.md, byte for byte:
+    // sample frame, session 7, sequence 1, one sample with
+    // accel (1.0, 0.0, -1.0) g and gyro (0.5, 0.25, 2.0) rad/s.
+    const std::vector<std::uint8_t> golden = {
+        0x46, 0x53,              // magic "FS"
+        0x01,                    // version 1
+        0x01,                    // type: sample
+        0x07, 0x00, 0x00, 0x00,  // session 7
+        0x01, 0x00, 0x00, 0x00,  // sequence 1
+        0x01, 0x00,              // count 1
+        0x00, 0x00, 0x80, 0x3f,  // ax = 1.0
+        0x00, 0x00, 0x00, 0x00,  // ay = 0.0
+        0x00, 0x00, 0x80, 0xbf,  // az = -1.0
+        0x00, 0x00, 0x00, 0x3f,  // gx = 0.5
+        0x00, 0x00, 0x80, 0x3e,  // gy = 0.25
+        0x00, 0x00, 0x00, 0x40,  // gz = 2.0
+    };
+    ASSERT_EQ(golden.size(), k_header_bytes + k_sample_bytes);
+
+    const data::raw_sample s = make_sample(1.0f, 0.0f, -1.0f, 0.5f, 0.25f, 2.0f);
+    std::vector<std::uint8_t> encoded;
+    const std::size_t n = encode_samples(encoded, 7, 1, {&s, 1});
+    EXPECT_EQ(n, golden.size());
+    EXPECT_EQ(encoded, golden);
+
+    frame f;
+    std::size_t used = 0;
+    ASSERT_EQ(decode_frame(golden, f, &used), decode_status::ok);
+    EXPECT_EQ(used, golden.size());
+    EXPECT_EQ(f.type, frame_type::sample);
+    EXPECT_EQ(f.session, 7u);
+    EXPECT_EQ(f.sequence, 1u);
+    ASSERT_EQ(f.samples.size(), 1u);
+    EXPECT_EQ(f.samples[0].accel, s.accel);
+    EXPECT_EQ(f.samples[0].gyro, s.gyro);
+}
+
+TEST(WireCodecTest, RoundTripsEveryFrameType) {
+    std::vector<data::raw_sample> batch;
+    for (std::size_t i = 0; i < 5; ++i) batch.push_back(sample_at(i));
+
+    std::vector<std::uint8_t> buffer;
+    encode_samples(buffer, 11, 400, batch);
+    encode_status(buffer, 11, 404, status_code::queue_full);
+    encode_tick(buffer);
+    encode_close(buffer, 11);
+    encode_status(buffer, 12, 0, status_code::unknown_session);
+    encode_bye(buffer);
+
+    frame f;
+    std::size_t used = 0;
+    std::span<const std::uint8_t> rest = buffer;
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::sample);
+    EXPECT_EQ(f.session, 11u);
+    EXPECT_EQ(f.sequence, 400u);
+    ASSERT_EQ(f.samples.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(f.samples[i].accel, batch[i].accel);
+        EXPECT_EQ(f.samples[i].gyro, batch[i].gyro);
+    }
+    rest = rest.subspan(used);
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::status);
+    EXPECT_EQ(f.session, 11u);
+    EXPECT_EQ(f.sequence, 404u);
+    EXPECT_EQ(static_cast<status_code>(f.status), status_code::queue_full);
+    EXPECT_TRUE(f.samples.empty());
+    rest = rest.subspan(used);
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::tick);
+    rest = rest.subspan(used);
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::close);
+    EXPECT_EQ(f.session, 11u);
+    rest = rest.subspan(used);
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::status);
+    EXPECT_EQ(static_cast<status_code>(f.status), status_code::unknown_session);
+    rest = rest.subspan(used);
+
+    ASSERT_EQ(decode_frame(rest, f, &used), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::bye);
+    rest = rest.subspan(used);
+    EXPECT_TRUE(rest.empty());
+}
+
+TEST(WireCodecTest, SequenceNumbersCoverTheFullU32Range) {
+    const data::raw_sample s = sample_at(3);
+    for (const std::uint32_t seq : {0u, 1u, 0x7fffffffu, 0xfffffffeu, 0xffffffffu}) {
+        std::vector<std::uint8_t> buffer;
+        encode_samples(buffer, 0xffffffffu, seq, {&s, 1});
+        frame f;
+        std::size_t used = 0;
+        ASSERT_EQ(decode_frame(buffer, f, &used), decode_status::ok) << seq;
+        EXPECT_EQ(f.sequence, seq);
+        EXPECT_EQ(f.session, 0xffffffffu);
+    }
+}
+
+TEST(WireCodecTest, EncodeSamplesRejectsEmptyAndOversizedBatches) {
+    std::vector<std::uint8_t> buffer;
+    EXPECT_THROW(encode_samples(buffer, 0, 0, {}), std::invalid_argument);
+    const std::vector<data::raw_sample> too_many(k_max_frame_samples + 1);
+    EXPECT_THROW(encode_samples(buffer, 0, 0, too_many), std::invalid_argument);
+    EXPECT_TRUE(buffer.empty() || buffer.size() == k_header_bytes);
+
+    buffer.clear();
+    const std::vector<data::raw_sample> at_cap(k_max_frame_samples);
+    EXPECT_EQ(encode_samples(buffer, 0, 0, at_cap), k_max_frame_bytes);
+}
+
+TEST(WireCodecTest, MalformedInputTable) {
+    // A valid single-sample frame to mutate; every row of the table is
+    // one way a hostile or corrupt stream can break, and each must map
+    // to exactly one typed error without reading out of bounds (this
+    // file runs under ASan/UBSan in CI).
+    const data::raw_sample s = sample_at(0);
+    std::vector<std::uint8_t> valid;
+    encode_samples(valid, 1, 2, {&s, 1});
+
+    struct row {
+        const char* name;
+        std::vector<std::uint8_t> bytes;
+        decode_status want;
+    };
+    std::vector<row> table;
+
+    // Truncated header: every strict prefix of the header is a torn
+    // frame, not an error.
+    for (std::size_t n = 0; n < k_header_bytes; ++n) {
+        table.push_back({"truncated header",
+                         {valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(n)},
+                         decode_status::need_more});
+    }
+    // Truncated payload: full header, half the sample.
+    table.push_back({"truncated payload",
+                     {valid.begin(), valid.begin() + k_header_bytes + 12},
+                     decode_status::need_more});
+
+    auto mutated = [&](std::size_t offset, std::uint8_t value) {
+        std::vector<std::uint8_t> bytes = valid;
+        bytes[offset] = value;
+        return bytes;
+    };
+    table.push_back({"bad magic[0]", mutated(0, 'X'), decode_status::bad_magic});
+    table.push_back({"bad magic[1]", mutated(1, 'X'), decode_status::bad_magic});
+    table.push_back({"bad version", mutated(2, 2), decode_status::bad_version});
+    table.push_back({"type zero", mutated(3, 0), decode_status::bad_type});
+    table.push_back({"type unknown", mutated(3, 6), decode_status::bad_type});
+    table.push_back({"type 0xff", mutated(3, 0xff), decode_status::bad_type});
+    // Validation order: magic wins even when everything else is junk.
+    {
+        std::vector<std::uint8_t> bytes = mutated(0, 'X');
+        bytes[2] = 9;
+        bytes[3] = 0xff;
+        table.push_back({"magic checked first", bytes, decode_status::bad_magic});
+    }
+    // Count inconsistent with the type.
+    table.push_back({"empty sample frame", mutated(12, 0), decode_status::bad_count});
+    {
+        std::vector<std::uint8_t> bytes = valid;
+        bytes[12] = static_cast<std::uint8_t>(k_max_frame_samples + 1);
+        table.push_back({"oversized batch", bytes, decode_status::oversized_batch});
+    }
+    {
+        // Oversized must be reported from the count alone — the payload
+        // those 65535 samples would need is absent, but need_more would
+        // let a hostile header demand unbounded buffering.
+        std::vector<std::uint8_t> bytes = valid;
+        bytes[12] = 0xff;
+        bytes[13] = 0xff;
+        table.push_back({"oversized batch, u16 max", bytes, decode_status::oversized_batch});
+    }
+    for (const frame_type control : {frame_type::tick, frame_type::close, frame_type::bye}) {
+        std::vector<std::uint8_t> bytes(valid.begin(), valid.begin() + k_header_bytes);
+        bytes[3] = static_cast<std::uint8_t>(control);
+        bytes[12] = 1;
+        table.push_back({"control frame with payload count", bytes, decode_status::bad_count});
+    }
+    {
+        std::vector<std::uint8_t> bytes(valid.begin(), valid.begin() + k_header_bytes);
+        bytes[3] = static_cast<std::uint8_t>(frame_type::status);
+        bytes[12] = 0;
+        table.push_back({"status frame with code zero", bytes, decode_status::bad_count});
+    }
+
+    for (const row& r : table) {
+        frame f;
+        std::size_t used = 0xdead;
+        EXPECT_EQ(decode_frame(r.bytes, f, &used), r.want)
+            << r.name << " (" << r.bytes.size() << " bytes)";
+        EXPECT_EQ(used, 0u) << r.name << ": nothing may be consumed on non-ok";
+    }
+}
+
+TEST(WireCodecTest, UnknownStatusCodesDecodeForForwardCompatibility) {
+    std::vector<std::uint8_t> buffer;
+    encode_status(buffer, 5, 6, status_code::queue_full);
+    buffer[12] = 0x2a;  // a code this version has never heard of
+    frame f;
+    std::size_t used = 0;
+    ASSERT_EQ(decode_frame(buffer, f, &used), decode_status::ok);
+    EXPECT_EQ(f.status, 0x2au);
+}
+
+TEST(FrameDecoderTest, ReassemblyIsChunkingIndependent) {
+    // The same byte stream delivered whole, byte-by-byte, and in awkward
+    // chunk sizes must yield the identical frame sequence — the property
+    // the gateway's determinism contract stands on.
+    std::vector<std::uint8_t> stream;
+    for (std::size_t i = 0; i < 7; ++i) {
+        std::vector<data::raw_sample> batch;
+        for (std::size_t k = 0; k <= i; ++k) batch.push_back(sample_at(i * 10 + k));
+        encode_samples(stream, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i * 100),
+                       batch);
+        if (i % 2 == 0) encode_tick(stream);
+    }
+    encode_bye(stream);
+
+    frame_decoder whole;
+    whole.push(stream);
+    const std::vector<frame> want = drain(whole);
+    ASSERT_GT(want.size(), 8u);
+
+    for (const std::size_t chunk : {1ul, 2ul, 3ul, 7ul, 13ul, k_header_bytes}) {
+        frame_decoder decoder;
+        std::vector<frame> got;
+        for (std::size_t off = 0; off < stream.size(); off += chunk) {
+            const std::size_t n = std::min(chunk, stream.size() - off);
+            decoder.push({stream.data() + off, n});
+            for (frame& f : drain(decoder)) got.push_back(std::move(f));
+        }
+        ASSERT_EQ(got.size(), want.size()) << "chunk size " << chunk;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            SCOPED_TRACE(testing::Message() << "chunk size " << chunk << ", frame " << i);
+            expect_frames_equal(got[i], want[i]);
+        }
+        EXPECT_EQ(decoder.buffered_bytes(), 0u) << "chunk size " << chunk;
+    }
+}
+
+TEST(FrameDecoderTest, FramingErrorIsSticky) {
+    std::vector<std::uint8_t> stream;
+    encode_tick(stream);
+    stream.insert(stream.end(), {'n', 'o', 't', ' ', 'a', ' ', 'f', 'r', 'a', 'm', 'e', '!',
+                                 '!', '!'});
+
+    frame_decoder decoder;
+    decoder.push(stream);
+    frame f;
+    ASSERT_EQ(decoder.next(f), decode_status::ok);
+    EXPECT_EQ(f.type, frame_type::tick);
+    ASSERT_EQ(decoder.next(f), decode_status::bad_magic);
+    // Even fresh valid bytes cannot resurrect the stream: there is no
+    // resynchronization point once framing is lost.
+    std::vector<std::uint8_t> more;
+    encode_tick(more);
+    decoder.push(more);
+    EXPECT_EQ(decoder.next(f), decode_status::bad_magic);
+}
+
+TEST(FrameDecoderTest, TornFrameAcrossPushesDoesNotError) {
+    std::vector<std::uint8_t> stream;
+    const data::raw_sample s = sample_at(1);
+    encode_samples(stream, 9, 0, {&s, 1});
+
+    frame_decoder decoder;
+    frame f;
+    decoder.push({stream.data(), 5});  // header torn mid-session-id
+    EXPECT_EQ(decoder.next(f), decode_status::need_more);
+    EXPECT_EQ(decoder.buffered_bytes(), 5u);
+    decoder.push({stream.data() + 5, stream.size() - 5});
+    ASSERT_EQ(decoder.next(f), decode_status::ok);
+    EXPECT_EQ(f.session, 9u);
+    EXPECT_EQ(decoder.next(f), decode_status::need_more);
+}
+
+}  // namespace
+}  // namespace fallsense::net

@@ -1,0 +1,59 @@
+#include "serve/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace fallsense::serve {
+namespace {
+
+bool same_samples(const session_stream& a, const session_stream& b) {
+    if (a.samples.size() != b.samples.size()) return false;
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        if (a.samples[i].accel != b.samples[i].accel) return false;
+        if (a.samples[i].gyro != b.samples[i].gyro) return false;
+    }
+    return true;
+}
+
+TEST(FleetStreamsTest, DeterministicInSeedAndThreadCount) {
+    // The contract both loadgen modes stand on: stream i is a pure
+    // function of (seed, i), so the wire client and the in-process
+    // loadgen synthesize byte-identical traffic without sharing state.
+    const auto reference = synthesize_fleet_streams(6, 123);
+    ASSERT_EQ(reference.size(), 6u);
+    for (const session_stream& s : reference) EXPECT_FALSE(s.samples.empty());
+
+    const auto again = synthesize_fleet_streams(6, 123);
+    util::set_global_threads(4);
+    const auto threaded = synthesize_fleet_streams(6, 123);
+    util::set_global_threads(0);
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_TRUE(same_samples(again[i], reference[i])) << "repeat call, stream " << i;
+        EXPECT_TRUE(same_samples(threaded[i], reference[i])) << "4 threads, stream " << i;
+    }
+}
+
+TEST(FleetStreamsTest, SeedAndSessionIndexBothChangeTheStream) {
+    const auto streams = synthesize_fleet_streams(3, 7);
+    const auto reseeded = synthesize_fleet_streams(3, 8);
+    EXPECT_FALSE(same_samples(streams[0], streams[1]));
+    EXPECT_FALSE(same_samples(streams[0], reseeded[0]));
+}
+
+TEST(FleetStreamsTest, NextWrapsAroundTheStream) {
+    auto streams = synthesize_fleet_streams(1, 11);
+    session_stream& s = streams[0];
+    const data::raw_sample first = s.next();
+    for (std::size_t i = 1; i < s.samples.size(); ++i) s.next();
+    const data::raw_sample& wrapped = s.next();
+    EXPECT_EQ(wrapped.accel, first.accel);
+    EXPECT_EQ(wrapped.gyro, first.gyro);
+}
+
+TEST(FleetStreamsTest, RejectsEmptyFleets) {
+    EXPECT_THROW(synthesize_fleet_streams(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fallsense::serve

@@ -18,6 +18,13 @@
 //                      [--max-samples-per-tick 0] [--drain-watermark 0]
 //                      [--queue-capacity 64] [--drop-policy oldest|reject]
 //                      [--churn-every 0] [--int8] [--weights weights.fsnn]
+//   fallsense serve --listen [HOST:]PORT [engine/scorer flags as above]
+//                      network front-end: accepts wire-protocol clients
+//                      (docs/wire_protocol.md), ticks on client tick
+//                      frames, answers reject-newest saturation with
+//                      queue-full status frames; traffic flags
+//                      (--sessions/--ticks/--feed-rate/--churn-every)
+//                      belong to fallsense_loadgen --client
 //
 // Any command additionally accepts
 //   --metrics-json FILE   enable the obs metrics registry and write a run
@@ -46,6 +53,7 @@
 #include "mcu/cost_model.hpp"
 #include "mcu/deployment.hpp"
 #include "mcu/memory_planner.hpp"
+#include "net/server.hpp"
 #include "nn/activations.hpp"
 #include "nn/serialize.hpp"
 #include "obs/manifest.hpp"
@@ -279,6 +287,64 @@ int cmd_replay(const util::arg_parser& args) {
     return 0;
 }
 
+/// serve --listen: the networked front-end.  The same engine/scorer
+/// flags as the in-process path configure the fleet, but traffic comes
+/// from wire-protocol clients (docs/wire_protocol.md) instead of the
+/// loadgen loop — sessions are admitted on first sample frame, ticks
+/// are paced by client tick frames, and the run ends on a bye frame.
+/// Traffic-shaping flags are client-side and rejected here.
+int cmd_serve_listen(const util::arg_parser& args, const net::endpoint& where,
+                     serve::loadgen_config config) {
+    for (const char* banned : {"sessions", "ticks", "feed-rate", "churn-every"}) {
+        if (args.option(banned)) {
+            throw tools::usage_error(std::string("--") + banned +
+                                     " is traffic-shaping (client-side); pass it to "
+                                     "fallsense_loadgen --client instead");
+        }
+    }
+    serve::scorer_spec spec = config.scorer;
+    spec.window_samples = config.engine.detector.window_samples;
+
+    serve::fleet_config fc;
+    fc.engine = config.engine;
+    fc.shards = config.shards;
+    fc.mode = config.mode;
+    serve::fleet_router fleet(fc, serve::make_scorer(spec));
+
+    // --swap-after T hot-swaps between ticks T-1 and T, exactly where
+    // the in-process loadgen swaps, so networked and in-process runs
+    // stay manifest-identical.
+    std::uint64_t ticks_done = 0;
+    net::ingest_server server(where, fleet, [&](const serve::tick_result&) {
+        ++ticks_done;
+        if (config.swap_after_ticks > 0 && ticks_done == config.swap_after_ticks) {
+            serve::scorer_spec next = spec;
+            next.seed = util::derive_seed(spec.seed, "serve/swap");
+            fleet.swap_scorer(serve::make_scorer(next));
+        }
+    });
+    // The loopback smoke waits for this line before starting the client.
+    std::printf("listening on %s:%u\n", where.host.c_str(), server.port());
+    std::fflush(stdout);
+    server.run();
+
+    const serve::engine_stats totals = fleet.totals();
+    const net::gateway_stats& gs = server.gateway().stats();
+    std::printf("connections: %llu\nframes_in: %llu\nsamples_in: %llu\n"
+                "samples_rejected: %llu\nreject_frames_out: %llu\nticks: %llu\n"
+                "windows_scored: %llu\ntriggers: %llu\nswap_generation: %llu\n",
+                static_cast<unsigned long long>(gs.connections_opened),
+                static_cast<unsigned long long>(gs.frames_in),
+                static_cast<unsigned long long>(gs.samples_in),
+                static_cast<unsigned long long>(gs.samples_rejected),
+                static_cast<unsigned long long>(gs.reject_frames_out),
+                static_cast<unsigned long long>(gs.ticks),
+                static_cast<unsigned long long>(totals.windows_scored),
+                static_cast<unsigned long long>(totals.triggers),
+                static_cast<unsigned long long>(fleet.swap_generation()));
+    return 0;
+}
+
 int cmd_serve(const util::arg_parser& args) {
     serve::loadgen_config config;
     config.sessions = tools::count_option(args, "sessions", 64);
@@ -307,6 +373,12 @@ int cmd_serve(const util::arg_parser& args) {
     config.scorer.seed = config.seed;
     config.scorer.weights_path = args.option_or("weights", "");
 
+    if (const auto listen = args.option("listen")) {
+        const auto where = net::parse_endpoint(*listen);
+        if (!where) tools::bad_option("--listen", *listen, "[HOST:]PORT");
+        return cmd_serve_listen(args, *where, config);
+    }
+
     const serve::loadgen_report report = serve::run_loadgen(config);
     std::fputs(report.deterministic_summary().c_str(), stdout);
     std::printf("wall_seconds: %.3f\n", report.wall_seconds);
@@ -325,7 +397,7 @@ constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "se
                                             "samples-per-tick", "max-samples-per-tick",
                                             "drain-watermark", "queue-capacity",
                                             "drop-policy", "churn-every", "shards",
-                                            "score-mode", "swap-after", "simd"};
+                                            "score-mode", "swap-after", "simd", "listen"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {

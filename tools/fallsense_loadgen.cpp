@@ -9,6 +9,8 @@
 //                     [--churn-every 0] [--int8] [--weights FILE]
 //                     [--simd scalar|native]
 //                     [--metrics-json FILE] [--metrics-timings]
+//   fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]
+//                     [--seed S] [--feed-rate R]
 //
 // Synthesizes --sessions independent wearers from the motion-profile
 // library, replays them through a serve::fleet_router with --shards
@@ -19,8 +21,14 @@
 // written; without --metrics-timings that manifest is byte-identical for
 // any FALLSENSE_THREADS (the serving determinism contract,
 // docs/serving.md).
+//
+// --client sends the identical traffic over the wire protocol
+// (docs/wire_protocol.md) to a `fallsense serve --listen` endpoint
+// instead of feeding an in-process fleet: engine, scorer, and rollout
+// knobs then belong to the server process and are rejected here.
 #include <cstdio>
 
+#include "net/loadgen_client.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "serve/serve.hpp"
@@ -37,7 +45,7 @@ constexpr const char* k_config_options[] = {
     "score-mode",  "swap-after",  "window-ms",     "threshold",
     "consecutive", "feed-rate",   "samples-per-tick", "max-samples-per-tick",
     "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
-    "weights", "simd"};
+    "weights", "simd", "client"};
 
 int usage() {
     std::fprintf(stderr,
@@ -50,8 +58,51 @@ int usage() {
                  "                         [--drop-policy oldest|reject] [--churn-every T]\n"
                  "                         [--int8] [--weights FILE]\n"
                  "                         [--simd scalar|native]\n"
-                 "                         [--metrics-json FILE] [--metrics-timings]\n");
+                 "                         [--metrics-json FILE] [--metrics-timings]\n"
+                 "       fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]\n"
+                 "                         [--seed S] [--feed-rate R]\n");
     return 2;
+}
+
+int run_client(const util::arg_parser& args) {
+    // Everything beyond traffic shaping configures the *server's* fleet:
+    // the wire carries samples, ticks, and closes — not engine knobs.
+    for (const char* opt : {"shards", "score-mode", "swap-after", "window-ms",
+                            "threshold", "consecutive", "samples-per-tick",
+                            "max-samples-per-tick", "drain-watermark",
+                            "queue-capacity", "drop-policy", "churn-every",
+                            "weights", "simd"}) {
+        if (args.option(opt)) {
+            throw tools::usage_error(std::string("--") + opt +
+                                     " configures the serve --listen process, "
+                                     "not the wire client");
+        }
+    }
+    if (args.has_flag("int8")) {
+        throw tools::usage_error("--int8 configures the serve --listen process, "
+                                 "not the wire client");
+    }
+    const std::string spec = *args.option("client");
+    const auto where = net::parse_endpoint(spec);
+    if (!where) tools::bad_option("--client", spec, "HOST:PORT");
+
+    serve::loadgen_config config;
+    config.sessions = tools::count_option(args, "sessions", 64);
+    config.ticks = tools::count_option(args, "ticks", 1000);
+    config.seed = args.option("seed")
+                      ? static_cast<std::uint64_t>(tools::integer_option(args, "seed", 42))
+                      : util::env_seed();
+    config.feed_rate = tools::count_option(args, "feed-rate", 1);
+
+    const net::loadgen_client_report report = net::run_loadgen_client(config, *where);
+    std::fputs(report.deterministic_summary().c_str(), stdout);
+    std::printf("wall_seconds: %.3f\n", report.wall_seconds);
+    const double samples_per_second =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.samples_offered) / report.wall_seconds
+            : 0.0;
+    std::printf("throughput: %.0f samples/s over the wire\n", samples_per_second);
+    return 0;
 }
 
 int run(const util::arg_parser& args) {
@@ -117,7 +168,7 @@ int main(int argc, char** argv) {
         const auto metrics_json = args.option("metrics-json");
         if (metrics_json) obs::set_enabled(true);
 
-        const int rc = run(args);
+        const int rc = args.option("client") ? run_client(args) : run(args);
 
         if (metrics_json) {
             obs::run_manifest manifest;
