@@ -15,6 +15,10 @@
 #      strings, option tables, header synopses) must be documented in
 #      README.md or docs/*.md, so a tool cannot grow a knob the docs
 #      never heard of.
+#   4. CLI flags, reverse — every --flag on a doc line that invokes
+#      `fallsense` or `fallsense_loadgen` (word-boundary match, so
+#      fallsense_tests lines don't count) must exist in tools/*.cpp, so a
+#      doc cannot show an invocation the tools would reject.
 #
 # Usage:
 #   scripts/check_docs.sh                 # check the repo's docs
@@ -79,6 +83,21 @@ EOF
         cat "$tmp/flags.txt" >&2
         exit 1
     fi
+    # A doc showing a tool invocation with a flag the tools don't declare
+    # must be rejected by the reverse check.
+    cat > "$tmp/bogus_flag.md" <<'EOF'
+Run `fallsense serve --flag-the-tool-never-heard-of 3` to reproduce.
+EOF
+    if "$0" --only "$tmp/bogus_flag.md" > "$tmp/rev.txt" 2>&1; then
+        echo "self-test FAILED: checker accepted a doc citing a bogus CLI flag" >&2
+        cat "$tmp/rev.txt" >&2
+        exit 1
+    fi
+    if ! grep -q -- "--flag-the-tool-never-heard-of" "$tmp/rev.txt"; then
+        echo "self-test FAILED: bogus doc flag not reported" >&2
+        cat "$tmp/rev.txt" >&2
+        exit 1
+    fi
     echo "self-test OK: bogus citations are rejected"
     exit 0
 fi
@@ -112,6 +131,17 @@ for doc in "${DOCS[@]}"; do
     for p in $paths; do
         if [ ! -e "$p" ] && [ ! -e "$p.cpp" ]; then
             report "$doc: cited path does not exist: $p"
+        fi
+    done
+
+    # Reverse flag check: flags shown on fallsense / fallsense_loadgen
+    # invocation lines must exist in the tools.  \b keeps fallsense_tests
+    # and other fallsense_* binaries out of scope.
+    doc_flags="$(grep -E '\bfallsense(_loadgen)?\b' "$doc" \
+        | grep -ohE -- '--[a-z][a-z0-9_-]*' | sort -u || true)"
+    for flag in $doc_flags; do
+        if ! grep -qF -- "$flag" "$TOOLS_DIR"/*.cpp 2> /dev/null; then
+            report "$doc: cited CLI flag not declared by any tool: $flag"
         fi
     done
 

@@ -1,0 +1,126 @@
+// Binary checkpoint codec — the fallsense fleet snapshot format v1.
+//
+// The byte layout is documented normatively in docs/checkpoint.md
+// (section tables, field semantics, worked hex example); this header is
+// its implementation, built on the same discipline as the wire codec
+// (src/net/wire.hpp): fixed little-endian layout, strict bounds-checked
+// decode, typed errors, and nothing consumed on error.  A snapshot file
+// is self-contained: four CRC-guarded sections carry the fleet metadata
+// and config fingerprint (META), the dense global-id routing table
+// (ROUT), every live session's queue + detector state (SESS), and the
+// obs registry image (OBSC), so a restored process resumes the stream
+// bit-identically — triggers, scores, and the deterministic manifest all
+// match an uninterrupted run.
+//
+// Layout summary (every multi-byte integer little-endian, unaligned):
+//
+//   file header (8 bytes)
+//     0  4  magic 0x46 0x53 0x43 0x4B ("FSCK")
+//     4  1  format version (k_checkpoint_version == 1)
+//     5  1  reserved, must be 0
+//     6  2  section count, must be 4
+//   then 4 sections, each
+//     0  4  tag ("META" / "ROUT" / "SESS" / "OBSC", in exactly that order)
+//     4  4  payload byte count
+//     8  4  CRC-32 (IEEE reflected, the zlib polynomial) of the payload
+//   followed by the payload bytes.
+//
+// Decoding validates in fixed order — length, magic, version, section
+// framing, CRC, then payload content — so every malformed input maps to
+// exactly one `decode_status`, and a truncated or hostile buffer is
+// rejected without reading out of bounds (the malformed-input table in
+// tests/ckpt/checkpoint_test.cpp runs under ASan/UBSan in CI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/fleet.hpp"
+
+namespace fallsense::ckpt {
+
+inline constexpr std::array<std::uint8_t, 4> k_checkpoint_magic{0x46, 0x53, 0x43, 0x4B};  // "FSCK"
+inline constexpr std::uint8_t k_checkpoint_version = 1;
+inline constexpr std::size_t k_file_header_bytes = 8;
+inline constexpr std::size_t k_section_header_bytes = 12;
+inline constexpr std::uint16_t k_section_count = 4;
+
+/// CRC-32 (IEEE 802.3 reflected, polynomial 0xEDB88320, init/final-xor
+/// 0xFFFFFFFF — the zlib crc32).  Exposed so tests and tools can frame
+/// sections independently.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// The detector/engine configuration a snapshot was taken under.  A
+/// checkpoint only carries *state*; coefficients, hop sizes, and buffer
+/// shapes are re-derived from the live config at restore, so restore
+/// refuses a snapshot whose fingerprint differs (ckpt::restore throws
+/// checkpoint_error).  The shard count and score mode are deliberately
+/// NOT part of the fingerprint: restoring into a different shard count is
+/// rebalancing, and score modes are bit-identical by contract.
+struct config_fingerprint {
+    std::uint32_t window_samples = 0;
+    double overlap_fraction = 0.0;
+    double threshold = 0.0;
+    std::uint32_t consecutive_required = 0;
+    double sample_rate_hz = 0.0;
+    std::uint32_t filter_order = 0;
+    double cutoff_hz = 0.0;
+    double gyro_weight = 0.0;
+    std::uint32_t queue_capacity = 0;
+    std::uint8_t drop_policy = 0;  ///< 1 = drop-oldest, 2 = reject-newest
+    std::uint32_t samples_per_tick = 0;
+    std::uint32_t max_samples_per_tick = 0;
+    std::uint32_t drain_watermark = 0;
+
+    bool operator==(const config_fingerprint&) const = default;
+};
+
+/// Snapshot of the obs registry: counters, gauges, and stage counts (no
+/// timings — wall/CPU values are never part of the deterministic manifest,
+/// and histograms are excluded from it entirely).  Entries are stored and
+/// encoded in the registry's canonical name order.
+struct obs_image {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, std::uint64_t>> stage_counts;
+};
+
+/// Everything a `restore` needs, in one value: the config fingerprint,
+/// the fleet state (serve::fleet_checkpoint), and the obs image.
+struct fleet_snapshot {
+    config_fingerprint config{};
+    serve::fleet_checkpoint fleet{};
+    obs_image obs{};
+};
+
+/// Typed decode outcomes; `ok` is the only success.  Validation order is
+/// fixed (see file comment), so each malformed input maps to one status.
+enum class decode_status : std::uint8_t {
+    ok = 0,
+    truncated,    ///< buffer ends inside the header or a section
+    bad_magic,    ///< first four bytes are not "FSCK"
+    bad_version,  ///< version byte != k_checkpoint_version
+    bad_section,  ///< wrong section count, tag, or order
+    bad_crc,      ///< a section's payload fails its CRC
+    bad_payload,  ///< section content is internally inconsistent
+};
+
+const char* decode_status_name(decode_status status);
+
+/// Serialize a snapshot to the v1 byte format.  The fleet checkpoint must
+/// be internally consistent (one session record per live flag, ascending
+/// ids, per-session sizes matching the fingerprint) — encode validates
+/// with FS_ARG_CHECK since a malformed in-memory snapshot is a caller bug,
+/// not hostile input.
+std::vector<std::uint8_t> encode_snapshot(const fleet_snapshot& snapshot);
+
+/// Decode a complete snapshot buffer into `out`.  On any status other
+/// than `ok`, `out` is unspecified and nothing should be trusted from it.
+/// Trailing bytes after the last section are `bad_payload` — a snapshot
+/// file is exactly one snapshot.
+decode_status decode_snapshot(std::span<const std::uint8_t> bytes, fleet_snapshot& out);
+
+}  // namespace fallsense::ckpt

@@ -1,0 +1,143 @@
+#include "ckpt/store.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace fallsense::ckpt {
+
+config_fingerprint fingerprint_of(const serve::fleet_config& config) {
+    const serve::engine_config& e = config.engine;
+    const core::detector_config& d = e.detector;
+    config_fingerprint fp;
+    fp.window_samples = static_cast<std::uint32_t>(d.window_samples);
+    fp.overlap_fraction = d.overlap_fraction;
+    fp.threshold = d.threshold;
+    fp.consecutive_required = static_cast<std::uint32_t>(d.consecutive_required);
+    fp.sample_rate_hz = d.sample_rate_hz;
+    fp.filter_order = static_cast<std::uint32_t>(d.preprocess.filter_order);
+    fp.cutoff_hz = d.preprocess.cutoff_hz;
+    fp.gyro_weight = d.preprocess.fusion.gyro_weight;
+    fp.queue_capacity = static_cast<std::uint32_t>(e.queue_capacity);
+    fp.drop_policy = e.policy == serve::drop_policy::drop_oldest ? 1 : 2;
+    fp.samples_per_tick = static_cast<std::uint32_t>(e.samples_per_tick);
+    fp.max_samples_per_tick = static_cast<std::uint32_t>(e.max_samples_per_tick);
+    fp.drain_watermark = static_cast<std::uint32_t>(e.drain_watermark);
+    return fp;
+}
+
+fleet_snapshot capture(const serve::fleet_router& fleet) {
+    fleet_snapshot snap;
+    snap.config = fingerprint_of(fleet.config());
+    snap.fleet = fleet.snapshot();
+    if (obs::enabled()) {
+        const obs::metrics_snapshot metrics = obs::snapshot();
+        snap.obs.counters.reserve(metrics.counters.size());
+        for (const obs::counter_snapshot& c : metrics.counters) {
+            snap.obs.counters.emplace_back(c.name, c.value);
+        }
+        snap.obs.gauges.reserve(metrics.gauges.size());
+        for (const obs::gauge_snapshot& g : metrics.gauges) {
+            snap.obs.gauges.emplace_back(g.name, g.value);
+        }
+        snap.obs.stage_counts.reserve(metrics.stages.size());
+        for (const obs::stage_snapshot& s : metrics.stages) {
+            snap.obs.stage_counts.emplace_back(s.name, s.count);
+        }
+    }
+    return snap;
+}
+
+void restore(serve::fleet_router& fleet, const fleet_snapshot& snapshot) {
+    const config_fingerprint live = fingerprint_of(fleet.config());
+    if (!(live == snapshot.config)) {
+        throw checkpoint_error(
+            "snapshot config fingerprint does not match the running config "
+            "(detector/queue/drain settings must be identical; see docs/checkpoint.md)");
+    }
+    // Obs first: counters and stage counts are additive (the restored
+    // process starts from zero, so the merge replays the captured half),
+    // gauges are last-write-wins.  fleet.restore() then re-asserts the
+    // serve gauges, so a rebalanced restore reports the new layout.
+    for (const auto& [name, value] : snapshot.obs.counters) obs::add_counter(name, value);
+    for (const auto& [name, value] : snapshot.obs.gauges) obs::set_gauge(name, value);
+    for (const auto& [name, count] : snapshot.obs.stage_counts) obs::add_stage_counts(name, count);
+    fleet.restore(snapshot.fleet);
+}
+
+std::size_t write_snapshot_file(const std::string& path, const fleet_snapshot& snapshot) {
+    const std::vector<std::uint8_t> bytes = encode_snapshot(snapshot);
+    const std::string tmp_path = path + ".tmp";
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    if (f == nullptr) {
+        throw checkpoint_error("cannot open snapshot temp file for writing: " + tmp_path);
+    }
+    const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp_path.c_str());
+        throw checkpoint_error("short write while writing snapshot: " + tmp_path);
+    }
+    // Atomic publish: rename() replaces `path` in one step, so readers see
+    // either the previous complete snapshot or this one, never a torn file.
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        throw checkpoint_error("cannot publish snapshot file: " + path);
+    }
+    return bytes.size();
+}
+
+fleet_snapshot read_snapshot_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw checkpoint_error("cannot open snapshot file: " + path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) throw checkpoint_error("read error on snapshot file: " + path);
+    fleet_snapshot snap;
+    const decode_status status = decode_snapshot(bytes, snap);
+    if (status != decode_status::ok) {
+        std::ostringstream os;
+        os << "snapshot file " << path << " is not a valid checkpoint: "
+           << decode_status_name(status);
+        throw checkpoint_error(os.str());
+    }
+    return snap;
+}
+
+void snapshot_to_file(const serve::fleet_router& fleet, const std::string& path) {
+    const fleet_snapshot snap = capture(fleet);
+    const std::size_t bytes = write_snapshot_file(path, snap);
+    // After the capture, so the image never counts its own writing.
+    obs::add_counter("ckpt/snapshots");
+    obs::add_counter("ckpt/snapshot_bytes", bytes);
+}
+
+fleet_snapshot restore_from_file(serve::fleet_router& fleet, const std::string& path) {
+    fleet_snapshot snap = read_snapshot_file(path);
+    restore(fleet, snap);
+    obs::add_counter("ckpt/restores");
+    obs::add_counter("ckpt/sessions_restored", snap.fleet.sessions.size());
+    return snap;
+}
+
+std::vector<session_handoff> session_handoffs(const fleet_snapshot& snapshot) {
+    std::vector<session_handoff> out;
+    out.reserve(snapshot.fleet.sessions.size());
+    for (const serve::session_checkpoint& sc : snapshot.fleet.sessions) {
+        const std::uint64_t offered = sc.stats.accepted + sc.stats.rejected;
+        out.push_back({sc.global_id, static_cast<std::uint32_t>(offered & 0xFFFFFFFFull)});
+    }
+    return out;
+}
+
+}  // namespace fallsense::ckpt

@@ -1,0 +1,88 @@
+// Snapshot capture/restore glue: fleet + obs registry <-> snapshot value
+// <-> snapshot file.
+//
+// The codec (checkpoint.hpp) moves bytes; this header moves *state*:
+//
+//   - capture() reads a fleet_router (between ticks) and the obs registry
+//     into one fleet_snapshot value;
+//   - restore() validates the config fingerprint, merges the obs image
+//     back into the registry (counters and stage counts add, gauges set),
+//     and rebuilds the fleet — after which the process continues the run
+//     bit-identically to one that never stopped;
+//   - write_snapshot_file()/read_snapshot_file() move the encoded bytes
+//     with atomic rename-on-write, so a crash mid-snapshot can never
+//     leave a torn file at the published path;
+//   - snapshot_to_file()/restore_from_file() are the operator-facing
+//     compositions both tools call, and the only functions that touch the
+//     ckpt/* obs counters (snapshots taken, snapshot bytes, restores,
+//     sessions restored — docs/observability.md).
+//
+// The obs merge happens BEFORE the fleet rebuild: fleet_router::restore
+// re-asserts the serve gauges to the restored truth last, so a rebalanced
+// restore reports the new shard count, not the capture-time one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace fallsense::ckpt {
+
+/// File- or state-level checkpoint failure: unreadable/unwritable paths,
+/// a payload that fails decode (the message names the decode_status), or
+/// a config fingerprint mismatch at restore.
+class checkpoint_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// The fingerprint of a fleet config (the fields a snapshot's state
+/// depends on; shard count and score mode excluded by design).
+config_fingerprint fingerprint_of(const serve::fleet_config& config);
+
+/// Capture the fleet and the obs registry (when enabled) at a tick
+/// boundary.  Pure read.
+fleet_snapshot capture(const serve::fleet_router& fleet);
+
+/// Restore `snapshot` into `fleet`: fingerprint check (checkpoint_error on
+/// mismatch), obs image merge, then fleet_router::restore.  The router's
+/// CURRENT shard count wins — restoring a K-shard snapshot into an
+/// M-shard router is a deterministic rebalance.
+void restore(serve::fleet_router& fleet, const fleet_snapshot& snapshot);
+
+/// Encode + write to `path` via a temporary file and atomic rename.
+/// Returns the encoded byte count.
+std::size_t write_snapshot_file(const std::string& path, const fleet_snapshot& snapshot);
+
+/// Read + decode `path`; checkpoint_error on I/O or decode failure.
+fleet_snapshot read_snapshot_file(const std::string& path);
+
+/// capture + write_snapshot_file + bump ckpt/snapshots, ckpt/snapshot_bytes.
+/// The counters land AFTER the capture, so the written image never counts
+/// its own writing — a restored run's manifest matches an uninterrupted
+/// one once ckpt/* lines are stripped.
+void snapshot_to_file(const serve::fleet_router& fleet, const std::string& path);
+
+/// read_snapshot_file + restore + bump ckpt/restores, ckpt/sessions_restored.
+/// Returns the snapshot so callers can rebuild traffic state (stream
+/// cursors, wire sequence numbers) from it.
+fleet_snapshot restore_from_file(serve::fleet_router& fleet, const std::string& path);
+
+/// One live session's replay position for the transport layer: the wire
+/// sequence number the next offered sample should carry, i.e. samples
+/// offered so far (accepted + rejected) mod 2^32 — the u32 wrap the wire
+/// protocol's sequence field already has.
+struct session_handoff {
+    serve::session_id session = 0;       ///< router-global id
+    std::uint32_t next_sequence = 0;
+};
+
+/// Handoffs for every live session, ascending id.  The gateway consumes
+/// these (net::session_gateway::restore_wire_sessions) so a reconnecting
+/// sender resumes its sequence numbers without reopening sessions.
+std::vector<session_handoff> session_handoffs(const fleet_snapshot& snapshot);
+
+}  // namespace fallsense::ckpt

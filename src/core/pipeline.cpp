@@ -95,6 +95,43 @@ std::optional<detection> detector_state::apply_score(float score) {
     return std::nullopt;
 }
 
+void detector_state::capture(detector_state_image& out) const {
+    out.tick = tick_;
+    out.positive_run = positive_run_;
+    out.last_score = last_score_;
+    out.fusion_initialized = fusion_.initialized();
+    out.attitude = fusion_.current();
+    out.filter_state.clear();
+    out.filter_state.reserve(filters_.size() * filters_.front().sections().size() * 2);
+    for (const dsp::butterworth_lowpass& f : filters_) {
+        for (const dsp::biquad& s : f.sections()) {
+            out.filter_state.push_back(s.state_s1());
+            out.filter_state.push_back(s.state_s2());
+        }
+    }
+    out.ring.assign(ring_.begin(), ring_.end());
+}
+
+void detector_state::restore(const detector_state_image& image) {
+    const std::size_t sections = filters_.front().sections().size();
+    FS_ARG_CHECK(image.filter_state.size() == filters_.size() * sections * 2,
+                 "detector image filter-state size does not match the config");
+    FS_ARG_CHECK(image.ring.size() == ring_.size(),
+                 "detector image ring size does not match the config");
+    tick_ = image.tick;
+    positive_run_ = image.positive_run;
+    last_score_ = image.last_score;
+    fusion_.restore(image.attitude, image.fusion_initialized);
+    std::size_t cursor = 0;
+    for (dsp::butterworth_lowpass& f : filters_) {
+        for (std::size_t s = 0; s < sections; ++s) {
+            f.set_section_state(s, image.filter_state[cursor], image.filter_state[cursor + 1]);
+            cursor += 2;
+        }
+    }
+    std::copy(image.ring.begin(), image.ring.end(), ring_.begin());
+}
+
 void detector_state::reset() {
     for (auto& f : filters_) f.reset();
     fusion_.reset();

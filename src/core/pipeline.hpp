@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -49,6 +50,23 @@ struct detector_config {
 struct detection {
     std::size_t sample_index = 0;  ///< tick at which the window was scored
     float probability = 0.0f;
+};
+
+/// Value-type image of a `detector_state` mid-stream: everything a restore
+/// needs beyond the (re-derivable) config — tick position, debounce run,
+/// filter delay lines, fused attitude, and the raw ring contents.  The
+/// checkpoint codec in src/ckpt serializes exactly these fields
+/// (docs/checkpoint.md); capture/restore are only meaningful between ticks.
+struct detector_state_image {
+    std::uint64_t tick = 0;
+    std::uint64_t positive_run = 0;
+    float last_score = 0.0f;  ///< NaN before the first scored window
+    bool fusion_initialized = false;
+    dsp::euler_angles attitude{};
+    /// 6 channels x (order/2) sections x {s1, s2}, channel-major.
+    std::vector<double> filter_state;
+    /// Raw ring slots, [window x 9] in ring (not chronological) order.
+    std::vector<float> ring;
 };
 
 /// Per-stream filter/fusion/window/debounce state with scoring factored
@@ -86,6 +104,13 @@ public:
     std::size_t samples_seen() const { return tick_; }
     const detector_config& config() const { return config_; }
     void reset();
+
+    /// Capture the full streaming state into `out` (reusing its buffers).
+    void capture(detector_state_image& out) const;
+    /// Install a previously captured image.  The image must come from a
+    /// state with the same config (sizes are validated); afterwards this
+    /// state continues the stream bit-identically to the captured one.
+    void restore(const detector_state_image& image);
 
 private:
     detector_config config_;

@@ -93,6 +93,11 @@ void butterworth_lowpass::prime(float steady_input) {
     for (biquad& s : sections_) s.prime(steady_input);
 }
 
+void butterworth_lowpass::set_section_state(std::size_t index, double s1, double s2) {
+    FS_ARG_CHECK(index < sections_.size(), "section index out of range");
+    sections_[index].set_state(s1, s2);
+}
+
 double butterworth_lowpass::magnitude_at(double freq_hz) const {
     double mag = 1.0;
     for (const biquad& s : sections_) mag *= s.magnitude_at(freq_hz, sample_rate_hz_);

@@ -40,6 +40,16 @@ public:
     double a1() const { return a1_; }
     double a2() const { return a2_; }
 
+    /// DF2T delay-line state, exposed for checkpointing: two doubles fully
+    /// describe a section mid-stream.
+    double state_s1() const { return s1_; }
+    double state_s2() const { return s2_; }
+    /// Install a previously captured delay line (checkpoint restore).
+    void set_state(double s1, double s2) {
+        s1_ = s1;
+        s2_ = s2;
+    }
+
 private:
     double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0, a1_ = 0.0, a2_ = 0.0;
     double s1_ = 0.0, s2_ = 0.0;  // DF2T state
@@ -67,6 +77,9 @@ public:
     double cutoff_hz() const { return cutoff_hz_; }
     double sample_rate_hz() const { return sample_rate_hz_; }
     std::span<const biquad> sections() const { return sections_; }
+    /// Install one section's delay line (checkpoint restore; coefficients
+    /// are redesigned from the config, only state travels).
+    void set_section_state(std::size_t index, double s1, double s2);
 
 private:
     double cutoff_hz_;

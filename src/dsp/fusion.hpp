@@ -37,6 +37,13 @@ public:
 
     /// Current estimate without advancing.
     euler_angles current() const { return state_; }
+    /// Whether the accelerometer bootstrap has happened (checkpointing).
+    bool initialized() const { return initialized_; }
+    /// Install a previously captured estimate (checkpoint restore).
+    void restore(const euler_angles& state, bool initialized) {
+        state_ = state;
+        initialized_ = initialized;
+    }
     void reset();
 
     /// Gravity-only attitude from one accelerometer sample (the

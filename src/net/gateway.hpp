@@ -10,14 +10,27 @@
 //
 //   sample frame  → one router `feed` per carried sample, in frame
 //                   order; a wire session id seen for the first time is
-//                   admitted via `create_session` on the spot;
-//   tick frame    → one router `tick()`; the result is handed to the
-//                   optional tick handler;
+//                   admitted via `create_session` on the spot (or, after
+//                   a checkpoint restore, rebound to its pre-restart
+//                   router session via `restore_wire_sessions`);
+//   tick frame    → one vote toward a router `tick()`: the router ticks
+//                   once per ROUND, when every connection still running
+//                   has a tick pending — so K senders splitting a fleet
+//                   across K sockets drive the same tick sequence one
+//                   sender would.  A tick frame is a round DELIMITER:
+//                   the connection's later frames stay buffered until
+//                   the round's tick has run, so a sender that runs
+//                   ahead can never leak next-round samples into the
+//                   current round's queues.  (With one connection this
+//                   degenerates to tick-frame = router-tick, the v1
+//                   behaviour.)
 //   close frame   → `evict_session` for the named wire session (a
 //                   status frame with `unknown_session` answers a close
 //                   for a session this connection never opened);
-//   bye frame     → marks the run complete (`bye_received()`); the
-//                   transport drains its reply buffers and shuts down.
+//   bye frame     → marks the connection finished; the run is complete
+//                   (`bye_received()`) once every open connection has
+//                   finished, and the transport then drains its reply
+//                   buffers and shuts down.
 //
 // Backpressure surfaces at the wire: when the router refuses a sample —
 // a saturated queue under drop_policy::reject_newest — the gateway
@@ -34,7 +47,13 @@
 // With a single connection the whole networked run is therefore
 // bit-identical to direct in-process `feed`/`tick` calls, the property
 // tests/net/gateway_test.cpp pins across scripted chunkings and thread
-// counts.  The gateway keeps its own plain `gateway_stats` counters and
+// counts.  With several connections the tick barrier extends the same
+// guarantee: because each wire session lives on exactly one connection,
+// a session's samples arrive in order regardless of how the transport
+// interleaves sockets, and per-session queues are independent — so the
+// router sees the same per-session feed/tick sequence for any
+// interleaving, and a K-connection run is bit-identical to a
+// 1-connection run of the same traffic.  The gateway keeps its own plain `gateway_stats` counters and
 // publishes them to the obs registry only on an explicit
 // `publish_metrics()` call (the socket server does this once at
 // shutdown), so a transport-double run leaves the metrics registry —
@@ -44,6 +63,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "net/wire.hpp"
@@ -62,11 +82,24 @@ struct gateway_stats {
     std::uint64_t status_frames_out = 0;  ///< all status frames sent
     std::uint64_t ticks = 0;              ///< router ticks driven by tick frames
     std::uint64_t sessions_opened = 0;    ///< wire sessions admitted
+    std::uint64_t sessions_rebound = 0;   ///< wire sessions re-adopted after a restore
     std::uint64_t sessions_closed = 0;    ///< wire sessions evicted via close
     std::uint64_t seq_gaps = 0;           ///< sample frames whose sequence != expected
     std::uint64_t decode_errors = 0;      ///< connections killed by framing errors
     std::uint64_t connections_opened = 0;
     std::uint64_t connections_closed = 0;
+};
+
+/// One live session's identity handed over from a checkpoint restore:
+/// the next sample frame naming `wire_session` is adopted onto the
+/// already-restored router session instead of admitting a new one, and
+/// is expected to resume at `next_sequence` (ckpt::session_handoffs
+/// computes these from a snapshot; the wire id convention is the
+/// router-global id, which is what the loadgen client sends).
+struct restored_session {
+    std::uint32_t wire_session = 0;
+    serve::session_id router_session = 0;
+    std::uint32_t next_sequence = 0;
 };
 
 class session_gateway {
@@ -83,20 +116,47 @@ public:
 
     /// Process `bytes` arriving on connection `conn`: decode complete
     /// frames (buffering any torn tail), feed/tick the router, and
-    /// append reply frames to `replies` for the transport to send.
-    /// Returns false when the stream is unrecoverably malformed — a
-    /// `malformed_frame` status has been appended and the transport
-    /// must flush it and close the connection.
+    /// append `conn`'s reply frames to `replies` for the transport to
+    /// send.  Returns false when the stream is unrecoverably malformed —
+    /// a `malformed_frame` status has been appended and the transport
+    /// must flush it and close the connection.  A tick barrier released
+    /// here may also unblock OTHER connections' buffered frames; their
+    /// replies accumulate internally — collect them with take_replies
+    /// (and check connection_alive) after any call that may have moved
+    /// the barrier.
     bool on_bytes(conn_id conn, std::span<const std::uint8_t> bytes,
                   std::vector<std::uint8_t>& replies);
+
+    /// Append reply bytes generated for `conn` since the last take (by
+    /// another connection's bytes releasing the tick barrier, or by a
+    /// close_connection) to `out`.  Returns true if any bytes moved.
+    bool take_replies(conn_id conn, std::vector<std::uint8_t>& out);
+
+    /// False once `conn`'s stream turned out malformed — possibly while
+    /// its buffered frames were decoded on another connection's barrier
+    /// release.  The transport should flush its replies and close it.
+    bool connection_alive(conn_id conn) const;
 
     /// Drop a connection's decoder and wire-session map.  Router
     /// sessions opened by the connection stay live (an uplink reconnect
     /// must not lose detector state mid-fall); an explicit close frame
-    /// is how a sender ends a session.
+    /// is how a sender ends a session.  Dropping a connection releases
+    /// its barrier vote: pending ticks from the remaining connections
+    /// may run, and the run may complete.
     void close_connection(conn_id conn);
 
-    /// True once any connection delivered a bye frame.
+    /// Arm wire-id → router-session rebinds after a checkpoint restore.
+    /// Each entry is consumed by the FIRST sample frame (on any
+    /// connection) naming its wire session: the gateway adopts the
+    /// restored router session — no `create_session` — and treats
+    /// `next_sequence` as the expected sequence, so a correctly resumed
+    /// sender registers zero seq gaps.  Entries never expire; a wire id
+    /// that is never re-sent simply leaves its router session idle.
+    void restore_wire_sessions(std::span<const restored_session> sessions);
+
+    /// True once every open connection (at least one) delivered a bye
+    /// frame; sticky thereafter.  With a single connection this is the
+    /// old any-bye rule.
     bool bye_received() const { return bye_; }
 
     const gateway_stats& stats() const { return stats_; }
@@ -117,14 +177,32 @@ private:
         frame_decoder decoder;
         frame scratch;  ///< decode target, capacity reused across frames
         std::map<std::uint32_t, wire_session> sessions;  ///< wire id → router session
+        std::vector<std::uint8_t> replies;  ///< generated, not yet taken
+        std::uint64_t pending_ticks = 0;    ///< tick votes awaiting the barrier
+        bool finished = false;              ///< bye frame received
         bool alive = true;
     };
 
-    void handle_samples(connection& c, const frame& f, std::vector<std::uint8_t>& replies);
+    void handle_samples(connection& c, const frame& f);
+    /// Decode c's buffered frames into router calls + c.replies, pausing
+    /// at an unconsumed tick vote (the barrier decides when the round
+    /// runs).  Returns true if any frame was consumed.
+    bool decode_frames(connection& c);
+    /// True when at least one vote is pending and no live, unfinished
+    /// connection is missing its vote.
+    bool barrier_ready() const;
+    /// Consume one vote from every voting connection and tick the router.
+    void run_tick();
+    /// Fixpoint: run ready rounds and resume unblocked connections until
+    /// nothing moves, then re-derive bye_ (sticky).
+    void drain();
+    void update_bye();
 
     serve::fleet_router& router_;
     tick_handler on_tick_;
     std::map<conn_id, connection> connections_;
+    /// Armed by restore_wire_sessions, consumed by first sample frames.
+    std::map<std::uint32_t, restored_session> rebinds_;
     conn_id next_conn_ = 0;
     gateway_stats stats_;
     bool bye_ = false;

@@ -19,7 +19,8 @@ std::string loadgen_client_report::deterministic_summary() const {
 }
 
 loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
-                                         const endpoint& where) {
+                                         const endpoint& where,
+                                         const client_options& options) {
     FS_ARG_CHECK(config.sessions > 0, "client mode needs at least one session");
     FS_ARG_CHECK(config.ticks > 0, "client mode needs at least one tick");
     FS_ARG_CHECK(config.feed_rate > 0, "client feed rate must be positive");
@@ -27,10 +28,22 @@ loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
                  "churn is not supported in client mode (server-side lifecycle)");
     FS_ARG_CHECK(config.swap_after_ticks == 0,
                  "hot-swap is server-side; run it on the serve --listen process");
+    FS_ARG_CHECK(options.connections >= 1, "client mode needs at least one connection");
+    FS_ARG_CHECK(options.connections <= config.sessions,
+                 "more connections than sessions would leave idle sockets");
+    FS_ARG_CHECK(options.start_tick <= config.ticks,
+                 "resume tick is already past the requested tick count");
+    FS_ARG_CHECK(options.start_sequences.empty() ||
+                     options.start_sequences.size() == config.sessions,
+                 "resume needs one start sequence per session");
 
     std::vector<serve::session_stream> streams =
         serve::synthesize_fleet_streams(config.sessions, config.seed);
-    wire_client client = wire_client::connect_to(where);
+    std::vector<wire_client> clients;
+    clients.reserve(options.connections);
+    for (std::size_t k = 0; k < options.connections; ++k) {
+        clients.push_back(wire_client::connect_to(where));
+    }
 
     loadgen_client_report report;
     report.sessions = config.sessions;
@@ -38,14 +51,29 @@ loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
 
     // Wire session ids mirror the in-process loadgen's router ids
     // (0..N-1 in admission order) and sequence numbers count each
-    // session's offered samples from 0 — replay can key on them.
+    // session's offered samples from 0 — replay can key on them.  On a
+    // resume the handed-over sequence IS the offered count, so it also
+    // locates the stream cursor (streams loop, hence the modulo).
     std::vector<std::uint32_t> seq(config.sessions, 0);
+    if (!options.start_sequences.empty()) {
+        for (std::size_t i = 0; i < config.sessions; ++i) {
+            seq[i] = options.start_sequences[i];
+            streams[i].cursor = static_cast<std::size_t>(seq[i]) % streams[i].samples.size();
+        }
+    }
+    // The manifest counts the whole logical run: skipped rounds were
+    // offered by the pre-restart process at the fixed per-round rate.
+    report.samples_offered = static_cast<std::uint64_t>(options.start_tick) *
+                             config.sessions * config.feed_rate;
     std::vector<data::raw_sample> batch;
     batch.reserve(config.feed_rate);
 
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t t = 0; t < config.ticks; ++t) {
+    for (std::size_t t = options.start_tick; t < config.ticks; ++t) {
         for (std::size_t i = 0; i < config.sessions; ++i) {
+            // Round-robin by session id: session i always rides the same
+            // socket, so its samples stay ordered end to end.
+            wire_client& client = clients[i % options.connections];
             batch.clear();
             for (std::size_t k = 0; k < config.feed_rate; ++k) {
                 batch.push_back(streams[i].next());
@@ -54,23 +82,33 @@ loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
             seq[i] += static_cast<std::uint32_t>(batch.size());
             report.samples_offered += batch.size();
         }
-        client.queue_tick();
-        // Flush every tick (the server ticks only on arrival of the tick
-        // frame) and opportunistically drain reject statuses so neither
-        // side buffers unboundedly on a saturated fleet.
-        client.flush();
-        client.poll_statuses();
+        // Every connection votes one tick per round (the server's barrier
+        // runs one router tick per full set of votes).  Flush every tick
+        // (the server ticks only once the votes arrive) and
+        // opportunistically drain reject statuses so neither side buffers
+        // unboundedly on a saturated fleet.
+        for (wire_client& client : clients) {
+            client.queue_tick();
+            client.flush();
+            client.poll_statuses();
+        }
     }
-    client.queue_bye();
-    client.flush();
-    client.drain_to_eof();
+    for (wire_client& client : clients) {
+        client.queue_bye();
+        client.flush();
+    }
+    // The server shuts down once every connection has said bye, then
+    // closes them all; drain each socket to its EOF.
+    for (wire_client& client : clients) client.drain_to_eof();
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
-    const client_stats& cs = client.stats();
-    report.reject_frames = cs.reject_frames_in;
-    report.status_frames = cs.status_frames_in;
-    report.bytes_sent = cs.bytes_sent;
-    report.bytes_received = cs.bytes_received;
+    for (const wire_client& client : clients) {
+        const client_stats& cs = client.stats();
+        report.reject_frames += cs.reject_frames_in;
+        report.status_frames += cs.status_frames_in;
+        report.bytes_sent += cs.bytes_sent;
+        report.bytes_received += cs.bytes_received;
+    }
     report.wall_seconds = elapsed.count();
     return report;
 }

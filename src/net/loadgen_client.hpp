@@ -20,11 +20,32 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "net/client.hpp"
 #include "serve/loadgen.hpp"
 
 namespace fallsense::net {
+
+/// Transport-shaping knobs for the client run (everything here changes
+/// only HOW the traffic reaches the server, never what traffic it is).
+struct client_options {
+    /// Sockets to split the fleet across: session i rides connection
+    /// i % connections (round-robin by session id).  Every connection
+    /// sends one tick frame per round — the server's tick barrier runs
+    /// one router tick per round — and its own bye, so the client's
+    /// deterministic summary and the server's serve/* counters are
+    /// bit-identical to a single-connection run.
+    std::size_t connections = 1;
+    /// Resume support (a restored server, docs/checkpoint.md): skip the
+    /// first `start_tick` rounds — the pre-restart process already sent
+    /// them — and seed each session's sequence counter (and hence its
+    /// stream cursor, offered-so-far mod stream length) from
+    /// `start_sequences` (one per session, from ckpt::session_handoffs;
+    /// empty = fresh run, all sequences start at 0).
+    std::size_t start_tick = 0;
+    std::vector<std::uint32_t> start_sequences;
+};
 
 struct loadgen_client_report {
     std::size_t sessions = 0;
@@ -41,11 +62,13 @@ struct loadgen_client_report {
     std::string deterministic_summary() const;
 };
 
-/// Encode `config.sessions` synthesized wearers onto a socket against
-/// `where` for `config.ticks` ticks.  Only the traffic-shaping fields
-/// of the config apply (sessions, ticks, seed, feed_rate); churn and
-/// swap are server-side and rejected with std::invalid_argument.
+/// Encode `config.sessions` synthesized wearers onto `options.connections`
+/// sockets against `where` for `config.ticks` ticks.  Only the
+/// traffic-shaping fields of the config apply (sessions, ticks, seed,
+/// feed_rate); churn and swap are server-side and rejected with
+/// std::invalid_argument.
 loadgen_client_report run_loadgen_client(const serve::loadgen_config& config,
-                                         const endpoint& where);
+                                         const endpoint& where,
+                                         const client_options& options = {});
 
 }  // namespace fallsense::net

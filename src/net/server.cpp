@@ -200,6 +200,33 @@ bool ingest_server::pump(int timeout_ms) {
             }
         }
     }
+
+    // Collection pass: one connection's bytes (or departure) can release
+    // the gateway's tick barrier and generate replies — or surface a
+    // framing error — on OTHER connections whose frames were buffered
+    // behind a vote.  Sweep those out of the gateway before the
+    // completion check; a drop here can itself release the barrier
+    // again, hence the fixpoint.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t i = conns_.size(); i-- > 0;) {
+            connection& c = conns_[i];
+            if (gateway_.take_replies(c.id, c.outbuf)) changed = true;
+            if (!gateway_.connection_alive(c.id) && !c.draining) {
+                c.draining = true;
+                changed = true;
+            }
+            if (!flush_writes(c)) {
+                drop_connection(i);
+                changed = true;
+                continue;
+            }
+            if (c.draining && c.outbuf.empty()) {
+                drop_connection(i);
+                changed = true;
+            }
+        }
+    }
     return !(gateway_.bye_received() && !replies_pending());
 }
 

@@ -23,7 +23,9 @@ template <typename T>
 T read_pod(std::istream& in) {
     T value{};
     in.read(reinterpret_cast<char*>(&value), sizeof(T));
-    if (!in) throw std::runtime_error("weight stream truncated");
+    if (!in) {
+        throw serialize_error(serialize_error_kind::truncated, "weight stream truncated");
+    }
     return value;
 }
 
@@ -44,58 +46,88 @@ void save_weights(model& m, std::ostream& out) {
         out.write(reinterpret_cast<const char*>(p->value.data()),
                   static_cast<std::streamsize>(p->value.size() * sizeof(float)));
     }
-    if (!out) throw std::runtime_error("weight stream write failure");
+    if (!out) {
+        throw serialize_error(serialize_error_kind::io, "weight stream write failure");
+    }
 }
 
 void load_weights(model& m, std::istream& in) {
-    char magic[4];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, k_magic, sizeof(k_magic)) != 0) {
-        throw std::runtime_error("not a fallsense weight stream (bad magic)");
+    // The magic + version header is exactly as wide as the version-0
+    // layout's leading u64 param_count, so one 8-byte read disambiguates:
+    // "FSNN" means a versioned stream, anything else is read as the
+    // historical headerless layout's count.
+    char header[8];
+    in.read(header, sizeof(header));
+    if (!in) {
+        throw serialize_error(serialize_error_kind::truncated,
+                              "weight stream shorter than its header");
     }
-    const auto version = read_pod<std::uint32_t>(in);
-    if (version != k_version) {
-        throw std::runtime_error("unsupported weight stream version " + std::to_string(version));
+    std::uint64_t count = 0;
+    if (std::memcmp(header, k_magic, sizeof(k_magic)) == 0) {
+        std::uint32_t version = 0;
+        std::memcpy(&version, header + sizeof(k_magic), sizeof(version));
+        if (version != k_version) {
+            throw serialize_error(serialize_error_kind::bad_version,
+                                  "unsupported weight stream version " +
+                                      std::to_string(version));
+        }
+        count = read_pod<std::uint64_t>(in);
+    } else {
+        std::memcpy(&count, header, sizeof(count));
     }
     const std::vector<parameter*> params = m.parameters();
-    const auto count = read_pod<std::uint64_t>(in);
     if (count != params.size()) {
-        throw std::runtime_error("weight stream parameter count mismatch: stream has " +
-                                 std::to_string(count) + ", model has " +
-                                 std::to_string(params.size()));
+        throw serialize_error(serialize_error_kind::mismatch,
+                              "weight stream parameter count mismatch: stream has " +
+                                  std::to_string(count) + ", model has " +
+                                  std::to_string(params.size()));
     }
     for (parameter* p : params) {
         const auto name_len = read_pod<std::uint32_t>(in);
         std::string name(name_len, '\0');
         in.read(name.data(), name_len);
-        if (!in) throw std::runtime_error("weight stream truncated in name");
+        if (!in) {
+            throw serialize_error(serialize_error_kind::truncated,
+                                  "weight stream truncated in name");
+        }
         if (name != p->name) {
-            throw std::runtime_error("weight stream parameter mismatch: expected '" + p->name +
-                                     "', found '" + name + "'");
+            throw serialize_error(serialize_error_kind::mismatch,
+                                  "weight stream parameter mismatch: expected '" + p->name +
+                                      "', found '" + name + "'");
         }
         const auto rank = read_pod<std::uint32_t>(in);
         shape_t shape(rank);
         for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
         if (shape != p->value.shape()) {
-            throw std::runtime_error("weight stream shape mismatch for '" + name + "': stream " +
-                                     shape_to_string(shape) + ", model " +
-                                     shape_to_string(p->value.shape()));
+            throw serialize_error(serialize_error_kind::mismatch,
+                                  "weight stream shape mismatch for '" + name + "': stream " +
+                                      shape_to_string(shape) + ", model " +
+                                      shape_to_string(p->value.shape()));
         }
         in.read(reinterpret_cast<char*>(p->value.data()),
                 static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-        if (!in) throw std::runtime_error("weight stream truncated in data for '" + name + "'");
+        if (!in) {
+            throw serialize_error(serialize_error_kind::truncated,
+                                  "weight stream truncated in data for '" + name + "'");
+        }
     }
 }
 
 void save_weights_file(model& m, const std::filesystem::path& path) {
     std::ofstream out(path, std::ios::binary);
-    if (!out) throw std::runtime_error("cannot open for write: " + path.string());
+    if (!out) {
+        throw serialize_error(serialize_error_kind::io,
+                              "cannot open for write: " + path.string());
+    }
     save_weights(m, out);
 }
 
 void load_weights_file(model& m, const std::filesystem::path& path) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) throw std::runtime_error("cannot open for read: " + path.string());
+    if (!in) {
+        throw serialize_error(serialize_error_kind::io,
+                              "cannot open for read: " + path.string());
+    }
     load_weights(m, in);
 }
 

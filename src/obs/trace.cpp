@@ -87,6 +87,17 @@ stage_scope::~stage_scope() {
     s.cpu_ns += cpu;
 }
 
+void add_stage_counts(std::string_view name, std::uint64_t count) {
+    if (!enabled() || count == 0) return;
+    thread_table& t = local_table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    const auto it = t.stats.find(name);
+    stage_stat& s = (it != t.stats.end())
+                        ? it->second
+                        : t.stats.emplace(std::string(name), stage_stat{}).first->second;
+    s.count += count;
+}
+
 std::vector<stage_snapshot> merged_stage_snapshots() {
     std::map<std::string, stage_stat, std::less<>> merged;
     trace_state& g = global_trace();

@@ -42,6 +42,13 @@ private:
 /// Usually consumed via obs::snapshot().
 std::vector<stage_snapshot> merged_stage_snapshots();
 
+/// Merge `count` prior occurrences of stage `name` into the current
+/// thread's table with zero wall/CPU time.  Checkpoint restore uses this
+/// to carry a snapshot's stage counts into the restored process (the time
+/// was spent in another process and is deliberately not replayed — the
+/// deterministic manifest only compares counts).  No-op while disabled.
+void add_stage_counts(std::string_view name, std::uint64_t count);
+
 /// Clear every per-thread stage table (tests; usually via obs::reset()).
 void reset_stage_traces();
 

@@ -259,6 +259,33 @@ tick_result session_engine::tick() {
     return tick_apply({scores_.data(), total_windows});
 }
 
+void session_engine::capture_session(session_id id, session_checkpoint& out) const {
+    const session_slot& s = slot(id);
+    out.stats = s.stats;
+    out.drain_rate = s.drain_rate;
+    out.queue.assign(s.queue.begin(), s.queue.end());
+    s.state.capture(out.detector);
+}
+
+session_id session_engine::restore_session(const session_checkpoint& cp) {
+    FS_ARG_CHECK(cp.queue.size() <= config_.queue_capacity,
+                 "session checkpoint queue exceeds the configured capacity");
+    const std::size_t base = config_.samples_per_tick;
+    const std::size_t max_rate = config_.adaptive_drain() ? config_.max_samples_per_tick : base;
+    FS_ARG_CHECK(cp.drain_rate >= base && cp.drain_rate <= max_rate,
+                 "session checkpoint drain rate is outside the configured range");
+    auto slot_ptr = std::make_unique<session_slot>(config_.detector, config_.samples_per_tick);
+    slot_ptr->stats = cp.stats;
+    slot_ptr->drain_rate = static_cast<std::size_t>(cp.drain_rate);
+    slot_ptr->queue.assign(cp.queue.begin(), cp.queue.end());
+    slot_ptr->state.restore(cp.detector);
+    sessions_.push_back(std::move(slot_ptr));
+    ++live_count_;
+    return static_cast<session_id>(sessions_.size() - 1);
+}
+
+void session_engine::restore_evicted_slot() { sessions_.push_back(nullptr); }
+
 std::size_t session_engine::queue_depth(session_id id) const { return slot(id).queue.size(); }
 
 std::size_t session_engine::drain_rate(session_id id) const { return slot(id).drain_rate; }

@@ -116,6 +116,18 @@ struct engine_stats {
     std::uint64_t sessions_evicted = 0;
 };
 
+/// Everything needed to reconstruct one live session in another engine
+/// (or process): lifetime counters, the adaptive drain rate, the queued
+/// but not yet ingested samples, and the detector image.  src/ckpt
+/// serializes exactly these fields (docs/checkpoint.md).
+struct session_checkpoint {
+    session_id global_id = 0;  ///< router-global id (stamped by the fleet)
+    session_stats stats{};
+    std::uint64_t drain_rate = 0;
+    std::vector<data::raw_sample> queue;  ///< front (oldest) first
+    core::detector_state_image detector{};
+};
+
 struct trigger_event {
     session_id session = 0;
     std::size_t sample_index = 0;  ///< session-local tick of the scored window
@@ -169,6 +181,22 @@ public:
     /// router rebinds shards on hot-swap).  The scorer must outlive the
     /// engine; never call during a tick.
     void rebind_scorer(batch_scorer& scorer) { scorer_ = &scorer; }
+
+    // --- checkpoint support (driven by fleet_router::snapshot/restore;
+    //     only meaningful between ticks) ---
+    /// Capture one live session's full state into `out` (reusing buffers).
+    /// `out.global_id` is left untouched — the fleet owns global ids.
+    void capture_session(session_id id, session_checkpoint& out) const;
+    /// Recreate a session from a checkpoint as the next dense id, which is
+    /// returned.  Unlike create_session this touches no obs metrics and no
+    /// engine totals — a restore reinstalls totals wholesale afterwards via
+    /// restore_totals, and the snapshot's obs image travels separately.
+    session_id restore_session(const session_checkpoint& cp);
+    /// Append an evicted (null) slot so local ids line up with the source
+    /// engine's dense id space.
+    void restore_evicted_slot();
+    /// Install engine-wide totals (the fleet recomputes these per shard).
+    void restore_totals(const engine_stats& totals) { totals_ = totals; }
 
     std::size_t live_session_count() const { return live_count_; }
     std::size_t queue_depth(session_id id) const;

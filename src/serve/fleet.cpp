@@ -238,8 +238,8 @@ void fleet_router::score_per_shard() {
     });
 }
 
-void fleet_router::swap_scorer(std::unique_ptr<batch_scorer> next) {
-    FS_ARG_CHECK(next != nullptr, "swap_scorer needs a scorer");
+void fleet_router::install_scorer(std::unique_ptr<batch_scorer> next) {
+    FS_ARG_CHECK(next != nullptr, "install_scorer needs a scorer");
     scorer_ = std::move(next);
     for (const auto& sh : shards_) sh->engine.rebind_scorer(*scorer_);
     if (config_.mode == score_mode::per_shard) {
@@ -247,9 +247,154 @@ void fleet_router::swap_scorer(std::unique_ptr<batch_scorer> next) {
         // at tick granularity in both modes.
         replicas_ = make_scorer_replicas(*scorer_, shards_.size());
     }
+}
+
+void fleet_router::swap_scorer(std::unique_ptr<batch_scorer> next) {
+    install_scorer(std::move(next));
     ++swap_generation_;
     obs::add_counter("serve/scorer_swaps");
     obs::set_gauge("serve/swap_generation", static_cast<double>(swap_generation_));
+}
+
+fleet_checkpoint fleet_router::snapshot() const {
+    fleet_checkpoint cp;
+    cp.ticks = ticks_;
+    cp.swap_generation = swap_generation_;
+    cp.shard_count = static_cast<std::uint32_t>(shards_.size());
+    cp.live.resize(routes_.size());
+    cp.sessions.reserve(live_session_count());
+    // Live-session stat sums per shard, to back out the retired remainder.
+    std::vector<session_stats> live_sums(shards_.size());
+    for (std::size_t id = 0; id < routes_.size(); ++id) {
+        const route& r = routes_[id];
+        cp.live[id] = r.live ? 1 : 0;
+        if (!r.live) continue;
+        session_checkpoint& sc = cp.sessions.emplace_back();
+        shards_[r.shard]->engine.capture_session(r.local, sc);
+        sc.global_id = static_cast<session_id>(id);
+        session_stats& sum = live_sums[r.shard];
+        sum.accepted += sc.stats.accepted;
+        sum.dropped += sc.stats.dropped;
+        sum.rejected += sc.stats.rejected;
+        sum.ingested += sc.stats.ingested;
+        sum.windows_scored += sc.stats.windows_scored;
+        sum.triggers += sc.stats.triggers;
+    }
+    cp.retired.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const engine_stats& t = shards_[s]->engine.totals();
+        const session_stats& sum = live_sums[s];
+        cp.retired[s] = {t.accepted - sum.accepted,       t.dropped - sum.dropped,
+                         t.rejected - sum.rejected,       t.ingested - sum.ingested,
+                         t.windows_scored - sum.windows_scored, t.triggers - sum.triggers};
+    }
+    return cp;
+}
+
+void fleet_router::restore(const fleet_checkpoint& cp) {
+    FS_ARG_CHECK(cp.shard_count > 0, "fleet checkpoint needs at least one shard");
+    FS_ARG_CHECK(cp.retired.size() == cp.shard_count,
+                 "fleet checkpoint retired stats must cover every capture shard");
+    const std::size_t live_total =
+        static_cast<std::size_t>(std::count(cp.live.begin(), cp.live.end(), std::uint8_t{1}));
+    FS_ARG_CHECK(cp.sessions.size() == live_total,
+                 "fleet checkpoint must carry exactly one record per live session");
+
+    // Rebuild the shards from scratch under the CURRENT config (the shard
+    // count may differ from the capture — that is rebalancing).
+    shards_.clear();
+    routes_.clear();
+    shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+        shards_.push_back(std::make_unique<shard_slot>(config_.engine, *scorer_));
+    }
+    if (config_.mode == score_mode::per_shard) {
+        replicas_ = make_scorer_replicas(*scorer_, config_.shards);
+    }
+
+    // Replay the dense global id space in order: every id hashes to its
+    // shard exactly as live admission would have routed it.
+    std::vector<session_stats> live_sums(shards_.size());
+    std::vector<std::uint64_t> evicted(shards_.size(), 0);
+    auto next = cp.sessions.begin();
+    routes_.reserve(cp.live.size());
+    for (std::size_t id = 0; id < cp.live.size(); ++id) {
+        const std::size_t s = shard_of(static_cast<session_id>(id));
+        shard_slot& sh = *shards_[s];
+        session_id local = 0;
+        if (cp.live[id]) {
+            FS_ARG_CHECK(next != cp.sessions.end() && next->global_id == id,
+                         "fleet checkpoint sessions must be ascending and match the live set");
+            local = sh.engine.restore_session(*next);
+            session_stats& sum = live_sums[s];
+            sum.accepted += next->stats.accepted;
+            sum.dropped += next->stats.dropped;
+            sum.rejected += next->stats.rejected;
+            sum.ingested += next->stats.ingested;
+            sum.windows_scored += next->stats.windows_scored;
+            sum.triggers += next->stats.triggers;
+            ++next;
+        } else {
+            sh.engine.restore_evicted_slot();
+            local = static_cast<session_id>(sh.local_to_global.size());
+            ++evicted[s];
+        }
+        FS_CHECK(local == sh.local_to_global.size(), "shard-local session ids must be dense");
+        sh.local_to_global.push_back(static_cast<session_id>(id));
+        routes_.push_back({static_cast<std::uint32_t>(s), local, cp.live[id] != 0});
+    }
+    FS_ARG_CHECK(next == cp.sessions.end(),
+                 "fleet checkpoint carries sessions missing from the live set");
+
+    // Reinstall per-shard totals: live sums plus the retired remainder.
+    // When the shard layout is unchanged the remainder is exact per shard;
+    // under a resize the retired history cannot be attributed (the sessions
+    // are gone), so it folds into shard 0 — fleet-wide sums stay exact.
+    const bool same_layout = cp.shard_count == shards_.size();
+    session_stats folded{};
+    if (!same_layout) {
+        for (const session_stats& r : cp.retired) {
+            folded.accepted += r.accepted;
+            folded.dropped += r.dropped;
+            folded.rejected += r.rejected;
+            folded.ingested += r.ingested;
+            folded.windows_scored += r.windows_scored;
+            folded.triggers += r.triggers;
+        }
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        shard_slot& sh = *shards_[s];
+        static const session_stats zero{};
+        const session_stats& retired =
+            same_layout ? cp.retired[s] : (s == 0 ? folded : zero);
+        engine_stats t;
+        t.accepted = live_sums[s].accepted + retired.accepted;
+        t.dropped = live_sums[s].dropped + retired.dropped;
+        t.rejected = live_sums[s].rejected + retired.rejected;
+        t.ingested = live_sums[s].ingested + retired.ingested;
+        t.windows_scored = live_sums[s].windows_scored + retired.windows_scored;
+        t.triggers = live_sums[s].triggers + retired.triggers;
+        t.ticks = cp.ticks;
+        t.sessions_created = sh.local_to_global.size();
+        t.sessions_evicted = evicted[s];
+        sh.engine.restore_totals(t);
+    }
+    ticks_ = cp.ticks;
+    swap_generation_ = cp.swap_generation;
+    // Re-assert the serve gauges to the restored truth (a ckpt obs merge
+    // may have just replayed the capture-time values, which a rebalance
+    // makes stale).
+    obs::set_gauge("serve/sessions_live", static_cast<double>(live_session_count()));
+    obs::set_gauge("serve/shards", static_cast<double>(shards_.size()));
+    obs::set_gauge("serve/swap_generation", static_cast<double>(swap_generation_));
+}
+
+void fleet_router::rebalance(std::size_t new_shard_count) {
+    FS_ARG_CHECK(new_shard_count > 0, "fleet needs at least one shard");
+    const fleet_checkpoint cp = snapshot();
+    config_.shards = new_shard_count;
+    nonempty_.reserve(new_shard_count);
+    restore(cp);
 }
 
 std::size_t fleet_router::live_session_count() const {

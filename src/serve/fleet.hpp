@@ -68,6 +68,26 @@ struct fleet_config {
     score_mode mode = score_mode::fused;
 };
 
+/// A whole fleet's state at a tick boundary — what fleet_router::snapshot
+/// captures and restore rebuilds (src/ckpt serializes it, docs/checkpoint.md
+/// is the normative byte layout).  Session checkpoints carry router-global
+/// ids and appear in ascending id order; `live` indexes the dense global id
+/// space so evicted ids keep their place (ids are never reused).
+struct fleet_checkpoint {
+    std::uint64_t ticks = 0;
+    std::uint64_t swap_generation = 0;
+    /// Shard count at capture time.  A restore into a router configured
+    /// with a different count re-routes every session (rebalancing).
+    std::uint32_t shard_count = 0;
+    std::vector<std::uint8_t> live;  ///< index == global id, 1 = live
+    std::vector<session_checkpoint> sessions;  ///< live only, ascending id
+    /// Per capture-shard sample counters of sessions evicted before the
+    /// snapshot (shard totals minus live-session sums).  Restored exactly
+    /// when the shard count is unchanged; folded into shard 0 otherwise
+    /// (fleet-wide totals — the observable surface — stay exact either way).
+    std::vector<session_stats> retired;
+};
+
 /// Wall-clock microseconds of the last tick's phases, recorded every tick
 /// (two steady_clock reads per phase, no allocation) so benches can report
 /// per-phase costs without enabling the obs registry.
@@ -97,6 +117,30 @@ public:
     /// Advance every shard one tick; triggers carry router-global ids,
     /// merged in ascending shard order (chronological within a session).
     tick_result tick();
+
+    // --- checkpointing (tick boundaries only; see docs/checkpoint.md) ---
+    /// Capture every session, the routing table, and the tick/swap
+    /// counters.  Pure read; the fleet is untouched.
+    fleet_checkpoint snapshot() const;
+    /// Rebuild this fleet from a checkpoint: shards are reconstructed
+    /// from scratch and every session is re-routed by the id hash under
+    /// the CURRENT shard count, so restoring a K-shard checkpoint into an
+    /// M-shard router is exactly a rebalance.  Existing sessions are
+    /// discarded.  Touches no obs counters (the snapshot's obs image
+    /// travels separately through src/ckpt); serve gauges are re-asserted
+    /// to the restored truth.
+    void restore(const fleet_checkpoint& cp);
+    /// Deterministic shard resize: snapshot, re-route every session by the
+    /// existing splitmix64 id hash over `new_shard_count` shards, restore.
+    /// Call strictly between ticks.  The resized fleet continues
+    /// bit-identically to a fleet that had `new_shard_count` shards from
+    /// the start and saw the same traffic.
+    void rebalance(std::size_t new_shard_count);
+    /// Replace the fleet's scorer WITHOUT bumping the swap generation or
+    /// touching obs — restore paths use this to reinstall the scorer
+    /// generation a snapshot was taken under.  swap_scorer is this plus
+    /// the generation bump and metrics.
+    void install_scorer(std::unique_ptr<batch_scorer> next);
 
     /// Install `next` as the fleet's scorer for all subsequent ticks and
     /// bump the swap generation.  The previous scorer is destroyed.  In

@@ -94,12 +94,22 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     FS_ARG_CHECK(config.ticks > 0, "loadgen needs at least one tick");
     FS_ARG_CHECK(config.feed_rate > 0, "loadgen feed rate must be positive");
     FS_ARG_CHECK(config.shards > 0, "loadgen needs at least one shard");
+    FS_ARG_CHECK(config.snapshot_every_ticks == 0 || config.snapshot_sink,
+                 "loadgen snapshot interval needs a snapshot sink");
     OBS_SCOPE("serve/loadgen");
 
     const std::size_t n_tasks = std::size(k_task_mix);
     const std::uint64_t stream_seed = util::derive_seed(config.seed, "loadgen/stream");
     std::vector<session_stream> streams =
         synthesize_fleet_streams(config.sessions, config.seed);
+    // Churn stream n is a pure function of (seed, n), so a restored run
+    // re-derives the same wearer the uninterrupted run admitted.
+    const auto append_churn_stream = [&](std::size_t n) {
+        const data::subject_profile churn_subject = data::sample_subjects(
+            1, static_cast<int>(n), util::derive_seed(config.seed, {0x6368u, n}))[0];
+        streams.push_back(synthesize_stream(churn_subject, k_task_mix[n % n_tasks],
+                                            util::derive_seed(stream_seed, {n})));
+    };
 
     // Scorers must match the engine's window; resolve it once here so
     // callers only configure the detector.
@@ -111,7 +121,6 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     fc.shards = config.shards;
     fc.mode = config.mode;
     fleet_router fleet(fc, make_scorer(spec));
-    for (std::size_t i = 0; i < config.sessions; ++i) fleet.create_session();
 
     loadgen_report report;
     report.sessions = config.sessions;
@@ -122,13 +131,53 @@ loadgen_report run_loadgen(const loadgen_config& config) {
 
     // streams grows on churn; session id -> stream index is the identity
     // because churned sessions get monotonically increasing ids.
-    std::vector<session_id> live_ids(config.sessions);
-    for (std::size_t i = 0; i < config.sessions; ++i) {
-        live_ids[i] = static_cast<session_id>(i);
+    std::vector<session_id> live_ids;
+    std::size_t start_tick = 0;
+    if (config.restore) {
+        config.restore(fleet);
+        const engine_stats restored = fleet.totals();
+        start_tick = restored.ticks;
+        FS_ARG_CHECK(start_tick <= config.ticks,
+                     "restored checkpoint is already past the requested tick count");
+        FS_ARG_CHECK(fleet.live_session_count() == config.sessions,
+                     "restored live-session count does not match the configured sessions");
+        const std::size_t total_streams = restored.sessions_created;
+        // Replay the churn history: every stream ever admitted, in order.
+        for (std::size_t n = config.sessions; n < total_streams; ++n) append_churn_stream(n);
+        report.sessions_churned = total_streams - config.sessions;
+        // Each live stream resumes at exactly the sample after the last
+        // one it offered: feeds are counted per session as accepted +
+        // rejected (drop_oldest admits every offer; reject_newest refuses
+        // some — both counters advance the cursor).
+        for (std::size_t id = 0; id < total_streams; ++id) {
+            if (!fleet.is_live(static_cast<session_id>(id))) continue;
+            live_ids.push_back(static_cast<session_id>(id));
+            const session_stats& st = fleet.stats(static_cast<session_id>(id));
+            streams[id].cursor = static_cast<std::size_t>(
+                (st.accepted + st.rejected) % streams[id].samples.size());
+        }
+        report.samples_offered =
+            static_cast<std::uint64_t>(start_tick) * config.sessions * config.feed_rate;
+        // Reinstall the scorer generation the snapshot was taken under
+        // (without bumping the generation — the restored counter already
+        // carries the swaps that happened before the snapshot).
+        if (fleet.swap_generation() > 0) {
+            scorer_spec current = spec;
+            for (std::uint64_t g = 0; g < fleet.swap_generation(); ++g) {
+                current.seed = util::derive_seed(current.seed, "serve/swap");
+            }
+            fleet.install_scorer(make_scorer(current));
+        }
+    } else {
+        for (std::size_t i = 0; i < config.sessions; ++i) fleet.create_session();
+        live_ids.resize(config.sessions);
+        for (std::size_t i = 0; i < config.sessions; ++i) {
+            live_ids[i] = static_cast<session_id>(i);
+        }
     }
 
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t t = 0; t < config.ticks; ++t) {
+    for (std::size_t t = start_tick; t < config.ticks; ++t) {
         if (config.swap_after_ticks > 0 && t == config.swap_after_ticks) {
             // Model rollout under live traffic: rebuild the scorer from
             // the same spec with a swap-derived seed and install it
@@ -142,12 +191,7 @@ loadgen_report run_loadgen(const loadgen_config& config) {
             const session_id victim = live_ids.front();
             live_ids.erase(live_ids.begin());
             fleet.evict_session(victim);
-            const std::size_t n = streams.size();
-            const data::subject_profile churn_subject = data::sample_subjects(
-                1, static_cast<int>(n),
-                util::derive_seed(config.seed, {0x6368u, n}))[0];
-            streams.push_back(synthesize_stream(churn_subject, k_task_mix[n % n_tasks],
-                                                util::derive_seed(stream_seed, {n})));
+            append_churn_stream(streams.size());
             live_ids.push_back(fleet.create_session());
             ++report.sessions_churned;
         }
@@ -158,6 +202,11 @@ loadgen_report run_loadgen(const loadgen_config& config) {
             }
         }
         fleet.tick();
+        if (config.snapshot_every_ticks > 0 && (t + 1) % config.snapshot_every_ticks == 0) {
+            // Tick boundary: all staged state is consumed, only queues and
+            // detector state persist — exactly what the snapshot carries.
+            config.snapshot_sink(fleet);
+        }
     }
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
     report.wall_seconds = elapsed.count();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,21 @@ struct loadgen_config {
     /// engine's detector window before construction).
     scorer_spec scorer{};
     engine_config engine{};
+
+    // --- checkpointing hooks (serve stays codec-free: src/ckpt supplies
+    //     the lambdas, e.g. ckpt::snapshot_to_file / restore_from_file;
+    //     docs/checkpoint.md describes the resume contract) ---
+    /// Every this many completed ticks, call `snapshot_sink` with the
+    /// fleet at the tick boundary (0 = never).
+    std::size_t snapshot_every_ticks = 0;
+    std::function<void(const fleet_router&)> snapshot_sink;
+    /// When set, called once on the freshly built (empty) fleet before any
+    /// traffic; it must install a checkpoint.  The loadgen then derives
+    /// everything else — completed ticks, stream cursors, churn history,
+    /// scorer generation — from the restored fleet, and `ticks` counts the
+    /// TOTAL run: a restore at tick T replays exactly ticks T..ticks-1, so
+    /// the run is bit-identical to one that never stopped.
+    std::function<void(fleet_router&)> restore;
 };
 
 /// One synthesized wearer's replay source: a motion-profile trial looped

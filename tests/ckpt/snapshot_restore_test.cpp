@@ -1,0 +1,383 @@
+// State-level checkpoint tests: snapshot/restore bit-parity, kill/restore
+// through the loadgen hooks, deterministic rebalance, obs-manifest parity,
+// and the file store's failure modes.
+#include "ckpt/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/synthesizer.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/scorer_factory.hpp"
+
+namespace fallsense::ckpt {
+namespace {
+
+float freefall_scorer(std::span<const float> window) {
+    double mag = 0.0;
+    const std::size_t n = window.size() / core::k_feature_channels;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        const float ax = window[i * 9 + 0];
+        const float ay = window[i * 9 + 1];
+        const float az = window[i * 9 + 2];
+        mag += std::sqrt(static_cast<double>(ax) * ax + ay * ay + az * az);
+    }
+    mag /= static_cast<double>(n - n / 2);
+    return static_cast<float>(std::clamp(1.3 - mag, 0.0, 1.0));
+}
+
+std::unique_ptr<serve::batch_scorer> freefall() {
+    serve::scorer_spec spec;
+    spec.backend = serve::scorer_backend::callback;
+    spec.window_samples = 20;
+    spec.callback = freefall_scorer;
+    spec.label = "freefall";
+    return serve::make_scorer(spec);
+}
+
+serve::fleet_config make_config(std::size_t shards = 2) {
+    serve::fleet_config c;
+    c.engine.detector.window_samples = 20;
+    c.engine.detector.overlap_fraction = 0.5;
+    c.engine.detector.threshold = 0.65;
+    c.engine.queue_capacity = 4;
+    c.shards = shards;
+    return c;
+}
+
+data::trial make_trial(int task, std::uint64_t seed) {
+    util::rng gen(seed);
+    data::subject_profile subject;
+    subject.id = 1;
+    data::motion_tuning tuning;
+    tuning.static_hold_s = 1.5;
+    tuning.locomotion_s = 2.0;
+    tuning.post_fall_hold_s = 1.0;
+    return data::synthesize_task(task, subject, tuning, data::synthesis_config{}, gen);
+}
+
+using trigger_key = std::tuple<serve::session_id, std::size_t, float>;
+
+void collect(const serve::tick_result& result, std::vector<trigger_key>& out) {
+    for (const serve::trigger_event& e : result.triggers) {
+        out.emplace_back(e.session, e.sample_index, e.probability);
+    }
+}
+
+struct fixed_traffic {
+    std::vector<data::trial> trials = {make_trial(20, 31), make_trial(6, 32),
+                                       make_trial(13, 33), make_trial(1, 34)};
+    std::vector<std::size_t> cursors = std::vector<std::size_t>(4, 0);
+
+    /// Feed every session two samples, advancing shared cursors — the
+    /// same byte stream regardless of which fleet object consumes it.
+    void feed_tick(serve::fleet_router& fleet, const std::vector<serve::session_id>& ids) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const auto& samples = trials[i].samples;
+            fleet.feed(ids[i], samples[cursors[i]++ % samples.size()]);
+            fleet.feed(ids[i], samples[cursors[i]++ % samples.size()]);
+        }
+    }
+};
+
+std::string temp_path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SnapshotRestoreTest, RestoredFleetContinuesBitIdentically) {
+    // Reference: 60 uninterrupted ticks.
+    fixed_traffic ref_traffic;
+    std::vector<trigger_key> ref_triggers;
+    serve::engine_stats ref_totals;
+    {
+        serve::fleet_router fleet(make_config(), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 60; ++t) {
+            ref_traffic.feed_tick(fleet, ids);
+            collect(fleet.tick(), ref_triggers);
+        }
+        ref_totals = fleet.totals();
+    }
+
+    // Interrupted: 30 ticks, capture, restore into a FRESH router (which
+    // already holds unrelated sessions — restore must discard them), then
+    // the remaining 30 ticks of the same traffic.
+    fixed_traffic traffic;
+    std::vector<trigger_key> triggers;
+    serve::engine_stats totals;
+    {
+        fleet_snapshot snap;
+        {
+            serve::fleet_router fleet(make_config(), freefall());
+            std::vector<serve::session_id> ids;
+            for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+            for (std::size_t t = 0; t < 30; ++t) {
+                traffic.feed_tick(fleet, ids);
+                collect(fleet.tick(), triggers);
+            }
+            snap = capture(fleet);
+        }
+        serve::fleet_router fleet(make_config(), freefall());
+        fleet.create_session();  // pre-restore state that must not survive
+        restore(fleet, snap);
+        EXPECT_EQ(fleet.live_session_count(), 4u);
+        EXPECT_EQ(fleet.totals().ticks, 30u);
+        std::vector<serve::session_id> ids = {0, 1, 2, 3};
+        for (std::size_t t = 30; t < 60; ++t) {
+            traffic.feed_tick(fleet, ids);
+            collect(fleet.tick(), triggers);
+        }
+        totals = fleet.totals();
+    }
+
+    EXPECT_EQ(triggers, ref_triggers);
+    EXPECT_EQ(totals.accepted, ref_totals.accepted);
+    EXPECT_EQ(totals.rejected, ref_totals.rejected);
+    EXPECT_EQ(totals.ingested, ref_totals.ingested);
+    EXPECT_EQ(totals.windows_scored, ref_totals.windows_scored);
+    EXPECT_EQ(totals.triggers, ref_totals.triggers);
+}
+
+TEST(SnapshotRestoreTest, RebalancedRestoreMatchesAFreshShardCount) {
+    // 4-shard fleet snapshotted mid-run and restored into 8 shards must
+    // continue exactly like a fleet that was 8-sharded from tick 0.
+    fixed_traffic ref_traffic;
+    std::vector<trigger_key> ref_triggers;
+    {
+        serve::fleet_router fleet(make_config(8), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 60; ++t) {
+            ref_traffic.feed_tick(fleet, ids);
+            collect(fleet.tick(), ref_triggers);
+        }
+    }
+
+    fixed_traffic traffic;
+    std::vector<trigger_key> triggers;
+    fleet_snapshot snap;
+    {
+        serve::fleet_router fleet(make_config(4), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 30; ++t) {
+            traffic.feed_tick(fleet, ids);
+            collect(fleet.tick(), triggers);
+        }
+        snap = capture(fleet);
+    }
+    serve::fleet_router fleet(make_config(8), freefall());
+    restore(fleet, snap);  // current shard count (8) wins: a rebalance
+    EXPECT_EQ(fleet.shard_count(), 8u);
+    std::vector<serve::session_id> ids = {0, 1, 2, 3};
+    for (std::size_t t = 30; t < 60; ++t) {
+        traffic.feed_tick(fleet, ids);
+        collect(fleet.tick(), triggers);
+    }
+    EXPECT_EQ(triggers, ref_triggers);
+}
+
+TEST(SnapshotRestoreTest, InPlaceRebalanceMatchesAFreshShardCount) {
+    fixed_traffic ref_traffic;
+    std::vector<trigger_key> ref_triggers;
+    {
+        serve::fleet_router fleet(make_config(8), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 60; ++t) {
+            ref_traffic.feed_tick(fleet, ids);
+            collect(fleet.tick(), ref_triggers);
+        }
+    }
+
+    fixed_traffic traffic;
+    std::vector<trigger_key> triggers;
+    serve::fleet_router fleet(make_config(4), freefall());
+    std::vector<serve::session_id> ids;
+    for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+    for (std::size_t t = 0; t < 30; ++t) {
+        traffic.feed_tick(fleet, ids);
+        collect(fleet.tick(), triggers);
+    }
+    fleet.rebalance(8);
+    EXPECT_EQ(fleet.shard_count(), 8u);
+    for (std::size_t t = 30; t < 60; ++t) {
+        traffic.feed_tick(fleet, ids);
+        collect(fleet.tick(), triggers);
+    }
+    EXPECT_EQ(triggers, ref_triggers);
+}
+
+TEST(SnapshotRestoreTest, LoadgenKillRestoreReplaysToTheSameSummary) {
+    // The full operational drill through the serve-layer hooks: churn,
+    // saturation, a mid-run scorer swap, a snapshot at tick 40, and a
+    // resumed run that must reproduce the uninterrupted summary verbatim.
+    serve::loadgen_config config;
+    config.sessions = 6;
+    config.ticks = 80;
+    config.seed = 11;
+    config.feed_rate = 2;
+    config.churn_every_ticks = 10;
+    config.shards = 2;
+    config.swap_after_ticks = 25;
+    config.scorer.backend = serve::scorer_backend::callback;
+    config.scorer.callback = freefall_scorer;
+    config.scorer.label = "freefall";
+    config.engine.detector.window_samples = 20;
+    config.engine.detector.overlap_fraction = 0.5;
+    config.engine.detector.threshold = 0.65;
+    config.engine.queue_capacity = 8;
+
+    const std::string reference = serve::run_loadgen(config).deterministic_summary();
+
+    const std::string path = temp_path("fallsense_ckpt_loadgen_test.bin");
+    serve::loadgen_config first = config;
+    first.ticks = 40;
+    first.snapshot_every_ticks = 40;
+    first.snapshot_sink = [&path](const serve::fleet_router& fleet) {
+        snapshot_to_file(fleet, path);
+    };
+    serve::run_loadgen(first);
+
+    serve::loadgen_config second = config;  // ticks back at the TOTAL (80)
+    second.restore = [&path](serve::fleet_router& fleet) { restore_from_file(fleet, path); };
+    const std::string resumed = serve::run_loadgen(second).deterministic_summary();
+
+    EXPECT_EQ(resumed, reference);
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRestoreTest, ObsManifestSurvivesARestoreAcrossProcessReset) {
+    // The deterministic manifest of run-then-restore must equal the
+    // uninterrupted run's: the snapshot's obs image carries the first
+    // half's counters across the obs::reset() standing in for a process
+    // exit.  capture/restore are used directly (not the *_to_file
+    // wrappers) so no ckpt/* counters enter the comparison.
+    fixed_traffic ref_traffic;
+    std::string ref_manifest;
+    {
+        obs::reset();
+        obs::set_enabled(true);
+        serve::fleet_router fleet(make_config(), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 40; ++t) {
+            ref_traffic.feed_tick(fleet, ids);
+            fleet.tick();
+        }
+        ref_manifest = obs::manifest_json(obs::run_manifest{}, obs::snapshot());
+        obs::set_enabled(false);
+    }
+
+    fixed_traffic traffic;
+    fleet_snapshot snap;
+    {
+        obs::reset();
+        obs::set_enabled(true);
+        serve::fleet_router fleet(make_config(), freefall());
+        std::vector<serve::session_id> ids;
+        for (std::size_t i = 0; i < 4; ++i) ids.push_back(fleet.create_session());
+        for (std::size_t t = 0; t < 20; ++t) {
+            traffic.feed_tick(fleet, ids);
+            fleet.tick();
+        }
+        snap = capture(fleet);
+        obs::set_enabled(false);
+    }
+    ASSERT_FALSE(snap.obs.counters.empty());
+
+    std::string manifest;
+    {
+        obs::reset();  // the process died; the registry starts cold
+        obs::set_enabled(true);
+        serve::fleet_router fleet(make_config(), freefall());
+        restore(fleet, snap);
+        std::vector<serve::session_id> ids = {0, 1, 2, 3};
+        for (std::size_t t = 20; t < 40; ++t) {
+            traffic.feed_tick(fleet, ids);
+            fleet.tick();
+        }
+        manifest = obs::manifest_json(obs::run_manifest{}, obs::snapshot());
+        obs::set_enabled(false);
+    }
+    EXPECT_EQ(manifest, ref_manifest);
+}
+
+TEST(SnapshotRestoreTest, SessionHandoffsCarryNextSequences) {
+    serve::fleet_router fleet(make_config(), freefall());
+    std::vector<serve::session_id> ids;
+    for (std::size_t i = 0; i < 3; ++i) ids.push_back(fleet.create_session());
+    const data::trial trial = make_trial(20, 51);
+    for (std::size_t t = 0; t < 10; ++t) {
+        for (const serve::session_id id : ids) {
+            fleet.feed(id, trial.samples[t % trial.samples.size()]);
+        }
+        fleet.tick();
+    }
+    fleet.evict_session(ids[1]);
+    const fleet_snapshot snap = capture(fleet);
+
+    const std::vector<session_handoff> handoffs = session_handoffs(snap);
+    ASSERT_EQ(handoffs.size(), 2u);
+    EXPECT_EQ(handoffs[0].session, ids[0]);
+    EXPECT_EQ(handoffs[1].session, ids[2]);
+    for (const session_handoff& h : handoffs) {
+        const serve::session_stats& s = fleet.stats(h.session);
+        EXPECT_EQ(h.next_sequence,
+                  static_cast<std::uint32_t>(s.accepted + s.rejected));
+    }
+}
+
+TEST(SnapshotRestoreTest, FileStoreRoundTripsAndRejectsGarbage) {
+    const std::string path = temp_path("fallsense_ckpt_store_test.bin");
+    serve::fleet_router fleet(make_config(), freefall());
+    fleet.create_session();
+    const data::trial trial = make_trial(6, 61);
+    for (std::size_t t = 0; t < 8; ++t) {
+        fleet.feed(0, trial.samples[t]);
+        fleet.tick();
+    }
+
+    const fleet_snapshot written = capture(fleet);
+    const std::size_t bytes = write_snapshot_file(path, written);
+    EXPECT_EQ(std::filesystem::file_size(path), bytes);
+    const fleet_snapshot read = read_snapshot_file(path);
+    EXPECT_EQ(encode_snapshot(read), encode_snapshot(written));
+
+    EXPECT_THROW(read_snapshot_file(path + ".does-not-exist"), checkpoint_error);
+
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << "not a checkpoint";
+    EXPECT_THROW(read_snapshot_file(path), checkpoint_error);
+    std::filesystem::remove(path);
+}
+
+TEST(SnapshotRestoreTest, RestoreRefusesAMismatchedFingerprint) {
+    serve::fleet_router source(make_config(), freefall());
+    source.create_session();
+    source.tick();
+    const fleet_snapshot snap = capture(source);
+
+    serve::fleet_config other = make_config();
+    other.engine.detector.window_samples = 40;  // different detector shape
+    serve::scorer_spec spec;
+    spec.backend = serve::scorer_backend::callback;
+    spec.window_samples = 40;
+    spec.callback = freefall_scorer;
+    spec.label = "freefall";
+    serve::fleet_router target(other, serve::make_scorer(spec));
+    EXPECT_THROW(restore(target, snap), checkpoint_error);
+}
+
+}  // namespace
+}  // namespace fallsense::ckpt

@@ -322,6 +322,197 @@ TEST(SessionGatewayTest, MalformedStreamAnswersStatusAndKillsConnection) {
     EXPECT_EQ(gateway.stats().connections_closed, 1u);
 }
 
+TEST(SessionGatewayTest, MultiConnectionRunMatchesSingleConnection) {
+    const std::vector<data::trial> trials = {make_trial(20, 41), make_trial(6, 42)};
+    const std::size_t ticks = 40;
+
+    // Reference: both sessions' frames interleaved on one connection.
+    run_result single;
+    {
+        fleet_router fleet(make_config(), freefall());
+        session_gateway gateway(fleet, [&](const serve::tick_result& r) {
+            collect(r, single.triggers);
+        });
+        const auto conn = gateway.open_connection();
+        std::vector<std::uint8_t> bytes;
+        std::vector<std::size_t> cursors(trials.size(), 0);
+        std::vector<std::uint32_t> seq(trials.size(), 0);
+        for (std::size_t t = 0; t < ticks; ++t) {
+            for (std::size_t i = 0; i < trials.size(); ++i) {
+                const auto& samples = trials[i].samples;
+                const data::raw_sample& s = samples[cursors[i]++ % samples.size()];
+                encode_samples(bytes, static_cast<std::uint32_t>(i), seq[i]++, {&s, 1});
+            }
+            encode_tick(bytes);
+        }
+        encode_bye(bytes);
+        std::vector<std::uint8_t> replies;
+        ASSERT_TRUE(gateway.on_bytes(conn, bytes, replies));
+        EXPECT_TRUE(gateway.bye_received());
+        EXPECT_EQ(gateway.stats().ticks, ticks);
+        single.totals = fleet.totals();
+    }
+
+    // Same traffic, one connection per session, each voting its own
+    // ticks — and connection 0 delivered entirely BEFORE connection 1,
+    // the most adversarial interleaving the transport could produce.
+    run_result split;
+    {
+        fleet_router fleet(make_config(), freefall());
+        session_gateway gateway(fleet, [&](const serve::tick_result& r) {
+            collect(r, split.triggers);
+        });
+        const auto conn_a = gateway.open_connection();
+        const auto conn_b = gateway.open_connection();
+        std::vector<std::uint8_t> bytes_a;
+        std::vector<std::uint8_t> bytes_b;
+        std::vector<std::size_t> cursors(trials.size(), 0);
+        std::vector<std::uint32_t> seq(trials.size(), 0);
+        for (std::size_t t = 0; t < ticks; ++t) {
+            for (std::size_t i = 0; i < trials.size(); ++i) {
+                const auto& samples = trials[i].samples;
+                const data::raw_sample& s = samples[cursors[i]++ % samples.size()];
+                std::vector<std::uint8_t>& bytes = i == 0 ? bytes_a : bytes_b;
+                encode_samples(bytes, static_cast<std::uint32_t>(i), seq[i]++, {&s, 1});
+            }
+            encode_tick(bytes_a);
+            encode_tick(bytes_b);
+        }
+        encode_bye(bytes_a);
+        encode_bye(bytes_b);
+        std::vector<std::uint8_t> replies;
+        ASSERT_TRUE(gateway.on_bytes(conn_a, bytes_a, replies));
+        // Connection A ran the whole script ahead: no tick may have run
+        // yet (B never voted) and bye is not complete.
+        EXPECT_EQ(gateway.stats().ticks, 0u);
+        EXPECT_FALSE(gateway.bye_received());
+        ASSERT_TRUE(gateway.on_bytes(conn_b, bytes_b, replies));
+        EXPECT_TRUE(gateway.bye_received());
+        EXPECT_EQ(gateway.stats().ticks, ticks);
+        split.totals = fleet.totals();
+    }
+
+    EXPECT_EQ(single.triggers, split.triggers);
+    EXPECT_EQ(single.totals.accepted, split.totals.accepted);
+    EXPECT_EQ(single.totals.ingested, split.totals.ingested);
+    EXPECT_EQ(single.totals.windows_scored, split.totals.windows_scored);
+    EXPECT_EQ(single.totals.triggers, split.totals.triggers);
+}
+
+TEST(SessionGatewayTest, TickBarrierWithholdsNextRoundSamples) {
+    fleet_router fleet(make_config(), freefall());
+    session_gateway gateway(fleet);
+    const auto conn_a = gateway.open_connection();
+    const auto conn_b = gateway.open_connection();
+    const data::raw_sample s = quiet_sample();
+
+    // Connection A runs a round ahead: round-0 sample, vote, round-1
+    // sample.  The round-1 sample must stay buffered until B's vote
+    // completes the barrier and round 0 actually ticks.
+    std::vector<std::uint8_t> bytes;
+    encode_samples(bytes, 0, 0, {&s, 1});
+    encode_tick(bytes);
+    encode_samples(bytes, 0, 1, {&s, 1});
+    std::vector<std::uint8_t> replies;
+    ASSERT_TRUE(gateway.on_bytes(conn_a, bytes, replies));
+    EXPECT_EQ(gateway.stats().ticks, 0u);
+    EXPECT_EQ(fleet.totals().accepted, 1u);
+
+    bytes.clear();
+    encode_samples(bytes, 1, 0, {&s, 1});
+    encode_tick(bytes);
+    ASSERT_TRUE(gateway.on_bytes(conn_b, bytes, replies));
+    EXPECT_EQ(gateway.stats().ticks, 1u);
+    EXPECT_EQ(fleet.totals().accepted, 3u);  // A's round-1 sample released
+}
+
+TEST(SessionGatewayTest, ByeCompletesOnlyWhenEveryConnectionFinished) {
+    fleet_router fleet(make_config(), freefall());
+    session_gateway gateway(fleet);
+    const auto conn_a = gateway.open_connection();
+    const auto conn_b = gateway.open_connection();
+
+    std::vector<std::uint8_t> bye;
+    encode_bye(bye);
+    std::vector<std::uint8_t> replies;
+    ASSERT_TRUE(gateway.on_bytes(conn_a, bye, replies));
+    EXPECT_FALSE(gateway.bye_received());
+    ASSERT_TRUE(gateway.on_bytes(conn_b, bye, replies));
+    EXPECT_TRUE(gateway.bye_received());
+}
+
+TEST(SessionGatewayTest, ConnectionDepartureReleasesBarrierAndBye) {
+    fleet_router fleet(make_config(), freefall());
+    session_gateway gateway(fleet);
+    const auto conn_a = gateway.open_connection();
+    const auto conn_b = gateway.open_connection();
+    const data::raw_sample s = quiet_sample();
+
+    // A votes and says bye; B neither votes nor byes, then drops (a
+    // crashed sender).  The departure must both run A's pending round
+    // and complete the run.
+    std::vector<std::uint8_t> bytes;
+    encode_samples(bytes, 0, 0, {&s, 1});
+    encode_tick(bytes);
+    encode_bye(bytes);
+    std::vector<std::uint8_t> replies;
+    ASSERT_TRUE(gateway.on_bytes(conn_a, bytes, replies));
+    EXPECT_EQ(gateway.stats().ticks, 0u);
+    EXPECT_FALSE(gateway.bye_received());
+
+    gateway.close_connection(conn_b);
+    EXPECT_EQ(gateway.stats().ticks, 1u);
+    EXPECT_TRUE(gateway.bye_received());
+}
+
+TEST(SessionGatewayTest, RestoredWireSessionAdoptsRouterSession) {
+    fleet_router fleet(make_config(), freefall());
+    const serve::session_id restored = fleet.create_session();
+    session_gateway gateway(fleet);
+    const auto conn = gateway.open_connection();
+
+    gateway.restore_wire_sessions(
+        std::vector<restored_session>{{7, restored, 10}});
+
+    // First sample frame for wire id 7 adopts the restored router
+    // session (no admission) and expects sequence 10 — a correctly
+    // resumed sender registers zero gaps.
+    const data::raw_sample s = quiet_sample();
+    std::vector<std::uint8_t> bytes;
+    encode_samples(bytes, 7, 10, {&s, 1});
+    std::vector<std::uint8_t> replies;
+    ASSERT_TRUE(gateway.on_bytes(conn, bytes, replies));
+    EXPECT_EQ(gateway.stats().sessions_rebound, 1u);
+    EXPECT_EQ(gateway.stats().sessions_opened, 0u);
+    EXPECT_EQ(gateway.stats().seq_gaps, 0u);
+    EXPECT_EQ(fleet.stats(restored).accepted, 1u);
+    EXPECT_EQ(fleet.live_session_count(), 1u);
+
+    // A rebind is consumed once: an unknown wire id still admits fresh.
+    bytes.clear();
+    encode_samples(bytes, 8, 0, {&s, 1});
+    ASSERT_TRUE(gateway.on_bytes(conn, bytes, replies));
+    EXPECT_EQ(gateway.stats().sessions_opened, 1u);
+    EXPECT_EQ(fleet.live_session_count(), 2u);
+}
+
+TEST(SessionGatewayTest, RestoredSessionResumingOffSequenceCountsAGap) {
+    fleet_router fleet(make_config(), freefall());
+    const serve::session_id restored = fleet.create_session();
+    session_gateway gateway(fleet);
+    const auto conn = gateway.open_connection();
+    gateway.restore_wire_sessions(
+        std::vector<restored_session>{{3, restored, 25}});
+
+    const data::raw_sample s = quiet_sample();
+    std::vector<std::uint8_t> bytes;
+    encode_samples(bytes, 3, 11, {&s, 1});  // expected 25
+    std::vector<std::uint8_t> replies;
+    ASSERT_TRUE(gateway.on_bytes(conn, bytes, replies));
+    EXPECT_EQ(gateway.stats().sessions_rebound, 1u);
+    EXPECT_EQ(gateway.stats().seq_gaps, 1u);
+}
+
 TEST(SessionGatewayTest, PublishMetricsEmitsTheFullNetCounterSet) {
     obs::reset();
     obs::set_enabled(true);
@@ -348,8 +539,8 @@ TEST(SessionGatewayTest, PublishMetricsEmitsTheFullNetCounterSet) {
         "net/bytes_in",         "net/bytes_out",       "net/frames_in",
         "net/samples_in",       "net/samples_rejected", "net/reject_frames_out",
         "net/status_frames_out", "net/ticks",           "net/sessions_opened",
-        "net/sessions_closed",  "net/seq_gaps",        "net/decode_errors",
-        "net/connections_opened", "net/connections_closed"};
+        "net/sessions_rebound", "net/sessions_closed", "net/seq_gaps",
+        "net/decode_errors",    "net/connections_opened", "net/connections_closed"};
     const obs::metrics_snapshot snap = obs::snapshot();
     for (const std::string& name : expected) {
         const bool found = std::any_of(snap.counters.begin(), snap.counters.end(),

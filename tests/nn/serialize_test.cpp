@@ -92,6 +92,71 @@ TEST(SerializeTest, RejectsParameterNameMismatch) {
     EXPECT_THROW(load_weights(other, buffer), std::runtime_error);
 }
 
+TEST(SerializeTest, LoadsHeaderlessVersionZeroStream) {
+    // Files written before the magic/version header started directly at
+    // the u64 parameter count; stripping the 8-byte header off a current
+    // stream reproduces that layout exactly.
+    auto src = make_net(20);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+    std::stringstream headerless(buffer.str().substr(8));
+
+    auto dst = make_net(21);
+    load_weights(*dst, headerless);
+    const auto ps = src->parameters();
+    const auto pd = dst->parameters();
+    ASSERT_EQ(ps.size(), pd.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        for (std::size_t j = 0; j < ps[i]->value.size(); ++j) {
+            EXPECT_FLOAT_EQ(ps[i]->value[j], pd[i]->value[j]);
+        }
+    }
+}
+
+TEST(SerializeTest, RejectsFutureVersionWithTypedError) {
+    auto src = make_net(22);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+    std::string bytes = buffer.str();
+    bytes[4] = 99;  // u32 version little-endian low byte
+    std::stringstream future(bytes);
+
+    auto dst = make_net(23);
+    try {
+        load_weights(*dst, future);
+        FAIL() << "future version should not load";
+    } catch (const serialize_error& e) {
+        EXPECT_EQ(e.kind(), serialize_error_kind::bad_version);
+    }
+}
+
+TEST(SerializeTest, ErrorKindsDistinguishTruncationFromMismatch) {
+    auto src = make_net(24);
+    std::stringstream buffer;
+    save_weights(*src, buffer);
+    const std::string full = buffer.str();
+
+    auto dst = make_net(25);
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    try {
+        load_weights(*dst, truncated);
+        FAIL() << "truncated stream should not load";
+    } catch (const serialize_error& e) {
+        EXPECT_EQ(e.kind(), serialize_error_kind::truncated);
+    }
+
+    util::rng gen(26);
+    sequential other;
+    other.emplace<dense>(4, 5, gen, true, "d0");  // wrong parameter count
+    std::stringstream again(full);
+    try {
+        load_weights(other, again);
+        FAIL() << "mismatched model should not load";
+    } catch (const serialize_error& e) {
+        EXPECT_EQ(e.kind(), serialize_error_kind::mismatch);
+    }
+}
+
 TEST(SerializeTest, FileRoundTrip) {
     const auto path = std::filesystem::temp_directory_path() / "fallsense_weights_test.bin";
     auto src = make_net(12);

@@ -18,13 +18,19 @@
 //                      [--max-samples-per-tick 0] [--drain-watermark 0]
 //                      [--queue-capacity 64] [--drop-policy oldest|reject]
 //                      [--churn-every 0] [--int8] [--weights weights.fsnn]
+//                      [--snapshot-every N --snapshot-path FILE]
+//                      [--restore-from FILE]
 //   fallsense serve --listen [HOST:]PORT [engine/scorer flags as above]
 //                      network front-end: accepts wire-protocol clients
 //                      (docs/wire_protocol.md), ticks on client tick
 //                      frames, answers reject-newest saturation with
 //                      queue-full status frames; traffic flags
 //                      (--sessions/--ticks/--feed-rate/--churn-every)
-//                      belong to fallsense_loadgen --client
+//                      belong to fallsense_loadgen --client.
+//                      --snapshot-every/--snapshot-path checkpoint the
+//                      fleet every N ticks (docs/checkpoint.md);
+//                      --restore-from resumes a restarted server and
+//                      re-adopts the clients' wire sessions
 //
 // Any command additionally accepts
 //   --metrics-json FILE   enable the obs metrics registry and write a run
@@ -44,6 +50,7 @@
 #include <iostream>
 #include <set>
 
+#include "ckpt/store.hpp"
 #include "core/airbag.hpp"
 #include "core/experiment.hpp"
 #include "data/dataset_io.hpp"
@@ -302,6 +309,15 @@ int cmd_serve_listen(const util::arg_parser& args, const net::endpoint& where,
                                      "fallsense_loadgen --client instead");
         }
     }
+    const std::size_t snapshot_every = tools::count_option(args, "snapshot-every", 0);
+    const auto snapshot_path = args.option("snapshot-path");
+    if (snapshot_every > 0 && !snapshot_path) {
+        throw tools::usage_error("--snapshot-every needs --snapshot-path FILE");
+    }
+    if (snapshot_every == 0 && snapshot_path) {
+        throw tools::usage_error("--snapshot-path needs --snapshot-every N");
+    }
+
     serve::scorer_spec spec = config.scorer;
     spec.window_samples = config.engine.detector.window_samples;
 
@@ -313,7 +329,9 @@ int cmd_serve_listen(const util::arg_parser& args, const net::endpoint& where,
 
     // --swap-after T hot-swaps between ticks T-1 and T, exactly where
     // the in-process loadgen swaps, so networked and in-process runs
-    // stay manifest-identical.
+    // stay manifest-identical.  ticks_done counts from the restored
+    // checkpoint on a resume, so snapshot cadence and swap timing line
+    // up with the uninterrupted run.
     std::uint64_t ticks_done = 0;
     net::ingest_server server(where, fleet, [&](const serve::tick_result&) {
         ++ticks_done;
@@ -322,7 +340,32 @@ int cmd_serve_listen(const util::arg_parser& args, const net::endpoint& where,
             next.seed = util::derive_seed(spec.seed, "serve/swap");
             fleet.swap_scorer(serve::make_scorer(next));
         }
+        if (snapshot_every > 0 && ticks_done % snapshot_every == 0) {
+            ckpt::snapshot_to_file(fleet, *snapshot_path);
+        }
     });
+    if (const auto restore_from = args.option("restore-from")) {
+        const ckpt::fleet_snapshot snap = ckpt::restore_from_file(fleet, *restore_from);
+        ticks_done = snap.fleet.ticks;
+        // Reinstall the scorer generation the snapshot was taken under
+        // (no generation bump: the restored counter already carries it).
+        if (fleet.swap_generation() > 0) {
+            serve::scorer_spec current = spec;
+            for (std::uint64_t g = 0; g < fleet.swap_generation(); ++g) {
+                current.seed = util::derive_seed(current.seed, "serve/swap");
+            }
+            fleet.install_scorer(serve::make_scorer(current));
+        }
+        // Hand the live sessions to the gateway: a reconnecting sender's
+        // first sample frame re-adopts its pre-restart router session
+        // (wire ids are the router-global ids the loadgen client sends).
+        std::vector<net::restored_session> rebinds;
+        for (const ckpt::session_handoff& h : ckpt::session_handoffs(snap)) {
+            rebinds.push_back({static_cast<std::uint32_t>(h.session), h.session,
+                               h.next_sequence});
+        }
+        server.gateway().restore_wire_sessions(rebinds);
+    }
     // The loopback smoke waits for this line before starting the client.
     std::printf("listening on %s:%u\n", where.host.c_str(), server.port());
     std::fflush(stdout);
@@ -379,6 +422,26 @@ int cmd_serve(const util::arg_parser& args) {
         return cmd_serve_listen(args, *where, config);
     }
 
+    // Checkpointing: serve stays codec-free, so the tool supplies the
+    // ckpt:: lambdas the loadgen hooks call (docs/checkpoint.md).
+    config.snapshot_every_ticks = tools::count_option(args, "snapshot-every", 0);
+    const auto snapshot_path = args.option("snapshot-path");
+    if (config.snapshot_every_ticks > 0) {
+        if (!snapshot_path) {
+            throw tools::usage_error("--snapshot-every needs --snapshot-path FILE");
+        }
+        config.snapshot_sink = [path = *snapshot_path](const serve::fleet_router& fleet) {
+            ckpt::snapshot_to_file(fleet, path);
+        };
+    } else if (snapshot_path) {
+        throw tools::usage_error("--snapshot-path needs --snapshot-every N");
+    }
+    if (const auto restore_from = args.option("restore-from")) {
+        config.restore = [path = *restore_from](serve::fleet_router& fleet) {
+            ckpt::restore_from_file(fleet, path);
+        };
+    }
+
     const serve::loadgen_report report = serve::run_loadgen(config);
     std::fputs(report.deterministic_summary().c_str(), stdout);
     std::printf("wall_seconds: %.3f\n", report.wall_seconds);
@@ -397,7 +460,9 @@ constexpr const char* k_config_options[] = {"out",     "dataset",   "scale", "se
                                             "samples-per-tick", "max-samples-per-tick",
                                             "drain-watermark", "queue-capacity",
                                             "drop-policy", "churn-every", "shards",
-                                            "score-mode", "swap-after", "simd", "listen"};
+                                            "score-mode", "swap-after", "simd", "listen",
+                                            "snapshot-every", "snapshot-path",
+                                            "restore-from"};
 
 void write_metrics_manifest(const util::arg_parser& args, const std::string& command,
                             const std::string& path) {

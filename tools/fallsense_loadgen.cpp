@@ -8,9 +8,12 @@
 //                     [--queue-capacity 64] [--drop-policy oldest|reject]
 //                     [--churn-every 0] [--int8] [--weights FILE]
 //                     [--simd scalar|native]
+//                     [--snapshot-every N --snapshot-path FILE]
+//                     [--restore-from FILE]
 //                     [--metrics-json FILE] [--metrics-timings]
 //   fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]
-//                     [--seed S] [--feed-rate R]
+//                     [--seed S] [--feed-rate R] [--connections K]
+//                     [--restore-from FILE]
 //
 // Synthesizes --sessions independent wearers from the motion-profile
 // library, replays them through a serve::fleet_router with --shards
@@ -22,12 +25,23 @@
 // any FALLSENSE_THREADS (the serving determinism contract,
 // docs/serving.md).
 //
+// --snapshot-every N writes a durable checkpoint (docs/checkpoint.md)
+// to --snapshot-path after every N completed ticks (atomic
+// rename-on-write, so the published file is never torn);
+// --restore-from resumes a run from such a file — the restored process
+// replays exactly the remaining ticks, bit-identical to a run that
+// never stopped.
+//
 // --client sends the identical traffic over the wire protocol
 // (docs/wire_protocol.md) to a `fallsense serve --listen` endpoint
 // instead of feeding an in-process fleet: engine, scorer, and rollout
 // knobs then belong to the server process and are rejected here.
+// --connections K splits the fleet across K sockets (session i rides
+// socket i mod K); in client mode --restore-from resumes the traffic
+// side against a server restored from the same snapshot.
 #include <cstdio>
 
+#include "ckpt/store.hpp"
 #include "net/loadgen_client.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -45,7 +59,8 @@ constexpr const char* k_config_options[] = {
     "score-mode",  "swap-after",  "window-ms",     "threshold",
     "consecutive", "feed-rate",   "samples-per-tick", "max-samples-per-tick",
     "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
-    "weights", "simd", "client"};
+    "weights", "simd", "client", "connections",
+    "snapshot-every", "snapshot-path", "restore-from"};
 
 int usage() {
     std::fprintf(stderr,
@@ -58,9 +73,12 @@ int usage() {
                  "                         [--drop-policy oldest|reject] [--churn-every T]\n"
                  "                         [--int8] [--weights FILE]\n"
                  "                         [--simd scalar|native]\n"
+                 "                         [--snapshot-every N --snapshot-path FILE]\n"
+                 "                         [--restore-from FILE]\n"
                  "                         [--metrics-json FILE] [--metrics-timings]\n"
                  "       fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]\n"
-                 "                         [--seed S] [--feed-rate R]\n");
+                 "                         [--seed S] [--feed-rate R] [--connections K]\n"
+                 "                         [--restore-from FILE]\n");
     return 2;
 }
 
@@ -71,7 +89,7 @@ int run_client(const util::arg_parser& args) {
                             "threshold", "consecutive", "samples-per-tick",
                             "max-samples-per-tick", "drain-watermark",
                             "queue-capacity", "drop-policy", "churn-every",
-                            "weights", "simd"}) {
+                            "weights", "simd", "snapshot-every", "snapshot-path"}) {
         if (args.option(opt)) {
             throw tools::usage_error(std::string("--") + opt +
                                      " configures the serve --listen process, "
@@ -94,7 +112,35 @@ int run_client(const util::arg_parser& args) {
                       : util::env_seed();
     config.feed_rate = tools::count_option(args, "feed-rate", 1);
 
-    const net::loadgen_client_report report = net::run_loadgen_client(config, *where);
+    net::client_options options;
+    options.connections = tools::count_option(args, "connections", 1);
+    if (const auto restore_from = args.option("restore-from")) {
+        // The server restores the fleet from this snapshot; the client
+        // reads the same file to resume the TRAFFIC — which tick the run
+        // stopped at and each session's next wire sequence number.
+        const ckpt::fleet_snapshot snap = ckpt::read_snapshot_file(*restore_from);
+        if (snap.fleet.sessions.size() != config.sessions) {
+            throw tools::usage_error("--restore-from snapshot carries " +
+                                     std::to_string(snap.fleet.sessions.size()) +
+                                     " live sessions, --sessions says " +
+                                     std::to_string(config.sessions));
+        }
+        options.start_tick = static_cast<std::size_t>(snap.fleet.ticks);
+        options.start_sequences.reserve(config.sessions);
+        for (const ckpt::session_handoff& h : ckpt::session_handoffs(snap)) {
+            // Client-mode sessions never churn, so the live ids must be
+            // exactly the wire ids this client sends (0..N-1).
+            if (h.session != options.start_sequences.size()) {
+                throw tools::usage_error(
+                    "--restore-from snapshot has churned session ids; "
+                    "client mode replays sessions 0..N-1 only");
+            }
+            options.start_sequences.push_back(h.next_sequence);
+        }
+    }
+
+    const net::loadgen_client_report report =
+        net::run_loadgen_client(config, *where, options);
     std::fputs(report.deterministic_summary().c_str(), stdout);
     std::printf("wall_seconds: %.3f\n", report.wall_seconds);
     const double samples_per_second =
@@ -106,6 +152,9 @@ int run_client(const util::arg_parser& args) {
 }
 
 int run(const util::arg_parser& args) {
+    if (args.option("connections")) {
+        throw tools::usage_error("--connections applies to --client mode only");
+    }
     // Explicit --simd wins over the FALLSENSE_SIMD environment override;
     // without the flag, whatever the environment resolved stays in force.
     if (args.option("simd")) {
@@ -140,6 +189,26 @@ int run(const util::arg_parser& args) {
                                                   : serve::scorer_backend::float32;
     config.scorer.seed = config.seed;
     config.scorer.weights_path = args.option_or("weights", "");
+
+    // Checkpointing: serve stays codec-free, so the tool supplies the
+    // ckpt:: lambdas the loadgen hooks call (docs/checkpoint.md).
+    config.snapshot_every_ticks = tools::count_option(args, "snapshot-every", 0);
+    const auto snapshot_path = args.option("snapshot-path");
+    if (config.snapshot_every_ticks > 0) {
+        if (!snapshot_path) {
+            throw tools::usage_error("--snapshot-every needs --snapshot-path FILE");
+        }
+        config.snapshot_sink = [path = *snapshot_path](const serve::fleet_router& fleet) {
+            ckpt::snapshot_to_file(fleet, path);
+        };
+    } else if (snapshot_path) {
+        throw tools::usage_error("--snapshot-path needs --snapshot-every N");
+    }
+    if (const auto restore_from = args.option("restore-from")) {
+        config.restore = [path = *restore_from](serve::fleet_router& fleet) {
+            ckpt::restore_from_file(fleet, path);
+        };
+    }
 
     const serve::loadgen_report report = serve::run_loadgen(config);
     std::fputs(report.deterministic_summary().c_str(), stdout);
