@@ -3,9 +3,10 @@
 // (ii) class weights, (iii) output-bias initialization — quantifying what
 // each mechanism contributes on the heavily imbalanced segment stream.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
-#include "eval/events.hpp"
+#include "eval/eval.hpp"
 
 int main() {
     using namespace fallsense;
@@ -34,7 +35,11 @@ int main() {
     for (const variant& v : variants) {
         const core::cross_validation_result cv = core::run_cross_validation(
             core::model_kind::cnn, merged, wc, scale, seed, v.options);
-        const eval::event_counts events = eval::count_events(cv.all_records);
+        eval::evaluator_spec spec;
+        spec.kind = eval::evaluator_kind::per_window;
+        const std::unique_ptr<eval::evaluator> evaluator = eval::make_evaluator(spec);
+        evaluator->add_segments(cv.all_records);
+        const eval::event_counts events = *evaluator->finish().counts;
         std::printf("%-18s %8.2f %10.2f %8.2f %9.2f %7zu/%-4zu %7zu/%-4zu\n", v.name,
                     cv.pooled.accuracy * 100.0, cv.pooled.precision * 100.0,
                     cv.pooled.recall * 100.0, cv.pooled.f1 * 100.0, events.falls_detected,

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 #include "core/airbag.hpp"
 #include "core/threshold_detector.hpp"
 #include "quant/quantized_cnn.hpp"

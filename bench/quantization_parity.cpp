@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 #include "quant/quantized_cnn.hpp"
 
 int main() {

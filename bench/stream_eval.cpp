@@ -1,0 +1,118 @@
+// Streaming-evaluator benchmarks (google-benchmark): evaluate_stream over
+// fleets of 256 / 1024 / 4096 annotated sessions with realistic trigger
+// densities, plus the per-stream scenario perturbations
+// (data::apply_stream_perturbation) on a one-minute 100 Hz stream.  The
+// acceptance bar for src/eval/stream.cpp: event matching is evaluation-
+// time bookkeeping, far off the serving hot path — a 4096-session fleet
+// hour must score in well under a second, so the loadgen can run it after
+// every scenario sweep; scripts/run_bench.sh records the sweep in the
+// stream_eval section of BENCH_serve.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/motion_profile.hpp"
+#include "eval/eval.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fallsense;
+
+/// One synthetic fleet hour: each session loops a ~40 s stream with one
+/// annotated fall, ingests ~1 h of samples, and fires a mix of true
+/// detections and false alarms (~12 triggers/session).
+struct fleet_fixture {
+    std::vector<eval::stream_trigger> triggers;
+    std::vector<eval::session_annotation> sessions;
+};
+
+fleet_fixture make_fleet(std::size_t session_count) {
+    fleet_fixture f;
+    util::rng gen(41);
+    for (std::size_t i = 0; i < session_count; ++i) {
+        eval::session_annotation s;
+        s.session = static_cast<std::uint32_t>(i);
+        s.stream_samples = 4000 + static_cast<std::size_t>(gen.uniform_int(0, 400));
+        s.samples_ingested = 360000;  // one hour at 100 Hz
+        const std::size_t impact =
+            1000 + static_cast<std::size_t>(gen.uniform_int(0, 2000));
+        s.falls.push_back({impact - 40, impact});
+        // A true firing shortly before most loop instances...
+        for (std::size_t base = 0; base + impact < s.samples_ingested;
+             base += s.stream_samples) {
+            if (gen.bernoulli(0.8)) {
+                f.triggers.push_back(
+                    {s.session, base + impact - static_cast<std::size_t>(
+                                                    gen.uniform_int(5, 35))});
+            }
+        }
+        // ...and a few stray false alarms per session-hour.
+        for (int fa = 0; fa < 3; ++fa) {
+            f.triggers.push_back(
+                {s.session, static_cast<std::size_t>(gen.uniform_int(
+                                0, static_cast<long>(s.samples_ingested - 1)))});
+        }
+        f.sessions.push_back(std::move(s));
+    }
+    return f;
+}
+
+void BM_EvaluateStream(benchmark::State& state) {
+    const fleet_fixture fleet = make_fleet(static_cast<std::size_t>(state.range(0)));
+    eval::stream_eval_config config;
+    for (auto _ : state) {
+        const eval::stream_eval_report report =
+            eval::evaluate_stream(fleet.triggers, fleet.sessions, config);
+        benchmark::DoNotOptimize(report.false_alarms_per_hour);
+    }
+    state.counters["sessions"] = static_cast<double>(fleet.sessions.size());
+    state.counters["triggers"] = static_cast<double>(fleet.triggers.size());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fleet.sessions.size()));
+}
+BENCHMARK(BM_EvaluateStream)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatorFactoryStream(benchmark::State& state) {
+    // Factory + incremental feed, the path serve::run_loadgen takes.
+    const fleet_fixture fleet = make_fleet(1024);
+    for (auto _ : state) {
+        eval::evaluator_spec spec;
+        spec.kind = eval::evaluator_kind::cost_sensitive;
+        const auto evaluator = eval::make_evaluator(spec);
+        evaluator->add_stream(fleet.triggers, fleet.sessions);
+        const eval::evaluation_report report = evaluator->finish();
+        benchmark::DoNotOptimize(report.stream->falls_detected);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fleet.sessions.size()));
+}
+BENCHMARK(BM_EvaluatorFactoryStream)->Unit(benchmark::kMillisecond);
+
+void BM_StreamPerturbation(benchmark::State& state) {
+    // One minute of 100 Hz samples through each registered profile's
+    // perturbation (index into list_profiles(); baseline is the no-op
+    // floor).
+    const std::vector<std::string> names = data::list_profiles();
+    const data::scenario_profile profile =
+        data::make_profile(names[static_cast<std::size_t>(state.range(0)) % names.size()]);
+    std::vector<data::raw_sample> pristine(6000);
+    for (std::size_t i = 0; i < pristine.size(); ++i) {
+        pristine[i].accel = {0.0f, 0.0f, 1.0f + 0.001f * static_cast<float>(i % 7)};
+    }
+    std::vector<data::raw_sample> samples;
+    for (auto _ : state) {
+        samples = pristine;
+        util::rng gen(17);
+        data::apply_stream_perturbation(samples, profile.perturb, 100.0, gen);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetLabel(profile.name);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pristine.size()));
+}
+BENCHMARK(BM_StreamPerturbation)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -7,11 +7,12 @@
 //     by jump-over-obstacle (44) and collapse-into-chair (15); average
 //     2.04 %, red ADLs 3.34 % vs green 0.46 %.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench_common.hpp"
 #include "data/taxonomy.hpp"
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 
 int main() {
     using namespace fallsense;
@@ -35,7 +36,14 @@ int main() {
                 sel.threshold, sel.fall_detection_rate * 100.0,
                 sel.adl_false_rate * 100.0);
 
-    const eval::event_analysis analysis = eval::analyze_events(cv.all_records, sel.threshold);
+    // Event grouping through the factory surface, like every consumer
+    // outside src/eval (eval/evaluator.hpp).
+    eval::evaluator_spec spec;
+    spec.kind = eval::evaluator_kind::per_window;
+    spec.threshold = sel.threshold;
+    const std::unique_ptr<eval::evaluator> evaluator = eval::make_evaluator(spec);
+    evaluator->add_segments(cv.all_records);
+    const eval::event_analysis analysis = *evaluator->finish().events;
 
     std::printf("(a) falls misclassified as ADLs\n");
     std::printf("%-8s %-8s %-8s  %s\n", "task", "events", "miss %", "description");

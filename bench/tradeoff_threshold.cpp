@@ -7,8 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "eval/roc.hpp"
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 
 int main() {
     using namespace fallsense;

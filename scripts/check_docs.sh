@@ -19,6 +19,12 @@
 #      `fallsense` or `fallsense_loadgen` (word-boundary match, so
 #      fallsense_tests lines don't count) must exist in tools/*.cpp, so a
 #      doc cannot show an invocation the tools would reject.
+#   5. Eval API surface — everything outside src/eval must include the
+#      eval/eval.hpp umbrella, never the per-module headers
+#      (eval/metrics.hpp, eval/events.hpp, eval/roc.hpp,
+#      eval/threshold.hpp, eval/kfold.hpp, eval/stream.hpp,
+#      eval/evaluator.hpp), so the evaluation layer keeps one public
+#      include and one construction point (eval::make_evaluator).
 #
 # Usage:
 #   scripts/check_docs.sh                 # check the repo's docs
@@ -35,12 +41,14 @@ MODE=check
 ONLY_DOC=""
 EXTRA_DOCS=()
 TOOLS_DIR=tools
+INCLUDE_DIRS=(src tools bench tests examples)
 while [ $# -gt 0 ]; do
     case "$1" in
         --self-test) MODE=self-test ;;
         --only) ONLY_DOC="$2"; shift ;;
         --extra-doc) EXTRA_DOCS+=("$2"); shift ;;
         --tools-dir) TOOLS_DIR="$2"; shift ;;  # internal, for the self-test
+        --include-dirs) read -r -a INCLUDE_DIRS <<< "$2"; shift ;;  # internal
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
@@ -96,6 +104,22 @@ EOF
     if ! grep -q -- "--flag-the-tool-never-heard-of" "$tmp/rev.txt"; then
         echo "self-test FAILED: bogus doc flag not reported" >&2
         cat "$tmp/rev.txt" >&2
+        exit 1
+    fi
+    # A source file outside src/eval reaching past the eval umbrella must
+    # be rejected by the include-surface check.
+    mkdir "$tmp/deep_include"
+    cat > "$tmp/deep_include/sneaky.cpp" <<'EOF'
+#include "eval/metrics.hpp"
+EOF
+    if "$0" --include-dirs "$tmp/deep_include" > "$tmp/inc.txt" 2>&1; then
+        echo "self-test FAILED: checker accepted a direct eval-module include" >&2
+        cat "$tmp/inc.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "sneaky.cpp" "$tmp/inc.txt"; then
+        echo "self-test FAILED: direct eval include not reported" >&2
+        cat "$tmp/inc.txt" >&2
         exit 1
     fi
     echo "self-test OK: bogus citations are rejected"
@@ -167,6 +191,19 @@ if [ -z "$ONLY_DOC" ] && ls "$TOOLS_DIR"/*.cpp > /dev/null 2>&1; then
             report "$TOOLS_DIR: CLI flag not documented in README.md or docs/: $flag"
         fi
     done
+fi
+
+# Eval include surface: src/eval owns its per-module headers; everyone
+# else goes through the eval/eval.hpp umbrella and make_evaluator.
+if [ -z "$ONLY_DOC" ]; then
+    offenders="$(grep -rnE --include='*.cpp' --include='*.hpp' \
+        '#include "eval/(metrics|events|roc|threshold|kfold|stream|evaluator)\.hpp"' \
+        "${INCLUDE_DIRS[@]}" 2> /dev/null | grep -v '^src/eval/' || true)"
+    if [ -n "$offenders" ]; then
+        while IFS= read -r line; do
+            report "direct eval-module include outside src/eval (use eval/eval.hpp): $line"
+        done <<< "$offenders"
+    fi
 fi
 
 if [ "$errors" -gt 0 ]; then

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Run the google-benchmark binaries with JSON output: kernel_micro and
-# parallel_scaling combine into BENCH_kernel.json, serve_scaling (the
-# fused-vs-per_shard fleet sweep) into BENCH_serve.json, both at the repo
-# root and each carrying its own build manifest.
+# parallel_scaling combine into BENCH_kernel.json; serve_scaling (the
+# fused-vs-per_shard fleet sweep) and stream_eval (the streaming-evaluator
+# and scenario-perturbation sweep) combine into BENCH_serve.json, both at
+# the repo root and each carrying its own build manifest.
 # Usage: scripts/run_bench.sh [build-dir]
 #
 # Optional environment:
@@ -22,8 +23,9 @@ FILTER="${FALLSENSE_BENCH_FILTER:-}"
 KERNEL_BIN="$BUILD_DIR/bench/kernel_micro"
 SCALING_BIN="$BUILD_DIR/bench/parallel_scaling"
 SERVE_BIN="$BUILD_DIR/bench/serve_scaling"
+STREAM_EVAL_BIN="$BUILD_DIR/bench/stream_eval"
 
-for bin in "$KERNEL_BIN" "$SCALING_BIN" "$SERVE_BIN"; do
+for bin in "$KERNEL_BIN" "$SCALING_BIN" "$SERVE_BIN" "$STREAM_EVAL_BIN"; do
     if [ ! -x "$bin" ]; then
         echo "error: $bin not found or not executable; build first:" >&2
         echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -57,6 +59,8 @@ echo ">>> parallel_scaling"
 run_bench "$SCALING_BIN" "$TMP_DIR/parallel_scaling.json"
 echo ">>> serve_scaling"
 run_bench "$SERVE_BIN" "$TMP_DIR/serve_scaling.json"
+echo ">>> stream_eval"
+run_bench "$STREAM_EVAL_BIN" "$TMP_DIR/stream_eval.json"
 
 # Run manifest: thread count plus the build configuration the binaries
 # were compiled with, read from the CMake cache so the numbers in the
@@ -145,6 +149,8 @@ simd_speedups
     print_manifest
     printf ',\n"serve_scaling":\n'
     cat "$TMP_DIR/serve_scaling.json"
+    printf ',\n"stream_eval":\n'
+    cat "$TMP_DIR/stream_eval.json"
     printf '}\n'
 } > "$SERVE_OUT"
 

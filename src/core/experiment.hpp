@@ -10,8 +10,7 @@
 #include "core/models.hpp"
 #include "core/windowing.hpp"
 #include "data/generator.hpp"
-#include "eval/kfold.hpp"
-#include "eval/metrics.hpp"
+#include "eval/eval.hpp"
 #include "nn/trainer.hpp"
 #include "util/env.hpp"
 

@@ -11,7 +11,7 @@
 
 #include "core/preprocess.hpp"
 #include "dsp/segmentation.hpp"
-#include "eval/events.hpp"
+#include "eval/eval.hpp"
 #include "nn/trainer.hpp"
 
 namespace fallsense::core {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -382,11 +383,179 @@ std::vector<motion_phase> build_task_phases(int task_id, const subject_profile& 
             break;
         }
 
+        // ---- adversarial extension scripts (45-46, not in Table II) --------
+        case 45: {  // near-fall arrested mid-descent: a genuine fall onset
+                    // (deep unweighting, strong forward pitch) caught and
+                    // reversed before ground contact — harder than the
+                    // task-10 stumble, which barely unweights.
+            script.push_back(locomotion(T(2.0), A(0.25), vary(1.9, 0.1, gen)));
+            motion_phase descent = falling(vary(0.32, 0.2, gen), ang(0.85), ang(0.15),
+                                           depth(0.55), hit(1.4));
+            descent.semantic = phase_semantic::activity;  // recovered — not a fall
+            script.push_back(descent);
+            script.push_back(transition(T(0.7), ang(0.1)));  // hauls back upright
+            script.push_back(hold(T(1.0), ang(0.1)));
+            script.push_back(locomotion(T(1.5), A(0.22), vary(1.8, 0.1, gen)));
+            break;
+        }
+        case 46: {  // trip caught on the hands: fast forward pitch and a
+                    // hard hand-strike impact, then push-up and walk on.
+            script.push_back(locomotion(T(2.0), A(0.30), vary(2.0, 0.1, gen)));
+            motion_phase trip = falling(vary(0.24, 0.2, gen), ang(0.95), ang(0.1),
+                                        depth(0.65), hit(2.2));
+            trip.semantic = phase_semantic::activity;  // hands catch the fall
+            script.push_back(trip);
+            script.push_back(transition(T(0.6), ang(0.25), 0.0, 0.05));
+            script.push_back(transition(T(0.8), 0.0));
+            script.push_back(locomotion(T(1.8), A(0.28), vary(2.0, 0.1, gen)));
+            break;
+        }
+
         default:
             throw std::out_of_range("no motion script for task id " + std::to_string(task_id));
     }
     FS_CHECK(!script.empty(), "empty motion script");
     return script;
+}
+
+// ---------------------------------------------------------------------------
+// Named scenario profiles
+// ---------------------------------------------------------------------------
+
+bool stream_perturbation::any() const {
+    return (vibration_amp_g > 0.0 && vibration_freq_hz > 0.0) ||
+           (dropout_bursts_per_min > 0.0 && dropout_burst_s > 0.0) ||
+           (jitter_bursts_per_min > 0.0 && jitter_burst_s > 0.0);
+}
+
+void apply_stream_perturbation(std::vector<raw_sample>& samples,
+                               const stream_perturbation& perturb,
+                               double sample_rate_hz, util::rng& gen) {
+    FS_ARG_CHECK(sample_rate_hz > 0.0, "perturbation needs a positive sample rate");
+    if (!perturb.any() || samples.empty()) return;
+    constexpr double k_two_pi = 6.283185307179586;
+    const double dt = 1.0 / sample_rate_hz;
+    const double minutes = static_cast<double>(samples.size()) * dt / 60.0;
+    const auto burst_count = [&](double per_min) {
+        // A knob that is on yields at least one burst even on short
+        // streams, so every scenario stream actually sees its effect.
+        return static_cast<std::size_t>(std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::llround(per_min * minutes))));
+    };
+    const auto burst_span = [&](double burst_s, std::size_t& start, std::size_t& end) {
+        const std::size_t len = static_cast<std::size_t>(
+            std::max<std::int64_t>(1, std::llround(burst_s * sample_rate_hz)));
+        start = static_cast<std::size_t>(
+            gen.uniform_int(0, static_cast<std::int64_t>(samples.size() - 1)));
+        end = std::min(samples.size(), start + len);
+    };
+
+    if (perturb.vibration_amp_g > 0.0 && perturb.vibration_freq_hz > 0.0) {
+        const double phase[3] = {gen.uniform(0.0, k_two_pi), gen.uniform(0.0, k_two_pi),
+                                 gen.uniform(0.0, k_two_pi)};
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            const double arg = k_two_pi * perturb.vibration_freq_hz *
+                               static_cast<double>(i) * dt;
+            for (int a = 0; a < 3; ++a) {
+                samples[i].accel[static_cast<std::size_t>(a)] += static_cast<float>(
+                    perturb.vibration_amp_g * std::sin(arg + phase[a]));
+            }
+        }
+    }
+    if (perturb.dropout_bursts_per_min > 0.0 && perturb.dropout_burst_s > 0.0) {
+        const std::size_t bursts = burst_count(perturb.dropout_bursts_per_min);
+        for (std::size_t b = 0; b < bursts; ++b) {
+            std::size_t start = 0, end = 0;
+            burst_span(perturb.dropout_burst_s, start, end);
+            const raw_sample frozen = samples[start];
+            for (std::size_t i = start + 1; i < end; ++i) samples[i] = frozen;
+        }
+    }
+    if (perturb.jitter_bursts_per_min > 0.0 && perturb.jitter_burst_s > 0.0) {
+        const std::size_t bursts = burst_count(perturb.jitter_bursts_per_min);
+        for (std::size_t b = 0; b < bursts; ++b) {
+            std::size_t start = 0, end = 0;
+            burst_span(perturb.jitter_burst_s, start, end);
+            for (std::size_t i = start; i < end; ++i) {
+                for (std::size_t a = 0; a < 3; ++a) {
+                    samples[i].accel[a] +=
+                        static_cast<float>(gen.normal(0.0, perturb.jitter_accel_g));
+                    samples[i].gyro[a] +=
+                        static_cast<float>(gen.normal(0.0, perturb.jitter_gyro_rad_s));
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Everyday Table II mix the loadgen has always cycled: ADLs, near-fall
+/// ADLs, and falls, so a fleet sees quiet and trigger-heavy streams.
+const std::vector<int> k_baseline_mix = {6, 20, 12, 30, 1, 25, 18, 38};
+
+const std::vector<scenario_profile>& registry() {
+    static const std::vector<scenario_profile> profiles = [] {
+        std::vector<scenario_profile> v;
+        v.push_back({"baseline",
+                     "everyday Table II mix: ADLs, near-fall ADLs, and falls",
+                     k_baseline_mix,
+                     {}});
+        v.push_back({"near_fall",
+                     "descents arrested mid-fall (id 45) among stumbles, "
+                     "collapses, jumps, and real falls",
+                     {45, 10, 45, 15, 30, 45, 4, 20},
+                     {}});
+        v.push_back({"trip_catch",
+                     "trips caught on the hands (id 46) amid walking and "
+                     "real forward falls",
+                     {46, 6, 46, 12, 28, 46, 43, 38},
+                     {}});
+        {
+            scenario_profile p{"vehicle_vibration",
+                               "baseline mix riding a vibrating vehicle "
+                               "(sustained sinusoid on the accelerometer)",
+                               k_baseline_mix,
+                               {}};
+            p.perturb.vibration_amp_g = 0.12;
+            p.perturb.vibration_freq_hz = 27.0;
+            v.push_back(std::move(p));
+        }
+        {
+            scenario_profile p{"sensor_dropout",
+                               "baseline mix with frozen-sensor dropouts and "
+                               "wideband jitter bursts",
+                               k_baseline_mix,
+                               {}};
+            p.perturb.dropout_bursts_per_min = 6.0;
+            p.perturb.dropout_burst_s = 0.35;
+            p.perturb.jitter_bursts_per_min = 4.0;
+            p.perturb.jitter_burst_s = 0.25;
+            p.perturb.jitter_accel_g = 0.35;
+            p.perturb.jitter_gyro_rad_s = 0.9;
+            v.push_back(std::move(p));
+        }
+        return v;
+    }();
+    return profiles;
+}
+
+}  // namespace
+
+scenario_profile make_profile(const std::string& name) {
+    for (const scenario_profile& p : registry()) {
+        if (p.name == name) return p;
+    }
+    std::string message = "unknown scenario profile '" + name + "'; registered:";
+    for (const scenario_profile& p : registry()) message += " " + p.name;
+    throw unknown_profile_error(message);
+}
+
+std::vector<std::string> list_profiles() {
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const scenario_profile& p : registry()) names.push_back(p.name);
+    return names;
 }
 
 }  // namespace fallsense::data

@@ -13,11 +13,21 @@
 //     fall-like signatures but recover — the paper's false-positive sources;
 //   - falls from height develop attitude change late, so their early
 //     falling phase resembles a jump flight — the paper's hardest misses.
+//
+// Beyond the 44 Table II tasks, ids 45-46 are *adversarial extension
+// scripts* (near-fall recovered mid-descent, trip caught on the hands)
+// following the hard-scenario settings of arXiv:2501.15655.  They are
+// deliberately NOT part of data::taxonomy — the paper's datasets stay
+// pinned at 44 tasks — and are reachable only through the named scenario
+// profiles below (docs/evaluation.md catalogues them).
 #pragma once
 
 #include <array>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "data/types.hpp"
 #include "util/rng.hpp"
 
 namespace fallsense::data {
@@ -75,9 +85,71 @@ struct motion_tuning {
     double post_fall_hold_s = 2.0;   ///< motionless time after impact
 };
 
-/// Build the phase script for a task (Table II id) as performed by a
-/// subject; `gen` supplies per-trial variation.  Throws for unknown ids.
+/// Build the phase script for a task (Table II id 1-44, or adversarial
+/// extension id 45-46) as performed by a subject; `gen` supplies
+/// per-trial variation.  Throws std::out_of_range for unknown ids.
 std::vector<motion_phase> build_task_phases(int task_id, const subject_profile& subject,
                                             const motion_tuning& tuning, util::rng& gen);
+
+// ---------------------------------------------------------------------------
+// Named scenario profiles
+// ---------------------------------------------------------------------------
+
+/// Post-synthesis stream corruption: environmental and sensor-level
+/// effects no motion script can express.  Applied sample-wise to a
+/// finished trial stream, so annotations (which index samples) stay
+/// valid.  All knobs default to off.
+struct stream_perturbation {
+    /// Continuous vehicle vibration: a sinusoid on all three accel axes
+    /// (random per-axis phase), e.g. an engine idling under the wearer.
+    double vibration_amp_g = 0.0;
+    double vibration_freq_hz = 0.0;
+    /// Sensor dropout: bursts where the IMU output freezes at the last
+    /// delivered value (stuck bus / packet loss at the sensor hub).
+    double dropout_bursts_per_min = 0.0;
+    double dropout_burst_s = 0.0;
+    /// Jitter bursts: wideband noise on accel + gyro (loose connector,
+    /// EMI) for short stretches.
+    double jitter_bursts_per_min = 0.0;
+    double jitter_burst_s = 0.0;
+    double jitter_accel_g = 0.0;
+    double jitter_gyro_rad_s = 0.0;
+
+    bool any() const;
+};
+
+/// Corrupt `samples` in place per `perturb`; deterministic in
+/// (samples, perturb, sample_rate_hz, gen seed).  No-op (and no rng
+/// draws) when `perturb.any()` is false, so unperturbed streams are
+/// byte-identical with or without this call in the pipeline.
+void apply_stream_perturbation(std::vector<raw_sample>& samples,
+                               const stream_perturbation& perturb,
+                               double sample_rate_hz, util::rng& gen);
+
+/// A named traffic scenario: which task scripts a synthesized fleet
+/// cycles through and how the resulting streams are corrupted.  The ONE
+/// way scenario traffic is described — serve::synthesize_fleet_streams
+/// and the loadgen take a profile instead of hard-coding a task mix.
+struct scenario_profile {
+    std::string name;
+    std::string summary;          ///< one line for --list-scenarios
+    std::vector<int> task_mix;    ///< cycled over sessions; ids must script
+    stream_perturbation perturb;  ///< applied to every synthesized stream
+};
+
+/// Thrown by make_profile for a name the registry does not know; the
+/// message lists the registered names.  Tool layers translate this into
+/// their own usage errors (tools/tool_common.hpp).
+struct unknown_profile_error : std::invalid_argument {
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Look up a registered scenario by name.  Registered: "baseline",
+/// "near_fall", "trip_catch", "vehicle_vibration", "sensor_dropout"
+/// (docs/evaluation.md).  Throws unknown_profile_error otherwise.
+scenario_profile make_profile(const std::string& name);
+
+/// All registered scenario names, in registration order (baseline first).
+std::vector<std::string> list_profiles();
 
 }  // namespace fallsense::data

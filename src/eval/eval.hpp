@@ -1,0 +1,29 @@
+// Umbrella header: the stable v1 surface of the evaluation layer.
+//
+// Everything a tool, bench, or test needs to score a model comes through
+// this one include:
+//
+//   - metrics.hpp    — confusion matrix + Table III classification report
+//   - events.hpp     — per-trial event grouping (Table IV), invariant_error
+//   - roc.hpp        — ROC curve / AUC over scored segments
+//   - threshold.hpp  — decision-threshold selection under a false-alarm
+//                      budget
+//   - kfold.hpp      — subject-based cross-validation splits
+//   - stream.hpp     — event-level streaming evaluation: detection lead
+//                      time, false alarms per hour, miss/false-alarm cost
+//                      curve (docs/evaluation.md)
+//   - evaluator.hpp  — evaluator_spec / make_evaluator, the ONE way
+//                      callers construct evaluators
+//
+// Includers outside src/eval must use this header — scripts/check_docs.sh
+// rejects direct includes of the per-module headers, the same contract
+// serve/serve.hpp holds for the serving layer.
+#pragma once
+
+#include "eval/evaluator.hpp"  // IWYU pragma: export
+#include "eval/events.hpp"     // IWYU pragma: export
+#include "eval/kfold.hpp"      // IWYU pragma: export
+#include "eval/metrics.hpp"    // IWYU pragma: export
+#include "eval/roc.hpp"        // IWYU pragma: export
+#include "eval/stream.hpp"     // IWYU pragma: export
+#include "eval/threshold.hpp"  // IWYU pragma: export

@@ -1,0 +1,167 @@
+#include "eval/evaluator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fallsense::eval {
+
+const char* evaluator_kind_name(evaluator_kind kind) {
+    switch (kind) {
+        case evaluator_kind::per_window: return "per_window";
+        case evaluator_kind::event_stream: return "event_stream";
+        case evaluator_kind::cost_sensitive: return "cost_sensitive";
+    }
+    return "unknown";
+}
+
+std::optional<evaluator_kind> parse_evaluator_kind(const std::string& text) {
+    if (text == "per_window") return evaluator_kind::per_window;
+    if (text == "event_stream") return evaluator_kind::event_stream;
+    if (text == "cost_sensitive") return evaluator_kind::cost_sensitive;
+    return std::nullopt;
+}
+
+std::string evaluation_report::summary() const {
+    std::ostringstream os;
+    os << "evaluator: " << evaluator_kind_name(kind) << '\n';
+    if (classification) os << to_string(*classification) << '\n';
+    if (events) {
+        os << "fall_miss_percent_avg: " << events->fall_miss_percent_avg << '\n'
+           << "adl_false_percent_avg: " << events->adl_false_percent_avg << '\n';
+    }
+    if (counts) {
+        os << "falls_detected: " << counts->falls_detected << '/' << counts->falls_total
+           << '\n'
+           << "adl_false_alarms: " << counts->adl_false_alarms << '/' << counts->adl_total
+           << '\n';
+    }
+    if (stream) os << stream->summary();
+    return os.str();
+}
+
+namespace {
+
+class per_window_evaluator final : public evaluator {
+  public:
+    explicit per_window_evaluator(double threshold) : threshold_(threshold) {}
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "per_window(threshold=" << threshold_ << ")";
+        return os.str();
+    }
+
+    void add_segments(std::span<const segment_record> records) override {
+        check_open();
+        records_.insert(records_.end(), records.begin(), records.end());
+    }
+
+    void add_stream(std::span<const stream_trigger>,
+                    std::span<const session_annotation>) override {
+        throw std::invalid_argument(
+            "per_window evaluator scores segment records, not trigger streams");
+    }
+
+    evaluation_report finish() override {
+        check_open();
+        finished_ = true;
+        std::vector<float> probs, labels;
+        probs.reserve(records_.size());
+        labels.reserve(records_.size());
+        for (const segment_record& r : records_) {
+            probs.push_back(r.probability);
+            labels.push_back(r.label);
+        }
+        evaluation_report report;
+        report.kind = evaluator_kind::per_window;
+        report.classification = evaluate(probs, labels, threshold_);
+        report.events = analyze_events(records_, threshold_);
+        report.counts = count_events(records_, threshold_);
+        return report;
+    }
+
+  private:
+    void check_open() const {
+        if (finished_) throw std::invalid_argument("evaluator already finished");
+    }
+
+    double threshold_;
+    bool finished_ = false;
+    std::vector<segment_record> records_;
+};
+
+class stream_evaluator final : public evaluator {
+  public:
+    stream_evaluator(evaluator_kind kind, stream_eval_config config)
+        : kind_(kind), config_(std::move(config)) {}
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << evaluator_kind_name(kind_) << "(grace_s=" << config_.detection_grace_s;
+        if (kind_ == evaluator_kind::cost_sensitive) {
+            os << ", ratios=" << config_.cost_ratios.size();
+        }
+        os << ")";
+        return os.str();
+    }
+
+    void add_segments(std::span<const segment_record>) override {
+        throw std::invalid_argument(
+            "streaming evaluator scores trigger streams, not segment records");
+    }
+
+    void add_stream(std::span<const stream_trigger> triggers,
+                    std::span<const session_annotation> sessions) override {
+        check_open();
+        triggers_.insert(triggers_.end(), triggers.begin(), triggers.end());
+        sessions_.insert(sessions_.end(), sessions.begin(), sessions.end());
+    }
+
+    evaluation_report finish() override {
+        check_open();
+        finished_ = true;
+        evaluation_report report;
+        report.kind = kind_;
+        report.stream = evaluate_stream(triggers_, sessions_, config_);
+        // The plain event_stream kind reports detection/miss/false-alarm
+        // numbers without committing to a cost model.
+        if (kind_ == evaluator_kind::event_stream) report.stream->cost_curve.clear();
+        return report;
+    }
+
+  private:
+    void check_open() const {
+        if (finished_) throw std::invalid_argument("evaluator already finished");
+    }
+
+    evaluator_kind kind_;
+    stream_eval_config config_;
+    bool finished_ = false;
+    std::vector<stream_trigger> triggers_;
+    std::vector<session_annotation> sessions_;
+};
+
+}  // namespace
+
+std::unique_ptr<evaluator> make_evaluator(const evaluator_spec& spec) {
+    switch (spec.kind) {
+        case evaluator_kind::per_window:
+            if (!(spec.threshold >= 0.0 && spec.threshold <= 1.0)) {
+                throw std::invalid_argument("evaluator threshold must be in [0, 1]");
+            }
+            return std::make_unique<per_window_evaluator>(spec.threshold);
+        case evaluator_kind::event_stream:
+        case evaluator_kind::cost_sensitive:
+            if (!(spec.stream.sample_rate_hz > 0.0)) {
+                throw std::invalid_argument("evaluator sample rate must be positive");
+            }
+            if (spec.stream.cost_ratios.empty()) {
+                throw std::invalid_argument("evaluator cost-ratio grid is empty");
+            }
+            return std::make_unique<stream_evaluator>(spec.kind, spec.stream);
+    }
+    throw std::invalid_argument("unknown evaluator kind");
+}
+
+}  // namespace fallsense::eval

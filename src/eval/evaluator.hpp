@@ -1,0 +1,88 @@
+// The one place evaluators are constructed.
+//
+// Mirrors serve::make_scorer (src/serve/scorer_factory.hpp): everything
+// outside src/eval — tools, benches, tests — builds its evaluator through
+// `make_evaluator(evaluator_spec)`: pick a kind, set the decision
+// threshold or the streaming config, then feed inputs and call finish().
+// The factory owns the wiring between the per-window metrics, the
+// Table IV event view, and the streaming cost-sensitive evaluator, so a
+// new evaluation mode touches exactly one translation unit.
+//
+//   - per_window:     segment records in; Table III classification report
+//                     + Table IV event analysis + event counts out.
+//   - event_stream:   trigger streams + session ground truth in;
+//                     detection latency / misses / false alarms per hour
+//                     out (eval/stream.hpp), no cost curve.
+//   - cost_sensitive: event_stream plus the miss/false-alarm cost curve
+//                     swept over the spec's cost-ratio grid.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "eval/events.hpp"
+#include "eval/metrics.hpp"
+#include "eval/stream.hpp"
+
+namespace fallsense::eval {
+
+enum class evaluator_kind {
+    per_window,      ///< segment-level Table III/IV view
+    event_stream,    ///< streaming event matching, latency + FA/hour
+    cost_sensitive,  ///< event_stream + cost curve over the ratio grid
+};
+
+const char* evaluator_kind_name(evaluator_kind kind);
+/// Parse "per_window" / "event_stream" / "cost_sensitive"; anything else
+/// returns nullopt.
+std::optional<evaluator_kind> parse_evaluator_kind(const std::string& text);
+
+/// Everything needed to build an evaluator.
+struct evaluator_spec {
+    evaluator_kind kind = evaluator_kind::per_window;
+    /// per_window only: decision threshold on segment probabilities.
+    double threshold = 0.5;
+    /// event_stream / cost_sensitive: sample rate, detection grace,
+    /// cost-ratio grid.
+    stream_eval_config stream{};
+};
+
+/// What finish() returns; the sections present depend on the kind.
+struct evaluation_report {
+    evaluator_kind kind = evaluator_kind::per_window;
+    // per_window sections.
+    std::optional<classification_report> classification;
+    std::optional<event_analysis> events;
+    std::optional<event_counts> counts;
+    // event_stream / cost_sensitive section (cost_curve empty for the
+    // former).
+    std::optional<stream_eval_report> stream;
+
+    /// Deterministic multi-line summary of whichever sections are set.
+    std::string summary() const;
+};
+
+/// Incremental evaluator: feed inputs matching the kind, then finish().
+/// Feeding the wrong input kind (segments into a streaming evaluator or
+/// vice versa) throws std::invalid_argument — the mismatch is a caller
+/// bug, not data.
+class evaluator {
+  public:
+    virtual ~evaluator() = default;
+    virtual std::string describe() const = 0;
+    virtual void add_segments(std::span<const segment_record> records) = 0;
+    virtual void add_stream(std::span<const stream_trigger> triggers,
+                            std::span<const session_annotation> sessions) = 0;
+    /// Compute the report over everything added so far.  May be called
+    /// once; inputs added after finish() throw.
+    virtual evaluation_report finish() = 0;
+};
+
+/// Build the evaluator `spec` describes; throws std::invalid_argument on
+/// an unusable spec (threshold outside [0, 1], non-positive sample rate,
+/// empty cost grid for the streaming kinds).
+std::unique_ptr<evaluator> make_evaluator(const evaluator_spec& spec);
+
+}  // namespace fallsense::eval

@@ -18,6 +18,7 @@ struct event_key {
 };
 
 struct event_state {
+    bool seen = false;
     bool is_fall = false;
     bool any_positive = false;         ///< any segment fired
     bool any_positive_in_window = false;  ///< any falling-window segment fired
@@ -28,7 +29,17 @@ std::map<event_key, event_state> group_events(std::span<const segment_record> re
     std::map<event_key, event_state> events;
     for (const segment_record& r : records) {
         event_state& state = events[{r.subject_id, r.task_id, r.trial_index}];
-        state.is_fall = state.is_fall || r.trial_is_fall;
+        // The matcher assumes ground-truth events are disjoint: every
+        // segment of one (subject, task, trial) carries the same
+        // trial_is_fall.  A contradiction means two overlapping events
+        // were collapsed onto one key — refuse rather than mis-pair.
+        if (state.seen && state.is_fall != r.trial_is_fall) {
+            throw invariant_error(
+                "segment records disagree on trial_is_fall for one "
+                "(subject, task, trial) event");
+        }
+        state.seen = true;
+        state.is_fall = r.trial_is_fall;
         const bool fired = r.probability >= threshold;
         state.any_positive = state.any_positive || fired;
         if (r.label > 0.5f && fired) state.any_positive_in_window = true;

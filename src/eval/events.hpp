@@ -12,9 +12,20 @@
 #include <cstddef>
 #include <map>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace fallsense::eval {
+
+/// Thrown when evaluation inputs violate a structural invariant the
+/// matching logic depends on: segment records that disagree on whether
+/// their (subject, task, trial) event is a fall, or streaming ground
+/// truth with unordered/overlapping fall events (eval/stream.hpp).
+/// Silently "merging" such inputs would mis-pair events, so it is a
+/// typed, catchable error instead.
+struct invariant_error : std::invalid_argument {
+    using std::invalid_argument::invalid_argument;
+};
 
 /// One scored segment with the identifiers needed for event grouping.
 struct segment_record {
@@ -51,6 +62,9 @@ struct event_analysis {
 
 /// Group segments into events by (subject, task, trial) and compute
 /// Table IV.  Red/green classification comes from data::taxonomy.
+/// All records of one (subject, task, trial) event must agree on
+/// `trial_is_fall`; a contradiction throws eval::invariant_error (ground
+/// truth that overlaps or relabels an event cannot be paired soundly).
 event_analysis analyze_events(std::span<const segment_record> records,
                               double threshold = 0.5);
 

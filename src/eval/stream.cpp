@@ -1,0 +1,206 @@
+#include "eval/stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fallsense::eval {
+
+namespace {
+
+/// Shortest round-trip decimal form — the same convention the obs
+/// manifest writer uses, so summary lines are byte-stable.
+std::string format_double(double value) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, ptr);
+}
+
+/// One loop-expanded ground-truth instance in ingested-sample coordinates.
+struct fall_instance {
+    std::size_t onset = 0;
+    std::size_t impact = 0;
+    std::size_t window_end = 0;  ///< last sample still attributed to the fall
+    bool detected = false;
+};
+
+void validate_annotation(const session_annotation& s) {
+    for (std::size_t i = 0; i < s.falls.size(); ++i) {
+        const stream_fall_event& f = s.falls[i];
+        if (f.onset_index >= f.impact_index) {
+            throw invariant_error("session_annotation: fall onset must precede impact");
+        }
+        if (i > 0 && s.falls[i - 1].impact_index >= f.onset_index) {
+            throw invariant_error(
+                "session_annotation: fall events must be ascending and non-overlapping");
+        }
+    }
+    if (s.stream_samples > 0 && !s.falls.empty() &&
+        s.falls.back().impact_index >= s.stream_samples) {
+        throw invariant_error("session_annotation: fall impact lies outside the stream");
+    }
+}
+
+/// Expand the annotated falls to every loop instance whose impact was
+/// ingested, ascending; clamp each grace window before the next onset.
+std::vector<fall_instance> expand_instances(const session_annotation& s,
+                                            std::size_t grace_samples) {
+    std::vector<fall_instance> instances;
+    const std::size_t loops =
+        s.stream_samples == 0 ? 1 : s.samples_ingested / s.stream_samples + 1;
+    for (std::size_t k = 0; k < loops; ++k) {
+        const std::size_t base = k * s.stream_samples;
+        for (const stream_fall_event& f : s.falls) {
+            const std::size_t impact = f.impact_index + base;
+            if (impact >= s.samples_ingested) break;
+            instances.push_back({f.onset_index + base, impact, impact + grace_samples});
+        }
+        if (s.stream_samples == 0) break;
+    }
+    for (std::size_t i = 0; i + 1 < instances.size(); ++i) {
+        instances[i].window_end =
+            std::min(instances[i].window_end, instances[i + 1].onset - 1);
+    }
+    return instances;
+}
+
+}  // namespace
+
+std::string stream_eval_report::summary() const {
+    std::ostringstream os;
+    os << "eval_sessions: " << sessions << '\n'
+       << "eval_samples: " << samples << '\n'
+       << "eval_triggers: " << triggers << '\n'
+       << "eval_fall_events: " << fall_events << '\n'
+       << "eval_falls_detected: " << falls_detected << '\n'
+       << "eval_falls_detected_late: " << falls_detected_late << '\n'
+       << "eval_falls_missed: " << falls_missed << '\n'
+       << "eval_false_alarms: " << false_alarms << '\n'
+       << "eval_stream_hours: " << format_double(stream_hours) << '\n'
+       << "eval_false_alarms_per_hour: " << format_double(false_alarms_per_hour) << '\n'
+       << "eval_mean_lead_ms: " << format_double(mean_lead_ms) << '\n'
+       << "eval_min_lead_ms: " << format_double(min_lead_ms) << '\n'
+       << "eval_max_lead_ms: " << format_double(max_lead_ms) << '\n';
+    for (const cost_point& p : cost_curve) {
+        os << "eval_cost_ratio_" << format_double(p.cost_ratio) << ": "
+           << format_double(p.cost) << '\n';
+    }
+    return os.str();
+}
+
+stream_eval_report evaluate_stream(std::span<const stream_trigger> triggers,
+                                   std::span<const session_annotation> sessions,
+                                   const stream_eval_config& config) {
+    if (!(config.sample_rate_hz > 0.0)) {
+        throw std::invalid_argument("evaluate_stream: sample rate must be positive");
+    }
+    if (config.detection_grace_s < 0.0) {
+        throw std::invalid_argument("evaluate_stream: detection grace must be >= 0");
+    }
+    if (config.cost_ratios.empty()) {
+        throw std::invalid_argument("evaluate_stream: cost-ratio grid is empty");
+    }
+    const std::size_t grace_samples = static_cast<std::size_t>(
+        std::llround(config.detection_grace_s * config.sample_rate_hz));
+
+    // Canonical order regardless of producer interleaving: annotations by
+    // session id, triggers by (session, sample index).  Serial from here
+    // on, so the report is bit-identical for any thread count.
+    std::vector<const session_annotation*> ordered;
+    ordered.reserve(sessions.size());
+    for (const session_annotation& s : sessions) {
+        validate_annotation(s);
+        ordered.push_back(&s);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const session_annotation* a, const session_annotation* b) {
+                  return a->session < b->session;
+              });
+    for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+        if (ordered[i]->session == ordered[i + 1]->session) {
+            throw invariant_error("evaluate_stream: duplicate session annotation");
+        }
+    }
+    std::vector<stream_trigger> fired(triggers.begin(), triggers.end());
+    std::sort(fired.begin(), fired.end(),
+              [](const stream_trigger& a, const stream_trigger& b) {
+                  if (a.session != b.session) return a.session < b.session;
+                  return a.sample_index < b.sample_index;
+              });
+
+    stream_eval_report report;
+    report.sessions = ordered.size();
+    double lead_ms_sum = 0.0;
+    double lead_ms_min = std::numeric_limits<double>::infinity();
+    double lead_ms_max = 0.0;
+
+    std::size_t cursor = 0;  // into `fired`
+    for (const session_annotation* s : ordered) {
+        report.samples += s->samples_ingested;
+        // Triggers for sessions with no annotation entry fall between the
+        // sorted runs and are skipped here.
+        while (cursor < fired.size() && fired[cursor].session < s->session) ++cursor;
+        std::vector<fall_instance> instances = expand_instances(*s, grace_samples);
+        std::size_t ii = 0;
+        while (cursor < fired.size() && fired[cursor].session == s->session) {
+            const std::size_t t = fired[cursor].sample_index;
+            ++report.triggers;
+            ++cursor;
+            while (ii < instances.size() && instances[ii].window_end < t) {
+                if (!instances[ii].detected) ++report.falls_missed;
+                ++ii;
+            }
+            if (ii < instances.size() && t >= instances[ii].onset) {
+                fall_instance& inst = instances[ii];
+                if (!inst.detected) {
+                    inst.detected = true;
+                    if (t <= inst.impact) {
+                        ++report.falls_detected;
+                        const double lead_ms =
+                            static_cast<double>(inst.impact - t) / config.sample_rate_hz *
+                            1000.0;
+                        lead_ms_sum += lead_ms;
+                        lead_ms_min = std::min(lead_ms_min, lead_ms);
+                        lead_ms_max = std::max(lead_ms_max, lead_ms);
+                    } else {
+                        ++report.falls_detected_late;
+                    }
+                }
+                // Repeat firings inside one event window fold into the
+                // detection — re-alerting on a fall already caught is not
+                // a new false alarm.
+            } else {
+                ++report.false_alarms;
+            }
+        }
+        while (ii < instances.size()) {
+            if (!instances[ii].detected) ++report.falls_missed;
+            ++ii;
+        }
+        report.fall_events += instances.size();
+    }
+
+    report.stream_hours =
+        static_cast<double>(report.samples) / config.sample_rate_hz / 3600.0;
+    report.false_alarms_per_hour =
+        report.stream_hours > 0.0
+            ? static_cast<double>(report.false_alarms) / report.stream_hours
+            : 0.0;
+    if (report.falls_detected > 0) {
+        report.mean_lead_ms = lead_ms_sum / static_cast<double>(report.falls_detected);
+        report.min_lead_ms = lead_ms_min;
+        report.max_lead_ms = lead_ms_max;
+    }
+    report.cost_curve.reserve(config.cost_ratios.size());
+    for (const double ratio : config.cost_ratios) {
+        report.cost_curve.push_back(
+            {ratio, ratio * static_cast<double>(report.falls_missed) +
+                        static_cast<double>(report.false_alarms)});
+    }
+    return report;
+}
+
+}  // namespace fallsense::eval

@@ -1,0 +1,126 @@
+// Event-level streaming evaluation at fleet scale.
+//
+// The per-window metrics (eval/metrics.hpp) and the per-trial event view
+// (eval/events.hpp) both score a finite labeled dataset.  The product
+// question is different: a fleet of always-on wearers emits *trigger
+// streams*, the synthesizer knows where the real falls are, and what
+// matters is (a) how long before impact each fall is caught, (b) how many
+// falls are missed outright, and (c) how often the airbag fires for
+// nothing — false alarms per hour of worn time, the alert-fatigue number.
+// Following the cost-sensitive streaming framing in PAPERS.md
+// ("Watch Your Step", arXiv:2509.11789), the two error kinds are folded
+// into one tunable score, C = cost_ratio * misses + false_alarms, swept
+// over a cost-ratio grid so a deployment can pick its operating point.
+//
+// Inputs are plain value types so any producer can feed it: the serve
+// loadgen taps `fleet_router::tick()` triggers and pairs them with the
+// synthesizer's `data::fall_annotation` per session
+// (serve::run_loadgen, docs/evaluation.md).  Trigger `sample_index` is
+// the session-local ingested-sample tick (serve::trigger_event); looped
+// replay streams recur, so each annotated fall is expanded to one ground
+// -truth instance per completed loop.
+//
+// Everything here is single-threaded over canonically ordered inputs:
+// given the same triggers and annotations the report is bit-identical
+// for any FALLSENSE_THREADS — pinned by tests/serve/scenario_eval_test.cpp
+// and the CI scenario-suite manifest diffs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/events.hpp"  // invariant_error
+
+namespace fallsense::eval {
+
+/// One ground-truth fall inside a session's source stream (indices into
+/// the un-looped stream, as produced by data::fall_annotation).
+struct stream_fall_event {
+    std::size_t onset_index = 0;   ///< first unrecoverable free-fall frame
+    std::size_t impact_index = 0;  ///< first ground-contact frame
+};
+
+/// Ground truth for one streamed session.
+struct session_annotation {
+    std::uint32_t session = 0;
+    /// Length of the looped source stream; 0 means the stream does not
+    /// loop and `falls` indices are absolute.
+    std::size_t stream_samples = 0;
+    /// Samples the engine actually ingested for this session — bounds the
+    /// loop expansion and contributes to worn-time hours.
+    std::size_t samples_ingested = 0;
+    /// Ascending, non-overlapping (onset < impact, impact < next onset);
+    /// violations throw eval::invariant_error.
+    std::vector<stream_fall_event> falls;
+};
+
+/// One detector firing, as tapped from serve::trigger_event.
+struct stream_trigger {
+    std::uint32_t session = 0;
+    std::size_t sample_index = 0;  ///< session-local ingested-sample tick
+};
+
+struct stream_eval_config {
+    double sample_rate_hz = 100.0;
+    /// Triggers up to this long after impact still attribute to the fall
+    /// (late detection, not a false alarm) — the airbag missed its window
+    /// but the alert is real.  Clamped so the grace window never reaches
+    /// the next fall instance's onset.
+    double detection_grace_s = 0.5;
+    /// Miss/false-alarm cost ratios swept for the cost curve
+    /// (c_fa is normalized to 1; cost = ratio * misses + false_alarms).
+    std::vector<double> cost_ratios{1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0};
+};
+
+struct cost_point {
+    double cost_ratio = 1.0;
+    double cost = 0.0;  ///< cost_ratio * falls_missed + false_alarms
+};
+
+struct stream_eval_report {
+    std::size_t sessions = 0;
+    std::uint64_t samples = 0;        ///< total ingested samples
+    std::uint64_t triggers = 0;       ///< total trigger firings consumed
+    std::uint64_t fall_events = 0;    ///< ground-truth instances (loop-expanded)
+    std::uint64_t falls_detected = 0;       ///< first trigger at or before impact
+    std::uint64_t falls_detected_late = 0;  ///< first trigger in the grace window
+    std::uint64_t falls_missed = 0;         ///< no trigger in [onset, impact+grace]
+    std::uint64_t false_alarms = 0;   ///< triggers outside every event window
+    double stream_hours = 0.0;        ///< samples / rate / 3600
+    double false_alarms_per_hour = 0.0;
+    /// Detection lead time before impact, pre-impact detections only.
+    double mean_lead_ms = 0.0;
+    double min_lead_ms = 0.0;
+    double max_lead_ms = 0.0;
+    std::vector<cost_point> cost_curve;  ///< one per config cost ratio, in order
+
+    /// Deterministic `key: value` lines (doubles via shortest round-trip
+    /// formatting), appended verbatim to loadgen summaries and diffed by
+    /// the 1-vs-4-thread acceptance checks.
+    std::string summary() const;
+};
+
+/// Score trigger streams against per-session ground truth.
+///
+/// Matching, per session: each annotated fall is expanded to instances
+/// `[onset + k*stream_samples, impact + k*stream_samples]` for every loop
+/// with `impact` inside the ingested range; the first trigger in
+/// `[onset, impact + grace]` detects the instance (pre-impact iff it fires
+/// at or before impact, with lead time `impact - trigger`); further
+/// triggers inside the same window are folded into the detection; every
+/// trigger outside all windows is a false alarm; instances with no
+/// trigger are misses.  Sessions without an annotation entry contribute
+/// nothing (their triggers are ignored, not counted as false alarms) —
+/// pass an annotation with empty `falls` to count a session's triggers.
+///
+/// Throws eval::invariant_error for unsorted/overlapping falls or
+/// onset >= impact, and std::invalid_argument for a non-positive sample
+/// rate or an empty cost grid.
+stream_eval_report evaluate_stream(std::span<const stream_trigger> triggers,
+                                   std::span<const session_annotation> sessions,
+                                   const stream_eval_config& config = {});
+
+}  // namespace fallsense::eval

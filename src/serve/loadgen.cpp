@@ -1,10 +1,12 @@
 #include "serve/loadgen.hpp"
 
+#include <charconv>
 #include <chrono>
 #include <sstream>
 
 #include "data/generator.hpp"
 #include "data/synthesizer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -13,11 +15,6 @@
 namespace fallsense::serve {
 
 namespace {
-
-/// Task mix cycled over sessions: everyday ADLs, near-fall ADLs, and falls
-/// from Table II, so the fleet sees both quiet streams and trigger-heavy
-/// ones.  Ids must exist in data::build_task_phases.
-constexpr int k_task_mix[] = {6, 20, 12, 30, 1, 25, 18, 38};
 
 /// Short holds keep per-session streams a few hundred samples long — the
 /// loadgen stresses session count, not stream length.
@@ -30,30 +27,56 @@ data::motion_tuning loadgen_tuning() {
 }
 
 session_stream synthesize_stream(const data::subject_profile& subject, int task_id,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 const data::stream_perturbation& perturb) {
     util::rng gen(seed);
     const data::trial t = data::synthesize_task(task_id, subject, loadgen_tuning(),
                                                 data::synthesis_config{}, gen);
     FS_CHECK(!t.samples.empty(), "loadgen synthesized an empty stream");
-    return session_stream{t.samples, 0};
+    session_stream stream{t.samples, 0, t.fall};
+    if (perturb.any()) {
+        // A perturbation substream keeps unperturbed profiles byte-
+        // identical to the pre-scenario loadgen: `gen` consumption is
+        // untouched and the extra draws come from a derived seed.
+        util::rng perturb_gen(util::derive_seed(seed, "scenario/perturb"));
+        data::apply_stream_perturbation(stream.samples, perturb, t.sample_rate_hz,
+                                        perturb_gen);
+    }
+    return stream;
+}
+
+/// Shortest round-trip decimal form, matching the obs manifest writer.
+std::string format_double(double value) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, ptr);
 }
 
 }  // namespace
 
 std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
                                                      std::uint64_t seed) {
+    return synthesize_fleet_streams(sessions, seed, data::make_profile("baseline"));
+}
+
+std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
+                                                     std::uint64_t seed,
+                                                     const data::scenario_profile& profile) {
     FS_ARG_CHECK(sessions > 0, "a fleet needs at least one stream");
-    const std::size_t n_tasks = std::size(k_task_mix);
+    FS_ARG_CHECK(!profile.task_mix.empty(), "a scenario profile needs a task mix");
+    const std::size_t n_tasks = profile.task_mix.size();
     const std::vector<data::subject_profile> subjects = data::sample_subjects(
         static_cast<int>(sessions), 0, util::derive_seed(seed, "loadgen/subjects"));
     const std::uint64_t stream_seed = util::derive_seed(seed, "loadgen/stream");
 
-    // Stream i is a pure function of (seed, i), written to its own slot,
-    // so parallel synthesis is deterministic for any thread count.
+    // Stream i is a pure function of (seed, profile, i), written to its
+    // own slot, so parallel synthesis is deterministic for any thread
+    // count.
     std::vector<session_stream> streams(sessions);
     util::parallel_for(0, sessions, 1, [&](std::size_t i) {
-        streams[i] = synthesize_stream(subjects[i], k_task_mix[i % n_tasks],
-                                       util::derive_seed(stream_seed, {i}));
+        streams[i] = synthesize_stream(subjects[i], profile.task_mix[i % n_tasks],
+                                       util::derive_seed(stream_seed, {i}),
+                                       profile.perturb);
     });
     return streams;
 }
@@ -85,7 +108,9 @@ std::string loadgen_report::deterministic_summary() const {
        << "windows_scored: " << windows_scored << '\n'
        << "triggers: " << triggers << '\n'
        << "sessions_churned: " << sessions_churned << '\n'
-       << "swap_generation: " << swap_generation << '\n';
+       << "swap_generation: " << swap_generation << '\n'
+       << "scenario: " << scenario << '\n';
+    if (eval) os << eval->summary();
     return os.str();
 }
 
@@ -96,19 +121,42 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     FS_ARG_CHECK(config.shards > 0, "loadgen needs at least one shard");
     FS_ARG_CHECK(config.snapshot_every_ticks == 0 || config.snapshot_sink,
                  "loadgen snapshot interval needs a snapshot sink");
+    FS_ARG_CHECK(!(config.stream_eval && config.restore),
+                 "stream eval cannot resume from a restore: trigger history "
+                 "before the snapshot is not replayed");
     OBS_SCOPE("serve/loadgen");
 
-    const std::size_t n_tasks = std::size(k_task_mix);
+    const data::scenario_profile profile = data::make_profile(config.scenario);
+    const std::size_t n_tasks = profile.task_mix.size();
     const std::uint64_t stream_seed = util::derive_seed(config.seed, "loadgen/stream");
     std::vector<session_stream> streams =
-        synthesize_fleet_streams(config.sessions, config.seed);
+        synthesize_fleet_streams(config.sessions, config.seed, profile);
     // Churn stream n is a pure function of (seed, n), so a restored run
     // re-derives the same wearer the uninterrupted run admitted.
     const auto append_churn_stream = [&](std::size_t n) {
         const data::subject_profile churn_subject = data::sample_subjects(
             1, static_cast<int>(n), util::derive_seed(config.seed, {0x6368u, n}))[0];
-        streams.push_back(synthesize_stream(churn_subject, k_task_mix[n % n_tasks],
-                                            util::derive_seed(stream_seed, {n})));
+        streams.push_back(synthesize_stream(churn_subject,
+                                            profile.task_mix[n % n_tasks],
+                                            util::derive_seed(stream_seed, {n}),
+                                            profile.perturb));
+    };
+
+    // --- streaming-evaluation tap (config.stream_eval only) -------------
+    // Annotations are indexed by session id (ids are admitted 0, 1, 2, ...
+    // so id == index); ingested counts are captured at evict time for
+    // churned sessions and at the end for live ones.
+    std::vector<eval::stream_trigger> fired;
+    std::vector<eval::session_annotation> annotations;
+    const auto note_session = [&](session_id id) {
+        if (!config.stream_eval) return;
+        const session_stream& s = streams[id];
+        eval::session_annotation a;
+        a.session = id;
+        a.stream_samples = s.samples.size();
+        if (s.fall) a.falls.push_back({s.fall->onset_index, s.fall->impact_index});
+        FS_CHECK(annotations.size() == id, "session ids must be admitted in order");
+        annotations.push_back(std::move(a));
     };
 
     // Scorers must match the engine's window; resolve it once here so
@@ -128,6 +176,7 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     report.mode = config.mode;
     report.ticks = config.ticks;
     report.scorer = fleet.scorer().describe();
+    report.scenario = config.scenario;
 
     // streams grows on churn; session id -> stream index is the identity
     // because churned sessions get monotonically increasing ids.
@@ -169,7 +218,7 @@ loadgen_report run_loadgen(const loadgen_config& config) {
             fleet.install_scorer(make_scorer(current));
         }
     } else {
-        for (std::size_t i = 0; i < config.sessions; ++i) fleet.create_session();
+        for (std::size_t i = 0; i < config.sessions; ++i) note_session(fleet.create_session());
         live_ids.resize(config.sessions);
         for (std::size_t i = 0; i < config.sessions; ++i) {
             live_ids[i] = static_cast<session_id>(i);
@@ -190,9 +239,16 @@ loadgen_report run_loadgen(const loadgen_config& config) {
             // Rotate the oldest session out, a fresh wearer in.
             const session_id victim = live_ids.front();
             live_ids.erase(live_ids.begin());
+            if (config.stream_eval) {
+                // Per-session counters vanish with the eviction; the
+                // evaluator still needs this wearer's worn time.
+                annotations[victim].samples_ingested = fleet.stats(victim).ingested;
+            }
             fleet.evict_session(victim);
             append_churn_stream(streams.size());
-            live_ids.push_back(fleet.create_session());
+            const session_id admitted = fleet.create_session();
+            note_session(admitted);
+            live_ids.push_back(admitted);
             ++report.sessions_churned;
         }
         for (const session_id id : live_ids) {
@@ -201,7 +257,16 @@ loadgen_report run_loadgen(const loadgen_config& config) {
                 fleet.feed(id, streams[id].next());
             }
         }
-        fleet.tick();
+        if (config.stream_eval) {
+            // The tap: router-global trigger ids in deterministic merge
+            // order (ascending shard, then session, then time).
+            const tick_result scored = fleet.tick();
+            for (const trigger_event& e : scored.triggers) {
+                fired.push_back({e.session, e.sample_index});
+            }
+        } else {
+            fleet.tick();
+        }
         if (config.snapshot_every_ticks > 0 && (t + 1) % config.snapshot_every_ticks == 0) {
             // Tick boundary: all staged state is consumed, only queues and
             // detector state persist — exactly what the snapshot carries.
@@ -219,6 +284,37 @@ loadgen_report run_loadgen(const loadgen_config& config) {
     report.windows_scored = totals.windows_scored;
     report.triggers = totals.triggers;
     report.swap_generation = fleet.swap_generation();
+
+    if (config.stream_eval) {
+        for (const session_id id : live_ids) {
+            annotations[id].samples_ingested = fleet.stats(id).ingested;
+        }
+        eval::evaluator_spec spec_eval;
+        spec_eval.kind = eval::evaluator_kind::cost_sensitive;
+        spec_eval.stream = config.eval_config;
+        const std::unique_ptr<eval::evaluator> ev = eval::make_evaluator(spec_eval);
+        ev->add_stream(fired, annotations);
+        eval::evaluation_report evaluated = ev->finish();
+        report.eval = std::move(evaluated.stream);
+
+        const eval::stream_eval_report& e = *report.eval;
+        obs::add_counter("eval/sessions", e.sessions);
+        obs::add_counter("eval/samples", e.samples);
+        obs::add_counter("eval/triggers", e.triggers);
+        obs::add_counter("eval/fall_events", e.fall_events);
+        obs::add_counter("eval/falls_detected", e.falls_detected);
+        obs::add_counter("eval/falls_detected_late", e.falls_detected_late);
+        obs::add_counter("eval/falls_missed", e.falls_missed);
+        obs::add_counter("eval/false_alarms", e.false_alarms);
+        obs::set_gauge("eval/stream_hours", e.stream_hours);
+        obs::set_gauge("eval/false_alarms_per_hour", e.false_alarms_per_hour);
+        obs::set_gauge("eval/mean_lead_ms", e.mean_lead_ms);
+        obs::set_gauge("eval/min_lead_ms", e.min_lead_ms);
+        obs::set_gauge("eval/max_lead_ms", e.max_lead_ms);
+        for (const eval::cost_point& p : e.cost_curve) {
+            obs::set_gauge("eval/cost/ratio_" + format_double(p.cost_ratio), p.cost);
+        }
+    }
     return report;
 }
 

@@ -16,9 +16,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "data/motion_profile.hpp"
+#include "eval/eval.hpp"
 #include "serve/fleet.hpp"
 #include "serve/scorer_factory.hpp"
 
@@ -51,6 +54,23 @@ struct loadgen_config {
     scorer_spec scorer{};
     engine_config engine{};
 
+    /// Named traffic scenario (data::make_profile): which task scripts
+    /// the fleet cycles and how the streams are corrupted.  "baseline"
+    /// replays the traffic every earlier release generated, byte for
+    /// byte.  Unknown names throw data::unknown_profile_error.
+    std::string scenario = "baseline";
+    /// Run the event-level streaming evaluator (eval/stream.hpp) over the
+    /// fleet's trigger stream against the synthesizer's ground truth,
+    /// attach the report, and publish eval/* metrics.  Off by default:
+    /// evaluation needs ground truth only the synthesizing side holds,
+    /// so plain serving runs (and their wire-parity manifests) stay
+    /// byte-identical.  Incompatible with `restore` — trigger history
+    /// from before the snapshot is not replayed.
+    bool stream_eval = false;
+    /// Streaming-evaluator knobs (sample rate, detection grace, cost
+    /// grid) used when `stream_eval` is set.
+    eval::stream_eval_config eval_config{};
+
     // --- checkpointing hooks (serve stays codec-free: src/ckpt supplies
     //     the lambdas, e.g. ckpt::snapshot_to_file / restore_from_file;
     //     docs/checkpoint.md describes the resume contract) ---
@@ -72,6 +92,10 @@ struct loadgen_config {
 struct session_stream {
     std::vector<data::raw_sample> samples;
     std::size_t cursor = 0;
+    /// Ground truth carried from the synthesizer: where the real fall
+    /// sits in `samples` (recurring every loop), for the streaming
+    /// evaluator.  Unset for ADL streams.
+    std::optional<data::fall_annotation> fall;
 
     const data::raw_sample& next() {
         const data::raw_sample& s = samples[cursor];
@@ -88,6 +112,16 @@ struct session_stream {
 std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
                                                      std::uint64_t seed);
 
+/// Scenario-directed variant: cycle `profile.task_mix` over sessions and
+/// apply `profile.perturb` to every synthesized stream (with a
+/// perturbation-derived seed, consumed only when the profile perturbs —
+/// the "baseline" profile reproduces the two-argument overload byte for
+/// byte).  The two-argument overload forwards here with
+/// data::make_profile("baseline").
+std::vector<session_stream> synthesize_fleet_streams(std::size_t sessions,
+                                                     std::uint64_t seed,
+                                                     const data::scenario_profile& profile);
+
 struct loadgen_report {
     std::size_t sessions = 0;
     std::size_t shards = 0;
@@ -103,6 +137,10 @@ struct loadgen_report {
     std::uint64_t sessions_churned = 0;
     std::uint64_t swap_generation = 0;  ///< completed scorer swaps
     std::string scorer;  ///< batch_scorer::describe() of the initial scorer
+    std::string scenario;  ///< named profile the streams were drawn from
+    /// Present iff config.stream_eval: the event-level streaming report
+    /// (its deterministic lines join deterministic_summary()).
+    std::optional<eval::stream_eval_report> eval;
 
     /// Measured, varies run to run; everything above is deterministic.
     double wall_seconds = 0.0;

@@ -21,8 +21,31 @@ TEST(MotionProfileTest, EveryTaskHasAScript) {
     for (int id = 1; id <= 44; ++id) {
         EXPECT_NO_THROW(build_task_phases(id, default_subject(), tuning, gen)) << id;
     }
+    // 45 and 46 are the adversarial extension scripts (near-fall arrested
+    // mid-descent, trip caught on hands) — outside the 44-task taxonomy but
+    // scripted for the scenario registry.
+    EXPECT_NO_THROW(build_task_phases(45, default_subject(), tuning, gen));
+    EXPECT_NO_THROW(build_task_phases(46, default_subject(), tuning, gen));
     EXPECT_THROW(build_task_phases(0, default_subject(), tuning, gen), std::out_of_range);
-    EXPECT_THROW(build_task_phases(45, default_subject(), tuning, gen), std::out_of_range);
+    EXPECT_THROW(build_task_phases(47, default_subject(), tuning, gen), std::out_of_range);
+}
+
+TEST(MotionProfileTest, AdversarialScriptsLookLikeFallsButAreNot) {
+    // The extension scripts must contain a falling-shaped phase (so the
+    // detector is tempted) yet carry no fall semantics (so the synthesizer
+    // attaches no ground-truth annotation): they are pure false-alarm bait.
+    util::rng gen(9);
+    const motion_tuning tuning;
+    for (const int id : {45, 46}) {
+        const auto script = build_task_phases(id, default_subject(), tuning, gen);
+        bool has_impactful_activity = false;
+        for (const motion_phase& p : script) {
+            EXPECT_NE(p.semantic, phase_semantic::falling) << "task " << id;
+            EXPECT_NE(p.semantic, phase_semantic::post_fall) << "task " << id;
+            has_impactful_activity |= p.impact_g > 1.0;
+        }
+        EXPECT_TRUE(has_impactful_activity) << "task " << id;
+    }
 }
 
 TEST(MotionProfileTest, FallTasksContainFallingPhase) {

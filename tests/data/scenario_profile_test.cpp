@@ -1,0 +1,147 @@
+#include "data/motion_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/taxonomy.hpp"
+#include "util/rng.hpp"
+
+namespace fallsense::data {
+namespace {
+
+TEST(ScenarioProfileTest, RegistryListsBaselineFirstAndResolvesEveryName) {
+    const std::vector<std::string> names = list_profiles();
+    ASSERT_FALSE(names.empty());
+    EXPECT_EQ(names.front(), "baseline");
+    for (const std::string& name : names) {
+        const scenario_profile profile = make_profile(name);
+        EXPECT_EQ(profile.name, name);
+        EXPECT_FALSE(profile.summary.empty()) << name;
+        EXPECT_FALSE(profile.task_mix.empty()) << name;
+        // Every task id in the mix must script (taxonomy or extension).
+        util::rng gen(1);
+        for (const int id : profile.task_mix) {
+            EXPECT_NO_THROW(build_task_phases(id, subject_profile{}, motion_tuning{}, gen))
+                << name << " task " << id;
+        }
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "near_fall"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "trip_catch"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "vehicle_vibration"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "sensor_dropout"), names.end());
+}
+
+TEST(ScenarioProfileTest, UnknownNameThrowsTypedErrorListingTheRegistry) {
+    try {
+        (void)make_profile("quake");
+        FAIL() << "expected unknown_profile_error";
+    } catch (const unknown_profile_error& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("quake"), std::string::npos);
+        EXPECT_NE(message.find("baseline"), std::string::npos);
+        EXPECT_NE(message.find("near_fall"), std::string::npos);
+    }
+}
+
+TEST(ScenarioProfileTest, BaselineReplaysTheOriginalLoadgenMix) {
+    // The loadgen's pre-registry hard-coded Table II mix, frozen: the
+    // baseline profile must keep wire-parity manifests byte-identical
+    // across releases.
+    const std::vector<int> original{6, 20, 12, 30, 1, 25, 18, 38};
+    const scenario_profile baseline = make_profile("baseline");
+    EXPECT_EQ(baseline.task_mix, original);
+    EXPECT_FALSE(baseline.perturb.any());
+}
+
+TEST(ScenarioProfileTest, AdversarialProfilesStayInsideOrBesideTheTaxonomy) {
+    for (const std::string& name : list_profiles()) {
+        for (const int id : make_profile(name).task_mix) {
+            EXPECT_TRUE((id >= 1 && id <= 44) || id == 45 || id == 46)
+                << name << " task " << id;
+        }
+    }
+}
+
+TEST(ScenarioPerturbationTest, NoOpPerturbationLeavesSamplesAndRngUntouched) {
+    std::vector<raw_sample> samples(500);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        samples[i].accel = {0.01f * static_cast<float>(i), 0.0f, 1.0f};
+        samples[i].gyro = {0.0f, 0.1f, 0.0f};
+    }
+    const std::vector<raw_sample> before = samples;
+    util::rng gen(7), untouched(7);
+    apply_stream_perturbation(samples, stream_perturbation{}, 100.0, gen);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(samples[i].accel, before[i].accel) << i;
+        EXPECT_EQ(samples[i].gyro, before[i].gyro) << i;
+    }
+    // No draws consumed: the generator stays in lockstep with a twin.
+    EXPECT_EQ(gen.uniform(0.0, 1.0), untouched.uniform(0.0, 1.0));
+}
+
+TEST(ScenarioPerturbationTest, PerturbationIsDeterministicInTheSeed) {
+    std::vector<raw_sample> a(800), b(800);
+    const stream_perturbation perturb = make_profile("sensor_dropout").perturb;
+    util::rng g1(11), g2(11);
+    apply_stream_perturbation(a, perturb, 100.0, g1);
+    apply_stream_perturbation(b, perturb, 100.0, g2);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].accel, b[i].accel) << i;
+        EXPECT_EQ(a[i].gyro, b[i].gyro) << i;
+    }
+    std::vector<raw_sample> c(800);
+    util::rng g3(12);
+    apply_stream_perturbation(c, perturb, 100.0, g3);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+        differs = a[i].accel != c[i].accel || a[i].gyro != c[i].gyro;
+    }
+    EXPECT_TRUE(differs) << "different seed must corrupt differently";
+}
+
+TEST(ScenarioPerturbationTest, VibrationRidesOnTheAccelerometerOnly) {
+    std::vector<raw_sample> samples(1000);
+    for (raw_sample& s : samples) {
+        s.accel = {0.0f, 0.0f, 1.0f};
+        s.gyro = {0.0f, 0.0f, 0.0f};
+    }
+    const stream_perturbation perturb = make_profile("vehicle_vibration").perturb;
+    ASSERT_GT(perturb.vibration_amp_g, 0.0);
+    util::rng gen(3);
+    apply_stream_perturbation(samples, perturb, 100.0, gen);
+    float max_accel_dev = 0.0f, max_gyro_dev = 0.0f;
+    for (const raw_sample& s : samples) {
+        max_accel_dev = std::max(max_accel_dev, std::abs(s.accel[2] - 1.0f));
+        for (int axis = 0; axis < 3; ++axis) {
+            max_gyro_dev = std::max(max_gyro_dev, std::abs(s.gyro[axis]));
+        }
+    }
+    EXPECT_GT(max_accel_dev, 0.5f * static_cast<float>(perturb.vibration_amp_g));
+    EXPECT_EQ(max_gyro_dev, 0.0f);
+}
+
+TEST(ScenarioPerturbationTest, DropoutFreezesRunsOfSamples) {
+    std::vector<raw_sample> samples(6000);  // one minute at 100 Hz
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        samples[i].accel = {static_cast<float>(i), 0.0f, 1.0f};  // strictly changing
+    }
+    stream_perturbation perturb;
+    perturb.dropout_bursts_per_min = 4.0;
+    perturb.dropout_burst_s = 0.3;
+    util::rng gen(5);
+    apply_stream_perturbation(samples, perturb, 100.0, gen);
+    std::size_t frozen_pairs = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        if (samples[i].accel == samples[i - 1].accel) ++frozen_pairs;
+    }
+    // 4 bursts x 0.3 s x 100 Hz ~ 120 frozen samples (bursts may overlap
+    // or clip at the end of the stream, so just require a healthy run).
+    EXPECT_GE(frozen_pairs, 25u);
+}
+
+}  // namespace
+}  // namespace fallsense::data

@@ -1,0 +1,199 @@
+#include "eval/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace fallsense::eval {
+namespace {
+
+// A small fleet of trials: two fall trials (one caught, one missed) and
+// one ADL trial with a false-alarm window.
+std::vector<segment_record> sample_records() {
+    std::vector<segment_record> records;
+    // Fall trial, detected: a high-probability falling window.
+    records.push_back({1, 30, 0, true, 1.0f, 0.9f});
+    records.push_back({1, 30, 0, true, 0.0f, 0.2f});
+    // Fall trial, missed: probabilities stay under every threshold used.
+    records.push_back({2, 31, 0, true, 1.0f, 0.1f});
+    records.push_back({2, 31, 0, true, 0.0f, 0.05f});
+    // ADL trial, false alarm.
+    records.push_back({3, 15, 0, false, 0.0f, 0.8f});
+    records.push_back({3, 15, 0, false, 0.0f, 0.3f});
+    return records;
+}
+
+TEST(EvaluatorTest, KindNamesRoundTrip) {
+    for (const evaluator_kind kind :
+         {evaluator_kind::per_window, evaluator_kind::event_stream,
+          evaluator_kind::cost_sensitive}) {
+        const auto parsed = parse_evaluator_kind(evaluator_kind_name(kind));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(parse_evaluator_kind("per-window").has_value());
+    EXPECT_FALSE(parse_evaluator_kind("").has_value());
+}
+
+TEST(EvaluatorTest, PerWindowMatchesTheDirectEvalFunctions) {
+    const std::vector<segment_record> records = sample_records();
+    evaluator_spec spec;
+    spec.kind = evaluator_kind::per_window;
+    spec.threshold = 0.5;
+    const std::unique_ptr<evaluator> ev = make_evaluator(spec);
+    ev->add_segments(records);
+    const evaluation_report report = ev->finish();
+
+    ASSERT_TRUE(report.classification.has_value());
+    ASSERT_TRUE(report.events.has_value());
+    ASSERT_TRUE(report.counts.has_value());
+    EXPECT_FALSE(report.stream.has_value());
+
+    std::vector<float> probs, labels;
+    for (const segment_record& r : records) {
+        probs.push_back(r.probability);
+        labels.push_back(r.label);
+    }
+    const classification_report direct = evaluate(probs, labels, 0.5);
+    EXPECT_DOUBLE_EQ(report.classification->accuracy, direct.accuracy);
+    EXPECT_DOUBLE_EQ(report.classification->f1, direct.f1);
+
+    const event_counts counts = count_events(records, 0.5);
+    EXPECT_EQ(report.counts->falls_detected, counts.falls_detected);
+    EXPECT_EQ(report.counts->falls_total, counts.falls_total);
+    EXPECT_EQ(report.counts->adl_false_alarms, counts.adl_false_alarms);
+    EXPECT_EQ(report.counts->falls_detected, 1u);
+    EXPECT_EQ(report.counts->falls_total, 2u);
+    EXPECT_EQ(report.counts->adl_false_alarms, 1u);
+}
+
+TEST(EvaluatorTest, StreamKindsMatchEvaluateStreamAndDifferOnlyInCostCurve) {
+    std::vector<session_annotation> sessions(1);
+    sessions[0].session = 0;
+    sessions[0].samples_ingested = 5000;
+    sessions[0].falls.push_back({100, 160});
+    const std::vector<stream_trigger> triggers{{0, 130}, {0, 3000}};
+
+    evaluator_spec spec;
+    spec.kind = evaluator_kind::cost_sensitive;
+    const std::unique_ptr<evaluator> cost_ev = make_evaluator(spec);
+    cost_ev->add_stream(triggers, sessions);
+    const evaluation_report cost_report = cost_ev->finish();
+    ASSERT_TRUE(cost_report.stream.has_value());
+    EXPECT_FALSE(cost_report.classification.has_value());
+
+    const stream_eval_report direct = evaluate_stream(triggers, sessions, spec.stream);
+    EXPECT_EQ(cost_report.stream->summary(), direct.summary());
+    EXPECT_EQ(cost_report.stream->cost_curve.size(), spec.stream.cost_ratios.size());
+
+    spec.kind = evaluator_kind::event_stream;
+    const std::unique_ptr<evaluator> event_ev = make_evaluator(spec);
+    event_ev->add_stream(triggers, sessions);
+    const evaluation_report event_report = event_ev->finish();
+    ASSERT_TRUE(event_report.stream.has_value());
+    EXPECT_TRUE(event_report.stream->cost_curve.empty());
+    EXPECT_EQ(event_report.stream->falls_detected, cost_report.stream->falls_detected);
+    EXPECT_EQ(event_report.stream->false_alarms, cost_report.stream->false_alarms);
+}
+
+TEST(EvaluatorTest, StreamAndPerWindowParadigmsAgreeOnCleanFalls) {
+    // Clean, well-separated fall trials: both evaluation paradigms must
+    // count the same detections.  Per-window sees one record per window;
+    // the stream view sees one trigger per above-threshold window at the
+    // matching sample tick.
+    const double threshold = 0.5;
+    std::vector<segment_record> records;
+    std::vector<session_annotation> sessions;
+    std::vector<stream_trigger> triggers;
+    // Three single-fall sessions; the third stays under threshold.
+    const float peaks[] = {0.9f, 0.8f, 0.2f};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        records.push_back({static_cast<int>(i + 1), 30, 0, true, 1.0f, peaks[i]});
+        records.push_back({static_cast<int>(i + 1), 30, 0, true, 0.0f, 0.1f});
+        session_annotation s;
+        s.session = i;
+        s.samples_ingested = 2000;
+        s.falls.push_back({400, 500});
+        sessions.push_back(std::move(s));
+        if (peaks[i] > threshold) triggers.push_back({i, 450});
+    }
+
+    evaluator_spec window_spec;
+    window_spec.threshold = threshold;
+    const std::unique_ptr<evaluator> window_ev = make_evaluator(window_spec);
+    window_ev->add_segments(records);
+    const event_counts counts = *window_ev->finish().counts;
+
+    evaluator_spec stream_spec;
+    stream_spec.kind = evaluator_kind::event_stream;
+    const std::unique_ptr<evaluator> stream_ev = make_evaluator(stream_spec);
+    stream_ev->add_stream(triggers, sessions);
+    const stream_eval_report stream = *stream_ev->finish().stream;
+
+    EXPECT_EQ(counts.falls_total, 3u);
+    EXPECT_EQ(stream.fall_events, counts.falls_total);
+    EXPECT_EQ(stream.falls_detected, counts.falls_detected);
+    EXPECT_EQ(stream.falls_missed, counts.falls_total - counts.falls_detected);
+    EXPECT_EQ(stream.false_alarms, 0u);
+}
+
+TEST(EvaluatorTest, AccumulatesAcrossMultipleFeeds) {
+    evaluator_spec spec;
+    spec.kind = evaluator_kind::cost_sensitive;
+    const std::unique_ptr<evaluator> ev = make_evaluator(spec);
+
+    std::vector<session_annotation> first(1), second(1);
+    first[0] = {0, 0, 2000, {{100, 160}}};
+    second[0] = {1, 0, 2000, {{300, 380}}};
+    ev->add_stream(std::vector<stream_trigger>{{0, 140}}, first);
+    ev->add_stream(std::vector<stream_trigger>{{1, 350}}, second);
+    const evaluation_report report = ev->finish();
+    ASSERT_TRUE(report.stream.has_value());
+    EXPECT_EQ(report.stream->sessions, 2u);
+    EXPECT_EQ(report.stream->falls_detected, 2u);
+}
+
+TEST(EvaluatorTest, WrongInputKindAndDoubleFinishThrow) {
+    evaluator_spec per_window;
+    const std::unique_ptr<evaluator> pw = make_evaluator(per_window);
+    EXPECT_THROW(pw->add_stream({}, {}), std::invalid_argument);
+    pw->add_segments(sample_records());
+    (void)pw->finish();
+    EXPECT_THROW((void)pw->finish(), std::invalid_argument);
+    EXPECT_THROW(pw->add_segments(sample_records()), std::invalid_argument);
+
+    evaluator_spec streaming;
+    streaming.kind = evaluator_kind::event_stream;
+    const std::unique_ptr<evaluator> st = make_evaluator(streaming);
+    EXPECT_THROW(st->add_segments(sample_records()), std::invalid_argument);
+}
+
+TEST(EvaluatorTest, RejectsUnusableSpecs) {
+    evaluator_spec bad_threshold;
+    bad_threshold.threshold = 1.5;
+    EXPECT_THROW(make_evaluator(bad_threshold), std::invalid_argument);
+
+    evaluator_spec bad_rate;
+    bad_rate.kind = evaluator_kind::event_stream;
+    bad_rate.stream.sample_rate_hz = 0.0;
+    EXPECT_THROW(make_evaluator(bad_rate), std::invalid_argument);
+
+    evaluator_spec no_grid;
+    no_grid.kind = evaluator_kind::cost_sensitive;
+    no_grid.stream.cost_ratios.clear();
+    EXPECT_THROW(make_evaluator(no_grid), std::invalid_argument);
+}
+
+TEST(EvaluatorTest, DescribeNamesTheConfiguredKind) {
+    evaluator_spec spec;
+    spec.threshold = 0.65;
+    EXPECT_NE(make_evaluator(spec)->describe().find("per_window"), std::string::npos);
+    spec.kind = evaluator_kind::cost_sensitive;
+    EXPECT_NE(make_evaluator(spec)->describe().find("cost_sensitive"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace fallsense::eval

@@ -2,7 +2,7 @@
 // for ANY scored segment set, checked on randomized inputs.
 #include <gtest/gtest.h>
 
-#include "eval/events.hpp"
+#include "eval/eval.hpp"
 #include "util/rng.hpp"
 
 namespace fallsense::eval {

@@ -1,4 +1,4 @@
-#include "eval/events.hpp"
+#include "eval/eval.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,4 @@
-#include "eval/metrics.hpp"
+#include "eval/eval.hpp"
 
 #include <gtest/gtest.h>
 

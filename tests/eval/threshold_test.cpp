@@ -1,4 +1,4 @@
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 
 #include <gtest/gtest.h>
 

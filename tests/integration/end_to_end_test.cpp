@@ -9,8 +9,7 @@
 #include "core/airbag.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
-#include "eval/events.hpp"
-#include "eval/roc.hpp"
+#include "eval/eval.hpp"
 #include "mcu/cost_model.hpp"
 #include "mcu/memory_planner.hpp"
 #include "quant/quantized_cnn.hpp"

@@ -55,8 +55,7 @@
 #include "core/experiment.hpp"
 #include "data/dataset_io.hpp"
 #include "data/trial_io.hpp"
-#include "eval/roc.hpp"
-#include "eval/threshold.hpp"
+#include "eval/eval.hpp"
 #include "mcu/cost_model.hpp"
 #include "mcu/deployment.hpp"
 #include "mcu/memory_planner.hpp"
@@ -198,12 +197,21 @@ int cmd_evaluate(const util::arg_parser& args) {
     const auto windows = core::extract_windows(d.trials, wc);
     nn::labeled_data batch = core::to_labeled_data(windows, window);
     const std::vector<float> probs = nn::predict_proba(*cnn, batch.features);
-    const eval::classification_report report = eval::evaluate(probs, batch.labels, threshold);
-    std::printf("segments (%zu): %s, AUC %.4f\n", windows.size(),
-                eval::to_string(report).c_str(), eval::roc_auc(probs, batch.labels));
 
-    const auto records = core::to_segment_records(windows, probs);
-    const eval::event_analysis events = eval::analyze_events(records, threshold);
+    // The segment + event views come from one per-window evaluator built
+    // through the factory — the same construction path the loadgen's
+    // streaming evaluation uses (eval/evaluator.hpp).
+    eval::evaluator_spec spec;
+    spec.kind = eval::evaluator_kind::per_window;
+    spec.threshold = threshold;
+    const std::unique_ptr<eval::evaluator> evaluator = eval::make_evaluator(spec);
+    evaluator->add_segments(core::to_segment_records(windows, probs));
+    const eval::evaluation_report evaluated = evaluator->finish();
+    std::printf("segments (%zu): %s, AUC %.4f\n", windows.size(),
+                eval::to_string(*evaluated.classification).c_str(),
+                eval::roc_auc(probs, batch.labels));
+
+    const eval::event_analysis& events = *evaluated.events;
     std::printf("events: %.2f%% falls missed, %.2f%% ADL false alarms "
                 "(red %.2f%%, green %.2f%%)\n",
                 events.fall_miss_percent_avg, events.adl_false_percent_avg,

@@ -8,9 +8,12 @@
 //                     [--queue-capacity 64] [--drop-policy oldest|reject]
 //                     [--churn-every 0] [--int8] [--weights FILE]
 //                     [--simd scalar|native]
+//                     [--scenario NAME] [--stream-eval]
+//                     [--cost-ratios CSV] [--grace-ms MS]
 //                     [--snapshot-every N --snapshot-path FILE]
 //                     [--restore-from FILE]
 //                     [--metrics-json FILE] [--metrics-timings]
+//   fallsense_loadgen --list-scenarios
 //   fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]
 //                     [--seed S] [--feed-rate R] [--connections K]
 //                     [--restore-from FILE]
@@ -31,6 +34,18 @@
 // --restore-from resumes a run from such a file — the restored process
 // replays exactly the remaining ticks, bit-identical to a run that
 // never stopped.
+//
+// --scenario NAME draws the fleet's traffic from a named adversarial
+// profile (data::list_profiles; --list-scenarios prints the catalogue)
+// and turns on the event-level streaming evaluator: triggers are tapped
+// from every fleet tick, matched against the synthesizer's ground-truth
+// fall annotations, and reported as detection lead time, misses, false
+// alarms per hour, and a miss/false-alarm cost curve (--cost-ratios, a
+// comma-separated grid; --grace-ms bounds how late after impact a
+// trigger still attributes to the fall).  --stream-eval turns the
+// evaluator on for the default baseline traffic.  Eval results print as
+// eval_* summary lines and land in the manifest under eval/*
+// (docs/evaluation.md), byte-identical across FALLSENSE_THREADS.
 //
 // --client sends the identical traffic over the wire protocol
 // (docs/wire_protocol.md) to a `fallsense serve --listen` endpoint
@@ -60,6 +75,7 @@ constexpr const char* k_config_options[] = {
     "consecutive", "feed-rate",   "samples-per-tick", "max-samples-per-tick",
     "drain-watermark", "queue-capacity", "drop-policy", "churn-every",
     "weights", "simd", "client", "connections",
+    "scenario", "cost-ratios", "grace-ms",
     "snapshot-every", "snapshot-path", "restore-from"};
 
 int usage() {
@@ -73,9 +89,12 @@ int usage() {
                  "                         [--drop-policy oldest|reject] [--churn-every T]\n"
                  "                         [--int8] [--weights FILE]\n"
                  "                         [--simd scalar|native]\n"
+                 "                         [--scenario NAME] [--stream-eval]\n"
+                 "                         [--cost-ratios CSV] [--grace-ms MS]\n"
                  "                         [--snapshot-every N --snapshot-path FILE]\n"
                  "                         [--restore-from FILE]\n"
                  "                         [--metrics-json FILE] [--metrics-timings]\n"
+                 "       fallsense_loadgen --list-scenarios\n"
                  "       fallsense_loadgen --client HOST:PORT [--sessions N] [--ticks T]\n"
                  "                         [--seed S] [--feed-rate R] [--connections K]\n"
                  "                         [--restore-from FILE]\n");
@@ -99,6 +118,20 @@ int run_client(const util::arg_parser& args) {
     if (args.has_flag("int8")) {
         throw tools::usage_error("--int8 configures the serve --listen process, "
                                  "not the wire client");
+    }
+    // Streaming evaluation pairs triggers with the synthesizer's ground
+    // truth — state only the in-process side holds.  The wire carries
+    // samples, not annotations, so scenario evaluation is in-process only.
+    for (const char* opt : {"scenario", "cost-ratios", "grace-ms"}) {
+        if (args.option(opt)) {
+            throw tools::usage_error(std::string("--") + opt +
+                                     " needs the in-process loadgen: the wire "
+                                     "carries samples, not ground truth");
+        }
+    }
+    if (args.has_flag("stream-eval")) {
+        throw tools::usage_error("--stream-eval needs the in-process loadgen: the "
+                                 "wire carries samples, not ground truth");
     }
     const std::string spec = *args.option("client");
     const auto where = net::parse_endpoint(spec);
@@ -190,6 +223,23 @@ int run(const util::arg_parser& args) {
     config.scorer.seed = config.seed;
     config.scorer.weights_path = args.option_or("weights", "");
 
+    // Naming a scenario implies evaluating it; --stream-eval evaluates
+    // the default baseline traffic.
+    config.scenario = tools::scenario_option(args, "scenario", "baseline");
+    config.stream_eval = args.has_flag("stream-eval") || args.option("scenario").has_value();
+    config.eval_config.sample_rate_hz = config.engine.detector.sample_rate_hz;
+    config.eval_config.detection_grace_s =
+        tools::number_option(args, "grace-ms",
+                             config.eval_config.detection_grace_s * 1000.0) /
+        1000.0;
+    config.eval_config.cost_ratios =
+        tools::number_list_option(args, "cost-ratios", config.eval_config.cost_ratios);
+    if (!config.stream_eval && (args.option("cost-ratios") || args.option("grace-ms"))) {
+        throw tools::usage_error(
+            "--cost-ratios/--grace-ms tune the evaluator; add --scenario NAME "
+            "or --stream-eval");
+    }
+
     // Checkpointing: serve stays codec-free, so the tool supplies the
     // ckpt:: lambdas the loadgen hooks call (docs/checkpoint.md).
     config.snapshot_every_ticks = tools::count_option(args, "snapshot-every", 0);
@@ -227,12 +277,21 @@ int main(int argc, char** argv) {
     args.add_option("metrics-json");
     args.add_flag("metrics-timings");
     args.add_flag("int8");
+    args.add_flag("stream-eval");
+    args.add_flag("list-scenarios");
     try {
         try {
             args.parse(argc, argv, 1);
         } catch (const std::invalid_argument& e) {
             // Unknown flags / missing values are usage errors too.
             throw tools::usage_error(e.what());
+        }
+        if (args.has_flag("list-scenarios")) {
+            for (const std::string& name : data::list_profiles()) {
+                const data::scenario_profile profile = data::make_profile(name);
+                std::printf("%s: %s\n", profile.name.c_str(), profile.summary.c_str());
+            }
+            return 0;
         }
         const auto metrics_json = args.option("metrics-json");
         if (metrics_json) obs::set_enabled(true);

@@ -15,9 +15,12 @@
 // reporting.
 #pragma once
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "data/motion_profile.hpp"
 #include "nn/simd.hpp"
 #include "serve/serve.hpp"
 #include "util/args.hpp"
@@ -91,6 +94,41 @@ inline nn::simd_mode simd_mode_option(const util::arg_parser& args, const std::s
     const auto mode = nn::parse_simd_mode(*text);
     if (!mode) bad_option("--" + name, *text, "scalar|native");
     return *mode;
+}
+
+/// Scenario-profile name, validated against the data-layer registry.  The
+/// data layer's typed unknown_profile_error (which lists the registered
+/// names) is translated into the tool-layer usage_error here, so an
+/// unknown --scenario prints the catalogue and the usage synopsis.
+inline std::string scenario_option(const util::arg_parser& args, const std::string& name,
+                                   const std::string& fallback) {
+    const std::string value = args.option_or(name, fallback);
+    try {
+        (void)data::make_profile(value);
+    } catch (const data::unknown_profile_error& e) {
+        throw usage_error(e.what());
+    }
+    return value;
+}
+
+/// Comma-separated list of positive numbers (the --cost-ratios grid).
+inline std::vector<double> number_list_option(const util::arg_parser& args,
+                                              const std::string& name,
+                                              const std::vector<double>& fallback) {
+    const auto text = args.option(name);
+    if (!text) return fallback;
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while (pos <= text->size()) {
+        const std::size_t comma = std::min(text->find(',', pos), text->size());
+        const auto value = util::parse_double(text->substr(pos, comma - pos));
+        if (!value || *value <= 0.0) {
+            bad_option("--" + name, *text, "comma-separated positive numbers");
+        }
+        values.push_back(*value);
+        pos = comma + 1;
+    }
+    return values;
 }
 
 }  // namespace fallsense::tools
