@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/models.hpp"
@@ -15,6 +16,7 @@
 #include "nn/gemm.hpp"
 #include "nn/lstm.hpp"
 #include "nn/simd.hpp"
+#include "nn/trainer.hpp"
 #include "quant/quantized_cnn.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -174,30 +176,46 @@ void BM_Conv1dForwardThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv1dForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-// --- Runtime-dispatch (nn/simd.hpp) scalar-vs-native rows -------------
+// --- Runtime-dispatch (nn/simd.hpp) per-backend rows ------------------
 //
-// Each *Simd benchmark runs the same kernel twice: native:0 pins the
-// scalar reference kernels, native:1 the runtime-dispatched vector
-// kernels (AVX2+FMA / NEON where available; degrades to scalar
-// otherwise, so the row pair is always valid).  scripts/run_bench.sh
-// divides the paired real_times into the "simd_speedup" section of
-// BENCH_kernel.json; the acceptance bar is >= 1.5x on at least one
-// dispatched GEMM kernel (docs/performance.md).
+// Each *Simd benchmark is registered once per backend reported by
+// available_simd_backends() on this host (scalar always, then the vector
+// tiers worst-first — neon / avx2-fma / avx512 as the CPU allows), named
+// BM_*Simd/backend:<label>.  scripts/run_bench.sh divides every vector
+// row's real_time into the scalar row of the same kernel, producing the
+// per-backend "simd_speedup" section of BENCH_kernel.json; the acceptance
+// bar is >= 1.5x on at least one dispatched GEMM kernel
+// (docs/performance.md).  The BM_CnnFloatInferSimd /
+// BM_CnnFloatInferNoFuseSimd pair measures the fused bias+activation
+// epilogues end to end on the paper's CNN (same backend, fusion toggled),
+// feeding the "fused_speedup" section.
 
-/// Pin the dispatch mode for one benchmark run, restoring whatever
-/// FALLSENSE_SIMD resolved on exit.
-struct simd_mode_scope {
-    nn::simd_mode saved = nn::active_simd_mode();
-    explicit simd_mode_scope(nn::simd_mode mode) { nn::set_simd_mode(mode); }
-    ~simd_mode_scope() { nn::set_simd_mode(saved); }
+/// Pin dispatch to one resolved backend for a benchmark run: scalar pins
+/// scalar mode, any vector tier pins native mode capped at that backend.
+/// The destructor lifts the cap and restores whatever FALLSENSE_SIMD /
+/// FALLSENSE_SIMD_BACKEND resolved at startup.
+struct simd_backend_scope {
+    nn::simd_mode saved_mode = nn::active_simd_mode();
+    explicit simd_backend_scope(nn::simd_backend backend) {
+        nn::set_simd_backend_cap(backend);
+        nn::set_simd_mode(backend == nn::simd_backend::scalar ? nn::simd_mode::scalar
+                                                              : nn::simd_mode::native);
+    }
+    ~simd_backend_scope() {
+        nn::set_simd_backend_cap(nn::simd_backend::avx512);
+        nn::set_simd_mode(saved_mode);
+    }
 };
 
-nn::simd_mode bench_simd_mode(const benchmark::State& state) {
-    return state.range(0) != 0 ? nn::simd_mode::native : nn::simd_mode::scalar;
-}
+/// Epilogue-fusion toggle for the fused-vs-unfused CNN pair.
+struct fusion_scope {
+    bool saved = nn::epilogue_fusion_enabled();
+    explicit fusion_scope(bool enabled) { nn::set_epilogue_fusion(enabled); }
+    ~fusion_scope() { nn::set_epilogue_fusion(saved); }
+};
 
-void BM_GemmNNSimd(benchmark::State& state) {
-    simd_mode_scope scope(bench_simd_mode(state));
+void BM_GemmNNSimd(benchmark::State& state, nn::simd_backend backend) {
+    simd_backend_scope scope(backend);
     const std::size_t m = 192, n = 192, k = 192;
     const nn::tensor a = random_tensor({m, k}, 6);
     const nn::tensor b = random_tensor({k, n}, 7);
@@ -208,10 +226,9 @@ void BM_GemmNNSimd(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * m * n * k));
 }
-BENCHMARK(BM_GemmNNSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
 
-void BM_DenseForwardSimd(benchmark::State& state) {
-    simd_mode_scope scope(bench_simd_mode(state));
+void BM_DenseForwardSimd(benchmark::State& state, nn::simd_backend backend) {
+    simd_backend_scope scope(backend);
     util::rng gen(1);
     nn::dense layer(912, 64, gen);
     const nn::tensor x = random_tensor({32, 912}, 2);
@@ -221,10 +238,9 @@ void BM_DenseForwardSimd(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * 32);
 }
-BENCHMARK(BM_DenseForwardSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
 
-void BM_Conv1dForwardSimd(benchmark::State& state) {
-    simd_mode_scope scope(bench_simd_mode(state));
+void BM_Conv1dForwardSimd(benchmark::State& state, nn::simd_backend backend) {
+    simd_backend_scope scope(backend);
     util::rng gen(3);
     nn::conv1d layer(3, 64, 3, gen);
     const nn::tensor x = random_tensor({32, 150, 3}, 4);
@@ -234,13 +250,13 @@ void BM_Conv1dForwardSimd(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * 32);
 }
-BENCHMARK(BM_Conv1dForwardSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
 
 // Int8 deployment path: the q8 axpy kernels keep int32 accumulation
-// exact, so the native row must produce bit-identical logits — this pair
-// measures what the vector kernels buy without changing a single score.
-void BM_CnnInt8InferenceSimd(benchmark::State& state) {
-    simd_mode_scope scope(bench_simd_mode(state));
+// exact, so every vector row must produce bit-identical logits — these
+// rows measure what the vector kernels buy without changing a single
+// score.
+void BM_CnnInt8InferenceSimd(benchmark::State& state, nn::simd_backend backend) {
+    simd_backend_scope scope(backend);
     const std::size_t window = 40;
     auto net = core::build_fallsense_cnn(window, 9);
     const quant::cnn_spec spec = quant::extract_cnn_spec(*net, window);
@@ -252,7 +268,27 @@ void BM_CnnInt8InferenceSimd(benchmark::State& state) {
         benchmark::DoNotOptimize(logit);
     }
 }
-BENCHMARK(BM_CnnInt8InferenceSimd)->ArgNames({"native"})->Arg(0)->Arg(1);
+
+// End-to-end float CNN inference through the model's planned workspace
+// path (nn::predict_proba_rows), with the fused conv/dense bias+ReLU
+// epilogues on (BM_CnnFloatInferSimd) or forced off
+// (BM_CnnFloatInferNoFuseSimd).  Same backend, same arena plan layout —
+// the ratio isolates what collapsing Conv→ReLU / Dense→ReLU into one
+// kernel call buys.
+void BM_CnnFloatInferSimd(benchmark::State& state, nn::simd_backend backend, bool fuse) {
+    simd_backend_scope scope(backend);
+    fusion_scope fusion(fuse);
+    const std::size_t window = 40;
+    auto net = core::build_fallsense_cnn(window, 7);
+    const nn::tensor rows = random_tensor({32, window, 9}, 8);
+    std::vector<float> probs(32);
+    nn::predict_scratch scratch;
+    for (auto _ : state) {
+        nn::predict_proba_rows(*net, rows.values(), 32, {window, 9}, probs, scratch);
+        benchmark::DoNotOptimize(probs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
 
 void BM_LstmForward(benchmark::State& state) {
     util::rng gen(5);
@@ -319,6 +355,35 @@ void BM_PreprocessTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_PreprocessTrial);
 
+/// Register one row per probed backend for every dispatched kernel, plus
+/// the fused-vs-unfused float CNN pair.  Runtime registration (instead of
+/// the BENCHMARK macro) because the row set depends on what the host CPU
+/// reports at startup.
+void register_simd_benchmarks() {
+    for (const nn::simd_backend backend : nn::available_simd_backends()) {
+        const std::string tag = std::string("/backend:") + nn::simd_backend_label(backend);
+        benchmark::RegisterBenchmark(("BM_GemmNNSimd" + tag).c_str(), BM_GemmNNSimd,
+                                     backend);
+        benchmark::RegisterBenchmark(("BM_DenseForwardSimd" + tag).c_str(),
+                                     BM_DenseForwardSimd, backend);
+        benchmark::RegisterBenchmark(("BM_Conv1dForwardSimd" + tag).c_str(),
+                                     BM_Conv1dForwardSimd, backend);
+        benchmark::RegisterBenchmark(("BM_CnnInt8InferenceSimd" + tag).c_str(),
+                                     BM_CnnInt8InferenceSimd, backend);
+        benchmark::RegisterBenchmark(("BM_CnnFloatInferSimd" + tag).c_str(),
+                                     BM_CnnFloatInferSimd, backend, true);
+        benchmark::RegisterBenchmark(("BM_CnnFloatInferNoFuseSimd" + tag).c_str(),
+                                     BM_CnnFloatInferSimd, backend, false);
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    register_simd_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -156,6 +156,43 @@ BENCHMARK(BM_FleetShardedSessions)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Durable-checkpoint restore latency: rebuild a 4096-session fleet from
+/// an in-memory snapshot (shards reconstructed from scratch, every
+/// session re-routed by the id hash — see fleet_router::restore).  The
+/// fleet is warmed with real traffic first so the checkpoint carries
+/// populated per-session windows and queues; scripts/run_bench.sh
+/// publishes the row as the "restore_latency" section of
+/// BENCH_serve.json.
+void BM_FleetRestoreSessions(benchmark::State& state) {
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    serve::fleet_config config;
+    config.engine.detector = bench_detector();
+    config.engine.queue_capacity = 4;
+    config.shards = 4;
+    serve::fleet_router fleet(
+        config, serve::make_scorer(bench_scorer_spec(serve::scorer_backend::float32)));
+    std::vector<serve::session_id> ids;
+    for (std::size_t i = 0; i < sessions; ++i) ids.push_back(fleet.create_session());
+    for (std::size_t tick = 0; tick < k_window; ++tick) {
+        for (std::size_t i = 0; i < sessions; ++i) {
+            fleet.feed(ids[i], stream_sample(i, tick));
+        }
+        fleet.tick();
+    }
+    const serve::fleet_checkpoint cp = fleet.snapshot();
+    for (auto _ : state) {
+        fleet.restore(cp);
+        benchmark::DoNotOptimize(fleet.is_live(ids.front()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(sessions));
+}
+BENCHMARK(BM_FleetRestoreSessions)
+    ->ArgNames({"sessions"})
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// The baseline the engine replaces: one streaming_detector per session,
 /// each running its own CNN forward per due window (batch size 1).
 void BM_IndependentDetectorsSessions(benchmark::State& state) {

@@ -19,7 +19,11 @@
 #      `fallsense` or `fallsense_loadgen` (word-boundary match, so
 #      fallsense_tests lines don't count) must exist in tools/*.cpp, so a
 #      doc cannot show an invocation the tools would reject.
-#   5. Eval API surface — everything outside src/eval must include the
+#   5. Benchmark rows — every BM_* token a doc cites must be defined in
+#      bench/*.cpp, so docs (the simd_speedup / fused_speedup /
+#      restore_latency tables in docs/performance.md in particular)
+#      cannot reference a row the harness no longer emits.
+#   6. Eval API surface — everything outside src/eval must include the
 #      eval/eval.hpp umbrella, never the per-module headers
 #      (eval/metrics.hpp, eval/events.hpp, eval/roc.hpp,
 #      eval/threshold.hpp, eval/kfold.hpp, eval/stream.hpp,
@@ -41,6 +45,7 @@ MODE=check
 ONLY_DOC=""
 EXTRA_DOCS=()
 TOOLS_DIR=tools
+BENCH_DIR=bench
 INCLUDE_DIRS=(src tools bench tests examples)
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -48,6 +53,7 @@ while [ $# -gt 0 ]; do
         --only) ONLY_DOC="$2"; shift ;;
         --extra-doc) EXTRA_DOCS+=("$2"); shift ;;
         --tools-dir) TOOLS_DIR="$2"; shift ;;  # internal, for the self-test
+        --bench-dir) BENCH_DIR="$2"; shift ;;  # internal, for the self-test
         --include-dirs) read -r -a INCLUDE_DIRS <<< "$2"; shift ;;  # internal
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
@@ -58,8 +64,9 @@ if [ "$MODE" = self-test ]; then
     tmp="$(mktemp -d)"
     trap 'rm -rf "$tmp"' EXIT
     cat > "$tmp/bogus.md" <<'EOF'
-A doc citing src/definitely/not/a/real/file.cpp and the unset
-environment variable FALLSENSE_NO_SUCH_VAR.
+A doc citing src/definitely/not/a/real/file.cpp, the unset
+environment variable FALLSENSE_NO_SUCH_VAR, and the benchmark
+BM_NoSuchBenchmarkRow nothing in bench/ defines.
 EOF
     if "$0" --only "$tmp/bogus.md" > "$tmp/out.txt" 2>&1; then
         echo "self-test FAILED: checker accepted a doc with a bogus path" >&2
@@ -73,6 +80,11 @@ EOF
     fi
     if ! grep -q "FALLSENSE_NO_SUCH_VAR" "$tmp/out.txt"; then
         echo "self-test FAILED: bogus env var not reported" >&2
+        cat "$tmp/out.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "BM_NoSuchBenchmarkRow" "$tmp/out.txt"; then
+        echo "self-test FAILED: bogus benchmark name not reported" >&2
         cat "$tmp/out.txt" >&2
         exit 1
     fi
@@ -166,6 +178,16 @@ for doc in "${DOCS[@]}"; do
     for flag in $doc_flags; do
         if ! grep -qF -- "$flag" "$TOOLS_DIR"/*.cpp 2> /dev/null; then
             report "$doc: cited CLI flag not declared by any tool: $flag"
+        fi
+    done
+
+    # Benchmark rows: every BM_* name a doc cites must be defined in
+    # bench/ — BENCH_*.json tables in docs cannot reference a row the
+    # harness no longer emits.
+    bms="$(grep -oE 'BM_[A-Za-z0-9_]+' "$doc" | sort -u || true)"
+    for bm in $bms; do
+        if ! grep -rqE "\b$bm\b" "$BENCH_DIR"/*.cpp 2> /dev/null; then
+            report "$doc: cited benchmark not defined in $BENCH_DIR/: $bm"
         fi
     done
 

@@ -5,7 +5,6 @@
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 
@@ -39,15 +38,11 @@ tensor conv1d::forward(const tensor& input, bool /*training*/) {
     col_cache_.resize(rows * patch);
     im2col(input.data(), batch, time, in_ch_, kernel_, col_cache_.data());
 
+    // Bias seeding is fused into the GEMM row tasks (per element the same
+    // seed-then-accumulate sequence the old separate prefill pass ran).
     tensor out({batch, out_time, out_ch_});
-    const float* b = bias_.value.data();
-    float* y = out.data();
-    util::parallel_for(0, rows, 512, [&](std::size_t r) {
-        float* yr = y + r * out_ch_;
-        for (std::size_t o = 0; o < out_ch_; ++o) yr[o] = b[o];
-    });
-    gemm_nn(rows, out_ch_, patch, col_cache_.data(), weight_.value.data(), y,
-            /*accumulate=*/true);
+    gemm_nn_bias_act(rows, out_ch_, patch, col_cache_.data(), weight_.value.data(),
+                     bias_.value.data(), fused_act::none, out.data());
     return out;
 }
 
@@ -63,6 +58,12 @@ std::size_t conv1d::infer_workspace_bytes(const shape_t& input_shape,
 void conv1d::forward_into(std::span<const float> in, const shape_t& input_shape,
                           std::size_t batch, std::span<float> workspace,
                           std::span<float> out) {
+    forward_into_fused(in, input_shape, batch, workspace, out, fused_act::none);
+}
+
+void conv1d::forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                                std::size_t batch, std::span<float> workspace,
+                                std::span<float> out, fused_act act) {
     FS_ARG_CHECK(input_shape.size() == 2 && input_shape[1] == in_ch_ &&
                      input_shape[0] >= kernel_,
                  "conv1d forward_into: bad input shape");
@@ -76,15 +77,11 @@ void conv1d::forward_into(std::span<const float> in, const shape_t& input_shape,
                  "conv1d forward_into: workspace too small");
 
     // Same lowering as forward, with the col buffer in the caller's arena
-    // instead of col_cache_.
+    // instead of col_cache_, and the bias seed plus any fused activation
+    // running inside the GEMM row tasks while the tile is hot.
     im2col(in.data(), batch, time, in_ch_, kernel_, workspace.data());
-    const float* b = bias_.value.data();
-    for (std::size_t r = 0; r < rows; ++r) {
-        float* yr = out.data() + r * out_ch_;
-        for (std::size_t o = 0; o < out_ch_; ++o) yr[o] = b[o];
-    }
-    gemm_nn(rows, out_ch_, patch, workspace.data(), weight_.value.data(), out.data(),
-            /*accumulate=*/true);
+    gemm_nn_bias_act(rows, out_ch_, patch, workspace.data(), weight_.value.data(),
+                     bias_.value.data(), act, out.data());
 }
 
 tensor conv1d::backward(const tensor& grad_output) {
@@ -113,10 +110,12 @@ tensor conv1d::backward(const tensor& grad_output) {
     gemm_tn_acc(patch, out_ch_, rows, col_cache_.data(), gy, weight_.grad.data());
 
     // Input gradient: gcol = gy · Wᵀ, then scatter back through col2im.
-    std::vector<float> wt(out_ch_ * patch);
-    transpose(patch, out_ch_, weight_.value.data(), wt.data());
+    // wt_scratch_ grows once to out_ch·patch and is reused every step.
+    wt_scratch_.resize(out_ch_ * patch);
+    transpose(patch, out_ch_, weight_.value.data(), wt_scratch_.data());
     gcol_scratch_.resize(rows * patch);
-    gemm_nn(rows, patch, out_ch_, gy, wt.data(), gcol_scratch_.data(), /*accumulate=*/false);
+    gemm_nn(rows, patch, out_ch_, gy, wt_scratch_.data(), gcol_scratch_.data(),
+            /*accumulate=*/false);
 
     tensor grad_input({batch, time, in_ch_});
     col2im_acc(gcol_scratch_.data(), batch, time, in_ch_, kernel_, grad_input.data());

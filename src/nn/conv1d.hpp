@@ -35,6 +35,10 @@ public:
     void forward_into(std::span<const float> in, const shape_t& input_shape,
                       std::size_t batch, std::span<float> workspace,
                       std::span<float> out) override;
+    bool can_fuse(fused_act) const override { return true; }
+    void forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                            std::size_t batch, std::span<float> workspace,
+                            std::span<float> out, fused_act act) override;
 
     std::size_t in_channels() const { return in_ch_; }
     std::size_t out_channels() const { return out_ch_; }
@@ -53,6 +57,7 @@ private:
     tensor input_cache_;
     std::vector<float> col_cache_;    ///< im2col of the last forward input
     std::vector<float> gcol_scratch_; ///< column-space gradient scratch
+    std::vector<float> wt_scratch_;   ///< transposed weights for backward
 };
 
 }  // namespace fallsense::nn

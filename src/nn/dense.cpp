@@ -6,7 +6,6 @@
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 
@@ -31,32 +30,31 @@ tensor dense::forward(const tensor& input, bool /*training*/) {
     const std::size_t batch = input.dim(0);
     input_cache_ = input;
 
+    // Bias seeding is fused into the GEMM row tasks (per element the same
+    // seed-then-accumulate sequence the old separate prefill pass ran).
     tensor out({batch, out_});
-    const float* b = bias_.value.data();
-    float* y = out.data();
-    util::parallel_for(0, batch, 64, [&](std::size_t n) {
-        float* yn = y + n * out_;
-        for (std::size_t o = 0; o < out_; ++o) yn[o] = b[o];
-    });
-    gemm_nn(batch, out_, in_, input.data(), weight_.value.data(), y, /*accumulate=*/true);
+    gemm_nn_bias_act(batch, out_, in_, input.data(), weight_.value.data(),
+                     bias_.value.data(), fused_act::none, out.data());
     return out;
 }
 
 void dense::forward_into(std::span<const float> in, const shape_t& input_shape,
-                         std::size_t batch, std::span<float> /*workspace*/,
+                         std::size_t batch, std::span<float> workspace,
                          std::span<float> out) {
+    forward_into_fused(in, input_shape, batch, workspace, out, fused_act::none);
+}
+
+void dense::forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                               std::size_t batch, std::span<float> /*workspace*/,
+                               std::span<float> out, fused_act act) {
     FS_ARG_CHECK(input_shape.size() == 1 && input_shape[0] == in_,
                  "dense forward_into: input shape mismatch");
     FS_ARG_CHECK(in.size() >= batch * in_ && out.size() >= batch * out_,
                  "dense forward_into: buffer too small");
-    // Same math as forward: bias prefill, then the accumulating GEMM.
-    const float* b = bias_.value.data();
-    for (std::size_t n = 0; n < batch; ++n) {
-        float* yn = out.data() + n * out_;
-        for (std::size_t o = 0; o < out_; ++o) yn[o] = b[o];
-    }
-    gemm_nn(batch, out_, in_, in.data(), weight_.value.data(), out.data(),
-            /*accumulate=*/true);
+    // Same math as forward — bias seed, accumulating GEMM — with any fused
+    // activation applied per row block while the tile is hot.
+    gemm_nn_bias_act(batch, out_, in_, in.data(), weight_.value.data(),
+                     bias_.value.data(), act, out.data());
 }
 
 tensor dense::backward(const tensor& grad_output) {
@@ -78,11 +76,12 @@ tensor dense::backward(const tensor& grad_output) {
     // Weight gradient: xᵀ · gy with the deterministic chunked reduction.
     gemm_tn_acc(in_, out_, batch, input_cache_.data(), gy, weight_.grad.data());
 
-    // Input gradient: gy · Wᵀ.
-    std::vector<float> wt(out_ * in_);
-    transpose(in_, out_, weight_.value.data(), wt.data());
+    // Input gradient: gy · Wᵀ.  wt_scratch_ grows once and is reused.
+    wt_scratch_.resize(out_ * in_);
+    transpose(in_, out_, weight_.value.data(), wt_scratch_.data());
     tensor grad_input({batch, in_});
-    gemm_nn(batch, in_, out_, gy, wt.data(), grad_input.data(), /*accumulate=*/false);
+    gemm_nn(batch, in_, out_, gy, wt_scratch_.data(), grad_input.data(),
+            /*accumulate=*/false);
     return grad_input;
 }
 

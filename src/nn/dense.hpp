@@ -28,6 +28,10 @@ public:
     void forward_into(std::span<const float> in, const shape_t& input_shape,
                       std::size_t batch, std::span<float> workspace,
                       std::span<float> out) override;
+    bool can_fuse(fused_act) const override { return true; }
+    void forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                            std::size_t batch, std::span<float> workspace,
+                            std::span<float> out, fused_act act) override;
 
     std::size_t in_features() const { return in_; }
     std::size_t out_features() const { return out_; }
@@ -42,6 +46,7 @@ private:
     parameter weight_;  ///< [in, out]
     parameter bias_;    ///< [out]
     tensor input_cache_;
+    std::vector<float> wt_scratch_;  ///< transposed weights for backward
 };
 
 }  // namespace fallsense::nn

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "nn/activations.hpp"
 #include "nn/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,6 +18,15 @@
 #endif
 
 namespace fallsense::nn {
+
+const char* fused_act_name(fused_act act) {
+    switch (act) {
+        case fused_act::relu: return "relu";
+        case fused_act::sigmoid: return "sigmoid";
+        case fused_act::none: break;
+    }
+    return "none";
+}
 
 namespace {
 
@@ -90,10 +100,11 @@ __attribute__((target("avx2"))) inline __m256i tail_mask(std::size_t rem) {
 }
 
 // The vector row kernels mirror the scalar ones: k-outer, columns in
-// 8-lane FMA strips with a masked strip for n % 8.  Every (row, j) update
-// is one fmadd(broadcast(a), b, c) regardless of whether the row runs in
-// the quad or the single-row kernel, so a row's result is independent of
-// its position in the batch and of the thread count.
+// 8-lane (AVX2) or 16-lane (AVX-512) FMA strips with a masked strip for
+// the column tail.  Every (row, j) update is one fmadd(broadcast(a), b, c)
+// regardless of lane width and of whether the row runs in the quad or the
+// single-row kernel, so a row's result is independent of its position in
+// the batch, of the thread count, AND of which vector backend ran it.
 
 __attribute__((target("avx2,fma"))) void gemm_nn_row_quad_avx2(std::size_t i, std::size_t n,
                                                                std::size_t k, const float* a,
@@ -159,6 +170,98 @@ __attribute__((target("avx2,fma"))) void gemm_nn_row_avx2(std::size_t i, std::si
     }
 }
 
+__attribute__((target("avx512f"))) void gemm_nn_row_quad_avx512(std::size_t i, std::size_t n,
+                                                                std::size_t k, const float* a,
+                                                                const float* b, float* c) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    const std::size_t n16 = n - n % 16;
+    const std::size_t rem = n - n16;
+    const __mmask16 mask = rem ? static_cast<__mmask16>((1u << rem) - 1u) : 0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const __m512 av0 = _mm512_set1_ps(a0[kk]);
+        const __m512 av1 = _mm512_set1_ps(a1[kk]);
+        const __m512 av2 = _mm512_set1_ps(a2[kk]);
+        const __m512 av3 = _mm512_set1_ps(a3[kk]);
+        for (std::size_t j = 0; j < n16; j += 16) {
+            const __m512 bv = _mm512_loadu_ps(bk + j);
+            _mm512_storeu_ps(c0 + j, _mm512_fmadd_ps(av0, bv, _mm512_loadu_ps(c0 + j)));
+            _mm512_storeu_ps(c1 + j, _mm512_fmadd_ps(av1, bv, _mm512_loadu_ps(c1 + j)));
+            _mm512_storeu_ps(c2 + j, _mm512_fmadd_ps(av2, bv, _mm512_loadu_ps(c2 + j)));
+            _mm512_storeu_ps(c3 + j, _mm512_fmadd_ps(av3, bv, _mm512_loadu_ps(c3 + j)));
+        }
+        if (rem) {
+            const __m512 bv = _mm512_maskz_loadu_ps(mask, bk + n16);
+            _mm512_mask_storeu_ps(
+                c0 + n16, mask,
+                _mm512_fmadd_ps(av0, bv, _mm512_maskz_loadu_ps(mask, c0 + n16)));
+            _mm512_mask_storeu_ps(
+                c1 + n16, mask,
+                _mm512_fmadd_ps(av1, bv, _mm512_maskz_loadu_ps(mask, c1 + n16)));
+            _mm512_mask_storeu_ps(
+                c2 + n16, mask,
+                _mm512_fmadd_ps(av2, bv, _mm512_maskz_loadu_ps(mask, c2 + n16)));
+            _mm512_mask_storeu_ps(
+                c3 + n16, mask,
+                _mm512_fmadd_ps(av3, bv, _mm512_maskz_loadu_ps(mask, c3 + n16)));
+        }
+    }
+}
+
+__attribute__((target("avx512f"))) void gemm_nn_row_avx512(std::size_t i, std::size_t n,
+                                                           std::size_t k, const float* a,
+                                                           const float* b, float* c) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    const std::size_t n16 = n - n % 16;
+    const std::size_t rem = n - n16;
+    const __mmask16 mask = rem ? static_cast<__mmask16>((1u << rem) - 1u) : 0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* bk = b + kk * n;
+        const __m512 av = _mm512_set1_ps(ai[kk]);
+        for (std::size_t j = 0; j < n16; j += 16) {
+            const __m512 bv = _mm512_loadu_ps(bk + j);
+            _mm512_storeu_ps(ci + j, _mm512_fmadd_ps(av, bv, _mm512_loadu_ps(ci + j)));
+        }
+        if (rem) {
+            const __m512 bv = _mm512_maskz_loadu_ps(mask, bk + n16);
+            _mm512_mask_storeu_ps(
+                ci + n16, mask,
+                _mm512_fmadd_ps(av, bv, _mm512_maskz_loadu_ps(mask, ci + n16)));
+        }
+    }
+}
+
+/// Vector ReLU epilogues: max(x, 0) lane-wise.  max is exact, so the
+/// result matches the scalar `x > 0 ? x : 0` on every non-NaN input and
+/// is identical across vector backends.
+__attribute__((target("avx2"))) void relu_span_avx2(float* c, std::size_t count) {
+    const __m256 zero = _mm256_setzero_ps();
+    const std::size_t c8 = count - count % 8;
+    std::size_t i = 0;
+    for (; i < c8; i += 8) {
+        _mm256_storeu_ps(c + i, _mm256_max_ps(_mm256_loadu_ps(c + i), zero));
+    }
+    for (; i < count; ++i) c[i] = c[i] > 0.0f ? c[i] : 0.0f;
+}
+
+__attribute__((target("avx512f"))) void relu_span_avx512(float* c, std::size_t count) {
+    const __m512 zero = _mm512_setzero_ps();
+    const std::size_t c16 = count - count % 16;
+    std::size_t i = 0;
+    for (; i < c16; i += 16) {
+        _mm512_storeu_ps(c + i, _mm512_max_ps(_mm512_loadu_ps(c + i), zero));
+    }
+    for (; i < count; ++i) c[i] = c[i] > 0.0f ? c[i] : 0.0f;
+}
+
 #elif defined(FALLSENSE_SIMD_NEON)
 
 // NEON mirrors of the row kernels: 4-lane FMA strips, scalar fmaf tail.
@@ -215,9 +318,17 @@ void gemm_nn_row_neon(std::size_t i, std::size_t n, std::size_t k, const float* 
     }
 }
 
+void relu_span_neon(float* c, std::size_t count) {
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    const std::size_t c4 = count - count % 4;
+    std::size_t i = 0;
+    for (; i < c4; i += 4) vst1q_f32(c + i, vmaxq_f32(vld1q_f32(c + i), zero));
+    for (; i < count; ++i) c[i] = c[i] > 0.0f ? c[i] : 0.0f;
+}
+
 #endif  // FALLSENSE_SIMD_X86 / FALLSENSE_SIMD_NEON
 
-/// Everything one gemm_nn call's row tasks need.  The parallel dispatch
+/// Everything one gemm call's row tasks need.  The parallel dispatch
 /// lambda captures a single reference to this so the std::function stays
 /// in its small-buffer store — no heap allocation on the inference path.
 struct gemm_ctx {
@@ -226,9 +337,57 @@ struct gemm_ctx {
     const float* a;
     const float* b;
     float* c;
-    bool accumulate;
-    bool native;  ///< resolved once per call, shared by every row task
+    const float* bias;  ///< when set, rows seed with bias (fused path)
+    bool accumulate;    ///< ignored when bias is set
+    fused_act act;      ///< epilogue applied per row block while hot
+    simd_backend backend;  ///< resolved once per call, shared by every row task
 };
+
+/// Seed rows [r0, r1): bias broadcast (fused path), prior contents
+/// (accumulate), or zero.  The fused bias seed is the exact per-element
+/// operation the layers' standalone prefill loops performed.
+void gemm_nn_seed_rows(std::size_t r0, std::size_t r1, const gemm_ctx& ctx) {
+    const std::size_t n = ctx.n;
+    float* c = ctx.c;
+    if (ctx.bias != nullptr) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            float* ci = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) ci[j] = ctx.bias[j];
+        }
+    } else if (!ctx.accumulate) {
+        std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+    }
+}
+
+/// Fused epilogue over rows [r0, r1), applied while the block is hot.
+/// ReLU dispatches per backend (max is exact either way); sigmoid always
+/// runs sigmoid_scalar per element so fused probabilities are identical
+/// in every mode.
+void gemm_nn_epilogue_rows(std::size_t r0, std::size_t r1, const gemm_ctx& ctx) {
+    if (ctx.act == fused_act::none) return;
+    float* const base = ctx.c + r0 * ctx.n;
+    const std::size_t count = (r1 - r0) * ctx.n;
+    if (ctx.act == fused_act::sigmoid) {
+        for (std::size_t i = 0; i < count; ++i) base[i] = sigmoid_scalar(base[i]);
+        return;
+    }
+#if defined(FALLSENSE_SIMD_X86)
+    if (ctx.backend == simd_backend::avx512) {
+        relu_span_avx512(base, count);
+        return;
+    }
+    if (ctx.backend == simd_backend::avx2_fma) {
+        relu_span_avx2(base, count);
+        return;
+    }
+#elif defined(FALLSENSE_SIMD_NEON)
+    if (ctx.backend == simd_backend::neon) {
+        relu_span_neon(base, count);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i) base[i] = base[i] > 0.0f ? base[i] : 0.0f;
+}
 
 void gemm_nn_rows(std::size_t r0, std::size_t r1, const gemm_ctx& ctx) {
     const std::size_t n = ctx.n;
@@ -236,25 +395,39 @@ void gemm_nn_rows(std::size_t r0, std::size_t r1, const gemm_ctx& ctx) {
     const float* a = ctx.a;
     const float* b = ctx.b;
     float* c = ctx.c;
-    if (!ctx.accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+    gemm_nn_seed_rows(r0, r1, ctx);
+    std::size_t i = r0;
 #if defined(FALLSENSE_SIMD_X86)
-    if (ctx.native) {
-        std::size_t i = r0;
+    if (ctx.backend == simd_backend::avx512) {
+        for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad_avx512(i, n, k, a, b, c);
+        for (; i < r1; ++i) gemm_nn_row_avx512(i, n, k, a, b, c);
+        gemm_nn_epilogue_rows(r0, r1, ctx);
+        return;
+    }
+    if (ctx.backend == simd_backend::avx2_fma) {
         for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad_avx2(i, n, k, a, b, c);
         for (; i < r1; ++i) gemm_nn_row_avx2(i, n, k, a, b, c);
+        gemm_nn_epilogue_rows(r0, r1, ctx);
         return;
     }
 #elif defined(FALLSENSE_SIMD_NEON)
-    if (ctx.native) {
-        std::size_t i = r0;
+    if (ctx.backend == simd_backend::neon) {
         for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad_neon(i, n, k, a, b, c);
         for (; i < r1; ++i) gemm_nn_row_neon(i, n, k, a, b, c);
+        gemm_nn_epilogue_rows(r0, r1, ctx);
         return;
     }
 #endif
-    std::size_t i = r0;
     for (; i + k_mr <= r1; i += k_mr) gemm_nn_row_quad(i, n, k, a, b, c);
     for (; i < r1; ++i) gemm_nn_row(i, n, k, a, b, c);
+    gemm_nn_epilogue_rows(r0, r1, ctx);
+}
+
+void gemm_nn_dispatch(std::size_t m, const gemm_ctx& ctx) {
+    util::parallel_for_chunks(0, m, k_row_grain,
+                              [&ctx](std::size_t, std::size_t lo, std::size_t hi) {
+                                  gemm_nn_rows(lo, hi, ctx);
+                              });
 }
 
 /// dst[i0..i1) rows (+)= A[k0..k1)ᵀ-slice · B[k0..k1)-slice, kk ascending
@@ -295,34 +468,257 @@ void rank1_accumulate(float* dst, const float* a, const float* b, std::size_t k0
     }
 }
 
+#if defined(FALLSENSE_SIMD_X86)
+
+// Vector rank-1 mirrors for the gradient reduction: identical loop
+// structure and ascending-kk order, each (row, j) update one fmadd — so
+// per-chunk partials are bit-identical across thread counts (chunking is
+// shape-only) and across vector backends (same fmadd sequence).
+
+__attribute__((target("avx2,fma"))) void rank1_accumulate_avx2(
+    float* dst, const float* a, const float* b, std::size_t k0, std::size_t k1,
+    std::size_t i0, std::size_t i1, std::size_t m, std::size_t n) {
+    const std::size_t n8 = n - n % 8;
+    const std::size_t rem = n - n8;
+    const __m256i mask = rem ? tail_mask(rem) : _mm256_setzero_si256();
+    std::size_t i = i0;
+    for (; i + k_mr <= i1; i += k_mr) {
+        float* d0 = dst + i * n;
+        float* d1 = d0 + n;
+        float* d2 = d1 + n;
+        float* d3 = d2 + n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* arow = a + kk * m + i;
+            const float* brow = b + kk * n;
+            const __m256 av0 = _mm256_set1_ps(arow[0]);
+            const __m256 av1 = _mm256_set1_ps(arow[1]);
+            const __m256 av2 = _mm256_set1_ps(arow[2]);
+            const __m256 av3 = _mm256_set1_ps(arow[3]);
+            for (std::size_t j = 0; j < n8; j += 8) {
+                const __m256 bv = _mm256_loadu_ps(brow + j);
+                _mm256_storeu_ps(d0 + j, _mm256_fmadd_ps(av0, bv, _mm256_loadu_ps(d0 + j)));
+                _mm256_storeu_ps(d1 + j, _mm256_fmadd_ps(av1, bv, _mm256_loadu_ps(d1 + j)));
+                _mm256_storeu_ps(d2 + j, _mm256_fmadd_ps(av2, bv, _mm256_loadu_ps(d2 + j)));
+                _mm256_storeu_ps(d3 + j, _mm256_fmadd_ps(av3, bv, _mm256_loadu_ps(d3 + j)));
+            }
+            if (rem) {
+                const __m256 bv = _mm256_maskload_ps(brow + n8, mask);
+                _mm256_maskstore_ps(d0 + n8, mask,
+                                    _mm256_fmadd_ps(av0, bv,
+                                                    _mm256_maskload_ps(d0 + n8, mask)));
+                _mm256_maskstore_ps(d1 + n8, mask,
+                                    _mm256_fmadd_ps(av1, bv,
+                                                    _mm256_maskload_ps(d1 + n8, mask)));
+                _mm256_maskstore_ps(d2 + n8, mask,
+                                    _mm256_fmadd_ps(av2, bv,
+                                                    _mm256_maskload_ps(d2 + n8, mask)));
+                _mm256_maskstore_ps(d3 + n8, mask,
+                                    _mm256_fmadd_ps(av3, bv,
+                                                    _mm256_maskload_ps(d3 + n8, mask)));
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        float* di = dst + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* brow = b + kk * n;
+            const __m256 av = _mm256_set1_ps(a[kk * m + i]);
+            for (std::size_t j = 0; j < n8; j += 8) {
+                const __m256 bv = _mm256_loadu_ps(brow + j);
+                _mm256_storeu_ps(di + j, _mm256_fmadd_ps(av, bv, _mm256_loadu_ps(di + j)));
+            }
+            if (rem) {
+                const __m256 bv = _mm256_maskload_ps(brow + n8, mask);
+                _mm256_maskstore_ps(di + n8, mask,
+                                    _mm256_fmadd_ps(av, bv,
+                                                    _mm256_maskload_ps(di + n8, mask)));
+            }
+        }
+    }
+}
+
+__attribute__((target("avx512f"))) void rank1_accumulate_avx512(
+    float* dst, const float* a, const float* b, std::size_t k0, std::size_t k1,
+    std::size_t i0, std::size_t i1, std::size_t m, std::size_t n) {
+    const std::size_t n16 = n - n % 16;
+    const std::size_t rem = n - n16;
+    const __mmask16 mask = rem ? static_cast<__mmask16>((1u << rem) - 1u) : 0;
+    std::size_t i = i0;
+    for (; i + k_mr <= i1; i += k_mr) {
+        float* d0 = dst + i * n;
+        float* d1 = d0 + n;
+        float* d2 = d1 + n;
+        float* d3 = d2 + n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* arow = a + kk * m + i;
+            const float* brow = b + kk * n;
+            const __m512 av0 = _mm512_set1_ps(arow[0]);
+            const __m512 av1 = _mm512_set1_ps(arow[1]);
+            const __m512 av2 = _mm512_set1_ps(arow[2]);
+            const __m512 av3 = _mm512_set1_ps(arow[3]);
+            for (std::size_t j = 0; j < n16; j += 16) {
+                const __m512 bv = _mm512_loadu_ps(brow + j);
+                _mm512_storeu_ps(d0 + j, _mm512_fmadd_ps(av0, bv, _mm512_loadu_ps(d0 + j)));
+                _mm512_storeu_ps(d1 + j, _mm512_fmadd_ps(av1, bv, _mm512_loadu_ps(d1 + j)));
+                _mm512_storeu_ps(d2 + j, _mm512_fmadd_ps(av2, bv, _mm512_loadu_ps(d2 + j)));
+                _mm512_storeu_ps(d3 + j, _mm512_fmadd_ps(av3, bv, _mm512_loadu_ps(d3 + j)));
+            }
+            if (rem) {
+                const __m512 bv = _mm512_maskz_loadu_ps(mask, brow + n16);
+                _mm512_mask_storeu_ps(
+                    d0 + n16, mask,
+                    _mm512_fmadd_ps(av0, bv, _mm512_maskz_loadu_ps(mask, d0 + n16)));
+                _mm512_mask_storeu_ps(
+                    d1 + n16, mask,
+                    _mm512_fmadd_ps(av1, bv, _mm512_maskz_loadu_ps(mask, d1 + n16)));
+                _mm512_mask_storeu_ps(
+                    d2 + n16, mask,
+                    _mm512_fmadd_ps(av2, bv, _mm512_maskz_loadu_ps(mask, d2 + n16)));
+                _mm512_mask_storeu_ps(
+                    d3 + n16, mask,
+                    _mm512_fmadd_ps(av3, bv, _mm512_maskz_loadu_ps(mask, d3 + n16)));
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        float* di = dst + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* brow = b + kk * n;
+            const __m512 av = _mm512_set1_ps(a[kk * m + i]);
+            for (std::size_t j = 0; j < n16; j += 16) {
+                const __m512 bv = _mm512_loadu_ps(brow + j);
+                _mm512_storeu_ps(di + j, _mm512_fmadd_ps(av, bv, _mm512_loadu_ps(di + j)));
+            }
+            if (rem) {
+                const __m512 bv = _mm512_maskz_loadu_ps(mask, brow + n16);
+                _mm512_mask_storeu_ps(
+                    di + n16, mask,
+                    _mm512_fmadd_ps(av, bv, _mm512_maskz_loadu_ps(mask, di + n16)));
+            }
+        }
+    }
+}
+
+#elif defined(FALLSENSE_SIMD_NEON)
+
+void rank1_accumulate_neon(float* dst, const float* a, const float* b, std::size_t k0,
+                           std::size_t k1, std::size_t i0, std::size_t i1, std::size_t m,
+                           std::size_t n) {
+    const std::size_t n4 = n - n % 4;
+    std::size_t i = i0;
+    for (; i + k_mr <= i1; i += k_mr) {
+        float* d0 = dst + i * n;
+        float* d1 = d0 + n;
+        float* d2 = d1 + n;
+        float* d3 = d2 + n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float* arow = a + kk * m + i;
+            const float* brow = b + kk * n;
+            const float32x4_t av0 = vdupq_n_f32(arow[0]);
+            const float32x4_t av1 = vdupq_n_f32(arow[1]);
+            const float32x4_t av2 = vdupq_n_f32(arow[2]);
+            const float32x4_t av3 = vdupq_n_f32(arow[3]);
+            for (std::size_t j = 0; j < n4; j += 4) {
+                const float32x4_t bv = vld1q_f32(brow + j);
+                vst1q_f32(d0 + j, vfmaq_f32(vld1q_f32(d0 + j), av0, bv));
+                vst1q_f32(d1 + j, vfmaq_f32(vld1q_f32(d1 + j), av1, bv));
+                vst1q_f32(d2 + j, vfmaq_f32(vld1q_f32(d2 + j), av2, bv));
+                vst1q_f32(d3 + j, vfmaq_f32(vld1q_f32(d3 + j), av3, bv));
+            }
+            for (std::size_t j = n4; j < n; ++j) {
+                const float bv = brow[j];
+                d0[j] = std::fmaf(arow[0], bv, d0[j]);
+                d1[j] = std::fmaf(arow[1], bv, d1[j]);
+                d2[j] = std::fmaf(arow[2], bv, d2[j]);
+                d3[j] = std::fmaf(arow[3], bv, d3[j]);
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        float* di = dst + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float av = a[kk * m + i];
+            const float* brow = b + kk * n;
+            const float32x4_t avv = vdupq_n_f32(av);
+            for (std::size_t j = 0; j < n4; j += 4) {
+                const float32x4_t bv = vld1q_f32(brow + j);
+                vst1q_f32(di + j, vfmaq_f32(vld1q_f32(di + j), avv, bv));
+            }
+            for (std::size_t j = n4; j < n; ++j) di[j] = std::fmaf(av, brow[j], di[j]);
+        }
+    }
+}
+
+#endif  // FALLSENSE_SIMD_X86 / FALLSENSE_SIMD_NEON
+
+using rank1_fn = void (*)(float*, const float*, const float*, std::size_t, std::size_t,
+                          std::size_t, std::size_t, std::size_t, std::size_t);
+
+rank1_fn rank1_kernel(simd_backend backend) {
+#if defined(FALLSENSE_SIMD_X86)
+    if (backend == simd_backend::avx512) return &rank1_accumulate_avx512;
+    if (backend == simd_backend::avx2_fma) return &rank1_accumulate_avx2;
+#elif defined(FALLSENSE_SIMD_NEON)
+    if (backend == simd_backend::neon) return &rank1_accumulate_neon;
+#else
+    (void)backend;
+#endif
+    return &rank1_accumulate;
+}
+
+/// Per-thread partial buffer for gemm_tn_acc, grown to its high-water
+/// mark once: steady-state training steps allocate nothing here.
+std::vector<float>& tn_acc_scratch() {
+    static thread_local std::vector<float> scratch;
+    return scratch;
+}
+
 }  // namespace
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
              float* c, bool accumulate) {
     if (m == 0 || n == 0) return;
-    const gemm_ctx ctx{n,          k, a, b, c,
-                       accumulate, active_simd_mode() == simd_mode::native};
-    util::parallel_for_chunks(0, m, k_row_grain,
-                              [&ctx](std::size_t, std::size_t lo, std::size_t hi) {
-                                  gemm_nn_rows(lo, hi, ctx);
-                              });
+    const gemm_ctx ctx{n,          k, a, b, c, /*bias=*/nullptr,
+                       accumulate, fused_act::none, active_simd_backend()};
+    gemm_nn_dispatch(m, ctx);
+}
+
+void gemm_nn_bias_act(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                      const float* b, const float* bias, fused_act act, float* c) {
+    if (m == 0 || n == 0) return;
+    const gemm_ctx ctx{n,     k, a, b, c, bias,
+                       false, act, active_simd_backend()};
+    gemm_nn_dispatch(m, ctx);
 }
 
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
                  float* c) {
     if (m == 0 || n == 0 || k == 0) return;
+    const rank1_fn rank1 = rank1_kernel(active_simd_backend());
     const std::size_t min_chunk = (k + k_max_reduce_chunks - 1) / k_max_reduce_chunks;
     const std::size_t chunk = std::max(k_reduce_grain, min_chunk);
     const std::size_t chunks = (k + chunk - 1) / chunk;
     if (chunks == 1) {
-        rank1_accumulate(c, a, b, 0, k, 0, m, m, n);
+        rank1(c, a, b, 0, k, 0, m, m, n);
         return;
     }
-    std::vector<float> scratch(chunks * m * n, 0.0f);
+    std::vector<float>& scratch = tn_acc_scratch();
+    scratch.assign(chunks * m * n, 0.0f);
+    // Single-reference capture keeps the dispatch closure inside the
+    // std::function small-buffer store — steady-state training steps must
+    // not heap-allocate here (tests/serve/alloc_test.cpp).
+    struct tn_ctx {
+        float* scratch;
+        const float* a;
+        const float* b;
+        rank1_fn rank1;
+        std::size_t m, n;
+    };
+    const tn_ctx ctx{scratch.data(), a, b, rank1, m, n};
     util::parallel_for_chunks(0, k, chunk,
-                              [&](std::size_t ci, std::size_t lo, std::size_t hi) {
-                                  rank1_accumulate(scratch.data() + ci * m * n, a, b, lo, hi,
-                                                   0, m, m, n);
+                              [&ctx](std::size_t ci, std::size_t lo, std::size_t hi) {
+                                  ctx.rank1(ctx.scratch + ci * ctx.m * ctx.n, ctx.a, ctx.b,
+                                            lo, hi, 0, ctx.m, ctx.m, ctx.n);
                               });
     // Fixed chunk-index reduction order: bit-identical for any thread count.
     for (std::size_t ci = 0; ci < chunks; ++ci) {
@@ -363,14 +759,21 @@ void col2im_acc(const float* gcol, std::size_t batch, std::size_t time, std::siz
     const std::size_t patch = kernel * ch;
     // Patches overlap along time, so accumulation is serial per batch entry
     // (ascending t, matching the legacy loop order) and parallel across the
-    // batch, whose slices are disjoint.
-    util::parallel_for(0, batch, 1, [&](std::size_t n) {
-        float* gxn = gx + n * time * ch;
-        const float* gcn = gcol + n * out_time * patch;
-        for (std::size_t t = 0; t < out_time; ++t) {
-            const float* row = gcn + t * patch;
-            float* dst = gxn + t * ch;
-            for (std::size_t i = 0; i < patch; ++i) dst[i] += row[i];
+    // batch, whose slices are disjoint.  Single-reference capture keeps the
+    // closure in the std::function small-buffer store (training hot path).
+    struct col2im_ctx {
+        const float* gcol;
+        float* gx;
+        std::size_t time, ch, out_time, patch;
+    };
+    const col2im_ctx ctx{gcol, gx, time, ch, out_time, patch};
+    util::parallel_for(0, batch, 1, [&ctx](std::size_t n) {
+        float* gxn = ctx.gx + n * ctx.time * ctx.ch;
+        const float* gcn = ctx.gcol + n * ctx.out_time * ctx.patch;
+        for (std::size_t t = 0; t < ctx.out_time; ++t) {
+            const float* row = gcn + t * ctx.patch;
+            float* dst = gxn + t * ctx.ch;
+            for (std::size_t i = 0; i < ctx.patch; ++i) dst[i] += row[i];
         }
     });
 }
@@ -399,6 +802,21 @@ __attribute__((target("avx2"))) void q8_axpy_avx2(std::size_t n, std::int32_t xv
     for (std::size_t j = n8; j < n; ++j) acc[j] += xv * static_cast<std::int32_t>(w[j]);
 }
 
+__attribute__((target("avx512f"))) void q8_axpy_avx512(std::size_t n, std::int32_t xv,
+                                                       const std::int8_t* w,
+                                                       std::int32_t* acc) {
+    const __m512i xvv = _mm512_set1_epi32(xv);
+    const std::size_t n16 = n - n % 16;
+    for (std::size_t j = 0; j < n16; j += 16) {
+        const __m128i w8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + j));
+        const __m512i w32 = _mm512_cvtepi8_epi32(w8);
+        __m512i accv = _mm512_loadu_si512(reinterpret_cast<const void*>(acc + j));
+        accv = _mm512_add_epi32(accv, _mm512_mullo_epi32(xvv, w32));
+        _mm512_storeu_si512(reinterpret_cast<void*>(acc + j), accv);
+    }
+    for (std::size_t j = n16; j < n; ++j) acc[j] += xv * static_cast<std::int32_t>(w[j]);
+}
+
 #elif defined(FALLSENSE_SIMD_NEON)
 
 void q8_axpy_neon(std::size_t n, std::int32_t xv, const std::int8_t* w, std::int32_t* acc) {
@@ -419,9 +837,11 @@ void q8_axpy_neon(std::size_t n, std::int32_t xv, const std::int8_t* w, std::int
 
 q8_axpy_fn q8_axpy_kernel() {
 #if defined(FALLSENSE_SIMD_X86)
-    if (active_simd_mode() == simd_mode::native) return &q8_axpy_avx2;
+    const simd_backend backend = active_simd_backend();
+    if (backend == simd_backend::avx512) return &q8_axpy_avx512;
+    if (backend == simd_backend::avx2_fma) return &q8_axpy_avx2;
 #elif defined(FALLSENSE_SIMD_NEON)
-    if (active_simd_mode() == simd_mode::native) return &q8_axpy_neon;
+    if (active_simd_backend() == simd_backend::neon) return &q8_axpy_neon;
 #endif
     return &q8_axpy_scalar;
 }

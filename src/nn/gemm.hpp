@@ -17,13 +17,14 @@
 // (flattened [kernel*in_ch, out_ch]), dense weights [in, out], activations
 // row-major with the batch outermost.
 //
-// gemm_nn dispatches per call between the scalar loops and vectorized row
-// kernels (nn/simd.hpp).  Scalar mode reproduces the legacy results bit for
-// bit; native mode keeps the same serial ascending-k order per element but
-// fuses multiply-add (FMA), so float results agree to rounding, not bits.
-// Within one mode, results stay independent of thread count and of where a
-// row sits in the batch: the single-row and row-quad vector kernels issue
-// the identical per-(row, j) instruction sequence.
+// gemm_nn and gemm_nn_bias_act dispatch per call between the scalar loops
+// and vectorized row kernels (nn/simd.hpp: avx512 / avx2-fma / neon).
+// Scalar mode reproduces the legacy results bit for bit; native mode keeps
+// the same serial ascending-k order per element but fuses multiply-add
+// (FMA), so float results agree to rounding, not bits.  Every vector
+// backend issues the identical per-(row, j) fmadd sequence, so native
+// results are bit-identical ACROSS backends.  Within one mode, results
+// stay independent of thread count and of where a row sits in the batch.
 #pragma once
 
 #include <cstddef>
@@ -31,15 +32,39 @@
 
 namespace fallsense::nn {
 
+/// Activation a fused GEMM epilogue applies while the output tile is hot.
+/// `relu` and `sigmoid` reproduce the standalone activation layers'
+/// element operations exactly: relu is `x > 0 ? x : 0` in scalar mode and
+/// max(x, 0) in vector mode (identical on all non-NaN inputs and across
+/// vector backends); sigmoid always runs sigmoid_scalar per element, in
+/// every mode, so fusing it never changes a probability.
+enum class fused_act : std::uint8_t {
+    none,
+    relu,
+    sigmoid,
+};
+
+const char* fused_act_name(fused_act act);
+
 /// C[m x n] = A[m x k] · B[k x n], plus C's prior contents when
 /// `accumulate`.  Parallel over row blocks; each element is a serial
 /// ascending-k sum seeded with the prior C value.
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
              float* c, bool accumulate);
 
+/// Fused-epilogue GEMM: C[m x n] = act(A[m x k] · B[k x n] + bias[n]),
+/// with the bias broadcast across rows and the activation applied while
+/// each row block is still hot.  Per element this is exactly the unfused
+/// sequence — bias seed, ascending-k accumulation, activation — executed
+/// by the row task that owns the block, so scalar-mode results are
+/// bit-identical to (bias prefill; gemm_nn accumulate; activation pass)
+/// and native-mode results are bit-identical to the unfused native path.
+void gemm_nn_bias_act(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                      const float* b, const float* bias, fused_act act, float* c);
+
 /// The int8 GEMM inner update: acc[0..n) += xv · w[0..n) with exact int32
-/// accumulation.  Returns the kernel for the active simd mode; callers
-/// hoist the lookup out of their loops.  Both kernels are bit-identical
+/// accumulation.  Returns the kernel for the active simd backend; callers
+/// hoist the lookup out of their loops.  All kernels are bit-identical
 /// (integer sums are exact), so int8 inference does not depend on the
 /// dispatch setting.
 using q8_axpy_fn = void (*)(std::size_t n, std::int32_t xv, const std::int8_t* w,
@@ -48,7 +73,12 @@ q8_axpy_fn q8_axpy_kernel();
 
 /// C[m x n] += A[k x m]ᵀ · B[k x n] — the weight-gradient product (reduction
 /// over the batch·time dimension k).  Deterministic chunked reduction; see
-/// the file comment.
+/// the file comment.  Dispatches like gemm_nn: scalar mode reproduces the
+/// legacy gradient bits, native mode uses per-backend fmadd rank-1 updates
+/// with the same chunk boundaries and reduction order, so gradients are
+/// bit-identical across thread counts per backend (and across vector
+/// backends).  Reuses a thread-local partial buffer: steady-state training
+/// steps perform no allocation here.
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
                  float* c);
 

@@ -1,5 +1,7 @@
 #include "nn/layer.hpp"
 
+#include "util/check.hpp"
+
 namespace fallsense::nn {
 
 const char* layer_kind_name(layer_kind kind) {
@@ -20,6 +22,14 @@ const char* layer_kind_name(layer_kind kind) {
 std::size_t layer::infer_workspace_bytes(const shape_t&, std::size_t) const { return 0; }
 
 bool layer::infer_in_place() const { return false; }
+
+void layer::forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                               std::size_t batch, std::span<float> workspace,
+                               std::span<float> out, fused_act act) {
+    FS_CHECK(act == fused_act::none,
+             std::string("layer cannot fuse epilogue ") + fused_act_name(act));
+    forward_into(in, input_shape, batch, workspace, out);
+}
 
 std::size_t model::parameter_count() {
     std::size_t count = 0;

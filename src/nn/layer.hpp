@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/gemm.hpp"
 #include "nn/tensor.hpp"
 
 namespace fallsense::nn {
@@ -101,6 +102,27 @@ public:
     virtual void forward_into(std::span<const float> in, const shape_t& input_shape,
                               std::size_t batch, std::span<float> workspace,
                               std::span<float> out) = 0;
+
+    // --- fused bias+activation epilogue ----------------------------------
+    //
+    // GEMM-backed layers (conv1d, dense) can absorb a following relu or
+    // sigmoid layer into their kernel call: the activation runs while each
+    // output tile is still hot instead of in a second pass over the batch.
+    // The workspace planners consult can_fuse when building a plan and
+    // mark fused activation layers as plan-time no-ops.  Fusion never
+    // changes results: the fused kernel executes the exact per-element
+    // operation sequence of the unfused pair (see nn/gemm.hpp).
+
+    /// True when this layer's forward_into_fused supports `act` as a fused
+    /// epilogue.  Every layer trivially supports fused_act::none.
+    virtual bool can_fuse(fused_act act) const { return act == fused_act::none; }
+
+    /// forward_into with a fused activation epilogue.  Layers that return
+    /// true from can_fuse(act) override this; the default rejects anything
+    /// but fused_act::none and delegates to forward_into.
+    virtual void forward_into_fused(std::span<const float> in, const shape_t& input_shape,
+                                    std::size_t batch, std::span<float> workspace,
+                                    std::span<float> out, fused_act act);
 
     layer() = default;
     layer(const layer&) = delete;

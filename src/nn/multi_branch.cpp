@@ -33,8 +33,11 @@ tensor multi_branch_network::forward(const tensor& input, bool training) {
     FS_ARG_CHECK(channels == total_group, "multi_branch channel-group sum mismatch");
     input_shape_cache_ = input.shape();
 
-    // Split channels, run branches, record flattened widths.
-    std::vector<tensor> branch_outputs;
+    // Split channels, run branches, record flattened widths.  The output
+    // list is a member so steady-state training steps reuse its capacity
+    // (the tensors inside recycle through the buffer pool).
+    std::vector<tensor>& branch_outputs = branch_outputs_;
+    branch_outputs.clear();
     branch_outputs.reserve(branches_.size());
     branch_widths_.clear();
     std::size_t channel_base = 0;

@@ -70,6 +70,7 @@ private:
     // Forward caches for backward.
     shape_t input_shape_cache_;
     std::vector<std::size_t> branch_widths_;  ///< flattened width of each branch output
+    std::vector<tensor> branch_outputs_;      ///< reused across training steps
 };
 
 }  // namespace fallsense::nn

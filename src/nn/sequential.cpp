@@ -4,9 +4,22 @@
 #include <cstring>
 #include <sstream>
 
+#include "nn/simd.hpp"
 #include "util/check.hpp"
 
 namespace fallsense::nn {
+
+namespace {
+
+/// The fused epilogue a pure activation layer corresponds to, or none for
+/// any layer that is not a fusable activation.
+fused_act fusable_activation(layer_kind kind) {
+    if (kind == layer_kind::relu) return fused_act::relu;
+    if (kind == layer_kind::sigmoid) return fused_act::sigmoid;
+    return fused_act::none;
+}
+
+}  // namespace
 
 sequential& sequential::add(layer_ptr new_layer) {
     FS_ARG_CHECK(new_layer != nullptr, "sequential::add(nullptr)");
@@ -50,24 +63,36 @@ shape_t sequential::output_shape(const shape_t& input_shape) const {
 
 const sequential::infer_plan& sequential::ensure_plan(const shape_t& row_shape,
                                                       std::size_t batch) {
+    const bool fusion = epilogue_fusion_enabled();
     if (batch <= plan_.batch_capacity && row_shape == plan_.row_shape &&
-        plan_.stage_shapes.size() == layers_.size() + 1) {
+        plan_.stage_shapes.size() == layers_.size() + 1 && plan_.fusion == fusion) {
         return plan_;
     }
     const std::size_t capacity = std::max(batch, plan_.batch_capacity);
     plan_.row_shape = row_shape;
     plan_.batch_capacity = capacity;
+    plan_.fusion = fusion;
     plan_.stage_shapes.clear();
     plan_.stage_shapes.push_back(row_shape);
+    plan_.fused.assign(layers_.size(), fused_act::none);
+    plan_.skip.assign(layers_.size(), 0);
     shape_t shape = row_shape;
     std::size_t max_volume = shape_volume(shape);
     std::size_t scratch = 0;
-    for (const auto& l : layers_) {
-        const std::size_t bytes = l->infer_workspace_bytes(shape, capacity);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const layer& l = *layers_[i];
+        const std::size_t bytes = l.infer_workspace_bytes(shape, capacity);
         scratch = std::max(scratch, (bytes + sizeof(float) - 1) / sizeof(float));
-        shape = l->output_shape(shape);
+        shape = l.output_shape(shape);
         plan_.stage_shapes.push_back(shape);
         max_volume = std::max(max_volume, shape_volume(shape));
+        if (fusion && i + 1 < layers_.size()) {
+            const fused_act act = fusable_activation(layers_[i + 1]->kind());
+            if (act != fused_act::none && l.can_fuse(act)) {
+                plan_.fused[i] = act;
+                plan_.skip[i + 1] = 1;
+            }
+        }
     }
     plan_.ping_floats = capacity * max_volume;
     plan_.scratch_floats = scratch;
@@ -97,17 +122,19 @@ void sequential::forward_into(std::span<const float> input, const shape_t& row_s
     const float* cur = input.data();
     int cur_buf = -1;  // -1: still the caller's input
     for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (plan.skip[i]) continue;  // activation fused into the previous layer
         layer& l = *layers_[i];
+        const fused_act act = plan.fused[i];
         const shape_t& in_shape = plan.stage_shapes[i];
         const std::size_t in_count = batch * shape_volume(in_shape);
         const std::size_t out_count = batch * shape_volume(plan.stage_shapes[i + 1]);
         if (l.infer_in_place() && cur_buf >= 0) {
-            l.forward_into(std::span<const float>(cur, in_count), in_shape, batch, scratch,
-                           std::span<float>(ping[cur_buf], out_count));
+            l.forward_into_fused(std::span<const float>(cur, in_count), in_shape, batch,
+                                 scratch, std::span<float>(ping[cur_buf], out_count), act);
         } else {
             const int next_buf = cur_buf == 0 ? 1 : 0;
-            l.forward_into(std::span<const float>(cur, in_count), in_shape, batch, scratch,
-                           std::span<float>(ping[next_buf], out_count));
+            l.forward_into_fused(std::span<const float>(cur, in_count), in_shape, batch,
+                                 scratch, std::span<float>(ping[next_buf], out_count), act);
             cur_buf = next_buf;
             cur = ping[next_buf];
         }

@@ -5,18 +5,129 @@
 // contiguous std::vector<float> storage, explicit shape, bounds-checked
 // element access in debug-style accessors, and unchecked spans for kernels
 // that have already validated shapes.
+//
+// Two allocation properties matter for the hot paths:
+//
+//   * Shapes never heap-allocate for real models: shape_t stores up to six
+//     dimensions inline (the deepest layer in the repo is rank 4) and only
+//     falls back to the heap beyond that.
+//   * Tensor storage is recycled through a thread-local buffer pool: a
+//     destroyed tensor donates its capacity, a constructed one reuses it.
+//     Steady-state training steps — which create and drop activation and
+//     gradient tensors every batch — therefore allocate nothing once warm.
+//     FALLSENSE_TENSOR_POOL=off disables recycling (every tensor mallocs),
+//     for allocator debugging.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace fallsense::nn {
 
-/// Shape of a tensor: sizes per dimension, outermost first.
-using shape_t = std::vector<std::size_t>;
+/// Shape of a tensor: sizes per dimension, outermost first.  A small-size-
+/// optimized sequence with the slice of std::vector's interface the layers
+/// use; up to k_inline_rank dimensions live inline, so copying shapes on
+/// the training path performs no heap allocation.
+class shape_t {
+public:
+    using value_type = std::size_t;
+    using iterator = std::size_t*;
+    using const_iterator = const std::size_t*;
+
+    shape_t() = default;
+
+    /// Rank-`count` shape, zero-filled (deserialization fills it in).
+    explicit shape_t(std::size_t count) {
+        reserve_at_least(count);
+        size_ = count;
+        for (std::size_t i = 0; i < count; ++i) ptr_[i] = 0;
+    }
+
+    shape_t(std::initializer_list<std::size_t> dims) {
+        reserve_at_least(dims.size());
+        for (const std::size_t d : dims) ptr_[size_++] = d;
+    }
+
+    shape_t(const shape_t& other) { assign_from(other); }
+
+    shape_t(shape_t&& other) noexcept { steal_from(other); }
+
+    shape_t& operator=(const shape_t& other) {
+        if (this != &other) {
+            size_ = 0;
+            assign_from(other);
+        }
+        return *this;
+    }
+
+    shape_t& operator=(shape_t&& other) noexcept {
+        if (this != &other) {
+            release_heap();
+            steal_from(other);
+        }
+        return *this;
+    }
+
+    ~shape_t() { release_heap(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    std::size_t* data() { return ptr_; }
+    const std::size_t* data() const { return ptr_; }
+
+    std::size_t& operator[](std::size_t i) { return ptr_[i]; }
+    std::size_t operator[](std::size_t i) const { return ptr_[i]; }
+
+    std::size_t front() const { return ptr_[0]; }
+    std::size_t back() const { return ptr_[size_ - 1]; }
+
+    iterator begin() { return ptr_; }
+    iterator end() { return ptr_ + size_; }
+    const_iterator begin() const { return ptr_; }
+    const_iterator end() const { return ptr_ + size_; }
+
+    void clear() { size_ = 0; }
+
+    void push_back(std::size_t d) {
+        reserve_at_least(size_ + 1);
+        ptr_[size_++] = d;
+    }
+
+    friend bool operator==(const shape_t& a, const shape_t& b) {
+        if (a.size_ != b.size_) return false;
+        for (std::size_t i = 0; i < a.size_; ++i) {
+            if (a.ptr_[i] != b.ptr_[i]) return false;
+        }
+        return true;
+    }
+    friend bool operator!=(const shape_t& a, const shape_t& b) { return !(a == b); }
+
+private:
+    static constexpr std::size_t k_inline_rank = 6;
+
+    void reserve_at_least(std::size_t count);
+    void assign_from(const shape_t& other);
+    void steal_from(shape_t& other) noexcept;
+    void release_heap() {
+        if (ptr_ != inline_) delete[] ptr_;
+        ptr_ = inline_;
+        capacity_ = k_inline_rank;
+        size_ = 0;
+    }
+
+    std::size_t size_ = 0;
+    std::size_t capacity_ = k_inline_rank;
+    std::size_t* ptr_ = inline_;
+    std::size_t inline_[k_inline_rank] = {};
+};
+
+/// "[2 x 20 x 9]" when streamed (gtest failure messages, model dumps).
+std::ostream& operator<<(std::ostream& os, const shape_t& shape);
 
 /// Number of elements a shape addresses (1 for the empty/scalar shape).
 std::size_t shape_volume(const shape_t& shape);
@@ -34,6 +145,15 @@ public:
 
     /// Tensor of the given shape with explicit contents (size must match).
     tensor(shape_t shape, std::vector<float> values);
+
+    /// Copies recycle pooled capacity; moves transfer storage.  The
+    /// destructor donates the buffer back to the thread-local pool, so
+    /// temporaries on the training path cost no malloc once warm.
+    tensor(const tensor& other);
+    tensor(tensor&& other) noexcept = default;
+    tensor& operator=(const tensor& other);
+    tensor& operator=(tensor&& other) noexcept;
+    ~tensor();
 
     static tensor zeros(shape_t shape) { return tensor(std::move(shape)); }
     static tensor full(shape_t shape, float value);

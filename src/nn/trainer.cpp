@@ -28,19 +28,25 @@ void labeled_data::validate() const {
                  "labeled_data row/label count mismatch");
 }
 
-tensor gather_rows(const tensor& batched, std::span<const std::size_t> row_indices) {
+void gather_rows_into(const tensor& batched, std::span<const std::size_t> row_indices,
+                      tensor& out) {
     FS_ARG_CHECK(batched.rank() >= 1, "gather_rows needs a batched tensor");
     const std::size_t rows = batched.dim(0);
     const std::size_t row_size = batched.size() / std::max<std::size_t>(rows, 1);
     shape_t out_shape = batched.shape();
     out_shape[0] = row_indices.size();
-    tensor out(std::move(out_shape));
+    if (out.shape() != out_shape) out = tensor(std::move(out_shape));
     for (std::size_t i = 0; i < row_indices.size(); ++i) {
         const std::size_t r = row_indices[i];
         FS_ARG_CHECK(r < rows, "gather_rows index out of range");
         std::copy(batched.data() + r * row_size, batched.data() + (r + 1) * row_size,
                   out.data() + i * row_size);
     }
+}
+
+tensor gather_rows(const tensor& batched, std::span<const std::size_t> row_indices) {
+    tensor out;
+    gather_rows_into(batched, row_indices, out);
     return out;
 }
 
@@ -102,6 +108,22 @@ double validation_loss(model& m, const labeled_data& data, double wp, double wn,
 
 }  // namespace
 
+double train_step(model& m, const labeled_data& data,
+                  std::span<const std::size_t> row_indices, double weight_positive,
+                  double weight_negative, optimizer& optim, train_step_scratch& scratch) {
+    gather_rows_into(data.features, row_indices, scratch.batch);
+    scratch.labels.resize(row_indices.size());
+    for (std::size_t i = 0; i < row_indices.size(); ++i) {
+        scratch.labels[i] = data.labels[row_indices[i]];
+    }
+    const tensor logits = m.forward(scratch.batch, /*training=*/true);
+    const bce_result loss =
+        weighted_bce_with_logits(logits, scratch.labels, weight_positive, weight_negative);
+    m.backward(loss.grad_logits);
+    optim.step();
+    return loss.loss;
+}
+
 train_history fit(model& m, const labeled_data& train, const labeled_data& validation,
                   const train_config& config) {
     train.validate();
@@ -129,6 +151,7 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
 
     adam optim(m.parameters(), config.learning_rate);
     util::rng shuffler(config.shuffle_seed);
+    train_step_scratch step_scratch;
 
     const bool monitor_validation = validation.size() > 0;
     double best_monitored = std::numeric_limits<double>::infinity();
@@ -146,16 +169,9 @@ train_history fit(model& m, const labeled_data& train, const labeled_data& valid
         for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
             const std::size_t count = std::min(config.batch_size, order.size() - start);
             const std::span<const std::size_t> idx(order.data() + start, count);
-            const tensor x = gather_rows(train.features, idx);
-            std::vector<float> y(count);
-            for (std::size_t i = 0; i < count; ++i) y[i] = train.labels[idx[i]];
-
-            const tensor logits = m.forward(x, /*training=*/true);
-            const bce_result loss = weighted_bce_with_logits(
-                logits, y, history.weight_positive, history.weight_negative);
-            m.backward(loss.grad_logits);
-            optim.step();
-            epoch_loss += loss.loss * static_cast<double>(count);
+            const double loss = train_step(m, train, idx, history.weight_positive,
+                                           history.weight_negative, optim, step_scratch);
+            epoch_loss += loss * static_cast<double>(count);
             counted += count;
         }
         epoch_loss /= static_cast<double>(std::max<std::size_t>(counted, 1));

@@ -32,6 +32,12 @@ struct labeled_data {
 /// Select rows of a batched tensor (copies).
 tensor gather_rows(const tensor& batched, std::span<const std::size_t> row_indices);
 
+/// gather_rows into a caller-owned tensor: `out` is reshaped only when the
+/// selection shape changes, so steady-state training batches reuse its
+/// storage and perform no heap allocation.
+void gather_rows_into(const tensor& batched, std::span<const std::size_t> row_indices,
+                      tensor& out);
+
 struct train_config {
     std::size_t max_epochs = 200;
     std::size_t batch_size = 64;
@@ -64,6 +70,28 @@ std::pair<double, double> balanced_class_weights(std::span<const float> labels);
 /// tests that need weight rollback).
 std::vector<tensor> snapshot_parameters(model& m);
 void restore_parameters(model& m, const std::vector<tensor>& snapshot);
+
+class optimizer;
+
+/// Reusable buffers for train_step: the gathered feature batch and its
+/// label slice, grown once to the batch-size high-water mark.  Together
+/// with the tensor buffer pool and the kernels' thread-local scratch this
+/// makes steady-state train steps allocation-free
+/// (tests/serve/alloc_test.cpp pins this).
+struct train_step_scratch {
+    tensor batch;               ///< gathered feature rows
+    std::vector<float> labels;  ///< matching label slice
+};
+
+/// One optimizer step on the selected rows: gather → forward(training) →
+/// weighted BCE → backward → optim.step().  This is the unit `fit` loops
+/// over; the whole step runs through the dispatched kernels (gemm_nn /
+/// gemm_tn_acc honor the active simd backend), so gradients are
+/// bit-identical across FALLSENSE_THREADS per backend.  Returns the mean
+/// weighted batch loss.
+double train_step(model& m, const labeled_data& data,
+                  std::span<const std::size_t> row_indices, double weight_positive,
+                  double weight_negative, optimizer& optim, train_step_scratch& scratch);
 
 /// Fit `m` on `train` with early stopping against `validation`.
 /// `validation` may be empty (then early stopping monitors training loss).

@@ -1,7 +1,10 @@
-// Runtime GEMM dispatch (nn/simd.hpp): mode parsing and resolution, the
-// scalar-kernel determinism baseline, float tolerance between the scalar
-// and vectorized kernels, and the int8 path's bit-identity across modes
-// (integer accumulation is exact, so dispatch may never change a logit).
+// Runtime GEMM dispatch (nn/simd.hpp): mode/backend parsing and
+// resolution, the scalar-kernel determinism baseline, float tolerance
+// between the scalar and vectorized kernels, the cross-backend "one native
+// golden surface" contract, the fused bias+activation epilogue's
+// bit-identity with the unfused op sequence, and the int8 path's
+// bit-identity across modes and backends (integer accumulation is exact,
+// so dispatch may never change a logit).
 #include "nn/simd.hpp"
 
 #include <gtest/gtest.h>
@@ -11,11 +14,17 @@
 #include <string>
 #include <vector>
 
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
 #include "nn/gemm.hpp"
+#include "nn/misc_layers.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
 #include "nn/tensor.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 namespace {
@@ -28,6 +37,27 @@ struct simd_mode_guard {
         set_simd_mode(mode);
     }
     ~simd_mode_guard() { set_simd_mode(saved); }
+};
+
+/// Pin native-mode resolution to one backend; restores the uncapped
+/// default (the best probed tier) on exit.
+struct simd_backend_cap_guard {
+    explicit simd_backend_cap_guard(simd_backend cap) { set_simd_backend_cap(cap); }
+    ~simd_backend_cap_guard() { set_simd_backend_cap(simd_backend::avx512); }
+};
+
+/// Force the epilogue-fusion planner flag, restoring the prior value.
+struct fusion_guard {
+    bool saved;
+    explicit fusion_guard(bool on) : saved(epilogue_fusion_enabled()) {
+        set_epilogue_fusion(on);
+    }
+    ~fusion_guard() { set_epilogue_fusion(saved); }
+};
+
+/// Restores the default pool size even when an assertion fails mid-test.
+struct thread_guard {
+    ~thread_guard() { util::set_global_threads(0); }
 };
 
 TEST(SimdTest, ParseAcceptsTheTwoModes) {
@@ -121,6 +151,313 @@ TEST(SimdTest, NativeDenseForwardMatchesScalarWithinTolerance) {
     }
 }
 
+TEST(SimdBackendTest, ParseBackendAcceptsCanonicalLabels) {
+    EXPECT_EQ(parse_simd_backend("scalar"), simd_backend::scalar);
+    EXPECT_EQ(parse_simd_backend("neon"), simd_backend::neon);
+    EXPECT_EQ(parse_simd_backend("avx2-fma"), simd_backend::avx2_fma);
+    EXPECT_EQ(parse_simd_backend("avx512"), simd_backend::avx512);
+    EXPECT_FALSE(parse_simd_backend("avx2").has_value());
+    EXPECT_FALSE(parse_simd_backend("AVX512").has_value());
+    EXPECT_FALSE(parse_simd_backend("").has_value());
+}
+
+TEST(SimdBackendTest, BackendLabelsRoundTrip) {
+    for (const simd_backend b : {simd_backend::scalar, simd_backend::neon,
+                                 simd_backend::avx2_fma, simd_backend::avx512}) {
+        EXPECT_EQ(parse_simd_backend(simd_backend_label(b)), b);
+    }
+}
+
+TEST(SimdBackendTest, AvailableBackendsStartWithScalarWorstFirst) {
+    const std::vector<simd_backend> backends = available_simd_backends();
+    ASSERT_FALSE(backends.empty());
+    EXPECT_EQ(backends.front(), simd_backend::scalar);
+    for (std::size_t i = 1; i < backends.size(); ++i) {
+        EXPECT_LT(static_cast<int>(backends[i - 1]), static_cast<int>(backends[i]));
+    }
+    if (simd_native_available()) {
+        // The probe name reports the best tier, which must be listed last.
+        EXPECT_EQ(std::string(simd_backend_label(backends.back())), simd_backend_name());
+    } else {
+        EXPECT_EQ(backends.size(), 1u);
+    }
+}
+
+TEST(SimdBackendTest, CapResolvesToEveryAvailableBackend) {
+    simd_mode_guard mode(simd_mode::native);
+    for (const simd_backend b : available_simd_backends()) {
+        simd_backend_cap_guard cap(b);
+        EXPECT_EQ(active_simd_backend(), b);
+        EXPECT_EQ(std::string(active_simd_backend_name()), simd_backend_label(b));
+    }
+}
+
+TEST(SimdBackendTest, ScalarModeIgnoresBackendCap) {
+    simd_mode_guard mode(simd_mode::scalar);
+    simd_backend_cap_guard cap(simd_backend::avx512);
+    EXPECT_EQ(active_simd_backend(), simd_backend::scalar);
+    EXPECT_STREQ(active_simd_backend_name(), "scalar");
+}
+
+/// gemm_nn with native mode pinned to `backend` over deterministic inputs.
+std::vector<float> gemm_backend_result(simd_backend backend, std::size_t m, std::size_t n,
+                                       std::size_t k) {
+    simd_backend_cap_guard cap(backend);
+    return gemm_result(backend == simd_backend::scalar ? simd_mode::scalar
+                                                       : simd_mode::native,
+                       m, n, k);
+}
+
+TEST(SimdBackendTest, VectorBackendsShareOneGoldenSurface) {
+    // Every vector backend issues the identical per-element fmadd sequence
+    // (ascending k, one rounding per step), so their float results are bit
+    // for bit the same: "native" is a single golden surface.  On hosts with
+    // one vector tier this degenerates to a determinism re-run.
+    const std::vector<simd_backend> backends = available_simd_backends();
+    if (backends.size() < 2) GTEST_SKIP() << "no vector backend on this host";
+    const auto reference = gemm_backend_result(backends[1], 13, 21, 37);
+    for (std::size_t bi = 1; bi < backends.size(); ++bi) {
+        const auto result = gemm_backend_result(backends[bi], 13, 21, 37);
+        ASSERT_EQ(result.size(), reference.size());
+        for (std::size_t i = 0; i < result.size(); ++i) {
+            EXPECT_EQ(result[i], reference[i])
+                << "element " << i << " differs between "
+                << simd_backend_label(backends[1]) << " and "
+                << simd_backend_label(backends[bi]);
+        }
+    }
+}
+
+TEST(SimdBackendTest, PerBackendGoldensAreDeterministic) {
+    // The pinned golden contract per backend: repeat runs are bit-equal.
+    // Scalar is the cross-build baseline; each vector tier is additionally
+    // pinned against the shared native surface above.
+    for (const simd_backend b : available_simd_backends()) {
+        const auto first = gemm_backend_result(b, 9, 17, 129);
+        const auto second = gemm_backend_result(b, 9, 17, 129);
+        ASSERT_EQ(first.size(), second.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            EXPECT_EQ(first[i], second[i]) << simd_backend_label(b) << " element " << i;
+        }
+    }
+}
+
+TEST(SimdBackendTest, GemmTnAccBitIdenticalAcrossThreadCountsPerBackend) {
+    thread_guard threads;
+    const std::size_t m = 27, n = 16, k = 2048;
+    util::rng gen(57);
+    std::vector<float> a(k * m), b(k * n), c0(m * n);
+    for (float& v : a) v = static_cast<float>(gen.normal());
+    for (float& v : b) v = static_cast<float>(gen.normal());
+    for (float& v : c0) v = static_cast<float>(gen.normal());
+    for (const simd_backend backend : available_simd_backends()) {
+        simd_mode_guard mode(backend == simd_backend::scalar ? simd_mode::scalar
+                                                             : simd_mode::native);
+        simd_backend_cap_guard cap(backend);
+        util::set_global_threads(1);
+        std::vector<float> c1 = c0;
+        gemm_tn_acc(m, n, k, a.data(), b.data(), c1.data());
+        util::set_global_threads(4);
+        std::vector<float> c4 = c0;
+        gemm_tn_acc(m, n, k, a.data(), b.data(), c4.data());
+        util::set_global_threads(0);
+        for (std::size_t i = 0; i < m * n; ++i) {
+            EXPECT_EQ(c1[i], c4[i])
+                << simd_backend_label(backend) << " element " << i
+                << " differs between 1 and 4 threads";
+        }
+    }
+}
+
+TEST(SimdBackendTest, GemmTnAccMatchesReferencePerBackend) {
+    const std::size_t m = 12, n = 7, k = 640;
+    util::rng gen(58);
+    std::vector<float> a(k * m), b(k * n);
+    for (float& v : a) v = static_cast<float>(gen.normal());
+    for (float& v : b) v = static_cast<float>(gen.normal());
+    std::vector<double> expected(m * n, 0.0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                expected[i * n + j] +=
+                    static_cast<double>(a[kk * m + i]) * b[kk * n + j];
+            }
+        }
+    }
+    for (const simd_backend backend : available_simd_backends()) {
+        simd_mode_guard mode(backend == simd_backend::scalar ? simd_mode::scalar
+                                                             : simd_mode::native);
+        simd_backend_cap_guard cap(backend);
+        std::vector<float> c(m * n, 0.0f);
+        gemm_tn_acc(m, n, k, a.data(), b.data(), c.data());
+        for (std::size_t i = 0; i < m * n; ++i) {
+            EXPECT_NEAR(c[i], expected[i], 1e-3 * (1.0 + std::abs(expected[i])))
+                << simd_backend_label(backend);
+        }
+    }
+}
+
+/// Apply `act` exactly as the unfused activation layers do (relu's ternary,
+/// sigmoid_scalar per element).
+void apply_unfused(fused_act act, std::vector<float>& c) {
+    if (act == fused_act::relu) {
+        for (float& v : c) v = v > 0.0f ? v : 0.0f;
+    } else if (act == fused_act::sigmoid) {
+        for (float& v : c) v = sigmoid_scalar(v);
+    }
+}
+
+TEST(SimdFusionTest, FusedEpilogueBitIdenticalToUnfusedPerBackend) {
+    // The fused kernel seeds each output row with the bias, runs the exact
+    // ascending-k accumulation of the unfused kernel, and applies the
+    // activation per element — so fused output must equal
+    // bias-seed + gemm + separate activation bit for bit, on every backend.
+    const std::size_t m = 7, n = 11, k = 33;
+    util::rng gen(61);
+    std::vector<float> a(m * k), b(k * n), bias(n);
+    for (float& v : a) v = static_cast<float>(gen.normal());
+    for (float& v : b) v = static_cast<float>(gen.normal());
+    for (float& v : bias) v = static_cast<float>(gen.normal());
+    for (const simd_backend backend : available_simd_backends()) {
+        simd_mode_guard mode(backend == simd_backend::scalar ? simd_mode::scalar
+                                                             : simd_mode::native);
+        simd_backend_cap_guard cap(backend);
+        for (const fused_act act :
+             {fused_act::none, fused_act::relu, fused_act::sigmoid}) {
+            std::vector<float> unfused(m * n);
+            gemm_nn_bias_act(m, n, k, a.data(), b.data(), bias.data(),
+                             fused_act::none, unfused.data());
+            apply_unfused(act, unfused);
+            std::vector<float> fused(m * n);
+            gemm_nn_bias_act(m, n, k, a.data(), b.data(), bias.data(), act,
+                             fused.data());
+            for (std::size_t i = 0; i < m * n; ++i) {
+                EXPECT_EQ(fused[i], unfused[i])
+                    << simd_backend_label(backend) << " "
+                    << fused_act_name(act) << " element " << i;
+            }
+        }
+    }
+}
+
+TEST(SimdFusionTest, FusedBiasActMatchesNaiveReference) {
+    const std::size_t m = 5, n = 9, k = 21;
+    util::rng gen(62);
+    std::vector<float> a(m * k), b(k * n), bias(n);
+    for (float& v : a) v = static_cast<float>(gen.normal());
+    for (float& v : b) v = static_cast<float>(gen.normal());
+    for (float& v : bias) v = static_cast<float>(gen.normal());
+    std::vector<float> c(m * n);
+    gemm_nn_bias_act(m, n, k, a.data(), b.data(), bias.data(), fused_act::relu,
+                     c.data());
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = bias[j];
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+            }
+            const double expected = acc > 0.0 ? acc : 0.0;
+            EXPECT_NEAR(c[i * n + j], expected, 1e-4 * (1.0 + std::abs(expected)));
+        }
+    }
+}
+
+TEST(SimdFusionTest, OnlyGemmLayersReportFusable) {
+    util::rng gen(63);
+    conv1d conv(3, 4, 3, gen);
+    dense fc(4, 2, gen);
+    maxpool1d pool(2);
+    relu act;
+    EXPECT_TRUE(conv.can_fuse(fused_act::relu));
+    EXPECT_TRUE(conv.can_fuse(fused_act::sigmoid));
+    EXPECT_TRUE(fc.can_fuse(fused_act::relu));
+    // Non-GEMM layers only accept the trivial "no epilogue" request.
+    EXPECT_TRUE(pool.can_fuse(fused_act::none));
+    EXPECT_FALSE(pool.can_fuse(fused_act::relu));
+    EXPECT_FALSE(act.can_fuse(fused_act::sigmoid));
+}
+
+TEST(SimdFusionTest, DefaultLayerRejectsFusedEpilogue) {
+    maxpool1d pool(2);
+    std::vector<float> in(8, 1.0f), out(4);
+    EXPECT_THROW(pool.forward_into_fused(in, {4, 2}, 1, {}, out, fused_act::relu),
+                 std::logic_error);
+}
+
+/// The paper's branch topology in miniature: Conv1D -> ReLU -> MaxPool ->
+/// Flatten -> Dense -> ReLU -> Dense(1).  Both GEMM layers have a fusable
+/// activation behind them.
+std::unique_ptr<sequential> make_fusable_stack(std::uint64_t seed) {
+    util::rng gen(seed);
+    auto net = std::make_unique<sequential>();
+    net->emplace<conv1d>(3, 8, 3, gen);
+    net->emplace<relu>();
+    net->emplace<maxpool1d>(2);
+    net->emplace<flatten>();
+    net->emplace<dense>(9 * 8, 16, gen);
+    net->emplace<relu>();
+    net->emplace<dense>(16, 1, gen, false);
+    return net;
+}
+
+TEST(SimdFusionTest, SequentialFusionBitIdenticalToUnfusedPerBackend) {
+    // Plan-time fusion absorbs the ReLU layers into the preceding GEMM
+    // calls; because the fused kernel replays the exact unfused op
+    // sequence, forward_into output must not change by a single bit — per
+    // backend, and also versus the allocating forward() path.
+    const shape_t row_shape{20, 3};
+    const std::size_t batch = 5;
+    tensor x({batch, 20, 3});
+    util::rng gen(64);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(gen.uniform(-1.5, 1.5));
+    }
+    for (const simd_backend backend : available_simd_backends()) {
+        simd_mode_guard mode(backend == simd_backend::scalar ? simd_mode::scalar
+                                                             : simd_mode::native);
+        simd_backend_cap_guard cap(backend);
+        auto net = make_fusable_stack(65);
+        const tensor reference = net->forward(x, /*training=*/false);
+
+        auto run = [&](bool fuse) {
+            fusion_guard fusion(fuse);
+            const std::size_t bytes = net->infer_workspace_bytes(row_shape, batch);
+            std::vector<float> ws((bytes + sizeof(float) - 1) / sizeof(float));
+            std::vector<float> out(batch);
+            net->forward_into(std::span<const float>(x.data(), x.size()), row_shape,
+                              batch, ws, out);
+            return out;
+        };
+        const std::vector<float> fused = run(true);
+        const std::vector<float> unfused = run(false);
+        ASSERT_EQ(fused.size(), unfused.size());
+        for (std::size_t i = 0; i < fused.size(); ++i) {
+            EXPECT_EQ(fused[i], unfused[i])
+                << simd_backend_label(backend) << " logit " << i;
+            EXPECT_EQ(fused[i], reference[i])
+                << simd_backend_label(backend) << " logit " << i << " vs forward()";
+        }
+    }
+}
+
+TEST(SimdFusionTest, TrainingForwardStillMaterializesReluMask) {
+    // Fusion only rewires the inference plan: the training-path forward
+    // keeps the explicit ReLU layer (its mask feeds backward), so gradients
+    // are untouched by the fusion flag.
+    fusion_guard fusion(true);
+    auto net = make_fusable_stack(66);
+    tensor x({2, 20, 3});
+    util::rng gen(67);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(gen.uniform(-1.0, 1.0));
+    }
+    const tensor y = net->forward(x, /*training=*/true);
+    tensor gy(y.shape());
+    gy.fill(1.0f);
+    const tensor gx = net->backward(gy);  // throws if any mask is missing
+    EXPECT_EQ(gx.shape(), x.shape());
+}
+
 TEST(SimdTest, Int8ScoringIsBitIdenticalAcrossModes) {
     // Int8 accumulators are exact int32 sums, so the vector axpy must
     // reproduce the scalar kernel bit for bit — dispatch may change
@@ -149,6 +486,20 @@ TEST(SimdTest, Int8ScoringIsBitIdenticalAcrossModes) {
     }
     for (std::size_t i = 0; i < k_count; ++i) {
         EXPECT_EQ(native_out[i], scalar_out[i]) << "window " << i;
+    }
+
+    // And per pinned backend: every vector axpy sums the same exact int32
+    // products, so each tier reproduces the scalar logits bit for bit.
+    for (const simd_backend backend : available_simd_backends()) {
+        simd_mode_guard guard(backend == simd_backend::scalar ? simd_mode::scalar
+                                                              : simd_mode::native);
+        simd_backend_cap_guard cap(backend);
+        std::vector<float> backend_out(k_count);
+        serve::make_scorer(spec)->score(windows, k_count, elems, backend_out);
+        for (std::size_t i = 0; i < k_count; ++i) {
+            EXPECT_EQ(backend_out[i], scalar_out[i])
+                << simd_backend_label(backend) << " window " << i;
+        }
     }
 }
 

@@ -96,5 +96,69 @@ TEST(TensorTest, FromValuesMakes1D) {
     EXPECT_EQ(t.shape(), (shape_t{3}));
 }
 
+TEST(TensorTest, ShapeInlineAndHeapRanks) {
+    // shape_t stores up to six dims inline; higher ranks spill to the heap
+    // transparently.  Both paths must copy, compare, and iterate alike.
+    shape_t inline_shape{2, 3, 4};
+    EXPECT_EQ(inline_shape.size(), 3u);
+    shape_t deep;
+    for (std::size_t d = 1; d <= 9; ++d) deep.push_back(d);
+    EXPECT_EQ(deep.size(), 9u);
+    EXPECT_EQ(deep[8], 9u);
+    shape_t deep_copy = deep;
+    EXPECT_EQ(deep_copy, deep);
+    shape_t moved = std::move(deep_copy);
+    EXPECT_EQ(moved, deep);
+    std::size_t product = 1;
+    for (const std::size_t d : moved) product *= d;
+    EXPECT_EQ(product, 362880u);
+    EXPECT_NE(moved, inline_shape);
+    // Count-constructor zero-fills (the deserializer mutates in place).
+    shape_t counted(4);
+    EXPECT_EQ(counted.size(), 4u);
+    for (std::size_t i = 0; i < counted.size(); ++i) {
+        EXPECT_EQ(counted[i], 0u);
+        counted[i] = i + 1;
+    }
+    EXPECT_EQ(counted, (shape_t{1, 2, 3, 4}));
+}
+
+TEST(TensorTest, BufferPoolRecyclesStorage) {
+    // A destroyed tensor donates its buffer to the thread-local pool; the
+    // next same-size acquisition reuses it (zero-filled).  Skipped when the
+    // pool is disabled via FALLSENSE_TENSOR_POOL.
+    const float* first = nullptr;
+    {
+        tensor t({16, 16});
+        t.fill(3.5f);
+        first = t.data();
+    }
+    tensor reuse({16, 16});
+    if (reuse.data() == first) {
+        for (std::size_t i = 0; i < reuse.size(); ++i) {
+            ASSERT_EQ(reuse[i], 0.0f) << "recycled buffer must be re-zeroed";
+        }
+    }
+    // Whether or not the buffer came back from the pool, semantics hold.
+    EXPECT_EQ(reuse.size(), 256u);
+}
+
+TEST(TensorTest, MoveAndCopyKeepPoolSemantics) {
+    tensor a({4, 4});
+    a.fill(2.0f);
+    tensor b = a;  // pooled copy
+    EXPECT_NE(b.data(), a.data());
+    EXPECT_EQ(b.at({1, 1}), 2.0f);
+    tensor c = std::move(a);
+    EXPECT_EQ(c.at({2, 2}), 2.0f);
+    b = std::move(c);  // move-assign swaps; old buffer recycles via c's dtor
+    EXPECT_EQ(b.at({3, 3}), 2.0f);
+    tensor d;
+    d = b;  // copy-assign
+    EXPECT_EQ(d.at({0, 0}), 2.0f);
+    d = d;  // self-assignment is a no-op
+    EXPECT_EQ(d.at({0, 0}), 2.0f);
+}
+
 }  // namespace
 }  // namespace fallsense::nn

@@ -3,11 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
+#include <span>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
+#include "nn/simd.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fallsense::nn {
 namespace {
@@ -176,6 +181,80 @@ TEST(TrainerTest, ValidatesInputs) {
     bad.features = tensor({2, 2});
     bad.labels = {1.0f};  // count mismatch
     EXPECT_THROW(fit(*net, bad, {}, train_config{}), std::invalid_argument);
+}
+
+TEST(TrainerTest, TrainStepMatchesFitEpochLoss) {
+    // fit() is now a loop over train_step(); a hand-rolled loop over the
+    // same shuffled order must reproduce fit's first-epoch loss exactly.
+    const labeled_data train = make_toy_data(96, 14);
+    train_config tc;
+    tc.max_epochs = 1;
+    tc.batch_size = 32;
+    tc.use_class_weights = false;
+    tc.init_output_bias = false;
+    tc.shuffle_seed = 15;
+    auto fitted = make_toy_model(16);
+    const train_history h = fit(*fitted, train, {}, tc);
+
+    auto manual = make_toy_model(16);
+    adam optim(manual->parameters(), tc.learning_rate);
+    util::rng shuffler(tc.shuffle_seed);
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+    shuffler.shuffle(order);
+    train_step_scratch scratch;
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += tc.batch_size) {
+        const std::size_t count = std::min(tc.batch_size, order.size() - start);
+        const std::span<const std::size_t> idx(order.data() + start, count);
+        epoch_loss +=
+            train_step(*manual, train, idx, 1.0, 1.0, optim, scratch) * count;
+    }
+    epoch_loss /= static_cast<double>(train.size());
+    ASSERT_EQ(h.train_loss.size(), 1u);
+    EXPECT_DOUBLE_EQ(h.train_loss[0], epoch_loss);
+}
+
+TEST(TrainerTest, TrainStepBitIdenticalAcrossThreadCountsPerBackend) {
+    // The full dispatched train step — gather, forward, weighted BCE,
+    // backward through gemm_tn_acc, Adam — must leave bit-identical
+    // parameters for any FALLSENSE_THREADS, on every available backend.
+    struct thread_guard {
+        ~thread_guard() { util::set_global_threads(0); }
+    } threads;
+    const labeled_data data = make_toy_data(64, 17);
+    std::vector<std::size_t> idx(32);
+    std::iota(idx.begin(), idx.end(), 0);
+
+    auto run = [&](std::size_t thread_count) {
+        util::set_global_threads(thread_count);
+        auto net = make_toy_model(18);
+        adam optim(net->parameters(), 1e-3);
+        train_step_scratch scratch;
+        for (int step = 0; step < 3; ++step) {
+            train_step(*net, data, idx, 1.3, 0.8, optim, scratch);
+        }
+        return snapshot_parameters(*net);
+    };
+
+    const simd_mode saved_mode = active_simd_mode();
+    for (const simd_backend backend : available_simd_backends()) {
+        set_simd_mode(backend == simd_backend::scalar ? simd_mode::scalar
+                                                      : simd_mode::native);
+        set_simd_backend_cap(backend);
+        const std::vector<tensor> p1 = run(1);
+        const std::vector<tensor> p4 = run(4);
+        ASSERT_EQ(p1.size(), p4.size());
+        for (std::size_t i = 0; i < p1.size(); ++i) {
+            for (std::size_t j = 0; j < p1[i].size(); ++j) {
+                EXPECT_EQ(p1[i][j], p4[i][j])
+                    << simd_backend_label(backend) << " parameter " << i
+                    << " element " << j;
+            }
+        }
+    }
+    set_simd_backend_cap(simd_backend::avx512);
+    set_simd_mode(saved_mode);
 }
 
 }  // namespace

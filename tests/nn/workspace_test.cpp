@@ -34,7 +34,7 @@ constexpr std::size_t k_guard_floats = 16;
 tensor random_batch(const shape_t& row_shape, std::size_t batch, util::rng& gen) {
     shape_t full;
     full.push_back(batch);
-    full.insert(full.end(), row_shape.begin(), row_shape.end());
+    for (const std::size_t d : row_shape) full.push_back(d);
     tensor x(full);
     for (std::size_t i = 0; i < x.size(); ++i) {
         x[i] = static_cast<float>(gen.uniform(-1.5, 1.5));

@@ -8,8 +8,11 @@
 // plus all three scorer paths end to end — the callback adapter, the int8
 // deployment graph (quant::batch_inference_scratch), and the float CNN,
 // whose forwards run out of the model's planned workspace arena
-// (nn::model::forward_into via nn::predict_scratch).  Kept out of
-// fallsense_tests: a global operator new override must own its whole
+// (nn::model::forward_into via nn::predict_scratch).  Also pins the
+// TRAINING path: a steady-state nn::train_step (gather, forward(training),
+// weighted BCE, backward, Adam) recycles every tensor through the
+// thread-local buffer pool and performs zero heap allocations.  Kept out
+// of fallsense_tests: a global operator new override must own its whole
 // binary.
 #include <gtest/gtest.h>
 
@@ -18,9 +21,19 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <numeric>
 #include <vector>
 
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/misc_layers.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
 #include "serve/serve.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -202,6 +215,51 @@ TEST(ServeAllocTest, FloatBatchScoringIsAllocationFreeAfterWarmup) {
     // the model's arena plan, sigmoid over the logit buffer — reuses the
     // nn::predict_scratch arena once the first batch has sized it.
     expect_batch_scoring_is_allocation_free(scorer_backend::float32);
+}
+
+TEST(ServeAllocTest, TrainStepIsAllocationFreeAfterWarmup) {
+    // Steady-state training: once the first steps have grown the gather
+    // batch, the im2col/weight scratches, the gemm_tn_acc reduction buffer,
+    // and the tensor buffer pool to their high-water marks, a full
+    // train_step — gather, forward(training) with materialized ReLU masks,
+    // weighted BCE, backward, Adam update — allocates nothing.
+    constexpr std::size_t k_rows = 48;
+    constexpr std::size_t k_time = 20;
+    constexpr std::size_t k_channels = 3;
+    util::rng gen(41);
+    nn::labeled_data data;
+    data.features = nn::tensor({k_rows, k_time, k_channels});
+    for (std::size_t i = 0; i < data.features.size(); ++i) {
+        data.features[i] = static_cast<float>(gen.uniform(-1.0, 1.0));
+    }
+    for (std::size_t i = 0; i < k_rows; ++i) {
+        data.labels.push_back((i % 3 == 0) ? 1.0f : 0.0f);
+    }
+
+    nn::sequential net;
+    net.emplace<nn::conv1d>(k_channels, 8, 3, gen);
+    net.emplace<nn::relu>();
+    net.emplace<nn::maxpool1d>(2);
+    net.emplace<nn::flatten>();
+    net.emplace<nn::dense>(9 * 8, 16, gen);
+    net.emplace<nn::relu>();
+    net.emplace<nn::dense>(16, 1, gen, false);
+
+    nn::adam optim(net.parameters(), 1e-3);
+    nn::train_step_scratch scratch;
+    std::vector<std::size_t> idx(16);
+    std::iota(idx.begin(), idx.end(), 0);
+
+    for (int step = 0; step < 8; ++step) {
+        nn::train_step(net, data, idx, 1.2, 0.9, optim, scratch);
+    }
+    const std::uint64_t before = allocation_count();
+    double loss = 0.0;
+    for (int step = 0; step < 8; ++step) {
+        loss = nn::train_step(net, data, idx, 1.2, 0.9, optim, scratch);
+    }
+    EXPECT_EQ(allocation_count() - before, 0u) << "steady-state train_step allocated";
+    EXPECT_TRUE(std::isfinite(loss));
 }
 
 }  // namespace

@@ -477,7 +477,19 @@ void write_metrics_manifest(const util::arg_parser& args, const std::string& com
     obs::run_manifest run;
     run.command = command;
     for (const char* opt : k_config_options) {
-        if (const auto value = args.option(opt)) run.config.emplace_back(opt, *value);
+        const auto value = args.option(opt);
+        if (!value) continue;
+        // --simd records the backend the dispatcher RESOLVED on this host
+        // (scalar / neon / avx2-fma / avx512), not the requested mode —
+        // the manifest names what actually ran.  Without the flag the
+        // entry is omitted entirely, so manifests from runs differing
+        // only in the FALLSENSE_SIMD environment stay byte-identical
+        // (the int8 scoring path is exact in every mode; CI diffs on it).
+        if (std::string(opt) == "simd") {
+            run.config.emplace_back(opt, nn::active_simd_backend_name());
+        } else {
+            run.config.emplace_back(opt, *value);
+        }
     }
     run.seed = args.option("seed")
                    ? static_cast<std::uint64_t>(args.integer_or("seed", 42))

@@ -302,7 +302,16 @@ int main(int argc, char** argv) {
             obs::run_manifest manifest;
             manifest.command = "loadgen";
             for (const char* opt : k_config_options) {
-                if (const auto value = args.option(opt)) manifest.config.emplace_back(opt, *value);
+                const auto value = args.option(opt);
+                if (!value) continue;
+                // --simd echoes the RESOLVED backend (scalar / neon /
+                // avx2-fma / avx512), not the requested mode; omitted
+                // without the flag so env-only runs stay byte-diffable.
+                if (std::string(opt) == "simd") {
+                    manifest.config.emplace_back(opt, nn::active_simd_backend_name());
+                } else {
+                    manifest.config.emplace_back(opt, *value);
+                }
             }
             if (args.has_flag("int8")) manifest.config.emplace_back("int8", "1");
             manifest.seed = args.option("seed")
